@@ -1,0 +1,126 @@
+//! Activation functions.
+//!
+//! The paper uses the **sigmoid** activation (Figure 5) in its hidden units:
+//! "One can use any nonlinear, monotonic, and differentiable activation
+//! function. We use the sigmoid activation function for our models." The
+//! output layer of a regression network is typically linear; both are
+//! provided, along with tanh and ReLU for experimentation.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^-x)` — the paper's choice.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (used for regression output layers).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *output*
+    /// value `y = f(x)` (the form used in backpropagation; for ReLU the
+    /// output-based form is exact except at the origin).
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+
+    /// Applies the activation to a whole slice.
+    pub fn apply_slice(self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_values() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn linear_and_relu() {
+        assert_eq!(Activation::Linear.apply(-3.5), -3.5);
+        assert_eq!(Activation::Relu.apply(-3.5), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Linear.derivative_from_output(42.0), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.0), 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Linear] {
+            for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_slice_applies_elementwise() {
+        let mut xs = [-1.0, 0.0, 1.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn sigmoid_is_bounded_and_monotone(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+            let fa = Activation::Sigmoid.apply(a);
+            let fb = Activation::Sigmoid.apply(b);
+            // In f64, sigmoid(x) rounds to exactly 1.0 for large x; the
+            // mathematical bound is (0, 1) but the representable bound is [0, 1].
+            prop_assert!(fa >= 0.0 && fa <= 1.0);
+            if a < b {
+                prop_assert!(fa <= fb);
+            }
+        }
+
+        #[test]
+        fn tanh_is_odd(x in -20.0f64..20.0) {
+            let f = Activation::Tanh.apply(x);
+            let g = Activation::Tanh.apply(-x);
+            prop_assert!((f + g).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Supervised datasets and k-fold splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+
+/// A supervised dataset: feature vectors and target vectors of consistent
+/// dimensionality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    targets: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that features and targets have the same
+    /// number of rows, at least one row, and internally consistent widths.
+    pub fn new(features: Vec<Vec<f64>>, targets: Vec<Vec<f64>>) -> Result<Self, AnnError> {
+        if features.len() != targets.len() {
+            return Err(AnnError::LengthMismatch {
+                what: "features vs targets",
+                expected: features.len(),
+                actual: targets.len(),
+            });
+        }
+        if features.is_empty() {
+            return Err(AnnError::InsufficientData {
+                requirement: "dataset must contain at least one sample".into(),
+            });
+        }
+        let in_dim = features[0].len();
+        let out_dim = targets[0].len();
+        if in_dim == 0 || out_dim == 0 {
+            return Err(AnnError::InvalidConfig {
+                reason: "feature and target vectors must be non-empty".into(),
+            });
+        }
+        for (i, f) in features.iter().enumerate() {
+            if f.len() != in_dim {
+                return Err(AnnError::LengthMismatch {
+                    what: "feature row width",
+                    expected: in_dim,
+                    actual: f.len(),
+                });
+            }
+            if !f.iter().all(|v| v.is_finite()) {
+                return Err(AnnError::InvalidConfig {
+                    reason: format!("feature row {i} contains non-finite values"),
+                });
+            }
+        }
+        for (i, t) in targets.iter().enumerate() {
+            if t.len() != out_dim {
+                return Err(AnnError::LengthMismatch {
+                    what: "target row width",
+                    expected: out_dim,
+                    actual: t.len(),
+                });
+            }
+            if !t.iter().all(|v| v.is_finite()) {
+                return Err(AnnError::InvalidConfig {
+                    reason: format!("target row {i} contains non-finite values"),
+                });
+            }
+        }
+        Ok(Self { features, targets })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset,
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Target dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// Feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Target rows.
+    pub fn targets(&self) -> &[Vec<f64>] {
+        &self.targets
+    }
+
+    /// The `(features, targets)` pair at `idx`.
+    pub fn sample(&self, idx: usize) -> (&[f64], &[f64]) {
+        (&self.features[idx], &self.targets[idx])
+    }
+
+    /// A new dataset containing only the given row indices (rows may repeat).
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset, AnnError> {
+        if indices.is_empty() {
+            return Err(AnnError::InsufficientData {
+                requirement: "subset must select at least one sample".into(),
+            });
+        }
+        let features = indices.iter().map(|&i| self.features[i].clone()).collect();
+        let targets = indices.iter().map(|&i| self.targets[i].clone()).collect();
+        Dataset::new(features, targets)
+    }
+
+    /// Splits indices into `k` contiguous folds after a seeded shuffle.
+    /// Every sample lands in exactly one fold; fold sizes differ by at most
+    /// one. Requires `2 <= k <= len`.
+    pub fn k_folds<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Result<Vec<Vec<usize>>, AnnError> {
+        if k < 2 {
+            return Err(AnnError::InvalidConfig { reason: "k-fold split requires k >= 2".into() });
+        }
+        if k > self.len() {
+            return Err(AnnError::InsufficientData {
+                requirement: format!("need at least {k} samples for {k} folds, have {}", self.len()),
+            });
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        let mut folds = vec![Vec::new(); k];
+        for (pos, idx) in indices.into_iter().enumerate() {
+            folds[pos % k].push(idx);
+        }
+        Ok(folds)
+    }
+
+    /// Splits into a training and validation set with the given validation
+    /// fraction (at least one sample in each part).
+    pub fn train_val_split<R: Rng + ?Sized>(
+        &self,
+        val_fraction: f64,
+        rng: &mut R,
+    ) -> Result<(Dataset, Dataset), AnnError> {
+        if self.len() < 2 {
+            return Err(AnnError::InsufficientData {
+                requirement: "need at least 2 samples to split".into(),
+            });
+        }
+        if !(0.0 < val_fraction && val_fraction < 1.0) {
+            return Err(AnnError::InvalidConfig {
+                reason: format!("val_fraction must be in (0,1), got {val_fraction}"),
+            });
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        let n_val = ((self.len() as f64 * val_fraction).round() as usize).clamp(1, self.len() - 1);
+        let (val_idx, train_idx) = indices.split_at(n_val);
+        Ok((self.subset(train_idx)?, self.subset(val_idx)?))
+    }
+
+    /// Concatenates two datasets with identical dimensionality.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, AnnError> {
+        if self.input_dim() != other.input_dim() || self.output_dim() != other.output_dim() {
+            return Err(AnnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: other.input_dim(),
+            });
+        }
+        let mut features = self.features.clone();
+        features.extend(other.features.iter().cloned());
+        let mut targets = self.targets.clone();
+        targets.extend(other.targets.iter().cloned());
+        Dataset::new(features, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo(n: usize) -> Dataset {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let ys: Vec<Vec<f64>> = (0..n).map(|i| vec![(i * 3) as f64]).collect();
+        Dataset::new(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![2.0, 3.0]], vec![vec![1.0], vec![1.0]]).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![vec![f64::NAN]]).is_err());
+        assert!(Dataset::new(vec![vec![f64::INFINITY]], vec![vec![1.0]]).is_err());
+        assert!(Dataset::new(vec![vec![]], vec![vec![1.0]]).is_err());
+        let d = demo(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.input_dim(), 2);
+        assert_eq!(d.output_dim(), 1);
+        assert!(!d.is_empty());
+        let (x, y) = d.sample(2);
+        assert_eq!(x, &[2.0, 4.0]);
+        assert_eq!(y, &[6.0]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = demo(5);
+        let s = d.subset(&[4, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sample(0).0, &[4.0, 8.0]);
+        assert_eq!(s.sample(1).0, &[0.0, 0.0]);
+        assert!(d.subset(&[]).is_err());
+    }
+
+    #[test]
+    fn k_folds_partition_all_samples() {
+        let d = demo(23);
+        let mut rng = StdRng::seed_from_u64(11);
+        let folds = d.k_folds(10, &mut rng).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn k_folds_validation() {
+        let d = demo(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(d.k_folds(1, &mut rng).is_err());
+        assert!(d.k_folds(6, &mut rng).is_err());
+        assert!(d.k_folds(5, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn train_val_split_covers_everything() {
+        let d = demo(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, val) = d.train_val_split(0.3, &mut rng).unwrap();
+        assert_eq!(train.len() + val.len(), 10);
+        assert_eq!(val.len(), 3);
+        assert!(d.train_val_split(0.0, &mut rng).is_err());
+        assert!(d.train_val_split(1.0, &mut rng).is_err());
+        let tiny = demo(1);
+        assert!(tiny.train_val_split(0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn concat_checks_dims() {
+        let a = demo(3);
+        let b = demo(2);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 5);
+        let other = Dataset::new(vec![vec![1.0]], vec![vec![1.0]]).unwrap();
+        assert!(a.concat(&other).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared across the ANN library.
+
+use std::fmt;
+
+/// Errors raised by dataset handling, training or inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnError {
+    /// Two collections that must have the same length did not.
+    LengthMismatch {
+        /// What was being compared.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An input vector did not match the network/scaler dimensionality.
+    DimensionMismatch {
+        /// Expected input dimension.
+        expected: usize,
+        /// Provided dimension.
+        actual: usize,
+    },
+    /// A dataset was empty or too small for the requested operation.
+    InsufficientData {
+        /// Description of the requirement that was violated.
+        requirement: String,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Training produced non-finite values (exploding gradients).
+    NumericalInstability,
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::LengthMismatch { what, expected, actual } => {
+                write!(f, "length mismatch for {what}: expected {expected}, got {actual}")
+            }
+            AnnError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            AnnError::InsufficientData { requirement } => {
+                write!(f, "insufficient data: {requirement}")
+            }
+            AnnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            AnnError::NumericalInstability => {
+                write!(f, "training diverged (non-finite weights or loss)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_fields() {
+        let e = AnnError::LengthMismatch { what: "targets", expected: 3, actual: 2 };
+        assert!(e.to_string().contains("targets"));
+        let e = AnnError::DimensionMismatch { expected: 12, actual: 4 };
+        assert!(e.to_string().contains("12"));
+        let e = AnnError::InsufficientData { requirement: "at least 2 folds".into() };
+        assert!(e.to_string().contains("folds"));
+        let e = AnnError::InvalidConfig { reason: "folds must be >= 2".into() };
+        assert!(e.to_string().contains(">= 2"));
+        assert!(AnnError::NumericalInstability.to_string().contains("diverged"));
+    }
+}

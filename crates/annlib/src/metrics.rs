@@ -1,0 +1,171 @@
+//! Regression metrics used to evaluate the predictor.
+//!
+//! The paper evaluates its ANN predictor with (a) the distribution of the
+//! absolute relative IPC prediction error, `|(IPC_obs − IPC_pred)/IPC_obs|`
+//! (Figure 6: a cumulative distribution function; median error 9.1 %, 29.2 %
+//! of predictions under 5 %), and (b) the rate at which the best / rank-k
+//! configuration is selected (Figure 7). This module provides the error
+//! metrics; rank accuracy lives in `actor-core` where configurations are
+//! known.
+
+/// Mean squared error between two equal-length slices.
+pub fn mse(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "mse requires equal lengths");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "mae requires equal lengths");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(observed).map(|(p, o)| (p - o).abs()).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// The paper's per-sample error: `|(observed − predicted) / observed|`.
+/// Samples with zero observed value are skipped.
+pub fn relative_errors(predicted: &[f64], observed: &[f64]) -> Vec<f64> {
+    assert_eq!(predicted.len(), observed.len(), "relative_errors requires equal lengths");
+    predicted
+        .iter()
+        .zip(observed)
+        .filter(|(_, o)| **o != 0.0)
+        .map(|(p, o)| ((o - p) / o).abs())
+        .collect()
+}
+
+/// Median of a sample (interpolating between the two central values for even
+/// lengths). Returns `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric inputs"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 })
+}
+
+/// Fraction of values at or below a threshold.
+pub fn fraction_below(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len(), "r_squared requires equal lengths");
+    if observed.is_empty() {
+        return 0.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|o| (o - mean) * (o - mean)).sum();
+    let ss_res: f64 = predicted.iter().zip(observed).map(|(p, o)| (o - p) * (o - p)).sum();
+    if ss_tot <= 0.0 {
+        if ss_res <= 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// One point of an empirical cumulative distribution function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// The threshold (e.g. relative error expressed in percent).
+    pub threshold: f64,
+    /// Fraction of samples at or below the threshold, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Builds an empirical CDF of `values` evaluated at the given thresholds
+/// (which should be sorted ascending, as in Figure 6's 0–100 % x-axis).
+pub fn cdf(values: &[f64], thresholds: &[f64]) -> Vec<CdfPoint> {
+    thresholds
+        .iter()
+        .map(|&t| CdfPoint { threshold: t, fraction: fraction_below(values, t) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_errors() {
+        let p = [1.0, 2.0, 3.0];
+        let o = [1.0, 1.0, 5.0];
+        assert!((mse(&p, &o) - (0.0 + 1.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&p, &o) - (0.0 + 1.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_matches_paper_definition() {
+        let pred = [0.9, 2.0, 1.0];
+        let obs = [1.0, 1.6, 0.0];
+        let errs = relative_errors(&pred, &obs);
+        assert_eq!(errs.len(), 2, "zero-observation samples are skipped");
+        assert!((errs[0] - 0.1).abs() < 1e-12);
+        assert!((errs[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn fraction_and_cdf() {
+        let errs = [0.02, 0.04, 0.09, 0.5];
+        assert!((fraction_below(&errs, 0.05) - 0.5).abs() < 1e-12);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+        let points = cdf(&errs, &[0.0, 0.05, 0.1, 1.0]);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].fraction, 0.0);
+        assert!((points[1].fraction - 0.5).abs() < 1e-12);
+        assert!((points[2].fraction - 0.75).abs() < 1e-12);
+        assert_eq!(points[3].fraction, 1.0);
+        // CDF is monotone.
+        for w in points.windows(2) {
+            assert!(w[1].fraction >= w[0].fraction);
+        }
+    }
+
+    #[test]
+    fn r_squared_behaviour() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&obs, &obs) - 1.0).abs() < 1e-12);
+        // Predicting the mean gives R² = 0.
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &obs).abs() < 1e-12);
+        // Constant observations.
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&[1.0, 9.0], &[5.0, 5.0]), 0.0);
+        assert_eq!(r_squared(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Feature/target scalers.
+//!
+//! Hardware-event rates span several orders of magnitude (branch rates near
+//! 0.1/cycle, TLB miss rates near 1e-5/cycle), so inputs are standardised
+//! before they reach the sigmoid units; targets (IPC) are standardised too so
+//! the output layer trains in a well-conditioned range.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+
+/// Z-score standardisation: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits a scaler on a set of rows (all rows must share the width of the
+    /// first). Columns with zero variance get a standard deviation of 1 so
+    /// that transforming them is a no-op shift.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, AnnError> {
+        if rows.is_empty() {
+            return Err(AnnError::InsufficientData {
+                requirement: "scaler needs at least one row".into(),
+            });
+        }
+        let dim = rows[0].len();
+        for r in rows {
+            if r.len() != dim {
+                return Err(AnnError::LengthMismatch {
+                    what: "scaler row width",
+                    expected: dim,
+                    actual: r.len(),
+                });
+            }
+        }
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for r in rows {
+            for ((var, v), m) in vars.iter_mut().zip(r).zip(&means) {
+                let d = v - m;
+                *var += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Self { means, stds })
+    }
+
+    /// Dimensionality the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transforms one row.
+    pub fn transform(&self, row: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if row.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
+        }
+        Ok(row
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect())
+    }
+
+    /// Inverse transform of one row.
+    pub fn inverse(&self, row: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if row.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
+        }
+        Ok(row
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| v * s + m)
+            .collect())
+    }
+
+    /// Transforms a batch of rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnnError> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+/// Min-max scaling into `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl MinMaxScaler {
+    /// Fits a scaler mapping each column's observed range onto `[lo, hi]`.
+    pub fn fit(rows: &[Vec<f64>], lo: f64, hi: f64) -> Result<Self, AnnError> {
+        if rows.is_empty() {
+            return Err(AnnError::InsufficientData {
+                requirement: "scaler needs at least one row".into(),
+            });
+        }
+        if !(lo < hi) {
+            return Err(AnnError::InvalidConfig {
+                reason: format!("min-max range must satisfy lo < hi, got [{lo}, {hi}]"),
+            });
+        }
+        let dim = rows[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for r in rows {
+            if r.len() != dim {
+                return Err(AnnError::LengthMismatch {
+                    what: "scaler row width",
+                    expected: dim,
+                    actual: r.len(),
+                });
+            }
+            for i in 0..dim {
+                mins[i] = mins[i].min(r[i]);
+                maxs[i] = maxs[i].max(r[i]);
+            }
+        }
+        Ok(Self { mins, maxs, lo, hi })
+    }
+
+    /// Dimensionality the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Transforms one row (constant columns map to the middle of the range).
+    pub fn transform(&self, row: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if row.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let span = self.maxs[i] - self.mins[i];
+                if span <= 1e-12 {
+                    (self.lo + self.hi) / 2.0
+                } else {
+                    self.lo + (v - self.mins[i]) / span * (self.hi - self.lo)
+                }
+            })
+            .collect())
+    }
+
+    /// Inverse transform of one row (constant columns return their fitted
+    /// minimum).
+    pub fn inverse(&self, row: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if row.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let span = self.maxs[i] - self.mins[i];
+                if span <= 1e-12 {
+                    self.mins[i]
+                } else {
+                    self.mins[i] + (v - self.lo) / (self.hi - self.lo) * span
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn standard_scaler_round_trip() {
+        let rows = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let s = StandardScaler::fit(&rows).unwrap();
+        assert_eq!(s.dim(), 2);
+        let t = s.transform(&rows[0]).unwrap();
+        let back = s.inverse(&t).unwrap();
+        assert!((back[0] - 1.0).abs() < 1e-9);
+        assert!((back[1] - 100.0).abs() < 1e-9);
+        // transformed data has ~zero mean
+        let all = s.transform_all(&rows).unwrap();
+        let mean0: f64 = all.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_scaler_handles_constant_columns() {
+        let rows = vec![vec![2.0], vec![2.0], vec![2.0]];
+        let s = StandardScaler::fit(&rows).unwrap();
+        let t = s.transform(&[2.0]).unwrap();
+        assert!(t[0].abs() < 1e-12);
+        let t = s.transform(&[3.0]).unwrap();
+        assert!(t[0].is_finite());
+    }
+
+    #[test]
+    fn standard_scaler_errors() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let s = StandardScaler::fit(&[vec![1.0, 2.0]]).unwrap();
+        assert!(s.transform(&[1.0]).is_err());
+        assert!(s.inverse(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn minmax_scaler_maps_range() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let s = MinMaxScaler::fit(&rows, 0.1, 0.9).unwrap();
+        assert_eq!(s.dim(), 1);
+        assert!((s.transform(&[0.0]).unwrap()[0] - 0.1).abs() < 1e-12);
+        assert!((s.transform(&[10.0]).unwrap()[0] - 0.9).abs() < 1e-12);
+        assert!((s.transform(&[5.0]).unwrap()[0] - 0.5).abs() < 1e-12);
+        let back = s.inverse(&[0.5]).unwrap();
+        assert!((back[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_scaler_errors_and_constants() {
+        assert!(MinMaxScaler::fit(&[], 0.0, 1.0).is_err());
+        assert!(MinMaxScaler::fit(&[vec![1.0]], 1.0, 0.0).is_err());
+        assert!(MinMaxScaler::fit(&[vec![1.0], vec![1.0, 2.0]], 0.0, 1.0).is_err());
+        let s = MinMaxScaler::fit(&[vec![4.0], vec![4.0]], 0.0, 1.0).unwrap();
+        assert!((s.transform(&[4.0]).unwrap()[0] - 0.5).abs() < 1e-12);
+        assert!((s.inverse(&[0.5]).unwrap()[0] - 4.0).abs() < 1e-12);
+        assert!(s.transform(&[1.0, 2.0]).is_err());
+        assert!(s.inverse(&[1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn standard_scaler_inverse_is_identity(
+            vals in proptest::collection::vec(-1e3f64..1e3, 4..20),
+            probe in -1e3f64..1e3,
+        ) {
+            let rows: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
+            let s = StandardScaler::fit(&rows).unwrap();
+            let round = s.inverse(&s.transform(&[probe]).unwrap()).unwrap()[0];
+            prop_assert!((round - probe).abs() < 1e-6);
+        }
+
+        #[test]
+        fn minmax_output_within_range(
+            vals in proptest::collection::vec(-1e3f64..1e3, 4..20),
+            idx in 0usize..4,
+        ) {
+            let rows: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
+            let s = MinMaxScaler::fit(&rows, 0.1, 0.9).unwrap();
+            let probe = vals[idx.min(vals.len() - 1)];
+            let t = s.transform(&[probe]).unwrap()[0];
+            prop_assert!(t >= 0.1 - 1e-9 && t <= 0.9 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks backing the paper's overhead arguments:
+//! prediction-based adaptation must be cheap relative to the phases it
+//! manages, and much cheaper than exploring configurations empirically.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_core::baselines::LinearRegressionPredictor;
+use actor_core::predictor::{AnnPredictor, IpcPredictor};
+use actor_core::throttle::select_configuration;
+use actor_core::{ActorConfig, TrainingCorpus};
+use hwcounters::{EventSet, MultiplexSchedule, MultiplexedSampler};
+use npb_workloads::kernels::ConjugateGradient;
+use npb_workloads::{suite, BenchmarkId as NpbId};
+use phase_rt::{Binding, MachineShape, PhaseId, Team};
+use xeon_sim::{CacheConfig, Configuration, Machine, PhaseProfile, SetAssocCache, TraceGenerator, TracePattern};
+
+/// Machine-model throughput: one phase simulation per configuration.
+fn bench_machine_model(c: &mut Criterion) {
+    let machine = Machine::xeon_qx6600();
+    let phase = PhaseProfile::cache_sensitive("bench.phase", 1e9);
+    let mut group = c.benchmark_group("machine_model");
+    for config in Configuration::ALL {
+        group.bench_with_input(BenchmarkId::new("simulate_phase", config.label()), &config, |b, &cfg| {
+            b.iter(|| black_box(machine.simulate_config(black_box(&phase), cfg)));
+        });
+    }
+    group.finish();
+}
+
+/// Trace-driven cache simulator throughput.
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut gen = TraceGenerator::new(0, 8 << 20, TracePattern::Streaming { stride: 64 }, 0.3);
+    let trace = gen.generate(100_000, &mut rng);
+    c.bench_function("cache_sim/100k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(CacheConfig::xeon_l2()).unwrap();
+            black_box(cache.run_trace(trace.iter().copied()))
+        });
+    });
+}
+
+/// ANN ensemble training and single-prediction latency (the online overhead
+/// the paper argues is negligible), plus the regression baseline.
+fn bench_predictor(c: &mut Criterion) {
+    let machine = Machine::xeon_qx6600();
+    let config = ActorConfig::fast();
+    let benches = vec![suite::benchmark(NpbId::Cg), suite::benchmark(NpbId::Is), suite::benchmark(NpbId::Mg)];
+    let mut rng = StdRng::seed_from_u64(2);
+    let corpus =
+        TrainingCorpus::build(&machine, &benches, &EventSet::full(), 3, 0.05, &mut rng).unwrap();
+
+    c.bench_function("predictor/train_ann_fast", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(AnnPredictor::train(&corpus, &config.predictor, &mut rng).unwrap())
+        });
+    });
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let predictor = AnnPredictor::train(&corpus, &config.predictor, &mut rng).unwrap();
+    let regression = LinearRegressionPredictor::train(&corpus, 1e-3).unwrap();
+    let features = corpus.samples[0].features.clone();
+    c.bench_function("predictor/ann_predict_one_phase", |b| {
+        b.iter(|| black_box(predictor.predict(black_box(&features)).unwrap()));
+    });
+    c.bench_function("predictor/regression_predict_one_phase", |b| {
+        b.iter(|| black_box(regression.predict(black_box(&features)).unwrap()));
+    });
+    c.bench_function("predictor/throttle_decision", |b| {
+        let preds = predictor.predict(&features).unwrap();
+        b.iter(|| black_box(select_configuration(black_box(1.2), black_box(&preds))));
+    });
+}
+
+/// Multiplexed counter collection (the per-timestep sampling overhead).
+fn bench_sampling(c: &mut Criterion) {
+    let machine = Machine::xeon_qx6600();
+    let phase = PhaseProfile::bandwidth_bound("bench.sample", 1e9);
+    let exec = machine.simulate_config(&phase, Configuration::Four);
+    let schedule = MultiplexSchedule::paper_platform(&EventSet::full());
+    c.bench_function("sampling/multiplexed_rotation_6_timesteps", |b| {
+        b.iter(|| {
+            let mut sampler = MultiplexedSampler::new();
+            for step in 0..6 {
+                sampler.record_timestep(black_box(&exec.counters), schedule.group(step));
+            }
+            black_box(sampler.reconstruct())
+        });
+    });
+}
+
+/// Fork-join and region overhead of the live runtime.
+fn bench_phase_rt(c: &mut Criterion) {
+    let team = Team::new(4).unwrap();
+    let shape = MachineShape::quad_core();
+    let mut group = c.benchmark_group("phase_rt");
+    for threads in [1usize, 2, 4] {
+        let binding = Binding::spread(threads, &shape);
+        group.bench_with_input(BenchmarkId::new("fork_join", threads), &binding, |b, binding| {
+            b.iter(|| {
+                team.run_region(PhaseId::new(900), binding, |_| {
+                    black_box((0..512u64).sum::<u64>());
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A real kernel iteration under different bindings (live throttling target).
+fn bench_live_cg(c: &mut Criterion) {
+    let team = Team::new(4).unwrap();
+    let shape = MachineShape::quad_core();
+    let solver = ConjugateGradient::poisson(32, 10);
+    let mut group = c.benchmark_group("live_cg_10_iters");
+    group.sample_size(10);
+    for (label, binding) in
+        [("1", Binding::packed(1, &shape)), ("2b", Binding::spread(2, &shape)), ("4", Binding::packed(4, &shape))]
+    {
+        group.bench_with_input(BenchmarkId::new("binding", label), &binding, |b, binding| {
+            b.iter(|| black_box(solver.run(&team, binding)));
+        });
+    }
+    group.finish();
+}
+
+/// Keep the whole suite to a few minutes: these are latency measurements of
+/// deterministic code, not statistical studies, so short measurement windows
+/// are sufficient.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_machine_model,
+        bench_cache_sim,
+        bench_predictor,
+        bench_sampling,
+        bench_phase_rt,
+        bench_live_cg
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation: ANN ensemble vs multiple linear regression vs empirical search.
+//!
+//! Section IV-B of the paper argues that the ANN approach keeps the low
+//! online overhead of regression-based prediction while avoiding its
+//! hand-tuned model derivation, and avoids the exploration cost of online
+//! search. This binary quantifies the decision quality of each approach on
+//! the same leave-one-out corpus: for every phase of every benchmark it
+//! reports the chosen configuration's true rank and the time lost relative to
+//! the phase-optimal choice.
+//!
+//! Pass `--fast` for the reduced training configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_bench::{config_from_args, emit};
+use actor_core::baselines::LinearRegressionPredictor;
+use actor_core::predictor::{AnnPredictor, IpcPredictor};
+use actor_core::report::{fmt3, fmt_pct, Table};
+use actor_core::sampling::{sample_phase, SamplingPlan};
+use actor_core::throttle::select_configuration;
+use actor_core::TrainingCorpus;
+use xeon_sim::{Configuration, Machine};
+
+struct ApproachStats {
+    name: &'static str,
+    best_rank_hits: usize,
+    total_phases: usize,
+    time_loss_vs_optimal: f64,
+    exploration_instances: usize,
+}
+
+fn main() {
+    let machine = Machine::xeon_qx6600();
+    let config = config_from_args();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let benchmarks = npb_workloads::nas_suite();
+
+    eprintln!("building corpora and training models (use --fast for a quicker run)...");
+    let mut stats = vec![
+        ApproachStats { name: "ANN ensemble", best_rank_hits: 0, total_phases: 0, time_loss_vs_optimal: 0.0, exploration_instances: 0 },
+        ApproachStats { name: "Linear regression", best_rank_hits: 0, total_phases: 0, time_loss_vs_optimal: 0.0, exploration_instances: 0 },
+        ApproachStats { name: "Empirical search", best_rank_hits: 0, total_phases: 0, time_loss_vs_optimal: 0.0, exploration_instances: 0 },
+    ];
+
+    for bench in &benchmarks {
+        let plan = SamplingPlan::for_benchmark(bench, &config).expect("plan");
+        let others: Vec<_> = benchmarks.iter().filter(|b| b.id != bench.id).cloned().collect();
+        let corpus = TrainingCorpus::build(
+            &machine,
+            &others,
+            &plan.event_set,
+            config.corpus_replicas,
+            config.corpus_noise,
+            &mut rng,
+        )
+        .expect("corpus");
+        let ann = AnnPredictor::train(&corpus, &config.predictor, &mut rng).expect("ann");
+        let regression = LinearRegressionPredictor::train(&corpus, 1e-3).expect("regression");
+
+        for phase in &bench.phases {
+            // Ground truth.
+            let times: Vec<(Configuration, f64)> = Configuration::ALL
+                .iter()
+                .map(|&c| (c, machine.simulate_config(phase, c).time_s))
+                .collect();
+            let best_time =
+                times.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+            let best_config = times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+            let time_of = |c: Configuration| times.iter().find(|(cc, _)| *cc == c).unwrap().1;
+
+            // Shared sample.
+            let rates = sample_phase(&machine, phase, &plan, config.measurement_noise, &mut rng)
+                .expect("sampling");
+
+            // ANN and regression decisions.
+            for (idx, predictor) in [(0usize, &ann as &dyn IpcPredictor), (1, &regression)] {
+                let decision =
+                    select_configuration(rates.ipc(), &predictor.predict(&rates.features()).expect("predict"));
+                let chosen_time = time_of(decision.chosen);
+                stats[idx].total_phases += 1;
+                if decision.chosen == best_config {
+                    stats[idx].best_rank_hits += 1;
+                }
+                stats[idx].time_loss_vs_optimal += chosen_time / best_time - 1.0;
+            }
+
+            // Empirical search: always finds the best configuration, but pays
+            // one execution of every configuration to do so.
+            stats[2].total_phases += 1;
+            stats[2].best_rank_hits += 1;
+            stats[2].exploration_instances += Configuration::ALL.len();
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "approach",
+        "best config chosen",
+        "mean time loss vs phase-optimal",
+        "exploration cost (phase executions)",
+    ]);
+    for s in &stats {
+        table.push_row(vec![
+            s.name.to_string(),
+            fmt_pct(s.best_rank_hits as f64 / s.total_phases.max(1) as f64),
+            fmt_pct(s.time_loss_vs_optimal / s.total_phases.max(1) as f64),
+            fmt3(s.exploration_instances as f64),
+        ]);
+    }
+    emit("ablation_predictors", "Ablation: ANN vs linear regression vs empirical search", &table);
+}

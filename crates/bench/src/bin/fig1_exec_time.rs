@@ -1,0 +1,37 @@
+//! Figure 1 — execution time of every NPB benchmark on each threading
+//! configuration (1, 2a, 2b, 3, 4), plus the derived speedups.
+
+use actor_bench::emit;
+use actor_core::report::{fmt3, Table};
+use actor_core::scalability::scalability_report;
+use xeon_sim::{Configuration, Machine};
+
+fn main() {
+    let machine = Machine::xeon_qx6600();
+    let report = scalability_report(&machine);
+
+    let mut times = Table::new(vec!["benchmark", "1", "2a", "2b", "3", "4"]);
+    let mut speedups = Table::new(vec!["benchmark", "2a", "2b", "3", "4", "best config"]);
+    for row in &report.rows {
+        let mut cells = vec![row.id.name().to_string()];
+        cells.extend(Configuration::ALL.iter().map(|&c| format!("{:.1}", row.get(c).time_s)));
+        times.push_row(cells);
+
+        let mut s = vec![row.id.name().to_string()];
+        s.extend(
+            Configuration::ALL
+                .iter()
+                .skip(1)
+                .map(|&c| fmt3(row.speedup(c))),
+        );
+        s.push(row.best_time().label().to_string());
+        speedups.push_row(s);
+    }
+    emit("fig1_exec_time", "Figure 1: execution time (s) by configuration", &times);
+    emit("fig1_speedups", "Figure 1 (derived): speedup over one core", &speedups);
+
+    println!(
+        "Scaling-class mean speedup on 4 cores (paper: 2.37x): {:.2}x",
+        report.scaling_class_speedup()
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 3 — whole-system power and energy per benchmark per configuration,
+//! plus the geometric-mean panel.
+
+use actor_bench::emit;
+use actor_core::report::{fmt3, Table};
+use actor_core::scalability::scalability_report;
+use xeon_sim::{Configuration, Machine};
+
+fn main() {
+    let machine = Machine::xeon_qx6600();
+    let report = scalability_report(&machine);
+
+    let mut power = Table::new(vec!["benchmark", "1", "2a", "2b", "3", "4"]);
+    let mut energy = Table::new(vec!["benchmark", "1", "2a", "2b", "3", "4"]);
+    for row in &report.rows {
+        let mut p = vec![row.id.name().to_string()];
+        let mut e = vec![row.id.name().to_string()];
+        for &c in &Configuration::ALL {
+            p.push(format!("{:.1}", row.get(c).power_w));
+            e.push(format!("{:.0}", row.get(c).energy_j));
+        }
+        power.push_row(p);
+        energy.push_row(e);
+    }
+    emit("fig3_power", "Figure 3: average system power (W) by configuration", &power);
+    emit("fig3_energy", "Figure 3: energy (J) by configuration", &energy);
+
+    // Geometric-mean panel (normalised to the single-core execution).
+    let mut geo = Table::new(vec!["metric", "1", "2a", "2b", "3", "4"]);
+    let mut power_row = vec!["normalised power (geomean)".to_string()];
+    let mut energy_row = vec!["normalised energy (geomean)".to_string()];
+    for &c in &Configuration::ALL {
+        power_row.push(fmt3(
+            report.geomean_over_benchmarks(|b| b.get(c).power_w / b.get(Configuration::One).power_w),
+        ));
+        energy_row.push(fmt3(
+            report
+                .geomean_over_benchmarks(|b| b.get(c).energy_j / b.get(Configuration::One).energy_j),
+        ));
+    }
+    geo.push_row(power_row);
+    geo.push_row(energy_row);
+    emit("fig3_geomean", "Figure 3 (bottom-right): geometric means across benchmarks", &geo);
+
+    println!(
+        "Mean power growth 1->4 cores (paper: +14.2%): {:+.1}%",
+        report.mean_power_growth() * 100.0
+    );
+    println!(
+        "Mean energy change 1->4 cores (paper: -0.7%): {:+.1}%",
+        report.mean_energy_change() * 100.0
+    );
+}

@@ -1,0 +1,69 @@
+//! Extension experiment: the paper's Section III argues that the observed
+//! contention "will likely lead to even poorer scalability" on future
+//! many-core parts. The machine model is parameterised by core count, so this
+//! binary repeats the scalability study on an 8-core (four pairs sharing L2)
+//! projection of the same microarchitecture and reports where each benchmark
+//! stops scaling.
+
+use actor_core::report::{fmt3, Table};
+use actor_bench::emit;
+use npb_workloads::nas_suite;
+use xeon_sim::{Machine, MachineParams, Placement, Topology};
+
+fn main() {
+    let topo = Topology::new(8, 2).expect("valid topology");
+    let machine = Machine::new(topo, MachineParams::xeon_qx6600()).expect("valid machine");
+    let quad = Machine::xeon_qx6600();
+
+    let thread_counts = [1usize, 2, 4, 6, 8];
+    let mut table = Table::new(vec![
+        "benchmark",
+        "1", "2", "4", "6", "8",
+        "best threads (8-core)",
+        "best threads (quad)",
+    ]);
+
+    for bench in nas_suite() {
+        let mut times = Vec::new();
+        for &threads in &thread_counts {
+            let placement = Placement::spread(threads, machine.topology()).expect("placement");
+            let total: f64 = bench
+                .phases
+                .iter()
+                .map(|p| machine.simulate_phase(p, &placement).time_s)
+                .sum::<f64>()
+                * bench.timesteps as f64;
+            times.push((threads, total));
+        }
+        let best8 = times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+
+        // Best thread count on the quad-core for comparison.
+        let quad_best = (1..=4)
+            .map(|threads| {
+                let placement = Placement::spread(threads, quad.topology()).expect("placement");
+                let total: f64 = bench
+                    .phases
+                    .iter()
+                    .map(|p| quad.simulate_phase(p, &placement).time_s)
+                    .sum::<f64>()
+                    * bench.timesteps as f64;
+                (threads, total)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+
+        let t1 = times[0].1;
+        let mut cells = vec![bench.id.name().to_string()];
+        cells.extend(times.iter().map(|(_, t)| fmt3(t1 / t)));
+        cells.push(best8.to_string());
+        cells.push(quad_best.to_string());
+        table.push_row(cells);
+    }
+    emit(
+        "manycore_projection",
+        "Extension: speedup over 1 thread on an 8-core projection (spread placements)",
+        &table,
+    );
+    println!("Columns 1..8 are speedups relative to one thread on the 8-core machine.");
+}

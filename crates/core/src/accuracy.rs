@@ -1,0 +1,236 @@
+//! Prediction-accuracy study (Figures 6 and 7).
+//!
+//! Figure 6 is the cumulative distribution of the absolute relative IPC
+//! prediction error `|(IPC_obs − IPC_pred)/IPC_obs|` over every phase and
+//! every target configuration (the paper reports a median of 9.1 % and 29.2 %
+//! of predictions under 5 %). Figure 7 is the fraction of phases for which
+//! the configuration selected by ACTOR has true rank 1, 2, …, 5 (59.3 %
+//! rank-1, +28.8 % rank-2, the worst configuration never selected).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use annlib::metrics;
+use npb_workloads::BenchmarkId;
+use xeon_sim::{Configuration, Machine};
+
+use crate::config::ActorConfig;
+use crate::error::ActorError;
+use crate::evaluation::{evaluate_benchmarks, leave_one_out_evaluation, BenchmarkEvaluation};
+
+/// One prediction compared against its ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// Benchmark the phase belongs to.
+    pub benchmark: BenchmarkId,
+    /// Phase name.
+    pub phase: String,
+    /// Target configuration being predicted.
+    pub target: Configuration,
+    /// Predicted IPC.
+    pub predicted_ipc: f64,
+    /// Observed IPC (clean simulation).
+    pub observed_ipc: f64,
+}
+
+impl PredictionRecord {
+    /// The paper's error metric for this record.
+    pub fn relative_error(&self) -> f64 {
+        if self.observed_ipc == 0.0 {
+            0.0
+        } else {
+            ((self.observed_ipc - self.predicted_ipc) / self.observed_ipc).abs()
+        }
+    }
+}
+
+/// The full accuracy study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyStudy {
+    /// Every (phase × target configuration) prediction.
+    pub records: Vec<PredictionRecord>,
+    /// Count of phases whose selected configuration has true rank 1..=5.
+    pub rank_counts: [usize; 5],
+    /// Number of phases evaluated.
+    pub phases: usize,
+}
+
+impl AccuracyStudy {
+    /// Builds the study from leave-one-out evaluations.
+    pub fn from_evaluations(evals: &[BenchmarkEvaluation]) -> Self {
+        let mut records = Vec::new();
+        let mut rank_counts = [0usize; 5];
+        let mut phases = 0usize;
+        for eval in evals {
+            for phase in &eval.phases {
+                phases += 1;
+                rank_counts[phase.chosen_rank() - 1] += 1;
+                for (config, predicted) in &phase.decision.ranked_predictions {
+                    records.push(PredictionRecord {
+                        benchmark: eval.id,
+                        phase: phase.phase_name.clone(),
+                        target: *config,
+                        predicted_ipc: *predicted,
+                        observed_ipc: phase.observed_on(*config),
+                    });
+                }
+            }
+        }
+        Self { records, rank_counts, phases }
+    }
+
+    /// All per-record relative errors.
+    pub fn relative_errors(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.relative_error()).collect()
+    }
+
+    /// Median relative error (the paper reports 9.1 %).
+    pub fn median_error(&self) -> f64 {
+        metrics::median(&self.relative_errors()).unwrap_or(0.0)
+    }
+
+    /// Fraction of predictions with error at or below `threshold`
+    /// (the paper reports 29.2 % below 5 %).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        metrics::fraction_below(&self.relative_errors(), threshold)
+    }
+
+    /// The cumulative distribution of Figure 6, evaluated at percent
+    /// thresholds 0, 5, 10, …, 100.
+    pub fn error_cdf(&self) -> Vec<metrics::CdfPoint> {
+        let thresholds: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+        metrics::cdf(&self.relative_errors(), &thresholds)
+    }
+
+    /// Fraction of phases whose selected configuration has each true rank
+    /// (Figure 7), rank 1 first.
+    pub fn rank_fractions(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        if self.phases == 0 {
+            return out;
+        }
+        for (i, c) in self.rank_counts.iter().enumerate() {
+            out[i] = *c as f64 / self.phases as f64;
+        }
+        out
+    }
+
+    /// Fraction of phases where the single best configuration was selected.
+    pub fn best_selection_rate(&self) -> f64 {
+        self.rank_fractions()[0]
+    }
+
+    /// Fraction of phases where the selected configuration was ranked worst.
+    pub fn worst_selection_rate(&self) -> f64 {
+        self.rank_fractions()[4]
+    }
+}
+
+/// Runs the full leave-one-out accuracy study over the NAS suite.
+pub fn run_accuracy_study<R: Rng + ?Sized>(
+    machine: &Machine,
+    config: &ActorConfig,
+    rng: &mut R,
+) -> Result<AccuracyStudy, ActorError> {
+    let evals = leave_one_out_evaluation(machine, config, rng)?;
+    Ok(AccuracyStudy::from_evaluations(&evals))
+}
+
+/// Runs the accuracy study over an explicit list of benchmarks (used by tests
+/// to bound runtimes).
+pub fn run_accuracy_study_on<R: Rng + ?Sized>(
+    machine: &Machine,
+    config: &ActorConfig,
+    benchmarks: &[npb_workloads::BenchmarkProfile],
+    rng: &mut R,
+) -> Result<AccuracyStudy, ActorError> {
+    let evals = evaluate_benchmarks(machine, config, benchmarks, rng)?;
+    Ok(AccuracyStudy::from_evaluations(&evals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_workloads::suite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn study() -> AccuracyStudy {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        let benchmarks = vec![
+            suite::benchmark(BenchmarkId::Cg),
+            suite::benchmark(BenchmarkId::Is),
+            suite::benchmark(BenchmarkId::Mg),
+            suite::benchmark(BenchmarkId::Bt),
+        ];
+        let mut rng = StdRng::seed_from_u64(21);
+        run_accuracy_study_on(&machine, &config, &benchmarks, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn study_shape_is_consistent() {
+        let s = study();
+        // 4 target predictions per phase.
+        assert_eq!(s.records.len(), s.phases * 4);
+        assert_eq!(s.rank_counts.iter().sum::<usize>(), s.phases);
+        assert_eq!(s.phases, 5 + 3 + 6 + 10);
+        let fr = s.rank_fractions();
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictions_are_usefully_accurate() {
+        // With the fast training configuration and a reduced suite the model
+        // is weaker than the paper's, but the median error should still be
+        // well under 50% and the CDF monotone.
+        let s = study();
+        let median = s.median_error();
+        assert!(median < 0.5, "median relative error too high: {median}");
+        let cdf = s.error_cdf();
+        assert_eq!(cdf.len(), 21);
+        for w in cdf.windows(2) {
+            assert!(w[1].fraction >= w[0].fraction);
+        }
+        assert!(cdf.last().unwrap().fraction >= s.fraction_below(1.0));
+    }
+
+    #[test]
+    fn selection_quality_beats_chance() {
+        // Random selection among five configurations would land rank 1 only
+        // 20% of the time and the worst 20% of the time.
+        let s = study();
+        assert!(
+            s.best_selection_rate() > 0.3,
+            "best-configuration selection rate {} is no better than chance",
+            s.best_selection_rate()
+        );
+        assert!(
+            s.worst_selection_rate() < 0.15,
+            "worst-configuration selection rate {} too high",
+            s.worst_selection_rate()
+        );
+    }
+
+    #[test]
+    fn record_error_metric_matches_paper_definition() {
+        let r = PredictionRecord {
+            benchmark: BenchmarkId::Cg,
+            phase: "p".into(),
+            target: Configuration::One,
+            predicted_ipc: 0.9,
+            observed_ipc: 1.0,
+        };
+        assert!((r.relative_error() - 0.1).abs() < 1e-12);
+        let zero = PredictionRecord { observed_ipc: 0.0, ..r };
+        assert_eq!(zero.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn empty_study_is_well_defined() {
+        let s = AccuracyStudy::from_evaluations(&[]);
+        assert_eq!(s.phases, 0);
+        assert_eq!(s.median_error(), 0.0);
+        assert_eq!(s.rank_fractions(), [0.0; 5]);
+    }
+}

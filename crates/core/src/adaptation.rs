@@ -1,0 +1,406 @@
+//! The adaptation study (Figure 8).
+//!
+//! Compares four execution strategies for every benchmark, normalised to the
+//! default four-core execution:
+//!
+//! * **4 Cores** — the performance-oriented default: every phase uses all
+//!   cores;
+//! * **Global Optimal** — oracle: the best single static configuration for
+//!   the whole application;
+//! * **Phase Optimal** — oracle: the best configuration for every phase;
+//! * **Prediction** — ACTOR: sample at maximal concurrency for at most 20 %
+//!   of the timesteps, predict per-phase IPC with the leave-one-out ANN
+//!   ensembles, then enforce the chosen configuration for the remaining
+//!   timesteps. Throttled phases are charged a small extra power term for
+//!   the cache-warmth lost when threads are re-bound (the paper's explanation
+//!   for why average power is not reduced).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
+use xeon_sim::{AggregateExecution, Configuration, Machine};
+
+use crate::config::ActorConfig;
+use crate::error::ActorError;
+use crate::evaluation::{evaluate_benchmarks, BenchmarkEvaluation};
+use crate::oracle::{global_optimal, phase_optimal};
+
+/// The execution strategies of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// All phases on all four cores (the normalisation baseline).
+    FourCores,
+    /// Best static configuration for the whole application (oracle).
+    GlobalOptimal,
+    /// Best configuration per phase (oracle).
+    PhaseOptimal,
+    /// ACTOR's prediction-based adaptation.
+    Prediction,
+}
+
+impl Strategy {
+    /// All strategies in the figure's order.
+    pub const ALL: [Strategy; 4] =
+        [Strategy::FourCores, Strategy::GlobalOptimal, Strategy::PhaseOptimal, Strategy::Prediction];
+
+    /// Label used in the figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::FourCores => "4 Cores",
+            Strategy::GlobalOptimal => "Global Optimal",
+            Strategy::PhaseOptimal => "Phase Optimal",
+            Strategy::Prediction => "Prediction",
+        }
+    }
+}
+
+/// The metrics plotted in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Execution time.
+    Time,
+    /// Average power.
+    Power,
+    /// Energy.
+    Energy,
+    /// Energy-delay-squared.
+    Ed2,
+}
+
+impl Metric {
+    /// All metrics in the figure's order.
+    pub const ALL: [Metric; 4] = [Metric::Time, Metric::Power, Metric::Energy, Metric::Ed2];
+
+    /// Label used in figure captions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Time => "Execution Time",
+            Metric::Power => "Power Consumption",
+            Metric::Energy => "Energy Consumption",
+            Metric::Ed2 => "Energy Delay Squared",
+        }
+    }
+}
+
+/// The absolute outcome of running one benchmark under one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Which strategy.
+    pub strategy: Strategy,
+    /// Total execution time (s).
+    pub time_s: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Average power (W).
+    pub power_w: f64,
+    /// Energy-delay-squared (J·s²).
+    pub ed2: f64,
+}
+
+impl StrategyOutcome {
+    fn from_aggregate(strategy: Strategy, agg: &AggregateExecution) -> Self {
+        Self {
+            strategy,
+            time_s: agg.time_s,
+            energy_j: agg.energy_j,
+            power_w: agg.avg_power_w(),
+            ed2: agg.ed2(),
+        }
+    }
+
+    /// The value of one metric.
+    pub fn metric(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Time => self.time_s,
+            Metric::Power => self.power_w,
+            Metric::Energy => self.energy_j,
+            Metric::Ed2 => self.ed2,
+        }
+    }
+}
+
+/// Figure-8 results for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkAdaptation {
+    /// The benchmark.
+    pub id: BenchmarkId,
+    /// Outcome per strategy.
+    pub outcomes: Vec<StrategyOutcome>,
+    /// ACTOR's per-phase decisions (phase name → chosen configuration).
+    pub decisions: Vec<(String, Configuration)>,
+    /// Fraction of the run spent sampling.
+    pub sampling_fraction: f64,
+}
+
+impl BenchmarkAdaptation {
+    /// The outcome of one strategy.
+    pub fn outcome(&self, strategy: Strategy) -> &StrategyOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.strategy == strategy)
+            .expect("all strategies are evaluated")
+    }
+
+    /// One metric of one strategy, normalised to the four-core baseline.
+    pub fn normalised(&self, strategy: Strategy, metric: Metric) -> f64 {
+        let baseline = self.outcome(Strategy::FourCores).metric(metric);
+        if baseline <= 0.0 {
+            return 1.0;
+        }
+        self.outcome(strategy).metric(metric) / baseline
+    }
+}
+
+/// The whole Figure-8 study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationStudy {
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkAdaptation>,
+}
+
+impl AdaptationStudy {
+    /// Arithmetic mean of the normalised metric over all benchmarks (the
+    /// "AVG" bar of Figure 8).
+    pub fn average_normalised(&self, strategy: Strategy, metric: Metric) -> f64 {
+        if self.benchmarks.is_empty() {
+            return 1.0;
+        }
+        self.benchmarks.iter().map(|b| b.normalised(strategy, metric)).sum::<f64>()
+            / self.benchmarks.len() as f64
+    }
+
+    /// Geometric mean of the normalised metric over all benchmarks.
+    pub fn geomean_normalised(&self, strategy: Strategy, metric: Metric) -> f64 {
+        if self.benchmarks.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .benchmarks
+            .iter()
+            .map(|b| b.normalised(strategy, metric).max(1e-12).ln())
+            .sum();
+        (log_sum / self.benchmarks.len() as f64).exp()
+    }
+
+    /// Results for one benchmark.
+    pub fn benchmark(&self, id: BenchmarkId) -> Option<&BenchmarkAdaptation> {
+        self.benchmarks.iter().find(|b| b.id == id)
+    }
+}
+
+/// Simulates a benchmark where the first `sample_timesteps` timesteps run at
+/// maximal concurrency (the sampling window) and the rest follow the
+/// per-phase decisions, charging the re-binding power penalty to throttled
+/// phases.
+fn simulate_prediction_strategy(
+    machine: &Machine,
+    bench: &BenchmarkProfile,
+    decisions: &[Configuration],
+    sample_timesteps: usize,
+    rebinding_power_w: f64,
+) -> AggregateExecution {
+    let mut agg = AggregateExecution::new(format!("{} (prediction)", bench.id));
+    let sampling_execs = bench.simulate_phases(machine, Configuration::Four);
+    let adapted_execs: Vec<_> = bench
+        .phases
+        .iter()
+        .zip(decisions)
+        .map(|(p, &c)| machine.simulate_config(p, c))
+        .collect();
+
+    let sample_timesteps = sample_timesteps.min(bench.timesteps);
+    for _ in 0..sample_timesteps {
+        for exec in &sampling_execs {
+            agg.add(exec);
+        }
+    }
+    for _ in sample_timesteps..bench.timesteps {
+        for (exec, &chosen) in adapted_execs.iter().zip(decisions) {
+            agg.add(exec);
+            if chosen != Configuration::Four {
+                // Cache-warmth loss from re-binding: extra bus/memory power.
+                agg.energy_j += rebinding_power_w * exec.time_s;
+            }
+        }
+    }
+    agg
+}
+
+/// Builds the Figure-8 study from leave-one-out evaluations.
+pub fn adaptation_from_evaluations(
+    machine: &Machine,
+    config: &ActorConfig,
+    benchmarks: &[BenchmarkProfile],
+    evaluations: &[BenchmarkEvaluation],
+) -> Result<AdaptationStudy, ActorError> {
+    let mut results = Vec::with_capacity(benchmarks.len());
+    for bench in benchmarks {
+        let eval = evaluations.iter().find(|e| e.id == bench.id).ok_or_else(|| {
+            ActorError::InvalidConfig { reason: format!("no evaluation found for {}", bench.id) }
+        })?;
+
+        let four = bench.simulate(machine, Configuration::Four);
+        let global = bench.simulate(machine, global_optimal(machine, bench));
+        let phase_choices = phase_optimal(machine, bench);
+        let phase_opt = bench.simulate_per_phase(machine, &phase_choices);
+
+        let decisions: Vec<Configuration> =
+            eval.phases.iter().map(|p| p.decision.chosen).collect();
+        let prediction = simulate_prediction_strategy(
+            machine,
+            bench,
+            &decisions,
+            eval.plan.sample_timesteps,
+            config.rebinding_power_w,
+        );
+
+        results.push(BenchmarkAdaptation {
+            id: bench.id,
+            outcomes: vec![
+                StrategyOutcome::from_aggregate(Strategy::FourCores, &four),
+                StrategyOutcome::from_aggregate(Strategy::GlobalOptimal, &global),
+                StrategyOutcome::from_aggregate(Strategy::PhaseOptimal, &phase_opt),
+                StrategyOutcome::from_aggregate(Strategy::Prediction, &prediction),
+            ],
+            decisions: eval
+                .phases
+                .iter()
+                .map(|p| (p.phase_name.clone(), p.decision.chosen))
+                .collect(),
+            sampling_fraction: eval.plan.sampling_fraction(),
+        });
+    }
+    Ok(AdaptationStudy { benchmarks: results })
+}
+
+/// Runs the full Figure-8 study over the NAS suite (leave-one-out training,
+/// sampling, prediction, throttling, and the oracle comparisons).
+pub fn run_adaptation_study<R: Rng + ?Sized>(
+    machine: &Machine,
+    config: &ActorConfig,
+    rng: &mut R,
+) -> Result<AdaptationStudy, ActorError> {
+    let benchmarks = suite::nas_suite();
+    let evaluations = evaluate_benchmarks(machine, config, &benchmarks, rng)?;
+    adaptation_from_evaluations(machine, config, &benchmarks, &evaluations)
+}
+
+/// Runs the study over an explicit benchmark list (used by tests).
+pub fn run_adaptation_study_on<R: Rng + ?Sized>(
+    machine: &Machine,
+    config: &ActorConfig,
+    benchmarks: &[BenchmarkProfile],
+    rng: &mut R,
+) -> Result<AdaptationStudy, ActorError> {
+    let evaluations = evaluate_benchmarks(machine, config, benchmarks, rng)?;
+    adaptation_from_evaluations(machine, config, benchmarks, &evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn study() -> AdaptationStudy {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        let benchmarks = vec![
+            suite::benchmark(BenchmarkId::Bt),
+            suite::benchmark(BenchmarkId::Is),
+            suite::benchmark(BenchmarkId::Mg),
+            suite::benchmark(BenchmarkId::Cg),
+        ];
+        let mut rng = StdRng::seed_from_u64(31);
+        run_adaptation_study_on(&machine, &config, &benchmarks, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn all_strategies_evaluated_for_all_benchmarks() {
+        let s = study();
+        assert_eq!(s.benchmarks.len(), 4);
+        for b in &s.benchmarks {
+            assert_eq!(b.outcomes.len(), 4);
+            assert!(b.sampling_fraction > 0.0 && b.sampling_fraction <= 0.2 + 1e-9);
+            assert!(!b.decisions.is_empty());
+            for o in &b.outcomes {
+                assert!(o.time_s > 0.0 && o.energy_j > 0.0 && o.power_w > 50.0);
+                assert!(o.ed2 > 0.0);
+            }
+            // The baseline normalises to exactly 1.
+            for m in Metric::ALL {
+                assert!((b.normalised(Strategy::FourCores, m) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn oracles_never_lose_to_the_four_core_baseline_on_time() {
+        let s = study();
+        for b in &s.benchmarks {
+            assert!(
+                b.normalised(Strategy::GlobalOptimal, Metric::Time) <= 1.0 + 1e-9,
+                "{}: global optimal slower than 4 cores",
+                b.id
+            );
+            assert!(
+                b.normalised(Strategy::PhaseOptimal, Metric::Time)
+                    <= b.normalised(Strategy::GlobalOptimal, Metric::Time) + 1e-9,
+                "{}: phase optimal slower than global optimal",
+                b.id
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_improves_poorly_scaling_benchmarks() {
+        // IS and MG are the paper's showcase: throttling is imperative for
+        // them (IS: 71.6% ED2 improvement). Prediction must beat the 4-core
+        // baseline on ED2 for both.
+        let s = study();
+        for id in [BenchmarkId::Is, BenchmarkId::Mg] {
+            let b = s.benchmark(id).unwrap();
+            let ed2 = b.normalised(Strategy::Prediction, Metric::Ed2);
+            assert!(
+                ed2 < 0.9,
+                "{id}: prediction should cut ED2 well below the 4-core baseline, got {ed2:.2}"
+            );
+            let time = b.normalised(Strategy::Prediction, Metric::Time);
+            assert!(time < 1.0, "{id}: prediction should also reduce execution time, got {time:.2}");
+        }
+    }
+
+    #[test]
+    fn prediction_does_not_wreck_scalable_benchmarks() {
+        // BT scales well; ACTOR may keep all four cores or throttle slightly,
+        // but it must stay close to the baseline.
+        let s = study();
+        let bt = s.benchmark(BenchmarkId::Bt).unwrap();
+        let time = bt.normalised(Strategy::Prediction, Metric::Time);
+        assert!(time < 1.15, "BT: prediction-based adaptation cost too much time ({time:.2})");
+    }
+
+    #[test]
+    fn averages_are_consistent_and_prediction_helps_overall() {
+        let s = study();
+        let avg_time = s.average_normalised(Strategy::Prediction, Metric::Time);
+        let avg_ed2 = s.average_normalised(Strategy::Prediction, Metric::Ed2);
+        let geo_ed2 = s.geomean_normalised(Strategy::Prediction, Metric::Ed2);
+        assert!(avg_time < 1.05, "average normalised time {avg_time:.2}");
+        assert!(avg_ed2 < 1.0, "average normalised ED2 {avg_ed2:.2}");
+        assert!(geo_ed2 <= avg_ed2 + 1e-9, "geometric mean cannot exceed arithmetic mean");
+        // Phase optimal bounds prediction from below (it is an oracle).
+        assert!(
+            s.average_normalised(Strategy::PhaseOptimal, Metric::Time) <= avg_time + 1e-9
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Strategy::Prediction.label(), "Prediction");
+        assert_eq!(Metric::Ed2.label(), "Energy Delay Squared");
+        assert_eq!(Strategy::ALL.len(), 4);
+        assert_eq!(Metric::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,317 @@
+//! Baseline strategies from the paper's related work.
+//!
+//! * **Multiple linear regression** — the predictor used by the authors'
+//!   earlier work [3]; the paper argues ANNs match its accuracy while
+//!   avoiding the hand-tuned, machine-specific model derivation. Implemented
+//!   here as ridge-regularised least squares per target configuration, so the
+//!   ANN-vs-regression ablation of Section IV-B can be reproduced.
+//! * **Empirical search** — the online search strategy of [17]: execute each
+//!   candidate configuration once, measure it, and keep the best. Costs one
+//!   exploration pass over the configuration space (prohibitive with many
+//!   cores, as the paper notes), but needs no model at all.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hwcounters::EventSet;
+use xeon_sim::Configuration;
+
+use crate::corpus::TrainingCorpus;
+use crate::error::ActorError;
+use crate::predictor::IpcPredictor;
+
+/// Multiple linear regression baseline (one weight vector per target
+/// configuration), solved by ridge-regularised normal equations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegressionPredictor {
+    event_set: EventSet,
+    /// Per target configuration: intercept followed by one weight per feature.
+    weights: Vec<(Configuration, Vec<f64>)>,
+}
+
+impl LinearRegressionPredictor {
+    /// Fits the regression models on a corpus. `ridge` is the Tikhonov
+    /// regularisation strength (the paper's regression baseline needs careful
+    /// conditioning; a small ridge keeps the normal equations solvable).
+    pub fn train(corpus: &TrainingCorpus, ridge: f64) -> Result<Self, ActorError> {
+        if corpus.is_empty() {
+            return Err(ActorError::EmptyCorpus { reason: "cannot fit regression on empty corpus".into() });
+        }
+        let ridge = ridge.max(0.0);
+        let mut weights = Vec::new();
+        for &target in &Configuration::TARGETS {
+            let dataset = corpus.dataset_for_target(target)?;
+            let n = dataset.len();
+            let d = dataset.input_dim() + 1; // + intercept
+            // Normal equations: (XᵀX + λI) w = Xᵀy with X including a 1 column.
+            let mut xtx = vec![vec![0.0f64; d]; d];
+            let mut xty = vec![0.0f64; d];
+            for i in 0..n {
+                let (x, y) = dataset.sample(i);
+                let mut row = Vec::with_capacity(d);
+                row.push(1.0);
+                row.extend_from_slice(x);
+                for a in 0..d {
+                    xty[a] += row[a] * y[0];
+                    for b in 0..d {
+                        xtx[a][b] += row[a] * row[b];
+                    }
+                }
+            }
+            for (a, row) in xtx.iter_mut().enumerate() {
+                row[a] += ridge;
+            }
+            let w = solve_linear_system(xtx, xty).ok_or_else(|| ActorError::InvalidConfig {
+                reason: format!("singular normal equations for target {target}"),
+            })?;
+            weights.push((target, w));
+        }
+        Ok(Self { event_set: corpus.event_set.clone(), weights })
+    }
+
+    /// The fitted weight vectors (intercept first), per target configuration.
+    pub fn weights(&self) -> &[(Configuration, Vec<f64>)] {
+        &self.weights
+    }
+}
+
+impl IpcPredictor for LinearRegressionPredictor {
+    fn predict(&self, features: &[f64]) -> Result<Vec<(Configuration, f64)>, ActorError> {
+        let expected = self.feature_dim();
+        if features.len() != expected {
+            return Err(ActorError::FeatureMismatch { expected, actual: features.len() });
+        }
+        Ok(self
+            .weights
+            .iter()
+            .map(|(c, w)| {
+                let mut y = w[0];
+                for (wi, xi) in w[1..].iter().zip(features) {
+                    y += wi * xi;
+                }
+                (*c, y.max(0.0))
+            })
+            .collect())
+    }
+
+    fn event_set(&self) -> &EventSet {
+        &self.event_set
+    }
+}
+
+/// Gaussian elimination with partial pivoting. Returns `None` for singular
+/// systems.
+fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix entries")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// The empirical-search policy of [17]: measure each candidate configuration
+/// once (in the supplied order) and lock in the fastest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalSearchPolicy {
+    candidates: Vec<Configuration>,
+    observations: Vec<(Configuration, f64)>,
+    decision: Option<Configuration>,
+}
+
+impl Default for EmpiricalSearchPolicy {
+    fn default() -> Self {
+        Self::new(Configuration::ALL.to_vec())
+    }
+}
+
+impl EmpiricalSearchPolicy {
+    /// Creates a search over the given candidate configurations.
+    pub fn new(candidates: Vec<Configuration>) -> Self {
+        Self { candidates, observations: Vec::new(), decision: None }
+    }
+
+    /// The configuration to run next: the next unexplored candidate during
+    /// the search, then the locked decision forever after.
+    pub fn next_configuration(&self) -> Configuration {
+        if let Some(decision) = self.decision {
+            return decision;
+        }
+        self.candidates
+            .get(self.observations.len())
+            .copied()
+            .unwrap_or_else(|| self.best_observed().unwrap_or(Configuration::Four))
+    }
+
+    /// Reports the measured cost (e.g. execution time) of running the phase
+    /// on `config`. Once every candidate has a measurement the search locks
+    /// the cheapest one.
+    pub fn observe(&mut self, config: Configuration, cost: f64) {
+        if self.decision.is_some() {
+            return;
+        }
+        self.observations.push((config, cost));
+        if self.observations.len() >= self.candidates.len() {
+            self.decision = self.best_observed();
+        }
+    }
+
+    /// The decision, once the search has finished.
+    pub fn decision(&self) -> Option<Configuration> {
+        self.decision
+    }
+
+    /// Number of exploration steps performed so far.
+    pub fn explored(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Number of phase executions the search will spend exploring — the
+    /// overhead the paper contrasts with prediction-based adaptation.
+    pub fn exploration_cost(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn best_observed(&self) -> Option<Configuration> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .map(|(c, _)| *c)
+    }
+}
+
+/// Convenience: run an empirical search to completion given a cost oracle
+/// (used in tests and ablation benches).
+pub fn empirical_search_decide<R: Rng + ?Sized>(
+    candidates: &[Configuration],
+    mut cost: impl FnMut(Configuration, &mut R) -> f64,
+    rng: &mut R,
+) -> Configuration {
+    let mut policy = EmpiricalSearchPolicy::new(candidates.to_vec());
+    while policy.decision().is_none() {
+        let c = policy.next_configuration();
+        let measured = cost(c, rng);
+        policy.observe(c, measured);
+    }
+    policy.decision().expect("search finished")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_workloads::{suite, BenchmarkId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xeon_sim::Machine;
+
+    fn corpus() -> TrainingCorpus {
+        let machine = Machine::xeon_qx6600();
+        let benches = vec![
+            suite::benchmark(BenchmarkId::Cg),
+            suite::benchmark(BenchmarkId::Is),
+            suite::benchmark(BenchmarkId::Bt),
+        ];
+        let mut rng = StdRng::seed_from_u64(3);
+        TrainingCorpus::build(&machine, &benches, &EventSet::full(), 3, 0.05, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn linear_system_solver_is_correct() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        // Singular system.
+        assert!(solve_linear_system(vec![vec![1.0, 1.0], vec![1.0, 1.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn regression_trains_and_predicts_reasonably() {
+        let c = corpus();
+        let reg = LinearRegressionPredictor::train(&c, 1e-3).unwrap();
+        assert_eq!(reg.weights().len(), 4);
+        // On training samples the prediction should correlate with the truth.
+        let mut abs_err = Vec::new();
+        for s in &c.samples {
+            let preds = reg.predict(&s.features).unwrap();
+            for (cfg, pred) in preds {
+                let obs = s.ipc_on(cfg).unwrap();
+                abs_err.push(((obs - pred) / obs).abs());
+            }
+        }
+        let mean: f64 = abs_err.iter().sum::<f64>() / abs_err.len() as f64;
+        assert!(mean < 0.5, "regression in-sample mean relative error too high: {mean}");
+    }
+
+    #[test]
+    fn regression_validates_inputs() {
+        let c = corpus();
+        let reg = LinearRegressionPredictor::train(&c, 1e-3).unwrap();
+        assert!(reg.predict(&[1.0]).is_err());
+        let empty = c.only(BenchmarkId::Mg);
+        assert!(LinearRegressionPredictor::train(&empty, 1e-3).is_err());
+    }
+
+    #[test]
+    fn empirical_search_explores_then_locks_best() {
+        let mut policy = EmpiricalSearchPolicy::default();
+        assert_eq!(policy.exploration_cost(), 5);
+        let costs = [
+            (Configuration::One, 10.0),
+            (Configuration::TwoTight, 8.0),
+            (Configuration::TwoLoose, 4.0),
+            (Configuration::Three, 6.0),
+            (Configuration::Four, 7.0),
+        ];
+        for (c, cost) in costs {
+            assert_eq!(policy.next_configuration(), c, "candidates explored in order");
+            policy.observe(c, cost);
+        }
+        assert_eq!(policy.decision(), Some(Configuration::TwoLoose));
+        assert_eq!(policy.next_configuration(), Configuration::TwoLoose);
+        assert_eq!(policy.explored(), 5);
+        // Further observations are ignored once locked.
+        policy.observe(Configuration::One, 0.1);
+        assert_eq!(policy.decision(), Some(Configuration::TwoLoose));
+    }
+
+    #[test]
+    fn empirical_search_decide_matches_cost_oracle() {
+        let machine = Machine::xeon_qx6600();
+        let bench = suite::benchmark(BenchmarkId::Is);
+        let phase = &bench.phases[0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let chosen = empirical_search_decide(
+            &Configuration::ALL,
+            |c, _| machine.simulate_config(phase, c).time_s,
+            &mut rng,
+        );
+        // IS's rank phase is fastest on two loosely-coupled cores.
+        assert_eq!(chosen, Configuration::TwoLoose);
+    }
+}

@@ -1,0 +1,188 @@
+//! Configuration of the ACTOR pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use annlib::{EnsembleConfig, TrainConfig};
+
+use crate::error::ActorError;
+
+/// Hyper-parameters of the ANN predictor (one cross-validation ensemble per
+/// target configuration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Number of cross-validation folds (the paper uses 10).
+    pub folds: usize,
+    /// Hidden-layer sizes of every member network.
+    pub hidden: Vec<usize>,
+    /// Backpropagation hyper-parameters.
+    pub train: TrainConfig,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            folds: 10,
+            hidden: vec![16],
+            train: TrainConfig { max_epochs: 250, patience: 20, ..TrainConfig::default() },
+        }
+    }
+}
+
+impl PredictorConfig {
+    /// A faster configuration for unit tests and examples (fewer folds and
+    /// epochs; accuracy is slightly lower but training is seconds, not
+    /// minutes).
+    pub fn fast() -> Self {
+        Self {
+            folds: 4,
+            hidden: vec![10],
+            train: TrainConfig { max_epochs: 80, patience: 10, ..TrainConfig::default() },
+        }
+    }
+
+    /// Converts to the `annlib` ensemble configuration.
+    pub fn ensemble(&self) -> EnsembleConfig {
+        EnsembleConfig { folds: self.folds, hidden: self.hidden.clone(), train: self.train.clone() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ActorError> {
+        self.ensemble().validate().map_err(ActorError::from)
+    }
+}
+
+/// Top-level configuration of ACTOR's online behaviour and of the evaluation
+/// studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorConfig {
+    /// Number of programmable counter registers available simultaneously
+    /// (2 on the paper's platform).
+    pub counter_registers: usize,
+    /// Maximum fraction of the application's timesteps that may be spent
+    /// sampling ("we limit the number of monitored timesteps to at most 20%
+    /// of the total execution").
+    pub sampling_budget: f64,
+    /// Relative jitter applied to sampled executions, standing in for
+    /// run-to-run measurement noise.
+    pub measurement_noise: f64,
+    /// Number of noisy replicas of each phase added to the training corpus
+    /// (the paper samples multiple timesteps of each training phase).
+    pub corpus_replicas: usize,
+    /// Relative jitter used when generating the training corpus.
+    pub corpus_noise: f64,
+    /// Extra system power (W) charged to phases running on a throttled
+    /// configuration, modelling the cache-warmth loss from re-binding threads
+    /// that the paper identifies as the reason power is not reduced.
+    pub rebinding_power_w: f64,
+    /// Predictor hyper-parameters.
+    pub predictor: PredictorConfig,
+    /// Seed for all randomised steps (training shuffles, noise).
+    pub seed: u64,
+}
+
+impl Default for ActorConfig {
+    fn default() -> Self {
+        Self {
+            counter_registers: 2,
+            sampling_budget: 0.2,
+            measurement_noise: 0.03,
+            corpus_replicas: 6,
+            corpus_noise: 0.05,
+            rebinding_power_w: 6.0,
+            predictor: PredictorConfig::default(),
+            seed: 0xAC7012,
+        }
+    }
+}
+
+impl ActorConfig {
+    /// A fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        Self { corpus_replicas: 3, predictor: PredictorConfig::fast(), ..Self::default() }
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), ActorError> {
+        if self.counter_registers == 0 {
+            return Err(ActorError::InvalidConfig {
+                reason: "at least one counter register is required".into(),
+            });
+        }
+        if !(0.0 < self.sampling_budget && self.sampling_budget <= 1.0) {
+            return Err(ActorError::InvalidConfig {
+                reason: format!("sampling_budget must be in (0,1], got {}", self.sampling_budget),
+            });
+        }
+        if self.measurement_noise < 0.0 || self.corpus_noise < 0.0 {
+            return Err(ActorError::InvalidConfig {
+                reason: "noise levels must be non-negative".into(),
+            });
+        }
+        if self.corpus_replicas == 0 {
+            return Err(ActorError::InvalidConfig {
+                reason: "corpus_replicas must be at least 1".into(),
+            });
+        }
+        if self.rebinding_power_w < 0.0 {
+            return Err(ActorError::InvalidConfig {
+                reason: "rebinding_power_w must be non-negative".into(),
+            });
+        }
+        self.predictor.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_paper_constants() {
+        let c = ActorConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.counter_registers, 2);
+        assert!((c.sampling_budget - 0.2).abs() < 1e-12);
+        assert_eq!(c.predictor.folds, 10);
+        assert!(ActorConfig::fast().validate().is_ok());
+        assert!(PredictorConfig::fast().folds < PredictorConfig::default().folds);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = ActorConfig::default();
+        c.counter_registers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ActorConfig::default();
+        c.sampling_budget = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ActorConfig::default();
+        c.sampling_budget = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ActorConfig::default();
+        c.measurement_noise = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = ActorConfig::default();
+        c.corpus_replicas = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ActorConfig::default();
+        c.rebinding_power_w = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ActorConfig::default();
+        c.predictor.folds = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn predictor_config_converts_to_ensemble() {
+        let p = PredictorConfig::default();
+        let e = p.ensemble();
+        assert_eq!(e.folds, 10);
+        assert_eq!(e.hidden, vec![16]);
+    }
+}

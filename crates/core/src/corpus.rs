@@ -1,0 +1,256 @@
+//! Offline training corpus.
+//!
+//! "The ANNs are trained offline to model the relationship between
+//! performance counter event rates observed while sampling short periods of
+//! program execution and the resulting performance with various levels of
+//! concurrency" (Section I). A [`TrainingSample`] pairs the event-rate
+//! feature vector observed on the *sampling configuration* (all four cores)
+//! with the IPC achieved by the same phase on every configuration; a
+//! [`TrainingCorpus`] is a set of such samples plus the event set they were
+//! collected with, and supports the leave-one-application-out splits used in
+//! the paper's evaluation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use annlib::Dataset;
+use hwcounters::{EventRates, EventSet};
+use npb_workloads::{BenchmarkId, BenchmarkProfile};
+use xeon_sim::{Configuration, Machine};
+
+use crate::error::ActorError;
+
+/// One training sample: one (possibly noisy) observation of one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSample {
+    /// Benchmark the phase belongs to (used for leave-one-out splits).
+    pub benchmark: BenchmarkId,
+    /// Name of the phase.
+    pub phase_name: String,
+    /// Feature vector per Equation (2): sampled IPC followed by the monitored
+    /// event rates, all observed on the sampling configuration.
+    pub features: Vec<f64>,
+    /// Aggregate IPC observed on every configuration (targets and sample).
+    pub observed_ipc: Vec<(Configuration, f64)>,
+}
+
+impl TrainingSample {
+    /// Observed IPC on a specific configuration.
+    pub fn ipc_on(&self, config: Configuration) -> Option<f64> {
+        self.observed_ipc.iter().find(|(c, _)| *c == config).map(|(_, v)| *v)
+    }
+}
+
+/// A corpus of training samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingCorpus {
+    /// The samples.
+    pub samples: Vec<TrainingSample>,
+    /// The event set the features were built from.
+    pub event_set: EventSet,
+}
+
+impl TrainingCorpus {
+    /// Builds a corpus by running every phase of every supplied benchmark on
+    /// the machine model: `replicas` noisy observations per phase, each
+    /// observed on the sampling configuration (features) and on every
+    /// configuration (targets).
+    pub fn build<R: Rng + ?Sized>(
+        machine: &Machine,
+        benchmarks: &[BenchmarkProfile],
+        event_set: &EventSet,
+        replicas: usize,
+        noise: f64,
+        rng: &mut R,
+    ) -> Result<Self, ActorError> {
+        if benchmarks.is_empty() {
+            return Err(ActorError::EmptyCorpus { reason: "no benchmarks supplied".into() });
+        }
+        let replicas = replicas.max(1);
+        let mut samples = Vec::new();
+        for bench in benchmarks {
+            for phase in &bench.phases {
+                for _ in 0..replicas {
+                    let sample_exec = machine.simulate_phase_noisy(
+                        phase,
+                        &Configuration::SAMPLE.placement(machine.topology()),
+                        noise,
+                        rng,
+                    );
+                    let rates = EventRates::from_counters(&sample_exec.counters, event_set)
+                        .ok_or_else(|| ActorError::EmptyCorpus {
+                            reason: format!("phase {} produced no cycles", phase.name),
+                        })?;
+
+                    let mut observed = Vec::with_capacity(Configuration::ALL.len());
+                    for &config in &Configuration::ALL {
+                        let exec = machine.simulate_phase_noisy(
+                            phase,
+                            &config.placement(machine.topology()),
+                            noise,
+                            rng,
+                        );
+                        observed.push((config, exec.aggregate_ipc));
+                    }
+                    // Keep the sampling-configuration IPC consistent with the
+                    // feature vector (they describe the same observation).
+                    if let Some(entry) =
+                        observed.iter_mut().find(|(c, _)| *c == Configuration::SAMPLE)
+                    {
+                        entry.1 = rates.ipc();
+                    }
+                    samples.push(TrainingSample {
+                        benchmark: bench.id,
+                        phase_name: phase.name.clone(),
+                        features: rates.features(),
+                        observed_ipc: observed,
+                    });
+                }
+            }
+        }
+        Ok(Self { samples, event_set: event_set.clone() })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Benchmarks present in the corpus.
+    pub fn benchmarks(&self) -> Vec<BenchmarkId> {
+        let mut ids: Vec<BenchmarkId> = self.samples.iter().map(|s| s.benchmark).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Leave-one-application-out: everything except `excluded`.
+    pub fn excluding(&self, excluded: BenchmarkId) -> TrainingCorpus {
+        TrainingCorpus {
+            samples: self.samples.iter().filter(|s| s.benchmark != excluded).cloned().collect(),
+            event_set: self.event_set.clone(),
+        }
+    }
+
+    /// Only the samples of one benchmark.
+    pub fn only(&self, benchmark: BenchmarkId) -> TrainingCorpus {
+        TrainingCorpus {
+            samples: self.samples.iter().filter(|s| s.benchmark == benchmark).cloned().collect(),
+            event_set: self.event_set.clone(),
+        }
+    }
+
+    /// Builds the supervised dataset for one target configuration:
+    /// features → observed IPC on that configuration.
+    pub fn dataset_for_target(&self, target: Configuration) -> Result<Dataset, ActorError> {
+        if self.samples.is_empty() {
+            return Err(ActorError::EmptyCorpus { reason: "corpus has no samples".into() });
+        }
+        let mut xs = Vec::with_capacity(self.samples.len());
+        let mut ys = Vec::with_capacity(self.samples.len());
+        for s in &self.samples {
+            let ipc = s.ipc_on(target).ok_or_else(|| ActorError::EmptyCorpus {
+                reason: format!("sample {} lacks an observation for {}", s.phase_name, target),
+            })?;
+            xs.push(s.features.clone());
+            ys.push(vec![ipc]);
+        }
+        Dataset::new(xs, ys).map_err(ActorError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_workloads::suite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_corpus() -> TrainingCorpus {
+        let machine = Machine::xeon_qx6600();
+        let benches = vec![suite::benchmark(BenchmarkId::Cg), suite::benchmark(BenchmarkId::Is)];
+        let mut rng = StdRng::seed_from_u64(5);
+        TrainingCorpus::build(&machine, &benches, &EventSet::full(), 2, 0.05, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn corpus_covers_all_phases_and_replicas() {
+        let corpus = small_corpus();
+        // CG has 5 phases, IS has 3; 2 replicas each.
+        assert_eq!(corpus.len(), (5 + 3) * 2);
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.benchmarks(), vec![BenchmarkId::Cg, BenchmarkId::Is]);
+        for s in &corpus.samples {
+            assert_eq!(s.features.len(), 13, "12 event rates + sampled IPC");
+            assert_eq!(s.observed_ipc.len(), 5);
+            assert!(s.features[0] > 0.0, "sampled IPC must be positive");
+            assert!(s.ipc_on(Configuration::One).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let machine = Machine::xeon_qx6600();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            TrainingCorpus::build(&machine, &[], &EventSet::full(), 1, 0.0, &mut rng),
+            Err(ActorError::EmptyCorpus { .. })
+        ));
+    }
+
+    #[test]
+    fn leave_one_out_split_is_disjoint_and_complete() {
+        let corpus = small_corpus();
+        let without_cg = corpus.excluding(BenchmarkId::Cg);
+        let only_cg = corpus.only(BenchmarkId::Cg);
+        assert_eq!(without_cg.len() + only_cg.len(), corpus.len());
+        assert!(without_cg.samples.iter().all(|s| s.benchmark != BenchmarkId::Cg));
+        assert!(only_cg.samples.iter().all(|s| s.benchmark == BenchmarkId::Cg));
+        // Excluding a benchmark not present is a no-op.
+        assert_eq!(corpus.excluding(BenchmarkId::Bt).len(), corpus.len());
+    }
+
+    #[test]
+    fn dataset_for_target_has_matching_dimensions() {
+        let corpus = small_corpus();
+        let ds = corpus.dataset_for_target(Configuration::TwoLoose).unwrap();
+        assert_eq!(ds.len(), corpus.len());
+        assert_eq!(ds.input_dim(), 13);
+        assert_eq!(ds.output_dim(), 1);
+        // Empty corpus errors.
+        let empty = corpus.only(BenchmarkId::Bt);
+        assert!(empty.dataset_for_target(Configuration::One).is_err());
+    }
+
+    #[test]
+    fn noisy_replicas_differ_but_describe_the_same_phase() {
+        let corpus = small_corpus();
+        // Find the two replicas of cg.spmv: same name, different features.
+        let spmv: Vec<&TrainingSample> =
+            corpus.samples.iter().filter(|s| s.phase_name == "cg.spmv").collect();
+        assert_eq!(spmv.len(), 2);
+        assert_ne!(spmv[0].features, spmv[1].features);
+        // But they are close (5% jitter).
+        let rel = (spmv[0].features[0] - spmv[1].features[0]).abs() / spmv[0].features[0];
+        assert!(rel < 0.5);
+    }
+
+    #[test]
+    fn scaling_phases_show_higher_target_ipc_than_sampled_contention() {
+        // For a poorly-scaling benchmark like IS, the observed IPC on 2b
+        // should exceed the IPC on the saturated 4-core sample configuration.
+        let corpus = small_corpus();
+        let rank = corpus.samples.iter().find(|s| s.phase_name == "is.rank").unwrap();
+        let ipc_2b = rank.ipc_on(Configuration::TwoLoose).unwrap();
+        let ipc_4 = rank.ipc_on(Configuration::Four).unwrap();
+        assert!(
+            ipc_2b > ipc_4,
+            "IS rank phase should achieve higher IPC on 2b ({ipc_2b}) than on 4 ({ipc_4})"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the ACTOR runtime.
+
+use std::fmt;
+
+use annlib::AnnError;
+use xeon_sim::SimError;
+
+/// Errors raised by ACTOR's training, prediction and adaptation paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActorError {
+    /// The offline model training failed.
+    Training(AnnError),
+    /// The machine model rejected an input.
+    Simulation(SimError),
+    /// A feature vector did not match the predictor's expectations.
+    FeatureMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Provided dimensionality.
+        actual: usize,
+    },
+    /// The training corpus was empty or degenerate.
+    EmptyCorpus {
+        /// Explanation of what was missing.
+        reason: String,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Explanation.
+        reason: String,
+    },
+    /// Model (de)serialisation failed.
+    Serialisation {
+        /// Underlying error text.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ActorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorError::Training(e) => write!(f, "model training failed: {e}"),
+            ActorError::Simulation(e) => write!(f, "machine model error: {e}"),
+            ActorError::FeatureMismatch { expected, actual } => {
+                write!(f, "feature vector has {actual} entries, predictor expects {expected}")
+            }
+            ActorError::EmptyCorpus { reason } => write!(f, "empty training corpus: {reason}"),
+            ActorError::InvalidConfig { reason } => write!(f, "invalid ACTOR configuration: {reason}"),
+            ActorError::Serialisation { reason } => write!(f, "serialisation error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ActorError {}
+
+impl From<AnnError> for ActorError {
+    fn from(e: AnnError) -> Self {
+        ActorError::Training(e)
+    }
+}
+
+impl From<SimError> for ActorError {
+    fn from(e: SimError) -> Self {
+        ActorError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ActorError = AnnError::NumericalInstability.into();
+        assert!(matches!(e, ActorError::Training(_)));
+        assert!(e.to_string().contains("training"));
+
+        let e: ActorError = SimError::EmptyPlacement.into();
+        assert!(matches!(e, ActorError::Simulation(_)));
+        assert!(e.to_string().contains("machine model"));
+
+        let e = ActorError::FeatureMismatch { expected: 13, actual: 7 };
+        assert!(e.to_string().contains("13"));
+        assert!(ActorError::EmptyCorpus { reason: "no phases".into() }.to_string().contains("no phases"));
+        assert!(ActorError::InvalidConfig { reason: "bad".into() }.to_string().contains("bad"));
+        assert!(ActorError::Serialisation { reason: "io".into() }.to_string().contains("io"));
+    }
+}

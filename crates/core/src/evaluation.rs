@@ -1,0 +1,251 @@
+//! Shared leave-one-application-out evaluation driver.
+//!
+//! "We use each benchmark for evaluation by training as many models as there
+//! are applications, each time leaving one particular application out of the
+//! training process. In this way, we perform prediction for each application
+//! with a model that has never seen data from the target application"
+//! (Section V-A). Both the prediction-accuracy study (Figures 6 and 7) and
+//! the adaptation study (Figure 8) consume the output of this driver.
+
+use rand::Rng;
+
+use npb_workloads::{suite, BenchmarkId};
+use xeon_sim::{Configuration, Machine};
+
+use crate::config::ActorConfig;
+use crate::corpus::TrainingCorpus;
+use crate::error::ActorError;
+use crate::predictor::{AnnPredictor, IpcPredictor};
+use crate::sampling::{sample_phase, SamplingPlan};
+use crate::throttle::{select_configuration, ThrottleDecision};
+
+/// Everything ACTOR learned and decided about one phase of the left-out
+/// benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvaluation {
+    /// Phase name.
+    pub phase_name: String,
+    /// The sampled feature vector (Equation 2).
+    pub features: Vec<f64>,
+    /// The throttling decision derived from the predictions.
+    pub decision: ThrottleDecision,
+    /// Ground-truth aggregate IPC of the phase on every configuration
+    /// (clean, noise-free simulation).
+    pub observed_ipc: Vec<(Configuration, f64)>,
+}
+
+impl PhaseEvaluation {
+    /// Observed IPC on one configuration.
+    pub fn observed_on(&self, config: Configuration) -> f64 {
+        self.observed_ipc
+            .iter()
+            .find(|(c, _)| *c == config)
+            .map(|(_, v)| *v)
+            .expect("all configurations are simulated")
+    }
+
+    /// Configurations ranked best-first by observed IPC.
+    pub fn true_ranking(&self) -> Vec<Configuration> {
+        let mut ranked = self.observed_ipc.clone();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite IPC"));
+        ranked.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// 1-based rank of the chosen configuration in the true ranking.
+    pub fn chosen_rank(&self) -> usize {
+        self.true_ranking()
+            .iter()
+            .position(|&c| c == self.decision.chosen)
+            .map(|p| p + 1)
+            .expect("chosen configuration is always one of the five")
+    }
+}
+
+/// The evaluation of one left-out benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkEvaluation {
+    /// Which benchmark was left out (and evaluated).
+    pub id: BenchmarkId,
+    /// The sampling plan used for it.
+    pub plan: SamplingPlan,
+    /// Held-out generalisation estimate of the model used for it.
+    pub model_holdout_error: f64,
+    /// Per-phase evaluations.
+    pub phases: Vec<PhaseEvaluation>,
+}
+
+/// Runs the full leave-one-out evaluation over the NAS suite.
+///
+/// Two training corpora are built (full and reduced event set); each left-out
+/// benchmark is evaluated with the corpus matching its sampling plan, so the
+/// paper's reduced-event handling of FT/IS/MG is honoured.
+pub fn leave_one_out_evaluation<R: Rng + ?Sized>(
+    machine: &Machine,
+    config: &ActorConfig,
+    rng: &mut R,
+) -> Result<Vec<BenchmarkEvaluation>, ActorError> {
+    config.validate()?;
+    let benchmarks = suite::nas_suite();
+    evaluate_benchmarks(machine, config, &benchmarks, rng)
+}
+
+/// Same as [`leave_one_out_evaluation`] but over an explicit benchmark list
+/// (used by tests to keep runtimes small).
+pub fn evaluate_benchmarks<R: Rng + ?Sized>(
+    machine: &Machine,
+    config: &ActorConfig,
+    benchmarks: &[npb_workloads::BenchmarkProfile],
+    rng: &mut R,
+) -> Result<Vec<BenchmarkEvaluation>, ActorError> {
+    if benchmarks.len() < 2 {
+        return Err(ActorError::InvalidConfig {
+            reason: "leave-one-out evaluation needs at least two benchmarks".into(),
+        });
+    }
+
+    // Pre-compute the sampling plans so we know which event sets are needed.
+    let plans: Vec<SamplingPlan> = benchmarks
+        .iter()
+        .map(|b| SamplingPlan::for_benchmark(b, config))
+        .collect::<Result<_, _>>()?;
+
+    // Build one corpus per distinct event set over the whole suite.
+    let mut corpora: Vec<(hwcounters::EventSet, TrainingCorpus)> = Vec::new();
+    for plan in &plans {
+        if corpora.iter().any(|(set, _)| *set == plan.event_set) {
+            continue;
+        }
+        let corpus = TrainingCorpus::build(
+            machine,
+            benchmarks,
+            &plan.event_set,
+            config.corpus_replicas,
+            config.corpus_noise,
+            rng,
+        )?;
+        corpora.push((plan.event_set.clone(), corpus));
+    }
+
+    let mut evaluations = Vec::with_capacity(benchmarks.len());
+    for (bench, plan) in benchmarks.iter().zip(&plans) {
+        let corpus = &corpora
+            .iter()
+            .find(|(set, _)| *set == plan.event_set)
+            .expect("corpus built for every plan's event set")
+            .1;
+        let training = corpus.excluding(bench.id);
+        if training.is_empty() {
+            return Err(ActorError::EmptyCorpus {
+                reason: format!("no training data remains after excluding {}", bench.id),
+            });
+        }
+        let predictor = AnnPredictor::train(&training, &config.predictor, rng)?;
+
+        let mut phases = Vec::with_capacity(bench.phases.len());
+        for phase in &bench.phases {
+            let rates = sample_phase(machine, phase, plan, config.measurement_noise, rng)?;
+            let predictions = predictor.predict(&rates.features())?;
+            let decision = select_configuration(rates.ipc(), &predictions);
+            let observed_ipc: Vec<(Configuration, f64)> = Configuration::ALL
+                .iter()
+                .map(|&c| (c, machine.simulate_config(phase, c).aggregate_ipc))
+                .collect();
+            phases.push(PhaseEvaluation {
+                phase_name: phase.name.clone(),
+                features: rates.features(),
+                decision,
+                observed_ipc,
+            });
+        }
+        evaluations.push(BenchmarkEvaluation {
+            id: bench.id,
+            plan: plan.clone(),
+            model_holdout_error: predictor.mean_holdout_error(),
+            phases,
+        });
+    }
+    Ok(evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_eval() -> Vec<BenchmarkEvaluation> {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        let benchmarks = vec![
+            suite::benchmark(BenchmarkId::Cg),
+            suite::benchmark(BenchmarkId::Is),
+            suite::benchmark(BenchmarkId::Bt),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        evaluate_benchmarks(&machine, &config, &benchmarks, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn evaluation_covers_every_phase_of_every_benchmark() {
+        let evals = small_eval();
+        assert_eq!(evals.len(), 3);
+        let phases: usize = evals.iter().map(|e| e.phases.len()).sum();
+        assert_eq!(phases, 5 + 3 + 10);
+        for e in &evals {
+            for p in &e.phases {
+                assert_eq!(p.observed_ipc.len(), 5);
+                assert!(p.decision.sampled_ipc > 0.0);
+                assert_eq!(p.decision.ranked_predictions.len(), 4);
+                let rank = p.chosen_rank();
+                assert!((1..=5).contains(&rank));
+                assert_eq!(p.true_ranking().len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_avoid_catastrophic_configurations_for_is() {
+        // IS's rank phase is dramatically slower on four cores or on a
+        // tightly-coupled pair; a model trained on the other benchmarks
+        // should steer it away from the worst configuration.
+        let evals = small_eval();
+        let is_eval = evals.iter().find(|e| e.id == BenchmarkId::Is).unwrap();
+        for p in &is_eval.phases {
+            let worst = *p.true_ranking().last().unwrap();
+            assert_ne!(
+                p.decision.chosen, worst,
+                "phase {} chose the worst configuration",
+                p.phase_name
+            );
+        }
+    }
+
+    #[test]
+    fn needs_at_least_two_benchmarks() {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig::fast();
+        let mut rng = StdRng::seed_from_u64(1);
+        let one = vec![suite::benchmark(BenchmarkId::Cg)];
+        assert!(evaluate_benchmarks(&machine, &config, &one, &mut rng).is_err());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_for_a_seed() {
+        let run = || {
+            let machine = Machine::xeon_qx6600();
+            let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+            let benchmarks =
+                vec![suite::benchmark(BenchmarkId::Cg), suite::benchmark(BenchmarkId::Mg)];
+            let mut rng = StdRng::seed_from_u64(99);
+            evaluate_benchmarks(&machine, &config, &benchmarks, &mut rng).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            for (px, py) in x.phases.iter().zip(&y.phases) {
+                assert_eq!(px.decision.chosen, py.decision.chosen);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Oracle strategies used as comparison points in Figure 8.
+//!
+//! "We present results for two approaches based on the use of oracle-derived
+//! configurations. The one that we call the global optimal uses the best
+//! static configuration for an entire application. The second, the phase
+//! optimal, uses the best configuration for each phase."
+
+use npb_workloads::BenchmarkProfile;
+use xeon_sim::{Configuration, Machine};
+
+/// The best *static* configuration for the whole application (minimum total
+/// execution time over all configurations).
+pub fn global_optimal(machine: &Machine, bench: &BenchmarkProfile) -> Configuration {
+    Configuration::ALL
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let ta = bench.simulate(machine, a).time_s;
+            let tb = bench.simulate(machine, b).time_s;
+            ta.partial_cmp(&tb).expect("finite execution times")
+        })
+        .expect("at least one configuration")
+}
+
+/// The best configuration for each individual phase (minimum phase execution
+/// time), in phase order.
+pub fn phase_optimal(machine: &Machine, bench: &BenchmarkProfile) -> Vec<Configuration> {
+    bench
+        .phases
+        .iter()
+        .map(|phase| {
+            Configuration::ALL
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ta = machine.simulate_config(phase, a).time_s;
+                    let tb = machine.simulate_config(phase, b).time_s;
+                    ta.partial_cmp(&tb).expect("finite execution times")
+                })
+                .expect("at least one configuration")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_workloads::{suite, BenchmarkId};
+
+    #[test]
+    fn global_optimal_matches_the_scalability_classes() {
+        let machine = Machine::xeon_qx6600();
+        // Scaling class: four cores are globally optimal.
+        assert_eq!(global_optimal(&machine, &suite::benchmark(BenchmarkId::Bt)), Configuration::Four);
+        // Pathological class: two loosely-coupled cores win.
+        assert_eq!(
+            global_optimal(&machine, &suite::benchmark(BenchmarkId::Is)),
+            Configuration::TwoLoose
+        );
+        assert_eq!(
+            global_optimal(&machine, &suite::benchmark(BenchmarkId::Mg)),
+            Configuration::TwoLoose
+        );
+    }
+
+    #[test]
+    fn phase_optimal_is_at_least_as_good_as_global_optimal() {
+        let machine = Machine::xeon_qx6600();
+        for id in [BenchmarkId::Sp, BenchmarkId::Cg, BenchmarkId::Is] {
+            let bench = suite::benchmark(id);
+            let global = bench.simulate(&machine, global_optimal(&machine, &bench));
+            let per_phase = bench.simulate_per_phase(&machine, &phase_optimal(&machine, &bench));
+            assert!(
+                per_phase.time_s <= global.time_s * (1.0 + 1e-9),
+                "{id}: phase-optimal ({}) must not be slower than global optimal ({})",
+                per_phase.time_s,
+                global.time_s
+            );
+        }
+    }
+
+    #[test]
+    fn phase_optimal_has_one_choice_per_phase() {
+        let machine = Machine::xeon_qx6600();
+        let sp = suite::benchmark(BenchmarkId::Sp);
+        let choices = phase_optimal(&machine, &sp);
+        assert_eq!(choices.len(), sp.num_phases());
+        // SP's phase diversity means not every phase picks the same config.
+        let distinct: std::collections::HashSet<_> = choices.iter().collect();
+        assert!(distinct.len() > 1, "SP's phases should not all prefer the same configuration");
+    }
+}

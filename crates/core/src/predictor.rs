@@ -1,0 +1,190 @@
+//! ANN-based IPC prediction across threading configurations.
+//!
+//! Equation (2) of the paper: for each target configuration `T`, a model
+//! `F_T` maps the event rates observed on the sampling configuration `S` to
+//! the IPC expected on `T`. ACTOR trains one cross-validation ANN ensemble
+//! per target configuration and evaluates all of them on the same feature
+//! vector at runtime.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use annlib::CrossValEnsemble;
+use hwcounters::EventSet;
+use xeon_sim::Configuration;
+
+use crate::config::PredictorConfig;
+use crate::corpus::TrainingCorpus;
+use crate::error::ActorError;
+
+/// A predictor of per-configuration IPC from sampled event rates.
+pub trait IpcPredictor {
+    /// Predicts the IPC of every *target* configuration (everything except
+    /// the sampling configuration) for the given feature vector.
+    fn predict(&self, features: &[f64]) -> Result<Vec<(Configuration, f64)>, ActorError>;
+
+    /// The event set the predictor expects features for.
+    fn event_set(&self) -> &EventSet;
+
+    /// Expected feature dimensionality (`1 + monitored events`).
+    fn feature_dim(&self) -> usize {
+        self.event_set().len() + 1
+    }
+}
+
+/// The paper's predictor: one ANN cross-validation ensemble per target
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnPredictor {
+    event_set: EventSet,
+    models: Vec<(Configuration, CrossValEnsemble)>,
+}
+
+impl AnnPredictor {
+    /// Trains the predictor on a corpus: one ensemble per entry of
+    /// [`Configuration::TARGETS`].
+    pub fn train<R: Rng + ?Sized>(
+        corpus: &TrainingCorpus,
+        config: &PredictorConfig,
+        rng: &mut R,
+    ) -> Result<Self, ActorError> {
+        config.validate()?;
+        if corpus.is_empty() {
+            return Err(ActorError::EmptyCorpus { reason: "cannot train on an empty corpus".into() });
+        }
+        let ensemble_config = config.ensemble();
+        let mut models = Vec::with_capacity(Configuration::TARGETS.len());
+        for &target in &Configuration::TARGETS {
+            let dataset = corpus.dataset_for_target(target)?;
+            let ensemble = CrossValEnsemble::train(&dataset, &ensemble_config, rng)?;
+            models.push((target, ensemble));
+        }
+        Ok(Self { event_set: corpus.event_set.clone(), models })
+    }
+
+    /// Mean held-out relative error across the per-target ensembles, a cheap
+    /// generalisation estimate from cross validation.
+    pub fn mean_holdout_error(&self) -> f64 {
+        if self.models.is_empty() {
+            return 0.0;
+        }
+        self.models.iter().map(|(_, m)| m.mean_holdout_relative_error()).sum::<f64>()
+            / self.models.len() as f64
+    }
+
+    /// The per-target ensembles.
+    pub fn models(&self) -> &[(Configuration, CrossValEnsemble)] {
+        &self.models
+    }
+
+    /// Serialises the trained predictor (all ensembles + event set) to JSON.
+    pub fn to_json(&self) -> Result<String, ActorError> {
+        serde_json::to_string(self)
+            .map_err(|e| ActorError::Serialisation { reason: e.to_string() })
+    }
+
+    /// Restores a predictor from JSON.
+    pub fn from_json(json: &str) -> Result<Self, ActorError> {
+        serde_json::from_str(json)
+            .map_err(|e| ActorError::Serialisation { reason: e.to_string() })
+    }
+}
+
+impl IpcPredictor for AnnPredictor {
+    fn predict(&self, features: &[f64]) -> Result<Vec<(Configuration, f64)>, ActorError> {
+        let expected = self.feature_dim();
+        if features.len() != expected {
+            return Err(ActorError::FeatureMismatch { expected, actual: features.len() });
+        }
+        let mut out = Vec::with_capacity(self.models.len());
+        for (config, model) in &self.models {
+            let ipc = model.predict(features)?[0];
+            // IPC is physically non-negative; clamp tiny negative artefacts.
+            out.push((*config, ipc.max(0.0)));
+        }
+        Ok(out)
+    }
+
+    fn event_set(&self) -> &EventSet {
+        &self.event_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ActorConfig;
+    use npb_workloads::{suite, BenchmarkId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xeon_sim::Machine;
+
+    fn corpus(benchmarks: &[BenchmarkId]) -> TrainingCorpus {
+        let machine = Machine::xeon_qx6600();
+        let benches: Vec<_> = benchmarks.iter().map(|&b| suite::benchmark(b)).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        TrainingCorpus::build(&machine, &benches, &EventSet::full(), 3, 0.05, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn training_produces_one_model_per_target() {
+        let corpus = corpus(&[BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let predictor = AnnPredictor::train(&corpus, &PredictorConfig::fast(), &mut rng).unwrap();
+        assert_eq!(predictor.models().len(), Configuration::TARGETS.len());
+        assert_eq!(predictor.feature_dim(), 13);
+        assert!(predictor.mean_holdout_error() < 1.0);
+    }
+
+    #[test]
+    fn predictions_have_sane_shape_and_ordering_signal() {
+        let config = ActorConfig::fast();
+        let train_corpus = corpus(&[BenchmarkId::Cg, BenchmarkId::Mg, BenchmarkId::Sp]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let predictor = AnnPredictor::train(&train_corpus, &config.predictor, &mut rng).unwrap();
+
+        // Evaluate on a benchmark the model never saw (IS).
+        let test_corpus = corpus(&[BenchmarkId::Is]);
+        for sample in &test_corpus.samples {
+            let preds = predictor.predict(&sample.features).unwrap();
+            assert_eq!(preds.len(), 4);
+            for (c, ipc) in &preds {
+                assert!(Configuration::TARGETS.contains(c));
+                assert!(ipc.is_finite() && *ipc >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_validates_feature_dimension() {
+        let corpus = corpus(&[BenchmarkId::Cg, BenchmarkId::Is]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let predictor = AnnPredictor::train(&corpus, &PredictorConfig::fast(), &mut rng).unwrap();
+        assert!(matches!(
+            predictor.predict(&[1.0, 2.0]),
+            Err(ActorError::FeatureMismatch { expected: 13, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn training_rejects_empty_corpus_and_bad_config() {
+        let c = corpus(&[BenchmarkId::Cg]);
+        let empty = c.only(BenchmarkId::Bt);
+        let mut rng = StdRng::seed_from_u64(19);
+        assert!(AnnPredictor::train(&empty, &PredictorConfig::fast(), &mut rng).is_err());
+        let bad = PredictorConfig { folds: 1, ..PredictorConfig::fast() };
+        assert!(AnnPredictor::train(&c, &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let corpus = corpus(&[BenchmarkId::Cg, BenchmarkId::Is]);
+        let mut rng = StdRng::seed_from_u64(23);
+        let predictor = AnnPredictor::train(&corpus, &PredictorConfig::fast(), &mut rng).unwrap();
+        let json = predictor.to_json().unwrap();
+        let restored = AnnPredictor::from_json(&json).unwrap();
+        let x = &corpus.samples[0].features;
+        assert_eq!(predictor.predict(x).unwrap(), restored.predict(x).unwrap());
+        assert!(AnnPredictor::from_json("garbage").is_err());
+    }
+}

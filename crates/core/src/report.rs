@@ -1,0 +1,155 @@
+//! Plain-text / markdown / CSV table formatting for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder used by the benchmark harness to
+/// print figure data in a readable form and to emit CSV for plotting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; the row is padded or truncated to the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:>width$}  ", width = w);
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, quoting cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant decimals for table cells.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["bench", "1", "4"]);
+        t.push_row(vec!["BT", "400.1", "148.9"]);
+        t.push_row(vec!["IS"]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned_and_complete() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.to_text();
+        assert!(text.contains("bench"));
+        assert!(text.contains("400.1"));
+        assert!(text.lines().count() == 4);
+        // Short rows are padded.
+        assert!(text.lines().last().unwrap().contains("IS"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| bench | 1 | 4 |"));
+        assert!(md.contains("|---|---|---|"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x,y", "has \"quote\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt_pct(0.0651), "6.5%");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["only"]);
+        assert!(t.is_empty());
+        assert!(t.to_text().contains("only"));
+        assert_eq!(t.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Live ACTOR runtime: a [`phase_rt::RegionListener`] that throttles real
+//! parallel regions.
+//!
+//! Two throttling modes are provided for the live path (where phases are real
+//! code running on real threads rather than machine-model profiles):
+//!
+//! * [`ThrottleMode::Search`] — the online empirical-search strategy of the
+//!   authors' earlier work [17]: the first executions of each phase try every
+//!   candidate binding once, measuring wall-clock time; the fastest binding
+//!   is then locked in for all subsequent executions. This is the strategy
+//!   ACTOR's prediction approach is designed to out-scale (its exploration
+//!   cost grows with the number of configurations), but it is fully
+//!   model-free and therefore ideal for live demonstrations.
+//! * [`ThrottleMode::Fixed`] — apply a pre-computed plan (e.g. decisions
+//!   produced by the ANN predictor offline) to the phases of a live program.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use phase_rt::{Binding, PhaseId, RegionEvent, RegionListener};
+
+/// How the live runtime decides per-phase bindings.
+#[derive(Debug, Clone)]
+pub enum ThrottleMode {
+    /// Measure every candidate binding once per phase, then lock the fastest.
+    Search {
+        /// Candidate bindings to explore, in exploration order.
+        candidates: Vec<Binding>,
+    },
+    /// Apply a fixed phase → binding plan; phases not in the plan run with
+    /// whatever the application requested.
+    Fixed {
+        /// The plan.
+        plan: HashMap<PhaseId, Binding>,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct SearchState {
+    /// Total observed time (s) per candidate index.
+    observed: Vec<(usize, f64)>,
+    /// Locked decision, once every candidate has been measured.
+    decision: Option<usize>,
+    /// Candidate that the most recent execution was asked to use.
+    in_flight: Option<usize>,
+}
+
+/// The live ACTOR runtime.
+#[derive(Debug)]
+pub struct ActorRuntime {
+    mode: ThrottleMode,
+    search: Mutex<HashMap<PhaseId, SearchState>>,
+}
+
+impl ActorRuntime {
+    /// Creates a runtime in the given mode.
+    pub fn new(mode: ThrottleMode) -> Self {
+        Self { mode, search: Mutex::new(HashMap::new()) }
+    }
+
+    /// Creates a search-mode runtime over the standard five configurations
+    /// mapped onto the given machine shape.
+    pub fn search_over_standard_configs(shape: &phase_rt::MachineShape) -> Self {
+        let candidates = vec![
+            Binding::packed(1, shape),
+            Binding::packed(2, shape),
+            Binding::spread(2, shape),
+            Binding::spread(3, shape),
+            Binding::packed(shape.num_cores, shape),
+        ];
+        Self::new(ThrottleMode::Search { candidates })
+    }
+
+    /// The decision currently in force for a phase (search mode only):
+    /// `None` while still exploring.
+    pub fn decision_for(&self, phase: PhaseId) -> Option<Binding> {
+        match &self.mode {
+            ThrottleMode::Fixed { plan } => plan.get(&phase).cloned(),
+            ThrottleMode::Search { candidates } => {
+                let search = self.search.lock();
+                search
+                    .get(&phase)
+                    .and_then(|s| s.decision)
+                    .and_then(|idx| candidates.get(idx).cloned())
+            }
+        }
+    }
+
+    /// All locked decisions (search mode).
+    pub fn decisions(&self) -> Vec<(PhaseId, Binding)> {
+        match &self.mode {
+            ThrottleMode::Fixed { plan } => plan.iter().map(|(p, b)| (*p, b.clone())).collect(),
+            ThrottleMode::Search { candidates } => {
+                let search = self.search.lock();
+                let mut out: Vec<(PhaseId, Binding)> = search
+                    .iter()
+                    .filter_map(|(p, s)| s.decision.map(|i| (*p, candidates[i].clone())))
+                    .collect();
+                out.sort_by_key(|(p, _)| *p);
+                out
+            }
+        }
+    }
+}
+
+impl RegionListener for ActorRuntime {
+    fn before_region(&self, phase: PhaseId, _requested: &Binding, _instance: u64) -> Option<Binding> {
+        match &self.mode {
+            ThrottleMode::Fixed { plan } => plan.get(&phase).cloned(),
+            ThrottleMode::Search { candidates } => {
+                if candidates.is_empty() {
+                    return None;
+                }
+                let mut search = self.search.lock();
+                let state = search.entry(phase).or_default();
+                let idx = match state.decision {
+                    Some(idx) => idx,
+                    None => {
+                        let next = state.observed.len().min(candidates.len() - 1);
+                        state.in_flight = Some(next);
+                        next
+                    }
+                };
+                Some(candidates[idx].clone())
+            }
+        }
+    }
+
+    fn after_region(&self, event: &RegionEvent) {
+        if let ThrottleMode::Search { candidates } = &self.mode {
+            let mut search = self.search.lock();
+            let Some(state) = search.get_mut(&event.phase) else { return };
+            if state.decision.is_some() {
+                return;
+            }
+            if let Some(idx) = state.in_flight.take() {
+                state.observed.push((idx, event.duration.as_secs_f64()));
+                if state.observed.len() >= candidates.len() {
+                    let best = state
+                        .observed
+                        .iter()
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite durations"))
+                        .map(|(idx, _)| *idx);
+                    state.decision = best;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_rt::{MachineShape, Team};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fixed_mode_applies_the_plan() {
+        let shape = MachineShape::quad_core();
+        let mut plan = HashMap::new();
+        plan.insert(PhaseId::new(1), Binding::packed(1, &shape));
+        let runtime = ActorRuntime::new(ThrottleMode::Fixed { plan });
+        let requested = Binding::packed(4, &shape);
+        let throttled = runtime.before_region(PhaseId::new(1), &requested, 0).unwrap();
+        assert_eq!(throttled.num_threads(), 1);
+        assert!(runtime.before_region(PhaseId::new(2), &requested, 0).is_none());
+        assert_eq!(runtime.decisions().len(), 1);
+        assert_eq!(runtime.decision_for(PhaseId::new(1)).unwrap().num_threads(), 1);
+    }
+
+    #[test]
+    fn search_mode_explores_then_locks_the_fastest_binding() {
+        let shape = MachineShape::quad_core();
+        let candidates =
+            vec![Binding::packed(1, &shape), Binding::spread(2, &shape), Binding::packed(4, &shape)];
+        let runtime = ActorRuntime::new(ThrottleMode::Search { candidates: candidates.clone() });
+        let phase = PhaseId::new(7);
+        let requested = Binding::packed(4, &shape);
+
+        // Simulate three executions with known durations: the 2-thread
+        // binding is fastest.
+        let durations = [30, 10, 20];
+        for (i, ms) in durations.iter().enumerate() {
+            let binding = runtime.before_region(phase, &requested, i as u64).unwrap();
+            assert_eq!(binding, candidates[i], "exploration proceeds in candidate order");
+            runtime.after_region(&RegionEvent {
+                phase,
+                binding,
+                duration: Duration::from_millis(*ms),
+                instance: i as u64,
+            });
+        }
+        let decided = runtime.decision_for(phase).unwrap();
+        assert_eq!(decided, candidates[1]);
+        // Subsequent executions keep the decision.
+        let again = runtime.before_region(phase, &requested, 3).unwrap();
+        assert_eq!(again, candidates[1]);
+        assert_eq!(runtime.decisions(), vec![(phase, candidates[1].clone())]);
+    }
+
+    #[test]
+    fn search_runtime_drives_a_live_team() {
+        let team = Team::new(4).unwrap();
+        let shape = *team.shape();
+        let runtime = Arc::new(ActorRuntime::search_over_standard_configs(&shape));
+        team.set_listener(runtime.clone());
+        let phase = PhaseId::new(42);
+        let requested = Binding::packed(4, &shape);
+        // Run enough instances to finish the 5-candidate exploration.
+        for _ in 0..8 {
+            team.run_region(phase, &requested, |_ctx| {
+                // A tiny amount of work.
+                std::hint::black_box((0..1000).sum::<u64>());
+            });
+        }
+        assert!(
+            runtime.decision_for(phase).is_some(),
+            "after exploring all candidates the runtime must lock a decision"
+        );
+    }
+
+    #[test]
+    fn empty_candidate_list_never_overrides() {
+        let shape = MachineShape::quad_core();
+        let runtime = ActorRuntime::new(ThrottleMode::Search { candidates: vec![] });
+        assert!(runtime.before_region(PhaseId::new(0), &Binding::packed(2, &shape), 0).is_none());
+        assert!(runtime.decisions().is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Scalability and energy-efficiency study (Section III, Figures 1–3).
+
+use serde::{Deserialize, Serialize};
+
+use npb_workloads::{suite, BenchmarkId};
+use xeon_sim::{Configuration, Machine};
+
+/// Whole-benchmark result on one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigOutcome {
+    /// The configuration.
+    pub config: Configuration,
+    /// Execution time (s) — Figure 1.
+    pub time_s: f64,
+    /// Average system power (W) — Figure 3.
+    pub power_w: f64,
+    /// Energy (J) — Figure 3.
+    pub energy_j: f64,
+    /// Energy-delay-squared (J·s²).
+    pub ed2: f64,
+}
+
+/// Scalability results of one benchmark across all configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkScalability {
+    /// The benchmark.
+    pub id: BenchmarkId,
+    /// One outcome per configuration, in [`Configuration::ALL`] order.
+    pub per_config: Vec<ConfigOutcome>,
+}
+
+impl BenchmarkScalability {
+    /// The outcome for one configuration.
+    pub fn get(&self, config: Configuration) -> &ConfigOutcome {
+        self.per_config.iter().find(|o| o.config == config).expect("all configurations present")
+    }
+
+    /// Speedup of `config` relative to the single-threaded execution.
+    pub fn speedup(&self, config: Configuration) -> f64 {
+        self.get(Configuration::One).time_s / self.get(config).time_s
+    }
+
+    /// Ratio of power on `config` to power on the single-threaded execution.
+    pub fn power_ratio(&self, config: Configuration) -> f64 {
+        self.get(config).power_w / self.get(Configuration::One).power_w
+    }
+
+    /// The configuration with the lowest execution time.
+    pub fn best_time(&self) -> Configuration {
+        self.per_config
+            .iter()
+            .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"))
+            .expect("non-empty")
+            .config
+    }
+}
+
+/// The whole Section III study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityReport {
+    /// One row per benchmark.
+    pub rows: Vec<BenchmarkScalability>,
+}
+
+impl ScalabilityReport {
+    /// Results for one benchmark.
+    pub fn benchmark(&self, id: BenchmarkId) -> Option<&BenchmarkScalability> {
+        self.rows.iter().find(|r| r.id == id)
+    }
+
+    /// Geometric mean of a per-benchmark quantity (used for the bottom-right
+    /// panel of Figure 3).
+    pub fn geomean_over_benchmarks(&self, f: impl Fn(&BenchmarkScalability) -> f64) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| f(r).max(1e-12).ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Mean speedup of the scaling class {BT, FT, LU-HP} on four cores
+    /// (paper: 2.37×).
+    pub fn scaling_class_speedup(&self) -> f64 {
+        let ids = [BenchmarkId::Bt, BenchmarkId::Ft, BenchmarkId::LuHp];
+        let mut total = 0.0;
+        let mut n = 0;
+        for id in ids {
+            if let Some(r) = self.benchmark(id) {
+                total += r.speedup(Configuration::Four);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Mean four-core vs one-core power growth over the suite (paper: +14.2 %).
+    pub fn mean_power_growth(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.power_ratio(Configuration::Four) - 1.0).sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Mean relative change in energy from one core to four cores
+    /// (paper: −0.7 %, i.e. essentially flat).
+    pub fn mean_energy_change(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .map(|r| r.get(Configuration::Four).energy_j / r.get(Configuration::One).energy_j - 1.0)
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+}
+
+/// Runs the Section III study over the whole suite.
+pub fn scalability_report(machine: &Machine) -> ScalabilityReport {
+    let rows = suite::scalability_study(machine)
+        .into_iter()
+        .map(|row| BenchmarkScalability {
+            id: row.id,
+            per_config: row
+                .by_config
+                .iter()
+                .map(|(config, agg)| ConfigOutcome {
+                    config: *config,
+                    time_s: agg.time_s,
+                    power_w: agg.avg_power_w(),
+                    energy_j: agg.energy_j,
+                    ed2: agg.ed2(),
+                })
+                .collect(),
+        })
+        .collect();
+    ScalabilityReport { rows }
+}
+
+/// One row of Figure 2: per-phase aggregate IPC on every configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseIpcRow {
+    /// Phase name.
+    pub phase: String,
+    /// Aggregate IPC per configuration.
+    pub ipc_by_config: Vec<(Configuration, f64)>,
+}
+
+impl PhaseIpcRow {
+    /// The best configuration for this phase by IPC.
+    pub fn best_config(&self) -> Configuration {
+        self.ipc_by_config
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty")
+            .0
+    }
+
+    /// The maximum IPC across configurations.
+    pub fn max_ipc(&self) -> f64 {
+        self.ipc_by_config.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max)
+    }
+}
+
+/// Runs the Figure-2 study: per-phase IPC of one benchmark (the paper plots
+/// SP) on every configuration.
+pub fn phase_ipc_study(machine: &Machine, id: BenchmarkId) -> Vec<PhaseIpcRow> {
+    let bench = suite::benchmark(id);
+    bench
+        .phases
+        .iter()
+        .map(|phase| PhaseIpcRow {
+            phase: phase.name.clone(),
+            ipc_by_config: Configuration::ALL
+                .iter()
+                .map(|&c| (c, machine.simulate_config(phase, c).aggregate_ipc))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ScalabilityReport {
+        scalability_report(&Machine::xeon_qx6600())
+    }
+
+    #[test]
+    fn report_covers_the_whole_suite() {
+        let r = report();
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert_eq!(row.per_config.len(), 5);
+            for o in &row.per_config {
+                assert!(o.time_s > 0.0 && o.energy_j > 0.0 && o.power_w > 50.0 && o.ed2 > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn headline_scalability_statistics_are_in_paper_bands() {
+        let r = report();
+        let class_speedup = r.scaling_class_speedup();
+        assert!(
+            (1.9..3.2).contains(&class_speedup),
+            "scaling-class speedup {class_speedup:.2} outside band (paper: 2.37)"
+        );
+        let power_growth = r.mean_power_growth();
+        assert!(
+            (0.05..0.35).contains(&power_growth),
+            "mean power growth {power_growth:.3} outside band (paper: 0.142)"
+        );
+        // Suite-wide energy at four cores stays within ±40% of the one-core
+        // energy (the paper reports an essentially flat -0.7%).
+        let energy_change = r.mean_energy_change();
+        assert!(
+            energy_change.abs() < 0.4,
+            "mean energy change {energy_change:.2} too far from flat"
+        );
+    }
+
+    #[test]
+    fn best_time_configs_match_scalability_classes() {
+        let r = report();
+        assert_eq!(r.benchmark(BenchmarkId::Bt).unwrap().best_time(), Configuration::Four);
+        assert_eq!(r.benchmark(BenchmarkId::Is).unwrap().best_time(), Configuration::TwoLoose);
+        assert_eq!(r.benchmark(BenchmarkId::Mg).unwrap().best_time(), Configuration::TwoLoose);
+        assert!(r.benchmark(BenchmarkId::Bt).unwrap().power_ratio(Configuration::Four) > 1.1);
+        assert!(r.geomean_over_benchmarks(|b| b.power_ratio(Configuration::Four)) > 1.0);
+    }
+
+    #[test]
+    fn sp_phases_are_diverse_like_figure_2() {
+        let machine = Machine::xeon_qx6600();
+        let rows = phase_ipc_study(&machine, BenchmarkId::Sp);
+        assert_eq!(rows.len(), 12, "SP has twelve phases in Figure 2");
+        let max_ipc = rows.iter().map(|r| r.max_ipc()).fold(f64::MIN, f64::max);
+        let min_ipc = rows.iter().map(|r| r.max_ipc()).fold(f64::MAX, f64::min);
+        assert!(
+            max_ipc / min_ipc > 2.0,
+            "SP's phases should span a wide IPC range ({min_ipc:.2}..{max_ipc:.2})"
+        );
+        // Not every phase prefers the same configuration — the motivation for
+        // phase-level adaptation.
+        let best: std::collections::HashSet<_> = rows.iter().map(|r| r.best_config()).collect();
+        assert!(best.len() > 1);
+        // Aggregate IPC on four cores can exceed 1 instruction per cycle.
+        assert!(max_ipc > 1.0);
+    }
+}

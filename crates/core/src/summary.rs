@@ -1,0 +1,250 @@
+//! Headline paper-vs-reproduction comparison.
+//!
+//! Collects the quantitative claims scattered through the paper's text
+//! (Sections III and V) and pairs each with the value measured by this
+//! reproduction, for EXPERIMENTS.md and the `summary_stats` binary.
+
+use serde::{Deserialize, Serialize};
+
+use npb_workloads::BenchmarkId;
+use xeon_sim::Configuration;
+
+use crate::accuracy::AccuracyStudy;
+use crate::adaptation::{AdaptationStudy, Metric, Strategy};
+use crate::scalability::ScalabilityReport;
+
+/// One headline number: the paper's value and ours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineEntry {
+    /// Short description of the claim.
+    pub name: String,
+    /// Value reported by the paper.
+    pub paper: f64,
+    /// Value measured by this reproduction.
+    pub measured: f64,
+    /// Unit / interpretation of both values.
+    pub unit: String,
+}
+
+impl HeadlineEntry {
+    fn new(name: &str, paper: f64, measured: f64, unit: &str) -> Self {
+        Self { name: name.into(), paper, measured, unit: unit.into() }
+    }
+
+    /// Whether the measured value agrees with the paper in *direction*
+    /// (same sign of effect relative to the neutral value 0 or 1 implied by
+    /// the unit).
+    pub fn same_direction(&self) -> bool {
+        let neutral = if self.unit.contains('×') { 1.0 } else { 0.0 };
+        (self.paper - neutral).signum() == (self.measured - neutral).signum()
+            || (self.paper - neutral).abs() < 1e-9
+            || (self.measured - neutral).abs() < 1e-9
+    }
+}
+
+/// The full set of headline comparisons.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HeadlineNumbers {
+    /// The entries, in paper order.
+    pub entries: Vec<HeadlineEntry>,
+}
+
+impl HeadlineNumbers {
+    /// Entries as a markdown table (used by EXPERIMENTS.md generation).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| Claim | Paper | Reproduction | Unit |\n|---|---:|---:|---|\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "| {} | {:.3} | {:.3} | {} |\n",
+                e.name, e.paper, e.measured, e.unit
+            ));
+        }
+        out
+    }
+
+    /// Fraction of entries whose direction matches the paper.
+    pub fn direction_agreement(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 1.0;
+        }
+        self.entries.iter().filter(|e| e.same_direction()).count() as f64 / self.entries.len() as f64
+    }
+}
+
+/// Builds the headline comparison from whichever studies are available.
+pub fn paper_comparison(
+    scalability: &ScalabilityReport,
+    accuracy: Option<&AccuracyStudy>,
+    adaptation: Option<&AdaptationStudy>,
+) -> HeadlineNumbers {
+    let mut entries = Vec::new();
+
+    // --- Section III ---------------------------------------------------
+    entries.push(HeadlineEntry::new(
+        "Scaling-class mean speedup on 4 cores (BT, FT, LU-HP)",
+        2.37,
+        scalability.scaling_class_speedup(),
+        "× vs 1 core",
+    ));
+    if let Some(bt) = scalability.benchmark(BenchmarkId::Bt) {
+        entries.push(HeadlineEntry::new(
+            "BT speedup on 4 cores",
+            2.69,
+            bt.speedup(Configuration::Four),
+            "× vs 1 core",
+        ));
+        entries.push(HeadlineEntry::new(
+            "BT power increase on 4 cores",
+            1.31,
+            bt.power_ratio(Configuration::Four),
+            "× vs 1 core",
+        ));
+    }
+    if let Some(is) = scalability.benchmark(BenchmarkId::Is) {
+        entries.push(HeadlineEntry::new(
+            "IS slowdown: tightly vs loosely coupled pair",
+            2.04,
+            is.get(Configuration::TwoTight).time_s / is.get(Configuration::TwoLoose).time_s,
+            "× (2a / 2b)",
+        ));
+        entries.push(HeadlineEntry::new(
+            "IS slowdown on 4 cores vs 1 core",
+            1.40,
+            is.get(Configuration::Four).time_s / is.get(Configuration::One).time_s,
+            "× (4 / 1)",
+        ));
+    }
+    entries.push(HeadlineEntry::new(
+        "Mean system-power growth, 1 -> 4 cores",
+        0.142,
+        scalability.mean_power_growth(),
+        "fraction",
+    ));
+    entries.push(HeadlineEntry::new(
+        "Mean energy change, 1 -> 4 cores",
+        -0.007,
+        scalability.mean_energy_change(),
+        "fraction",
+    ));
+
+    // --- Section V-A ------------------------------------------------------
+    if let Some(acc) = accuracy {
+        entries.push(HeadlineEntry::new(
+            "Median IPC prediction error",
+            0.091,
+            acc.median_error(),
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Predictions with <5% error",
+            0.292,
+            acc.fraction_below(0.05),
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Phases where the best configuration is selected",
+            0.593,
+            acc.best_selection_rate(),
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Phases where the worst configuration is selected",
+            0.0,
+            acc.worst_selection_rate(),
+            "fraction",
+        ));
+    }
+
+    // --- Section V-B ------------------------------------------------------
+    if let Some(adapt) = adaptation {
+        let pred_time = adapt.average_normalised(Strategy::Prediction, Metric::Time);
+        let pred_power = adapt.average_normalised(Strategy::Prediction, Metric::Power);
+        let pred_energy = adapt.average_normalised(Strategy::Prediction, Metric::Energy);
+        let pred_ed2 = adapt.average_normalised(Strategy::Prediction, Metric::Ed2);
+        entries.push(HeadlineEntry::new(
+            "Prediction: execution-time reduction vs 4 cores",
+            0.065,
+            1.0 - pred_time,
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Prediction: power change vs 4 cores",
+            0.015,
+            pred_power - 1.0,
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Prediction: energy reduction vs 4 cores",
+            0.052,
+            1.0 - pred_energy,
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Prediction: ED2 reduction vs 4 cores",
+            0.172,
+            1.0 - pred_ed2,
+            "fraction",
+        ));
+        entries.push(HeadlineEntry::new(
+            "Phase-optimal oracle: ED2 reduction vs 4 cores",
+            0.29,
+            1.0 - adapt.average_normalised(Strategy::PhaseOptimal, Metric::Ed2),
+            "fraction",
+        ));
+        if let Some(is) = adapt.benchmark(BenchmarkId::Is) {
+            entries.push(HeadlineEntry::new(
+                "IS: ED2 reduction through prediction",
+                0.716,
+                1.0 - is.normalised(Strategy::Prediction, Metric::Ed2),
+                "fraction",
+            ));
+        }
+    }
+
+    HeadlineNumbers { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalability::scalability_report;
+    use xeon_sim::Machine;
+
+    #[test]
+    fn scalability_only_comparison_has_section_iii_entries() {
+        let report = scalability_report(&Machine::xeon_qx6600());
+        let headline = paper_comparison(&report, None, None);
+        assert!(headline.entries.len() >= 7);
+        assert!(headline.entries.iter().all(|e| e.measured.is_finite()));
+        // Most Section III directions should agree with the paper.
+        assert!(
+            headline.direction_agreement() > 0.7,
+            "direction agreement {:.2} too low",
+            headline.direction_agreement()
+        );
+        let md = headline.to_markdown();
+        assert!(md.contains("| Claim |"));
+        assert!(md.lines().count() >= headline.entries.len() + 2);
+    }
+
+    #[test]
+    fn same_direction_logic() {
+        let improving = HeadlineEntry::new("x", 0.1, 0.2, "fraction");
+        assert!(improving.same_direction());
+        let opposite = HeadlineEntry::new("x", 0.1, -0.2, "fraction");
+        assert!(!opposite.same_direction());
+        let ratio = HeadlineEntry::new("x", 1.3, 1.1, "× vs 1 core");
+        assert!(ratio.same_direction());
+        let ratio_bad = HeadlineEntry::new("x", 1.3, 0.9, "× vs 1 core");
+        assert!(!ratio_bad.same_direction());
+        let neutral = HeadlineEntry::new("x", 0.0, 0.5, "fraction");
+        assert!(neutral.same_direction());
+    }
+
+    #[test]
+    fn empty_headline_is_well_defined() {
+        let h = HeadlineNumbers::default();
+        assert_eq!(h.direction_agreement(), 1.0);
+        assert!(h.to_markdown().contains("Claim"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The throttling decision.
+//!
+//! "We sort predictions and select the configuration with the highest
+//! predicted IPC for the corresponding program phase. ... Once a
+//! configuration is selected, our runtime library ensures all subsequent
+//! executions of the phase use the chosen concurrency and thread placement"
+//! (Section IV-B). The sampling configuration itself competes with its
+//! *observed* IPC.
+
+use serde::{Deserialize, Serialize};
+
+use xeon_sim::Configuration;
+
+/// The outcome of a throttling decision for one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleDecision {
+    /// The configuration that will be enforced for the phase.
+    pub chosen: Configuration,
+    /// IPC observed on the sampling configuration.
+    pub sampled_ipc: f64,
+    /// Predicted IPC per target configuration, sorted best-first.
+    pub ranked_predictions: Vec<(Configuration, f64)>,
+}
+
+impl ThrottleDecision {
+    /// Whether the decision throttles concurrency below the sampling
+    /// configuration (i.e. leaves cores idle).
+    pub fn throttles(&self) -> bool {
+        self.chosen != Configuration::SAMPLE
+    }
+
+    /// The predicted (or observed, for the sampling configuration) IPC of the
+    /// chosen configuration.
+    pub fn chosen_ipc(&self) -> f64 {
+        if self.chosen == Configuration::SAMPLE {
+            self.sampled_ipc
+        } else {
+            self.ranked_predictions
+                .iter()
+                .find(|(c, _)| *c == self.chosen)
+                .map(|(_, ipc)| *ipc)
+                .unwrap_or(self.sampled_ipc)
+        }
+    }
+}
+
+/// Selects the configuration with the highest (predicted or observed) IPC.
+///
+/// `sampled_ipc` is the IPC observed on the maximal-concurrency sampling
+/// configuration; `predictions` are the ANN outputs for the alternative
+/// configurations. Ties favour fewer threads (cheaper in power for equal
+/// performance).
+pub fn select_configuration(
+    sampled_ipc: f64,
+    predictions: &[(Configuration, f64)],
+) -> ThrottleDecision {
+    let mut ranked: Vec<(Configuration, f64)> = predictions.to_vec();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("IPC predictions must be finite")
+            .then_with(|| a.0.num_threads().cmp(&b.0.num_threads()))
+    });
+
+    let mut chosen = Configuration::SAMPLE;
+    let mut best_ipc = sampled_ipc;
+    for (config, ipc) in &ranked {
+        let better = *ipc > best_ipc
+            || (*ipc == best_ipc && config.num_threads() < chosen.num_threads());
+        if better {
+            chosen = *config;
+            best_ipc = *ipc;
+        }
+    }
+
+    ThrottleDecision { chosen, sampled_ipc, ranked_predictions: ranked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_highest_predicted_ipc() {
+        let decision = select_configuration(
+            2.0,
+            &[
+                (Configuration::One, 0.8),
+                (Configuration::TwoTight, 1.5),
+                (Configuration::TwoLoose, 2.6),
+                (Configuration::Three, 2.2),
+            ],
+        );
+        assert_eq!(decision.chosen, Configuration::TwoLoose);
+        assert!(decision.throttles());
+        assert!((decision.chosen_ipc() - 2.6).abs() < 1e-12);
+        // Ranked predictions are sorted best-first.
+        assert_eq!(decision.ranked_predictions[0].0, Configuration::TwoLoose);
+        assert_eq!(decision.ranked_predictions.last().unwrap().0, Configuration::One);
+    }
+
+    #[test]
+    fn keeps_maximal_concurrency_when_it_wins() {
+        let decision = select_configuration(
+            3.5,
+            &[
+                (Configuration::One, 0.9),
+                (Configuration::TwoTight, 1.6),
+                (Configuration::TwoLoose, 1.8),
+                (Configuration::Three, 2.5),
+            ],
+        );
+        assert_eq!(decision.chosen, Configuration::Four);
+        assert!(!decision.throttles());
+        assert!((decision.chosen_ipc() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_prefer_fewer_threads() {
+        let decision = select_configuration(
+            2.0,
+            &[(Configuration::Three, 2.0), (Configuration::TwoLoose, 2.0), (Configuration::One, 2.0)],
+        );
+        assert_eq!(decision.chosen, Configuration::One, "equal IPC should favour fewer threads");
+    }
+
+    #[test]
+    fn empty_predictions_keep_the_sample_configuration() {
+        let decision = select_configuration(1.2, &[]);
+        assert_eq!(decision.chosen, Configuration::Four);
+        assert_eq!(decision.chosen_ipc(), 1.2);
+        assert!(decision.ranked_predictions.is_empty());
+    }
+}

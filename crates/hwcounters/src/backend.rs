@@ -1,0 +1,216 @@
+//! Sources of counter samples.
+//!
+//! ACTOR consumes [`xeon_sim::CounterVector`]s without caring where they came
+//! from. Two backends are provided:
+//!
+//! * [`SimBackend`] — a "virtual PMU" fed by the machine model: each
+//!   timestep's counter totals come straight from a simulated
+//!   [`xeon_sim::PhaseExecution`]. This is the backend used to regenerate the
+//!   paper's figures.
+//! * [`SoftwareCounters`] — instrumentation-based counting for live kernels
+//!   running on [`phase-rt`](../phase_rt/index.html): kernels report their
+//!   own operation counts (instructions, memory traffic estimates), and
+//!   elapsed cycles are derived from wall-clock time at a nominal frequency.
+//!   This stands in for PAPI on machines where hardware counters are not
+//!   accessible (containers, CI).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use xeon_sim::{CounterVector, HwEvent};
+
+/// A source of per-timestep counter totals.
+pub trait CounterBackend {
+    /// Reads the counter totals accumulated since the last call to `read`
+    /// (or since construction), and resets the accumulation window.
+    fn read(&mut self) -> CounterVector;
+}
+
+/// Virtual PMU backed by the machine model.
+#[derive(Debug, Clone, Default)]
+pub struct SimBackend {
+    pending: Vec<CounterVector>,
+}
+
+impl SimBackend {
+    /// New empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues the counter totals of one simulated timestep.
+    pub fn push_timestep(&mut self, counters: CounterVector) {
+        self.pending.push(counters);
+    }
+
+    /// Number of queued, unread timesteps.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl CounterBackend for SimBackend {
+    fn read(&mut self) -> CounterVector {
+        let mut total = CounterVector::zero();
+        for cv in self.pending.drain(..) {
+            total.accumulate(&cv);
+        }
+        total
+    }
+}
+
+/// Instrumentation-based software counters for live kernels.
+///
+/// Kernels call the `add_*` methods as they execute; `read` converts the
+/// accumulated operation counts plus the elapsed wall-clock time into a
+/// [`CounterVector`] (cycles = elapsed seconds × nominal clock).
+#[derive(Debug)]
+pub struct SoftwareCounters {
+    clock_ghz: f64,
+    instructions: AtomicU64,
+    l1_accesses: AtomicU64,
+    l1_misses: AtomicU64,
+    l2_misses: AtomicU64,
+    branches: AtomicU64,
+    stores: AtomicU64,
+    window_start: Instant,
+}
+
+impl SoftwareCounters {
+    /// Creates software counters assuming the given nominal clock frequency.
+    pub fn new(clock_ghz: f64) -> Self {
+        Self {
+            clock_ghz: clock_ghz.max(0.1),
+            instructions: AtomicU64::new(0),
+            l1_accesses: AtomicU64::new(0),
+            l1_misses: AtomicU64::new(0),
+            l2_misses: AtomicU64::new(0),
+            branches: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            window_start: Instant::now(),
+        }
+    }
+
+    /// Records retired "instructions" (work units) — callable from any thread.
+    pub fn add_instructions(&self, n: u64) {
+        self.instructions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records L1 data accesses.
+    pub fn add_l1_accesses(&self, n: u64) {
+        self.l1_accesses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records L1 misses (L2 accesses).
+    pub fn add_l1_misses(&self, n: u64) {
+        self.l1_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records L2 misses (bus transactions).
+    pub fn add_l2_misses(&self, n: u64) {
+        self.l2_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records retired branches.
+    pub fn add_branches(&self, n: u64) {
+        self.branches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records retired stores.
+    pub fn add_stores(&self, n: u64) {
+        self.stores.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl CounterBackend for SoftwareCounters {
+    fn read(&mut self) -> CounterVector {
+        let elapsed = self.window_start.elapsed().as_secs_f64();
+        self.window_start = Instant::now();
+        let cycles = elapsed * self.clock_ghz * 1e9;
+
+        let mut cv = CounterVector::zero();
+        cv.set(HwEvent::Cycles, cycles.max(1.0));
+        cv.set(HwEvent::Instructions, self.instructions.swap(0, Ordering::Relaxed) as f64);
+        let l1a = self.l1_accesses.swap(0, Ordering::Relaxed) as f64;
+        let l1m = self.l1_misses.swap(0, Ordering::Relaxed) as f64;
+        let l2m = self.l2_misses.swap(0, Ordering::Relaxed) as f64;
+        cv.set(HwEvent::L1DAccesses, l1a);
+        cv.set(HwEvent::L1DMisses, l1m);
+        cv.set(HwEvent::L2Accesses, l1m);
+        cv.set(HwEvent::L2Misses, l2m);
+        cv.set(HwEvent::BusTransactions, l2m);
+        cv.set(HwEvent::Branches, self.branches.swap(0, Ordering::Relaxed) as f64);
+        cv.set(HwEvent::Stores, self.stores.swap(0, Ordering::Relaxed) as f64);
+        cv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_backend_accumulates_and_drains() {
+        let mut backend = SimBackend::new();
+        assert_eq!(backend.pending(), 0);
+        let mut a = CounterVector::zero();
+        a.set(HwEvent::Instructions, 100.0);
+        a.set(HwEvent::Cycles, 50.0);
+        let mut b = CounterVector::zero();
+        b.set(HwEvent::Instructions, 200.0);
+        b.set(HwEvent::Cycles, 150.0);
+        backend.push_timestep(a);
+        backend.push_timestep(b);
+        assert_eq!(backend.pending(), 2);
+        let total = backend.read();
+        assert_eq!(total.get(HwEvent::Instructions), 300.0);
+        assert_eq!(total.get(HwEvent::Cycles), 200.0);
+        assert_eq!(backend.pending(), 0);
+        // Second read is empty.
+        let empty = backend.read();
+        assert_eq!(empty.get(HwEvent::Instructions), 0.0);
+    }
+
+    #[test]
+    fn software_counters_accumulate_and_reset_per_window() {
+        let mut sw = SoftwareCounters::new(2.4);
+        sw.add_instructions(1_000);
+        sw.add_l1_accesses(400);
+        sw.add_l1_misses(40);
+        sw.add_l2_misses(4);
+        sw.add_branches(100);
+        sw.add_stores(120);
+        let cv = sw.read();
+        assert_eq!(cv.get(HwEvent::Instructions), 1000.0);
+        assert_eq!(cv.get(HwEvent::L1DMisses), 40.0);
+        assert_eq!(cv.get(HwEvent::L2Misses), 4.0);
+        assert_eq!(cv.get(HwEvent::Stores), 120.0);
+        assert!(cv.get(HwEvent::Cycles) >= 1.0);
+        // window reset: counts are gone
+        let cv2 = sw.read();
+        assert_eq!(cv2.get(HwEvent::Instructions), 0.0);
+    }
+
+    #[test]
+    fn software_counters_are_thread_safe() {
+        let mut sw = SoftwareCounters::new(1.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sw = &sw;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        sw.add_instructions(1);
+                    }
+                });
+            }
+        });
+        let cv = sw.read();
+        assert_eq!(cv.get(HwEvent::Instructions), 4000.0);
+    }
+
+    #[test]
+    fn degenerate_clock_is_clamped() {
+        let sw = SoftwareCounters::new(0.0);
+        assert!(sw.clock_ghz >= 0.1);
+    }
+}

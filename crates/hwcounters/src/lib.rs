@@ -1,0 +1,31 @@
+//! # hwcounters — performance-counter sampling with register multiplexing
+//!
+//! ACTOR's inputs are hardware performance-counter *event rates* observed
+//! during a short sampling window at maximal concurrency. The paper's
+//! platform (PAPI 3.5 on a Core-2-era Xeon) "only allows the simultaneous
+//! recording of two events. As a result, we employ collection across multiple
+//! timesteps to record all necessary events" (Section V-A).
+//!
+//! This crate reproduces that measurement substrate:
+//!
+//! * [`event_set`] — the set of events to monitor: the full twelve-event set
+//!   or the reduced set used for applications with few iterations (FT, IS,
+//!   MG in the paper);
+//! * [`multiplex`] — a rotation schedule packing monitored events into the
+//!   two programmable registers, and a sampler that accumulates per-timestep
+//!   observations and reconstructs full event rates from the partial views;
+//! * [`rates`] — the feature vector handed to the predictor:
+//!   `IPC_S, e(1,S), …, e(n,S)` per Equation (2) of the paper;
+//! * [`backend`] — sources of counter samples: the machine model
+//!   ([`backend::SimBackend`]) and an instrumented-software backend for live
+//!   kernels ([`backend::SoftwareCounters`]).
+
+pub mod backend;
+pub mod event_set;
+pub mod multiplex;
+pub mod rates;
+
+pub use backend::{CounterBackend, SimBackend, SoftwareCounters};
+pub use event_set::EventSet;
+pub use multiplex::{MultiplexSchedule, MultiplexedSampler};
+pub use rates::EventRates;

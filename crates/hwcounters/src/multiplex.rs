@@ -1,0 +1,285 @@
+//! Counter-register multiplexing.
+//!
+//! The paper's PMU exposes only **two** programmable counter registers, so the
+//! twelve monitored events are split into rotation groups of two, and one
+//! group is measured per application timestep. After a full rotation, each
+//! event's rate is estimated from the timesteps during which it was armed —
+//! exactly what PAPI multiplexing does. Instructions and cycles come from the
+//! fixed counters and are measured in every timestep.
+
+use serde::{Deserialize, Serialize};
+
+use xeon_sim::{CounterVector, HwEvent};
+
+use crate::event_set::EventSet;
+
+/// A rotation schedule assigning monitored events to counter registers over
+/// successive timesteps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplexSchedule {
+    groups: Vec<Vec<HwEvent>>,
+    registers: usize,
+}
+
+impl MultiplexSchedule {
+    /// Builds a schedule for the given event set and number of programmable
+    /// registers (2 on the paper's platform). A zero register count is
+    /// clamped to one.
+    pub fn new(events: &EventSet, registers: usize) -> Self {
+        let registers = registers.max(1);
+        let groups = events
+            .events()
+            .chunks(registers)
+            .map(|chunk| chunk.to_vec())
+            .collect();
+        Self { groups, registers }
+    }
+
+    /// The paper's configuration: two programmable registers.
+    pub fn paper_platform(events: &EventSet) -> Self {
+        Self::new(events, 2)
+    }
+
+    /// Number of rotation groups (= timesteps needed for one full rotation).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of programmable registers assumed.
+    pub fn registers(&self) -> usize {
+        self.registers
+    }
+
+    /// The events armed during rotation step `step` (wraps around).
+    pub fn group(&self, step: usize) -> &[HwEvent] {
+        if self.groups.is_empty() {
+            &[]
+        } else {
+            &self.groups[step % self.groups.len()]
+        }
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Vec<HwEvent>] {
+        &self.groups
+    }
+}
+
+/// Accumulates partial (multiplexed) counter observations over timesteps and
+/// reconstructs full event rates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultiplexedSampler {
+    /// Per-event accumulated counts, only over timesteps where the event was
+    /// armed.
+    counts: Vec<(HwEvent, f64)>,
+    /// Per-event accumulated cycles over the same timesteps.
+    cycles_per_event: Vec<(HwEvent, f64)>,
+    /// Total instructions and cycles over all sampled timesteps (fixed
+    /// counters, always armed).
+    total_instructions: f64,
+    total_cycles: f64,
+    timesteps: usize,
+}
+
+impl MultiplexedSampler {
+    /// New empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of timesteps observed so far.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Records one timestep: `full` is the complete counter vector produced
+    /// by the underlying machine (or live measurement) for this timestep, but
+    /// only the events armed in `armed` are retained — everything else is
+    /// discarded, emulating the limited PMU.
+    pub fn record_timestep(&mut self, full: &CounterVector, armed: &[HwEvent]) {
+        let cycles = full.get(HwEvent::Cycles);
+        self.total_instructions += full.get(HwEvent::Instructions);
+        self.total_cycles += cycles;
+        self.timesteps += 1;
+        for &event in armed {
+            if event == HwEvent::Instructions || event == HwEvent::Cycles {
+                continue;
+            }
+            match self.counts.iter_mut().find(|(e, _)| *e == event) {
+                Some((_, c)) => *c += full.get(event),
+                None => self.counts.push((event, full.get(event))),
+            }
+            match self.cycles_per_event.iter_mut().find(|(e, _)| *e == event) {
+                Some((_, c)) => *c += cycles,
+                None => self.cycles_per_event.push((event, cycles)),
+            }
+        }
+    }
+
+    /// Convenience: runs a full rotation of `schedule` over a sequence of
+    /// per-timestep counter vectors (one per timestep, in order).
+    pub fn record_rotation(&mut self, schedule: &MultiplexSchedule, timesteps: &[CounterVector]) {
+        for (i, cv) in timesteps.iter().enumerate() {
+            self.record_timestep(cv, schedule.group(i));
+        }
+    }
+
+    /// Estimated rate (events per cycle) of `event`, or `None` if it was
+    /// never armed.
+    pub fn rate(&self, event: HwEvent) -> Option<f64> {
+        let count = self.counts.iter().find(|(e, _)| *e == event)?.1;
+        let cycles = self.cycles_per_event.iter().find(|(e, _)| *e == event)?.1;
+        if cycles <= 0.0 {
+            return None;
+        }
+        Some(count / cycles)
+    }
+
+    /// IPC observed over all sampled timesteps (fixed counters).
+    pub fn ipc(&self) -> Option<f64> {
+        if self.total_cycles <= 0.0 {
+            None
+        } else {
+            Some(self.total_instructions / self.total_cycles)
+        }
+    }
+
+    /// Reconstructs a full counter vector extrapolated to the total sampled
+    /// cycles: counts are scaled from each event's armed window to the whole
+    /// sampling period. Events never armed stay at zero.
+    pub fn reconstruct(&self) -> CounterVector {
+        let mut cv = CounterVector::zero();
+        cv.set(HwEvent::Instructions, self.total_instructions);
+        cv.set(HwEvent::Cycles, self.total_cycles);
+        for (event, _) in &self.counts {
+            if let Some(rate) = self.rate(*event) {
+                cv.set(*event, rate * self.total_cycles);
+            }
+        }
+        cv
+    }
+
+    /// Clears the sampler.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xeon_sim::MONITORED_EVENTS;
+
+    fn timestep_vector(scale: f64) -> CounterVector {
+        // A synthetic timestep: rates are constant, counts scale with `scale`.
+        let mut cv = CounterVector::zero();
+        cv.set(HwEvent::Cycles, 1000.0 * scale);
+        cv.set(HwEvent::Instructions, 1500.0 * scale);
+        for (i, e) in MONITORED_EVENTS.iter().enumerate() {
+            cv.set(*e, (10.0 + i as f64) * scale);
+        }
+        cv
+    }
+
+    #[test]
+    fn schedule_groups_cover_all_events_in_pairs() {
+        let s = MultiplexSchedule::paper_platform(&EventSet::full());
+        assert_eq!(s.registers(), 2);
+        assert_eq!(s.num_groups(), 6, "12 events / 2 registers = 6 rotation groups");
+        let mut all: Vec<HwEvent> = s.groups().iter().flatten().copied().collect();
+        all.sort();
+        let mut expected = MONITORED_EVENTS.to_vec();
+        expected.sort();
+        assert_eq!(all, expected);
+        for g in s.groups() {
+            assert!(g.len() <= 2);
+        }
+        // wrap-around
+        assert_eq!(s.group(0), s.group(6));
+    }
+
+    #[test]
+    fn schedule_with_more_registers_needs_fewer_groups() {
+        let s4 = MultiplexSchedule::new(&EventSet::full(), 4);
+        assert_eq!(s4.num_groups(), 3);
+        let s0 = MultiplexSchedule::new(&EventSet::full(), 0);
+        assert_eq!(s0.registers(), 1);
+        assert_eq!(s0.num_groups(), 12);
+        let empty = MultiplexSchedule::new(&EventSet::custom([]), 2);
+        assert_eq!(empty.num_groups(), 0);
+        assert!(empty.group(3).is_empty());
+    }
+
+    #[test]
+    fn sampler_reconstructs_constant_rates_exactly() {
+        let schedule = MultiplexSchedule::paper_platform(&EventSet::full());
+        let mut sampler = MultiplexedSampler::new();
+        // 6 identical timesteps -> one full rotation.
+        let steps: Vec<CounterVector> = (0..6).map(|_| timestep_vector(1.0)).collect();
+        sampler.record_rotation(&schedule, &steps);
+        assert_eq!(sampler.timesteps(), 6);
+        assert!((sampler.ipc().unwrap() - 1.5).abs() < 1e-12);
+        // Every monitored event has a rate estimate equal to its true rate.
+        for (i, e) in MONITORED_EVENTS.iter().enumerate() {
+            let expected = (10.0 + i as f64) / 1000.0;
+            let got = sampler.rate(*e).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "{e}: got {got}, expected {expected}"
+            );
+        }
+        // Reconstructed vector preserves rates when normalised.
+        let rec = sampler.reconstruct();
+        assert!((rec.ipc().unwrap() - 1.5).abs() < 1e-12);
+        let rates = rec.rates_per_cycle().unwrap();
+        let l2 = rates.iter().find(|(e, _)| *e == HwEvent::L2Misses).unwrap().1;
+        let idx = MONITORED_EVENTS.iter().position(|e| *e == HwEvent::L2Misses).unwrap();
+        assert!((l2 - (10.0 + idx as f64) / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_handles_varying_timestep_lengths() {
+        let schedule = MultiplexSchedule::paper_platform(&EventSet::full());
+        let mut sampler = MultiplexedSampler::new();
+        // Timesteps of different sizes but identical *rates*: reconstruction
+        // must still recover the common rates.
+        let steps: Vec<CounterVector> =
+            [1.0, 2.0, 0.5, 3.0, 1.5, 1.0].iter().map(|&s| timestep_vector(s)).collect();
+        sampler.record_rotation(&schedule, &steps);
+        for e in MONITORED_EVENTS {
+            let r = sampler.rate(e).unwrap();
+            assert!(r > 0.0);
+        }
+        assert!((sampler.ipc().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unarmed_events_have_no_rate() {
+        let mut sampler = MultiplexedSampler::new();
+        sampler.record_timestep(&timestep_vector(1.0), &[HwEvent::L2Misses]);
+        assert!(sampler.rate(HwEvent::L2Misses).is_some());
+        assert!(sampler.rate(HwEvent::Branches).is_none());
+        let rec = sampler.reconstruct();
+        assert_eq!(rec.get(HwEvent::Branches), 0.0);
+        assert!(rec.get(HwEvent::L2Misses) > 0.0);
+    }
+
+    #[test]
+    fn fixed_counters_never_go_through_programmable_registers() {
+        let mut sampler = MultiplexedSampler::new();
+        sampler.record_timestep(&timestep_vector(1.0), &[HwEvent::Instructions, HwEvent::Cycles]);
+        // They are accumulated as totals, not as armed events.
+        assert!(sampler.rate(HwEvent::Instructions).is_none());
+        assert!(sampler.ipc().is_some());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut sampler = MultiplexedSampler::new();
+        sampler.record_timestep(&timestep_vector(1.0), &[HwEvent::L2Misses]);
+        sampler.reset();
+        assert_eq!(sampler.timesteps(), 0);
+        assert!(sampler.ipc().is_none());
+        assert!(sampler.rate(HwEvent::L2Misses).is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Batched radix-2 FFT (the live counterpart of NPB FT).
+//!
+//! NPB FT performs 3-D FFTs as batches of 1-D transforms along each axis.
+//! This kernel transforms a batch of independent complex vectors with an
+//! iterative radix-2 Cooley-Tukey FFT; each batch sweep is one parallel
+//! region (the rows are independent, like FT's pencil transforms).
+
+use phase_rt::{Binding, PhaseId, Team};
+use parking_lot::Mutex;
+
+/// Phase ids used by the FFT kernel.
+pub mod phases {
+    use phase_rt::PhaseId;
+    /// Forward transforms over the batch.
+    pub const FFT_FORWARD: PhaseId = PhaseId::new(130);
+    /// Inverse transforms over the batch.
+    pub const FFT_INVERSE: PhaseId = PhaseId::new(131);
+    /// Point-wise evolution (frequency-domain scaling).
+    pub const EVOLVE: PhaseId = PhaseId::new(132);
+}
+
+/// A complex number stored as `(re, im)`.
+pub type Complex = (f64, f64);
+
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// In-place iterative radix-2 FFT of one row. `inverse` selects the inverse
+/// transform (including the 1/n normalisation).
+pub fn fft_row(row: &mut [Complex], inverse: bool) {
+    let n = row.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            row.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (angle.cos(), angle.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = row[i + k];
+                let v = c_mul(row[i + k + len / 2], w);
+                row[i + k] = c_add(u, v);
+                row[i + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        for v in row.iter_mut() {
+            v.0 /= n as f64;
+            v.1 /= n as f64;
+        }
+    }
+}
+
+/// The batched-FFT kernel.
+#[derive(Debug, Clone)]
+pub struct BatchFft {
+    rows: usize,
+    len: usize,
+    data: Vec<Vec<Complex>>,
+}
+
+impl BatchFft {
+    /// Creates a batch of `rows` vectors of length `len` (rounded up to a
+    /// power of two) filled with a deterministic smooth signal.
+    pub fn new(rows: usize, len: usize) -> Self {
+        let len = len.max(8).next_power_of_two();
+        let rows = rows.max(1);
+        let data = (0..rows)
+            .map(|r| {
+                (0..len)
+                    .map(|i| {
+                        let t = i as f64 / len as f64;
+                        let f = (r % 7 + 1) as f64;
+                        ((2.0 * std::f64::consts::PI * f * t).sin(), (2.0 * std::f64::consts::PI * f * t).cos() * 0.5)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { rows, len, data }
+    }
+
+    /// Number of rows in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Runs forward FFT → frequency-domain evolution → inverse FFT over the
+    /// batch, returning the maximum absolute error against the original data
+    /// when `evolve_factor` is 1.0 (a round-trip check).
+    pub fn run(&self, team: &Team, binding: &Binding, evolve_factor: f64) -> f64 {
+        let transformed = self.batch_transform(team, binding, &self.data, false, phases::FFT_FORWARD);
+
+        // Point-wise evolution in frequency space.
+        let evolved: Vec<Vec<Complex>> = {
+            let out = Mutex::new(vec![Vec::new(); self.rows]);
+            team.run_region(phases::EVOLVE, binding, |ctx| {
+                let chunk = self.rows.div_ceil(ctx.num_threads.max(1));
+                let lo = (ctx.thread_id * chunk).min(self.rows);
+                let hi = ((ctx.thread_id + 1) * chunk).min(self.rows);
+                for r in lo..hi {
+                    let row: Vec<Complex> = transformed[r]
+                        .iter()
+                        .map(|&(re, im)| (re * evolve_factor, im * evolve_factor))
+                        .collect();
+                    out.lock()[r] = row;
+                }
+            });
+            out.into_inner()
+        };
+
+        let back = self.batch_transform(team, binding, &evolved, true, phases::FFT_INVERSE);
+
+        // Round-trip error against evolve_factor * original.
+        let mut max_err = 0.0f64;
+        for (orig_row, back_row) in self.data.iter().zip(&back) {
+            for (o, b) in orig_row.iter().zip(back_row) {
+                let err = ((o.0 * evolve_factor - b.0).abs()).max((o.1 * evolve_factor - b.1).abs());
+                max_err = max_err.max(err);
+            }
+        }
+        max_err
+    }
+
+    fn batch_transform(
+        &self,
+        team: &Team,
+        binding: &Binding,
+        input: &[Vec<Complex>],
+        inverse: bool,
+        phase: PhaseId,
+    ) -> Vec<Vec<Complex>> {
+        let out = Mutex::new(vec![Vec::new(); input.len()]);
+        team.run_region(phase, binding, |ctx| {
+            let chunk = input.len().div_ceil(ctx.num_threads.max(1));
+            let lo = (ctx.thread_id * chunk).min(input.len());
+            let hi = ((ctx.thread_id + 1) * chunk).min(input.len());
+            for r in lo..hi {
+                let mut row = input[r].clone();
+                fft_row(&mut row, inverse);
+                out.lock()[r] = row;
+            }
+        });
+        out.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_rt::MachineShape;
+
+    #[test]
+    fn fft_round_trip_is_identity() {
+        let mut row: Vec<Complex> = (0..16).map(|i| (i as f64, -(i as f64) / 3.0)).collect();
+        let original = row.clone();
+        fft_row(&mut row, false);
+        fft_row(&mut row, true);
+        for (a, b) in row.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_signal_concentrates_in_dc() {
+        let mut row: Vec<Complex> = vec![(1.0, 0.0); 8];
+        fft_row(&mut row, false);
+        assert!((row[0].0 - 8.0).abs() < 1e-9);
+        for v in &row[1..] {
+            assert!(v.0.abs() < 1e-9 && v.1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut row: Vec<Complex> = vec![(0.0, 0.0); 12];
+        fft_row(&mut row, false);
+    }
+
+    #[test]
+    fn batch_round_trip_on_all_bindings() {
+        let team = Team::new(4).unwrap();
+        let shape = MachineShape::quad_core();
+        let fft = BatchFft::new(64, 128);
+        assert_eq!(fft.rows(), 64);
+        assert_eq!(fft.len(), 128);
+        assert!(!fft.is_empty());
+        for threads in [1, 2, 4] {
+            let err = fft.run(&team, &Binding::spread(threads, &shape), 1.0);
+            assert!(err < 1e-9, "round-trip error {err} with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn evolution_scales_the_signal() {
+        let team = Team::new(2).unwrap();
+        let shape = MachineShape::quad_core();
+        let fft = BatchFft::new(8, 32);
+        // With factor 2, the round-trip against 2x the original must be exact.
+        let err = fft.run(&team, &Binding::packed(2, &shape), 2.0);
+        assert!(err < 1e-9, "scaled round-trip error {err}");
+    }
+}

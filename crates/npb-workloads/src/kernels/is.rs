@@ -1,0 +1,157 @@
+//! Integer bucket sort (the live counterpart of NPB IS).
+//!
+//! Ranks a large array of small integer keys by histogramming, exactly like
+//! NPB IS: a parallel histogram ("rank") phase, a sequential prefix sum, and
+//! a parallel permutation phase. The key array is scanned with streaming
+//! accesses, which is what makes the real IS so bandwidth-hungry.
+
+use parking_lot::Mutex;
+use phase_rt::{Binding, Team};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Phase ids used by the integer-sort kernel.
+pub mod phases {
+    use phase_rt::PhaseId;
+    /// Histogram / ranking phase.
+    pub const RANK: PhaseId = PhaseId::new(110);
+    /// Permutation (key shuffle) phase.
+    pub const SHUFFLE: PhaseId = PhaseId::new(111);
+}
+
+/// The integer-sort kernel.
+#[derive(Debug, Clone)]
+pub struct IntegerSort {
+    keys: Vec<u32>,
+    max_key: u32,
+}
+
+impl IntegerSort {
+    /// Generates `n` pseudo-random keys in `[0, max_key)` from a fixed seed.
+    pub fn new(n: usize, max_key: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_key = max_key.max(2);
+        let keys = (0..n.max(1)).map(|_| rng.gen_range(0..max_key)).collect();
+        Self { keys, max_key }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the key array is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Sorts the keys on the team, returning the sorted array.
+    pub fn run(&self, team: &Team, binding: &Binding) -> Vec<u32> {
+        let n = self.keys.len();
+        let buckets = self.max_key as usize;
+
+        // Phase 1: per-thread histograms merged into a global histogram.
+        // Work is split by the thread count actually granted by the team
+        // (a listener may throttle the requested binding).
+        let histogram = Mutex::new(vec![0usize; buckets]);
+        team.run_region(phases::RANK, binding, |ctx| {
+            let chunk = n.div_ceil(ctx.num_threads.max(1));
+            let lo = (ctx.thread_id * chunk).min(n);
+            let hi = ((ctx.thread_id + 1) * chunk).min(n);
+            let mut local = vec![0usize; buckets];
+            for &k in &self.keys[lo..hi] {
+                local[k as usize] += 1;
+            }
+            let mut global = histogram.lock();
+            for (g, l) in global.iter_mut().zip(&local) {
+                *g += l;
+            }
+        });
+        let histogram = histogram.into_inner();
+
+        // Sequential prefix sum (tiny compared to the scans).
+        let mut offsets = vec![0usize; buckets + 1];
+        for b in 0..buckets {
+            offsets[b + 1] = offsets[b] + histogram[b];
+        }
+
+        // Phase 2: emit sorted output. Each thread owns a contiguous range of
+        // *buckets* and writes the keys of those buckets.
+        let output = Mutex::new(vec![0u32; n]);
+        team.run_region(phases::SHUFFLE, binding, |ctx| {
+            let bucket_chunk = buckets.div_ceil(ctx.num_threads.max(1));
+            let blo = (ctx.thread_id * bucket_chunk).min(buckets);
+            let bhi = ((ctx.thread_id + 1) * bucket_chunk).min(buckets);
+            if blo >= bhi {
+                return;
+            }
+            let mut local = Vec::with_capacity(offsets[bhi] - offsets[blo]);
+            for b in blo..bhi {
+                for _ in 0..histogram[b] {
+                    local.push(b as u32);
+                }
+            }
+            output.lock()[offsets[blo]..offsets[bhi]].copy_from_slice(&local);
+        });
+        output.into_inner()
+    }
+
+    /// Checks that `sorted` is a sorted permutation of the input keys.
+    pub fn verify(&self, sorted: &[u32]) -> bool {
+        if sorted.len() != self.keys.len() {
+            return false;
+        }
+        if sorted.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        let mut expected = self.keys.clone();
+        expected.sort_unstable();
+        expected.as_slice() == sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_rt::MachineShape;
+
+    #[test]
+    fn sorts_correctly_on_all_thread_counts() {
+        let team = Team::new(4).unwrap();
+        let shape = MachineShape::quad_core();
+        let is = IntegerSort::new(50_000, 1024, 42);
+        assert_eq!(is.len(), 50_000);
+        assert!(!is.is_empty());
+        for threads in [1, 2, 4] {
+            let sorted = is.run(&team, &Binding::spread(threads, &shape));
+            assert!(is.verify(&sorted), "sort incorrect with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn tight_and_loose_bindings_produce_identical_output() {
+        let team = Team::new(4).unwrap();
+        let shape = MachineShape::quad_core();
+        let is = IntegerSort::new(20_000, 512, 7);
+        let a = is.run(&team, &Binding::packed(2, &shape));
+        let b = is.run(&team, &Binding::spread(2, &shape));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verify_rejects_wrong_outputs() {
+        let is = IntegerSort::new(100, 16, 1);
+        let mut sorted = is.run(&Team::new(2).unwrap(), &Binding::packed(1, &MachineShape::quad_core()));
+        assert!(is.verify(&sorted));
+        sorted[0] = 15;
+        assert!(!is.verify(&sorted), "tampered output must fail verification");
+        assert!(!is.verify(&sorted[1..]), "wrong length must fail verification");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let is = IntegerSort::new(0, 0, 3);
+        assert!(is.len() >= 1);
+        assert!(is.max_key >= 2);
+    }
+}

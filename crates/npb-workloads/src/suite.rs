@@ -1,0 +1,244 @@
+//! The benchmark suite and the scalability study of the paper's Section III.
+
+use xeon_sim::{AggregateExecution, Configuration, Machine};
+
+use crate::benchmark::{BenchmarkId, BenchmarkProfile};
+use crate::profiles;
+
+/// All eight benchmarks in the paper's order.
+pub fn nas_suite() -> Vec<BenchmarkProfile> {
+    BenchmarkId::ALL.iter().map(|&id| benchmark(id)).collect()
+}
+
+/// One benchmark by id.
+pub fn benchmark(id: BenchmarkId) -> BenchmarkProfile {
+    match id {
+        BenchmarkId::Bt => profiles::bt(),
+        BenchmarkId::Cg => profiles::cg(),
+        BenchmarkId::Ft => profiles::ft(),
+        BenchmarkId::Is => profiles::is(),
+        BenchmarkId::Lu => profiles::lu(),
+        BenchmarkId::LuHp => profiles::lu_hp(),
+        BenchmarkId::Mg => profiles::mg(),
+        BenchmarkId::Sp => profiles::sp(),
+    }
+}
+
+/// Whole-benchmark results for every configuration (one row of Figure 1 /
+/// Figure 3).
+#[derive(Debug, Clone)]
+pub struct ScalabilityRow {
+    /// Which benchmark.
+    pub id: BenchmarkId,
+    /// One aggregate per configuration, ordered as [`Configuration::ALL`].
+    pub by_config: Vec<(Configuration, AggregateExecution)>,
+}
+
+impl ScalabilityRow {
+    /// The aggregate for one configuration.
+    pub fn get(&self, config: Configuration) -> &AggregateExecution {
+        &self.by_config.iter().find(|(c, _)| *c == config).expect("all configs simulated").1
+    }
+
+    /// Speedup of `config` over the sequential execution.
+    pub fn speedup(&self, config: Configuration) -> f64 {
+        self.get(Configuration::One).time_s / self.get(config).time_s
+    }
+
+    /// The configuration with the lowest execution time.
+    pub fn best_time_config(&self) -> Configuration {
+        self.by_config
+            .iter()
+            .min_by(|a, b| a.1.time_s.partial_cmp(&b.1.time_s).expect("finite times"))
+            .expect("non-empty")
+            .0
+    }
+
+    /// The configuration with the lowest energy-delay-squared.
+    pub fn best_ed2_config(&self) -> Configuration {
+        self.by_config
+            .iter()
+            .min_by(|a, b| a.1.ed2().partial_cmp(&b.1.ed2()).expect("finite ed2"))
+            .expect("non-empty")
+            .0
+    }
+}
+
+/// Runs the full Section III scalability study: every benchmark on every
+/// configuration.
+pub fn scalability_study(machine: &Machine) -> Vec<ScalabilityRow> {
+    nas_suite()
+        .iter()
+        .map(|b| ScalabilityRow {
+            id: b.id,
+            by_config: Configuration::ALL
+                .iter()
+                .map(|&c| (c, b.simulate(machine, c)))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> Vec<ScalabilityRow> {
+        scalability_study(&Machine::xeon_qx6600())
+    }
+
+    fn row(rows: &[ScalabilityRow], id: BenchmarkId) -> &ScalabilityRow {
+        rows.iter().find(|r| r.id == id).unwrap()
+    }
+
+    #[test]
+    fn suite_contains_all_eight_benchmarks() {
+        let suite = nas_suite();
+        assert_eq!(suite.len(), 8);
+        for (b, id) in suite.iter().zip(BenchmarkId::ALL) {
+            assert_eq!(b.id, id);
+        }
+    }
+
+    #[test]
+    fn scaling_class_benchmarks_scale_well() {
+        // Paper: BT, FT, LU-HP average 2.37x on four cores; BT reaches 2.69x.
+        let rows = study();
+        let mut speedups = Vec::new();
+        for id in [BenchmarkId::Bt, BenchmarkId::Ft, BenchmarkId::LuHp] {
+            let s = row(&rows, id).speedup(Configuration::Four);
+            assert!(s > 1.8, "{id} expected to scale, got {s:.2}x");
+            speedups.push(s);
+        }
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(
+            (1.9..3.2).contains(&mean),
+            "scaling-class mean speedup {mean:.2} outside the paper's band (~2.37)"
+        );
+    }
+
+    #[test]
+    fn flat_class_benchmarks_gain_little_beyond_two_threads() {
+        // Paper: CG, LU, SP gain ~7% on average from four cores vs two.
+        let rows = study();
+        for id in [BenchmarkId::Cg, BenchmarkId::Lu, BenchmarkId::Sp] {
+            let r = row(&rows, id);
+            let t2b = r.get(Configuration::TwoLoose).time_s;
+            let t4 = r.get(Configuration::Four).time_s;
+            let gain = t2b / t4 - 1.0;
+            assert!(
+                gain < 0.30,
+                "{id}: four cores should give limited gain over 2b, got {:.1}%",
+                gain * 100.0
+            );
+            // And they do get a real benefit from the second core.
+            assert!(r.speedup(Configuration::TwoLoose) > 1.4, "{id} should benefit from 2 cores");
+        }
+    }
+
+    #[test]
+    fn poorly_scaling_benchmarks_peak_on_loosely_coupled_pairs() {
+        // Paper: MG and IS run fastest on configuration 2b.
+        let rows = study();
+        for id in [BenchmarkId::Mg, BenchmarkId::Is] {
+            let r = row(&rows, id);
+            assert_eq!(
+                r.best_time_config(),
+                Configuration::TwoLoose,
+                "{id} should be fastest on two loosely-coupled cores"
+            );
+            // Four cores are slower than 2b for this class.
+            assert!(r.get(Configuration::Four).time_s > r.get(Configuration::TwoLoose).time_s);
+        }
+    }
+
+    #[test]
+    fn is_suffers_on_tightly_coupled_cores_and_on_four_cores() {
+        // Paper: IS on 2b is 2.04x faster than on 2a, and 40% slower on 4 vs 1.
+        let rows = study();
+        let r = row(&rows, BenchmarkId::Is);
+        let ratio_tight = r.get(Configuration::TwoTight).time_s / r.get(Configuration::TwoLoose).time_s;
+        assert!(
+            ratio_tight > 1.4,
+            "IS tightly-coupled should be much slower than loosely-coupled, got {ratio_tight:.2}x"
+        );
+        let loss = r.get(Configuration::Four).time_s / r.get(Configuration::One).time_s;
+        assert!(
+            loss > 1.1,
+            "IS on four cores should be slower than sequential (paper: 1.4x), got {loss:.2}x"
+        );
+    }
+
+    #[test]
+    fn power_grows_with_cores_and_most_for_scalable_codes() {
+        // Paper: four-core power is ~14% above one-core on average; BT shows
+        // the largest increase (x1.31), poorly-scaling codes change little.
+        let rows = study();
+        let mut ratios = Vec::new();
+        for r in &rows {
+            let p1 = r.get(Configuration::One).avg_power_w();
+            let p4 = r.get(Configuration::Four).avg_power_w();
+            assert!(p1 > 100.0 && p1 < 150.0, "{}: one-core power {p1}", r.id);
+            assert!(p4 < 180.0, "{}: four-core power {p4}", r.id);
+            ratios.push((r.id, p4 / p1));
+        }
+        let mean: f64 = ratios.iter().map(|(_, x)| x).sum::<f64>() / ratios.len() as f64;
+        assert!((1.05..1.35).contains(&mean), "mean power growth {mean:.2} outside band");
+        let bt_ratio = ratios.iter().find(|(id, _)| *id == BenchmarkId::Bt).unwrap().1;
+        let is_ratio = ratios.iter().find(|(id, _)| *id == BenchmarkId::Is).unwrap().1;
+        assert!(
+            bt_ratio > is_ratio,
+            "the scalable benchmark should show the larger power increase (BT {bt_ratio:.2} vs IS {is_ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn energy_trends_match_the_paper() {
+        let rows = study();
+        // BT: large energy reduction on four cores (paper: factor ~2).
+        let bt = row(&rows, BenchmarkId::Bt);
+        let bt_energy_ratio =
+            bt.get(Configuration::One).energy_j / bt.get(Configuration::Four).energy_j;
+        assert!(bt_energy_ratio > 1.5, "BT four-core energy saving too small: {bt_energy_ratio:.2}");
+        // IS/MG: four cores do not reduce energy relative to 2b.
+        for id in [BenchmarkId::Is, BenchmarkId::Mg] {
+            let r = row(&rows, id);
+            assert!(
+                r.get(Configuration::Four).energy_j > r.get(Configuration::TwoLoose).energy_j * 0.95,
+                "{id}: four cores should not save energy over 2b"
+            );
+        }
+    }
+
+    #[test]
+    fn best_ed2_config_is_never_the_worst_time_config() {
+        let rows = study();
+        for r in &rows {
+            let best = r.best_ed2_config();
+            let worst_time = r
+                .by_config
+                .iter()
+                .max_by(|a, b| a.1.time_s.partial_cmp(&b.1.time_s).unwrap())
+                .unwrap()
+                .0;
+            assert_ne!(best, worst_time, "{}: ED2-optimal config equals the slowest config", r.id);
+        }
+    }
+
+    #[test]
+    #[ignore = "calibration aid: prints the Figure 1/3 table; run with --ignored --nocapture"]
+    fn print_scalability_table() {
+        let rows = study();
+        println!("\n{:8} {:>10} {:>10} {:>10} {:>10} {:>10}", "bench", "1", "2a", "2b", "3", "4");
+        for r in &rows {
+            let times: Vec<String> =
+                Configuration::ALL.iter().map(|&c| format!("{:10.1}", r.get(c).time_s)).collect();
+            println!("{:8} {}", r.id.name(), times.join(" "));
+            let powers: Vec<String> = Configuration::ALL
+                .iter()
+                .map(|&c| format!("{:10.1}", r.get(c).avg_power_w()))
+                .collect();
+            println!("{:8} {}", "  power", powers.join(" "));
+        }
+    }
+}

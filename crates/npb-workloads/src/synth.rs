@@ -1,0 +1,143 @@
+//! Synthetic training workloads.
+//!
+//! The paper trains its ANNs on "training applications representing a variety
+//! of runtime characteristics, as identified by the performance counters".
+//! Besides the leave-one-out NPB corpus, this module can generate additional
+//! randomised phase profiles that span the behaviour space (compute-bound to
+//! bandwidth-bound, cache-resident to thrashing), which is useful for
+//! enlarging the training corpus and for property-based testing.
+
+use rand::Rng;
+
+use xeon_sim::{MissRatioCurve, PhaseProfile};
+
+/// Generator of randomised, physically plausible phase profiles.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkloads {
+    /// Instructions per generated phase instance.
+    pub instructions: f64,
+}
+
+impl Default for SyntheticWorkloads {
+    fn default() -> Self {
+        Self { instructions: 5e8 }
+    }
+}
+
+impl SyntheticWorkloads {
+    /// Creates a generator with the given per-phase instruction count.
+    pub fn new(instructions: f64) -> Self {
+        Self { instructions: instructions.max(1.0) }
+    }
+
+    /// Generates one random phase profile. The memory intensity is drawn
+    /// first and the remaining parameters are derived from it with jitter, so
+    /// generated phases are coherent (a streaming phase also has high L1 miss
+    /// rates, good prefetchability, and so on).
+    pub fn generate_one<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> PhaseProfile {
+        // 0 = fully compute bound, 1 = fully bandwidth bound.
+        let intensity: f64 = rng.gen_range(0.0..1.0f64);
+        let base_cpi = 0.7 + 0.5 * intensity + rng.gen_range(-0.05..0.05);
+        let l1_mpki = 5.0 + 60.0 * intensity * rng.gen_range(0.7..1.3);
+        let floor = 0.5 + 28.0 * intensity * rng.gen_range(0.6..1.4);
+        let peak = floor * rng.gen_range(1.5..4.0);
+        let ws = 0.5 + 3.5 * rng.gen_range(0.2f64..1.0).max(intensity * 0.6);
+        let shape = rng.gen_range(0.7..2.0);
+        let prefetch = if rng.gen_bool(0.5) {
+            // streaming: prefetch friendly
+            rng.gen_range(0.55..0.8)
+        } else {
+            // irregular: prefetch hostile
+            rng.gen_range(0.2..0.45)
+        };
+        let parallel_fraction = rng.gen_range(0.9..0.998);
+        let imbalance = rng.gen_range(0.02..0.35);
+
+        PhaseProfile {
+            name: format!("synth.{index}"),
+            instructions: self.instructions * rng.gen_range(0.3..3.0),
+            parallel_fraction,
+            base_cpi,
+            mem_ref_per_instr: (0.28 + l1_mpki / 250.0).min(0.5),
+            store_fraction: rng.gen_range(0.2..0.45),
+            l1_mpki,
+            l2_mrc: MissRatioCurve::new(floor, peak, ws, shape),
+            load_imbalance: imbalance,
+            serial_overhead_us: rng.gen_range(2.0..10.0),
+            prefetch_coverage: prefetch,
+            branch_pki: rng.gen_range(20.0..90.0),
+            branch_miss_ratio: rng.gen_range(0.01..0.06),
+            dtlb_mpki: l1_mpki / 25.0,
+        }
+    }
+
+    /// Generates `n` random phase profiles.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<PhaseProfile> {
+        (0..n).map(|i| self.generate_one(i, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xeon_sim::{Configuration, Machine};
+
+    #[test]
+    fn generated_profiles_are_valid_and_named_uniquely() {
+        let gen = SyntheticWorkloads::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let phases = gen.generate(50, &mut rng);
+        assert_eq!(phases.len(), 50);
+        let mut names: Vec<_> = phases.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+        for p in &phases {
+            assert!(p.validate().is_ok(), "invalid synthetic profile {:?}", p);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = SyntheticWorkloads::new(1e8);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(gen.generate(10, &mut a), gen.generate(10, &mut b));
+    }
+
+    #[test]
+    fn corpus_spans_compute_and_bandwidth_bound_behaviour() {
+        let gen = SyntheticWorkloads::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let machine = Machine::xeon_qx6600();
+        let phases = gen.generate(60, &mut rng);
+        let speedups: Vec<f64> = phases
+            .iter()
+            .map(|p| {
+                let t1 = machine.simulate_config(p, Configuration::One).time_s;
+                let t4 = machine.simulate_config(p, Configuration::Four).time_s;
+                t1 / t4
+            })
+            .collect();
+        let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+        let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 2.0, "corpus should contain scalable phases (max speedup {max:.2})");
+        assert!(min < 1.5, "corpus should contain contention-limited phases (min speedup {min:.2})");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn any_seed_produces_valid_profiles(seed in 0u64..10_000) {
+            let gen = SyntheticWorkloads::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = gen.generate_one(0, &mut rng);
+            prop_assert!(p.validate().is_ok());
+            prop_assert!(p.parallel_fraction <= 1.0);
+            prop_assert!(p.l2_mrc.peak_mpki >= p.l2_mrc.floor_mpki);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Thread-to-core bindings.
+//!
+//! The paper binds OpenMP threads to specific cores (`sched_setaffinity`
+//! under the hood) and distinguishes *tightly coupled* placements (threads on
+//! cores sharing an L2) from *loosely coupled* ones. On the machine we run
+//! on, real affinity may not be available or meaningful (containers,
+//! arbitrary host core counts), so a [`Binding`] is a *logical* description:
+//! it is honoured exactly by the simulator backend, and treated as advisory
+//! metadata by the live [`crate::team::Team`].
+
+use crate::error::RtError;
+
+/// Logical shape of the machine the runtime schedules onto: how many cores
+/// exist and how they group under shared L2 caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineShape {
+    /// Number of logical cores.
+    pub num_cores: usize,
+    /// Cores per shared L2 cache group.
+    pub cores_per_l2: usize,
+}
+
+impl MachineShape {
+    /// The paper's quad-core Xeon: 4 cores, 2 per L2.
+    pub fn quad_core() -> Self {
+        Self { num_cores: 4, cores_per_l2: 2 }
+    }
+
+    /// A shape matching the host's available parallelism, with a single L2
+    /// group (no sharing structure assumed).
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { num_cores: n, cores_per_l2: n.max(1) }
+    }
+
+    /// Number of L2 groups.
+    pub fn num_l2(&self) -> usize {
+        if self.cores_per_l2 == 0 {
+            return 0;
+        }
+        self.num_cores.div_ceil(self.cores_per_l2)
+    }
+
+    /// L2 group of a core.
+    pub fn l2_of(&self, core: usize) -> usize {
+        core / self.cores_per_l2.max(1)
+    }
+}
+
+/// An ordered assignment of threads to logical cores.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Binding {
+    cores: Vec<usize>,
+}
+
+impl Binding {
+    /// Builds a binding after validation: non-empty, in range, no duplicates.
+    pub fn new(cores: Vec<usize>, shape: &MachineShape) -> Result<Self, RtError> {
+        if cores.is_empty() {
+            return Err(RtError::ZeroThreads);
+        }
+        let mut seen = vec![false; shape.num_cores];
+        for &c in &cores {
+            if c >= shape.num_cores {
+                return Err(RtError::InvalidCore { core: c, num_cores: shape.num_cores });
+            }
+            if seen[c] {
+                return Err(RtError::DuplicateCore { core: c });
+            }
+            seen[c] = true;
+        }
+        Ok(Self { cores })
+    }
+
+    /// `n` threads on consecutive cores starting at core 0 (fills L2 groups
+    /// one at a time — tightly coupled for `n = 2`).
+    pub fn packed(n: usize, shape: &MachineShape) -> Binding {
+        let n = n.clamp(1, shape.num_cores.max(1));
+        Self { cores: (0..n).collect() }
+    }
+
+    /// `n` threads spread round-robin over L2 groups (loosely coupled for
+    /// `n = 2`).
+    pub fn spread(n: usize, shape: &MachineShape) -> Binding {
+        let n = n.clamp(1, shape.num_cores.max(1));
+        let per = shape.cores_per_l2.max(1);
+        let groups = shape.num_l2().max(1);
+        let mut order = Vec::with_capacity(shape.num_cores);
+        for slot in 0..per {
+            for g in 0..groups {
+                let core = g * per + slot;
+                if core < shape.num_cores {
+                    order.push(core);
+                }
+            }
+        }
+        Self { cores: order.into_iter().take(n).collect() }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The core bound to each thread, indexed by thread id.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// Threads placed on each L2 group.
+    pub fn threads_per_l2(&self, shape: &MachineShape) -> Vec<usize> {
+        let mut counts = vec![0usize; shape.num_l2()];
+        for &c in &self.cores {
+            let g = shape.l2_of(c);
+            if g < counts.len() {
+                counts[g] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Whether any two threads share an L2 group.
+    pub fn has_tight_pair(&self, shape: &MachineShape) -> bool {
+        self.threads_per_l2(shape).iter().any(|&k| k > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let q = MachineShape::quad_core();
+        assert_eq!(q.num_l2(), 2);
+        assert_eq!(q.l2_of(3), 1);
+        let h = MachineShape::host();
+        assert!(h.num_cores >= 1);
+        assert!(h.num_l2() >= 1);
+    }
+
+    #[test]
+    fn binding_validation() {
+        let q = MachineShape::quad_core();
+        assert_eq!(Binding::new(vec![], &q), Err(RtError::ZeroThreads));
+        assert_eq!(
+            Binding::new(vec![9], &q),
+            Err(RtError::InvalidCore { core: 9, num_cores: 4 })
+        );
+        assert_eq!(Binding::new(vec![1, 1], &q), Err(RtError::DuplicateCore { core: 1 }));
+        assert!(Binding::new(vec![0, 2], &q).is_ok());
+    }
+
+    #[test]
+    fn packed_vs_spread_match_paper_configurations() {
+        let q = MachineShape::quad_core();
+        let tight = Binding::packed(2, &q); // config 2a
+        assert_eq!(tight.threads_per_l2(&q), vec![2, 0]);
+        assert!(tight.has_tight_pair(&q));
+
+        let loose = Binding::spread(2, &q); // config 2b
+        assert_eq!(loose.threads_per_l2(&q), vec![1, 1]);
+        assert!(!loose.has_tight_pair(&q));
+
+        let three = Binding::spread(3, &q);
+        assert_eq!(three.num_threads(), 3);
+        let four = Binding::packed(4, &q);
+        assert_eq!(four.cores(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clamping_of_requests() {
+        let q = MachineShape::quad_core();
+        assert_eq!(Binding::packed(0, &q).num_threads(), 1);
+        assert_eq!(Binding::packed(99, &q).num_threads(), 4);
+        assert_eq!(Binding::spread(99, &q).num_threads(), 4);
+    }
+
+    #[test]
+    fn spread_on_odd_shapes() {
+        let shape = MachineShape { num_cores: 6, cores_per_l2: 2 };
+        let b = Binding::spread(3, &shape);
+        assert_eq!(b.threads_per_l2(&shape), vec![1, 1, 1]);
+        let shape1 = MachineShape { num_cores: 1, cores_per_l2: 1 };
+        assert_eq!(Binding::spread(4, &shape1).num_threads(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Sense-reversing spin barrier.
+//!
+//! OpenMP worksharing constructs end with an implicit barrier; the cost of
+//! that barrier grows with the number of participating threads, which is one
+//! of the overheads concurrency throttling avoids. This is a classic
+//! centralised sense-reversing barrier: each arrival decrements a counter;
+//! the last arrival resets the counter and flips the global sense, releasing
+//! the spinners.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    participants: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `participants` threads (at least one).
+    pub fn new(participants: usize) -> Self {
+        let participants = participants.max(1);
+        Self {
+            participants,
+            remaining: AtomicUsize::new(participants),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Blocks until all participants have arrived. Returns `true` for exactly
+    /// one caller per round (the last to arrive), mirroring
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arrival: reset and release everyone.
+            self.remaining.store(self.participants, Ordering::Release);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins = spins.wrapping_add(1);
+                if spins % 64 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait(), "a lone participant is always the leader");
+        }
+        assert_eq!(b.participants(), 1);
+        // Zero clamps to one.
+        assert_eq!(SpinBarrier::new(0).participants(), 1);
+    }
+
+    #[test]
+    fn synchronises_phases_across_threads() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 50;
+        let barrier = SpinBarrier::new(THREADS);
+        let counter = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier every thread must observe all
+                        // increments of this round.
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= (round + 1) * THREADS,
+                            "round {round}: saw {seen} increments"
+                        );
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), THREADS * ROUNDS);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        const THREADS: usize = 3;
+        const ROUNDS: usize = 20;
+        let barrier = SpinBarrier::new(THREADS);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), ROUNDS);
+    }
+}

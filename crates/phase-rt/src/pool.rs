@@ -1,0 +1,199 @@
+//! Persistent background worker pool.
+//!
+//! ACTOR performs work outside the timed phases — offline model training,
+//! logging, writing reports. A small persistent pool keeps that work off the
+//! application threads. Built on `crossbeam` channels with a graceful
+//! shutdown protocol; jobs are `'static` closures (the fork-join, borrowing
+//! path for parallel regions lives in [`crate::team`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::RtError;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: AtomicUsize,
+    idle_cv: Condvar,
+    idle_mutex: Mutex<()>,
+}
+
+/// A fixed-size pool of background worker threads.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` worker threads (at least one).
+    pub fn new(size: usize) -> Result<Self, RtError> {
+        if size == 0 {
+            return Err(RtError::ZeroThreads);
+        }
+        let (sender, receiver) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            idle_cv: Condvar::new(),
+            idle_mutex: Mutex::new(()),
+        });
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("phase-rt-pool-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let _guard = shared.idle_mutex.lock();
+                            shared.idle_cv.notify_all();
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+        Ok(Self { sender: Some(sender), workers, shared })
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of jobs submitted but not yet completed.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Submits a job for asynchronous execution.
+    pub fn execute<F>(&self, job: F) -> Result<(), RtError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        match &self.sender {
+            Some(tx) => {
+                self.shared.pending.fetch_add(1, Ordering::AcqRel);
+                tx.send(Box::new(job)).map_err(|_| {
+                    self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+                    RtError::PoolShutDown
+                })
+            }
+            None => Err(RtError::PoolShutDown),
+        }
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_mutex.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Shuts the pool down, waiting for in-flight jobs to finish. Called
+    /// automatically on drop.
+    pub fn shutdown(&mut self) {
+        if let Some(sender) = self.sender.take() {
+            drop(sender);
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn construction_validation() {
+        assert!(ThreadPool::new(0).is_err());
+        let pool = ThreadPool::new(3).unwrap();
+        assert_eq!(pool.size(), 3);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_slow_jobs_finish() {
+        let pool = ThreadPool::new(2).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let d = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                d.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs() {
+        let mut pool = ThreadPool::new(1).unwrap();
+        pool.execute(|| {}).unwrap();
+        pool.shutdown();
+        assert_eq!(pool.execute(|| {}), Err(RtError::PoolShutDown));
+        // Shutdown is idempotent.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_waits_for_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2).unwrap();
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+            // pool dropped here
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

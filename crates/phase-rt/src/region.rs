@@ -1,0 +1,125 @@
+//! Phase identifiers and instrumentation hooks.
+//!
+//! "ACTOR library calls are added at the beginning and end of each phase to
+//! initialize our runtime system, to collect performance counter values, to
+//! make performance predictions and to enforce concurrency decisions made for
+//! each phase" (Section IV-B). The [`RegionListener`] trait is that hook
+//! surface: the team invokes it around every region execution, and the
+//! listener (ACTOR) may override the thread count/binding before the region
+//! runs.
+
+use std::time::Duration;
+
+use crate::affinity::Binding;
+
+/// Identifier of a phase (parallel region). In an instrumented program each
+/// static region gets a stable id, exactly like the paper's user-defined
+/// phase annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhaseId(u32);
+
+impl PhaseId {
+    /// Creates a phase id.
+    pub const fn new(id: u32) -> Self {
+        Self(id)
+    }
+
+    /// The raw id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "phase{}", self.0)
+    }
+}
+
+/// What happened during one execution of a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEvent {
+    /// The phase that executed.
+    pub phase: PhaseId,
+    /// The binding that was actually used.
+    pub binding: Binding,
+    /// Wall-clock duration of the region body (fork/join included).
+    pub duration: Duration,
+    /// Monotonically increasing instance number of this phase (0-based).
+    pub instance: u64,
+}
+
+/// Hook invoked by the team around region execution.
+///
+/// Implementations must be thread-safe; the team calls `before_region` and
+/// `after_region` from the thread that launches the region (never from
+/// worker threads).
+pub trait RegionListener: Send + Sync {
+    /// Called before a region executes. Returning `Some(binding)` overrides
+    /// the binding requested by the application — this is how concurrency
+    /// throttling is enforced.
+    fn before_region(&self, phase: PhaseId, requested: &Binding, instance: u64) -> Option<Binding> {
+        let _ = (phase, requested, instance);
+        None
+    }
+
+    /// Called after a region completes with the realised event.
+    fn after_region(&self, event: &RegionEvent) {
+        let _ = event;
+    }
+}
+
+/// A listener that does nothing (the default when ACTOR is not attached).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullListener;
+
+impl RegionListener for NullListener {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::MachineShape;
+
+    #[test]
+    fn phase_id_basics() {
+        let p = PhaseId::new(3);
+        assert_eq!(p.raw(), 3);
+        assert_eq!(p.to_string(), "phase3");
+        assert!(PhaseId::new(1) < PhaseId::new(2));
+    }
+
+    #[test]
+    fn null_listener_never_overrides() {
+        let l = NullListener;
+        let shape = MachineShape::quad_core();
+        let b = Binding::packed(4, &shape);
+        assert!(l.before_region(PhaseId::new(0), &b, 0).is_none());
+        // after_region is a no-op; just exercise it.
+        l.after_region(&RegionEvent {
+            phase: PhaseId::new(0),
+            binding: b,
+            duration: Duration::from_millis(1),
+            instance: 0,
+        });
+    }
+
+    #[test]
+    fn listener_default_methods_can_be_overridden() {
+        struct Throttle;
+        impl RegionListener for Throttle {
+            fn before_region(
+                &self,
+                _phase: PhaseId,
+                _requested: &Binding,
+                _instance: u64,
+            ) -> Option<Binding> {
+                Some(Binding::packed(1, &MachineShape::quad_core()))
+            }
+        }
+        let t = Throttle;
+        let shape = MachineShape::quad_core();
+        let override_binding =
+            t.before_region(PhaseId::new(7), &Binding::packed(4, &shape), 3).unwrap();
+        assert_eq!(override_binding.num_threads(), 1);
+    }
+}

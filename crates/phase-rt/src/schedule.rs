@@ -1,0 +1,259 @@
+//! OpenMP-style loop schedulers.
+//!
+//! Parallel loops dominate the NPB codes; the runtime provides the three
+//! classic worksharing schedules. A [`ChunkQueue`] hands out index ranges to
+//! the team's threads:
+//!
+//! * **Static** — the iteration space is divided up front into equal chunks
+//!   assigned round-robin, so assignment is deterministic and contention-free;
+//! * **Dynamic** — threads grab fixed-size chunks from a shared counter,
+//!   trading contention for load balance;
+//! * **Guided** — like dynamic but with geometrically shrinking chunk sizes.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::RtError;
+
+/// A loop schedule, mirroring OpenMP's `schedule(static|dynamic|guided)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopSchedule {
+    /// Round-robin static chunks of the given size (0 = one contiguous block
+    /// per thread).
+    Static {
+        /// Chunk size; 0 means "divide evenly into one block per thread".
+        chunk: usize,
+    },
+    /// Threads dynamically grab chunks of the given size.
+    Dynamic {
+        /// Chunk size (must be ≥ 1).
+        chunk: usize,
+    },
+    /// Dynamic with geometrically decreasing chunk sizes, never below
+    /// `min_chunk`.
+    Guided {
+        /// Minimum chunk size (must be ≥ 1).
+        min_chunk: usize,
+    },
+}
+
+impl LoopSchedule {
+    /// Validates the schedule parameters.
+    pub fn validate(&self) -> Result<(), RtError> {
+        match *self {
+            LoopSchedule::Static { .. } => Ok(()),
+            LoopSchedule::Dynamic { chunk } if chunk == 0 => Err(RtError::InvalidChunk { chunk }),
+            LoopSchedule::Guided { min_chunk } if min_chunk == 0 => {
+                Err(RtError::InvalidChunk { chunk: min_chunk })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A shared queue of loop chunks for one parallel-for execution.
+#[derive(Debug)]
+pub struct ChunkQueue {
+    total: usize,
+    threads: usize,
+    schedule: LoopSchedule,
+    /// Shared claim counter for dynamic/guided schedules.
+    next: AtomicUsize,
+    /// Per-thread position counters for static schedules (k-th chunk taken so
+    /// far by each thread).
+    positions: Vec<AtomicUsize>,
+}
+
+impl ChunkQueue {
+    /// Creates a queue over `0..total` iterations for `threads` workers.
+    pub fn new(total: usize, threads: usize, schedule: LoopSchedule) -> Result<Self, RtError> {
+        schedule.validate()?;
+        if threads == 0 {
+            return Err(RtError::ZeroThreads);
+        }
+        Ok(Self {
+            total,
+            threads,
+            schedule,
+            next: AtomicUsize::new(0),
+            positions: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
+        })
+    }
+
+    /// Total number of iterations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Returns the next index range for `thread_id`, or `None` when the
+    /// iteration space is exhausted for that thread.
+    pub fn next_chunk(&self, thread_id: usize) -> Option<Range<usize>> {
+        match self.schedule {
+            LoopSchedule::Static { chunk } => self.next_static(thread_id, chunk),
+            LoopSchedule::Dynamic { chunk } => self.next_dynamic(chunk),
+            LoopSchedule::Guided { min_chunk } => self.next_guided(min_chunk),
+        }
+    }
+
+    fn next_static(&self, thread_id: usize, chunk: usize) -> Option<Range<usize>> {
+        let thread_id = thread_id % self.threads;
+        let k = self.positions[thread_id].fetch_add(1, Ordering::AcqRel);
+        if chunk == 0 {
+            // Single contiguous block per thread, taken exactly once.
+            if k > 0 {
+                return None;
+            }
+            let per = self.total.div_ceil(self.threads);
+            let start = thread_id * per;
+            if start >= self.total {
+                return None;
+            }
+            Some(start..(start + per).min(self.total))
+        } else {
+            // Round-robin chunks: thread t owns chunks t, t+T, t+2T, ...
+            let idx = thread_id + k * self.threads;
+            let start = idx * chunk;
+            if start >= self.total {
+                return None;
+            }
+            Some(start..(start + chunk).min(self.total))
+        }
+    }
+
+    fn next_dynamic(&self, chunk: usize) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(chunk, Ordering::AcqRel);
+        if start >= self.total {
+            return None;
+        }
+        Some(start..(start + chunk).min(self.total))
+    }
+
+    fn next_guided(&self, min_chunk: usize) -> Option<Range<usize>> {
+        loop {
+            let start = self.next.load(Ordering::Acquire);
+            if start >= self.total {
+                return None;
+            }
+            let remaining = self.total - start;
+            let chunk = (remaining / (2 * self.threads)).max(min_chunk).min(remaining);
+            if self
+                .next
+                .compare_exchange(start, start + chunk, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(start..start + chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn drain_all(queue: &ChunkQueue, threads: usize) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        for t in 0..threads {
+            while let Some(r) = queue.next_chunk(t) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn covers_exactly(ranges: &[Range<usize>], total: usize) {
+        let mut seen = HashSet::new();
+        for r in ranges {
+            for i in r.clone() {
+                assert!(seen.insert(i), "iteration {i} handed out twice");
+            }
+        }
+        assert_eq!(seen.len(), total, "not all iterations covered");
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(LoopSchedule::Static { chunk: 0 }.validate().is_ok());
+        assert!(LoopSchedule::Dynamic { chunk: 0 }.validate().is_err());
+        assert!(LoopSchedule::Guided { min_chunk: 0 }.validate().is_err());
+        assert!(LoopSchedule::Dynamic { chunk: 4 }.validate().is_ok());
+        assert!(ChunkQueue::new(10, 0, LoopSchedule::Dynamic { chunk: 1 }).is_err());
+        assert!(ChunkQueue::new(10, 2, LoopSchedule::Dynamic { chunk: 0 }).is_err());
+    }
+
+    #[test]
+    fn static_block_covers_all_iterations() {
+        let q = ChunkQueue::new(103, 4, LoopSchedule::Static { chunk: 0 }).unwrap();
+        let ranges = drain_all(&q, 4);
+        covers_exactly(&ranges, 103);
+        assert!(ranges.len() <= 4);
+        assert_eq!(q.total(), 103);
+    }
+
+    #[test]
+    fn static_chunked_is_round_robin_and_complete() {
+        let q = ChunkQueue::new(100, 3, LoopSchedule::Static { chunk: 10 }).unwrap();
+        let ranges = drain_all(&q, 3);
+        covers_exactly(&ranges, 100);
+    }
+
+    #[test]
+    fn dynamic_covers_all_iterations_single_thread() {
+        let q = ChunkQueue::new(57, 1, LoopSchedule::Dynamic { chunk: 8 }).unwrap();
+        let ranges = drain_all(&q, 1);
+        covers_exactly(&ranges, 57);
+        // chunk boundaries respected
+        for r in &ranges {
+            assert!(r.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn dynamic_covers_all_iterations_concurrently() {
+        let q = ChunkQueue::new(10_000, 4, LoopSchedule::Dynamic { chunk: 7 }).unwrap();
+        let claimed: Vec<Range<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(r) = q.next_chunk(t) {
+                            mine.push(r);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        covers_exactly(&claimed, 10_000);
+    }
+
+    #[test]
+    fn guided_chunks_shrink_and_cover() {
+        let q = ChunkQueue::new(1000, 4, LoopSchedule::Guided { min_chunk: 4 }).unwrap();
+        let ranges = drain_all(&q, 4);
+        covers_exactly(&ranges, 1000);
+        // First chunk is the largest.
+        let first = ranges.first().unwrap().len();
+        let last = ranges.last().unwrap().len();
+        assert!(first >= last);
+        assert!(first >= 1000 / 8, "guided first chunk should be sizeable, got {first}");
+    }
+
+    #[test]
+    fn empty_iteration_space() {
+        for sched in [
+            LoopSchedule::Static { chunk: 0 },
+            LoopSchedule::Static { chunk: 4 },
+            LoopSchedule::Dynamic { chunk: 4 },
+            LoopSchedule::Guided { min_chunk: 2 },
+        ] {
+            let q = ChunkQueue::new(0, 3, sched).unwrap();
+            for t in 0..3 {
+                assert!(q.next_chunk(t).is_none());
+            }
+        }
+    }
+}

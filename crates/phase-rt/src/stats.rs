@@ -1,0 +1,157 @@
+//! Per-phase runtime statistics.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::region::{PhaseId, RegionEvent};
+
+/// Accumulated statistics of one phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Number of times the phase executed.
+    pub executions: u64,
+    /// Total wall-clock time spent in the phase.
+    pub total_time: Duration,
+    /// Shortest single execution observed.
+    pub min_time: Duration,
+    /// Longest single execution observed.
+    pub max_time: Duration,
+    /// Thread count used by the most recent execution.
+    pub last_threads: usize,
+}
+
+impl PhaseStats {
+    /// Mean execution time (zero when the phase never ran).
+    pub fn mean_time(&self) -> Duration {
+        if self.executions == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.executions as u32
+        }
+    }
+}
+
+/// Thread-safe collection of per-phase statistics.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    phases: RwLock<HashMap<PhaseId, PhaseStats>>,
+}
+
+impl RuntimeStats {
+    /// New empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one region event.
+    pub fn record(&self, event: &RegionEvent) {
+        let mut phases = self.phases.write();
+        let entry = phases.entry(event.phase).or_default();
+        entry.executions += 1;
+        entry.total_time += event.duration;
+        entry.min_time = if entry.executions == 1 {
+            event.duration
+        } else {
+            entry.min_time.min(event.duration)
+        };
+        entry.max_time = entry.max_time.max(event.duration);
+        entry.last_threads = event.binding.num_threads();
+    }
+
+    /// Snapshot of all phase statistics.
+    pub fn snapshot(&self) -> HashMap<PhaseId, PhaseStats> {
+        self.phases.read().clone()
+    }
+
+    /// Statistics of a single phase, if it has executed.
+    pub fn phase(&self, phase: PhaseId) -> Option<PhaseStats> {
+        self.phases.read().get(&phase).cloned()
+    }
+
+    /// Total time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.read().values().map(|s| s.total_time).sum()
+    }
+
+    /// Number of distinct phases observed.
+    pub fn num_phases(&self) -> usize {
+        self.phases.read().len()
+    }
+
+    /// Clears all statistics.
+    pub fn reset(&self) {
+        self.phases.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::{Binding, MachineShape};
+
+    fn event(phase: u32, ms: u64, threads: usize) -> RegionEvent {
+        let shape = MachineShape::quad_core();
+        RegionEvent {
+            phase: PhaseId::new(phase),
+            binding: Binding::packed(threads, &shape),
+            duration: Duration::from_millis(ms),
+            instance: 0,
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = RuntimeStats::new();
+        stats.record(&event(1, 10, 4));
+        stats.record(&event(1, 30, 2));
+        stats.record(&event(2, 5, 1));
+
+        let s1 = stats.phase(PhaseId::new(1)).unwrap();
+        assert_eq!(s1.executions, 2);
+        assert_eq!(s1.total_time, Duration::from_millis(40));
+        assert_eq!(s1.min_time, Duration::from_millis(10));
+        assert_eq!(s1.max_time, Duration::from_millis(30));
+        assert_eq!(s1.mean_time(), Duration::from_millis(20));
+        assert_eq!(s1.last_threads, 2);
+
+        assert_eq!(stats.num_phases(), 2);
+        assert_eq!(stats.total_time(), Duration::from_millis(45));
+        assert!(stats.phase(PhaseId::new(9)).is_none());
+        assert_eq!(stats.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let stats = RuntimeStats::new();
+        stats.record(&event(1, 10, 1));
+        stats.reset();
+        assert_eq!(stats.num_phases(), 0);
+        assert_eq!(stats.total_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_phase_stats_mean_is_zero() {
+        assert_eq!(PhaseStats::default().mean_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let stats = RuntimeStats::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let stats = &stats;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        stats.record(&event(t, 1, 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.num_phases(), 4);
+        for t in 0..4 {
+            assert_eq!(stats.phase(PhaseId::new(t)).unwrap().executions, 100);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Fork-join execution of parallel regions by a team of threads.
+//!
+//! A [`Team`] plays the role of the OpenMP runtime in the paper: the
+//! application asks it to execute a *region* (phase) with a requested thread
+//! binding; an attached [`RegionListener`] (ACTOR) may override that binding
+//! — this is how concurrency throttling is enforced — and receives a
+//! [`RegionEvent`] when the region completes.
+//!
+//! Regions execute on scoped threads so the region body may borrow from the
+//! caller's stack, exactly like an OpenMP parallel region captures the
+//! enclosing frame.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::affinity::{Binding, MachineShape};
+use crate::error::RtError;
+use crate::region::{PhaseId, RegionEvent, RegionListener};
+use crate::schedule::{ChunkQueue, LoopSchedule};
+use crate::stats::RuntimeStats;
+
+/// Context handed to each thread of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCtx {
+    /// Thread id within the team, `0..num_threads`.
+    pub thread_id: usize,
+    /// Number of threads executing the region.
+    pub num_threads: usize,
+    /// Logical core this thread is bound to (advisory on the host, exact in
+    /// the simulator).
+    pub core: usize,
+}
+
+/// Report returned by [`Team::run_region`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    /// The event that was also delivered to the listener.
+    pub event: RegionEvent,
+}
+
+impl RegionReport {
+    /// Wall-clock duration of the region.
+    pub fn duration(&self) -> Duration {
+        self.event.duration
+    }
+
+    /// Number of threads that executed the region.
+    pub fn threads(&self) -> usize {
+        self.event.binding.num_threads()
+    }
+}
+
+struct PhaseCounter {
+    counts: Mutex<std::collections::HashMap<PhaseId, u64>>,
+}
+
+/// A team of threads executing parallel regions.
+pub struct Team {
+    max_threads: usize,
+    shape: MachineShape,
+    listener: Mutex<Option<Arc<dyn RegionListener>>>,
+    stats: RuntimeStats,
+    instances: PhaseCounter,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("max_threads", &self.max_threads)
+            .field("shape", &self.shape)
+            .finish()
+    }
+}
+
+impl Team {
+    /// Creates a team supporting up to `max_threads` threads on the default
+    /// quad-core machine shape.
+    pub fn new(max_threads: usize) -> Result<Self, RtError> {
+        Self::with_shape(max_threads, MachineShape::quad_core())
+    }
+
+    /// Creates a team with an explicit machine shape.
+    pub fn with_shape(max_threads: usize, shape: MachineShape) -> Result<Self, RtError> {
+        if max_threads == 0 {
+            return Err(RtError::ZeroThreads);
+        }
+        Ok(Self {
+            max_threads,
+            shape,
+            listener: Mutex::new(None),
+            stats: RuntimeStats::new(),
+            instances: PhaseCounter { counts: Mutex::new(Default::default()) },
+        })
+    }
+
+    /// Maximum number of threads this team will use.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// The machine shape the team schedules onto.
+    pub fn shape(&self) -> &MachineShape {
+        &self.shape
+    }
+
+    /// Attaches a region listener (ACTOR); replaces any previous listener.
+    pub fn set_listener(&self, listener: Arc<dyn RegionListener>) {
+        *self.listener.lock() = Some(listener);
+    }
+
+    /// Removes the listener.
+    pub fn clear_listener(&self) {
+        *self.listener.lock() = None;
+    }
+
+    /// Accumulated per-phase statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Executes a parallel region identified by `phase` with the requested
+    /// binding (possibly overridden by the listener). The body runs once per
+    /// thread with that thread's [`WorkerCtx`].
+    pub fn run_region<F>(&self, phase: PhaseId, requested: &Binding, body: F) -> RegionReport
+    where
+        F: Fn(WorkerCtx) + Sync,
+    {
+        let instance = {
+            let mut counts = self.instances.counts.lock();
+            let c = counts.entry(phase).or_insert(0);
+            let current = *c;
+            *c += 1;
+            current
+        };
+
+        // Give the listener a chance to throttle concurrency for this phase.
+        let listener = self.listener.lock().clone();
+        let binding = listener
+            .as_ref()
+            .and_then(|l| l.before_region(phase, requested, instance))
+            .unwrap_or_else(|| requested.clone());
+        let binding = self.clamp_binding(binding);
+
+        let n = binding.num_threads();
+        let start = Instant::now();
+        if n == 1 {
+            body(WorkerCtx { thread_id: 0, num_threads: 1, core: binding.cores()[0] });
+        } else {
+            std::thread::scope(|scope| {
+                for tid in 0..n {
+                    let ctx = WorkerCtx {
+                        thread_id: tid,
+                        num_threads: n,
+                        core: binding.cores()[tid],
+                    };
+                    let body = &body;
+                    scope.spawn(move || body(ctx));
+                }
+            });
+        }
+        let duration = start.elapsed();
+
+        let event = RegionEvent { phase, binding, duration, instance };
+        self.stats.record(&event);
+        if let Some(l) = listener {
+            l.after_region(&event);
+        }
+        RegionReport { event }
+    }
+
+    /// Data-parallel loop over `0..total` with the given schedule: the body
+    /// receives individual indices.
+    pub fn parallel_for<F>(
+        &self,
+        phase: PhaseId,
+        binding: &Binding,
+        total: usize,
+        schedule: LoopSchedule,
+        body: F,
+    ) -> Result<RegionReport, RtError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        schedule.validate()?;
+        let threads = binding.num_threads().min(self.max_threads).max(1);
+        let queue = ChunkQueue::new(total, threads, schedule)?;
+        let report = self.run_region(phase, binding, |ctx| {
+            while let Some(range) = queue.next_chunk(ctx.thread_id) {
+                for i in range {
+                    body(i);
+                }
+            }
+        });
+        Ok(report)
+    }
+
+    fn clamp_binding(&self, binding: Binding) -> Binding {
+        if binding.num_threads() <= self.max_threads {
+            binding
+        } else {
+            Binding::new(binding.cores()[..self.max_threads].to_vec(), &self.shape)
+                .unwrap_or_else(|_| Binding::packed(self.max_threads, &self.shape))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    fn team() -> Team {
+        Team::new(4).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Team::new(0).is_err());
+        let t = team();
+        assert_eq!(t.max_threads(), 4);
+        assert_eq!(t.shape().num_cores, 4);
+    }
+
+    #[test]
+    fn region_runs_once_per_thread_with_distinct_ids() {
+        let t = team();
+        let shape = *t.shape();
+        let seen = StdMutex::new(Vec::new());
+        let binding = Binding::packed(4, &shape);
+        let report = t.run_region(PhaseId::new(1), &binding, |ctx| {
+            seen.lock().unwrap().push((ctx.thread_id, ctx.core, ctx.num_threads));
+        });
+        let mut ids: Vec<_> = seen.lock().unwrap().iter().map(|(tid, _, _)| *tid).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        for (_, core, n) in seen.lock().unwrap().iter() {
+            assert!(*core < 4);
+            assert_eq!(*n, 4);
+        }
+        assert_eq!(report.threads(), 4);
+        assert!(report.duration() > Duration::ZERO);
+    }
+
+    #[test]
+    fn region_body_can_borrow_stack_data() {
+        let t = team();
+        let shape = *t.shape();
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let sum = AtomicUsize::new(0);
+        let binding = Binding::spread(2, &shape);
+        t.run_region(PhaseId::new(2), &binding, |ctx| {
+            let mine: u64 = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % ctx.num_threads == ctx.thread_id)
+                .map(|(_, v)| *v)
+                .sum();
+            sum.fetch_add(mine as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
+    fn listener_can_throttle_concurrency() {
+        struct ForceOne;
+        impl RegionListener for ForceOne {
+            fn before_region(
+                &self,
+                _phase: PhaseId,
+                _requested: &Binding,
+                _instance: u64,
+            ) -> Option<Binding> {
+                Some(Binding::packed(1, &MachineShape::quad_core()))
+            }
+        }
+        let t = team();
+        t.set_listener(Arc::new(ForceOne));
+        let shape = *t.shape();
+        let threads_used = AtomicUsize::new(0);
+        let report = t.run_region(PhaseId::new(3), &Binding::packed(4, &shape), |ctx| {
+            threads_used.fetch_max(ctx.num_threads, Ordering::Relaxed);
+        });
+        assert_eq!(report.threads(), 1);
+        assert_eq!(threads_used.load(Ordering::Relaxed), 1);
+        t.clear_listener();
+        let report = t.run_region(PhaseId::new(3), &Binding::packed(4, &shape), |_| {});
+        assert_eq!(report.threads(), 4);
+    }
+
+    #[test]
+    fn listener_observes_events_and_instances_increment() {
+        #[derive(Default)]
+        struct Recorder {
+            events: StdMutex<Vec<(u32, u64, usize)>>,
+        }
+        impl RegionListener for Recorder {
+            fn after_region(&self, event: &RegionEvent) {
+                self.events.lock().unwrap().push((
+                    event.phase.raw(),
+                    event.instance,
+                    event.binding.num_threads(),
+                ));
+            }
+        }
+        let t = team();
+        let recorder = Arc::new(Recorder::default());
+        t.set_listener(recorder.clone());
+        let shape = *t.shape();
+        let b = Binding::packed(2, &shape);
+        for _ in 0..3 {
+            t.run_region(PhaseId::new(7), &b, |_| {});
+        }
+        t.run_region(PhaseId::new(8), &b, |_| {});
+        let events = recorder.events.lock().unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], (7, 0, 2));
+        assert_eq!(events[1], (7, 1, 2));
+        assert_eq!(events[2], (7, 2, 2));
+        assert_eq!(events[3], (8, 0, 2));
+    }
+
+    #[test]
+    fn parallel_for_computes_correct_result_under_all_schedules() {
+        let t = team();
+        let shape = *t.shape();
+        let n = 10_000usize;
+        for schedule in [
+            LoopSchedule::Static { chunk: 0 },
+            LoopSchedule::Static { chunk: 16 },
+            LoopSchedule::Dynamic { chunk: 32 },
+            LoopSchedule::Guided { min_chunk: 8 },
+        ] {
+            let hits = (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+            t.parallel_for(PhaseId::new(9), &Binding::packed(4, &shape), n, schedule, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "schedule {schedule:?} must visit every index exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_for_rejects_bad_schedules() {
+        let t = team();
+        let shape = *t.shape();
+        let r = t.parallel_for(
+            PhaseId::new(10),
+            &Binding::packed(2, &shape),
+            10,
+            LoopSchedule::Dynamic { chunk: 0 },
+            |_| {},
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bindings_wider_than_the_team_are_clamped() {
+        let small = Team::new(2).unwrap();
+        let shape = *small.shape();
+        let report = small.run_region(PhaseId::new(11), &Binding::packed(4, &shape), |_| {});
+        assert_eq!(report.threads(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate_per_phase() {
+        let t = team();
+        let shape = *t.shape();
+        let b = Binding::packed(2, &shape);
+        for _ in 0..5 {
+            t.run_region(PhaseId::new(20), &b, |_| {});
+        }
+        let snapshot = t.stats().snapshot();
+        let s = snapshot.get(&PhaseId::new(20)).unwrap();
+        assert_eq!(s.executions, 5);
+        assert!(s.total_time > Duration::ZERO);
+        assert_eq!(s.last_threads, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Front-side-bus / memory-bandwidth contention model.
+//!
+//! The second scalability pathology in the paper is saturation of the shared
+//! 1066 MHz front-side bus: IS loses 40 % performance on four cores because
+//! "destructive interference in the shared L2, and the resulting memory
+//! bandwidth saturation" (Section III-A). We model the bus as a single
+//! queueing resource: as the aggregate miss bandwidth demanded by all threads
+//! approaches the effective bus capacity, the latency of each memory access
+//! is inflated by an M/M/1-style queueing factor, clamped at a maximum
+//! utilisation so the fixed-point iteration in the machine model stays
+//! finite.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::MachineParams;
+
+/// Shared-bus contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusModel {
+    /// Effective capacity of the bus/memory path in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Unloaded (uncontended) memory latency in nanoseconds.
+    pub base_latency_ns: f64,
+    /// Aggressiveness of the queueing delay term.
+    pub queue_factor: f64,
+    /// Maximum utilisation used in the delay formula (demand beyond this is
+    /// treated as this value for latency purposes; throughput is still capped
+    /// by the reported utilisation).
+    pub max_utilisation: f64,
+}
+
+impl BusModel {
+    /// Builds the bus model from machine parameters.
+    pub fn from_params(params: &MachineParams) -> Self {
+        Self {
+            bandwidth_bytes_per_s: params.effective_bandwidth_bytes(),
+            base_latency_ns: params.mem_latency_ns,
+            queue_factor: params.bus_queue_factor,
+            max_utilisation: params.bus_max_utilisation,
+        }
+    }
+
+    /// Raw utilisation implied by a demand (may exceed 1.0 when the demand is
+    /// unsatisfiable; callers use this to detect saturation).
+    pub fn raw_utilisation(&self, demand_bytes_per_s: f64) -> f64 {
+        (demand_bytes_per_s / self.bandwidth_bytes_per_s).max(0.0)
+    }
+
+    /// Utilisation clamped to the model's maximum (used in the latency
+    /// formula and in the power model).
+    pub fn utilisation(&self, demand_bytes_per_s: f64) -> f64 {
+        self.raw_utilisation(demand_bytes_per_s).min(self.max_utilisation)
+    }
+
+    /// Effective per-access memory latency (ns) under the given aggregate
+    /// bandwidth demand. Monotonically non-decreasing in the demand.
+    pub fn effective_latency_ns(&self, demand_bytes_per_s: f64) -> f64 {
+        let u = self.utilisation(demand_bytes_per_s);
+        self.base_latency_ns * (1.0 + self.queue_factor * u / (1.0 - u))
+    }
+
+    /// The achievable throughput (bytes/s) for a given demand: the demand
+    /// itself while below capacity, the capacity once saturated.
+    pub fn achievable_bandwidth(&self, demand_bytes_per_s: f64) -> f64 {
+        demand_bytes_per_s.min(self.bandwidth_bytes_per_s)
+    }
+
+    /// Slowdown factor imposed on a bandwidth-bound phase: 1.0 while the
+    /// demand fits, `demand / capacity` once it exceeds the bus.
+    pub fn bandwidth_slowdown(&self, demand_bytes_per_s: f64) -> f64 {
+        let raw = self.raw_utilisation(demand_bytes_per_s);
+        raw.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> BusModel {
+        BusModel::from_params(&MachineParams::xeon_qx6600())
+    }
+
+    #[test]
+    fn unloaded_latency_matches_base() {
+        let b = bus();
+        assert!((b.effective_latency_ns(0.0) - b.base_latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_demand() {
+        let b = bus();
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let demand = i as f64 * 0.05 * b.bandwidth_bytes_per_s;
+            let lat = b.effective_latency_ns(demand);
+            assert!(lat >= prev, "latency must not decrease with demand");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn latency_saturates_at_max_utilisation() {
+        let b = bus();
+        let at_cap = b.effective_latency_ns(b.bandwidth_bytes_per_s);
+        let beyond = b.effective_latency_ns(10.0 * b.bandwidth_bytes_per_s);
+        assert!((at_cap - beyond).abs() < 1e-9, "latency clamps beyond max utilisation");
+        assert!(at_cap > 3.0 * b.base_latency_ns, "near saturation the queueing delay dominates");
+    }
+
+    #[test]
+    fn utilisation_and_throughput() {
+        let b = bus();
+        assert!((b.utilisation(0.5 * b.bandwidth_bytes_per_s) - 0.5).abs() < 1e-9);
+        assert!(b.utilisation(2.0 * b.bandwidth_bytes_per_s) <= b.max_utilisation);
+        assert!(b.raw_utilisation(2.0 * b.bandwidth_bytes_per_s) > 1.9);
+        assert_eq!(
+            b.achievable_bandwidth(2.0 * b.bandwidth_bytes_per_s),
+            b.bandwidth_bytes_per_s
+        );
+        assert_eq!(b.achievable_bandwidth(1.0), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_slowdown_kicks_in_at_saturation() {
+        let b = bus();
+        assert_eq!(b.bandwidth_slowdown(0.3 * b.bandwidth_bytes_per_s), 1.0);
+        assert!((b.bandwidth_slowdown(3.0 * b.bandwidth_bytes_per_s) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! Hardware performance-counter events produced by the machine model.
+//!
+//! The paper samples *twelve* hardware events "representing the cache and bus
+//! behaviour of the application" (Section V-A) through PAPI, normalising each
+//! to elapsed cycles to obtain event *rates*. The concrete event list is not
+//! given in the paper; we use a representative Core-2-era set covering the
+//! same resources (L1/L2 caches, front-side bus, TLB, branches, stalls).
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware event countable by the (modelled) performance monitoring unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum HwEvent {
+    /// Retired instructions.
+    Instructions = 0,
+    /// Elapsed (unhalted) core cycles on the critical core.
+    Cycles = 1,
+    /// L1 data-cache accesses (loads + stores reaching the L1D).
+    L1DAccesses = 2,
+    /// L1 data-cache misses (requests forwarded to the shared L2).
+    L1DMisses = 3,
+    /// Accesses to the shared L2 cache.
+    L2Accesses = 4,
+    /// Misses in the shared L2 cache (requests forwarded to the FSB).
+    L2Misses = 5,
+    /// Front-side-bus transactions (reads + writebacks).
+    BusTransactions = 6,
+    /// Bus cycles during which the data bus was busy.
+    BusBusyCycles = 7,
+    /// Cycles the pipeline stalled waiting on memory.
+    MemStallCycles = 8,
+    /// Data TLB misses.
+    DtlbMisses = 9,
+    /// Retired branch instructions.
+    Branches = 10,
+    /// Mispredicted branches.
+    BranchMisses = 11,
+    /// Retired store instructions.
+    Stores = 12,
+    /// Hardware prefetch requests issued by the L2 prefetcher.
+    PrefetchRequests = 13,
+}
+
+/// Number of distinct events the model produces.
+pub const NUM_EVENTS: usize = 14;
+
+/// The twelve events monitored by ACTOR for prediction (everything except
+/// `Instructions` and `Cycles`, which are always collected to compute IPC and
+/// to normalise the rest into per-cycle rates).
+pub const MONITORED_EVENTS: [HwEvent; 12] = [
+    HwEvent::L1DAccesses,
+    HwEvent::L1DMisses,
+    HwEvent::L2Accesses,
+    HwEvent::L2Misses,
+    HwEvent::BusTransactions,
+    HwEvent::BusBusyCycles,
+    HwEvent::MemStallCycles,
+    HwEvent::DtlbMisses,
+    HwEvent::Branches,
+    HwEvent::BranchMisses,
+    HwEvent::Stores,
+    HwEvent::PrefetchRequests,
+];
+
+impl HwEvent {
+    /// All events, indexable by `as usize`.
+    pub const ALL: [HwEvent; NUM_EVENTS] = [
+        HwEvent::Instructions,
+        HwEvent::Cycles,
+        HwEvent::L1DAccesses,
+        HwEvent::L1DMisses,
+        HwEvent::L2Accesses,
+        HwEvent::L2Misses,
+        HwEvent::BusTransactions,
+        HwEvent::BusBusyCycles,
+        HwEvent::MemStallCycles,
+        HwEvent::DtlbMisses,
+        HwEvent::Branches,
+        HwEvent::BranchMisses,
+        HwEvent::Stores,
+        HwEvent::PrefetchRequests,
+    ];
+
+    /// Stable index of the event (its discriminant).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// PAPI-style mnemonic for reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            HwEvent::Instructions => "INST_RETIRED",
+            HwEvent::Cycles => "CPU_CLK_UNHALTED",
+            HwEvent::L1DAccesses => "L1D_ALL_REF",
+            HwEvent::L1DMisses => "L1D_REPL",
+            HwEvent::L2Accesses => "L2_RQSTS",
+            HwEvent::L2Misses => "L2_LINES_IN",
+            HwEvent::BusTransactions => "BUS_TRANS_ANY",
+            HwEvent::BusBusyCycles => "BUS_DRDY_CLOCKS",
+            HwEvent::MemStallCycles => "RESOURCE_STALLS_MEM",
+            HwEvent::DtlbMisses => "DTLB_MISSES",
+            HwEvent::Branches => "BR_INST_RETIRED",
+            HwEvent::BranchMisses => "BR_MISSP_RETIRED",
+            HwEvent::Stores => "STORES_RETIRED",
+            HwEvent::PrefetchRequests => "L2_PREFETCH",
+        }
+    }
+}
+
+impl std::fmt::Display for HwEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// A dense vector of event counts (one slot per [`HwEvent`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterVector {
+    counts: [f64; NUM_EVENTS],
+}
+
+impl CounterVector {
+    /// All-zero counter vector.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Sets the count for `event`.
+    pub fn set(&mut self, event: HwEvent, value: f64) {
+        self.counts[event.index()] = value;
+    }
+
+    /// Adds `value` to the count for `event`.
+    pub fn add(&mut self, event: HwEvent, value: f64) {
+        self.counts[event.index()] += value;
+    }
+
+    /// Returns the count for `event`.
+    pub fn get(&self, event: HwEvent) -> f64 {
+        self.counts[event.index()]
+    }
+
+    /// Element-wise accumulation of another counter vector.
+    pub fn accumulate(&mut self, other: &CounterVector) {
+        for i in 0..NUM_EVENTS {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Element-wise scaling (e.g. to extrapolate a sampled window to a full
+    /// phase instance).
+    pub fn scaled(&self, factor: f64) -> CounterVector {
+        let mut out = self.clone();
+        for c in &mut out.counts {
+            *c *= factor;
+        }
+        out
+    }
+
+    /// Event rates normalised to elapsed cycles, as consumed by the ACTOR
+    /// predictor: `rate(e) = count(e) / count(Cycles)`. Returns `None` if the
+    /// cycle count is zero.
+    pub fn rates_per_cycle(&self) -> Option<Vec<(HwEvent, f64)>> {
+        let cycles = self.get(HwEvent::Cycles);
+        if cycles <= 0.0 {
+            return None;
+        }
+        Some(
+            MONITORED_EVENTS
+                .iter()
+                .map(|&e| (e, self.get(e) / cycles))
+                .collect(),
+        )
+    }
+
+    /// Instructions per cycle derived from the vector; `None` when no cycles
+    /// were recorded.
+    pub fn ipc(&self) -> Option<f64> {
+        let cycles = self.get(HwEvent::Cycles);
+        if cycles <= 0.0 {
+            None
+        } else {
+            Some(self.get(HwEvent::Instructions) / cycles)
+        }
+    }
+
+    /// Iterates over `(event, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (HwEvent, f64)> + '_ {
+        HwEvent::ALL.iter().map(move |&e| (e, self.get(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; NUM_EVENTS];
+        for e in HwEvent::ALL {
+            assert!(!seen[e.index()], "duplicate index {}", e.index());
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn monitored_set_has_twelve_events_excluding_ipc_inputs() {
+        assert_eq!(MONITORED_EVENTS.len(), 12);
+        assert!(!MONITORED_EVENTS.contains(&HwEvent::Instructions));
+        assert!(!MONITORED_EVENTS.contains(&HwEvent::Cycles));
+    }
+
+    #[test]
+    fn counter_vector_set_get_accumulate() {
+        let mut v = CounterVector::zero();
+        v.set(HwEvent::Instructions, 1000.0);
+        v.set(HwEvent::Cycles, 500.0);
+        v.add(HwEvent::L2Misses, 7.0);
+        v.add(HwEvent::L2Misses, 3.0);
+        assert_eq!(v.get(HwEvent::L2Misses), 10.0);
+        assert_eq!(v.ipc(), Some(2.0));
+
+        let mut w = CounterVector::zero();
+        w.set(HwEvent::Cycles, 500.0);
+        w.set(HwEvent::Instructions, 200.0);
+        w.accumulate(&v);
+        assert_eq!(w.get(HwEvent::Cycles), 1000.0);
+        assert_eq!(w.get(HwEvent::Instructions), 1200.0);
+    }
+
+    #[test]
+    fn rates_normalised_by_cycles() {
+        let mut v = CounterVector::zero();
+        v.set(HwEvent::Cycles, 2000.0);
+        v.set(HwEvent::L2Misses, 20.0);
+        let rates = v.rates_per_cycle().unwrap();
+        let l2 = rates.iter().find(|(e, _)| *e == HwEvent::L2Misses).unwrap().1;
+        assert!((l2 - 0.01).abs() < 1e-12);
+        assert_eq!(rates.len(), 12);
+
+        let empty = CounterVector::zero();
+        assert!(empty.rates_per_cycle().is_none());
+        assert!(empty.ipc().is_none());
+    }
+
+    #[test]
+    fn scaling_is_elementwise() {
+        let mut v = CounterVector::zero();
+        v.set(HwEvent::Branches, 4.0);
+        v.set(HwEvent::Cycles, 8.0);
+        let s = v.scaled(2.5);
+        assert_eq!(s.get(HwEvent::Branches), 10.0);
+        assert_eq!(s.get(HwEvent::Cycles), 20.0);
+        // original untouched
+        assert_eq!(v.get(HwEvent::Branches), 4.0);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = HwEvent::ALL.iter().map(|e| e.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_EVENTS);
+    }
+}

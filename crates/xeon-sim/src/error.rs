@@ -1,0 +1,82 @@
+//! Error type for the machine model.
+
+use std::fmt;
+
+/// Errors produced by the machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A placement referenced a core that does not exist in the topology.
+    InvalidCore {
+        /// The offending core index.
+        core: usize,
+        /// Number of cores in the topology.
+        num_cores: usize,
+    },
+    /// A placement contained no cores.
+    EmptyPlacement,
+    /// A placement bound two threads to the same core.
+    DuplicateCore {
+        /// The duplicated core index.
+        core: usize,
+    },
+    /// A phase profile contained a non-finite or out-of-range parameter.
+    InvalidProfile {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A cache configuration was not internally consistent.
+    InvalidCacheConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidCore { core, num_cores } => {
+                write!(f, "core {core} out of range (topology has {num_cores} cores)")
+            }
+            SimError::EmptyPlacement => write!(f, "placement contains no cores"),
+            SimError::DuplicateCore { core } => {
+                write!(f, "core {core} appears more than once in placement")
+            }
+            SimError::InvalidProfile { field, value } => {
+                write!(f, "phase profile field `{field}` has invalid value {value}")
+            }
+            SimError::InvalidCacheConfig { reason } => {
+                write!(f, "invalid cache configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::InvalidCore { core: 9, num_cores: 4 };
+        assert!(e.to_string().contains("core 9"));
+        assert!(e.to_string().contains("4 cores"));
+        let e = SimError::EmptyPlacement;
+        assert!(e.to_string().contains("no cores"));
+        let e = SimError::DuplicateCore { core: 2 };
+        assert!(e.to_string().contains("core 2"));
+        let e = SimError::InvalidProfile { field: "base_cpi", value: -1.0 };
+        assert!(e.to_string().contains("base_cpi"));
+        let e = SimError::InvalidCacheConfig { reason: "ways must be power of two".into() };
+        assert!(e.to_string().contains("ways"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&SimError::EmptyPlacement);
+    }
+}

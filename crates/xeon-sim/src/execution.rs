@@ -1,0 +1,218 @@
+//! Results of simulating phase executions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::CounterVector;
+use crate::power::PowerBreakdown;
+
+/// Outcome of executing one phase instance under one thread placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseExecution {
+    /// Name of the phase that was executed.
+    pub phase_name: String,
+    /// Label of the configuration ("1", "2a", ...) or a custom description.
+    pub config_label: String,
+    /// Number of threads used.
+    pub threads: usize,
+    /// Wall-clock execution time in seconds.
+    pub time_s: f64,
+    /// Wall-clock cycles (time × clock frequency).
+    pub wall_cycles: f64,
+    /// Total instructions retired across all threads.
+    pub instructions: f64,
+    /// Aggregate IPC: instructions retired per wall-clock cycle, summed over
+    /// cores (the metric plotted in Figure 2; exceeds 1.0 whenever more than
+    /// one core retires work per cycle).
+    pub aggregate_ipc: f64,
+    /// Average per-core IPC of the active cores.
+    pub per_core_ipc: f64,
+    /// Effective CPI of the critical thread after contention.
+    pub effective_cpi: f64,
+    /// Average L2 misses per kilo-instruction after cache sharing.
+    pub l2_mpki: f64,
+    /// Front-side-bus utilisation in `[0, 1]` (clamped).
+    pub bus_utilisation: f64,
+    /// Raw (unclamped) bus demand divided by capacity; values above 1
+    /// indicate the phase demanded more bandwidth than the machine has.
+    pub bus_demand_ratio: f64,
+    /// Hardware-event totals for the phase instance.
+    pub counters: CounterVector,
+    /// Average system power during the phase (W).
+    pub avg_power_w: f64,
+    /// Power breakdown by component.
+    pub power_breakdown: PowerBreakdown,
+    /// Energy consumed by the phase instance (J).
+    pub energy_j: f64,
+}
+
+impl PhaseExecution {
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Energy-delay-squared product (J·s²) — the paper's power-aware HPC
+    /// metric (Section V-B).
+    pub fn ed2(&self) -> f64 {
+        self.energy_j * self.time_s * self.time_s
+    }
+
+    /// Speedup of this execution relative to a baseline execution of the same
+    /// phase (baseline time / this time).
+    pub fn speedup_over(&self, baseline: &PhaseExecution) -> f64 {
+        baseline.time_s / self.time_s
+    }
+}
+
+/// Aggregation of many phase executions into a whole-benchmark (or
+/// whole-application) result, mirroring the whole-program rows of
+/// Figures 1, 3 and 8.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AggregateExecution {
+    /// Descriptive label (benchmark name, strategy name, ...).
+    pub label: String,
+    /// Total wall-clock time (s).
+    pub time_s: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Total instructions.
+    pub instructions: f64,
+    /// Accumulated hardware events.
+    pub counters: CounterVector,
+    /// Number of phase instances aggregated.
+    pub instances: usize,
+}
+
+impl AggregateExecution {
+    /// New empty aggregate with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), ..Default::default() }
+    }
+
+    /// Adds one phase execution.
+    pub fn add(&mut self, exec: &PhaseExecution) {
+        self.time_s += exec.time_s;
+        self.energy_j += exec.energy_j;
+        self.instructions += exec.instructions;
+        self.counters.accumulate(&exec.counters);
+        self.instances += 1;
+    }
+
+    /// Adds an explicit idle interval (cores left unused while other system
+    /// activity continues), charged at the supplied idle power.
+    pub fn add_idle(&mut self, duration_s: f64, idle_power_w: f64) {
+        if duration_s > 0.0 && idle_power_w >= 0.0 {
+            self.time_s += duration_s;
+            self.energy_j += duration_s * idle_power_w;
+        }
+    }
+
+    /// Time-averaged power over the aggregate (W).
+    pub fn avg_power_w(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.time_s
+        }
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.time_s
+    }
+
+    /// Energy-delay-squared (J·s²).
+    pub fn ed2(&self) -> f64 {
+        self.energy_j * self.time_s * self.time_s
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &AggregateExecution) {
+        self.time_s += other.time_s;
+        self.energy_j += other.energy_j;
+        self.instructions += other.instructions;
+        self.counters.accumulate(&other.counters);
+        self.instances += other.instances;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::HwEvent;
+
+    fn exec(time_s: f64, power_w: f64) -> PhaseExecution {
+        let mut counters = CounterVector::zero();
+        counters.set(HwEvent::Instructions, 1e9);
+        counters.set(HwEvent::Cycles, 2.4e9 * time_s);
+        PhaseExecution {
+            phase_name: "p".into(),
+            config_label: "4".into(),
+            threads: 4,
+            time_s,
+            wall_cycles: 2.4e9 * time_s,
+            instructions: 1e9,
+            aggregate_ipc: 1e9 / (2.4e9 * time_s),
+            per_core_ipc: 0.5,
+            effective_cpi: 1.2,
+            l2_mpki: 2.0,
+            bus_utilisation: 0.4,
+            bus_demand_ratio: 0.4,
+            counters,
+            avg_power_w: power_w,
+            power_breakdown: PowerBreakdown::default(),
+            energy_j: time_s * power_w,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let e = exec(2.0, 120.0);
+        assert!((e.energy_j - 240.0).abs() < 1e-9);
+        assert!((e.edp() - 480.0).abs() < 1e-9);
+        assert!((e.ed2() - 960.0).abs() < 1e-9);
+        let faster = exec(1.0, 150.0);
+        assert!((faster.speedup_over(&e) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_accumulates() {
+        let mut agg = AggregateExecution::new("bt");
+        agg.add(&exec(2.0, 120.0));
+        agg.add(&exec(3.0, 130.0));
+        assert_eq!(agg.instances, 2);
+        assert!((agg.time_s - 5.0).abs() < 1e-9);
+        assert!((agg.energy_j - (240.0 + 390.0)).abs() < 1e-9);
+        assert!((agg.avg_power_w() - 126.0).abs() < 1e-9);
+        assert!((agg.instructions - 2e9).abs() < 1.0);
+        assert!(agg.counters.get(HwEvent::Instructions) > 1.9e9);
+        assert!(agg.ed2() > agg.edp());
+    }
+
+    #[test]
+    fn aggregate_idle_time_adds_energy_not_instructions() {
+        let mut agg = AggregateExecution::new("x");
+        agg.add(&exec(1.0, 100.0));
+        let before_instr = agg.instructions;
+        agg.add_idle(1.0, 104.0);
+        assert!((agg.time_s - 2.0).abs() < 1e-9);
+        assert!((agg.energy_j - 204.0).abs() < 1e-9);
+        assert_eq!(agg.instructions, before_instr);
+        // invalid idle samples ignored
+        agg.add_idle(-1.0, 104.0);
+        assert!((agg.time_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_merge() {
+        let mut a = AggregateExecution::new("a");
+        a.add(&exec(1.0, 100.0));
+        let mut b = AggregateExecution::new("b");
+        b.add(&exec(2.0, 110.0));
+        a.merge(&b);
+        assert_eq!(a.instances, 2);
+        assert!((a.time_s - 3.0).abs() < 1e-9);
+        let empty = AggregateExecution::new("e");
+        assert_eq!(empty.avg_power_w(), 0.0);
+    }
+}

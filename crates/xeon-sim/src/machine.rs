@@ -1,0 +1,453 @@
+//! The analytical machine model: phase profiles × thread placements → time,
+//! IPC, hardware events, power and energy.
+//!
+//! The model composes the submodels of this crate:
+//!
+//! 1. **Work partition** — Amdahl's law plus a linear load-imbalance term
+//!    determines the instructions executed by the critical thread.
+//! 2. **Cache sharing** — each shared L2 is split among the threads placed on
+//!    its pair; the phase's miss-ratio curve gives the resulting L2 MPKI.
+//! 3. **Bus contention** — the aggregate L2 miss bandwidth feeds the
+//!    queueing model of [`crate::bus`], inflating memory latency; CPI and
+//!    bandwidth demand are solved by damped fixed-point iteration.
+//! 4. **Roofline guard** — execution time is bounded below by total traffic
+//!    divided by bus capacity, so extreme saturation behaves sensibly.
+//! 5. **Counters, power, energy** — derived from the converged state.
+
+use rand::Rng;
+
+use crate::bus::BusModel;
+use crate::counters::{CounterVector, HwEvent};
+use crate::error::SimError;
+use crate::execution::PhaseExecution;
+use crate::params::MachineParams;
+use crate::phase::PhaseProfile;
+use crate::power::PowerModel;
+use crate::topology::{Configuration, Placement, Topology};
+
+/// Number of damped fixed-point iterations used to co-solve CPI and bus
+/// demand. Convergence is geometric; 40 iterations leave residuals far below
+/// the model's fidelity.
+const FIXED_POINT_ITERS: usize = 40;
+
+/// Damping factor of the fixed-point update (new = λ·candidate + (1-λ)·old).
+const FIXED_POINT_DAMPING: f64 = 0.5;
+
+/// The modelled machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    topo: Topology,
+    params: MachineParams,
+    bus: BusModel,
+    power: PowerModel,
+}
+
+impl Machine {
+    /// Builds a machine from a topology and parameter set.
+    pub fn new(topo: Topology, params: MachineParams) -> Result<Self, SimError> {
+        params.validate().map_err(|reason| SimError::InvalidCacheConfig { reason })?;
+        Ok(Self {
+            topo,
+            params,
+            bus: BusModel::from_params(&params),
+            power: PowerModel::new(params.power),
+        })
+    }
+
+    /// The paper's platform: quad-core Xeon QX6600 (two pairs sharing 4 MB L2
+    /// each, 1066 MHz FSB).
+    pub fn xeon_qx6600() -> Self {
+        Self::new(Topology::quad_core_xeon(), MachineParams::xeon_qx6600())
+            .expect("built-in parameters are valid")
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The machine's parameters.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// The power model (useful for charging idle intervals).
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The bus contention model.
+    pub fn bus_model(&self) -> &BusModel {
+        &self.bus
+    }
+
+    /// Simulates one phase instance under one of the paper's named
+    /// configurations.
+    pub fn simulate_config(&self, profile: &PhaseProfile, config: Configuration) -> PhaseExecution {
+        let placement = config.placement(&self.topo);
+        let mut exec = self.simulate_phase(profile, &placement);
+        exec.config_label = config.label().to_string();
+        exec
+    }
+
+    /// Simulates one phase instance under an arbitrary placement.
+    pub fn simulate_phase(&self, profile: &PhaseProfile, placement: &Placement) -> PhaseExecution {
+        debug_assert!(profile.validate().is_ok(), "invalid phase profile {:?}", profile.name);
+
+        let p = &self.params;
+        let t = placement.num_threads();
+        let tf = t as f64;
+        let l2_mb = p.l2_size_mb();
+
+        // --- cache sharing -------------------------------------------------
+        let threads_per_l2 = placement.threads_per_l2(&self.topo);
+        let mut weighted_mpki = 0.0;
+        for &k in &threads_per_l2 {
+            if k > 0 {
+                weighted_mpki += k as f64 * profile.l2_mrc.shared_mpki(l2_mb, k);
+            }
+        }
+        let l2_mpki = weighted_mpki / tf;
+
+        // --- work partition ------------------------------------------------
+        let par_instr = profile.instructions * profile.parallel_fraction;
+        let ser_instr = profile.instructions - par_instr;
+        let spread = (self.topo.num_cores.max(2) - 1) as f64;
+        let imbalance = 1.0 + profile.load_imbalance * (tf - 1.0) / spread;
+        let crit_instr = ser_instr + (par_instr / tf) * imbalance;
+
+        // --- fixed point: CPI <-> bus demand --------------------------------
+        let l1_misses_per_instr = profile.l1_mpki / 1000.0;
+        let l2_misses_per_instr = l2_mpki / 1000.0;
+        let writeback_factor = 1.0 + 0.6 * profile.store_fraction;
+        let line = p.line_bytes as f64;
+        let clock_hz = p.clock_hz();
+
+        let mut cpi = profile.base_cpi
+            + l1_misses_per_instr * p.l1_miss_penalty_cycles
+            + l2_misses_per_instr * p.mem_latency_cycles() / p.mlp;
+        let mut bus_utilisation = 0.0;
+        let mut bus_demand_ratio = 0.0;
+        let mut exposed_miss_cycles = 0.0;
+
+        for _ in 0..FIXED_POINT_ITERS {
+            // Aggregate instruction throughput across the active cores while
+            // the parallel part executes; the critical thread's CPI is used as
+            // the representative per-thread CPI.
+            let instr_rate = tf * clock_hz / cpi;
+            let miss_rate = instr_rate * l2_misses_per_instr;
+            let demand_bytes = miss_rate * line * writeback_factor;
+
+            bus_demand_ratio = self.bus.raw_utilisation(demand_bytes);
+            bus_utilisation = self.bus.utilisation(demand_bytes);
+            let lat_cycles = self.bus.effective_latency_ns(demand_bytes) * p.clock_ghz;
+            exposed_miss_cycles = lat_cycles * (1.0 - profile.prefetch_coverage) / p.mlp;
+
+            let candidate = profile.base_cpi
+                + l1_misses_per_instr * p.l1_miss_penalty_cycles
+                + l2_misses_per_instr * exposed_miss_cycles;
+            cpi = FIXED_POINT_DAMPING * candidate + (1.0 - FIXED_POINT_DAMPING) * cpi;
+        }
+
+        // --- time ------------------------------------------------------------
+        let compute_time = crit_instr * cpi / clock_hz;
+        // Roofline guard: the phase cannot finish faster than its total
+        // off-chip traffic can be moved over the bus.
+        let total_bytes = profile.instructions * l2_misses_per_instr * line * writeback_factor;
+        let bandwidth_time = total_bytes / self.bus.bandwidth_bytes_per_s;
+        let overhead_s = (p.fork_join_us
+            + p.barrier_us_per_thread * (tf - 1.0).max(0.0)
+            + profile.serial_overhead_us)
+            * 1e-6;
+        let time_s = compute_time.max(bandwidth_time) + overhead_s;
+
+        let wall_cycles = time_s * clock_hz;
+        let aggregate_ipc = profile.instructions / wall_cycles;
+        let per_core_ipc = aggregate_ipc / tf;
+
+        // --- counters ---------------------------------------------------------
+        let counters = self.derive_counters(
+            profile,
+            l2_mpki,
+            wall_cycles,
+            bus_utilisation,
+            crit_instr,
+            exposed_miss_cycles,
+        );
+
+        // --- power / energy ---------------------------------------------------
+        let dram_utilisation = bus_utilisation;
+        let breakdown = self.power.phase_power(
+            t,
+            per_core_ipc,
+            placement.active_l2(&self.topo),
+            bus_utilisation,
+            dram_utilisation,
+        );
+        let avg_power_w = breakdown.total_w();
+        let energy_j = avg_power_w * time_s;
+
+        PhaseExecution {
+            phase_name: profile.name.clone(),
+            config_label: format!("{}t", t),
+            threads: t,
+            time_s,
+            wall_cycles,
+            instructions: profile.instructions,
+            aggregate_ipc,
+            per_core_ipc,
+            effective_cpi: cpi,
+            l2_mpki,
+            bus_utilisation,
+            bus_demand_ratio,
+            counters,
+            avg_power_w,
+            power_breakdown: breakdown,
+            energy_j,
+        }
+    }
+
+    /// Simulates a phase with multiplicative jitter applied to its
+    /// memory-behaviour parameters, for generating diverse (but physically
+    /// plausible) training corpora. `sigma` is the half-width of the uniform
+    /// relative perturbation (e.g. `0.05` = ±5 %).
+    pub fn simulate_phase_noisy<R: Rng + ?Sized>(
+        &self,
+        profile: &PhaseProfile,
+        placement: &Placement,
+        sigma: f64,
+        rng: &mut R,
+    ) -> PhaseExecution {
+        let mut jittered = profile.clone();
+        let jitter = |rng: &mut R| 1.0 + rng.gen_range(-sigma..=sigma);
+        jittered.base_cpi = (profile.base_cpi * jitter(rng)).max(0.05);
+        jittered.l1_mpki = (profile.l1_mpki * jitter(rng)).max(0.0);
+        jittered.l2_mrc.floor_mpki = (profile.l2_mrc.floor_mpki * jitter(rng)).max(0.0);
+        jittered.l2_mrc.peak_mpki =
+            (profile.l2_mrc.peak_mpki * jitter(rng)).max(jittered.l2_mrc.floor_mpki);
+        jittered.l2_mrc.working_set_mb = (profile.l2_mrc.working_set_mb * jitter(rng)).max(1e-3);
+        jittered.parallel_fraction = (profile.parallel_fraction * jitter(rng)).clamp(0.0, 1.0);
+        self.simulate_phase(&jittered, placement)
+    }
+
+    fn derive_counters(
+        &self,
+        profile: &PhaseProfile,
+        l2_mpki: f64,
+        wall_cycles: f64,
+        bus_utilisation: f64,
+        crit_instr: f64,
+        exposed_miss_cycles: f64,
+    ) -> CounterVector {
+        let instr = profile.instructions;
+        let l1_misses = instr * profile.l1_mpki / 1000.0;
+        let l2_misses = instr * l2_mpki / 1000.0;
+        let prefetches = l2_misses * profile.prefetch_coverage * 2.0;
+        let writeback_factor = 1.0 + 0.6 * profile.store_fraction;
+        let branches = instr * profile.branch_pki / 1000.0;
+        let l1_accesses = instr * profile.mem_ref_per_instr;
+
+        let mut c = CounterVector::zero();
+        c.set(HwEvent::Instructions, instr);
+        c.set(HwEvent::Cycles, wall_cycles);
+        c.set(HwEvent::L1DAccesses, l1_accesses);
+        c.set(HwEvent::L1DMisses, l1_misses);
+        c.set(HwEvent::L2Accesses, l1_misses + prefetches);
+        c.set(HwEvent::L2Misses, l2_misses);
+        c.set(HwEvent::BusTransactions, l2_misses * writeback_factor + 0.5 * prefetches);
+        c.set(HwEvent::BusBusyCycles, bus_utilisation * wall_cycles);
+        c.set(
+            HwEvent::MemStallCycles,
+            crit_instr * l2_mpki / 1000.0 * exposed_miss_cycles,
+        );
+        c.set(HwEvent::DtlbMisses, instr * profile.dtlb_mpki / 1000.0);
+        c.set(HwEvent::Branches, branches);
+        c.set(HwEvent::BranchMisses, branches * profile.branch_miss_ratio);
+        c.set(HwEvent::Stores, l1_accesses * profile.store_fraction);
+        c.set(HwEvent::PrefetchRequests, prefetches);
+        c
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::xeon_qx6600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn machine() -> Machine {
+        Machine::xeon_qx6600()
+    }
+
+    fn times_for(profile: &PhaseProfile) -> Vec<(Configuration, f64)> {
+        let m = machine();
+        Configuration::ALL
+            .iter()
+            .map(|&c| (c, m.simulate_config(profile, c).time_s))
+            .collect()
+    }
+
+    #[test]
+    fn compute_bound_phase_scales_well() {
+        let p = PhaseProfile::compute_bound("cb", 5e9);
+        let times = times_for(&p);
+        let t1 = times[0].1;
+        let t4 = times[4].1;
+        let speedup = t1 / t4;
+        assert!(speedup > 2.3 && speedup < 4.0, "speedup {speedup} not in the scalable band");
+        // More threads never dramatically hurt a compute-bound phase.
+        for (_, t) in &times {
+            assert!(*t <= t1 * 1.05);
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_phase_saturates() {
+        let p = PhaseProfile::bandwidth_bound("bw", 5e9);
+        let m = machine();
+        let t1 = m.simulate_config(&p, Configuration::One).time_s;
+        let t2b = m.simulate_config(&p, Configuration::TwoLoose).time_s;
+        let t4 = m.simulate_config(&p, Configuration::Four).time_s;
+        // Using all four cores is no better than two loosely-coupled cores.
+        assert!(t4 >= t2b * 0.95, "expected saturation: t4={t4}, t2b={t2b}");
+        // The four-core execution certainly does not achieve 4x.
+        assert!(t1 / t4 < 2.0);
+        let e4 = m.simulate_config(&p, Configuration::Four);
+        assert!(e4.bus_demand_ratio > 0.8, "bandwidth-bound phase should stress the bus");
+    }
+
+    #[test]
+    fn cache_sensitive_phase_prefers_loose_coupling() {
+        let p = PhaseProfile::cache_sensitive("cs", 5e9);
+        let m = machine();
+        let tight = m.simulate_config(&p, Configuration::TwoTight);
+        let loose = m.simulate_config(&p, Configuration::TwoLoose);
+        assert!(
+            loose.time_s < tight.time_s,
+            "loosely coupled ({}) should beat tightly coupled ({})",
+            loose.time_s,
+            tight.time_s
+        );
+        assert!(loose.l2_mpki < tight.l2_mpki);
+    }
+
+    #[test]
+    fn aggregate_ipc_reflects_parallelism() {
+        let p = PhaseProfile::compute_bound("cb", 5e9);
+        let m = machine();
+        let e1 = m.simulate_config(&p, Configuration::One);
+        let e4 = m.simulate_config(&p, Configuration::Four);
+        assert!(e4.aggregate_ipc > 2.0 * e1.aggregate_ipc);
+        assert!(e4.aggregate_ipc < 4.2 * e1.aggregate_ipc);
+        // Counter-derived IPC equals the model's aggregate IPC.
+        assert!((e4.counters.ipc().unwrap() - e4.aggregate_ipc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_in_paper_band_and_grows_with_cores() {
+        let p = PhaseProfile::compute_bound("cb", 5e9);
+        let m = machine();
+        let e1 = m.simulate_config(&p, Configuration::One);
+        let e4 = m.simulate_config(&p, Configuration::Four);
+        assert!(e1.avg_power_w > 110.0 && e1.avg_power_w < 140.0, "p1={}", e1.avg_power_w);
+        assert!(e4.avg_power_w > e1.avg_power_w);
+        assert!(e4.avg_power_w < 175.0, "p4={}", e4.avg_power_w);
+        let ratio = e4.avg_power_w / e1.avg_power_w;
+        assert!(ratio > 1.1 && ratio < 1.45, "power ratio {ratio}");
+        // Energy = power × time.
+        assert!((e4.energy_j - e4.avg_power_w * e4.time_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalable_phase_reduces_energy_on_four_cores() {
+        // Paper: BT's 2.69x speedup with 1.31x power gives ~2x lower energy.
+        let p = PhaseProfile::compute_bound("cb", 5e9);
+        let m = machine();
+        let e1 = m.simulate_config(&p, Configuration::One);
+        let e4 = m.simulate_config(&p, Configuration::Four);
+        assert!(e4.energy_j < e1.energy_j * 0.75);
+        assert!(e4.ed2() < e1.ed2());
+    }
+
+    #[test]
+    fn bandwidth_phase_wastes_energy_on_four_cores() {
+        let p = PhaseProfile::bandwidth_bound("bw", 5e9);
+        let m = machine();
+        let e2b = m.simulate_config(&p, Configuration::TwoLoose);
+        let e4 = m.simulate_config(&p, Configuration::Four);
+        assert!(
+            e4.energy_j > e2b.energy_j * 0.98,
+            "saturated phase should not save energy by using more cores (e4={}, e2b={})",
+            e4.energy_j,
+            e2b.energy_j
+        );
+    }
+
+    #[test]
+    fn counters_are_internally_consistent() {
+        let p = PhaseProfile::cache_sensitive("cs", 1e9);
+        let m = machine();
+        for cfg in Configuration::ALL {
+            let e = m.simulate_config(&p, cfg);
+            let c = &e.counters;
+            assert!(c.get(HwEvent::L1DMisses) <= c.get(HwEvent::L1DAccesses));
+            assert!(c.get(HwEvent::L2Misses) <= c.get(HwEvent::L2Accesses) + 1.0);
+            assert!(c.get(HwEvent::BranchMisses) <= c.get(HwEvent::Branches));
+            assert!(c.get(HwEvent::Stores) <= c.get(HwEvent::L1DAccesses));
+            assert!(c.get(HwEvent::Cycles) > 0.0);
+            assert!(e.time_s > 0.0 && e.energy_j > 0.0);
+            assert!(e.bus_utilisation >= 0.0 && e.bus_utilisation <= 1.0);
+        }
+    }
+
+    #[test]
+    fn l2_misses_grow_under_tight_sharing() {
+        let p = PhaseProfile::cache_sensitive("cs", 1e9);
+        let m = machine();
+        let one = m.simulate_config(&p, Configuration::One);
+        let tight = m.simulate_config(&p, Configuration::TwoTight);
+        let loose = m.simulate_config(&p, Configuration::TwoLoose);
+        assert!(tight.counters.get(HwEvent::L2Misses) > loose.counters.get(HwEvent::L2Misses));
+        assert!((loose.l2_mpki - one.l2_mpki).abs() < 1e-9, "a whole L2 per thread matches solo");
+    }
+
+    #[test]
+    fn noisy_simulation_is_reproducible_and_close() {
+        let p = PhaseProfile::compute_bound("cb", 1e9);
+        let m = machine();
+        let placement = Configuration::Four.placement(m.topology());
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let a = m.simulate_phase_noisy(&p, &placement, 0.05, &mut rng1);
+        let b = m.simulate_phase_noisy(&p, &placement, 0.05, &mut rng2);
+        assert_eq!(a.time_s, b.time_s, "same seed, same result");
+        let clean = m.simulate_phase(&p, &placement);
+        let rel = (a.time_s - clean.time_s).abs() / clean.time_s;
+        assert!(rel < 0.25, "5% parameter jitter should stay near the clean result (rel={rel})");
+    }
+
+    #[test]
+    fn custom_topology_eight_cores() {
+        let topo = Topology::new(8, 2).unwrap();
+        let m = Machine::new(topo, MachineParams::xeon_qx6600()).unwrap();
+        let p = PhaseProfile::compute_bound("cb", 5e9);
+        let all = Configuration::Four.placement(m.topology());
+        assert_eq!(all.num_threads(), 8);
+        let t8 = m.simulate_phase(&p, &all).time_s;
+        let t1 = m.simulate_phase(&p, &Placement::packed(1, m.topology()).unwrap()).time_s;
+        assert!(t1 / t8 > 3.0, "a compute-bound phase should keep scaling on 8 cores");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut params = MachineParams::xeon_qx6600();
+        params.clock_ghz = -1.0;
+        assert!(Machine::new(Topology::quad_core_xeon(), params).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Miss-ratio-curve model of shared-cache contention.
+//!
+//! The central scalability pathology in the paper (Section III) is
+//! *destructive interference in the shared L2*: when two threads are bound to
+//! tightly coupled cores they split one 4 MB cache, and benchmarks whose
+//! per-thread working set exceeds the resulting share suffer a jump in L2
+//! misses (IS runs 2.04× slower on configuration 2a than 2b for exactly this
+//! reason). The analytical machine model captures this with a per-phase
+//! miss-ratio curve: L2 misses per kilo-instruction as a function of the L2
+//! capacity available to one thread.
+//!
+//! The curve is a clamped power law between a *floor* (compulsory + conflict
+//! misses with ample capacity) and a *peak* (misses when effectively no
+//! capacity is available):
+//!
+//! ```text
+//! mpki(c) = floor                                  if c >= working_set
+//!         = floor + (peak - floor) * (1 - c/ws)^shape   otherwise
+//! ```
+//!
+//! `shape > 1` gives a gentle initial degradation that steepens as the share
+//! shrinks (typical of blocked scientific kernels); `shape < 1` degrades
+//! immediately (streaming/irregular codes).
+
+use serde::{Deserialize, Serialize};
+
+/// Parametric miss-ratio curve (misses per kilo-instruction vs. capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// Misses per kilo-instruction when the working set fits entirely.
+    pub floor_mpki: f64,
+    /// Misses per kilo-instruction with (close to) zero capacity.
+    pub peak_mpki: f64,
+    /// Per-thread working set in megabytes.
+    pub working_set_mb: f64,
+    /// Power-law exponent controlling how quickly misses grow as the share
+    /// falls below the working set. Must be positive.
+    pub shape: f64,
+}
+
+impl MissRatioCurve {
+    /// Creates a curve. `peak_mpki` is clamped to at least `floor_mpki`, and
+    /// `shape`/`working_set_mb` to small positive minima, so the curve is
+    /// always well formed.
+    pub fn new(floor_mpki: f64, peak_mpki: f64, working_set_mb: f64, shape: f64) -> Self {
+        let floor_mpki = floor_mpki.max(0.0);
+        Self {
+            floor_mpki,
+            peak_mpki: peak_mpki.max(floor_mpki),
+            working_set_mb: working_set_mb.max(1e-3),
+            shape: shape.max(1e-3),
+        }
+    }
+
+    /// A curve that never misses beyond its floor (fully cache-resident
+    /// phase) — capacity sharing has no effect.
+    pub fn flat(floor_mpki: f64) -> Self {
+        Self::new(floor_mpki, floor_mpki, 1e-3, 1.0)
+    }
+
+    /// Misses per kilo-instruction when one thread is given `capacity_mb` of
+    /// L2 cache.
+    pub fn mpki_at(&self, capacity_mb: f64) -> f64 {
+        let c = capacity_mb.max(0.0);
+        if c >= self.working_set_mb {
+            return self.floor_mpki;
+        }
+        let deficit = 1.0 - c / self.working_set_mb;
+        self.floor_mpki + (self.peak_mpki - self.floor_mpki) * deficit.powf(self.shape)
+    }
+
+    /// Average per-thread MPKI when `threads` equal threads share a cache of
+    /// `cache_mb`; each thread receives an equal share.
+    pub fn shared_mpki(&self, cache_mb: f64, threads: usize) -> f64 {
+        if threads == 0 {
+            return self.floor_mpki;
+        }
+        self.mpki_at(cache_mb / threads as f64)
+    }
+
+    /// The extra misses per kilo-instruction caused by sharing, relative to
+    /// having the whole cache.
+    pub fn sharing_penalty_mpki(&self, cache_mb: f64, threads: usize) -> f64 {
+        (self.shared_mpki(cache_mb, threads) - self.mpki_at(cache_mb)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> MissRatioCurve {
+        MissRatioCurve::new(1.0, 25.0, 3.0, 1.5)
+    }
+
+    #[test]
+    fn floor_when_working_set_fits() {
+        let c = curve();
+        assert_eq!(c.mpki_at(3.0), 1.0);
+        assert_eq!(c.mpki_at(4.0), 1.0);
+        assert_eq!(c.mpki_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn peak_at_zero_capacity() {
+        let c = curve();
+        assert!((c.mpki_at(0.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotonically_non_increasing_in_capacity() {
+        let c = curve();
+        let mut prev = f64::INFINITY;
+        for i in 0..200 {
+            let cap = i as f64 * 0.025;
+            let m = c.mpki_at(cap);
+            assert!(m <= prev + 1e-12, "mpki must not increase with capacity");
+            assert!(m >= c.floor_mpki - 1e-12);
+            assert!(m <= c.peak_mpki + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn sharing_increases_misses_when_working_set_exceeds_share() {
+        let c = curve();
+        // Whole 4 MB cache: 3 MB working set fits -> floor.
+        assert_eq!(c.shared_mpki(4.0, 1), 1.0);
+        // Two threads share 4 MB -> 2 MB each < 3 MB working set -> above floor.
+        assert!(c.shared_mpki(4.0, 2) > 1.0);
+        // Four threads even worse.
+        assert!(c.shared_mpki(4.0, 4) > c.shared_mpki(4.0, 2));
+        assert!(c.sharing_penalty_mpki(4.0, 2) > 0.0);
+        assert_eq!(c.sharing_penalty_mpki(4.0, 1), 0.0);
+    }
+
+    #[test]
+    fn flat_curve_is_insensitive_to_sharing() {
+        let c = MissRatioCurve::flat(0.4);
+        assert_eq!(c.shared_mpki(4.0, 1), 0.4);
+        assert_eq!(c.shared_mpki(4.0, 4), 0.4);
+        assert_eq!(c.sharing_penalty_mpki(4.0, 4), 0.0);
+    }
+
+    #[test]
+    fn constructor_clamps_degenerate_inputs() {
+        let c = MissRatioCurve::new(5.0, 1.0, -2.0, 0.0);
+        assert!(c.peak_mpki >= c.floor_mpki);
+        assert!(c.working_set_mb > 0.0);
+        assert!(c.shape > 0.0);
+        // Negative floor clamps to zero.
+        let c = MissRatioCurve::new(-3.0, 1.0, 1.0, 1.0);
+        assert_eq!(c.floor_mpki, 0.0);
+    }
+
+    #[test]
+    fn zero_threads_returns_floor() {
+        assert_eq!(curve().shared_mpki(4.0, 0), 1.0);
+    }
+
+    #[test]
+    fn shape_controls_degradation_speed() {
+        let gentle = MissRatioCurve::new(1.0, 25.0, 3.0, 3.0);
+        let steep = MissRatioCurve::new(1.0, 25.0, 3.0, 0.5);
+        // At a mild deficit, a larger exponent means fewer extra misses.
+        assert!(gentle.mpki_at(2.5) < steep.mpki_at(2.5));
+    }
+}

@@ -1,0 +1,213 @@
+//! Machine parameters (timing, bandwidth, power coefficients).
+//!
+//! Defaults approximate the paper's Dell Precision 390n with a quad-core
+//! Xeon QX6600: 2.4 GHz cores, 32 KB private L1D, two 4 MB shared L2 caches,
+//! 1066 MHz front-side bus, 2 GB DDR2. Power coefficients are calibrated so
+//! that whole-system power lands in the 115–160 W band reported in Figure 3
+//! and grows by roughly 14 % from one to four active cores.
+
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the full-system power model.
+///
+/// Total power = `system_idle_w`
+///   + Σ active cores (`core_static_w` + `core_dynamic_max_w` · min(IPC/`core_ipc_ref`, cap))
+///   + active L2 pairs · `l2_active_w`
+///   + FSB utilisation · `fsb_max_w`
+///   + DRAM-bandwidth utilisation · `dram_max_w`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Power drawn by the whole system with all cores idle (W). Includes
+    /// power supply losses, disks, board, idle DRAM.
+    pub system_idle_w: f64,
+    /// Static/leakage + clock-tree power per *active* core (W).
+    pub core_static_w: f64,
+    /// Dynamic power per core at the reference IPC (W).
+    pub core_dynamic_max_w: f64,
+    /// Per-core IPC at which a core draws its full dynamic power.
+    pub core_ipc_ref: f64,
+    /// Cap on the dynamic scaling factor (IPC above the reference saturates).
+    pub core_dynamic_cap: f64,
+    /// Power per active (in-use) shared L2 cache (W).
+    pub l2_active_w: f64,
+    /// Front-side-bus power at 100 % utilisation (W).
+    pub fsb_max_w: f64,
+    /// DRAM power at 100 % bandwidth utilisation (W), on top of idle DRAM.
+    pub dram_max_w: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self {
+            system_idle_w: 104.0,
+            core_static_w: 3.6,
+            core_dynamic_max_w: 8.0,
+            core_ipc_ref: 1.4,
+            core_dynamic_cap: 1.35,
+            l2_active_w: 2.2,
+            fsb_max_w: 6.5,
+            dram_max_w: 10.0,
+        }
+    }
+}
+
+/// Timing, cache and bandwidth parameters of the modelled machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Core clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Private L1 data cache size (KB) — only used by the trace-driven cache
+    /// simulator and counter derivation; the analytical model takes L1 miss
+    /// rates directly from the phase profile.
+    pub l1_size_kb: usize,
+    /// L1 hit latency absorbed in the base CPI (cycles); listed for
+    /// completeness.
+    pub l1_latency_cycles: f64,
+    /// Penalty of an L1 miss that hits in the L2 (cycles).
+    pub l1_miss_penalty_cycles: f64,
+    /// Shared L2 cache size per pair (KB).
+    pub l2_size_kb: usize,
+    /// L2 line size (bytes).
+    pub line_bytes: usize,
+    /// Unloaded memory access latency (ns) seen by an L2 miss.
+    pub mem_latency_ns: f64,
+    /// Front-side-bus peak bandwidth (GB/s). 1066 MHz × 8 B ≈ 8.5 GB/s.
+    pub fsb_bandwidth_gbs: f64,
+    /// Sustainable DRAM bandwidth (GB/s); the effective bus capacity is the
+    /// minimum of this and the FSB bandwidth.
+    pub dram_bandwidth_gbs: f64,
+    /// Average memory-level parallelism: number of outstanding misses whose
+    /// latency overlaps, which divides the exposed miss penalty.
+    pub mlp: f64,
+    /// Cost of forking/joining a parallel region (µs), independent of the
+    /// thread count.
+    pub fork_join_us: f64,
+    /// Additional per-thread barrier/join cost (µs per thread beyond one).
+    pub barrier_us_per_thread: f64,
+    /// Queueing-delay aggressiveness of the bus model (dimensionless).
+    pub bus_queue_factor: f64,
+    /// Utilisation at which the bus queueing delay is clamped.
+    pub bus_max_utilisation: f64,
+    /// Power model coefficients.
+    pub power: PowerParams,
+}
+
+impl MachineParams {
+    /// Parameters approximating the Xeon QX6600 platform of the paper.
+    pub fn xeon_qx6600() -> Self {
+        Self {
+            clock_ghz: 2.4,
+            l1_size_kb: 32,
+            l1_latency_cycles: 3.0,
+            l1_miss_penalty_cycles: 14.0,
+            l2_size_kb: 4096,
+            line_bytes: 64,
+            mem_latency_ns: 95.0,
+            fsb_bandwidth_gbs: 8.5,
+            dram_bandwidth_gbs: 4.2,
+            mlp: 3.2,
+            fork_join_us: 8.0,
+            barrier_us_per_thread: 2.5,
+            bus_queue_factor: 1.15,
+            bus_max_utilisation: 0.96,
+            power: PowerParams::default(),
+        }
+    }
+
+    /// L2 size in megabytes (convenience for the miss-ratio-curve model).
+    pub fn l2_size_mb(&self) -> f64 {
+        self.l2_size_kb as f64 / 1024.0
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Effective bus/memory bandwidth in bytes per second (minimum of FSB and
+    /// DRAM capability).
+    pub fn effective_bandwidth_bytes(&self) -> f64 {
+        self.fsb_bandwidth_gbs.min(self.dram_bandwidth_gbs) * 1e9
+    }
+
+    /// Unloaded memory latency expressed in core cycles.
+    pub fn mem_latency_cycles(&self) -> f64 {
+        self.mem_latency_ns * self.clock_ghz
+    }
+
+    /// Basic sanity check of the parameter set; returns a human-readable
+    /// description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("clock_ghz", self.clock_ghz),
+            ("l1_miss_penalty_cycles", self.l1_miss_penalty_cycles),
+            ("mem_latency_ns", self.mem_latency_ns),
+            ("fsb_bandwidth_gbs", self.fsb_bandwidth_gbs),
+            ("dram_bandwidth_gbs", self.dram_bandwidth_gbs),
+            ("mlp", self.mlp),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if self.l2_size_kb == 0 || self.line_bytes == 0 {
+            return Err("cache sizes must be non-zero".to_string());
+        }
+        if !(0.0 < self.bus_max_utilisation && self.bus_max_utilisation < 1.0) {
+            return Err(format!(
+                "bus_max_utilisation must be in (0,1), got {}",
+                self.bus_max_utilisation
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        Self::xeon_qx6600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let p = MachineParams::default();
+        assert!(p.validate().is_ok());
+        assert!((p.l2_size_mb() - 4.0).abs() < 1e-9);
+        assert!((p.clock_hz() - 2.4e9).abs() < 1.0);
+        assert!(p.effective_bandwidth_bytes() <= p.fsb_bandwidth_gbs * 1e9);
+        assert!(p.mem_latency_cycles() > 100.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut p = MachineParams::default();
+        p.clock_ghz = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = MachineParams::default();
+        p.bus_max_utilisation = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = MachineParams::default();
+        p.l2_size_kb = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = MachineParams::default();
+        p.mlp = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn idle_power_in_expected_band() {
+        // Figure 3 reports whole-system power between roughly 115 W and 160 W;
+        // the idle floor must sit below the single-threaded measurements.
+        let p = PowerParams::default();
+        assert!(p.system_idle_w > 90.0 && p.system_idle_w < 120.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Phase profiles: the workload characterisation consumed by the machine model.
+//!
+//! A *phase* in the paper is "a user-defined region of parallel code
+//! encapsulating either a collection of parallel loops or a collection of
+//! basic blocks executed concurrently by multiple threads" — in practice an
+//! OpenMP parallel region. The machine model does not execute instructions;
+//! it consumes a compact characterisation of one phase *instance* (one
+//! execution of the region within one outer timestep/iteration) and derives
+//! time, IPC, counters, power and energy for any thread placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::mrc::MissRatioCurve;
+
+/// Characterisation of one phase instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Human-readable name, e.g. `"sp.phase3"`.
+    pub name: String,
+    /// Total dynamic instructions executed by the phase instance (summed over
+    /// all the work, independent of how many threads execute it).
+    pub instructions: f64,
+    /// Fraction of those instructions that is parallelisable (Amdahl).
+    pub parallel_fraction: f64,
+    /// Cycles per instruction with a perfect memory hierarchy.
+    pub base_cpi: f64,
+    /// Fraction of instructions that are memory references (loads + stores).
+    pub mem_ref_per_instr: f64,
+    /// Fraction of memory references that are stores.
+    pub store_fraction: f64,
+    /// L1 data-cache misses per kilo-instruction (forwarded to the L2);
+    /// independent of concurrency since L1s are private.
+    pub l1_mpki: f64,
+    /// Miss-ratio curve of the shared L2 for one thread of this phase.
+    pub l2_mrc: MissRatioCurve,
+    /// Additional load imbalance: fractional extra time on the critical
+    /// thread when all cores are used (linear in the thread count).
+    pub load_imbalance: f64,
+    /// Extra serial overhead per instance (µs) beyond fork/join costs,
+    /// e.g. reductions or critical sections.
+    pub serial_overhead_us: f64,
+    /// Effectiveness of hardware prefetching in `[0, 1]`: the fraction of the
+    /// exposed memory latency hidden by prefetching.
+    pub prefetch_coverage: f64,
+    /// Branches per kilo-instruction (counter derivation only).
+    pub branch_pki: f64,
+    /// Branch misprediction ratio in `[0, 1]` (counter derivation only).
+    pub branch_miss_ratio: f64,
+    /// Data-TLB misses per kilo-instruction (counter derivation only).
+    pub dtlb_mpki: f64,
+}
+
+impl PhaseProfile {
+    /// A CPU-bound template phase: low miss rates, small working set, nearly
+    /// fully parallel. Useful in examples and tests.
+    pub fn compute_bound(name: &str, instructions: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            instructions,
+            parallel_fraction: 0.995,
+            base_cpi: 0.75,
+            mem_ref_per_instr: 0.30,
+            store_fraction: 0.30,
+            l1_mpki: 6.0,
+            l2_mrc: MissRatioCurve::new(0.25, 2.0, 0.5, 2.0),
+            load_imbalance: 0.03,
+            serial_overhead_us: 4.0,
+            prefetch_coverage: 0.5,
+            branch_pki: 60.0,
+            branch_miss_ratio: 0.02,
+            dtlb_mpki: 0.3,
+            }
+    }
+
+    /// A memory-bandwidth-bound template phase: streaming access, large
+    /// working set, high L2 miss rate. Scales poorly beyond two threads on
+    /// the modelled machine.
+    pub fn bandwidth_bound(name: &str, instructions: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            instructions,
+            parallel_fraction: 0.98,
+            base_cpi: 0.9,
+            mem_ref_per_instr: 0.45,
+            store_fraction: 0.35,
+            l1_mpki: 45.0,
+            l2_mrc: MissRatioCurve::new(20.0, 42.0, 3.2, 1.1),
+            load_imbalance: 0.05,
+            serial_overhead_us: 6.0,
+            prefetch_coverage: 0.7,
+            branch_pki: 30.0,
+            branch_miss_ratio: 0.05,
+            dtlb_mpki: 2.0,
+        }
+    }
+
+    /// A cache-sensitive template phase: working set just larger than half an
+    /// L2, so tightly-coupled sharing hurts but loosely-coupled placement is
+    /// fine.
+    pub fn cache_sensitive(name: &str, instructions: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            instructions,
+            parallel_fraction: 0.97,
+            base_cpi: 0.85,
+            mem_ref_per_instr: 0.38,
+            store_fraction: 0.3,
+            l1_mpki: 25.0,
+            l2_mrc: MissRatioCurve::new(1.5, 22.0, 2.6, 1.4),
+            load_imbalance: 0.05,
+            serial_overhead_us: 5.0,
+            prefetch_coverage: 0.4,
+            branch_pki: 45.0,
+            branch_miss_ratio: 0.03,
+            dtlb_mpki: 1.0,
+        }
+    }
+
+    /// Validates ranges; returns the first offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let checks: [(&'static str, f64, f64, f64); 9] = [
+            ("instructions", self.instructions, 1.0, f64::INFINITY),
+            ("parallel_fraction", self.parallel_fraction, 0.0, 1.0),
+            ("base_cpi", self.base_cpi, 0.05, 50.0),
+            ("mem_ref_per_instr", self.mem_ref_per_instr, 0.0, 1.0),
+            ("store_fraction", self.store_fraction, 0.0, 1.0),
+            ("l1_mpki", self.l1_mpki, 0.0, 1000.0),
+            ("load_imbalance", self.load_imbalance, 0.0, 2.0),
+            ("prefetch_coverage", self.prefetch_coverage, 0.0, 1.0),
+            ("branch_miss_ratio", self.branch_miss_ratio, 0.0, 1.0),
+        ];
+        for (field, value, lo, hi) in checks {
+            if !value.is_finite() || value < lo || value > hi {
+                return Err(SimError::InvalidProfile { field, value });
+            }
+        }
+        if !self.serial_overhead_us.is_finite() || self.serial_overhead_us < 0.0 {
+            return Err(SimError::InvalidProfile {
+                field: "serial_overhead_us",
+                value: self.serial_overhead_us,
+            });
+        }
+        if !self.dtlb_mpki.is_finite() || self.dtlb_mpki < 0.0 {
+            return Err(SimError::InvalidProfile { field: "dtlb_mpki", value: self.dtlb_mpki });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with the instruction count scaled by `factor` (used to
+    /// derive sampling windows that cover a fraction of an instance).
+    pub fn scaled_instance(&self, factor: f64) -> PhaseProfile {
+        let mut p = self.clone();
+        p.instructions = (self.instructions * factor).max(1.0);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_are_valid() {
+        assert!(PhaseProfile::compute_bound("a", 1e9).validate().is_ok());
+        assert!(PhaseProfile::bandwidth_bound("b", 1e9).validate().is_ok());
+        assert!(PhaseProfile::cache_sensitive("c", 1e9).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_fields() {
+        let mut p = PhaseProfile::compute_bound("x", 1e9);
+        p.parallel_fraction = 1.2;
+        assert!(matches!(
+            p.validate(),
+            Err(SimError::InvalidProfile { field: "parallel_fraction", .. })
+        ));
+
+        let mut p = PhaseProfile::compute_bound("x", 1e9);
+        p.instructions = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = PhaseProfile::compute_bound("x", 1e9);
+        p.base_cpi = f64::NAN;
+        assert!(p.validate().is_err());
+
+        let mut p = PhaseProfile::compute_bound("x", 1e9);
+        p.serial_overhead_us = -1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = PhaseProfile::compute_bound("x", 1e9);
+        p.dtlb_mpki = f64::INFINITY;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_instance_scales_instructions_only() {
+        let p = PhaseProfile::compute_bound("x", 1e9);
+        let s = p.scaled_instance(0.25);
+        assert!((s.instructions - 2.5e8).abs() < 1.0);
+        assert_eq!(s.base_cpi, p.base_cpi);
+        assert_eq!(s.name, p.name);
+        // Never collapses to zero work.
+        let tiny = p.scaled_instance(0.0);
+        assert!(tiny.instructions >= 1.0);
+    }
+
+    #[test]
+    fn templates_have_distinct_memory_behaviour() {
+        let c = PhaseProfile::compute_bound("c", 1e9);
+        let b = PhaseProfile::bandwidth_bound("b", 1e9);
+        assert!(b.l1_mpki > c.l1_mpki);
+        assert!(b.l2_mrc.floor_mpki > c.l2_mrc.floor_mpki);
+    }
+}

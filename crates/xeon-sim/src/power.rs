@@ -1,0 +1,246 @@
+//! Full-system power model and energy accounting.
+//!
+//! The paper measures *whole-system* power with a Watts Up Pro meter:
+//! "Numbers reported here represent a full system power profile, including
+//! CPU, memory, power supply, and other components" (Section III-B). The key
+//! observations the model must reproduce:
+//!
+//! * total power on four cores is ~14 % higher than on one core;
+//! * applications that scale well show the largest power increases (BT:
+//!   ×1.31), poorly scaling ones show little change or even reductions,
+//!   because contention keeps cores stalled;
+//! * leaving cores idle reduces on-chip power, but extra bus/memory traffic
+//!   (e.g. after a thread re-binding destroys cache warmth) can offset it.
+//!
+//! The model is additive: idle system + per-active-core static and
+//! activity-scaled dynamic power + per-active-L2 power + FSB-utilisation and
+//! DRAM-utilisation terms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::PowerParams;
+
+/// Breakdown of average power during a phase execution (Watts).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Constant system floor (PSU, board, disks, idle DRAM).
+    pub idle_w: f64,
+    /// Static + dynamic power of the active cores.
+    pub cores_w: f64,
+    /// Power of the active shared L2 caches.
+    pub l2_w: f64,
+    /// Front-side-bus power (scales with utilisation).
+    pub bus_w: f64,
+    /// DRAM activity power (scales with bandwidth utilisation).
+    pub dram_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total system power in Watts.
+    pub fn total_w(&self) -> f64 {
+        self.idle_w + self.cores_w + self.l2_w + self.bus_w + self.dram_w
+    }
+}
+
+/// The full-system power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Builds a power model from its coefficients.
+    pub fn new(params: PowerParams) -> Self {
+        Self { params }
+    }
+
+    /// The underlying coefficients.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Average system power for a phase.
+    ///
+    /// * `active_cores` — number of cores running threads;
+    /// * `per_core_ipc` — average IPC of each active core (drives dynamic power);
+    /// * `active_l2` — number of L2 caches in use;
+    /// * `bus_utilisation`, `dram_utilisation` — in `[0, 1]`.
+    pub fn phase_power(
+        &self,
+        active_cores: usize,
+        per_core_ipc: f64,
+        active_l2: usize,
+        bus_utilisation: f64,
+        dram_utilisation: f64,
+    ) -> PowerBreakdown {
+        let p = &self.params;
+        let activity = (per_core_ipc.max(0.0) / p.core_ipc_ref).min(p.core_dynamic_cap);
+        let cores_w =
+            active_cores as f64 * (p.core_static_w + p.core_dynamic_max_w * activity);
+        PowerBreakdown {
+            idle_w: p.system_idle_w,
+            cores_w,
+            l2_w: active_l2 as f64 * p.l2_active_w,
+            bus_w: p.fsb_max_w * bus_utilisation.clamp(0.0, 1.0),
+            dram_w: p.dram_max_w * dram_utilisation.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Power with everything idle (no threads running).
+    pub fn idle_power(&self) -> PowerBreakdown {
+        self.phase_power(0, 0.0, 0, 0.0, 0.0)
+    }
+}
+
+/// Integrates (power, duration) samples into total energy, emulating the
+/// Watts Up Pro meter used in the paper's measurements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    samples: Vec<(f64, f64)>, // (duration_s, power_w)
+}
+
+impl EnergyMeter {
+    /// New, empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an interval of `duration_s` seconds at `power_w` Watts.
+    /// Non-finite or negative samples are ignored (a real meter drops bad
+    /// readings rather than corrupting the total).
+    pub fn record(&mut self, duration_s: f64, power_w: f64) {
+        if duration_s.is_finite() && power_w.is_finite() && duration_s > 0.0 && power_w >= 0.0 {
+            self.samples.push((duration_s, power_w));
+        }
+    }
+
+    /// Total elapsed time covered by the recorded samples (s).
+    pub fn elapsed_s(&self) -> f64 {
+        self.samples.iter().map(|(d, _)| d).sum()
+    }
+
+    /// Total energy in Joules.
+    pub fn energy_j(&self) -> f64 {
+        self.samples.iter().map(|(d, p)| d * p).sum()
+    }
+
+    /// Time-weighted average power in Watts (0 if nothing was recorded).
+    pub fn average_power_w(&self) -> f64 {
+        let t = self.elapsed_s();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.energy_j() / t
+        }
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j() * self.elapsed_s()
+    }
+
+    /// Energy-delay-squared product (J·s²), the paper's headline HPC metric.
+    pub fn ed2(&self) -> f64 {
+        self.energy_j() * self.elapsed_s() * self.elapsed_s()
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether any samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Clears the meter.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::new(PowerParams::default())
+    }
+
+    #[test]
+    fn idle_power_is_the_floor() {
+        let m = model();
+        let idle = m.idle_power();
+        assert_eq!(idle.total_w(), m.params().system_idle_w);
+        assert_eq!(idle.cores_w, 0.0);
+    }
+
+    #[test]
+    fn power_grows_with_active_cores() {
+        let m = model();
+        let one = m.phase_power(1, 1.2, 1, 0.2, 0.2).total_w();
+        let two = m.phase_power(2, 1.2, 1, 0.3, 0.3).total_w();
+        let four = m.phase_power(4, 1.2, 2, 0.5, 0.5).total_w();
+        assert!(one < two && two < four);
+        // Paper: ~14 % growth from one to four cores for typical activity.
+        let growth = four / one;
+        assert!(growth > 1.05 && growth < 1.45, "1->4 core growth {growth} out of band");
+    }
+
+    #[test]
+    fn single_core_power_in_paper_band() {
+        // Figure 3 shows single-threaded whole-system power around 115-130 W.
+        let m = model();
+        let p = m.phase_power(1, 1.0, 1, 0.15, 0.15).total_w();
+        assert!(p > 110.0 && p < 135.0, "single core power {p} outside the paper's band");
+    }
+
+    #[test]
+    fn dynamic_power_saturates_with_ipc() {
+        let m = model();
+        let hi = m.phase_power(4, 10.0, 2, 0.0, 0.0).total_w();
+        let cap = m.phase_power(4, m.params().core_ipc_ref * m.params().core_dynamic_cap, 2, 0.0, 0.0).total_w();
+        assert!((hi - cap).abs() < 1e-9, "IPC above the cap must not add power");
+        let low = m.phase_power(4, 0.2, 2, 0.0, 0.0).total_w();
+        assert!(low < hi);
+    }
+
+    #[test]
+    fn utilisation_terms_clamped() {
+        let m = model();
+        let over = m.phase_power(1, 1.0, 1, 2.0, 2.0);
+        assert!(over.bus_w <= m.params().fsb_max_w + 1e-12);
+        assert!(over.dram_w <= m.params().dram_max_w + 1e-12);
+        let under = m.phase_power(1, 1.0, 1, -1.0, -1.0);
+        assert_eq!(under.bus_w, 0.0);
+        assert_eq!(under.dram_w, 0.0);
+    }
+
+    #[test]
+    fn meter_integrates_energy() {
+        let mut meter = EnergyMeter::new();
+        assert!(meter.is_empty());
+        meter.record(2.0, 100.0);
+        meter.record(1.0, 130.0);
+        assert_eq!(meter.len(), 2);
+        assert!((meter.energy_j() - 330.0).abs() < 1e-9);
+        assert!((meter.elapsed_s() - 3.0).abs() < 1e-9);
+        assert!((meter.average_power_w() - 110.0).abs() < 1e-9);
+        assert!((meter.edp() - 990.0).abs() < 1e-9);
+        assert!((meter.ed2() - 2970.0).abs() < 1e-9);
+        meter.reset();
+        assert!(meter.is_empty());
+        assert_eq!(meter.average_power_w(), 0.0);
+    }
+
+    #[test]
+    fn meter_ignores_invalid_samples() {
+        let mut meter = EnergyMeter::new();
+        meter.record(-1.0, 100.0);
+        meter.record(1.0, -5.0);
+        meter.record(f64::NAN, 100.0);
+        meter.record(1.0, f64::INFINITY);
+        assert!(meter.is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! Processor topology and thread placement.
+//!
+//! The paper's Xeon QX6600 is four cores organised as two dual-core dies,
+//! each die sharing one 4 MB L2. Two cores sharing a cache are called
+//! *tightly coupled*, cores on different dies are *loosely coupled*. The
+//! paper evaluates five threading configurations: `1`, `2a` (two threads on
+//! tightly coupled cores), `2b` (two threads on loosely coupled cores), `3`
+//! and `4`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Identifier of a physical core (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Physical organisation of cores and shared L2 caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Total number of cores on the package.
+    pub num_cores: usize,
+    /// Number of cores sharing one L2 cache.
+    pub cores_per_l2: usize,
+}
+
+impl Topology {
+    /// Builds a topology, requiring at least one core and that the core count
+    /// is a multiple of the L2 group size.
+    pub fn new(num_cores: usize, cores_per_l2: usize) -> Result<Self, SimError> {
+        if num_cores == 0 || cores_per_l2 == 0 || num_cores % cores_per_l2 != 0 {
+            return Err(SimError::InvalidCacheConfig {
+                reason: format!(
+                    "num_cores ({num_cores}) must be a positive multiple of cores_per_l2 ({cores_per_l2})"
+                ),
+            });
+        }
+        Ok(Self { num_cores, cores_per_l2 })
+    }
+
+    /// The quad-core Xeon QX6600 layout used in the paper: 4 cores, 2 per L2.
+    pub fn quad_core_xeon() -> Self {
+        Self { num_cores: 4, cores_per_l2: 2 }
+    }
+
+    /// Number of L2 caches (core pairs on the Xeon).
+    pub fn num_l2(&self) -> usize {
+        self.num_cores / self.cores_per_l2
+    }
+
+    /// Index of the L2 cache serving `core`.
+    pub fn l2_of(&self, core: CoreId) -> usize {
+        core.0 / self.cores_per_l2
+    }
+
+    /// Whether two cores share an L2 cache ("tightly coupled" in the paper).
+    pub fn tightly_coupled(&self, a: CoreId, b: CoreId) -> bool {
+        self.l2_of(a) == self.l2_of(b)
+    }
+
+    /// All core identifiers in order.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.num_cores).map(CoreId)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::quad_core_xeon()
+    }
+}
+
+/// An assignment of one thread per listed core.
+///
+/// The paper binds OpenMP threads to specific cores; a `Placement` captures
+/// that binding. The order of cores is irrelevant to the model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    cores: Vec<CoreId>,
+}
+
+impl Placement {
+    /// Builds a placement after validating it against the topology: at least
+    /// one core, all cores in range, no duplicates.
+    pub fn new(cores: Vec<CoreId>, topo: &Topology) -> Result<Self, SimError> {
+        if cores.is_empty() {
+            return Err(SimError::EmptyPlacement);
+        }
+        let mut seen = vec![false; topo.num_cores];
+        for c in &cores {
+            if c.0 >= topo.num_cores {
+                return Err(SimError::InvalidCore { core: c.0, num_cores: topo.num_cores });
+            }
+            if seen[c.0] {
+                return Err(SimError::DuplicateCore { core: c.0 });
+            }
+            seen[c.0] = true;
+        }
+        Ok(Self { cores })
+    }
+
+    /// Places `n` threads on consecutive cores starting at core 0 (fills one
+    /// L2 pair before spilling onto the next — a "packed" placement).
+    pub fn packed(n: usize, topo: &Topology) -> Result<Self, SimError> {
+        Self::new((0..n).map(CoreId).collect(), topo)
+    }
+
+    /// Places `n` threads round-robin across L2 groups ("spread"), so that
+    /// cache sharing is minimised. With `n = 2` on the Xeon this is the
+    /// paper's configuration `2b`.
+    pub fn spread(n: usize, topo: &Topology) -> Result<Self, SimError> {
+        if n == 0 || n > topo.num_cores {
+            return Err(if n == 0 {
+                SimError::EmptyPlacement
+            } else {
+                SimError::InvalidCore { core: n - 1, num_cores: topo.num_cores }
+            });
+        }
+        // Enumerate cores in round-robin order over L2 groups:
+        // group 0 core 0, group 1 core 0, ..., group 0 core 1, group 1 core 1, ...
+        let mut order = Vec::with_capacity(topo.num_cores);
+        for slot in 0..topo.cores_per_l2 {
+            for group in 0..topo.num_l2() {
+                order.push(CoreId(group * topo.cores_per_l2 + slot));
+            }
+        }
+        Self::new(order.into_iter().take(n).collect(), topo)
+    }
+
+    /// Number of threads (== number of cores used).
+    pub fn num_threads(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The cores used, in the order given at construction.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// How many threads land on each L2 cache; the vector has one entry per
+    /// L2 in the topology (entries may be zero).
+    pub fn threads_per_l2(&self, topo: &Topology) -> Vec<usize> {
+        let mut counts = vec![0usize; topo.num_l2()];
+        for c in &self.cores {
+            counts[topo.l2_of(*c)] += 1;
+        }
+        counts
+    }
+
+    /// Number of L2 caches with at least one thread ("active pairs").
+    pub fn active_l2(&self, topo: &Topology) -> usize {
+        self.threads_per_l2(topo).iter().filter(|&&k| k > 0).count()
+    }
+}
+
+/// The five threading configurations evaluated in the paper (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Configuration {
+    /// One thread on one core.
+    One,
+    /// Two threads on two cores sharing an L2 (tightly coupled) — `2a`.
+    TwoTight,
+    /// Two threads on two cores on different dies (loosely coupled) — `2b`.
+    TwoLoose,
+    /// Three threads on three cores.
+    Three,
+    /// Four threads, one per core.
+    Four,
+}
+
+impl Configuration {
+    /// All five configurations in the paper's presentation order.
+    pub const ALL: [Configuration; 5] = [
+        Configuration::One,
+        Configuration::TwoTight,
+        Configuration::TwoLoose,
+        Configuration::Three,
+        Configuration::Four,
+    ];
+
+    /// The target configurations predicted by ACTOR (everything except the
+    /// maximal-concurrency sampling configuration, `4`).
+    pub const TARGETS: [Configuration; 4] = [
+        Configuration::One,
+        Configuration::TwoTight,
+        Configuration::TwoLoose,
+        Configuration::Three,
+    ];
+
+    /// The sampling configuration: maximal concurrency, representing the
+    /// greatest possible interference among threads.
+    pub const SAMPLE: Configuration = Configuration::Four;
+
+    /// Label used in the paper's figures ("1", "2a", "2b", "3", "4").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Configuration::One => "1",
+            Configuration::TwoTight => "2a",
+            Configuration::TwoLoose => "2b",
+            Configuration::Three => "3",
+            Configuration::Four => "4",
+        }
+    }
+
+    /// Parses a figure label back into a configuration.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "1" => Some(Configuration::One),
+            "2a" => Some(Configuration::TwoTight),
+            "2b" => Some(Configuration::TwoLoose),
+            "3" => Some(Configuration::Three),
+            "4" => Some(Configuration::Four),
+            _ => None,
+        }
+    }
+
+    /// Number of threads used by this configuration.
+    pub fn num_threads(&self) -> usize {
+        match self {
+            Configuration::One => 1,
+            Configuration::TwoTight | Configuration::TwoLoose => 2,
+            Configuration::Three => 3,
+            Configuration::Four => 4,
+        }
+    }
+
+    /// Concrete placement of this configuration on a quad-core two-pair
+    /// topology. For larger topologies, `One..=Three` keep their thread
+    /// counts (packed or spread as appropriate) and `Four` means "all cores".
+    pub fn placement(&self, topo: &Topology) -> Placement {
+        let result = match self {
+            Configuration::One => Placement::packed(1, topo),
+            Configuration::TwoTight => Placement::packed(2.min(topo.num_cores), topo),
+            Configuration::TwoLoose => Placement::spread(2.min(topo.num_cores), topo),
+            Configuration::Three => Placement::spread(3.min(topo.num_cores), topo),
+            Configuration::Four => Placement::packed(topo.num_cores, topo),
+        };
+        result.expect("built-in configurations are always valid for a valid topology")
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_topology_shape() {
+        let t = Topology::quad_core_xeon();
+        assert_eq!(t.num_cores, 4);
+        assert_eq!(t.num_l2(), 2);
+        assert_eq!(t.l2_of(CoreId(0)), 0);
+        assert_eq!(t.l2_of(CoreId(1)), 0);
+        assert_eq!(t.l2_of(CoreId(2)), 1);
+        assert_eq!(t.l2_of(CoreId(3)), 1);
+        assert!(t.tightly_coupled(CoreId(0), CoreId(1)));
+        assert!(!t.tightly_coupled(CoreId(1), CoreId(2)));
+        assert_eq!(t.cores().count(), 4);
+    }
+
+    #[test]
+    fn topology_rejects_bad_shapes() {
+        assert!(Topology::new(0, 2).is_err());
+        assert!(Topology::new(4, 0).is_err());
+        assert!(Topology::new(6, 4).is_err());
+        assert!(Topology::new(8, 2).is_ok());
+    }
+
+    #[test]
+    fn placement_validation() {
+        let t = Topology::quad_core_xeon();
+        assert!(matches!(Placement::new(vec![], &t), Err(SimError::EmptyPlacement)));
+        assert!(matches!(
+            Placement::new(vec![CoreId(4)], &t),
+            Err(SimError::InvalidCore { core: 4, .. })
+        ));
+        assert!(matches!(
+            Placement::new(vec![CoreId(1), CoreId(1)], &t),
+            Err(SimError::DuplicateCore { core: 1 })
+        ));
+        let p = Placement::new(vec![CoreId(0), CoreId(2)], &t).unwrap();
+        assert_eq!(p.num_threads(), 2);
+    }
+
+    #[test]
+    fn packed_and_spread_placements() {
+        let t = Topology::quad_core_xeon();
+        let packed2 = Placement::packed(2, &t).unwrap();
+        assert_eq!(packed2.threads_per_l2(&t), vec![2, 0]);
+        assert_eq!(packed2.active_l2(&t), 1);
+
+        let spread2 = Placement::spread(2, &t).unwrap();
+        assert_eq!(spread2.threads_per_l2(&t), vec![1, 1]);
+        assert_eq!(spread2.active_l2(&t), 2);
+
+        let spread3 = Placement::spread(3, &t).unwrap();
+        assert_eq!(spread3.threads_per_l2(&t).iter().sum::<usize>(), 3);
+        assert_eq!(spread3.active_l2(&t), 2);
+
+        assert!(Placement::spread(0, &t).is_err());
+        assert!(Placement::spread(5, &t).is_err());
+    }
+
+    #[test]
+    fn configuration_labels_round_trip() {
+        for c in Configuration::ALL {
+            assert_eq!(Configuration::from_label(c.label()), Some(c));
+        }
+        assert_eq!(Configuration::from_label("7"), None);
+    }
+
+    #[test]
+    fn configuration_placements_match_paper() {
+        let t = Topology::quad_core_xeon();
+        assert_eq!(Configuration::One.placement(&t).num_threads(), 1);
+        let p2a = Configuration::TwoTight.placement(&t);
+        assert_eq!(p2a.threads_per_l2(&t), vec![2, 0]);
+        let p2b = Configuration::TwoLoose.placement(&t);
+        assert_eq!(p2b.threads_per_l2(&t), vec![1, 1]);
+        assert_eq!(Configuration::Three.placement(&t).num_threads(), 3);
+        assert_eq!(Configuration::Four.placement(&t).num_threads(), 4);
+        assert_eq!(Configuration::SAMPLE.num_threads(), 4);
+        assert_eq!(Configuration::TARGETS.len(), 4);
+    }
+
+    #[test]
+    fn configurations_scale_to_larger_topologies() {
+        let t = Topology::new(8, 2).unwrap();
+        assert_eq!(Configuration::Four.placement(&t).num_threads(), 8);
+        assert_eq!(Configuration::TwoLoose.placement(&t).active_l2(&t), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic memory-address trace generation.
+//!
+//! Used together with [`crate::cache`] to validate the miss-ratio-curve
+//! abstraction of the analytical model: we generate address streams with a
+//! controllable working-set size and access pattern, interleave streams from
+//! several "threads" into one shared cache, and confirm that per-thread miss
+//! rates rise as the effective per-thread capacity shrinks.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+impl AccessKind {
+    /// True for stores.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// One memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Byte address.
+    pub address: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// The spatial pattern of a synthetic access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TracePattern {
+    /// Sequential streaming through the working set with the given stride in
+    /// bytes (think `daxpy`, IS key scans).
+    Streaming {
+        /// Distance between consecutive accesses in bytes.
+        stride: u64,
+    },
+    /// Uniformly random accesses within the working set (think CG's sparse
+    /// gathers).
+    Random,
+    /// Repeated sweeps over a small hot region plus occasional excursions to
+    /// the full working set (think blocked stencil codes: MG, SP, BT).
+    HotCold {
+        /// Fraction of accesses that fall within the hot region.
+        hot_fraction: f64,
+        /// Size of the hot region as a fraction of the working set.
+        hot_region_fraction: f64,
+    },
+}
+
+/// Generator of synthetic per-thread address traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceGenerator {
+    /// Base address of this thread's working set (so that different threads
+    /// use disjoint address ranges, as OpenMP worksharing of disjoint blocks
+    /// does).
+    pub base_address: u64,
+    /// Working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Spatial pattern.
+    pub pattern: TracePattern,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    cursor: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(
+        base_address: u64,
+        working_set_bytes: u64,
+        pattern: TracePattern,
+        write_fraction: f64,
+    ) -> Self {
+        Self {
+            base_address,
+            working_set_bytes: working_set_bytes.max(64),
+            pattern,
+            write_fraction: write_fraction.clamp(0.0, 1.0),
+            cursor: 0,
+        }
+    }
+
+    /// Generates the next access using the supplied RNG.
+    pub fn next_access<R: Rng + ?Sized>(&mut self, rng: &mut R) -> MemoryAccess {
+        let offset = match self.pattern {
+            TracePattern::Streaming { stride } => {
+                let stride = stride.max(1);
+                let off = self.cursor % self.working_set_bytes;
+                self.cursor = self.cursor.wrapping_add(stride);
+                off
+            }
+            TracePattern::Random => rng.gen_range(0..self.working_set_bytes),
+            TracePattern::HotCold { hot_fraction, hot_region_fraction } => {
+                let hot_bytes =
+                    ((self.working_set_bytes as f64) * hot_region_fraction.clamp(0.01, 1.0)) as u64;
+                let hot_bytes = hot_bytes.max(64);
+                if rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..hot_bytes)
+                } else {
+                    rng.gen_range(0..self.working_set_bytes)
+                }
+            }
+        };
+        let kind = if rng.gen_bool(self.write_fraction) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemoryAccess { address: self.base_address + offset, kind }
+    }
+
+    /// Generates `n` accesses.
+    pub fn generate<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<MemoryAccess> {
+        (0..n).map(|_| self.next_access(rng)).collect()
+    }
+}
+
+/// Round-robin interleaving of several per-thread traces, emulating the
+/// access stream seen by a cache shared between those threads.
+pub fn interleave(traces: &[Vec<MemoryAccess>]) -> Vec<MemoryAccess> {
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let longest = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    for i in 0..longest {
+        for t in traces {
+            if let Some(a) = t.get(i) {
+                out.push(*a);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn streaming_trace_stays_in_working_set_and_strides() {
+        let mut g = TraceGenerator::new(0x10000, 4096, TracePattern::Streaming { stride: 64 }, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = g.generate(200, &mut rng);
+        for (i, a) in t.iter().enumerate() {
+            assert!(a.address >= 0x10000 && a.address < 0x10000 + 4096);
+            assert_eq!(a.kind, AccessKind::Read);
+            if i > 0 && i % 64 != 0 {
+                // consecutive addresses differ by the stride (mod wraparound)
+                let prev = t[i - 1].address;
+                let diff = if a.address > prev { a.address - prev } else { prev + 4096 - a.address };
+                assert_eq!(diff % 64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_trace_covers_working_set() {
+        let mut g = TraceGenerator::new(0, 64 * 1024, TracePattern::Random, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = g.generate(5000, &mut rng);
+        let min = t.iter().map(|a| a.address).min().unwrap();
+        let max = t.iter().map(|a| a.address).max().unwrap();
+        assert!(max - min > 32 * 1024, "random accesses should span most of the working set");
+        let writes = t.iter().filter(|a| a.kind.is_write()).count();
+        let frac = writes as f64 / t.len() as f64;
+        assert!((frac - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn hot_cold_concentrates_accesses() {
+        let ws = 1 << 20;
+        let mut g = TraceGenerator::new(
+            0,
+            ws,
+            TracePattern::HotCold { hot_fraction: 0.9, hot_region_fraction: 0.1 },
+            0.0,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = g.generate(10_000, &mut rng);
+        let hot_bytes = ws / 10;
+        let in_hot = t.iter().filter(|a| a.address < hot_bytes).count();
+        assert!(in_hot as f64 / t.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn interleave_round_robin() {
+        let a = vec![MemoryAccess { address: 1, kind: AccessKind::Read }; 3];
+        let b = vec![MemoryAccess { address: 2, kind: AccessKind::Read }; 1];
+        let merged = interleave(&[a, b]);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged[0].address, 1);
+        assert_eq!(merged[1].address, 2);
+        assert_eq!(merged[2].address, 1);
+        assert_eq!(merged[3].address, 1);
+        assert!(interleave(&[]).is_empty());
+    }
+
+    #[test]
+    fn generator_is_deterministic_for_a_seed() {
+        let mut g1 = TraceGenerator::new(0, 1 << 16, TracePattern::Random, 0.3);
+        let mut g2 = TraceGenerator::new(0, 1 << 16, TracePattern::Random, 0.3);
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        assert_eq!(g1.generate(100, &mut r1), g2.generate(100, &mut r2));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let g = TraceGenerator::new(0, 1, TracePattern::Streaming { stride: 0 }, 7.0);
+        assert!(g.working_set_bytes >= 64);
+        assert!(g.write_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Energy-efficiency report: runs the paper's Figure-8 comparison (4 cores vs
+//! global optimal vs phase optimal vs ACTOR's prediction) on a subset of the
+//! suite with the fast training configuration, and prints normalised time,
+//! power, energy and ED² per benchmark.
+//!
+//! ```bash
+//! cargo run --release --example energy_report
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_suite::actor::adaptation::{run_adaptation_study_on, Metric, Strategy};
+use actor_suite::actor::report::{fmt3, Table};
+use actor_suite::actor::ActorConfig;
+use actor_suite::sim::Machine;
+use actor_suite::workloads::{benchmark, BenchmarkId};
+
+fn main() {
+    let machine = Machine::xeon_qx6600();
+    let config = ActorConfig::fast();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let benchmarks = [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Sp]
+        .map(benchmark)
+        .to_vec();
+    println!("training leave-one-out models for {} benchmarks (fast config)...\n", benchmarks.len());
+    let study = run_adaptation_study_on(&machine, &config, &benchmarks, &mut rng)
+        .expect("adaptation study");
+
+    for metric in Metric::ALL {
+        let mut table =
+            Table::new(vec!["benchmark", "4 cores", "global opt", "phase opt", "prediction"]);
+        for bench in &study.benchmarks {
+            table.push_row(vec![
+                bench.id.name().to_string(),
+                fmt3(bench.normalised(Strategy::FourCores, metric)),
+                fmt3(bench.normalised(Strategy::GlobalOptimal, metric)),
+                fmt3(bench.normalised(Strategy::PhaseOptimal, metric)),
+                fmt3(bench.normalised(Strategy::Prediction, metric)),
+            ]);
+        }
+        table.push_row(vec![
+            "AVG".to_string(),
+            fmt3(study.average_normalised(Strategy::FourCores, metric)),
+            fmt3(study.average_normalised(Strategy::GlobalOptimal, metric)),
+            fmt3(study.average_normalised(Strategy::PhaseOptimal, metric)),
+            fmt3(study.average_normalised(Strategy::Prediction, metric)),
+        ]);
+        println!("normalised {} (lower is better):", metric.label());
+        println!("{}", table.to_text());
+    }
+
+    println!("ACTOR's per-phase decisions:");
+    for bench in &study.benchmarks {
+        let summary: Vec<String> = bench
+            .decisions
+            .iter()
+            .map(|(phase, config)| format!("{}={}", phase.rsplit('.').next().unwrap_or(phase), config.label()))
+            .collect();
+        println!(
+            "  {:6} (sampled {:.0}% of timesteps): {}",
+            bench.id.name(),
+            bench.sampling_fraction * 100.0,
+            summary.join(", ")
+        );
+    }
+}

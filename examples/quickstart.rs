@@ -1,0 +1,95 @@
+//! Quickstart: train an ANN predictor on a few benchmarks, sample an unseen
+//! application, and let ACTOR decide how many cores each of its phases should
+//! use.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_suite::actor::prelude::*;
+use actor_suite::actor::sampling::{sample_phase, SamplingPlan};
+use actor_suite::actor::TrainingCorpus;
+use actor_suite::sim::Machine;
+use actor_suite::workloads::{benchmark, BenchmarkId};
+
+fn main() {
+    // 1. The machine substrate: a model of the paper's quad-core Xeon.
+    let machine = Machine::xeon_qx6600();
+    let config = ActorConfig::fast();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // 2. Offline training: build a corpus from a few applications and train
+    //    one ANN ensemble per target configuration. IS is deliberately left
+    //    out — it is the application we will adapt.
+    let training_apps = [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Mg, BenchmarkId::Sp]
+        .map(benchmark)
+        .to_vec();
+    println!("training ANN ensembles on {} applications...", training_apps.len());
+    let target = benchmark(BenchmarkId::Is);
+    let plan = SamplingPlan::for_benchmark(&target, &config).expect("sampling plan");
+    let corpus = TrainingCorpus::build(
+        &machine,
+        &training_apps,
+        &plan.event_set,
+        config.corpus_replicas,
+        config.corpus_noise,
+        &mut rng,
+    )
+    .expect("corpus");
+    let predictor = AnnPredictor::train(&corpus, &config.predictor, &mut rng).expect("training");
+    println!(
+        "trained {} ensembles ({} samples, mean held-out error {:.1}%)\n",
+        predictor.models().len(),
+        corpus.len(),
+        predictor.mean_holdout_error() * 100.0
+    );
+
+    // 3. Online adaptation of the unseen application (IS): sample each phase
+    //    at maximal concurrency, predict the IPC of every alternative
+    //    configuration, and throttle to the best one.
+    println!(
+        "adapting {} (sampling {} of {} timesteps, {} events)",
+        target.id,
+        plan.sample_timesteps,
+        plan.total_timesteps,
+        plan.event_set.len()
+    );
+    for phase in &target.phases {
+        let rates = sample_phase(&machine, phase, &plan, config.measurement_noise, &mut rng)
+            .expect("sampling");
+        let predictions = predictor.predict(&rates.features()).expect("prediction");
+        let decision = select_configuration(rates.ipc(), &predictions);
+        println!(
+            "  {:22} sampled IPC {:.2} -> run on configuration {:2} (predicted IPC {:.2})",
+            phase.name,
+            decision.sampled_ipc,
+            decision.chosen.label(),
+            decision.chosen_ipc()
+        );
+    }
+
+    // 4. What did it buy us? Compare against always using all four cores.
+    let four = target.simulate(&machine, actor_suite::sim::Configuration::Four);
+    let decisions: Vec<_> = target
+        .phases
+        .iter()
+        .map(|phase| {
+            let rates = sample_phase(&machine, phase, &plan, 0.0, &mut rng).expect("sampling");
+            let predictions = predictor.predict(&rates.features()).expect("prediction");
+            select_configuration(rates.ipc(), &predictions).chosen
+        })
+        .collect();
+    let adapted = target.simulate_per_phase(&machine, &decisions);
+    println!(
+        "\nwhole-run comparison: 4 cores = {:.1}s / {:.0} J, ACTOR = {:.1}s / {:.0} J ({:+.1}% time, {:+.1}% energy)",
+        four.time_s,
+        four.energy_j,
+        adapted.time_s,
+        adapted.energy_j,
+        (adapted.time_s / four.time_s - 1.0) * 100.0,
+        (adapted.energy_j / four.energy_j - 1.0) * 100.0
+    );
+}

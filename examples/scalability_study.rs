@@ -1,0 +1,77 @@
+//! Scalability and energy study (the paper's Section III, Figures 1–3) from
+//! the public API: execution time, power, energy and ED² of every NPB
+//! benchmark on every threading configuration.
+//!
+//! ```bash
+//! cargo run --release --example scalability_study
+//! ```
+
+use actor_suite::actor::report::Table;
+use actor_suite::actor::scalability::{phase_ipc_study, scalability_report};
+use actor_suite::sim::{Configuration, Machine};
+use actor_suite::workloads::BenchmarkId;
+
+fn main() {
+    let machine = Machine::xeon_qx6600();
+    let report = scalability_report(&machine);
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "time(1)",
+        "time(2a)",
+        "time(2b)",
+        "time(3)",
+        "time(4)",
+        "speedup(4)",
+        "power(4)/power(1)",
+        "best ED2 config",
+    ]);
+    for row in &report.rows {
+        let best_ed2 = row
+            .per_config
+            .iter()
+            .min_by(|a, b| a.ed2.partial_cmp(&b.ed2).unwrap())
+            .unwrap()
+            .config;
+        table.push_row(vec![
+            row.id.name().to_string(),
+            format!("{:.1}", row.get(Configuration::One).time_s),
+            format!("{:.1}", row.get(Configuration::TwoTight).time_s),
+            format!("{:.1}", row.get(Configuration::TwoLoose).time_s),
+            format!("{:.1}", row.get(Configuration::Three).time_s),
+            format!("{:.1}", row.get(Configuration::Four).time_s),
+            format!("{:.2}x", row.speedup(Configuration::Four)),
+            format!("{:.2}x", row.power_ratio(Configuration::Four)),
+            best_ed2.label().to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+
+    println!(
+        "scaling class (BT, FT, LU-HP) mean speedup on 4 cores: {:.2}x  (paper: 2.37x)",
+        report.scaling_class_speedup()
+    );
+    println!(
+        "mean power growth 1 -> 4 cores: {:+.1}%  (paper: +14.2%)",
+        report.mean_power_growth() * 100.0
+    );
+
+    // Figure 2: the phase diversity that motivates per-phase adaptation.
+    println!("\nper-phase IPC of SP (Figure 2):");
+    let mut sp = Table::new(vec!["phase", "best config", "best IPC", "IPC on 4"]);
+    for row in phase_ipc_study(&machine, BenchmarkId::Sp) {
+        let on_four = row
+            .ipc_by_config
+            .iter()
+            .find(|(c, _)| *c == Configuration::Four)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        sp.push_row(vec![
+            row.phase.clone(),
+            row.best_config().label().to_string(),
+            format!("{:.2}", row.max_ipc()),
+            format!("{:.2}", on_four),
+        ]);
+    }
+    println!("{}", sp.to_text());
+}

@@ -1,0 +1,39 @@
+//! # actor-suite — umbrella crate for the ACTOR reproduction
+//!
+//! This crate ties the workspace together for the runnable examples and the
+//! cross-crate integration tests. The actual functionality lives in the
+//! member crates, re-exported here under short names:
+//!
+//! * [`sim`] (`xeon-sim`) — the quad-core Xeon machine model (caches, FSB,
+//!   DRAM, power) and phase profiles;
+//! * [`counters`] (`hwcounters`) — hardware-event sets, register multiplexing
+//!   and event-rate feature vectors;
+//! * [`rt`] (`phase-rt`) — the fork-join phase runtime (teams, bindings,
+//!   schedulers, barriers, listeners);
+//! * [`ml`] (`annlib`) — feed-forward neural networks, backpropagation,
+//!   cross-validation ensembles;
+//! * [`workloads`] (`npb-workloads`) — NPB phase profiles and live kernels;
+//! * [`actor`] (`actor-core`) — ACTOR itself: corpus building, ANN training,
+//!   sampling, throttling, oracles, baselines and the evaluation studies.
+//!
+//! See `examples/quickstart.rs` for the fastest path from nothing to a
+//! throttling decision, and the `actor-bench` crate for the binaries that
+//! regenerate every figure of the paper.
+
+pub use actor_core as actor;
+pub use annlib as ml;
+pub use hwcounters as counters;
+pub use npb_workloads as workloads;
+pub use phase_rt as rt;
+pub use xeon_sim as sim;
+
+/// The workspace version (all member crates share it).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

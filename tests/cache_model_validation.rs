@@ -1,0 +1,87 @@
+//! Validates the analytical cache-sharing abstraction (miss-ratio curves)
+//! against the trace-driven set-associative cache simulator: interleaving
+//! more per-thread working sets into one shared L2 must raise every thread's
+//! miss rate, and fitting working sets must not miss — the mechanism behind
+//! the paper's tightly-coupled vs loosely-coupled results.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_suite::sim::{
+    interleave_traces, CacheConfig, MissRatioCurve, SetAssocCache, TraceGenerator, TracePattern,
+};
+
+/// Builds `threads` per-thread traces with disjoint address ranges and the
+/// given per-thread working-set size, interleaves them, runs them through one
+/// shared Xeon L2 and returns the overall miss ratio (after a warm-up pass).
+fn shared_cache_miss_ratio(threads: usize, working_set_bytes: u64, accesses: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    let traces: Vec<_> = (0..threads)
+        .map(|t| {
+            let mut gen = TraceGenerator::new(
+                (t as u64) << 32, // disjoint ranges per thread
+                working_set_bytes,
+                TracePattern::HotCold { hot_fraction: 0.6, hot_region_fraction: 0.5 },
+                0.3,
+            );
+            gen.generate(accesses, &mut rng)
+        })
+        .collect();
+    let merged = interleave_traces(&traces);
+    let mut cache = SetAssocCache::new(CacheConfig::xeon_l2()).unwrap();
+    // Warm-up pass, then measured pass.
+    cache.run_trace(merged.iter().copied());
+    cache.reset_stats();
+    let stats = cache.run_trace(merged.into_iter());
+    stats.miss_ratio()
+}
+
+#[test]
+fn sharing_a_cache_between_threads_raises_miss_rates() {
+    // Per-thread working set of 3 MB: fits alone in the 4 MB L2, thrashes
+    // when two or four threads share it.
+    let ws = 3 * 1024 * 1024;
+    let solo = shared_cache_miss_ratio(1, ws, 60_000);
+    let pair = shared_cache_miss_ratio(2, ws, 60_000);
+    let quad = shared_cache_miss_ratio(4, ws, 60_000);
+    assert!(
+        pair > solo * 1.5,
+        "two threads sharing the L2 should raise the miss ratio (solo {solo:.4}, pair {pair:.4})"
+    );
+    assert!(
+        quad > pair,
+        "four threads should be at least as bad as two (pair {pair:.4}, quad {quad:.4})"
+    );
+}
+
+#[test]
+fn small_working_sets_are_insensitive_to_sharing() {
+    // 512 KB per thread: even four threads fit in 4 MB.
+    let ws = 512 * 1024;
+    let solo = shared_cache_miss_ratio(1, ws, 40_000);
+    let quad = shared_cache_miss_ratio(4, ws, 40_000);
+    assert!(
+        quad < solo + 0.05,
+        "fitting working sets should not thrash when shared (solo {solo:.4}, quad {quad:.4})"
+    );
+}
+
+#[test]
+fn mrc_model_agrees_qualitatively_with_the_cache_simulator() {
+    // The analytical MRC used by the machine model must reproduce the same
+    // ordering: floor when fitting, growth when the per-thread share shrinks
+    // below the working set.
+    let mrc = MissRatioCurve::new(2.0, 40.0, 3.0, 1.2);
+    let l2_mb = 4.0;
+    let solo = mrc.shared_mpki(l2_mb, 1);
+    let pair = mrc.shared_mpki(l2_mb, 2);
+    let quad = mrc.shared_mpki(l2_mb, 4);
+    assert_eq!(solo, 2.0, "3 MB working set fits in a private 4 MB L2");
+    assert!(pair > solo && quad > pair, "MRC must grow as the share shrinks");
+
+    // And the simulator shows the same ordering for the matching scenario.
+    let ws = 3 * 1024 * 1024;
+    let sim_solo = shared_cache_miss_ratio(1, ws, 50_000);
+    let sim_pair = shared_cache_miss_ratio(2, ws, 50_000);
+    assert!(sim_pair > sim_solo, "simulator must agree with the MRC ordering");
+}

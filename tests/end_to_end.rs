@@ -1,0 +1,108 @@
+//! End-to-end integration test of the whole ACTOR pipeline on the machine
+//! model: corpus building → leave-one-out ANN training → multiplexed sampling
+//! → prediction → throttling → comparison against the oracle strategies.
+//!
+//! Uses the fast training configuration and a four-benchmark subset so the
+//! test stays well under a minute even in debug builds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_suite::actor::accuracy::AccuracyStudy;
+use actor_suite::actor::adaptation::{adaptation_from_evaluations, Metric, Strategy};
+use actor_suite::actor::evaluation::evaluate_benchmarks;
+use actor_suite::actor::{ActorConfig, BenchmarkEvaluation};
+use actor_suite::sim::{Configuration, Machine};
+use actor_suite::workloads::{benchmark, BenchmarkId};
+
+fn run_pipeline() -> (Vec<BenchmarkEvaluation>, ActorConfig, Machine, Vec<actor_suite::workloads::BenchmarkProfile>) {
+    let machine = Machine::xeon_qx6600();
+    let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+    let benchmarks = [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg]
+        .map(benchmark)
+        .to_vec();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let evals = evaluate_benchmarks(&machine, &config, &benchmarks, &mut rng).expect("evaluation");
+    (evals, config, machine, benchmarks)
+}
+
+#[test]
+fn full_pipeline_produces_decisions_for_every_phase() {
+    let (evals, _, _, benchmarks) = run_pipeline();
+    assert_eq!(evals.len(), benchmarks.len());
+    for (eval, bench) in evals.iter().zip(&benchmarks) {
+        assert_eq!(eval.id, bench.id);
+        assert_eq!(eval.phases.len(), bench.num_phases());
+        assert!(eval.plan.sampling_fraction() <= 0.2 + 1e-9, "20% sampling budget violated");
+        for phase in &eval.phases {
+            assert_eq!(phase.decision.ranked_predictions.len(), Configuration::TARGETS.len());
+            assert!(phase.decision.sampled_ipc.is_finite() && phase.decision.sampled_ipc > 0.0);
+        }
+    }
+}
+
+#[test]
+fn prediction_quality_is_far_better_than_chance() {
+    let (evals, _, _, _) = run_pipeline();
+    let study = AccuracyStudy::from_evaluations(&evals);
+    // Random choice among 5 configurations would hit the best one 20% of the
+    // time; the paper reports 59.3%.
+    assert!(
+        study.best_selection_rate() > 0.4,
+        "best-config selection rate {:.2} too low",
+        study.best_selection_rate()
+    );
+    assert!(
+        study.worst_selection_rate() < 0.1,
+        "worst-config selection rate {:.2} too high",
+        study.worst_selection_rate()
+    );
+    // Median relative error comfortably below the sanity bound.
+    assert!(study.median_error() < 0.35, "median error {:.2}", study.median_error());
+}
+
+#[test]
+fn adaptation_improves_energy_efficiency_of_poor_scalers_and_keeps_good_ones() {
+    let (evals, config, machine, benchmarks) = run_pipeline();
+    let study =
+        adaptation_from_evaluations(&machine, &config, &benchmarks, &evals).expect("adaptation");
+
+    // IS and MG (poor scalers) must see a substantial ED2 win vs 4 cores.
+    for id in [BenchmarkId::Is, BenchmarkId::Mg] {
+        let b = study.benchmark(id).expect("benchmark present");
+        assert!(
+            b.normalised(Strategy::Prediction, Metric::Ed2) < 0.85,
+            "{id}: ED2 should improve by >15%, got {:.2}",
+            b.normalised(Strategy::Prediction, Metric::Ed2)
+        );
+    }
+    // BT (good scaler) must not be slowed much.
+    let bt = study.benchmark(BenchmarkId::Bt).expect("BT present");
+    assert!(bt.normalised(Strategy::Prediction, Metric::Time) < 1.1);
+
+    // Oracles sandwich the prediction strategy on average.
+    let pred = study.average_normalised(Strategy::Prediction, Metric::Time);
+    let phase_opt = study.average_normalised(Strategy::PhaseOptimal, Metric::Time);
+    assert!(phase_opt <= pred + 1e-9, "phase-optimal oracle cannot be slower than prediction");
+    assert!(pred < 1.05, "prediction should not be slower than the 4-core default on average");
+}
+
+#[test]
+fn whole_suite_scalability_matches_paper_classes() {
+    // Cheap (no training) — run on the full eight-benchmark suite.
+    let machine = Machine::xeon_qx6600();
+    let report = actor_suite::actor::scalability::scalability_report(&machine);
+    assert_eq!(report.rows.len(), 8);
+
+    // Scaling class speedups exceed the flat class's.
+    let speedup = |id: BenchmarkId| report.benchmark(id).unwrap().speedup(Configuration::Four);
+    assert!(speedup(BenchmarkId::Bt) > speedup(BenchmarkId::Cg));
+    assert!(speedup(BenchmarkId::LuHp) > speedup(BenchmarkId::Lu));
+    // Poor scalers are best on 2b.
+    assert_eq!(report.benchmark(BenchmarkId::Is).unwrap().best_time(), Configuration::TwoLoose);
+    assert_eq!(report.benchmark(BenchmarkId::Mg).unwrap().best_time(), Configuration::TwoLoose);
+    // Power grows with active cores for every benchmark.
+    for row in &report.rows {
+        assert!(row.power_ratio(Configuration::Four) > 1.0, "{}: power must grow", row.id);
+    }
+}

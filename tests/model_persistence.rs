@@ -1,0 +1,114 @@
+//! Model persistence: a predictor trained offline must round-trip through
+//! JSON (the artefact a deployment would ship) and make identical decisions
+//! after reloading — plus property-based checks on the throttling decision
+//! logic itself.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use actor_suite::actor::predictor::{AnnPredictor, IpcPredictor};
+use actor_suite::actor::throttle::select_configuration;
+use actor_suite::actor::{ActorConfig, TrainingCorpus};
+use actor_suite::counters::EventSet;
+use actor_suite::sim::{Configuration, Machine};
+use actor_suite::workloads::{benchmark, BenchmarkId};
+
+fn trained_predictor() -> (AnnPredictor, TrainingCorpus) {
+    let machine = Machine::xeon_qx6600();
+    let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+    let benches = vec![benchmark(BenchmarkId::Cg), benchmark(BenchmarkId::Is), benchmark(BenchmarkId::Mg)];
+    let mut rng = StdRng::seed_from_u64(77);
+    let corpus =
+        TrainingCorpus::build(&machine, &benches, &EventSet::full(), 2, 0.05, &mut rng).unwrap();
+    let predictor = AnnPredictor::train(&corpus, &config.predictor, &mut rng).unwrap();
+    (predictor, corpus)
+}
+
+#[test]
+fn predictor_round_trips_through_a_json_file() {
+    let (predictor, corpus) = trained_predictor();
+    let path = std::env::temp_dir().join("actor_predictor_roundtrip.json");
+    std::fs::write(&path, predictor.to_json().unwrap()).unwrap();
+    let restored = AnnPredictor::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    for sample in corpus.samples.iter().take(10) {
+        let a = predictor.predict(&sample.features).unwrap();
+        let b = restored.predict(&sample.features).unwrap();
+        // JSON float printing can differ in the last ULP; predictions must
+        // agree to float precision and decisions must agree exactly.
+        for ((ca, va), (cb, vb)) in a.iter().zip(&b) {
+            assert_eq!(ca, cb);
+            assert!((va - vb).abs() <= 1e-9 * va.abs().max(1.0), "prediction drifted: {va} vs {vb}");
+        }
+        let da = select_configuration(sample.features[0], &a);
+        let db = select_configuration(sample.features[0], &b);
+        assert_eq!(da.chosen, db.chosen, "reloaded model must decide identically");
+    }
+    assert_eq!(predictor.event_set(), restored.event_set());
+}
+
+#[test]
+fn corpus_serialises_with_serde() {
+    let (_, corpus) = trained_predictor();
+    let json = serde_json::to_string(&corpus).unwrap();
+    let restored: TrainingCorpus = serde_json::from_str(&json).unwrap();
+    assert_eq!(corpus.len(), restored.len());
+    assert_eq!(corpus.event_set, restored.event_set);
+    for (a, b) in corpus.samples[0].features.iter().zip(&restored.samples[0].features) {
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "feature drifted: {a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The throttling decision always picks the argmax of (observed sample
+    /// IPC, predicted target IPCs), and never invents a configuration.
+    #[test]
+    fn decision_is_argmax_and_well_formed(
+        sampled in 0.05f64..6.0,
+        p1 in 0.05f64..6.0,
+        p2a in 0.05f64..6.0,
+        p2b in 0.05f64..6.0,
+        p3 in 0.05f64..6.0,
+    ) {
+        let predictions = vec![
+            (Configuration::One, p1),
+            (Configuration::TwoTight, p2a),
+            (Configuration::TwoLoose, p2b),
+            (Configuration::Three, p3),
+        ];
+        let decision = select_configuration(sampled, &predictions);
+        let best_pred = [p1, p2a, p2b, p3].into_iter().fold(f64::MIN, f64::max);
+        let expected_best = best_pred.max(sampled);
+        prop_assert!((decision.chosen_ipc() - expected_best).abs() < 1e-12);
+        prop_assert!(Configuration::ALL.contains(&decision.chosen));
+        // The ranked predictions are a permutation of the inputs, best first.
+        prop_assert_eq!(decision.ranked_predictions.len(), 4);
+        for w in decision.ranked_predictions.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    /// Decisions are invariant to the order of the prediction list.
+    #[test]
+    fn decision_is_order_invariant(
+        sampled in 0.05f64..6.0,
+        ipcs in proptest::collection::vec(0.05f64..6.0, 4),
+        seed in 0u64..100,
+    ) {
+        use rand::seq::SliceRandom;
+        let mut predictions: Vec<(Configuration, f64)> = Configuration::TARGETS
+            .iter()
+            .copied()
+            .zip(ipcs.iter().copied())
+            .collect();
+        let forward = select_configuration(sampled, &predictions);
+        let mut rng = StdRng::seed_from_u64(seed);
+        predictions.shuffle(&mut rng);
+        let shuffled = select_configuration(sampled, &predictions);
+        prop_assert_eq!(forward.chosen, shuffled.chosen);
+    }
+}
