@@ -110,7 +110,7 @@ mod tests {
             let fb = Activation::Sigmoid.apply(b);
             // In f64, sigmoid(x) rounds to exactly 1.0 for large x; the
             // mathematical bound is (0, 1) but the representable bound is [0, 1].
-            prop_assert!(fa >= 0.0 && fa <= 1.0);
+            prop_assert!((0.0..=1.0).contains(&fa));
             if a < b {
                 prop_assert!(fa <= fb);
             }

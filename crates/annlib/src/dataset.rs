@@ -119,13 +119,20 @@ impl Dataset {
     /// Splits indices into `k` contiguous folds after a seeded shuffle.
     /// Every sample lands in exactly one fold; fold sizes differ by at most
     /// one. Requires `2 <= k <= len`.
-    pub fn k_folds<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Result<Vec<Vec<usize>>, AnnError> {
+    pub fn k_folds<R: Rng + ?Sized>(
+        &self,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<usize>>, AnnError> {
         if k < 2 {
             return Err(AnnError::InvalidConfig { reason: "k-fold split requires k >= 2".into() });
         }
         if k > self.len() {
             return Err(AnnError::InsufficientData {
-                requirement: format!("need at least {k} samples for {k} folds, have {}", self.len()),
+                requirement: format!(
+                    "need at least {k} samples for {k} folds, have {}",
+                    self.len()
+                ),
             });
         }
         let mut indices: Vec<usize> = (0..self.len()).collect();

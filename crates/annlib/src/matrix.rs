@@ -78,6 +78,7 @@ impl Matrix {
     }
 
     /// Matrix-vector product `self * x`.
+    #[allow(clippy::needless_range_loop)] // indexing several buffers by one row index
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
         if x.len() != self.cols {
             return Err(AnnError::DimensionMismatch { expected: self.cols, actual: x.len() });
@@ -96,6 +97,7 @@ impl Matrix {
 
     /// Transposed matrix-vector product `selfᵀ * x` (used to backpropagate
     /// deltas without materialising the transpose).
+    #[allow(clippy::needless_range_loop)] // indexing several buffers by one row index
     pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
         if x.len() != self.rows {
             return Err(AnnError::DimensionMismatch { expected: self.rows, actual: x.len() });
@@ -136,6 +138,7 @@ impl Matrix {
     /// Rank-1 update: `self += alpha * col ⊗ row` where `col` has `rows`
     /// entries and `row` has `cols` entries. This is the outer-product form
     /// of the backpropagation weight gradient.
+    #[allow(clippy::needless_range_loop)] // indexing several buffers by one row index
     pub fn rank1_update(&mut self, alpha: f64, col: &[f64], row: &[f64]) -> Result<(), AnnError> {
         if col.len() != self.rows {
             return Err(AnnError::DimensionMismatch { expected: self.rows, actual: col.len() });

@@ -14,11 +14,7 @@ pub fn mse(predicted: &[f64], observed: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted
-        .iter()
-        .zip(observed)
-        .map(|(p, o)| (p - o) * (p - o))
-        .sum::<f64>()
+    predicted.iter().zip(observed).map(|(p, o)| (p - o) * (p - o)).sum::<f64>()
         / predicted.len() as f64
 }
 
@@ -28,8 +24,7 @@ pub fn mae(predicted: &[f64], observed: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted.iter().zip(observed).map(|(p, o)| (p - o).abs()).sum::<f64>()
-        / predicted.len() as f64
+    predicted.iter().zip(observed).map(|(p, o)| (p - o).abs()).sum::<f64>() / predicted.len() as f64
 }
 
 /// The paper's per-sample error: `|(observed − predicted) / observed|`.

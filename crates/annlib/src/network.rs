@@ -98,7 +98,7 @@ impl Mlp {
                 reason: "an MLP needs at least an input and an output layer".into(),
             });
         }
-        if layer_sizes.iter().any(|&s| s == 0) {
+        if layer_sizes.contains(&0) {
             return Err(AnnError::InvalidConfig { reason: "layer sizes must be non-zero".into() });
         }
         let mut layers = Vec::with_capacity(layer_sizes.len() - 1);
@@ -147,10 +147,7 @@ impl Mlp {
 
     /// Number of trainable parameters.
     pub fn num_parameters(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.weights.rows() * l.weights.cols() + l.biases.len())
-            .sum()
+        self.layers.iter().map(|l| l.weights.rows() * l.weights.cols() + l.biases.len()).sum()
     }
 
     /// Runs a forward pass and returns only the output.
@@ -178,9 +175,7 @@ impl Mlp {
 
     /// True when all weights and biases are finite.
     pub fn is_finite(&self) -> bool {
-        self.layers
-            .iter()
-            .all(|l| l.weights.is_finite() && l.biases.iter().all(|b| b.is_finite()))
+        self.layers.iter().all(|l| l.weights.is_finite() && l.biases.iter().all(|b| b.is_finite()))
     }
 }
 
@@ -237,7 +232,7 @@ mod tests {
         let net = Mlp::sigmoid_regressor(2, &[6], 1, &mut r).unwrap();
         let trace = net.forward_trace(&[100.0, -100.0]).unwrap();
         for &h in &trace.activations[1] {
-            assert!(h >= 0.0 && h <= 1.0);
+            assert!((0.0..=1.0).contains(&h));
         }
     }
 
@@ -248,7 +243,10 @@ mod tests {
         let a = Mlp::sigmoid_regressor(4, &[7], 1, &mut r1).unwrap();
         let b = Mlp::sigmoid_regressor(4, &[7], 1, &mut r2).unwrap();
         assert_eq!(a, b);
-        assert_eq!(a.predict(&[0.1, 0.2, 0.3, 0.4]).unwrap(), b.predict(&[0.1, 0.2, 0.3, 0.4]).unwrap());
+        assert_eq!(
+            a.predict(&[0.1, 0.2, 0.3, 0.4]).unwrap(),
+            b.predict(&[0.1, 0.2, 0.3, 0.4]).unwrap()
+        );
     }
 
     #[test]

@@ -89,11 +89,7 @@ impl StandardScaler {
         if row.len() != self.dim() {
             return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
         }
-        Ok(row
-            .iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(v, (m, s))| v * s + m)
-            .collect())
+        Ok(row.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| v * s + m).collect())
     }
 
     /// Transforms a batch of rows.
@@ -119,7 +115,7 @@ impl MinMaxScaler {
                 requirement: "scaler needs at least one row".into(),
             });
         }
-        if !(lo < hi) {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return Err(AnnError::InvalidConfig {
                 reason: format!("min-max range must satisfy lo < hi, got [{lo}, {hi}]"),
             });
@@ -272,7 +268,7 @@ mod tests {
             let s = MinMaxScaler::fit(&rows, 0.1, 0.9).unwrap();
             let probe = vals[idx.min(vals.len() - 1)];
             let t = s.transform(&[probe]).unwrap()[0];
-            prop_assert!(t >= 0.1 - 1e-9 && t <= 0.9 + 1e-9);
+            prop_assert!((0.1 - 1e-9..=0.9 + 1e-9).contains(&t));
         }
     }
 }

@@ -306,9 +306,8 @@ mod tests {
     fn linear_dataset(n: usize, noise: f64, seed: u64) -> Dataset {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
-        let xs: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
         let ys: Vec<Vec<f64>> = xs
             .iter()
             .map(|x| vec![0.7 * x[0] - 0.3 * x[1] + 0.1 + noise * rng.gen_range(-1.0..1.0)])
@@ -319,9 +318,8 @@ mod tests {
     fn nonlinear_dataset(n: usize, seed: u64) -> Dataset {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
-        let xs: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
         let ys: Vec<Vec<f64>> =
             xs.iter().map(|x| vec![2.0 * x[0] * x[1] + x[0] * x[0] - 0.5]).collect();
         Dataset::new(xs, ys).unwrap()
@@ -359,7 +357,8 @@ mod tests {
         let (train, val) = data.train_val_split(0.2, &mut rng).unwrap();
 
         // Linear model = MLP without hidden layers.
-        let mut linear = Mlp::new(&[2, 1], Activation::Linear, Activation::Linear, &mut rng).unwrap();
+        let mut linear =
+            Mlp::new(&[2, 1], Activation::Linear, Activation::Linear, &mut rng).unwrap();
         let mut nonlinear = Mlp::sigmoid_regressor(2, &[16], 1, &mut rng).unwrap();
         let trainer = Trainer::new(TrainConfig {
             max_epochs: 800,
@@ -419,7 +418,8 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let (train, val) = data.train_val_split(0.2, &mut rng).unwrap();
             let mut net = Mlp::sigmoid_regressor(2, &[6], 1, &mut rng).unwrap();
-            let trainer = Trainer::new(TrainConfig { max_epochs: 50, ..Default::default() }).unwrap();
+            let trainer =
+                Trainer::new(TrainConfig { max_epochs: 50, ..Default::default() }).unwrap();
             trainer.train(&mut net, &train, &val, &mut rng).unwrap();
             net.predict(&[0.3, 0.3]).unwrap()[0]
         };

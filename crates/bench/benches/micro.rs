@@ -14,7 +14,9 @@ use hwcounters::{EventSet, MultiplexSchedule, MultiplexedSampler};
 use npb_workloads::kernels::ConjugateGradient;
 use npb_workloads::{suite, BenchmarkId as NpbId};
 use phase_rt::{Binding, MachineShape, PhaseId, Team};
-use xeon_sim::{CacheConfig, Configuration, Machine, PhaseProfile, SetAssocCache, TraceGenerator, TracePattern};
+use xeon_sim::{
+    CacheConfig, Configuration, Machine, PhaseProfile, SetAssocCache, TraceGenerator, TracePattern,
+};
 
 /// Machine-model throughput: one phase simulation per configuration.
 fn bench_machine_model(c: &mut Criterion) {
@@ -22,9 +24,13 @@ fn bench_machine_model(c: &mut Criterion) {
     let phase = PhaseProfile::cache_sensitive("bench.phase", 1e9);
     let mut group = c.benchmark_group("machine_model");
     for config in Configuration::ALL {
-        group.bench_with_input(BenchmarkId::new("simulate_phase", config.label()), &config, |b, &cfg| {
-            b.iter(|| black_box(machine.simulate_config(black_box(&phase), cfg)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("simulate_phase", config.label()),
+            &config,
+            |b, &cfg| {
+                b.iter(|| black_box(machine.simulate_config(black_box(&phase), cfg)));
+            },
+        );
     }
     group.finish();
 }
@@ -47,7 +53,8 @@ fn bench_cache_sim(c: &mut Criterion) {
 fn bench_predictor(c: &mut Criterion) {
     let machine = Machine::xeon_qx6600();
     let config = ActorConfig::fast();
-    let benches = vec![suite::benchmark(NpbId::Cg), suite::benchmark(NpbId::Is), suite::benchmark(NpbId::Mg)];
+    let benches =
+        vec![suite::benchmark(NpbId::Cg), suite::benchmark(NpbId::Is), suite::benchmark(NpbId::Mg)];
     let mut rng = StdRng::seed_from_u64(2);
     let corpus =
         TrainingCorpus::build(&machine, &benches, &EventSet::full(), 3, 0.05, &mut rng).unwrap();
@@ -117,9 +124,11 @@ fn bench_live_cg(c: &mut Criterion) {
     let solver = ConjugateGradient::poisson(32, 10);
     let mut group = c.benchmark_group("live_cg_10_iters");
     group.sample_size(10);
-    for (label, binding) in
-        [("1", Binding::packed(1, &shape)), ("2b", Binding::spread(2, &shape)), ("4", Binding::packed(4, &shape))]
-    {
+    for (label, binding) in [
+        ("1", Binding::packed(1, &shape)),
+        ("2b", Binding::spread(2, &shape)),
+        ("4", Binding::packed(4, &shape)),
+    ] {
         group.bench_with_input(BenchmarkId::new("binding", label), &binding, |b, binding| {
             b.iter(|| black_box(solver.run(&team, binding)));
         });

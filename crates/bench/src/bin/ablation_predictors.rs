@@ -38,9 +38,27 @@ fn main() {
 
     eprintln!("building corpora and training models (use --fast for a quicker run)...");
     let mut stats = vec![
-        ApproachStats { name: "ANN ensemble", best_rank_hits: 0, total_phases: 0, time_loss_vs_optimal: 0.0, exploration_instances: 0 },
-        ApproachStats { name: "Linear regression", best_rank_hits: 0, total_phases: 0, time_loss_vs_optimal: 0.0, exploration_instances: 0 },
-        ApproachStats { name: "Empirical search", best_rank_hits: 0, total_phases: 0, time_loss_vs_optimal: 0.0, exploration_instances: 0 },
+        ApproachStats {
+            name: "ANN ensemble",
+            best_rank_hits: 0,
+            total_phases: 0,
+            time_loss_vs_optimal: 0.0,
+            exploration_instances: 0,
+        },
+        ApproachStats {
+            name: "Linear regression",
+            best_rank_hits: 0,
+            total_phases: 0,
+            time_loss_vs_optimal: 0.0,
+            exploration_instances: 0,
+        },
+        ApproachStats {
+            name: "Empirical search",
+            best_rank_hits: 0,
+            total_phases: 0,
+            time_loss_vs_optimal: 0.0,
+            exploration_instances: 0,
+        },
     ];
 
     for bench in &benchmarks {
@@ -64,8 +82,7 @@ fn main() {
                 .iter()
                 .map(|&c| (c, machine.simulate_config(phase, c).time_s))
                 .collect();
-            let best_time =
-                times.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+            let best_time = times.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
             let best_config = times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
             let time_of = |c: Configuration| times.iter().find(|(cc, _)| *cc == c).unwrap().1;
 
@@ -75,8 +92,10 @@ fn main() {
 
             // ANN and regression decisions.
             for (idx, predictor) in [(0usize, &ann as &dyn IpcPredictor), (1, &regression)] {
-                let decision =
-                    select_configuration(rates.ipc(), &predictor.predict(&rates.features()).expect("predict"));
+                let decision = select_configuration(
+                    rates.ipc(),
+                    &predictor.predict(&rates.features()).expect("predict"),
+                );
                 let chosen_time = time_of(decision.chosen);
                 stats[idx].total_phases += 1;
                 if decision.chosen == best_config {

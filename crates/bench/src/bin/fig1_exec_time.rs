@@ -18,12 +18,7 @@ fn main() {
         times.push_row(cells);
 
         let mut s = vec![row.id.name().to_string()];
-        s.extend(
-            Configuration::ALL
-                .iter()
-                .skip(1)
-                .map(|&c| fmt3(row.speedup(c))),
-        );
+        s.extend(Configuration::ALL.iter().skip(1).map(|&c| fmt3(row.speedup(c))));
         s.push(row.best_time().label().to_string());
         speedups.push_row(s);
     }

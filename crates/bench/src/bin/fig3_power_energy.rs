@@ -30,12 +30,14 @@ fn main() {
     let mut power_row = vec!["normalised power (geomean)".to_string()];
     let mut energy_row = vec!["normalised energy (geomean)".to_string()];
     for &c in &Configuration::ALL {
-        power_row.push(fmt3(
-            report.geomean_over_benchmarks(|b| b.get(c).power_w / b.get(Configuration::One).power_w),
-        ));
+        power_row
+            .push(fmt3(report.geomean_over_benchmarks(|b| {
+                b.get(c).power_w / b.get(Configuration::One).power_w
+            })));
         energy_row.push(fmt3(
-            report
-                .geomean_over_benchmarks(|b| b.get(c).energy_j / b.get(Configuration::One).energy_j),
+            report.geomean_over_benchmarks(|b| {
+                b.get(c).energy_j / b.get(Configuration::One).energy_j
+            }),
         ));
     }
     geo.push_row(power_row);

@@ -26,13 +26,11 @@ fn main() {
     }
     emit("fig6_error_cdf", "Figure 6: CDF of IPC prediction error", &table);
 
+    println!("Median prediction error (paper: 9.1%): {}", fmt_pct(study.median_error()));
+    println!("Predictions with <5% error (paper: 29.2%): {}", fmt_pct(study.fraction_below(0.05)));
     println!(
-        "Median prediction error (paper: 9.1%): {}",
-        fmt_pct(study.median_error())
+        "Predictions evaluated: {} ({} phases x 4 targets)",
+        study.records.len(),
+        study.phases
     );
-    println!(
-        "Predictions with <5% error (paper: 29.2%): {}",
-        fmt_pct(study.fraction_below(0.05))
-    );
-    println!("Predictions evaluated: {} ({} phases x 4 targets)", study.records.len(), study.phases);
 }

@@ -27,10 +27,16 @@ fn main() {
     }
     emit("fig7_rank_accuracy", "Figure 7: rank of the selected configuration", &table);
 
-    println!("Best configuration selected (paper: 59.3%): {}", fmt_pct(study.best_selection_rate()));
+    println!(
+        "Best configuration selected (paper: 59.3%): {}",
+        fmt_pct(study.best_selection_rate())
+    );
     println!(
         "Best or second-best selected (paper: 88.1%): {}",
         fmt_pct(fractions[0] + fractions[1])
     );
-    println!("Worst configuration selected (paper: never): {}", fmt_pct(study.worst_selection_rate()));
+    println!(
+        "Worst configuration selected (paper: never): {}",
+        fmt_pct(study.worst_selection_rate())
+    );
 }

@@ -4,25 +4,26 @@
 //!
 //! Pass `--fast` to use the reduced training configuration.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use actor_bench::{config_from_args, emit};
-use actor_core::adaptation::{run_adaptation_study, Metric, Strategy};
+use actor_core::adaptation::{run_adaptation_study_seeded, Metric, Strategy};
 use actor_core::report::{fmt3, fmt_pct, Table};
 use xeon_sim::Machine;
 
 fn main() {
     let machine = Machine::xeon_qx6600();
     let config = config_from_args();
-    let mut rng = StdRng::seed_from_u64(config.seed);
 
     eprintln!("training leave-one-out ANN ensembles and running adaptation (use --fast for a quicker run)...");
-    let study = run_adaptation_study(&machine, &config, &mut rng).expect("adaptation study failed");
+    let study = run_adaptation_study_seeded(&machine, &config).expect("adaptation study failed");
 
     for metric in Metric::ALL {
-        let mut table =
-            Table::new(vec!["benchmark", "4 Cores", "Global Optimal", "Phase Optimal", "Prediction"]);
+        let mut table = Table::new(vec![
+            "benchmark",
+            "4 Cores",
+            "Global Optimal",
+            "Phase Optimal",
+            "Prediction",
+        ]);
         for bench in &study.benchmarks {
             let mut cells = vec![bench.id.name().to_string()];
             for strategy in Strategy::ALL {
@@ -43,14 +44,16 @@ fn main() {
     let mut decisions = Table::new(vec!["benchmark", "phase", "chosen configuration"]);
     for bench in &study.benchmarks {
         for (phase, config) in &bench.decisions {
-            decisions.push_row(vec![bench.id.name().to_string(), phase.clone(), config.label().to_string()]);
+            decisions.push_row(vec![
+                bench.id.name().to_string(),
+                phase.clone(),
+                config.label().to_string(),
+            ]);
         }
     }
     emit("fig8_decisions", "Figure 8 (supplement): ACTOR's per-phase decisions", &decisions);
 
-    println!(
-        "Prediction vs 4 cores  (paper: time -6.5%, power +1.5%, energy -5.2%, ED2 -17.2%):"
-    );
+    println!("Prediction vs 4 cores  (paper: time -6.5%, power +1.5%, energy -5.2%, ED2 -17.2%):");
     println!(
         "  time {} | power {} | energy {} | ED2 {}",
         fmt_pct(study.average_normalised(Strategy::Prediction, Metric::Time) - 1.0),

@@ -5,8 +5,8 @@
 //! projection of the same microarchitecture and reports where each benchmark
 //! stops scaling.
 
-use actor_core::report::{fmt3, Table};
 use actor_bench::emit;
+use actor_core::report::{fmt3, Table};
 use npb_workloads::nas_suite;
 use xeon_sim::{Machine, MachineParams, Placement, Topology};
 
@@ -18,7 +18,11 @@ fn main() {
     let thread_counts = [1usize, 2, 4, 6, 8];
     let mut table = Table::new(vec![
         "benchmark",
-        "1", "2", "4", "6", "8",
+        "1",
+        "2",
+        "4",
+        "6",
+        "8",
         "best threads (8-core)",
         "best threads (quad)",
     ]);

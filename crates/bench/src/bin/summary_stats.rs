@@ -26,9 +26,12 @@ fn main() {
     let (accuracy, adaptation) = if scalability_only {
         (None, None)
     } else {
-        eprintln!("training leave-one-out ANN ensembles (use --fast or --scalability-only to shorten)...");
+        eprintln!(
+            "training leave-one-out ANN ensembles (use --fast or --scalability-only to shorten)..."
+        );
         let acc = run_accuracy_study(&machine, &config, &mut rng).expect("accuracy study failed");
-        let adapt = run_adaptation_study(&machine, &config, &mut rng).expect("adaptation study failed");
+        let adapt =
+            run_adaptation_study(&machine, &config, &mut rng).expect("adaptation study failed");
         (Some(acc), Some(adapt))
     };
 

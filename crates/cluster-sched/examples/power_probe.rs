@@ -1,0 +1,36 @@
+//! Prints per-benchmark four-core and one-core plan power/time — handy when
+//! picking power-budget tiers for sweeps.
+
+use actor_core::ActorConfig;
+use cluster_sched::{Job, WorkloadModel};
+use npb_workloads::BenchmarkId;
+use xeon_sim::{Configuration, Machine};
+
+fn main() {
+    let machine = Machine::xeon_qx6600();
+    let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+    let model = WorkloadModel::build(&machine, &config, &BenchmarkId::ALL).unwrap();
+    for id in BenchmarkId::ALL {
+        let j = Job {
+            id: 0,
+            benchmark: id,
+            arrival_s: 0.0,
+            nodes: 1,
+            priority: 0,
+            deadline_s: None,
+            duration_scale: 1.0,
+        };
+        let four = model.plan_fixed(&j, Configuration::Four);
+        let one = model.plan_fixed(&j, Configuration::One);
+        let aware = model.plan_within_power(&j, f64::INFINITY).unwrap();
+        println!(
+            "{id:>6}: four {:7.2}s {:6.2}W | one {:7.2}s {:6.2}W | actor {:7.2}s {:6.2}W",
+            four.exec_time_s,
+            four.peak_power_w,
+            one.exec_time_s,
+            one.peak_power_w,
+            aware.exec_time_s,
+            aware.peak_power_w,
+        );
+    }
+}

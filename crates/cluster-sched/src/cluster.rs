@@ -1,0 +1,350 @@
+//! The cluster: N nodes, one power budget, a job queue, and a
+//! discrete-event loop.
+//!
+//! Events are job arrivals and job completions; after each batch of
+//! simultaneous events the active [`SchedulerPolicy`] is consulted and its
+//! assignments applied. The cluster itself enforces the power budget on
+//! every assignment (a defective policy produces recorded violations, never
+//! an actually-breached cap) and tracks the instantaneous draw so the
+//! invariant "cluster power never exceeds the budget" is checkable after the
+//! fact.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+use xeon_sim::Machine;
+
+use crate::error::ClusterError;
+use crate::job::{Job, JobOutcome, WorkloadSpec};
+use crate::node::Node;
+use crate::policy::{RunningSummary, SchedContext, SchedulerPolicy};
+use crate::profile::WorkloadModel;
+
+/// Static description of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cluster-wide power budget (W).
+    pub power_budget_w: f64,
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// Seed for workload generation (the model has its own seed in
+    /// `ActorConfig`).
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// Validates the spec against the machine's idle floor.
+    pub fn validate(&self, idle_node_w: f64) -> Result<(), ClusterError> {
+        if self.nodes == 0 {
+            return Err(ClusterError::InvalidSpec { reason: "cluster needs nodes".into() });
+        }
+        self.workload.validate()?;
+        if self.workload.node_counts.iter().any(|&k| k > self.nodes) {
+            return Err(ClusterError::InvalidSpec {
+                reason: format!(
+                    "workload contains jobs wider ({} nodes) than the cluster ({})",
+                    self.workload.node_counts.iter().max().unwrap(),
+                    self.nodes
+                ),
+            });
+        }
+        let idle_floor_w = idle_node_w * self.nodes as f64;
+        if self.power_budget_w < idle_floor_w {
+            return Err(ClusterError::BudgetBelowIdleFloor {
+                budget_w: self.power_budget_w,
+                idle_floor_w,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A power budget expressed as idle floor + fraction of the maximum dynamic
+/// range, the natural way to sweep "tight" → "ample".
+pub fn budget_from_fraction(nodes: usize, idle_node_w: f64, max_node_w: f64, fraction: f64) -> f64 {
+    let n = nodes as f64;
+    n * idle_node_w + fraction * n * (max_node_w - idle_node_w)
+}
+
+/// The results of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Policy that produced this run.
+    pub policy: String,
+    /// Node count.
+    pub nodes: usize,
+    /// The budget that was enforced (W).
+    pub power_budget_w: f64,
+    /// Every job's outcome, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Time from first arrival (t = 0) to last completion (s).
+    pub makespan_s: f64,
+    /// Total cluster energy, idle periods included (J).
+    pub total_energy_j: f64,
+    /// Highest instantaneous cluster draw observed (W).
+    pub peak_power_w: f64,
+    /// Assignments the cluster had to veto for breaching the budget (a
+    /// correct policy never produces any).
+    pub cap_violations: usize,
+}
+
+impl ClusterReport {
+    /// Cluster-level energy-delay-squared (J·s²): total energy × makespan².
+    pub fn cluster_ed2(&self) -> f64 {
+        self.total_energy_j * self.makespan_s * self.makespan_s
+    }
+
+    /// Mean queueing delay over all jobs (s).
+    pub fn avg_wait_s(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(JobOutcome::wait_s).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Number of jobs that missed their deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.deadline_met()).count()
+    }
+
+    /// Fraction of phase decisions that throttled below four cores.
+    pub fn throttle_fraction(&self) -> f64 {
+        let total: usize = self.outcomes.iter().map(|o| o.decisions.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let throttled: usize = self
+            .outcomes
+            .iter()
+            .flat_map(|o| &o.decisions)
+            .filter(|(_, c)| *c != xeon_sim::Configuration::Four)
+            .count();
+        throttled as f64 / total as f64
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    Arrival(Job),
+    /// A whole gang completes at once; `nodes` are its members.
+    Completion {
+        nodes: Vec<usize>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time_s: f64,
+    /// Tie-breaker making the heap order total and deterministic.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.time_s.total_cmp(&self.time_s).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster<'a> {
+    spec: ClusterSpec,
+    model: &'a WorkloadModel,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Cluster<'a> {
+    /// Builds a cluster of identical Xeon nodes.
+    pub fn new(spec: ClusterSpec, model: &'a WorkloadModel) -> Result<Self, ClusterError> {
+        let machine = Machine::xeon_qx6600();
+        spec.validate(machine.params().power.system_idle_w)?;
+        let nodes = (0..spec.nodes).map(|id| Node::new(id, machine.clone())).collect();
+        Ok(Self { spec, model, nodes })
+    }
+
+    /// Current instantaneous cluster draw (W).
+    fn draw_w(&self) -> f64 {
+        self.nodes.iter().map(Node::power_draw_w).sum()
+    }
+
+    /// Runs the workload to completion under `policy`.
+    pub fn run(&mut self, policy: &mut dyn SchedulerPolicy) -> Result<ClusterReport, ClusterError> {
+        let idle_node_w = self.nodes[0].idle_power_w();
+        let jobs =
+            self.spec.workload.generate(self.spec.seed, |id| self.model.four_core_time_s(id))?;
+
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        for job in jobs {
+            heap.push(Event { time_s: job.arrival_s, seq, kind: EventKind::Arrival(job) });
+            seq += 1;
+        }
+
+        let mut queue: Vec<Job> = Vec::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut peak_power_w = self.draw_w();
+        let mut cap_violations = 0usize;
+        let mut makespan_s = 0.0f64;
+
+        while let Some(event) = heap.pop() {
+            let now = event.time_s;
+            makespan_s = makespan_s.max(now);
+            let mut batch = vec![event];
+            while let Some(next) = heap.peek() {
+                if next.time_s == now {
+                    batch.push(heap.pop().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            for event in batch {
+                match event.kind {
+                    EventKind::Arrival(job) => {
+                        queue.push(job);
+                        // Priority first (descending), then arrival, then id.
+                        queue.sort_by(|a, b| {
+                            b.priority
+                                .cmp(&a.priority)
+                                .then(a.arrival_s.total_cmp(&b.arrival_s))
+                                .then(a.id.cmp(&b.id))
+                        });
+                    }
+                    EventKind::Completion { nodes } => {
+                        let mut gang = Vec::with_capacity(nodes.len());
+                        let mut runs = Vec::with_capacity(nodes.len());
+                        for node in nodes {
+                            runs.push(self.nodes[node].complete(now));
+                            gang.push(node);
+                        }
+                        let run = runs.first().expect("completions have members").clone();
+                        outcomes.push(JobOutcome {
+                            job: run.job,
+                            start_s: run.start_s,
+                            finish_s: now,
+                            energy_j: runs.iter().map(|r| r.plan.energy_j).sum(),
+                            peak_power_w: runs.iter().map(|r| r.plan.peak_power_w).sum(),
+                            decisions: run.plan.decisions,
+                            nodes: gang,
+                        });
+                    }
+                }
+            }
+
+            // Scheduling pass.
+            let idle_nodes: Vec<usize> =
+                self.nodes.iter().filter(|n| n.is_idle()).map(|n| n.id).collect();
+            if !queue.is_empty() && !idle_nodes.is_empty() {
+                // Summarise running gangs (one entry per job, not per node).
+                let mut running: Vec<RunningSummary> = Vec::new();
+                for n in &self.nodes {
+                    if let Some(r) = n.running() {
+                        match running.iter_mut().find(|s| {
+                            s.finish_s == r.finish_s && s.node_peak_w == r.plan.peak_power_w
+                        }) {
+                            Some(s) if s.nodes < r.job.nodes => s.nodes += 1,
+                            Some(_) | None => running.push(RunningSummary {
+                                finish_s: r.finish_s,
+                                nodes: 1,
+                                node_peak_w: r.plan.peak_power_w,
+                            }),
+                        }
+                    }
+                }
+                running.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s));
+                let ctx = SchedContext {
+                    now,
+                    queue: &queue,
+                    idle_nodes: &idle_nodes,
+                    model: self.model,
+                    budget_w: self.spec.power_budget_w,
+                    draw_w: self.draw_w(),
+                    node_idle_w: idle_node_w,
+                    running: &running,
+                };
+                let assignments = policy.assign(&ctx);
+                // Apply in descending queue index so removals stay valid.
+                let mut ordered = assignments;
+                ordered.sort_by_key(|a| std::cmp::Reverse(a.queue_idx));
+                for a in ordered {
+                    // The cluster re-checks the cap: an assignment may only
+                    // raise the draw by k × (plan peak − a node's idle draw),
+                    // and every gang member must actually be idle.
+                    let k = a.nodes.len();
+                    let extra = (a.plan.peak_power_w - idle_node_w) * k as f64;
+                    let members_idle = a.nodes.iter().all(|&n| self.nodes[n].is_idle());
+                    let width_ok = k == queue[a.queue_idx].nodes;
+                    if !members_idle
+                        || !width_ok
+                        || self.draw_w() + extra > self.spec.power_budget_w + 1e-6
+                    {
+                        cap_violations += 1;
+                        continue;
+                    }
+                    let job = queue.remove(a.queue_idx);
+                    let mut finish = now;
+                    for &node in &a.nodes {
+                        finish = self.nodes[node].assign(job.clone(), a.plan.clone(), now);
+                    }
+                    heap.push(Event {
+                        time_s: finish,
+                        seq,
+                        kind: EventKind::Completion { nodes: a.nodes },
+                    });
+                    seq += 1;
+                }
+            }
+            peak_power_w = peak_power_w.max(self.draw_w());
+
+            // Deadlock check: nothing running, nothing scheduled, no future
+            // events, but jobs still queued — the budget starves the queue.
+            if heap.is_empty() && !queue.is_empty() && self.nodes.iter().all(Node::is_idle) {
+                return Err(ClusterError::InvalidSpec {
+                    reason: format!(
+                        "power budget {:.0} W cannot run the {} remaining job(s) even exclusively",
+                        self.spec.power_budget_w,
+                        queue.len()
+                    ),
+                });
+            }
+        }
+
+        let total_energy_j = self.nodes.iter_mut().map(|n| n.energy_until(makespan_s)).sum::<f64>();
+        Ok(ClusterReport {
+            policy: policy.name().to_string(),
+            nodes: self.spec.nodes,
+            power_budget_w: self.spec.power_budget_w,
+            outcomes,
+            makespan_s,
+            total_energy_j,
+            peak_power_w,
+            cap_violations,
+        })
+    }
+}
+
+/// Convenience: build a cluster and run one policy.
+pub fn simulate(
+    spec: &ClusterSpec,
+    model: &WorkloadModel,
+    policy: &mut dyn SchedulerPolicy,
+) -> Result<ClusterReport, ClusterError> {
+    Cluster::new(spec.clone(), model)?.run(policy)
+}

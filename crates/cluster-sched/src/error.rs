@@ -1,0 +1,43 @@
+//! Error type for the cluster scheduler.
+
+use std::fmt;
+
+/// Failures constructing or running a cluster simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A specification field is out of range.
+    InvalidSpec {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The power budget cannot even cover the idle floor of the nodes.
+    BudgetBelowIdleFloor {
+        /// The requested budget (W).
+        budget_w: f64,
+        /// The idle floor of the whole cluster (W).
+        idle_floor_w: f64,
+    },
+    /// An ACTOR pipeline step (corpus building, training, sampling) failed.
+    Actor(actor_core::ActorError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidSpec { reason } => write!(f, "invalid cluster spec: {reason}"),
+            ClusterError::BudgetBelowIdleFloor { budget_w, idle_floor_w } => write!(
+                f,
+                "power budget {budget_w:.0} W is below the cluster idle floor {idle_floor_w:.0} W"
+            ),
+            ClusterError::Actor(e) => write!(f, "ACTOR pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<actor_core::ActorError> for ClusterError {
+    fn from(e: actor_core::ActorError) -> Self {
+        ClusterError::Actor(e)
+    }
+}

@@ -1,0 +1,261 @@
+//! Jobs and workload generation.
+//!
+//! A [`Job`] is one NPB application submitted to the cluster: which
+//! benchmark, when it arrives, how many nodes it wants (SPMD-style — each
+//! node executes the same per-timestep phase profile over its share of a
+//! weak-scaled problem), how urgent it is, and a duration scale (problem
+//! length). [`WorkloadSpec`] generates job streams reproducibly from a
+//! seeded RNG: Poisson arrivals (exponential interarrival gaps), uniform
+//! benchmark mix, and deadlines derived from each job's four-core execution
+//! time times a slack factor.
+
+use npb_workloads::BenchmarkId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// One submitted application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable id, also the submission order.
+    pub id: usize,
+    /// Which NPB application this job runs.
+    pub benchmark: BenchmarkId,
+    /// Submission time (s since simulation start).
+    pub arrival_s: f64,
+    /// Number of nodes the job runs on (gang-scheduled, all at once).
+    pub nodes: usize,
+    /// Larger is more urgent; used as the primary queue key.
+    pub priority: u8,
+    /// Completion deadline (s since simulation start), if any.
+    pub deadline_s: Option<f64>,
+    /// Multiplier on the benchmark's timestep count (problem length).
+    pub duration_scale: f64,
+}
+
+impl Job {
+    /// Effective number of timesteps for this job.
+    pub fn effective_timesteps(&self, base_timesteps: usize) -> usize {
+        ((base_timesteps as f64 * self.duration_scale).round() as usize).max(1)
+    }
+}
+
+/// How a job stream is generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Mean gap between consecutive arrivals (s); Poisson process.
+    pub mean_interarrival_s: f64,
+    /// Benchmarks to draw from, uniformly.
+    pub benchmarks: Vec<BenchmarkId>,
+    /// Node counts to draw from, uniformly (repeat entries to weight the
+    /// mix, e.g. `[1, 1, 2, 4]`).
+    pub node_counts: Vec<usize>,
+    /// Job duration scales are drawn uniformly from this range.
+    pub duration_scale_range: (f64, f64),
+    /// Fraction of jobs given a deadline.
+    pub deadline_fraction: f64,
+    /// Deadline = arrival + slack × (four-core execution time).
+    pub deadline_slack: f64,
+    /// Maximum priority (priorities are uniform in `0..=max_priority`).
+    pub max_priority: u8,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            num_jobs: 24,
+            mean_interarrival_s: 2.0,
+            benchmarks: BenchmarkId::ALL.to_vec(),
+            node_counts: vec![1, 1, 2, 4],
+            duration_scale_range: (0.5, 1.5),
+            deadline_fraction: 0.5,
+            deadline_slack: 4.0,
+            max_priority: 2,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Validates the specification.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if self.num_jobs == 0 {
+            return Err(ClusterError::InvalidSpec { reason: "num_jobs must be positive".into() });
+        }
+        if self.benchmarks.is_empty() {
+            return Err(ClusterError::InvalidSpec {
+                reason: "workload needs at least one benchmark".into(),
+            });
+        }
+        if self.node_counts.is_empty() || self.node_counts.contains(&0) {
+            return Err(ClusterError::InvalidSpec {
+                reason: "node_counts must be non-empty and positive".into(),
+            });
+        }
+        if !self.mean_interarrival_s.is_finite() || self.mean_interarrival_s <= 0.0 {
+            return Err(ClusterError::InvalidSpec {
+                reason: "mean_interarrival_s must be positive".into(),
+            });
+        }
+        let (lo, hi) = self.duration_scale_range;
+        if !(lo > 0.0 && hi >= lo) {
+            return Err(ClusterError::InvalidSpec {
+                reason: "duration_scale_range must be positive and ordered".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.deadline_fraction) {
+            return Err(ClusterError::InvalidSpec {
+                reason: "deadline_fraction must be in [0, 1]".into(),
+            });
+        }
+        if !self.deadline_slack.is_finite() || self.deadline_slack < 1.0 {
+            return Err(ClusterError::InvalidSpec {
+                reason: "deadline_slack below 1 makes every deadline unmeetable".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates the job stream. Deadlines are filled in relative to
+    /// `four_core_time_s(benchmark)`, the caller-supplied four-core execution
+    /// time of one unscaled run (the workload model knows it).
+    pub fn generate(
+        &self,
+        seed: u64,
+        mut four_core_time_s: impl FnMut(BenchmarkId) -> f64,
+    ) -> Result<Vec<Job>, ClusterError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut jobs = Vec::with_capacity(self.num_jobs);
+        let mut clock = 0.0f64;
+        for id in 0..self.num_jobs {
+            // Exponential interarrival via inverse CDF.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            clock += -self.mean_interarrival_s * (1.0 - u).ln();
+            let benchmark = self.benchmarks[rng.gen_range(0..self.benchmarks.len())];
+            let nodes = self.node_counts[rng.gen_range(0..self.node_counts.len())];
+            let (lo, hi) = self.duration_scale_range;
+            let duration_scale = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            let priority = rng.gen_range(0..=self.max_priority as u32) as u8;
+            let deadline_s = if rng.gen_bool(self.deadline_fraction) {
+                Some(clock + self.deadline_slack * duration_scale * four_core_time_s(benchmark))
+            } else {
+                None
+            };
+            jobs.push(Job {
+                id,
+                benchmark,
+                arrival_s: clock,
+                nodes,
+                priority,
+                deadline_s,
+                duration_scale,
+            });
+        }
+        Ok(jobs)
+    }
+}
+
+/// The final record of one job's life in the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job as submitted.
+    pub job: Job,
+    /// Nodes that executed it (gang).
+    pub nodes: Vec<usize>,
+    /// When execution began (s).
+    pub start_s: f64,
+    /// When execution finished (s).
+    pub finish_s: f64,
+    /// Energy consumed while running, summed over its nodes (J).
+    pub energy_j: f64,
+    /// Peak instantaneous cluster power attributable to the job (W),
+    /// summed over its nodes.
+    pub peak_power_w: f64,
+    /// Per-phase configurations the job ran with (identical on every node).
+    pub decisions: Vec<(String, xeon_sim::Configuration)>,
+}
+
+impl JobOutcome {
+    /// Queueing delay (s).
+    pub fn wait_s(&self) -> f64 {
+        self.start_s - self.job.arrival_s
+    }
+
+    /// Execution time (s).
+    pub fn exec_s(&self) -> f64 {
+        self.finish_s - self.start_s
+    }
+
+    /// Job-level energy-delay-squared (J·s²), on the job's own execution.
+    pub fn ed2(&self) -> f64 {
+        let t = self.exec_s();
+        self.energy_j * t * t
+    }
+
+    /// Whether the job met its deadline (vacuously true without one).
+    pub fn deadline_met(&self) -> bool {
+        self.job.deadline_s.is_none_or(|d| self.finish_s <= d + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_ordered() {
+        let spec = WorkloadSpec { num_jobs: 16, ..Default::default() };
+        let a = spec.generate(7, |_| 10.0).unwrap();
+        let b = spec.generate(7, |_| 10.0).unwrap();
+        assert_eq!(a, b);
+        let c = spec.generate(8, |_| 10.0).unwrap();
+        assert_ne!(a, c, "different seeds should give different workloads");
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.iter().any(|j| j.deadline_s.is_some()));
+        for j in &a {
+            assert!(j.duration_scale >= 0.5 && j.duration_scale <= 1.5);
+            assert!(j.priority <= spec.max_priority);
+            assert!(spec.node_counts.contains(&j.nodes));
+            if let Some(d) = j.deadline_s {
+                assert!(d > j.arrival_s);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let ok = WorkloadSpec::default();
+        assert!(ok.validate().is_ok());
+        assert!(WorkloadSpec { num_jobs: 0, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { benchmarks: vec![], ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { node_counts: vec![], ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { node_counts: vec![0], ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { mean_interarrival_s: 0.0, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { duration_scale_range: (0.0, 1.0), ..ok.clone() }
+            .validate()
+            .is_err());
+        assert!(WorkloadSpec { deadline_fraction: 1.5, ..ok.clone() }.validate().is_err());
+        assert!(WorkloadSpec { deadline_slack: 0.5, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn effective_timesteps_scale_and_clamp() {
+        let job = Job {
+            id: 0,
+            benchmark: BenchmarkId::Cg,
+            arrival_s: 0.0,
+            nodes: 1,
+            priority: 0,
+            deadline_s: None,
+            duration_scale: 0.5,
+        };
+        assert_eq!(job.effective_timesteps(100), 50);
+        assert_eq!(job.effective_timesteps(1), 1);
+        let tiny = Job { duration_scale: 0.001, ..job };
+        assert_eq!(tiny.effective_timesteps(100), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cluster-sched — multi-node job scheduling under a cluster-wide power
+//! budget, driven by ACTOR's ANN predictors
+//!
+//! The paper ("Identifying Energy-Efficient Concurrency Levels Using Machine
+//! Learning", Curtis-Maury et al., IEEE Cluster 2007) evaluates
+//! prediction-based concurrency throttling on a single quad-core Xeon. This
+//! crate scales the idea out: a cluster of N simulated Xeon nodes executes a
+//! queue of NPB jobs under one shared power envelope, and a power-aware
+//! scheduling policy uses the existing [`actor_core::AnnPredictor`] ensembles
+//! to pick, per job phase, the concurrency configuration with the highest
+//! predicted throughput that still fits the remaining power headroom.
+//!
+//! The pieces:
+//!
+//! * [`node::Node`] — one cluster node: a [`xeon_sim::Machine`] plus per-node
+//!   [`actor_core::ActorRuntime`] state (the running job's phase → binding
+//!   plan, as a live `phase_rt` team would consult it) and energy accounting.
+//! * [`job`] — [`job::Job`], [`job::JobOutcome`] and seeded workload
+//!   generation from [`npb_workloads::suite`] (Poisson arrivals, priorities,
+//!   deadlines, per-job problem scaling).
+//! * [`profile::WorkloadModel`] — the scheduler's oracle, built once from
+//!   ACTOR's leave-one-out evaluation pipeline: per phase, the ANN throttle
+//!   decision plus machine-model time/power/energy for every configuration.
+//! * [`policy`] — the [`policy::SchedulerPolicy`] trait and three built-ins:
+//!   strict FCFS, EASY backfill, and the ACTOR-driven power-aware policy.
+//!   New policies are one file each.
+//! * [`cluster`] — the discrete-event loop, cap enforcement, and
+//!   [`cluster::ClusterReport`]; [`tables`] renders per-job and
+//!   cluster-level reports as [`actor_core::report::Table`]s.
+
+pub mod cluster;
+pub mod error;
+pub mod job;
+pub mod node;
+pub mod policy;
+pub mod profile;
+pub mod tables;
+
+pub use cluster::{budget_from_fraction, simulate, Cluster, ClusterReport, ClusterSpec};
+pub use error::ClusterError;
+pub use job::{Job, JobOutcome, WorkloadSpec};
+pub use node::{binding_for, Node};
+pub use policy::{
+    policy_by_name, Assignment, BackfillPolicy, FcfsPolicy, PowerAwarePolicy, SchedContext,
+    SchedulerPolicy,
+};
+pub use profile::{ExecutionPlan, WorkloadModel};
+pub use tables::{cluster_summary_table, job_table};

@@ -1,0 +1,236 @@
+//! A cluster node: one machine plus its per-node ACTOR runtime state.
+//!
+//! Each [`Node`] owns a [`xeon_sim::Machine`] (the hardware model) and an
+//! [`actor_core::ActorRuntime`] in fixed-plan mode: when the cluster
+//! scheduler starts a job, the per-phase configuration choices are installed
+//! as a phase → binding plan, exactly what a live `phase_rt::Team` on that
+//! node would consult before each parallel region. The node also does the
+//! energy bookkeeping: idle intervals are charged at the machine's idle
+//! power, busy intervals at the job plan's energy.
+//!
+//! Multi-node jobs are gang-scheduled: every member node receives the same
+//! plan (SPMD), and the cluster completes all members at the job's finish
+//! time.
+
+use std::collections::HashMap;
+
+use actor_core::{ActorRuntime, ThrottleMode};
+use phase_rt::{Binding, MachineShape, PhaseId};
+use xeon_sim::{Configuration, Machine};
+
+use crate::job::Job;
+use crate::profile::ExecutionPlan;
+
+/// A job (share) currently executing on a node.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// The job this node is a member of.
+    pub job: Job,
+    /// When it started (s).
+    pub start_s: f64,
+    /// When it will finish (s).
+    pub finish_s: f64,
+    /// The per-node plan it runs under.
+    pub plan: ExecutionPlan,
+}
+
+/// One node of the simulated cluster.
+#[derive(Debug)]
+pub struct Node {
+    /// Stable node id.
+    pub id: usize,
+    machine: Machine,
+    runtime: ActorRuntime,
+    running: Option<RunningJob>,
+    /// Total energy charged to this node so far (J), idle + busy.
+    energy_j: f64,
+    /// Simulation time up to which energy has been accounted (s).
+    accounted_to_s: f64,
+}
+
+/// Maps a paper configuration onto a live-runtime binding for a node-local
+/// `phase_rt` team.
+pub fn binding_for(config: Configuration, shape: &MachineShape) -> Binding {
+    match config {
+        Configuration::One => Binding::packed(1, shape),
+        Configuration::TwoTight => Binding::packed(2, shape),
+        Configuration::TwoLoose => Binding::spread(2, shape),
+        Configuration::Three => Binding::spread(3, shape),
+        Configuration::Four => Binding::packed(shape.num_cores, shape),
+    }
+}
+
+impl Node {
+    /// Creates a node around a machine model.
+    pub fn new(id: usize, machine: Machine) -> Self {
+        Self {
+            id,
+            machine,
+            runtime: ActorRuntime::new(ThrottleMode::Fixed { plan: HashMap::new() }),
+            running: None,
+            energy_j: 0.0,
+            accounted_to_s: 0.0,
+        }
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The node's live-runtime view of the current job's plan (phase →
+    /// binding), as a `phase_rt` listener would consult it.
+    pub fn runtime(&self) -> &ActorRuntime {
+        &self.runtime
+    }
+
+    /// Idle power of this node (W).
+    pub fn idle_power_w(&self) -> f64 {
+        self.machine.params().power.system_idle_w
+    }
+
+    /// Whether the node can accept a job.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none()
+    }
+
+    /// The running job (share), if any.
+    pub fn running(&self) -> Option<&RunningJob> {
+        self.running.as_ref()
+    }
+
+    /// Instantaneous power draw (W): the running plan's peak while busy
+    /// (conservative, this is what the cap must cover), idle floor otherwise.
+    pub fn power_draw_w(&self) -> f64 {
+        match &self.running {
+            Some(run) => run.plan.peak_power_w,
+            None => self.idle_power_w(),
+        }
+    }
+
+    /// Charges idle energy up to `now`. Called before any state change.
+    fn account_until(&mut self, now: f64) {
+        if now > self.accounted_to_s {
+            if self.running.is_none() {
+                self.energy_j += (now - self.accounted_to_s) * self.idle_power_w();
+            }
+            self.accounted_to_s = now;
+        }
+    }
+
+    /// Starts a job share under `plan` at time `now`; returns its finish
+    /// time.
+    ///
+    /// Panics if the node is busy — the scheduler must only assign to idle
+    /// nodes.
+    pub fn assign(&mut self, job: Job, plan: ExecutionPlan, now: f64) -> f64 {
+        assert!(self.is_idle(), "node {} is busy", self.id);
+        self.account_until(now);
+        let shape = MachineShape::quad_core();
+        let bindings: HashMap<PhaseId, Binding> = plan
+            .decisions
+            .iter()
+            .enumerate()
+            .map(|(i, (_, config))| (PhaseId::new(i as u32), binding_for(*config, &shape)))
+            .collect();
+        self.runtime = ActorRuntime::new(ThrottleMode::Fixed { plan: bindings });
+        let finish_s = now + plan.exec_time_s;
+        self.running = Some(RunningJob { job, start_s: now, finish_s, plan });
+        finish_s
+    }
+
+    /// Completes the running job share at `now` (its scheduled finish time)
+    /// and returns the per-node record. The cluster merges the gang members'
+    /// records into one [`crate::job::JobOutcome`].
+    pub fn complete(&mut self, now: f64) -> RunningJob {
+        let run = self.running.take().expect("complete called on an idle node");
+        // Busy interval energy comes from the plan (already integrated over
+        // the job's phases and timesteps).
+        self.energy_j += run.plan.energy_j;
+        self.accounted_to_s = now;
+        self.runtime = ActorRuntime::new(ThrottleMode::Fixed { plan: HashMap::new() });
+        run
+    }
+
+    /// Total energy charged to this node up to `now` (J).
+    pub fn energy_until(&mut self, now: f64) -> f64 {
+        self.account_until(now);
+        self.energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npb_workloads::BenchmarkId;
+
+    fn plan() -> ExecutionPlan {
+        ExecutionPlan {
+            decisions: vec![
+                ("a".to_string(), Configuration::TwoLoose),
+                ("b".to_string(), Configuration::Four),
+            ],
+            exec_time_s: 10.0,
+            energy_j: 1500.0,
+            peak_power_w: 180.0,
+        }
+    }
+
+    fn job() -> Job {
+        Job {
+            id: 1,
+            benchmark: BenchmarkId::Cg,
+            arrival_s: 0.0,
+            nodes: 1,
+            priority: 0,
+            deadline_s: Some(25.0),
+            duration_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn lifecycle_idle_busy_idle_with_energy_accounting() {
+        let mut node = Node::new(0, Machine::xeon_qx6600());
+        let idle_w = node.idle_power_w();
+        assert!(node.is_idle());
+        assert_eq!(node.power_draw_w(), idle_w);
+
+        // 5 s idle, then a 10 s job.
+        let finish = node.assign(job(), plan(), 5.0);
+        assert_eq!(finish, 15.0);
+        assert!(!node.is_idle());
+        assert_eq!(node.power_draw_w(), 180.0);
+
+        let run = node.complete(finish);
+        assert!(node.is_idle());
+        assert_eq!(run.start_s, 5.0);
+        assert_eq!(run.finish_s, 15.0);
+        assert_eq!(run.plan.decisions.len(), 2);
+
+        // Energy: 5 s idle + the job's 1500 J, then 5 more idle seconds.
+        let total = node.energy_until(20.0);
+        assert!((total - (10.0 * idle_w + 1500.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn runtime_exposes_the_installed_plan() {
+        let mut node = Node::new(3, Machine::xeon_qx6600());
+        node.assign(job(), plan(), 0.0);
+        // Phase 0 was planned as 2b = two threads spread across dies.
+        let binding = node.runtime().decision_for(PhaseId::new(0)).unwrap();
+        assert_eq!(binding.num_threads(), 2);
+        let binding = node.runtime().decision_for(PhaseId::new(1)).unwrap();
+        assert_eq!(binding.num_threads(), 4);
+        assert!(node.runtime().decision_for(PhaseId::new(9)).is_none());
+        node.complete(10.0);
+        assert!(node.runtime().decision_for(PhaseId::new(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn double_assignment_panics() {
+        let mut node = Node::new(0, Machine::xeon_qx6600());
+        node.assign(job(), plan(), 0.0);
+        node.assign(job(), plan(), 1.0);
+    }
+}

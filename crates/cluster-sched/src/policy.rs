@@ -1,0 +1,449 @@
+//! Scheduling policies.
+//!
+//! A [`SchedulerPolicy`] decides, at each scheduling point, which queued jobs
+//! start on which idle nodes and under which per-phase execution plan; the
+//! cluster enforces the power cap regardless, so a policy bug cannot breach
+//! the budget (it shows up as a recorded violation instead). New policies are
+//! one file-local struct implementing the trait:
+//!
+//! * [`FcfsPolicy`] — strict first-come-first-served at maximal concurrency;
+//!   the head job blocks the queue until enough nodes *and* power are free.
+//! * [`BackfillPolicy`] — EASY backfill: a reservation is computed for the
+//!   blocked head job, and later jobs may jump ahead only if they finish
+//!   before that reservation (they cannot delay the head).
+//! * [`PowerAwarePolicy`] — ACTOR-driven: per job phase, the ANN-predicted
+//!   highest-throughput configuration that fits the remaining power headroom;
+//!   memory-bound phases throttle down, freeing budget for more concurrent
+//!   jobs.
+//!
+//! Jobs are gang-scheduled: a k-node job needs k idle nodes at once, draws
+//! k × its per-node plan peak, and every node runs the same plan.
+
+use crate::job::Job;
+use crate::profile::{ExecutionPlan, WorkloadModel};
+use xeon_sim::Configuration;
+
+/// A running job as policies see it (for reservations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningSummary {
+    /// When the job completes (s).
+    pub finish_s: f64,
+    /// How many nodes it releases.
+    pub nodes: usize,
+    /// Per-node peak draw it releases (W).
+    pub node_peak_w: f64,
+}
+
+/// Everything a policy may look at when scheduling.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Current simulation time (s).
+    pub now: f64,
+    /// Pending jobs, already sorted by (priority desc, arrival, id).
+    pub queue: &'a [Job],
+    /// Ids of idle nodes, ascending.
+    pub idle_nodes: &'a [usize],
+    /// The workload model (costs + predictions).
+    pub model: &'a WorkloadModel,
+    /// Cluster power budget (W).
+    pub budget_w: f64,
+    /// Current cluster draw (W): running peaks + idle floors.
+    pub draw_w: f64,
+    /// Idle power of one node (W) — what an idle node already contributes to
+    /// `draw_w`.
+    pub node_idle_w: f64,
+    /// Currently running jobs, ascending by finish time.
+    pub running: &'a [RunningSummary],
+}
+
+impl SchedContext<'_> {
+    /// Power headroom available for *additional* draw (W).
+    pub fn headroom_w(&self) -> f64 {
+        self.budget_w - self.draw_w
+    }
+
+    /// The per-node power cap a k-node plan must satisfy: each occupied node
+    /// stops drawing its idle floor, so k idle floors come back into the
+    /// headroom.
+    pub fn node_power_cap_w(&self, k: usize) -> f64 {
+        self.headroom_w() / k as f64 + self.node_idle_w
+    }
+}
+
+/// One scheduling action: start `queue[queue_idx]` on `nodes` under `plan`
+/// (one instance of the plan per node).
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Index into `SchedContext::queue`.
+    pub queue_idx: usize,
+    /// Nodes to run on (the job's full gang).
+    pub nodes: Vec<usize>,
+    /// The costed per-node plan.
+    pub plan: ExecutionPlan,
+}
+
+/// A cluster scheduling policy.
+pub trait SchedulerPolicy {
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses assignments for the current state. Called whenever an arrival
+    /// or completion changes the state; must be deterministic.
+    fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment>;
+}
+
+/// Builds the policy named `name` (`"fcfs"`, `"backfill"`, `"power-aware"`).
+pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulerPolicy>> {
+    match name {
+        "fcfs" => Some(Box::new(FcfsPolicy)),
+        "backfill" => Some(Box::new(BackfillPolicy)),
+        "power-aware" => Some(Box::new(PowerAwarePolicy)),
+        _ => None,
+    }
+}
+
+/// Greedy in-order assignment helper shared by FCFS and power-aware: walks
+/// the queue, planning each job via `plan_job`; stops at the first job that
+/// cannot start (strict queue discipline).
+fn assign_in_order(
+    ctx: &SchedContext<'_>,
+    mut plan_job: impl FnMut(&Job, f64) -> Option<ExecutionPlan>,
+) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    let mut free: Vec<usize> = ctx.idle_nodes.to_vec();
+    let mut headroom = ctx.headroom_w();
+    for (queue_idx, job) in ctx.queue.iter().enumerate() {
+        let k = job.nodes;
+        if free.len() < k {
+            break;
+        }
+        let node_cap = headroom / k as f64 + ctx.node_idle_w;
+        let Some(plan) = plan_job(job, node_cap) else { break };
+        if (plan.peak_power_w - ctx.node_idle_w) * k as f64 > headroom + 1e-9 {
+            break;
+        }
+        headroom -= (plan.peak_power_w - ctx.node_idle_w) * k as f64;
+        let nodes: Vec<usize> = free.drain(..k).collect();
+        out.push(Assignment { queue_idx, nodes, plan });
+    }
+    out
+}
+
+/// Strict FCFS at maximal concurrency.
+#[derive(Debug, Default)]
+pub struct FcfsPolicy;
+
+impl SchedulerPolicy for FcfsPolicy {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        assign_in_order(ctx, |job, node_cap| {
+            let plan = ctx.model.plan_fixed(job, Configuration::Four);
+            (plan.peak_power_w <= node_cap).then_some(plan)
+        })
+    }
+}
+
+/// EASY backfill at maximal concurrency.
+#[derive(Debug, Default)]
+pub struct BackfillPolicy;
+
+impl BackfillPolicy {
+    /// Earliest time the head job (k nodes, per-node peak `node_peak_w`)
+    /// could start, given current free resources and the known completion
+    /// times of both already-running jobs and jobs started earlier in this
+    /// same scheduling pass (`started`) — without the latter, the
+    /// reservation overshoots and backfilled jobs could delay the head.
+    fn reservation_time(
+        ctx: &SchedContext<'_>,
+        started: &[RunningSummary],
+        free_nodes: usize,
+        headroom_w: f64,
+        k: usize,
+        node_peak_w: f64,
+    ) -> f64 {
+        let mut nodes = free_nodes;
+        let mut headroom = headroom_w;
+        let need_w = |nodes_needed: usize| (node_peak_w - ctx.node_idle_w) * nodes_needed as f64;
+        if nodes >= k && need_w(k) <= headroom + 1e-9 {
+            return ctx.now;
+        }
+        let mut completions: Vec<&RunningSummary> = ctx.running.iter().chain(started).collect();
+        completions.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s));
+        for run in completions {
+            nodes += run.nodes;
+            headroom += (run.node_peak_w - ctx.node_idle_w) * run.nodes as f64;
+            if nodes >= k && need_w(k) <= headroom + 1e-9 {
+                return run.finish_s;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+impl SchedulerPolicy for BackfillPolicy {
+    fn name(&self) -> &'static str {
+        "backfill"
+    }
+
+    fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let mut free: Vec<usize> = ctx.idle_nodes.to_vec();
+        let mut headroom = ctx.headroom_w();
+        // Jobs started in this pass, visible to the reservation computation.
+        let mut started: Vec<RunningSummary> = Vec::new();
+        // (start time, nodes, per-node watts) reserved for the blocked head.
+        let mut reservation: Option<(f64, usize, f64)> = None;
+        for (queue_idx, job) in ctx.queue.iter().enumerate() {
+            let k = job.nodes;
+            let plan = ctx.model.plan_fixed(job, Configuration::Four);
+            let extra_w = (plan.peak_power_w - ctx.node_idle_w) * k as f64;
+            let fits_now = free.len() >= k && extra_w <= headroom + 1e-9;
+            match reservation {
+                None => {
+                    if fits_now {
+                        headroom -= extra_w;
+                        started.push(RunningSummary {
+                            finish_s: ctx.now + plan.exec_time_s,
+                            nodes: k,
+                            node_peak_w: plan.peak_power_w,
+                        });
+                        let nodes: Vec<usize> = free.drain(..k).collect();
+                        out.push(Assignment { queue_idx, nodes, plan });
+                    } else {
+                        // Head blocks: reserve its start, then try backfill.
+                        let t = Self::reservation_time(
+                            ctx,
+                            &started,
+                            free.len(),
+                            headroom,
+                            k,
+                            plan.peak_power_w,
+                        );
+                        reservation = Some((t, k, plan.peak_power_w));
+                    }
+                }
+                Some((reserved_start, _, _)) => {
+                    if !fits_now {
+                        continue;
+                    }
+                    // EASY condition: the backfilled job releases its nodes
+                    // and power before the head's reservation, so it cannot
+                    // delay the head.
+                    if ctx.now + plan.exec_time_s <= reserved_start + 1e-9 {
+                        headroom -= extra_w;
+                        let nodes: Vec<usize> = free.drain(..k).collect();
+                        out.push(Assignment { queue_idx, nodes, plan });
+                    }
+                }
+            }
+            if free.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// ACTOR-driven power-aware scheduling: per phase, the predicted-best
+/// configuration that fits the remaining headroom.
+#[derive(Debug, Default)]
+pub struct PowerAwarePolicy;
+
+impl SchedulerPolicy for PowerAwarePolicy {
+    fn name(&self) -> &'static str {
+        "power-aware"
+    }
+
+    fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        // Ask the ANN ensembles for the best configuration per phase under
+        // the per-node share of the current headroom. If not even
+        // single-threaded execution fits, wait (strict order, like FCFS).
+        assign_in_order(ctx, |job, node_cap| ctx.model.plan_within_power(job, node_cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actor_core::ActorConfig;
+    use npb_workloads::BenchmarkId;
+    use xeon_sim::Machine;
+
+    const IDLE_W: f64 = 104.0;
+
+    fn model() -> WorkloadModel {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        WorkloadModel::build(
+            &machine,
+            &config,
+            &[BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Bt],
+        )
+        .unwrap()
+    }
+
+    fn job(id: usize, benchmark: BenchmarkId, nodes: usize) -> Job {
+        Job {
+            id,
+            benchmark,
+            arrival_s: id as f64,
+            nodes,
+            priority: 0,
+            deadline_s: None,
+            duration_scale: 1.0,
+        }
+    }
+
+    fn ctx<'a>(
+        model: &'a WorkloadModel,
+        queue: &'a [Job],
+        idle_nodes: &'a [usize],
+        budget_w: f64,
+        draw_w: f64,
+        running: &'a [RunningSummary],
+    ) -> SchedContext<'a> {
+        SchedContext {
+            now: 0.0,
+            queue,
+            idle_nodes,
+            model,
+            budget_w,
+            draw_w,
+            node_idle_w: IDLE_W,
+            running,
+        }
+    }
+
+    #[test]
+    fn fcfs_respects_queue_order_nodes_and_power() {
+        let model = model();
+        let queue = vec![job(0, BenchmarkId::Cg, 1), job(1, BenchmarkId::Is, 1)];
+        let idle = [0usize, 1];
+
+        // Ample budget: both start, in order.
+        let mut fcfs = FcfsPolicy;
+        let a = fcfs.assign(&ctx(&model, &queue, &idle, 2000.0, 2.0 * IDLE_W, &[]));
+        assert_eq!(a.len(), 2);
+        assert_eq!((a[0].queue_idx, a[0].nodes.as_slice()), (0, &[0usize][..]));
+        assert_eq!((a[1].queue_idx, a[1].nodes.as_slice()), (1, &[1usize][..]));
+        for x in &a {
+            assert!(x.plan.decisions.iter().all(|(_, c)| *c == Configuration::Four));
+        }
+
+        // Budget fits only one four-core job: the head starts, the second
+        // waits even though nodes are free.
+        let one_job_w = model.plan_fixed(&queue[0], Configuration::Four).peak_power_w;
+        let budget = 2.0 * IDLE_W + (one_job_w - IDLE_W) + 1.0;
+        let a = fcfs.assign(&ctx(&model, &queue, &idle, budget, 2.0 * IDLE_W, &[]));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].queue_idx, 0);
+
+        // A 4-node head with only 2 idle nodes blocks the whole queue.
+        let queue = vec![job(0, BenchmarkId::Cg, 4), job(1, BenchmarkId::Is, 1)];
+        let a = fcfs.assign(&ctx(&model, &queue, &idle, 4000.0, 2.0 * IDLE_W, &[]));
+        assert!(a.is_empty(), "strict FCFS: nobody jumps a node-blocked head");
+    }
+
+    #[test]
+    fn backfill_lets_short_jobs_jump_a_node_blocked_head() {
+        let model = model();
+        // Head wants 4 nodes but only 2 are idle; a short 1-node job waits
+        // behind it. A running 2-node job finishes at t = 50.
+        let mut head = job(0, BenchmarkId::Cg, 4);
+        head.duration_scale = 3.0;
+        let short = job(1, BenchmarkId::Is, 1);
+        let short_time = model.plan_fixed(&short, Configuration::Four).exec_time_s;
+        assert!(short_time < 50.0, "test premise: the short job fits the hole");
+        let queue = vec![head, short];
+        let idle = [2usize, 3];
+        let running = [RunningSummary { finish_s: 50.0, nodes: 2, node_peak_w: 142.0 }];
+        let draw = 2.0 * 142.0 + 2.0 * IDLE_W;
+
+        let mut backfill = BackfillPolicy;
+        let a = backfill.assign(&ctx(&model, &queue, &idle, 4000.0, draw, &running));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].queue_idx, 1, "the short job backfills into the hole");
+        assert_eq!(a[0].nodes.len(), 1);
+
+        // FCFS on the same state starts nothing.
+        let mut fcfs = FcfsPolicy;
+        assert!(fcfs.assign(&ctx(&model, &queue, &idle, 4000.0, draw, &running)).is_empty());
+
+        // A long job behind the head (finishing after t = 50) may not jump.
+        let mut long_second = job(1, BenchmarkId::Cg, 1);
+        long_second.duration_scale = 3.0;
+        let queue = vec![job(0, BenchmarkId::Cg, 4), long_second];
+        let a = backfill.assign(&ctx(&model, &queue, &idle, 4000.0, draw, &running));
+        assert!(a.is_empty(), "backfilling must not delay the head's reservation");
+    }
+
+    #[test]
+    fn backfill_reservation_sees_same_pass_assignments() {
+        let model = model();
+        // Empty cluster, one pass: A (1 node, short) starts immediately; the
+        // head B (2 nodes) then blocks on nodes, and its true reservation is
+        // A's finish. C (1 node, much longer than A) must NOT backfill — it
+        // would hold B's second node long past the reservation.
+        let a = job(0, BenchmarkId::Is, 1);
+        let b = job(1, BenchmarkId::Cg, 2);
+        let mut c = job(2, BenchmarkId::Cg, 1);
+        c.duration_scale = 3.0;
+        let a_time = model.plan_fixed(&a, Configuration::Four).exec_time_s;
+        let c_time = model.plan_fixed(&c, Configuration::Four).exec_time_s;
+        assert!(c_time > a_time, "test premise: C outlives A's completion");
+        let queue = vec![a, b, c];
+        let idle = [0usize, 1];
+
+        let mut backfill = BackfillPolicy;
+        let assignments = backfill.assign(&ctx(&model, &queue, &idle, 10_000.0, 2.0 * IDLE_W, &[]));
+        let started: Vec<usize> = assignments.iter().map(|x| x.queue_idx).collect();
+        assert_eq!(started, vec![0], "only A starts; C may not delay the head past A's finish");
+    }
+
+    #[test]
+    fn power_aware_throttles_into_a_tight_budget() {
+        let model = model();
+        let queue = vec![job(0, BenchmarkId::Is, 1)];
+        let idle = [0usize];
+        let four_w = model.plan_fixed(&queue[0], Configuration::Four).peak_power_w;
+        // Budget below the four-core peak but above single-core power.
+        let budget = IDLE_W + (four_w - IDLE_W) * 0.5;
+
+        let mut fcfs = FcfsPolicy;
+        assert!(fcfs.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[])).is_empty());
+
+        let mut aware = PowerAwarePolicy;
+        let a = aware.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[]));
+        assert_eq!(a.len(), 1, "power-aware should throttle the job to fit");
+        assert!(a[0].plan.peak_power_w <= budget - IDLE_W + IDLE_W + 1e-9);
+        assert!(
+            a[0].plan.decisions.iter().any(|(_, c)| *c != Configuration::Four),
+            "fitting under the cap requires throttling at least one phase"
+        );
+    }
+
+    #[test]
+    fn power_aware_matches_unconstrained_actor_when_budget_is_ample() {
+        let model = model();
+        let queue = vec![job(0, BenchmarkId::Mg, 1)];
+        let idle = [0usize];
+        let mut aware = PowerAwarePolicy;
+        let a = aware.assign(&ctx(&model, &queue, &idle, 10_000.0, IDLE_W, &[]));
+        assert_eq!(a.len(), 1);
+        let expected: Vec<Configuration> =
+            model.knowledge(BenchmarkId::Mg).phases.iter().map(|p| p.decision.chosen).collect();
+        let got: Vec<Configuration> = a[0].plan.decisions.iter().map(|(_, c)| *c).collect();
+        assert_eq!(got, expected, "with no pressure, the plan is ACTOR's own decision");
+    }
+
+    #[test]
+    fn policies_are_constructible_by_name() {
+        for name in ["fcfs", "backfill", "power-aware"] {
+            assert_eq!(policy_by_name(name).unwrap().name(), name);
+        }
+        assert!(policy_by_name("lottery").is_none());
+    }
+}

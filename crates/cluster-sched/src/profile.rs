@@ -1,0 +1,310 @@
+//! The workload model: everything the scheduler knows about each benchmark.
+//!
+//! Built once per cluster from ACTOR's existing offline pipeline
+//! ([`actor_core::evaluate_benchmarks`]): leave-one-out ANN ensembles produce
+//! a [`ThrottleDecision`] per phase (predicted IPC for every candidate
+//! configuration), and the machine model fills in time/power/energy per
+//! (phase, configuration). Policies consult this table to answer "what does
+//! running job J at configuration c cost, and what throughput does the ANN
+//! predict?" without re-running the pipeline per job.
+
+use actor_core::{evaluate_benchmarks, ActorConfig, ThrottleDecision};
+use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xeon_sim::{Configuration, Machine, PhaseExecution};
+
+use crate::error::ClusterError;
+use crate::job::Job;
+
+/// Per-phase knowledge: the ANN decision plus ground-truth executions.
+#[derive(Debug, Clone)]
+pub struct PhaseKnowledge {
+    /// Phase name (unique within the benchmark).
+    pub name: String,
+    /// ACTOR's throttling decision (sampled IPC + ranked predictions).
+    pub decision: ThrottleDecision,
+    /// Machine-model execution of one phase instance per configuration.
+    pub executions: Vec<(Configuration, PhaseExecution)>,
+}
+
+impl PhaseKnowledge {
+    /// Execution of this phase under `config`.
+    pub fn execution(&self, config: Configuration) -> &PhaseExecution {
+        &self
+            .executions
+            .iter()
+            .find(|(c, _)| *c == config)
+            .expect("every configuration is pre-simulated")
+            .1
+    }
+
+    /// Predicted (or, for the sampling configuration, observed) IPC of this
+    /// phase under `config`.
+    pub fn predicted_ipc(&self, config: Configuration) -> f64 {
+        if config == Configuration::SAMPLE {
+            return self.decision.sampled_ipc;
+        }
+        self.decision
+            .ranked_predictions
+            .iter()
+            .find(|(c, _)| *c == config)
+            .map(|(_, ipc)| *ipc)
+            .unwrap_or(self.decision.sampled_ipc)
+    }
+
+    /// The highest-predicted-IPC configuration whose average phase power fits
+    /// under `power_cap_w`, ties to fewer threads. `None` if not even the
+    /// single-thread configuration fits.
+    pub fn best_config_within(&self, power_cap_w: f64) -> Option<Configuration> {
+        let mut best: Option<(Configuration, f64)> = None;
+        for &config in &Configuration::ALL {
+            if self.execution(config).avg_power_w > power_cap_w {
+                continue;
+            }
+            let ipc = self.predicted_ipc(config);
+            let wins = match best {
+                None => true,
+                Some((bc, bipc)) => {
+                    ipc > bipc || (ipc == bipc && config.num_threads() < bc.num_threads())
+                }
+            };
+            if wins {
+                best = Some((config, ipc));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+/// Per-benchmark knowledge.
+#[derive(Debug, Clone)]
+pub struct BenchmarkKnowledge {
+    /// The profile (phases + timesteps).
+    pub profile: BenchmarkProfile,
+    /// Per-phase decisions and executions.
+    pub phases: Vec<PhaseKnowledge>,
+}
+
+/// What one job will do on a node if started with the given per-phase
+/// configurations: the policy's costed decision, applied by the node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Chosen configuration per phase, in phase order.
+    pub decisions: Vec<(String, Configuration)>,
+    /// Total execution time (s) over all timesteps.
+    pub exec_time_s: f64,
+    /// Total energy (J) over all timesteps.
+    pub energy_j: f64,
+    /// Peak instantaneous power across phases (W) — what the cap must cover.
+    pub peak_power_w: f64,
+}
+
+impl ExecutionPlan {
+    /// Time-averaged power of the plan (W).
+    pub fn avg_power_w(&self) -> f64 {
+        if self.exec_time_s > 0.0 {
+            self.energy_j / self.exec_time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The scheduler's model of every benchmark in the workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadModel {
+    benchmarks: Vec<(BenchmarkId, BenchmarkKnowledge)>,
+}
+
+impl WorkloadModel {
+    /// Builds the model for `ids` (at least two, for leave-one-out training)
+    /// with the deterministic RNG derived from `config.seed`.
+    pub fn build(
+        machine: &Machine,
+        config: &ActorConfig,
+        ids: &[BenchmarkId],
+    ) -> Result<Self, ClusterError> {
+        let profiles: Vec<BenchmarkProfile> = ids.iter().map(|&id| suite::benchmark(id)).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let evaluations = evaluate_benchmarks(machine, config, &profiles, &mut rng)?;
+        let mut benchmarks = Vec::with_capacity(profiles.len());
+        for profile in profiles {
+            let eval = evaluations
+                .iter()
+                .find(|e| e.id == profile.id)
+                .expect("evaluate_benchmarks covers every input benchmark");
+            let phases = profile
+                .phases
+                .iter()
+                .zip(&eval.phases)
+                .map(|(phase, pe)| PhaseKnowledge {
+                    name: phase.name.clone(),
+                    decision: pe.decision.clone(),
+                    executions: Configuration::ALL
+                        .iter()
+                        .map(|&c| (c, machine.simulate_config(phase, c)))
+                        .collect(),
+                })
+                .collect();
+            benchmarks.push((profile.id, BenchmarkKnowledge { profile, phases }));
+        }
+        Ok(Self { benchmarks })
+    }
+
+    /// The benchmarks in the model.
+    pub fn benchmark_ids(&self) -> Vec<BenchmarkId> {
+        self.benchmarks.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Knowledge about one benchmark.
+    pub fn knowledge(&self, id: BenchmarkId) -> &BenchmarkKnowledge {
+        &self
+            .benchmarks
+            .iter()
+            .find(|(b, _)| *b == id)
+            .expect("job benchmarks must be part of the workload model")
+            .1
+    }
+
+    /// Four-core execution time of one unscaled run (for deadline generation
+    /// and runtime estimates).
+    pub fn four_core_time_s(&self, id: BenchmarkId) -> f64 {
+        let k = self.knowledge(id);
+        let per_timestep: f64 =
+            k.phases.iter().map(|p| p.execution(Configuration::Four).time_s).sum();
+        per_timestep * k.profile.timesteps as f64
+    }
+
+    /// Plan `job` with a fixed configuration for every phase (the
+    /// non-adaptive policies run everything at maximal concurrency).
+    pub fn plan_fixed(&self, job: &Job, config: Configuration) -> ExecutionPlan {
+        self.plan_with(job, |_| config)
+    }
+
+    /// Plan `job` choosing, per phase, the highest-predicted-IPC
+    /// configuration whose power fits under `power_cap_w`. `None` if any
+    /// phase cannot fit (the job must wait for more headroom).
+    pub fn plan_within_power(&self, job: &Job, power_cap_w: f64) -> Option<ExecutionPlan> {
+        let k = self.knowledge(job.benchmark);
+        let mut choices = Vec::with_capacity(k.phases.len());
+        for phase in &k.phases {
+            choices.push(phase.best_config_within(power_cap_w)?);
+        }
+        let mut iter = choices.iter().copied();
+        Some(self.plan_with(job, |_| iter.next().expect("one choice per phase")))
+    }
+
+    /// Plan `job` with an arbitrary per-phase choice function.
+    pub fn plan_with(
+        &self,
+        job: &Job,
+        mut choose: impl FnMut(&PhaseKnowledge) -> Configuration,
+    ) -> ExecutionPlan {
+        let k = self.knowledge(job.benchmark);
+        let timesteps = job.effective_timesteps(k.profile.timesteps) as f64;
+        let mut decisions = Vec::with_capacity(k.phases.len());
+        let mut time_per_timestep = 0.0;
+        let mut energy_per_timestep = 0.0;
+        let mut peak_power_w = 0.0f64;
+        for phase in &k.phases {
+            let config = choose(phase);
+            let exec = phase.execution(config);
+            decisions.push((phase.name.clone(), config));
+            time_per_timestep += exec.time_s;
+            energy_per_timestep += exec.energy_j;
+            peak_power_w = peak_power_w.max(exec.avg_power_w);
+        }
+        ExecutionPlan {
+            decisions,
+            exec_time_s: time_per_timestep * timesteps,
+            energy_j: energy_per_timestep * timesteps,
+            peak_power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WorkloadModel {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        WorkloadModel::build(
+            &machine,
+            &config,
+            &[BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Bt],
+        )
+        .unwrap()
+    }
+
+    fn job(benchmark: BenchmarkId) -> Job {
+        Job {
+            id: 0,
+            benchmark,
+            arrival_s: 0.0,
+            nodes: 1,
+            priority: 0,
+            deadline_s: None,
+            duration_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn model_covers_all_benchmarks_and_configs() {
+        let m = model();
+        assert_eq!(m.benchmark_ids().len(), 4);
+        for id in m.benchmark_ids() {
+            let k = m.knowledge(id);
+            assert!(!k.phases.is_empty());
+            for p in &k.phases {
+                assert_eq!(p.executions.len(), Configuration::ALL.len());
+                assert!(p.decision.sampled_ipc > 0.0);
+                // Power rises with concurrency often but at minimum One < Four.
+                assert!(
+                    p.execution(Configuration::One).avg_power_w
+                        < p.execution(Configuration::Four).avg_power_w
+                );
+            }
+            assert!(m.four_core_time_s(id) > 0.0);
+        }
+    }
+
+    #[test]
+    fn power_capped_choice_respects_the_cap() {
+        let m = model();
+        for id in m.benchmark_ids() {
+            for p in &m.knowledge(id).phases {
+                let four_w = p.execution(Configuration::Four).avg_power_w;
+                let one_w = p.execution(Configuration::One).avg_power_w;
+                // Ample cap: any configuration allowed, the choice must match
+                // the unconstrained ACTOR decision.
+                let ample = p.best_config_within(four_w + 100.0).unwrap();
+                assert_eq!(ample, p.decision.chosen);
+                // Tight cap just above single-thread power: only One fits.
+                let tight = p.best_config_within(one_w + 1e-9).unwrap();
+                assert_eq!(tight, Configuration::One);
+                // Impossible cap: nothing fits.
+                assert!(p.best_config_within(one_w - 1.0).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn plans_scale_with_duration_and_respect_power() {
+        let m = model();
+        let j = job(BenchmarkId::Is);
+        let four = m.plan_fixed(&j, Configuration::Four);
+        assert!(four.exec_time_s > 0.0 && four.energy_j > 0.0);
+        assert!(four.peak_power_w >= four.avg_power_w());
+
+        let long = m.plan_fixed(&Job { duration_scale: 2.0, ..j.clone() }, Configuration::Four);
+        assert!((long.exec_time_s / four.exec_time_s - 2.0).abs() < 0.05);
+
+        let capped = m.plan_within_power(&j, four.peak_power_w - 1.0).unwrap();
+        assert!(capped.peak_power_w < four.peak_power_w);
+        // An impossible cap yields no plan.
+        assert!(m.plan_within_power(&j, 1.0).is_none());
+    }
+}

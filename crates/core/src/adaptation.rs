@@ -15,7 +15,7 @@
 //!   the cache-warmth lost when threads are re-bound (the paper's explanation
 //!   for why average power is not reduced).
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
@@ -41,8 +41,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies in the figure's order.
-    pub const ALL: [Strategy; 4] =
-        [Strategy::FourCores, Strategy::GlobalOptimal, Strategy::PhaseOptimal, Strategy::Prediction];
+    pub const ALL: [Strategy; 4] = [
+        Strategy::FourCores,
+        Strategy::GlobalOptimal,
+        Strategy::PhaseOptimal,
+        Strategy::Prediction,
+    ];
 
     /// Label used in the figure legend.
     pub fn label(&self) -> &'static str {
@@ -136,10 +140,7 @@ pub struct BenchmarkAdaptation {
 impl BenchmarkAdaptation {
     /// The outcome of one strategy.
     pub fn outcome(&self, strategy: Strategy) -> &StrategyOutcome {
-        self.outcomes
-            .iter()
-            .find(|o| o.strategy == strategy)
-            .expect("all strategies are evaluated")
+        self.outcomes.iter().find(|o| o.strategy == strategy).expect("all strategies are evaluated")
     }
 
     /// One metric of one strategy, normalised to the four-core baseline.
@@ -175,11 +176,8 @@ impl AdaptationStudy {
         if self.benchmarks.is_empty() {
             return 1.0;
         }
-        let log_sum: f64 = self
-            .benchmarks
-            .iter()
-            .map(|b| b.normalised(strategy, metric).max(1e-12).ln())
-            .sum();
+        let log_sum: f64 =
+            self.benchmarks.iter().map(|b| b.normalised(strategy, metric).max(1e-12).ln()).sum();
         (log_sum / self.benchmarks.len() as f64).exp()
     }
 
@@ -202,12 +200,8 @@ fn simulate_prediction_strategy(
 ) -> AggregateExecution {
     let mut agg = AggregateExecution::new(format!("{} (prediction)", bench.id));
     let sampling_execs = bench.simulate_phases(machine, Configuration::Four);
-    let adapted_execs: Vec<_> = bench
-        .phases
-        .iter()
-        .zip(decisions)
-        .map(|(p, &c)| machine.simulate_config(p, c))
-        .collect();
+    let adapted_execs: Vec<_> =
+        bench.phases.iter().zip(decisions).map(|(p, &c)| machine.simulate_config(p, c)).collect();
 
     let sample_timesteps = sample_timesteps.min(bench.timesteps);
     for _ in 0..sample_timesteps {
@@ -245,8 +239,7 @@ pub fn adaptation_from_evaluations(
         let phase_choices = phase_optimal(machine, bench);
         let phase_opt = bench.simulate_per_phase(machine, &phase_choices);
 
-        let decisions: Vec<Configuration> =
-            eval.phases.iter().map(|p| p.decision.chosen).collect();
+        let decisions: Vec<Configuration> = eval.phases.iter().map(|p| p.decision.chosen).collect();
         let prediction = simulate_prediction_strategy(
             machine,
             bench,
@@ -284,6 +277,17 @@ pub fn run_adaptation_study<R: Rng + ?Sized>(
     let benchmarks = suite::nas_suite();
     let evaluations = evaluate_benchmarks(machine, config, &benchmarks, rng)?;
     adaptation_from_evaluations(machine, config, &benchmarks, &evaluations)
+}
+
+/// Runs the full Figure-8 study with the deterministic RNG derived from
+/// `config.seed` — the reproducible entry point: two calls with the same
+/// configuration produce identical studies.
+pub fn run_adaptation_study_seeded(
+    machine: &Machine,
+    config: &ActorConfig,
+) -> Result<AdaptationStudy, ActorError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    run_adaptation_study(machine, config, &mut rng)
 }
 
 /// Runs the study over an explicit benchmark list (used by tests).
@@ -367,7 +371,10 @@ mod tests {
                 "{id}: prediction should cut ED2 well below the 4-core baseline, got {ed2:.2}"
             );
             let time = b.normalised(Strategy::Prediction, Metric::Time);
-            assert!(time < 1.0, "{id}: prediction should also reduce execution time, got {time:.2}");
+            assert!(
+                time < 1.0,
+                "{id}: prediction should also reduce execution time, got {time:.2}"
+            );
         }
     }
 
@@ -391,9 +398,24 @@ mod tests {
         assert!(avg_ed2 < 1.0, "average normalised ED2 {avg_ed2:.2}");
         assert!(geo_ed2 <= avg_ed2 + 1e-9, "geometric mean cannot exceed arithmetic mean");
         // Phase optimal bounds prediction from below (it is an oracle).
-        assert!(
-            s.average_normalised(Strategy::PhaseOptimal, Metric::Time) <= avg_time + 1e-9
-        );
+        assert!(s.average_normalised(Strategy::PhaseOptimal, Metric::Time) <= avg_time + 1e-9);
+    }
+
+    #[test]
+    fn seeded_study_is_reproducible_run_to_run() {
+        let machine = Machine::xeon_qx6600();
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        let benchmarks = vec![
+            suite::benchmark(BenchmarkId::Bt),
+            suite::benchmark(BenchmarkId::Is),
+            suite::benchmark(BenchmarkId::Mg),
+            suite::benchmark(BenchmarkId::Cg),
+        ];
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            run_adaptation_study_on(&machine, &config, &benchmarks, &mut rng).unwrap()
+        };
+        assert_eq!(run(), run(), "one seed must give bit-identical Figure 8 numbers");
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl LinearRegressionPredictor {
     /// conditioning; a small ridge keeps the normal equations solvable).
     pub fn train(corpus: &TrainingCorpus, ridge: f64) -> Result<Self, ActorError> {
         if corpus.is_empty() {
-            return Err(ActorError::EmptyCorpus { reason: "cannot fit regression on empty corpus".into() });
+            return Err(ActorError::EmptyCorpus {
+                reason: "cannot fit regression on empty corpus".into(),
+            });
         }
         let ridge = ridge.max(0.0);
         let mut weights = Vec::new();
@@ -43,7 +45,7 @@ impl LinearRegressionPredictor {
             let dataset = corpus.dataset_for_target(target)?;
             let n = dataset.len();
             let d = dataset.input_dim() + 1; // + intercept
-            // Normal equations: (XᵀX + λI) w = Xᵀy with X including a 1 column.
+                                             // Normal equations: (XᵀX + λI) w = Xᵀy with X including a 1 column.
             let mut xtx = vec![vec![0.0f64; d]; d];
             let mut xty = vec![0.0f64; d];
             for i in 0..n {
@@ -101,6 +103,7 @@ impl IpcPredictor for LinearRegressionPredictor {
 
 /// Gaussian elimination with partial pivoting. Returns `None` for singular
 /// systems.
+#[allow(clippy::needless_range_loop)] // textbook Gaussian elimination reads clearest with indices
 fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {

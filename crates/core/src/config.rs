@@ -149,33 +149,21 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = ActorConfig::default();
-        c.counter_registers = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = ActorConfig::default();
-        c.sampling_budget = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = ActorConfig::default();
-        c.sampling_budget = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = ActorConfig::default();
-        c.measurement_noise = -0.1;
-        assert!(c.validate().is_err());
-
-        let mut c = ActorConfig::default();
-        c.corpus_replicas = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = ActorConfig::default();
-        c.rebinding_power_w = -1.0;
-        assert!(c.validate().is_err());
-
-        let mut c = ActorConfig::default();
-        c.predictor.folds = 1;
-        assert!(c.validate().is_err());
+        let bad = [
+            ActorConfig { counter_registers: 0, ..Default::default() },
+            ActorConfig { sampling_budget: 0.0, ..Default::default() },
+            ActorConfig { sampling_budget: 1.5, ..Default::default() },
+            ActorConfig { measurement_noise: -0.1, ..Default::default() },
+            ActorConfig { corpus_replicas: 0, ..Default::default() },
+            ActorConfig { rebinding_power_w: -1.0, ..Default::default() },
+            ActorConfig {
+                predictor: PredictorConfig { folds: 1, ..Default::default() },
+                ..Default::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should fail validation");
+        }
     }
 
     #[test]

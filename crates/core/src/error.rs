@@ -45,7 +45,9 @@ impl fmt::Display for ActorError {
                 write!(f, "feature vector has {actual} entries, predictor expects {expected}")
             }
             ActorError::EmptyCorpus { reason } => write!(f, "empty training corpus: {reason}"),
-            ActorError::InvalidConfig { reason } => write!(f, "invalid ACTOR configuration: {reason}"),
+            ActorError::InvalidConfig { reason } => {
+                write!(f, "invalid ACTOR configuration: {reason}")
+            }
             ActorError::Serialisation { reason } => write!(f, "serialisation error: {reason}"),
         }
     }
@@ -81,7 +83,9 @@ mod tests {
 
         let e = ActorError::FeatureMismatch { expected: 13, actual: 7 };
         assert!(e.to_string().contains("13"));
-        assert!(ActorError::EmptyCorpus { reason: "no phases".into() }.to_string().contains("no phases"));
+        assert!(ActorError::EmptyCorpus { reason: "no phases".into() }
+            .to_string()
+            .contains("no phases"));
         assert!(ActorError::InvalidConfig { reason: "bad".into() }.to_string().contains("bad"));
         assert!(ActorError::Serialisation { reason: "io".into() }.to_string().contains("io"));
     }

@@ -51,7 +51,8 @@ pub mod throttle;
 
 pub use accuracy::{run_accuracy_study, AccuracyStudy, PredictionRecord};
 pub use adaptation::{
-    run_adaptation_study, AdaptationStudy, BenchmarkAdaptation, Metric, Strategy, StrategyOutcome,
+    run_adaptation_study, run_adaptation_study_seeded, AdaptationStudy, BenchmarkAdaptation,
+    Metric, Strategy, StrategyOutcome,
 };
 pub use baselines::{EmpiricalSearchPolicy, LinearRegressionPredictor};
 pub use config::{ActorConfig, PredictorConfig};

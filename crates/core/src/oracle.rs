@@ -51,7 +51,10 @@ mod tests {
     fn global_optimal_matches_the_scalability_classes() {
         let machine = Machine::xeon_qx6600();
         // Scaling class: four cores are globally optimal.
-        assert_eq!(global_optimal(&machine, &suite::benchmark(BenchmarkId::Bt)), Configuration::Four);
+        assert_eq!(
+            global_optimal(&machine, &suite::benchmark(BenchmarkId::Bt)),
+            Configuration::Four
+        );
         // Pathological class: two loosely-coupled cores win.
         assert_eq!(
             global_optimal(&machine, &suite::benchmark(BenchmarkId::Is)),

@@ -50,7 +50,9 @@ impl AnnPredictor {
     ) -> Result<Self, ActorError> {
         config.validate()?;
         if corpus.is_empty() {
-            return Err(ActorError::EmptyCorpus { reason: "cannot train on an empty corpus".into() });
+            return Err(ActorError::EmptyCorpus {
+                reason: "cannot train on an empty corpus".into(),
+            });
         }
         let ensemble_config = config.ensemble();
         let mut models = Vec::with_capacity(Configuration::TARGETS.len());
@@ -79,14 +81,12 @@ impl AnnPredictor {
 
     /// Serialises the trained predictor (all ensembles + event set) to JSON.
     pub fn to_json(&self) -> Result<String, ActorError> {
-        serde_json::to_string(self)
-            .map_err(|e| ActorError::Serialisation { reason: e.to_string() })
+        serde_json::to_string(self).map_err(|e| ActorError::Serialisation { reason: e.to_string() })
     }
 
     /// Restores a predictor from JSON.
     pub fn from_json(json: &str) -> Result<Self, ActorError> {
-        serde_json::from_str(json)
-            .map_err(|e| ActorError::Serialisation { reason: e.to_string() })
+        serde_json::from_str(json).map_err(|e| ActorError::Serialisation { reason: e.to_string() })
     }
 }
 

@@ -105,7 +105,12 @@ impl ActorRuntime {
 }
 
 impl RegionListener for ActorRuntime {
-    fn before_region(&self, phase: PhaseId, _requested: &Binding, _instance: u64) -> Option<Binding> {
+    fn before_region(
+        &self,
+        phase: PhaseId,
+        _requested: &Binding,
+        _instance: u64,
+    ) -> Option<Binding> {
         match &self.mode {
             ThrottleMode::Fixed { plan } => plan.get(&phase).cloned(),
             ThrottleMode::Search { candidates } => {
@@ -173,8 +178,11 @@ mod tests {
     #[test]
     fn search_mode_explores_then_locks_the_fastest_binding() {
         let shape = MachineShape::quad_core();
-        let candidates =
-            vec![Binding::packed(1, &shape), Binding::spread(2, &shape), Binding::packed(4, &shape)];
+        let candidates = vec![
+            Binding::packed(1, &shape),
+            Binding::spread(2, &shape),
+            Binding::packed(4, &shape),
+        ];
         let runtime = ActorRuntime::new(ThrottleMode::Search { candidates: candidates.clone() });
         let phase = PhaseId::new(7);
         let requested = Binding::packed(4, &shape);

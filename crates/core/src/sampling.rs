@@ -39,7 +39,10 @@ impl SamplingPlan {
     /// timestep). If that budget cannot cover a full rotation of the full
     /// event set, the reduced event set is used instead — mirroring the
     /// paper's treatment of FT, IS and MG.
-    pub fn for_benchmark(bench: &BenchmarkProfile, config: &ActorConfig) -> Result<Self, ActorError> {
+    pub fn for_benchmark(
+        bench: &BenchmarkProfile,
+        config: &ActorConfig,
+    ) -> Result<Self, ActorError> {
         config.validate()?;
         let total = bench.timesteps.max(1);
         let budget = ((config.sampling_budget * total as f64).floor() as usize).max(1);
@@ -86,7 +89,9 @@ pub fn sample_phase<R: Rng + ?Sized>(
         sampler.record_timestep(&exec.counters, plan.schedule.group(step));
     }
     EventRates::from_counters(&sampler.reconstruct(), &plan.event_set).ok_or_else(|| {
-        ActorError::EmptyCorpus { reason: format!("sampling phase {} produced no cycles", phase.name) }
+        ActorError::EmptyCorpus {
+            reason: format!("sampling phase {} produced no cycles", phase.name),
+        }
     })
 }
 
@@ -119,8 +124,11 @@ mod tests {
                 plan.uses_reduced_set(),
                 "{id} has few timesteps and should use the reduced event set"
             );
-            assert!(plan.sampling_fraction() <= config.sampling_budget + 1e-9,
-                "{id}: sampling fraction {} exceeds the 20% budget", plan.sampling_fraction());
+            assert!(
+                plan.sampling_fraction() <= config.sampling_budget + 1e-9,
+                "{id}: sampling fraction {} exceeds the 20% budget",
+                plan.sampling_fraction()
+            );
             assert!(plan.sample_timesteps >= 1);
         }
     }
@@ -153,8 +161,10 @@ mod tests {
         // Compare against the clean full-visibility simulation.
         let clean = machine.simulate_config(phase, Configuration::Four);
         let clean_rates = EventRates::from_counters(&clean.counters, &plan.event_set).unwrap();
-        assert!((rates.ipc() - clean_rates.ipc()).abs() / clean_rates.ipc() < 1e-9,
-            "with zero noise the multiplexed IPC matches the clean IPC");
+        assert!(
+            (rates.ipc() - clean_rates.ipc()).abs() / clean_rates.ipc() < 1e-9,
+            "with zero noise the multiplexed IPC matches the clean IPC"
+        );
         // Feature vectors have the same dimension and similar magnitudes.
         assert_eq!(rates.features().len(), clean_rates.features().len());
         for (a, b) in rates.features().into_iter().zip(clean_rates.features()) {

@@ -52,7 +52,8 @@ pub struct HeadlineNumbers {
 impl HeadlineNumbers {
     /// Entries as a markdown table (used by EXPERIMENTS.md generation).
     pub fn to_markdown(&self) -> String {
-        let mut out = String::from("| Claim | Paper | Reproduction | Unit |\n|---|---:|---:|---|\n");
+        let mut out =
+            String::from("| Claim | Paper | Reproduction | Unit |\n|---|---:|---:|---|\n");
         for e in &self.entries {
             out.push_str(&format!(
                 "| {} | {:.3} | {:.3} | {} |\n",
@@ -67,7 +68,8 @@ impl HeadlineNumbers {
         if self.entries.is_empty() {
             return 1.0;
         }
-        self.entries.iter().filter(|e| e.same_direction()).count() as f64 / self.entries.len() as f64
+        self.entries.iter().filter(|e| e.same_direction()).count() as f64
+            / self.entries.len() as f64
     }
 }
 

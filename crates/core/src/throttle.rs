@@ -64,8 +64,8 @@ pub fn select_configuration(
     let mut chosen = Configuration::SAMPLE;
     let mut best_ipc = sampled_ipc;
     for (config, ipc) in &ranked {
-        let better = *ipc > best_ipc
-            || (*ipc == best_ipc && config.num_threads() < chosen.num_threads());
+        let better =
+            *ipc > best_ipc || (*ipc == best_ipc && config.num_threads() < chosen.num_threads());
         if better {
             chosen = *config;
             best_ipc = *ipc;
@@ -118,7 +118,11 @@ mod tests {
     fn ties_prefer_fewer_threads() {
         let decision = select_configuration(
             2.0,
-            &[(Configuration::Three, 2.0), (Configuration::TwoLoose, 2.0), (Configuration::One, 2.0)],
+            &[
+                (Configuration::Three, 2.0),
+                (Configuration::TwoLoose, 2.0),
+                (Configuration::One, 2.0),
+            ],
         );
         assert_eq!(decision.chosen, Configuration::One, "equal IPC should favour fewer threads");
     }

@@ -27,11 +27,7 @@ impl MultiplexSchedule {
     /// clamped to one.
     pub fn new(events: &EventSet, registers: usize) -> Self {
         let registers = registers.max(1);
-        let groups = events
-            .events()
-            .chunks(registers)
-            .map(|chunk| chunk.to_vec())
-            .collect();
+        let groups = events.events().chunks(registers).map(|chunk| chunk.to_vec()).collect();
         Self { groups, registers }
     }
 
@@ -223,10 +219,7 @@ mod tests {
         for (i, e) in MONITORED_EVENTS.iter().enumerate() {
             let expected = (10.0 + i as f64) / 1000.0;
             let got = sampler.rate(*e).unwrap();
-            assert!(
-                (got - expected).abs() < 1e-12,
-                "{e}: got {got}, expected {expected}"
-            );
+            assert!((got - expected).abs() < 1e-12, "{e}: got {got}, expected {expected}");
         }
         // Reconstructed vector preserves rates when normalised.
         let rec = sampler.reconstruct();

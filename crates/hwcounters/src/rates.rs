@@ -30,11 +30,7 @@ impl EventRates {
             return None;
         }
         let ipc = counters.get(HwEvent::Instructions) / cycles;
-        let rates = events
-            .events()
-            .iter()
-            .map(|&e| (e, counters.get(e) / cycles))
-            .collect();
+        let rates = events.events().iter().map(|&e| (e, counters.get(e) / cycles)).collect();
         Some(Self { ipc, rates })
     }
 

@@ -129,12 +129,8 @@ impl BenchmarkProfile {
             self.id
         );
         let mut agg = AggregateExecution::new(format!("{} (per-phase)", self.id));
-        let per_timestep: Vec<PhaseExecution> = self
-            .phases
-            .iter()
-            .zip(choice)
-            .map(|(p, &c)| machine.simulate_config(p, c))
-            .collect();
+        let per_timestep: Vec<PhaseExecution> =
+            self.phases.iter().zip(choice).map(|(p, &c)| machine.simulate_config(p, c)).collect();
         for _ in 0..self.timesteps {
             for exec in &per_timestep {
                 agg.add(exec);
@@ -214,10 +210,7 @@ mod tests {
         // Phase 0 scales, phase 1 does not: a mixed choice must beat all-4
         // on energy-delay for this contrived benchmark.
         let static4 = b.simulate(&machine, Configuration::Four);
-        let mixed = b.simulate_per_phase(
-            &machine,
-            &[Configuration::Four, Configuration::TwoLoose],
-        );
+        let mixed = b.simulate_per_phase(&machine, &[Configuration::Four, Configuration::TwoLoose]);
         assert!(mixed.time_s <= static4.time_s * 1.05);
         assert!(mixed.instances == static4.instances);
     }

@@ -5,8 +5,8 @@
 //! iterative radix-2 Cooley-Tukey FFT; each batch sweep is one parallel
 //! region (the rows are independent, like FT's pencil transforms).
 
-use phase_rt::{Binding, PhaseId, Team};
 use parking_lot::Mutex;
+use phase_rt::{Binding, PhaseId, Team};
 
 /// Phase ids used by the FFT kernel.
 pub mod phases {
@@ -100,7 +100,10 @@ impl BatchFft {
                     .map(|i| {
                         let t = i as f64 / len as f64;
                         let f = (r % 7 + 1) as f64;
-                        ((2.0 * std::f64::consts::PI * f * t).sin(), (2.0 * std::f64::consts::PI * f * t).cos() * 0.5)
+                        (
+                            (2.0 * std::f64::consts::PI * f * t).sin(),
+                            (2.0 * std::f64::consts::PI * f * t).cos() * 0.5,
+                        )
                     })
                     .collect()
             })
@@ -126,8 +129,10 @@ impl BatchFft {
     /// Runs forward FFT → frequency-domain evolution → inverse FFT over the
     /// batch, returning the maximum absolute error against the original data
     /// when `evolve_factor` is 1.0 (a round-trip check).
+    #[allow(clippy::needless_range_loop)] // thread-chunked row indexing into shared buffers
     pub fn run(&self, team: &Team, binding: &Binding, evolve_factor: f64) -> f64 {
-        let transformed = self.batch_transform(team, binding, &self.data, false, phases::FFT_FORWARD);
+        let transformed =
+            self.batch_transform(team, binding, &self.data, false, phases::FFT_FORWARD);
 
         // Point-wise evolution in frequency space.
         let evolved: Vec<Vec<Complex>> = {
@@ -153,13 +158,15 @@ impl BatchFft {
         let mut max_err = 0.0f64;
         for (orig_row, back_row) in self.data.iter().zip(&back) {
             for (o, b) in orig_row.iter().zip(back_row) {
-                let err = ((o.0 * evolve_factor - b.0).abs()).max((o.1 * evolve_factor - b.1).abs());
+                let err =
+                    ((o.0 * evolve_factor - b.0).abs()).max((o.1 * evolve_factor - b.1).abs());
                 max_err = max_err.max(err);
             }
         }
         max_err
     }
 
+    #[allow(clippy::needless_range_loop)] // thread-chunked row indexing into shared buffers
     fn batch_transform(
         &self,
         team: &Team,

@@ -63,7 +63,8 @@ impl Multigrid {
             for c in 0..n {
                 let x = r as f64 / n as f64;
                 let y = c as f64 / n as f64;
-                rhs.data[r * n + c] = (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
+                rhs.data[r * n + c] =
+                    (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin();
             }
         }
         Self { n, rhs, pre_smooth: 2, post_smooth: 2 }
@@ -81,7 +82,8 @@ impl Multigrid {
         for _ in 0..cycles.max(1) {
             u = self.v_cycle(team, binding, u, &self.rhs);
             let r = self.residual(team, binding, &u, &self.rhs);
-            let norm = (r.data.iter().map(|v| v * v).sum::<f64>() / (self.n * self.n) as f64).sqrt();
+            let norm =
+                (r.data.iter().map(|v| v * v).sum::<f64>() / (self.n * self.n) as f64).sqrt();
             norms.push(norm);
         }
         norms

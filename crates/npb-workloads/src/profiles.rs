@@ -49,7 +49,7 @@ fn phase(
         branch_pki: 40.0 + l1_mpki * 0.3,
         branch_miss_ratio: 0.02 + (1.0 - prefetch) * 0.02,
         dtlb_mpki: l1_mpki / 25.0,
-        }
+    }
 }
 
 /// BT — block tri-diagonal solver. Compute-dominated line solves with good
@@ -221,15 +221,22 @@ mod tests {
             assert!(b.validate().is_ok(), "{} has an invalid phase", b.id);
             assert!(b.timesteps > 0);
             for p in &b.phases {
-                assert!(p.name.starts_with(&b.id.name().to_lowercase().replace("-", "-")) || !p.name.is_empty());
+                assert!(
+                    p.name.starts_with(&b.id.name().to_lowercase()),
+                    "phase {} should be named after its benchmark {}",
+                    p.name,
+                    b.id
+                );
             }
         }
     }
 
     #[test]
     fn corpus_has_59_phases_like_the_paper() {
-        let total: usize =
-            [bt(), cg(), ft(), is(), lu(), lu_hp(), mg(), sp()].iter().map(|b| b.num_phases()).sum();
+        let total: usize = [bt(), cg(), ft(), is(), lu(), lu_hp(), mg(), sp()]
+            .iter()
+            .map(|b| b.num_phases())
+            .sum();
         assert_eq!(total, 59);
     }
 

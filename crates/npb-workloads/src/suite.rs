@@ -71,10 +71,7 @@ pub fn scalability_study(machine: &Machine) -> Vec<ScalabilityRow> {
         .iter()
         .map(|b| ScalabilityRow {
             id: b.id,
-            by_config: Configuration::ALL
-                .iter()
-                .map(|&c| (c, b.simulate(machine, c)))
-                .collect(),
+            by_config: Configuration::ALL.iter().map(|&c| (c, b.simulate(machine, c))).collect(),
         })
         .collect()
 }
@@ -157,7 +154,8 @@ mod tests {
         // Paper: IS on 2b is 2.04x faster than on 2a, and 40% slower on 4 vs 1.
         let rows = study();
         let r = row(&rows, BenchmarkId::Is);
-        let ratio_tight = r.get(Configuration::TwoTight).time_s / r.get(Configuration::TwoLoose).time_s;
+        let ratio_tight =
+            r.get(Configuration::TwoTight).time_s / r.get(Configuration::TwoLoose).time_s;
         assert!(
             ratio_tight > 1.4,
             "IS tightly-coupled should be much slower than loosely-coupled, got {ratio_tight:.2}x"
@@ -199,12 +197,16 @@ mod tests {
         let bt = row(&rows, BenchmarkId::Bt);
         let bt_energy_ratio =
             bt.get(Configuration::One).energy_j / bt.get(Configuration::Four).energy_j;
-        assert!(bt_energy_ratio > 1.5, "BT four-core energy saving too small: {bt_energy_ratio:.2}");
+        assert!(
+            bt_energy_ratio > 1.5,
+            "BT four-core energy saving too small: {bt_energy_ratio:.2}"
+        );
         // IS/MG: four cores do not reduce energy relative to 2b.
         for id in [BenchmarkId::Is, BenchmarkId::Mg] {
             let r = row(&rows, id);
             assert!(
-                r.get(Configuration::Four).energy_j > r.get(Configuration::TwoLoose).energy_j * 0.95,
+                r.get(Configuration::Four).energy_j
+                    > r.get(Configuration::TwoLoose).energy_j * 0.95,
                 "{id}: four cores should not save energy over 2b"
             );
         }

@@ -125,7 +125,10 @@ mod tests {
         let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
         let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max > 2.0, "corpus should contain scalable phases (max speedup {max:.2})");
-        assert!(min < 1.5, "corpus should contain contention-limited phases (min speedup {min:.2})");
+        assert!(
+            min < 1.5,
+            "corpus should contain contention-limited phases (min speedup {min:.2})"
+        );
     }
 
     proptest! {

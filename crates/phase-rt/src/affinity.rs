@@ -143,10 +143,7 @@ mod tests {
     fn binding_validation() {
         let q = MachineShape::quad_core();
         assert_eq!(Binding::new(vec![], &q), Err(RtError::ZeroThreads));
-        assert_eq!(
-            Binding::new(vec![9], &q),
-            Err(RtError::InvalidCore { core: 9, num_cores: 4 })
-        );
+        assert_eq!(Binding::new(vec![9], &q), Err(RtError::InvalidCore { core: 9, num_cores: 4 }));
         assert_eq!(Binding::new(vec![1, 1], &q), Err(RtError::DuplicateCore { core: 1 }));
         assert!(Binding::new(vec![0, 2], &q).is_ok());
     }

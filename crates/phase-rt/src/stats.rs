@@ -51,11 +51,8 @@ impl RuntimeStats {
         let entry = phases.entry(event.phase).or_default();
         entry.executions += 1;
         entry.total_time += event.duration;
-        entry.min_time = if entry.executions == 1 {
-            event.duration
-        } else {
-            entry.min_time.min(event.duration)
-        };
+        entry.min_time =
+            if entry.executions == 1 { event.duration } else { entry.min_time.min(event.duration) };
         entry.max_time = entry.max_time.max(event.duration);
         entry.last_threads = event.binding.num_threads();
     }

@@ -150,11 +150,8 @@ impl Team {
         } else {
             std::thread::scope(|scope| {
                 for tid in 0..n {
-                    let ctx = WorkerCtx {
-                        thread_id: tid,
-                        num_threads: n,
-                        core: binding.cores()[tid],
-                    };
+                    let ctx =
+                        WorkerCtx { thread_id: tid, num_threads: n, core: binding.cores()[tid] };
                     let body = &body;
                     scope.spawn(move || body(ctx));
                 }
@@ -248,7 +245,7 @@ mod tests {
     fn region_body_can_borrow_stack_data() {
         let t = team();
         let shape = *t.shape();
-        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
         let sum = AtomicUsize::new(0);
         let binding = Binding::spread(2, &shape);
         t.run_region(PhaseId::new(2), &binding, |ctx| {

@@ -114,10 +114,7 @@ mod tests {
         assert!((b.utilisation(0.5 * b.bandwidth_bytes_per_s) - 0.5).abs() < 1e-9);
         assert!(b.utilisation(2.0 * b.bandwidth_bytes_per_s) <= b.max_utilisation);
         assert!(b.raw_utilisation(2.0 * b.bandwidth_bytes_per_s) > 1.9);
-        assert_eq!(
-            b.achievable_bandwidth(2.0 * b.bandwidth_bytes_per_s),
-            b.bandwidth_bytes_per_s
-        );
+        assert_eq!(b.achievable_bandwidth(2.0 * b.bandwidth_bytes_per_s), b.bandwidth_bytes_per_s);
         assert_eq!(b.achievable_bandwidth(1.0), 1.0);
     }
 

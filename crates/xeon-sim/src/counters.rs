@@ -166,12 +166,7 @@ impl CounterVector {
         if cycles <= 0.0 {
             return None;
         }
-        Some(
-            MONITORED_EVENTS
-                .iter()
-                .map(|&e| (e, self.get(e) / cycles))
-                .collect(),
-        )
+        Some(MONITORED_EVENTS.iter().map(|&e| (e, self.get(e) / cycles)).collect())
     }
 
     /// Instructions per cycle derived from the vector; `None` when no cycles

@@ -62,4 +62,6 @@ pub use params::{MachineParams, PowerParams};
 pub use phase::PhaseProfile;
 pub use power::{EnergyMeter, PowerBreakdown, PowerModel};
 pub use topology::{Configuration, CoreId, Placement, Topology};
-pub use trace::{interleave as interleave_traces, AccessKind, MemoryAccess, TraceGenerator, TracePattern};
+pub use trace::{
+    interleave as interleave_traces, AccessKind, MemoryAccess, TraceGenerator, TracePattern,
+};

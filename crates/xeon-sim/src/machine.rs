@@ -256,10 +256,7 @@ impl Machine {
         c.set(HwEvent::L2Misses, l2_misses);
         c.set(HwEvent::BusTransactions, l2_misses * writeback_factor + 0.5 * prefetches);
         c.set(HwEvent::BusBusyCycles, bus_utilisation * wall_cycles);
-        c.set(
-            HwEvent::MemStallCycles,
-            crit_instr * l2_mpki / 1000.0 * exposed_miss_cycles,
-        );
+        c.set(HwEvent::MemStallCycles, crit_instr * l2_mpki / 1000.0 * exposed_miss_cycles);
         c.set(HwEvent::DtlbMisses, instr * profile.dtlb_mpki / 1000.0);
         c.set(HwEvent::Branches, branches);
         c.set(HwEvent::BranchMisses, branches * profile.branch_miss_ratio);
@@ -287,10 +284,7 @@ mod tests {
 
     fn times_for(profile: &PhaseProfile) -> Vec<(Configuration, f64)> {
         let m = machine();
-        Configuration::ALL
-            .iter()
-            .map(|&c| (c, m.simulate_config(profile, c).time_s))
-            .collect()
+        Configuration::ALL.iter().map(|&c| (c, m.simulate_config(profile, c).time_s)).collect()
     }
 
     #[test]

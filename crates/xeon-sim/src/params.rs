@@ -186,21 +186,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut p = MachineParams::default();
-        p.clock_ghz = 0.0;
-        assert!(p.validate().is_err());
-
-        let mut p = MachineParams::default();
-        p.bus_max_utilisation = 1.5;
-        assert!(p.validate().is_err());
-
-        let mut p = MachineParams::default();
-        p.l2_size_kb = 0;
-        assert!(p.validate().is_err());
-
-        let mut p = MachineParams::default();
-        p.mlp = f64::NAN;
-        assert!(p.validate().is_err());
+        let bad = [
+            MachineParams { clock_ghz: 0.0, ..Default::default() },
+            MachineParams { bus_max_utilisation: 1.5, ..Default::default() },
+            MachineParams { l2_size_kb: 0, ..Default::default() },
+            MachineParams { mlp: f64::NAN, ..Default::default() },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?} should fail validation");
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl PhaseProfile {
             branch_pki: 60.0,
             branch_miss_ratio: 0.02,
             dtlb_mpki: 0.3,
-            }
+        }
     }
 
     /// A memory-bandwidth-bound template phase: streaming access, large

@@ -75,8 +75,7 @@ impl PowerModel {
     ) -> PowerBreakdown {
         let p = &self.params;
         let activity = (per_core_ipc.max(0.0) / p.core_ipc_ref).min(p.core_dynamic_cap);
-        let cores_w =
-            active_cores as f64 * (p.core_static_w + p.core_dynamic_max_w * activity);
+        let cores_w = active_cores as f64 * (p.core_static_w + p.core_dynamic_max_w * activity);
         PowerBreakdown {
             idle_w: p.system_idle_w,
             cores_w,
@@ -200,7 +199,9 @@ mod tests {
     fn dynamic_power_saturates_with_ipc() {
         let m = model();
         let hi = m.phase_power(4, 10.0, 2, 0.0, 0.0).total_w();
-        let cap = m.phase_power(4, m.params().core_ipc_ref * m.params().core_dynamic_cap, 2, 0.0, 0.0).total_w();
+        let cap = m
+            .phase_power(4, m.params().core_ipc_ref * m.params().core_dynamic_cap, 2, 0.0, 0.0)
+            .total_w();
         assert!((hi - cap).abs() < 1e-9, "IPC above the cap must not add power");
         let low = m.phase_power(4, 0.2, 2, 0.0, 0.0).total_w();
         assert!(low < hi);

@@ -41,7 +41,7 @@ impl Topology {
     /// Builds a topology, requiring at least one core and that the core count
     /// is a multiple of the L2 group size.
     pub fn new(num_cores: usize, cores_per_l2: usize) -> Result<Self, SimError> {
-        if num_cores == 0 || cores_per_l2 == 0 || num_cores % cores_per_l2 != 0 {
+        if num_cores == 0 || cores_per_l2 == 0 || !num_cores.is_multiple_of(cores_per_l2) {
             return Err(SimError::InvalidCacheConfig {
                 reason: format!(
                     "num_cores ({num_cores}) must be a positive multiple of cores_per_l2 ({cores_per_l2})"

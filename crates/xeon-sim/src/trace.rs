@@ -110,11 +110,8 @@ impl TraceGenerator {
                 }
             }
         };
-        let kind = if rng.gen_bool(self.write_fraction) {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
+        let kind =
+            if rng.gen_bool(self.write_fraction) { AccessKind::Write } else { AccessKind::Read };
         MemoryAccess { address: self.base_address + offset, kind }
     }
 
@@ -157,7 +154,8 @@ mod tests {
             if i > 0 && i % 64 != 0 {
                 // consecutive addresses differ by the stride (mod wraparound)
                 let prev = t[i - 1].address;
-                let diff = if a.address > prev { a.address - prev } else { prev + 4096 - a.address };
+                let diff =
+                    if a.address > prev { a.address - prev } else { prev + 4096 - a.address };
                 assert_eq!(diff % 64, 0);
             }
         }

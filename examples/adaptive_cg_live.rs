@@ -55,11 +55,7 @@ fn main() {
 
     println!("\nlocked per-phase decisions:");
     for (phase, binding) in runtime.decisions() {
-        println!(
-            "  {phase}: {} thread(s) on cores {:?}",
-            binding.num_threads(),
-            binding.cores()
-        );
+        println!("  {phase}: {} thread(s) on cores {:?}", binding.num_threads(), binding.cores());
     }
     team.clear_listener();
 

@@ -21,10 +21,14 @@ fn main() {
     let config = ActorConfig::fast();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let benchmarks = [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Sp]
-        .map(benchmark)
-        .to_vec();
-    println!("training leave-one-out models for {} benchmarks (fast config)...\n", benchmarks.len());
+    let benchmarks =
+        [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Sp]
+            .map(benchmark)
+            .to_vec();
+    println!(
+        "training leave-one-out models for {} benchmarks (fast config)...\n",
+        benchmarks.len()
+    );
     let study = run_adaptation_study_on(&machine, &config, &benchmarks, &mut rng)
         .expect("adaptation study");
 
@@ -56,7 +60,9 @@ fn main() {
         let summary: Vec<String> = bench
             .decisions
             .iter()
-            .map(|(phase, config)| format!("{}={}", phase.rsplit('.').next().unwrap_or(phase), config.label()))
+            .map(|(phase, config)| {
+                format!("{}={}", phase.rsplit('.').next().unwrap_or(phase), config.label())
+            })
             .collect();
         println!(
             "  {:6} (sampled {:.0}% of timesteps): {}",

@@ -27,12 +27,8 @@ fn main() {
         "best ED2 config",
     ]);
     for row in &report.rows {
-        let best_ed2 = row
-            .per_config
-            .iter()
-            .min_by(|a, b| a.ed2.partial_cmp(&b.ed2).unwrap())
-            .unwrap()
-            .config;
+        let best_ed2 =
+            row.per_config.iter().min_by(|a, b| a.ed2.partial_cmp(&b.ed2).unwrap()).unwrap().config;
         table.push_row(vec![
             row.id.name().to_string(),
             format!("{:.1}", row.get(Configuration::One).time_s),

@@ -14,7 +14,10 @@
 //!   cross-validation ensembles;
 //! * [`workloads`] (`npb-workloads`) — NPB phase profiles and live kernels;
 //! * [`actor`] (`actor-core`) — ACTOR itself: corpus building, ANN training,
-//!   sampling, throttling, oracles, baselines and the evaluation studies.
+//!   sampling, throttling, oracles, baselines and the evaluation studies;
+//! * [`cluster`] (`cluster-sched`) — the multi-node extension: a simulated
+//!   cluster of Xeon nodes scheduling NPB jobs under a shared power budget,
+//!   with an ANN-driven power-aware policy.
 //!
 //! See `examples/quickstart.rs` for the fastest path from nothing to a
 //! throttling decision, and the `actor-bench` crate for the binaries that
@@ -22,6 +25,7 @@
 
 pub use actor_core as actor;
 pub use annlib as ml;
+pub use cluster_sched as cluster;
 pub use hwcounters as counters;
 pub use npb_workloads as workloads;
 pub use phase_rt as rt;

@@ -32,7 +32,7 @@ fn shared_cache_miss_ratio(threads: usize, working_set_bytes: u64, accesses: usi
     // Warm-up pass, then measured pass.
     cache.run_trace(merged.iter().copied());
     cache.reset_stats();
-    let stats = cache.run_trace(merged.into_iter());
+    let stats = cache.run_trace(merged);
     stats.miss_ratio()
 }
 

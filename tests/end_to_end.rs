@@ -15,7 +15,9 @@ use actor_suite::actor::{ActorConfig, BenchmarkEvaluation};
 use actor_suite::sim::{Configuration, Machine};
 use actor_suite::workloads::{benchmark, BenchmarkId};
 
-fn run_pipeline() -> (Vec<BenchmarkEvaluation>, ActorConfig, Machine, Vec<actor_suite::workloads::BenchmarkProfile>) {
+fn run_pipeline(
+) -> (Vec<BenchmarkEvaluation>, ActorConfig, Machine, Vec<actor_suite::workloads::BenchmarkProfile>)
+{
     let machine = Machine::xeon_qx6600();
     let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
     let benchmarks = [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg]

@@ -54,10 +54,7 @@ fn fixed_plan_throttles_only_the_planned_phases() {
 
     // Force the multigrid smoothing phase onto one thread, leave the rest.
     let mut plan = HashMap::new();
-    plan.insert(
-        actor_suite::workloads::kernels::mg::phases::SMOOTH,
-        Binding::packed(1, &shape),
-    );
+    plan.insert(actor_suite::workloads::kernels::mg::phases::SMOOTH, Binding::packed(1, &shape));
     let runtime = Arc::new(ActorRuntime::new(ThrottleMode::Fixed { plan }));
     team.set_listener(runtime);
 
@@ -79,8 +76,12 @@ fn fixed_plan_throttles_only_the_planned_phases() {
 fn all_live_kernels_verify_under_every_binding() {
     let team = Team::new(4).unwrap();
     let shape = *team.shape();
-    let bindings =
-        [Binding::packed(1, &shape), Binding::packed(2, &shape), Binding::spread(2, &shape), Binding::packed(4, &shape)];
+    let bindings = [
+        Binding::packed(1, &shape),
+        Binding::packed(2, &shape),
+        Binding::spread(2, &shape),
+        Binding::packed(4, &shape),
+    ];
 
     let is = IntegerSort::new(20_000, 256, 11);
     let fft = BatchFft::new(16, 64);
@@ -114,9 +115,6 @@ fn runtime_statistics_accumulate_across_kernels() {
     assert!(total > std::time::Duration::ZERO);
 
     // Phases are identified by their stable ids.
-    assert!(team
-        .stats()
-        .phase(actor_suite::workloads::kernels::ft::phases::FFT_FORWARD)
-        .is_some());
+    assert!(team.stats().phase(actor_suite::workloads::kernels::ft::phases::FFT_FORWARD).is_some());
     let _ = PhaseId::new(0); // the public PhaseId type is usable downstream
 }

@@ -17,7 +17,8 @@ use actor_suite::workloads::{benchmark, BenchmarkId};
 fn trained_predictor() -> (AnnPredictor, TrainingCorpus) {
     let machine = Machine::xeon_qx6600();
     let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
-    let benches = vec![benchmark(BenchmarkId::Cg), benchmark(BenchmarkId::Is), benchmark(BenchmarkId::Mg)];
+    let benches =
+        vec![benchmark(BenchmarkId::Cg), benchmark(BenchmarkId::Is), benchmark(BenchmarkId::Mg)];
     let mut rng = StdRng::seed_from_u64(77);
     let corpus =
         TrainingCorpus::build(&machine, &benches, &EventSet::full(), 2, 0.05, &mut rng).unwrap();
@@ -40,7 +41,10 @@ fn predictor_round_trips_through_a_json_file() {
         // agree to float precision and decisions must agree exactly.
         for ((ca, va), (cb, vb)) in a.iter().zip(&b) {
             assert_eq!(ca, cb);
-            assert!((va - vb).abs() <= 1e-9 * va.abs().max(1.0), "prediction drifted: {va} vs {vb}");
+            assert!(
+                (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                "prediction drifted: {va} vs {vb}"
+            );
         }
         let da = select_configuration(sample.features[0], &a);
         let db = select_configuration(sample.features[0], &b);

@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`: same macro/builder surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkId`,
+//! `black_box`), minimal implementation — a short warm-up, a fixed number of
+//! timed iterations, and a mean-per-iteration report on stdout. Good enough
+//! to keep `cargo bench` runnable and to eyeball relative costs; not a
+//! statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, steering the optimizer away from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: u64,
+    warm_up: Duration,
+    /// Mean time per iteration, filled in by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_up_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Top-level harness state (sample counts, windows).
+pub struct Criterion {
+    sample_size: u64,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, warm_up: Duration::from_millis(100) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in times a fixed iteration
+    /// count instead of a measurement window.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher =
+            Bencher { samples: self.sample_size, warm_up: self.warm_up, mean_ns: 0.0 };
+        f(&mut bencher);
+        let mean = bencher.mean_ns;
+        let (value, unit) = if mean >= 1e9 {
+            (mean / 1e9, "s")
+        } else if mean >= 1e6 {
+            (mean / 1e6, "ms")
+        } else if mean >= 1e3 {
+            (mean / 1e3, "µs")
+        } else {
+            (mean, "ns")
+        };
+        println!("{id:<50} {value:>10.3} {unit}/iter ({} iters)", self.sample_size);
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let harness = Criterion {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up: self.criterion.warm_up,
+        };
+        harness.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirrors criterion's two macro syntaxes for declaring a group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Generates `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut criterion =
+            Criterion::default().sample_size(3).warm_up_time(Duration::from_millis(1));
+        sample_bench(&mut criterion);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        benches();
+    }
+}

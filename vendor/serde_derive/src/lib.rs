@@ -1,0 +1,428 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Written without `syn`/`quote` (no network, no deps): a small hand-rolled
+//! walk over the `TokenStream` extracts the type's shape — struct with named
+//! fields, tuple struct, or enum with unit/tuple/struct variants — and the
+//! impls are emitted as source text parsed back into a `TokenStream`.
+//!
+//! Limitations (checked, with clear panics): no generic parameters, no
+//! `#[serde(...)]` attributes. The workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    /// Named fields: `struct S { a: T, b: U }`.
+    Named(Vec<String>),
+    /// Tuple fields: `struct S(T, U);` — we only need the arity.
+    Tuple(usize),
+    /// No payload at all.
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type` field lists inside a brace group, returning the names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect `:`, then skip the type up to a top-level comma. Angle
+        // brackets appear as plain puncts, so track their depth explicitly.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (top-level comma-separated).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma: `(T,)` has one field.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && angle_depth == 0 {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct { name, fields: Fields::Named(parse_named_fields(g)) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct { name, fields: Fields::Tuple(count_tuple_fields(g)) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Shape::Struct { name, fields: Fields::Unit }
+            }
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g) }
+            }
+            other => panic!("serde derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let out = match &shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pushes: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "entries.push((\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_value(&self.{f})));\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}::serde::Value::Map(entries)"
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), {payload})]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push((\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                                 ::serde::Value::Map(inner))])\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    let extra = map_key_impl(&shape);
+    format!("{out}\n{extra}").parse().expect("serde derive: generated invalid Rust")
+}
+
+/// Fieldless enums can serve as JSON map keys; emit the `MapKey` impl.
+fn map_key_impl(shape: &Shape) -> String {
+    let Shape::Enum { name, variants } = shape else { return String::new() };
+    if !variants.iter().all(|v| matches!(v.fields, Fields::Unit)) {
+        return String::new();
+    }
+    format!(
+        "impl ::serde::MapKey for {name} {{\n\
+             fn to_key(&self) -> String {{\n\
+                 match ::serde::Serialize::to_value(self) {{\n\
+                     ::serde::Value::Str(s) => s,\n\
+                     _ => unreachable!(),\n\
+                 }}\n\
+             }}\n\
+             fn from_key(key: &str) -> Result<Self, ::serde::Error> {{\n\
+                 <Self as ::serde::Deserialize>::from_value(\
+                     &::serde::Value::Str(key.to_string()))\n\
+             }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let field_inits: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Map(_) => Ok({name} {{ {field_inits} }}),\n\
+                             other => Err(::serde::Error::type_mismatch(\"map\", other)),\n\
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match value {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({})),\n\
+                             other => Err(::serde::Error::type_mismatch(\"sequence\", other)),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("{{ let _ = value; Ok({name}) }}"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),\n", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match payload {{\n\
+                                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                                         Ok({name}::{vname}({})),\n\
+                                     other => Err(::serde::Error::type_mismatch(\
+                                         \"sequence\", other)),\n\
+                                 }},\n",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let field_inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         payload.get(\"{f}\").ok_or_else(|| \
+                                         ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {field_inits} }}),\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::type_mismatch(\
+                                 \"enum representation\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive: generated invalid Rust")
+}
