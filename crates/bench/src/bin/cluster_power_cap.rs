@@ -2,23 +2,22 @@
 //! and report per-job and cluster-level time/power/energy/ED².
 //!
 //! The cluster runs the full NPB mix under a shared power envelope; the
-//! `power-aware` policy uses ACTOR's ANN ensembles to throttle job phases
-//! into the available headroom, and is expected to beat `fcfs` on cluster
-//! ED² at the tightest budget. Prints tables to stdout, writes CSVs under
-//! `results/`, and emits the whole sweep (reports + rendered tables) as JSON
-//! to `results/cluster_power_cap.json`.
+//! `power-aware` policy consumes the workload model's ANN decisions through
+//! the `PowerPerfController` trait to throttle job phases into the available
+//! headroom, and is expected to beat `fcfs` on cluster ED² at the tightest
+//! budget. Prints tables to stdout, writes CSVs under `results/`, and emits
+//! the whole sweep (reports + rendered tables) as JSON to
+//! `results/cluster_power_cap.json`.
 //!
 //! Pass `--fast` to use the reduced ANN training configuration.
 
-use actor_bench::{config_from_args, emit, results_dir};
+use actor_bench::Harness;
 use actor_core::report::fmt3;
 use cluster_sched::{
     budget_from_fraction, cluster_summary_table, job_table, policy_by_name, simulate,
-    ClusterReport, ClusterSpec, WorkloadModel, WorkloadSpec,
+    ClusterReport, ClusterSpec, WorkloadSpec,
 };
-use npb_workloads::BenchmarkId;
 use serde::{Deserialize, Serialize};
-use xeon_sim::Machine;
 
 /// Budget tiers as fractions of the cluster's dynamic power range. The
 /// tightest tier still admits the widest four-core job (BT needs ~0.42), so
@@ -51,13 +50,11 @@ struct SweepOutput {
 }
 
 fn main() {
-    let config = config_from_args();
-    let machine = Machine::xeon_qx6600();
-    let idle_w = machine.params().power.system_idle_w;
+    let mut exp = Harness::from_env().experiment();
+    let idle_w = exp.machine().params().power.system_idle_w;
 
     eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
-    let model = WorkloadModel::build(&machine, &config, &BenchmarkId::ALL)
-        .expect("workload model construction failed");
+    let model = exp.workload_model().expect("workload model construction failed");
 
     let mut entries: Vec<SweepEntry> = Vec::new();
     let mut reports: Vec<ClusterReport> = Vec::new();
@@ -85,7 +82,7 @@ fn main() {
                     },
                     seed: WORKLOAD_SEED,
                 };
-                let mut policy = policy_by_name(policy_name).expect("known policy");
+                let mut policy = policy_by_name(policy_name, &model).expect("known policy");
                 let report = simulate(&spec, &model, policy.as_mut())
                     .unwrap_or_else(|e| panic!("{policy_name} on {nodes} nodes: {e}"));
                 eprintln!(
@@ -113,7 +110,7 @@ fn main() {
     }
 
     let summary = cluster_summary_table(&reports);
-    emit("cluster_power_cap", "Cluster power-cap sweep: all runs", &summary);
+    exp.emit("cluster_power_cap", "Cluster power-cap sweep: all runs", &summary);
 
     // The headline comparison: 8 nodes, tightest budget.
     let mut headline = actor_core::report::Table::new(vec![
@@ -141,26 +138,21 @@ fn main() {
             format!("{:+.1}%", (r.cluster_ed2() / fcfs_ed2 - 1.0) * 100.0),
         ]);
     }
-    emit("cluster_power_cap_tight8", "8 nodes, tight budget: the headline", &headline);
+    exp.emit("cluster_power_cap_tight8", "8 nodes, tight budget: the headline", &headline);
 
     let output =
         SweepOutput { workload_seed: WORKLOAD_SEED, entries, summary_table_csv: summary.to_csv() };
-    let path = results_dir().join("cluster_power_cap.json");
     let json = serde_json::to_string_pretty(&output).expect("sweep serializes");
-    if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("[wrote {}]", path.display());
-    }
+    exp.artifact("cluster_power_cap.json", &json);
 
     let aware_ed2 = tight_8
         .iter()
         .find(|r| r.policy == "power-aware")
         .map(|r| r.cluster_ed2())
         .expect("power-aware ran at the tight tier");
-    println!(
+    exp.note(&format!(
         "8 nodes @ tight budget: power-aware ED2 is {:+.1}% vs FCFS ({})",
         (aware_ed2 / fcfs_ed2 - 1.0) * 100.0,
         if aware_ed2 < fcfs_ed2 { "prediction-based throttling wins" } else { "UNEXPECTED" },
-    );
+    ));
 }

@@ -1,14 +1,13 @@
 //! Figure 1 — execution time of every NPB benchmark on each threading
 //! configuration (1, 2a, 2b, 3, 4), plus the derived speedups.
 
-use actor_bench::emit;
+use actor_bench::Harness;
 use actor_core::report::{fmt3, Table};
-use actor_core::scalability::scalability_report;
-use xeon_sim::{Configuration, Machine};
+use xeon_sim::Configuration;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let report = scalability_report(&machine);
+    let mut exp = Harness::from_env().experiment();
+    let report = exp.scalability().clone();
 
     let mut times = Table::new(vec!["benchmark", "1", "2a", "2b", "3", "4"]);
     let mut speedups = Table::new(vec!["benchmark", "2a", "2b", "3", "4", "best config"]);
@@ -22,11 +21,11 @@ fn main() {
         s.push(row.best_time().label().to_string());
         speedups.push_row(s);
     }
-    emit("fig1_exec_time", "Figure 1: execution time (s) by configuration", &times);
-    emit("fig1_speedups", "Figure 1 (derived): speedup over one core", &speedups);
+    exp.emit("fig1_exec_time", "Figure 1: execution time (s) by configuration", &times);
+    exp.emit("fig1_speedups", "Figure 1 (derived): speedup over one core", &speedups);
 
-    println!(
+    exp.note(&format!(
         "Scaling-class mean speedup on 4 cores (paper: 2.37x): {:.2}x",
         report.scaling_class_speedup()
-    );
+    ));
 }

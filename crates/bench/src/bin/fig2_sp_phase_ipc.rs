@@ -2,15 +2,14 @@
 //! configuration, demonstrating the per-phase scalability diversity that
 //! motivates phase-granularity adaptation.
 
-use actor_bench::emit;
+use actor_bench::Harness;
 use actor_core::report::{fmt3, Table};
-use actor_core::scalability::phase_ipc_study;
 use npb_workloads::BenchmarkId;
-use xeon_sim::{Configuration, Machine};
+use xeon_sim::Configuration;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let rows = phase_ipc_study(&machine, BenchmarkId::Sp);
+    let mut exp = Harness::from_env().experiment();
+    let rows = exp.phase_ipc(BenchmarkId::Sp);
 
     let mut table = Table::new(vec!["phase", "1", "2a", "2b", "3", "4", "best"]);
     for row in &rows {
@@ -27,9 +26,11 @@ fn main() {
         cells.push(row.best_config().label().to_string());
         table.push_row(cells);
     }
-    emit("fig2_sp_phase_ipc", "Figure 2: per-phase IPC of SP by configuration", &table);
+    exp.emit("fig2_sp_phase_ipc", "Figure 2: per-phase IPC of SP by configuration", &table);
 
     let max = rows.iter().map(|r| r.max_ipc()).fold(f64::MIN, f64::max);
     let min = rows.iter().map(|r| r.max_ipc()).fold(f64::MAX, f64::min);
-    println!("Max-IPC range across SP phases (paper: 0.32 .. 4.64): {min:.2} .. {max:.2}");
+    exp.note(&format!(
+        "Max-IPC range across SP phases (paper: 0.32 .. 4.64): {min:.2} .. {max:.2}"
+    ));
 }

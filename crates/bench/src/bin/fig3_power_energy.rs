@@ -1,14 +1,13 @@
 //! Figure 3 — whole-system power and energy per benchmark per configuration,
 //! plus the geometric-mean panel.
 
-use actor_bench::emit;
+use actor_bench::Harness;
 use actor_core::report::{fmt3, Table};
-use actor_core::scalability::scalability_report;
-use xeon_sim::{Configuration, Machine};
+use xeon_sim::Configuration;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let report = scalability_report(&machine);
+    let mut exp = Harness::from_env().experiment();
+    let report = exp.scalability().clone();
 
     let mut power = Table::new(vec!["benchmark", "1", "2a", "2b", "3", "4"]);
     let mut energy = Table::new(vec!["benchmark", "1", "2a", "2b", "3", "4"]);
@@ -22,8 +21,8 @@ fn main() {
         power.push_row(p);
         energy.push_row(e);
     }
-    emit("fig3_power", "Figure 3: average system power (W) by configuration", &power);
-    emit("fig3_energy", "Figure 3: energy (J) by configuration", &energy);
+    exp.emit("fig3_power", "Figure 3: average system power (W) by configuration", &power);
+    exp.emit("fig3_energy", "Figure 3: energy (J) by configuration", &energy);
 
     // Geometric-mean panel (normalised to the single-core execution).
     let mut geo = Table::new(vec!["metric", "1", "2a", "2b", "3", "4"]);
@@ -42,14 +41,14 @@ fn main() {
     }
     geo.push_row(power_row);
     geo.push_row(energy_row);
-    emit("fig3_geomean", "Figure 3 (bottom-right): geometric means across benchmarks", &geo);
+    exp.emit("fig3_geomean", "Figure 3 (bottom-right): geometric means across benchmarks", &geo);
 
-    println!(
+    exp.note(&format!(
         "Mean power growth 1->4 cores (paper: +14.2%): {:+.1}%",
         report.mean_power_growth() * 100.0
-    );
-    println!(
+    ));
+    exp.note(&format!(
         "Mean energy change 1->4 cores (paper: -0.7%): {:+.1}%",
         report.mean_energy_change() * 100.0
-    );
+    ));
 }

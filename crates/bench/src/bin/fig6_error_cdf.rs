@@ -4,33 +4,29 @@
 //!
 //! Pass `--fast` to use the reduced training configuration.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use actor_bench::{config_from_args, emit};
-use actor_core::accuracy::run_accuracy_study;
+use actor_bench::Harness;
 use actor_core::report::{fmt_pct, Table};
-use xeon_sim::Machine;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let config = config_from_args();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut exp = Harness::from_env().experiment();
 
     eprintln!("training leave-one-out ANN ensembles (use --fast for a quicker run)...");
-    let study = run_accuracy_study(&machine, &config, &mut rng).expect("accuracy study failed");
+    let study = exp.accuracy().expect("accuracy study failed");
 
     let mut table = Table::new(vec!["error threshold", "% of predictions at or below"]);
     for point in study.error_cdf() {
         table.push_row(vec![fmt_pct(point.threshold), fmt_pct(point.fraction)]);
     }
-    emit("fig6_error_cdf", "Figure 6: CDF of IPC prediction error", &table);
+    exp.emit("fig6_error_cdf", "Figure 6: CDF of IPC prediction error", &table);
 
-    println!("Median prediction error (paper: 9.1%): {}", fmt_pct(study.median_error()));
-    println!("Predictions with <5% error (paper: 29.2%): {}", fmt_pct(study.fraction_below(0.05)));
-    println!(
+    exp.note(&format!("Median prediction error (paper: 9.1%): {}", fmt_pct(study.median_error())));
+    exp.note(&format!(
+        "Predictions with <5% error (paper: 29.2%): {}",
+        fmt_pct(study.fraction_below(0.05))
+    ));
+    exp.note(&format!(
         "Predictions evaluated: {} ({} phases x 4 targets)",
         study.records.len(),
         study.phases
-    );
+    ));
 }

@@ -4,39 +4,32 @@
 //!
 //! Pass `--fast` to use the reduced training configuration.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use actor_bench::{config_from_args, emit};
-use actor_core::accuracy::run_accuracy_study;
+use actor_bench::Harness;
 use actor_core::report::{fmt_pct, Table};
-use xeon_sim::Machine;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let config = config_from_args();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut exp = Harness::from_env().experiment();
 
     eprintln!("training leave-one-out ANN ensembles (use --fast for a quicker run)...");
-    let study = run_accuracy_study(&machine, &config, &mut rng).expect("accuracy study failed");
+    let study = exp.accuracy().expect("accuracy study failed");
 
     let fractions = study.rank_fractions();
     let mut table = Table::new(vec!["selected configuration rank", "% of phases"]);
     for (i, f) in fractions.iter().enumerate() {
         table.push_row(vec![format!("{}", i + 1), fmt_pct(*f)]);
     }
-    emit("fig7_rank_accuracy", "Figure 7: rank of the selected configuration", &table);
+    exp.emit("fig7_rank_accuracy", "Figure 7: rank of the selected configuration", &table);
 
-    println!(
+    exp.note(&format!(
         "Best configuration selected (paper: 59.3%): {}",
         fmt_pct(study.best_selection_rate())
-    );
-    println!(
+    ));
+    exp.note(&format!(
         "Best or second-best selected (paper: 88.1%): {}",
         fmt_pct(fractions[0] + fractions[1])
-    );
-    println!(
+    ));
+    exp.note(&format!(
         "Worst configuration selected (paper: never): {}",
         fmt_pct(study.worst_selection_rate())
-    );
+    ));
 }

@@ -2,19 +2,20 @@
 //! adaptation compared to the 4-core default and the global/phase-optimal
 //! oracles, all normalised to the 4-core execution.
 //!
-//! Pass `--fast` to use the reduced training configuration.
+//! Every bar is a `PowerPerfController` behind the experiment façade; pass
+//! `--fast` to use the reduced training configuration.
 
-use actor_bench::{config_from_args, emit};
-use actor_core::adaptation::{run_adaptation_study_seeded, Metric, Strategy};
+use actor_bench::Harness;
+use actor_core::adaptation::{Metric, Strategy};
 use actor_core::report::{fmt3, fmt_pct, Table};
-use xeon_sim::Machine;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let config = config_from_args();
+    let mut exp = Harness::from_env().experiment();
 
-    eprintln!("training leave-one-out ANN ensembles and running adaptation (use --fast for a quicker run)...");
-    let study = run_adaptation_study_seeded(&machine, &config).expect("adaptation study failed");
+    eprintln!(
+        "training leave-one-out ANN ensembles and running adaptation (use --fast for a quicker run)..."
+    );
+    let study = exp.adaptation().expect("adaptation study failed");
 
     for metric in Metric::ALL {
         let mut table = Table::new(vec![
@@ -37,7 +38,7 @@ fn main() {
         }
         table.push_row(avg);
         let name = format!("fig8_{}", metric.label().to_lowercase().replace(' ', "_"));
-        emit(&name, &format!("Figure 8: normalised {}", metric.label()), &table);
+        exp.emit(&name, &format!("Figure 8: normalised {}", metric.label()), &table);
     }
 
     // Per-phase decisions ACTOR took.
@@ -51,24 +52,24 @@ fn main() {
             ]);
         }
     }
-    emit("fig8_decisions", "Figure 8 (supplement): ACTOR's per-phase decisions", &decisions);
+    exp.emit("fig8_decisions", "Figure 8 (supplement): ACTOR's per-phase decisions", &decisions);
 
-    println!("Prediction vs 4 cores  (paper: time -6.5%, power +1.5%, energy -5.2%, ED2 -17.2%):");
-    println!(
+    exp.note("Prediction vs 4 cores  (paper: time -6.5%, power +1.5%, energy -5.2%, ED2 -17.2%):");
+    exp.note(&format!(
         "  time {} | power {} | energy {} | ED2 {}",
         fmt_pct(study.average_normalised(Strategy::Prediction, Metric::Time) - 1.0),
         fmt_pct(study.average_normalised(Strategy::Prediction, Metric::Power) - 1.0),
         fmt_pct(study.average_normalised(Strategy::Prediction, Metric::Energy) - 1.0),
         fmt_pct(study.average_normalised(Strategy::Prediction, Metric::Ed2) - 1.0),
-    );
-    println!(
+    ));
+    exp.note(&format!(
         "Phase-optimal ED2 vs 4 cores (paper: -29.0%): {}",
         fmt_pct(study.average_normalised(Strategy::PhaseOptimal, Metric::Ed2) - 1.0)
-    );
+    ));
     if let Some(is) = study.benchmark(npb_workloads::BenchmarkId::Is) {
-        println!(
+        exp.note(&format!(
             "IS ED2 through prediction (paper: -71.6%): {}",
             fmt_pct(is.normalised(Strategy::Prediction, Metric::Ed2) - 1.0)
-        );
+        ));
     }
 }

@@ -5,14 +5,16 @@
 //! projection of the same microarchitecture and reports where each benchmark
 //! stops scaling.
 
-use actor_bench::emit;
+use actor_bench::Harness;
 use actor_core::report::{fmt3, Table};
 use npb_workloads::nas_suite;
 use xeon_sim::{Machine, MachineParams, Placement, Topology};
 
 fn main() {
     let topo = Topology::new(8, 2).expect("valid topology");
-    let machine = Machine::new(topo, MachineParams::xeon_qx6600()).expect("valid machine");
+    let eight_core = Machine::new(topo, MachineParams::xeon_qx6600()).expect("valid machine");
+    let mut exp =
+        Harness::from_env().builder().machine(eight_core).run().expect("valid experiment");
     let quad = Machine::xeon_qx6600();
 
     let thread_counts = [1usize, 2, 4, 6, 8];
@@ -30,11 +32,12 @@ fn main() {
     for bench in nas_suite() {
         let mut times = Vec::new();
         for &threads in &thread_counts {
-            let placement = Placement::spread(threads, machine.topology()).expect("placement");
+            let placement =
+                Placement::spread(threads, exp.machine().topology()).expect("placement");
             let total: f64 = bench
                 .phases
                 .iter()
-                .map(|p| machine.simulate_phase(p, &placement).time_s)
+                .map(|p| exp.machine().simulate_phase(p, &placement).time_s)
                 .sum::<f64>()
                 * bench.timesteps as f64;
             times.push((threads, total));
@@ -64,10 +67,10 @@ fn main() {
         cells.push(quad_best.to_string());
         table.push_row(cells);
     }
-    emit(
+    exp.emit(
         "manycore_projection",
         "Extension: speedup over 1 thread on an 8-core projection (spread placements)",
         &table,
     );
-    println!("Columns 1..8 are speedups relative to one thread on the 8-core machine.");
+    exp.note("Columns 1..8 are speedups relative to one thread on the 8-core machine.");
 }

@@ -4,48 +4,36 @@
 //!
 //! Pass `--fast` to use the reduced training configuration, or
 //! `--scalability-only` to skip the (training-heavy) prediction and
-//! adaptation studies.
+//! adaptation studies. The accuracy and adaptation studies share one cached
+//! leave-one-out training pass through the experiment façade.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use actor_bench::{config_from_args, results_dir};
-use actor_core::accuracy::run_accuracy_study;
-use actor_core::adaptation::run_adaptation_study;
-use actor_core::scalability::scalability_report;
+use actor_bench::Harness;
 use actor_core::summary::paper_comparison;
-use xeon_sim::Machine;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
-    let config = config_from_args();
-    let scalability_only = std::env::args().any(|a| a == "--scalability-only");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let harness = Harness::from_env();
+    let mut exp = harness.experiment();
 
-    let scalability = scalability_report(&machine);
-    let (accuracy, adaptation) = if scalability_only {
+    let scalability = exp.scalability().clone();
+    let (accuracy, adaptation) = if harness.args.scalability_only {
         (None, None)
     } else {
         eprintln!(
             "training leave-one-out ANN ensembles (use --fast or --scalability-only to shorten)..."
         );
-        let acc = run_accuracy_study(&machine, &config, &mut rng).expect("accuracy study failed");
-        let adapt =
-            run_adaptation_study(&machine, &config, &mut rng).expect("adaptation study failed");
+        let acc = exp.accuracy().expect("accuracy study failed");
+        let adapt = exp.adaptation().expect("adaptation study failed");
         (Some(acc), Some(adapt))
     };
 
     let headline = paper_comparison(&scalability, accuracy.as_ref(), adaptation.as_ref());
-    println!("== Paper vs reproduction: headline numbers ==\n");
-    println!("{}", headline.to_markdown());
-    println!(
+    exp.note("== Paper vs reproduction: headline numbers ==\n");
+    exp.note(&headline.to_markdown());
+    exp.note(&format!(
         "Directional agreement with the paper: {:.0}% of {} claims",
         headline.direction_agreement() * 100.0,
         headline.entries.len()
-    );
+    ));
 
-    let path = results_dir().join("summary_stats.md");
-    if std::fs::write(&path, headline.to_markdown()).is_ok() {
-        println!("[wrote {}]", path.display());
-    }
+    exp.artifact("summary_stats.md", &headline.to_markdown());
 }

@@ -1,0 +1,215 @@
+//! The shared harness behind every figure binary: command-line arguments,
+//! seed handling, and the standard [`Reporter`] that prints tables to stdout
+//! and persists CSV/JSON artefacts under `results/`.
+//!
+//! Before this harness existed every binary re-wired machine, configuration,
+//! RNG seeding and output writing by hand; now a binary is three lines of
+//! setup:
+//!
+//! ```no_run
+//! use actor_bench::Harness;
+//!
+//! let mut exp = Harness::from_env().experiment();
+//! let report = exp.scalability().clone();
+//! // ... build tables, then exp.emit(name, heading, &table)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use actor_core::report::{Reporter, StdoutReporter, Table};
+use actor_core::ActorConfig;
+use actor_suite::{Experiment, ExperimentBuilder};
+
+/// Command-line arguments shared by every figure binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--fast`: use the reduced training configuration.
+    pub fast: bool,
+    /// `--scalability-only`: skip the training-heavy studies.
+    pub scalability_only: bool,
+    /// `--seed N`: override the configuration seed.
+    pub seed: Option<u64>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (unknown flags are ignored, so binaries
+    /// can add their own).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests). A `--seed` without a
+    /// parseable value warns and is ignored; it never swallows a following
+    /// flag.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => out.fast = true,
+                "--scalability-only" => out.scalability_only = true,
+                "--seed" => match args.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = args.next().expect("just peeked");
+                        match v.parse() {
+                            Ok(seed) => out.seed = Some(seed),
+                            Err(_) => eprintln!(
+                                "warning: ignoring unparseable --seed value {v:?} (expected u64)"
+                            ),
+                        }
+                    }
+                    _ => eprintln!("warning: --seed requires a value; using the config seed"),
+                },
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The ACTOR configuration these arguments select: the paper
+    /// configuration by default, the fast one under `--fast`, with the seed
+    /// override applied.
+    pub fn config(&self) -> ActorConfig {
+        let mut config = if self.fast { ActorConfig::fast() } else { ActorConfig::default() };
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+}
+
+/// The standard benchmark reporter: tables go to stdout *and* to
+/// `results/<name>.csv`; artefacts go to `results/<filename>`; notes go to
+/// stdout. IO errors are reported but not fatal (the printed output is the
+/// primary artefact).
+#[derive(Debug, Clone)]
+pub struct FileReporter {
+    dir: PathBuf,
+}
+
+impl Default for FileReporter {
+    fn default() -> Self {
+        Self::new(PathBuf::from("results"))
+    }
+}
+
+impl FileReporter {
+    /// Writes artefacts under `dir` (created on demand).
+    pub fn new(dir: PathBuf) -> Self {
+        Self { dir }
+    }
+
+    /// The artefact directory, created on demand.
+    pub fn dir(&self) -> &PathBuf {
+        let _ = fs::create_dir_all(&self.dir);
+        &self.dir
+    }
+
+    fn write(&self, filename: &str, contents: &str) {
+        let path = self.dir().join(filename);
+        if let Err(e) = fs::write(&path, contents) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[wrote {}]", path.display());
+        }
+    }
+}
+
+impl Reporter for FileReporter {
+    fn table(&mut self, name: &str, heading: &str, table: &Table) {
+        // One definition of the console format: delegate, then persist.
+        StdoutReporter.table(name, heading, table);
+        self.write(&format!("{name}.csv"), &table.to_csv());
+    }
+
+    fn note(&mut self, line: &str) {
+        StdoutReporter.note(line);
+    }
+
+    fn artifact(&mut self, filename: &str, contents: &str) {
+        self.write(filename, contents);
+    }
+}
+
+/// Argument parsing + experiment construction for one figure binary.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// The parsed arguments.
+    pub args: BenchArgs,
+}
+
+impl Harness {
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self { args: BenchArgs::from_env() }
+    }
+
+    /// An [`ExperimentBuilder`] pre-loaded with the paper machine, the
+    /// argument-selected configuration and the standard file reporter.
+    pub fn builder(&self) -> ExperimentBuilder {
+        ExperimentBuilder::new()
+            .config(self.args.config())
+            .reporter(Box::new(FileReporter::default()))
+    }
+
+    /// The default experiment (full NAS suite on the paper machine); panics
+    /// with a readable message on invalid configuration, which cannot happen
+    /// from the recognised command-line flags.
+    pub fn experiment(&self) -> Experiment {
+        self.builder().run().expect("the harness defaults form a valid experiment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_known_flags_and_ignore_unknown_ones() {
+        let args = BenchArgs::parse(
+            ["--fast", "--whatever", "--seed", "99", "--scalability-only"].map(String::from),
+        );
+        assert!(args.fast && args.scalability_only);
+        assert_eq!(args.seed, Some(99));
+        let config = args.config();
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.predictor.folds, ActorConfig::fast().predictor.folds);
+
+        let defaults = BenchArgs::parse([]);
+        assert_eq!(defaults, BenchArgs::default());
+        assert_eq!(defaults.config().seed, ActorConfig::default().seed);
+    }
+
+    #[test]
+    fn seed_never_swallows_a_following_flag() {
+        // `--seed --fast`: the missing value is reported, --fast still wins.
+        let args = BenchArgs::parse(["--seed", "--fast"].map(String::from));
+        assert_eq!(args.seed, None);
+        assert!(args.fast);
+
+        // Unparseable values are ignored, not silently mis-set.
+        let args = BenchArgs::parse(["--seed", "0x2A", "--fast"].map(String::from));
+        assert_eq!(args.seed, None);
+        assert!(args.fast);
+
+        // Trailing --seed with no value at all.
+        let args = BenchArgs::parse(["--fast", "--seed"].map(String::from));
+        assert_eq!(args.seed, None);
+        assert!(args.fast);
+    }
+
+    #[test]
+    fn file_reporter_writes_tables_and_artifacts() {
+        let dir = std::env::temp_dir().join("actor_bench_reporter_test");
+        let mut reporter = FileReporter::new(dir.clone());
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        reporter.table("unit_test_table", "unit test", &t);
+        reporter.artifact("unit_test.json", "{}");
+        let csv = fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
+        assert!(csv.contains("a,b"));
+        assert_eq!(fs::read_to_string(dir.join("unit_test.json")).unwrap(), "{}");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

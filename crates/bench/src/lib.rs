@@ -14,72 +14,18 @@
 //! | `summary_stats` | the headline numbers quoted in Sections III & V |
 //! | `ablation_predictors` | ANN vs linear regression vs empirical search |
 //! | `manycore_projection` | extension: the same study on an 8-core machine |
+//! | `cluster_power_cap` | extension: N-node cluster under a power budget |
 //!
-//! Every binary prints an aligned table to stdout and writes a CSV next to it
-//! under `results/` so the figures can be re-plotted. Pass `--fast` to any
-//! training-heavy binary to use the reduced training configuration.
+//! Every binary goes through the shared [`harness`]: arguments are parsed by
+//! [`BenchArgs`] (`--fast`, `--scalability-only`, `--seed N`), the studies
+//! run through `actor_suite::ExperimentBuilder`, and all output is routed
+//! through the [`FileReporter`] — aligned tables on stdout plus CSV/JSON
+//! artefacts under `results/` for re-plotting.
 //!
 //! `benches/micro.rs` holds the Criterion microbenchmarks backing the paper's
 //! overhead arguments (prediction is cheap; search scales with the number of
 //! configurations).
 
-use std::fs;
-use std::path::PathBuf;
+pub mod harness;
 
-use actor_core::report::Table;
-use actor_core::ActorConfig;
-
-/// Returns the ACTOR configuration selected by the command line: the paper
-/// configuration by default, the fast one when `--fast` is passed.
-pub fn config_from_args() -> ActorConfig {
-    if std::env::args().any(|a| a == "--fast") {
-        ActorConfig::fast()
-    } else {
-        ActorConfig::default()
-    }
-}
-
-/// Directory where CSV outputs are written (`results/`, created on demand).
-pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from("results");
-    let _ = fs::create_dir_all(&dir);
-    dir
-}
-
-/// Prints a table to stdout under a heading and also writes it as CSV into
-/// `results/<name>.csv`. IO errors are reported but not fatal (the printed
-/// table is the primary artefact).
-pub fn emit(name: &str, heading: &str, table: &Table) {
-    println!("== {heading} ==");
-    println!("{}", table.to_text());
-    let path = results_dir().join(format!("{name}.csv"));
-    if let Err(e) = fs::write(&path, table.to_csv()) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("[wrote {}]", path.display());
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn config_defaults_to_paper_settings() {
-        // The test harness passes its own arguments, none of which are
-        // `--fast`, so the default path is exercised here.
-        let c = config_from_args();
-        assert_eq!(c.predictor.folds, ActorConfig::default().predictor.folds);
-    }
-
-    #[test]
-    fn emit_writes_csv() {
-        let mut t = Table::new(vec!["a", "b"]);
-        t.push_row(vec!["1", "2"]);
-        emit("unit_test_table", "unit test", &t);
-        let path = results_dir().join("unit_test_table.csv");
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.contains("a,b"));
-        let _ = std::fs::remove_file(path);
-    }
-}
+pub use harness::{BenchArgs, FileReporter, Harness};

@@ -1,6 +1,39 @@
-//! Error type for the cluster scheduler.
+//! Error types for the cluster scheduler.
 
 use std::fmt;
+
+use crate::policy::POLICY_NAMES;
+
+/// Failures constructing a scheduling policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// No policy is registered under the requested name.
+    UnknownPolicy {
+        /// What was asked for.
+        requested: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::UnknownPolicy { requested } => write!(
+                f,
+                "unknown scheduling policy {requested:?}; valid policies are: {}",
+                POLICY_NAMES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<SchedError> for ClusterError {
+    fn from(e: SchedError) -> Self {
+        ClusterError::InvalidSpec { reason: e.to_string() }
+    }
+}
 
 /// Failures constructing or running a cluster simulation.
 #[derive(Debug, Clone, PartialEq)]

@@ -22,8 +22,10 @@
 //!   ACTOR's leave-one-out evaluation pipeline: per phase, the ANN throttle
 //!   decision plus machine-model time/power/energy for every configuration.
 //! * [`policy`] — the [`policy::SchedulerPolicy`] trait and three built-ins:
-//!   strict FCFS, EASY backfill, and the ACTOR-driven power-aware policy.
-//!   New policies are one file each.
+//!   strict FCFS, EASY backfill, and the power-aware policy — the latter
+//!   generic over any [`actor_core::PowerPerfController`], so the ANN
+//!   ensembles, an oracle or a static baseline drop into the cluster loop
+//!   interchangeably. New policies are one file each.
 //! * [`cluster`] — the discrete-event loop, cap enforcement, and
 //!   [`cluster::ClusterReport`]; [`tables`] renders per-job and
 //!   cluster-level reports as [`actor_core::report::Table`]s.
@@ -37,12 +39,12 @@ pub mod profile;
 pub mod tables;
 
 pub use cluster::{budget_from_fraction, simulate, Cluster, ClusterReport, ClusterSpec};
-pub use error::ClusterError;
+pub use error::{ClusterError, SchedError};
 pub use job::{Job, JobOutcome, WorkloadSpec};
 pub use node::{binding_for, Node};
 pub use policy::{
     policy_by_name, Assignment, BackfillPolicy, FcfsPolicy, PowerAwarePolicy, SchedContext,
-    SchedulerPolicy,
+    SchedulerPolicy, POLICY_NAMES,
 };
 pub use profile::{ExecutionPlan, WorkloadModel};
 pub use tables::{cluster_summary_table, job_table};

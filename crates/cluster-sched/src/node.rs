@@ -49,15 +49,9 @@ pub struct Node {
 }
 
 /// Maps a paper configuration onto a live-runtime binding for a node-local
-/// `phase_rt` team.
+/// `phase_rt` team (the canonical mapping shared with the controller layer).
 pub fn binding_for(config: Configuration, shape: &MachineShape) -> Binding {
-    match config {
-        Configuration::One => Binding::packed(1, shape),
-        Configuration::TwoTight => Binding::packed(2, shape),
-        Configuration::TwoLoose => Binding::spread(2, shape),
-        Configuration::Three => Binding::spread(3, shape),
-        Configuration::Four => Binding::packed(shape.num_cores, shape),
-    }
+    actor_core::controller::binding_for(config, shape)
 }
 
 impl Node {

@@ -11,17 +11,25 @@
 //! * [`BackfillPolicy`] — EASY backfill: a reservation is computed for the
 //!   blocked head job, and later jobs may jump ahead only if they finish
 //!   before that reservation (they cannot delay the head).
-//! * [`PowerAwarePolicy`] — ACTOR-driven: per job phase, the ANN-predicted
-//!   highest-throughput configuration that fits the remaining power headroom;
-//!   memory-bound phases throttle down, freeing budget for more concurrent
-//!   jobs.
+//! * [`PowerAwarePolicy`] — controller-driven: generic over any
+//!   [`PowerPerfController`]; per job phase it observes the phase's sampling
+//!   window and asks the controller for the best configuration under the
+//!   per-node share of the remaining power headroom. With the default
+//!   [`DecisionTableController`] (the model's ANN decisions) this is ACTOR's
+//!   prediction path; an oracle or static controller drops in unchanged.
 //!
 //! Jobs are gang-scheduled: a k-node job needs k idle nodes at once, draws
 //! k × its per-node plan peak, and every node runs the same plan.
 
+use actor_core::controller::{
+    CandidatePerf, DecisionCtx, DecisionTableController, PowerPerfController,
+};
+use phase_rt::{MachineShape, PhaseId};
+use xeon_sim::Configuration;
+
+use crate::error::SchedError;
 use crate::job::Job;
 use crate::profile::{ExecutionPlan, WorkloadModel};
-use xeon_sim::Configuration;
 
 /// A running job as policies see it (for reservations).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,13 +100,35 @@ pub trait SchedulerPolicy {
     fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment>;
 }
 
-/// Builds the policy named `name` (`"fcfs"`, `"backfill"`, `"power-aware"`).
-pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulerPolicy>> {
+/// Every name [`policy_by_name`] accepts.
+pub const POLICY_NAMES: [&str; 3] = ["fcfs", "backfill", "power-aware"];
+
+/// Builds the policy named `name` (see [`POLICY_NAMES`]). The workload model
+/// supplies the decision table behind the power-aware policy's default
+/// controller. Unknown names report the valid ones:
+///
+/// ```
+/// # use cluster_sched::policy_by_name;
+/// # use cluster_sched::WorkloadModel;
+/// # use actor_core::ActorConfig;
+/// # use npb_workloads::BenchmarkId;
+/// # use xeon_sim::Machine;
+/// # let machine = Machine::xeon_qx6600();
+/// # let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+/// # let ids = [BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Bt];
+/// # let model = WorkloadModel::build(&machine, &config, &ids).unwrap();
+/// let err = policy_by_name("lottery", &model).err().expect("unknown policy");
+/// assert!(err.to_string().contains("fcfs, backfill, power-aware"));
+/// ```
+pub fn policy_by_name(
+    name: &str,
+    model: &WorkloadModel,
+) -> Result<Box<dyn SchedulerPolicy>, SchedError> {
     match name {
-        "fcfs" => Some(Box::new(FcfsPolicy)),
-        "backfill" => Some(Box::new(BackfillPolicy)),
-        "power-aware" => Some(Box::new(PowerAwarePolicy)),
-        _ => None,
+        "fcfs" => Ok(Box::new(FcfsPolicy)),
+        "backfill" => Ok(Box::new(BackfillPolicy)),
+        "power-aware" => Ok(Box::new(PowerAwarePolicy::from_model(model))),
+        _ => Err(SchedError::UnknownPolicy { requested: name.to_string() }),
     }
 }
 
@@ -247,21 +277,102 @@ impl SchedulerPolicy for BackfillPolicy {
     }
 }
 
-/// ACTOR-driven power-aware scheduling: per phase, the predicted-best
-/// configuration that fits the remaining headroom.
-#[derive(Debug, Default)]
-pub struct PowerAwarePolicy;
+/// Controller-driven power-aware scheduling: per phase, whatever
+/// configuration the wrapped [`PowerPerfController`] decides under the
+/// per-node share of the current headroom.
+///
+/// With the default [`DecisionTableController`] built from the workload
+/// model (the ANN ensembles' offline decisions) this reproduces ACTOR's
+/// prediction path; swapping in an [`actor_core::OracleController`] or
+/// [`actor_core::StaticController`] changes the decision-maker without
+/// touching the scheduling mechanics — the policy feeds each phase's
+/// sampling window to the controller exactly once (the model has one
+/// sampling window per phase; replaying it at every scheduling event would
+/// corrupt exploration-counting controllers), asks for a decision, and the
+/// cluster's cap enforcement handles the rest.
+#[derive(Debug)]
+pub struct PowerAwarePolicy<C: PowerPerfController = DecisionTableController> {
+    controller: C,
+    shape: MachineShape,
+    observed: std::collections::HashSet<PhaseId>,
+}
 
-impl SchedulerPolicy for PowerAwarePolicy {
+impl PowerAwarePolicy<DecisionTableController> {
+    /// The standard ACTOR-driven policy: the model's ANN decisions.
+    pub fn from_model(model: &WorkloadModel) -> Self {
+        Self::new(model.decision_table())
+    }
+}
+
+impl<C: PowerPerfController> PowerAwarePolicy<C> {
+    /// Wraps an arbitrary controller.
+    pub fn new(controller: C) -> Self {
+        Self {
+            controller,
+            shape: MachineShape::quad_core(),
+            observed: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The wrapped controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+}
+
+impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
     fn name(&self) -> &'static str {
         "power-aware"
     }
 
     fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
-        // Ask the ANN ensembles for the best configuration per phase under
-        // the per-node share of the current headroom. If not even
-        // single-threaded execution fits, wait (strict order, like FCFS).
-        assign_in_order(ctx, |job, node_cap| ctx.model.plan_within_power(job, node_cap))
+        // Ask the controller for the best configuration per phase under the
+        // per-node share of the current headroom. A plan whose peak exceeds
+        // the headroom makes the job wait (strict order, like FCFS) via the
+        // budget check in `assign_in_order`.
+        let controller = &mut self.controller;
+        let shape = &self.shape;
+        let observed = &mut self.observed;
+        assign_in_order(ctx, |job, node_cap| {
+            let k = ctx.model.knowledge(job.benchmark);
+            let mut choices = Vec::with_capacity(k.phases.len());
+            for (idx, phase) in k.phases.iter().enumerate() {
+                let pid = ctx.model.phase_id(job.benchmark, idx);
+                if observed.insert(pid) {
+                    controller.observe(pid, &phase.sample());
+                }
+                let candidates: Vec<CandidatePerf> = phase
+                    .executions
+                    .iter()
+                    .map(|(config, exec)| CandidatePerf {
+                        config: *config,
+                        avg_power_w: Some(exec.avg_power_w),
+                    })
+                    .collect();
+                let decision = controller.decide(&DecisionCtx {
+                    phase: pid,
+                    shape,
+                    candidates: &candidates,
+                    power_cap_w: Some(node_cap),
+                });
+                // A non-paper binding is a controller contract violation
+                // (the conformance harness rejects such controllers); fail
+                // loudly rather than letting the job starve behind what
+                // would be misreported as a power-budget problem.
+                let config = decision.configuration(shape).unwrap_or_else(|| {
+                    panic!(
+                        "controller {:?} decided binding {:?} for {} phase {idx}, which is not \
+                         one of the paper's five configurations",
+                        controller.name(),
+                        decision.binding.cores(),
+                        job.benchmark,
+                    )
+                });
+                choices.push(config);
+            }
+            let mut iter = choices.into_iter();
+            Some(ctx.model.plan_with(job, |_| iter.next().expect("one choice per phase")))
+        })
     }
 }
 
@@ -415,7 +526,7 @@ mod tests {
         let mut fcfs = FcfsPolicy;
         assert!(fcfs.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[])).is_empty());
 
-        let mut aware = PowerAwarePolicy;
+        let mut aware = PowerAwarePolicy::from_model(&model);
         let a = aware.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[]));
         assert_eq!(a.len(), 1, "power-aware should throttle the job to fit");
         assert!(a[0].plan.peak_power_w <= budget - IDLE_W + IDLE_W + 1e-9);
@@ -430,7 +541,7 @@ mod tests {
         let model = model();
         let queue = vec![job(0, BenchmarkId::Mg, 1)];
         let idle = [0usize];
-        let mut aware = PowerAwarePolicy;
+        let mut aware = PowerAwarePolicy::from_model(&model);
         let a = aware.assign(&ctx(&model, &queue, &idle, 10_000.0, IDLE_W, &[]));
         assert_eq!(a.len(), 1);
         let expected: Vec<Configuration> =
@@ -441,9 +552,40 @@ mod tests {
 
     #[test]
     fn policies_are_constructible_by_name() {
-        for name in ["fcfs", "backfill", "power-aware"] {
-            assert_eq!(policy_by_name(name).unwrap().name(), name);
+        let model = model();
+        for name in POLICY_NAMES {
+            assert_eq!(policy_by_name(name, &model).unwrap().name(), name);
         }
-        assert!(policy_by_name("lottery").is_none());
+        let err = policy_by_name("lottery", &model).err().expect("unknown policy must fail");
+        let msg = err.to_string();
+        for name in POLICY_NAMES {
+            assert!(msg.contains(name), "error message must list {name}: {msg}");
+        }
+    }
+
+    #[test]
+    fn power_aware_is_generic_over_controllers() {
+        use actor_core::controller::StaticController;
+
+        let model = model();
+        let queue = vec![job(0, BenchmarkId::Is, 1)];
+        let idle = [0usize];
+
+        // A static four-core controller in the power-aware mechanics behaves
+        // like FCFS: it never throttles, so a tight budget blocks the job...
+        let four_w = model.plan_fixed(&queue[0], Configuration::Four).peak_power_w;
+        let budget = IDLE_W + (four_w - IDLE_W) * 0.5;
+        let mut static_policy = PowerAwarePolicy::new(StaticController::os_default());
+        assert!(static_policy.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[])).is_empty());
+
+        // ...while the default ANN-table controller throttles the job in.
+        let mut ann_policy = PowerAwarePolicy::from_model(&model);
+        let a = ann_policy.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[]));
+        assert_eq!(a.len(), 1);
+
+        // With ample budget the static controller schedules at full width.
+        let a = static_policy.assign(&ctx(&model, &queue, &idle, 10_000.0, IDLE_W, &[]));
+        assert_eq!(a.len(), 1);
+        assert!(a[0].plan.decisions.iter().all(|(_, c)| *c == Configuration::Four));
     }
 }

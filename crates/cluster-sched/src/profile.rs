@@ -8,14 +8,22 @@
 //! running job J at configuration c cost, and what throughput does the ANN
 //! predict?" without re-running the pipeline per job.
 
+use actor_core::controller::{
+    best_config_by_ipc, CandidatePerf, DecisionTableController, PhaseSample,
+};
 use actor_core::{evaluate_benchmarks, ActorConfig, ThrottleDecision};
 use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
+use phase_rt::PhaseId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xeon_sim::{Configuration, Machine, PhaseExecution};
 
 use crate::error::ClusterError;
 use crate::job::Job;
+
+/// Phases per benchmark are bounded well below this, so one `u32` phase id
+/// namespace covers (benchmark index, phase index) pairs.
+const PHASE_ID_STRIDE: u32 = 64;
 
 /// Per-phase knowledge: the ANN decision plus ground-truth executions.
 #[derive(Debug, Clone)]
@@ -24,6 +32,9 @@ pub struct PhaseKnowledge {
     pub name: String,
     /// ACTOR's throttling decision (sampled IPC + ranked predictions).
     pub decision: ThrottleDecision,
+    /// Counter-derived feature vector observed on the sampling
+    /// configuration (what a live controller would re-predict from).
+    pub features: Vec<f64>,
     /// Machine-model execution of one phase instance per configuration.
     pub executions: Vec<(Configuration, PhaseExecution)>,
 }
@@ -42,38 +53,34 @@ impl PhaseKnowledge {
     /// Predicted (or, for the sampling configuration, observed) IPC of this
     /// phase under `config`.
     pub fn predicted_ipc(&self, config: Configuration) -> f64 {
-        if config == Configuration::SAMPLE {
-            return self.decision.sampled_ipc;
-        }
-        self.decision
-            .ranked_predictions
-            .iter()
-            .find(|(c, _)| *c == config)
-            .map(|(_, ipc)| *ipc)
-            .unwrap_or(self.decision.sampled_ipc)
+        self.decision.predicted_ipc(config)
+    }
+
+    /// The observation a [`actor_core::PowerPerfController`] would receive
+    /// for this phase: the sampling-configuration window with its features
+    /// and IPC.
+    pub fn sample(&self) -> PhaseSample {
+        PhaseSample::sampling(
+            self.features.clone(),
+            self.decision.sampled_ipc,
+            self.execution(Configuration::SAMPLE).time_s,
+        )
     }
 
     /// The highest-predicted-IPC configuration whose average phase power fits
     /// under `power_cap_w`, ties to fewer threads. `None` if not even the
-    /// single-thread configuration fits.
+    /// single-thread configuration fits. Delegates to the workspace's one
+    /// definition of the selection rule
+    /// ([`actor_core::controller::best_config_by_ipc`]).
     pub fn best_config_within(&self, power_cap_w: f64) -> Option<Configuration> {
-        let mut best: Option<(Configuration, f64)> = None;
-        for &config in &Configuration::ALL {
-            if self.execution(config).avg_power_w > power_cap_w {
-                continue;
-            }
-            let ipc = self.predicted_ipc(config);
-            let wins = match best {
-                None => true,
-                Some((bc, bipc)) => {
-                    ipc > bipc || (ipc == bipc && config.num_threads() < bc.num_threads())
-                }
-            };
-            if wins {
-                best = Some((config, ipc));
-            }
-        }
-        best.map(|(c, _)| c)
+        best_config_by_ipc(
+            self.executions
+                .iter()
+                .map(|(c, exec)| CandidatePerf { config: *c, avg_power_w: Some(exec.avg_power_w) }),
+            Some(power_cap_w),
+            |config| self.predicted_ipc(config),
+        )
+        .map(|(c, _)| c)
     }
 }
 
@@ -129,6 +136,19 @@ impl WorkloadModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let evaluations = evaluate_benchmarks(machine, config, &profiles, &mut rng)?;
         let mut benchmarks = Vec::with_capacity(profiles.len());
+        for profile in &profiles {
+            if profile.phases.len() >= PHASE_ID_STRIDE as usize {
+                return Err(ClusterError::InvalidSpec {
+                    reason: format!(
+                        "benchmark {} has {} phases, exceeding the {} supported per benchmark \
+                         (phase-id namespace would alias across benchmarks)",
+                        profile.id,
+                        profile.phases.len(),
+                        PHASE_ID_STRIDE
+                    ),
+                });
+            }
+        }
         for profile in profiles {
             let eval = evaluations
                 .iter()
@@ -141,6 +161,7 @@ impl WorkloadModel {
                 .map(|(phase, pe)| PhaseKnowledge {
                     name: phase.name.clone(),
                     decision: pe.decision.clone(),
+                    features: pe.features.clone(),
                     executions: Configuration::ALL
                         .iter()
                         .map(|&c| (c, machine.simulate_config(phase, c)))
@@ -165,6 +186,32 @@ impl WorkloadModel {
             .find(|(b, _)| *b == id)
             .expect("job benchmarks must be part of the workload model")
             .1
+    }
+
+    /// Stable workspace-wide [`PhaseId`] of one phase of one benchmark, so
+    /// controller observations made while planning one job carry over to
+    /// later jobs of the same benchmark.
+    pub fn phase_id(&self, id: BenchmarkId, phase_idx: usize) -> PhaseId {
+        assert!(
+            phase_idx < PHASE_ID_STRIDE as usize,
+            "phase index {phase_idx} outside the per-benchmark id namespace (< {PHASE_ID_STRIDE}; \
+             enforced at model build time)"
+        );
+        let bench_idx = self
+            .benchmarks
+            .iter()
+            .position(|(b, _)| *b == id)
+            .expect("job benchmarks must be part of the workload model");
+        PhaseId::new(bench_idx as u32 * PHASE_ID_STRIDE + phase_idx as u32)
+    }
+
+    /// The model's ANN decisions as a [`DecisionTableController`] — the
+    /// default controller behind the power-aware scheduling policy, keyed by
+    /// [`Self::phase_id`].
+    pub fn decision_table(&self) -> DecisionTableController {
+        DecisionTableController::new(self.benchmarks.iter().flat_map(|(id, k)| {
+            k.phases.iter().enumerate().map(|(i, p)| (self.phase_id(*id, i), p.decision.clone()))
+        }))
     }
 
     /// Four-core execution time of one unscaled run (for deadline generation

@@ -19,15 +19,25 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
+use phase_rt::PhaseId;
 use xeon_sim::{AggregateExecution, Configuration, Machine};
 
 use crate::config::ActorConfig;
+use crate::controller::{
+    shape_of, CandidatePerf, DecisionCtx, DecisionTableController, OracleController, PhaseSample,
+    PowerPerfController, StaticController,
+};
 use crate::error::ActorError;
 use crate::evaluation::{evaluate_benchmarks, BenchmarkEvaluation};
-use crate::oracle::{global_optimal, phase_optimal};
+use crate::oracle::global_optimal;
 
 /// The execution strategies of Figure 8.
+///
+/// Marked `#[non_exhaustive]`: future strategies (e.g. combined DVFS + DCT
+/// control) will be added without a breaking release; match with a wildcard
+/// arm downstream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum Strategy {
     /// All phases on all four cores (the normalisation baseline).
     FourCores,
@@ -57,10 +67,39 @@ impl Strategy {
             Strategy::Prediction => "Prediction",
         }
     }
+
+    /// Builds the [`PowerPerfController`] realising this strategy for one
+    /// benchmark — every Figure-8 bar is one controller behind the same
+    /// trait, so any of them (or a new controller entirely) can take the
+    /// adaptive slot of [`adaptation_with_controller`].
+    pub fn controller(
+        &self,
+        machine: &Machine,
+        bench: &BenchmarkProfile,
+        eval: &BenchmarkEvaluation,
+    ) -> Box<dyn PowerPerfController> {
+        match self {
+            Strategy::FourCores => Box::new(StaticController::os_default()),
+            Strategy::GlobalOptimal => {
+                Box::new(StaticController::new(global_optimal(machine, bench), "global-optimal"))
+            }
+            Strategy::PhaseOptimal => Box::new(OracleController::for_benchmark(machine, bench)),
+            Strategy::Prediction => Box::new(DecisionTableController::new(
+                eval.phases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (PhaseId::new(i as u32), p.decision.clone())),
+            )),
+        }
+    }
 }
 
 /// The metrics plotted in Figure 8.
+///
+/// Marked `#[non_exhaustive]`: further efficiency metrics may be added;
+/// match with a wildcard arm downstream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum Metric {
     /// Execution time.
     Time,
@@ -221,12 +260,83 @@ fn simulate_prediction_strategy(
     agg
 }
 
-/// Builds the Figure-8 study from leave-one-out evaluations.
-pub fn adaptation_from_evaluations(
+/// Walks a controller through one benchmark — observe the phase's sampling
+/// window, then decide — and returns the chosen configuration per phase.
+///
+/// Phase `i` is keyed by `PhaseId::new(i)`. When `power_cap_w` is set, each
+/// phase's per-configuration average power (from the machine model) is
+/// offered through the [`DecisionCtx`] so cap-aware controllers can re-rank.
+/// A decision whose binding is not one of the paper's five configurations is
+/// an error (the conformance harness catches such controllers earlier, but
+/// custom controllers may reach here unvetted).
+pub fn decide_phases(
+    controller: &mut dyn PowerPerfController,
+    machine: &Machine,
+    bench: &BenchmarkProfile,
+    eval: &BenchmarkEvaluation,
+    power_cap_w: Option<f64>,
+) -> Result<Vec<Configuration>, ActorError> {
+    let shape = shape_of(machine);
+    bench
+        .phases
+        .iter()
+        .zip(&eval.phases)
+        .enumerate()
+        .map(|(i, (phase, pe))| {
+            let pid = PhaseId::new(i as u32);
+            let sampling_exec = machine.simulate_config(phase, Configuration::SAMPLE);
+            controller.observe(
+                pid,
+                &PhaseSample::sampling(
+                    pe.features.clone(),
+                    pe.decision.sampled_ipc,
+                    sampling_exec.time_s,
+                ),
+            );
+            let candidates: Vec<CandidatePerf> = Configuration::ALL
+                .iter()
+                .map(|&config| CandidatePerf {
+                    config,
+                    avg_power_w: power_cap_w
+                        .map(|_| machine.simulate_config(phase, config).avg_power_w),
+                })
+                .collect();
+            let ctx =
+                DecisionCtx { phase: pid, shape: &shape, candidates: &candidates, power_cap_w };
+            let decision = controller.decide(&ctx);
+            decision.configuration(&shape).ok_or_else(|| ActorError::InvalidConfig {
+                reason: format!(
+                    "controller {:?} decided binding {:?} for {} phase {:?}, which is not one \
+                     of the paper's five configurations",
+                    controller.name(),
+                    decision.binding.cores(),
+                    bench.id,
+                    pe.phase_name,
+                ),
+            })
+        })
+        .collect()
+}
+
+/// Builds the Figure-8 study from leave-one-out evaluations with an
+/// arbitrary controller in the adaptive slot.
+///
+/// The three reference bars (4 cores, global optimal, phase optimal) are
+/// themselves produced by controllers — [`Strategy::controller`] — and the
+/// fourth comes from `adaptive_for`, so any [`PowerPerfController`] is
+/// drop-in comparable against the oracles. `power_cap_w` constrains the
+/// adaptive controller only (the references are uncapped comparison points).
+pub fn adaptation_with_controller(
     machine: &Machine,
     config: &ActorConfig,
     benchmarks: &[BenchmarkProfile],
     evaluations: &[BenchmarkEvaluation],
+    adaptive_for: &mut dyn FnMut(
+        &Machine,
+        &BenchmarkProfile,
+        &BenchmarkEvaluation,
+    ) -> Box<dyn PowerPerfController>,
+    power_cap_w: Option<f64>,
 ) -> Result<AdaptationStudy, ActorError> {
     let mut results = Vec::with_capacity(benchmarks.len());
     for bench in benchmarks {
@@ -234,12 +344,22 @@ pub fn adaptation_from_evaluations(
             ActorError::InvalidConfig { reason: format!("no evaluation found for {}", bench.id) }
         })?;
 
-        let four = bench.simulate(machine, Configuration::Four);
-        let global = bench.simulate(machine, global_optimal(machine, bench));
-        let phase_choices = phase_optimal(machine, bench);
-        let phase_opt = bench.simulate_per_phase(machine, &phase_choices);
+        // Reference strategies, each realised by its controller.
+        let mut four_ctl = Strategy::FourCores.controller(machine, bench, eval);
+        let four_choices = decide_phases(four_ctl.as_mut(), machine, bench, eval, None)?;
+        let four = bench.simulate_per_phase(machine, &four_choices);
 
-        let decisions: Vec<Configuration> = eval.phases.iter().map(|p| p.decision.chosen).collect();
+        let mut global_ctl = Strategy::GlobalOptimal.controller(machine, bench, eval);
+        let global_choices = decide_phases(global_ctl.as_mut(), machine, bench, eval, None)?;
+        let global = bench.simulate_per_phase(machine, &global_choices);
+
+        let mut oracle_ctl = Strategy::PhaseOptimal.controller(machine, bench, eval);
+        let oracle_choices = decide_phases(oracle_ctl.as_mut(), machine, bench, eval, None)?;
+        let phase_opt = bench.simulate_per_phase(machine, &oracle_choices);
+
+        // The adaptive slot: sampling overhead and re-binding penalty apply.
+        let mut adaptive = adaptive_for(machine, bench, eval);
+        let decisions = decide_phases(adaptive.as_mut(), machine, bench, eval, power_cap_w)?;
         let prediction = simulate_prediction_strategy(
             machine,
             bench,
@@ -259,12 +379,31 @@ pub fn adaptation_from_evaluations(
             decisions: eval
                 .phases
                 .iter()
-                .map(|p| (p.phase_name.clone(), p.decision.chosen))
+                .map(|p| p.phase_name.clone())
+                .zip(decisions.iter().copied())
                 .collect(),
             sampling_fraction: eval.plan.sampling_fraction(),
         });
     }
     Ok(AdaptationStudy { benchmarks: results })
+}
+
+/// Builds the Figure-8 study from leave-one-out evaluations with the paper's
+/// own ANN decisions in the adaptive slot.
+pub fn adaptation_from_evaluations(
+    machine: &Machine,
+    config: &ActorConfig,
+    benchmarks: &[BenchmarkProfile],
+    evaluations: &[BenchmarkEvaluation],
+) -> Result<AdaptationStudy, ActorError> {
+    adaptation_with_controller(
+        machine,
+        config,
+        benchmarks,
+        evaluations,
+        &mut |m, b, e| Strategy::Prediction.controller(m, b, e),
+        None,
+    )
 }
 
 /// Runs the full Figure-8 study over the NAS suite (leave-one-out training,

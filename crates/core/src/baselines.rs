@@ -1,11 +1,11 @@
 //! Baseline strategies from the paper's related work.
 //!
 //! * **Multiple linear regression** — the predictor used by the authors'
-//!   earlier work [3]; the paper argues ANNs match its accuracy while
+//!   earlier work \[3\]; the paper argues ANNs match its accuracy while
 //!   avoiding the hand-tuned, machine-specific model derivation. Implemented
 //!   here as ridge-regularised least squares per target configuration, so the
 //!   ANN-vs-regression ablation of Section IV-B can be reproduced.
-//! * **Empirical search** — the online search strategy of [17]: execute each
+//! * **Empirical search** — the online search strategy of \[17\]: execute each
 //!   candidate configuration once, measure it, and keep the best. Costs one
 //!   exploration pass over the configuration space (prohibitive with many
 //!   cores, as the paper notes), but needs no model at all.
@@ -137,7 +137,7 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>
     Some(x)
 }
 
-/// The empirical-search policy of [17]: measure each candidate configuration
+/// The empirical-search policy of \[17\]: measure each candidate configuration
 /// once (in the supplied order) and lock in the fastest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EmpiricalSearchPolicy {
@@ -186,6 +186,15 @@ impl EmpiricalSearchPolicy {
     /// The decision, once the search has finished.
     pub fn decision(&self) -> Option<Configuration> {
         self.decision
+    }
+
+    /// The fastest configuration measured so far and its cost, if anything
+    /// has been measured.
+    pub fn best(&self) -> Option<(Configuration, f64)> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .copied()
     }
 
     /// Number of exploration steps performed so far.

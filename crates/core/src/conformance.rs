@@ -1,0 +1,323 @@
+//! Conformance harness for [`PowerPerfController`] implementations.
+//!
+//! Every controller in the workspace — and any new one — must satisfy the
+//! same contract so it can be dropped into the single-node adaptation
+//! harness or the cluster scheduler unchanged:
+//!
+//! 1. **Config-space validity** — every decision's binding is a valid
+//!    placement on the machine shape and realises one of the paper's five
+//!    configurations.
+//! 2. **Determinism** — two controller instances built the same way (same
+//!    seed, same training) produce bit-identical decision traces for the
+//!    same observation script.
+//! 3. **Observe-before-decide ordering** — a decision depends only on the
+//!    observations made *before* it: probing `decide` early (before any
+//!    observation of a phase) must not change what the controller decides
+//!    after the observation arrives, and repeated `decide` calls must not
+//!    consume exploration budget.
+//! 4. **Power-cap respect** (opt-in, for cap-aware controllers) — when at
+//!    least one candidate fits the cap, the chosen configuration fits it;
+//!    when none fits, the decision is flagged [`Rationale::Infeasible`].
+//!
+//! The harness drives the controller with a deterministic synthetic script
+//! (no RNG, no wall clock) and panics with a named violation on the first
+//! breach, so it can sit directly inside `#[test]` functions:
+//!
+//! ```
+//! use actor_core::conformance::{assert_controller_conformance, ConformanceOptions};
+//! use actor_core::controller::StaticController;
+//!
+//! assert_controller_conformance(
+//!     || Box::new(StaticController::os_default()),
+//!     &ConformanceOptions::default(),
+//! );
+//! ```
+
+use phase_rt::{MachineShape, PhaseId};
+use xeon_sim::Configuration;
+
+use crate::controller::{
+    configuration_of, CandidatePerf, Decision, DecisionCtx, PhaseSample, PowerPerfController,
+    Rationale,
+};
+
+/// What the harness checks beyond the universal contract, and how the
+/// synthetic script is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceOptions {
+    /// Also require the controller to respect power caps (static baselines
+    /// deliberately ignore them — the caller enforces the budget — so this
+    /// check is opt-in).
+    pub respects_power_cap: bool,
+    /// Length of the synthetic feature vectors fed through `observe`; set
+    /// this to the model's input dimension for predictor-backed controllers.
+    pub feature_dim: usize,
+}
+
+impl Default for ConformanceOptions {
+    fn default() -> Self {
+        Self { respects_power_cap: false, feature_dim: 6 }
+    }
+}
+
+impl ConformanceOptions {
+    /// Options for cap-aware controllers (predictors, oracles).
+    pub fn cap_aware() -> Self {
+        Self { respects_power_cap: true, ..Self::default() }
+    }
+
+    /// Sets the synthetic feature dimension.
+    pub fn with_feature_dim(mut self, dim: usize) -> Self {
+        self.feature_dim = dim;
+        self
+    }
+}
+
+/// Number of synthetic phases the script exercises.
+const PHASES: usize = 3;
+/// Observation/decision rounds per phase (enough to finish a five-candidate
+/// empirical search).
+const ROUNDS: usize = 7;
+
+/// Synthetic per-configuration truth for one phase of the script: IPC favours
+/// different configurations per phase, power grows with thread count.
+fn script_ipc(phase: usize, config: Configuration) -> f64 {
+    let base = match config {
+        Configuration::One => 0.9,
+        Configuration::TwoTight => 1.4,
+        Configuration::TwoLoose => 1.6,
+        Configuration::Three => 1.9,
+        Configuration::Four => 2.2,
+    };
+    // Phase 1 is memory-bound (concurrency hurts), phase 2 is flat.
+    match phase % PHASES {
+        1 => 3.0 - base,
+        2 => 1.5,
+        _ => base,
+    }
+}
+
+fn script_power(config: Configuration) -> f64 {
+    100.0 + 15.0 * config.num_threads() as f64
+}
+
+fn script_sample(phase: usize, config: Configuration, feature_dim: usize) -> PhaseSample {
+    let ipc = script_ipc(phase, config);
+    // Work per phase instance is fixed, so time is inverse throughput.
+    let time_s = (1.0 + phase as f64) / ipc;
+    if config == Configuration::SAMPLE {
+        let features =
+            (0..feature_dim).map(|j| ipc / (1.0 + j as f64) + 0.05 * phase as f64).collect();
+        PhaseSample::sampling(features, ipc, time_s)
+    } else {
+        PhaseSample::measurement(config, time_s)
+    }
+}
+
+fn candidates_with_power() -> Vec<CandidatePerf> {
+    Configuration::ALL
+        .iter()
+        .map(|&config| CandidatePerf { config, avg_power_w: Some(script_power(config)) })
+        .collect()
+}
+
+/// Checks a decision is inside the machine's configuration space, returning
+/// the configuration it realises.
+fn check_in_space(name: &str, shape: &MachineShape, decision: &Decision) -> Configuration {
+    let threads = decision.binding.num_threads();
+    assert!(
+        threads >= 1 && threads <= shape.num_cores,
+        "{name}: decision uses {threads} threads on a {}-core shape",
+        shape.num_cores
+    );
+    for &core in decision.binding.cores() {
+        assert!(
+            core < shape.num_cores,
+            "{name}: decision binds core {core} outside the {}-core shape",
+            shape.num_cores
+        );
+    }
+    configuration_of(&decision.binding, shape).unwrap_or_else(|| {
+        panic!(
+            "{name}: decision binding {:?} is not one of the paper's five configurations",
+            decision.binding.cores()
+        )
+    })
+}
+
+/// Runs the deterministic script against a fresh controller, alternating
+/// observe → decide per phase, and returns the full decision trace.
+///
+/// `probe_first` additionally calls `decide` on every phase *before* any
+/// observation (the ordering check): the probed decisions are discarded and
+/// must not alter the returned trace.
+fn run_script(
+    controller: &mut dyn PowerPerfController,
+    shape: &MachineShape,
+    capped: bool,
+    probe_first: bool,
+    feature_dim: usize,
+) -> Vec<Decision> {
+    let candidates = candidates_with_power();
+    let cap = if capped { Some(script_power(Configuration::TwoLoose)) } else { None };
+    if probe_first {
+        for phase in 0..PHASES {
+            let ctx = DecisionCtx {
+                phase: PhaseId::new(phase as u32),
+                shape,
+                candidates: &candidates,
+                power_cap_w: cap,
+            };
+            let probed = controller.decide(&ctx);
+            check_in_space(controller.name(), shape, &probed);
+            // Repeated decides must be idempotent (no exploration consumed).
+            assert_eq!(
+                probed,
+                controller.decide(&ctx),
+                "{}: back-to-back decide() calls disagree — decide must not mutate search state",
+                controller.name()
+            );
+        }
+    }
+    let mut trace = Vec::new();
+    for round in 0..ROUNDS {
+        for phase in 0..PHASES {
+            let pid = PhaseId::new(phase as u32);
+            let ctx = DecisionCtx { phase: pid, shape, candidates: &candidates, power_cap_w: cap };
+            // Observe what the previously decided configuration achieved
+            // (first round: the sampling configuration), then decide.
+            let observed_config = if round == 0 {
+                Configuration::SAMPLE
+            } else {
+                // Feed back the controller's own previous decision so search
+                // strategies can explore.
+                let prev: &Decision = &trace[(round - 1) * PHASES + phase];
+                configuration_of(&prev.binding, shape).unwrap_or(Configuration::SAMPLE)
+            };
+            controller.observe(pid, &script_sample(phase, observed_config, feature_dim));
+            // Always feed one sampling observation too, so predictor-style
+            // controllers have features regardless of the decided config.
+            if observed_config != Configuration::SAMPLE {
+                controller.observe(pid, &script_sample(phase, Configuration::SAMPLE, feature_dim));
+            }
+            let decision = controller.decide(&ctx);
+            check_in_space(controller.name(), shape, &decision);
+            trace.push(decision);
+        }
+    }
+    trace
+}
+
+/// Asserts the full conformance contract for a controller family.
+///
+/// `make` must build a *fresh but identically-constructed* controller on
+/// every call (same training data, same seed): the determinism check runs
+/// the script on two instances and requires identical traces.
+pub fn assert_controller_conformance(
+    mut make: impl FnMut() -> Box<dyn PowerPerfController>,
+    options: &ConformanceOptions,
+) {
+    let shape = MachineShape::quad_core();
+
+    // 1 + 2: validity along the trace and same-construction determinism.
+    let mut a = make();
+    let name = a.name();
+    let trace_a = run_script(a.as_mut(), &shape, false, false, options.feature_dim);
+    assert!(!trace_a.is_empty(), "{name}: the script produced no decisions");
+    let mut b = make();
+    let trace_b = run_script(b.as_mut(), &shape, false, false, options.feature_dim);
+    assert_eq!(
+        trace_a, trace_b,
+        "{name}: two identically-constructed controllers diverged on the same script"
+    );
+
+    // 3: probing decide() before the first observation must not change the
+    // post-observation decisions.
+    let mut c = make();
+    let trace_c = run_script(c.as_mut(), &shape, false, true, options.feature_dim);
+    assert_eq!(
+        trace_a, trace_c,
+        "{name}: deciding before observing changed later decisions — decide() must not \
+         consume exploration budget or fabricate observations"
+    );
+
+    // 4 (opt-in): the cap is respected whenever it is satisfiable.
+    if options.respects_power_cap {
+        let mut d = make();
+        let cap = script_power(Configuration::TwoLoose);
+        let trace_d = run_script(d.as_mut(), &shape, true, false, options.feature_dim);
+        for decision in &trace_d {
+            let config = check_in_space(name, &shape, decision);
+            if matches!(decision.rationale, Rationale::Infeasible { .. }) {
+                continue;
+            }
+            assert!(
+                script_power(config) <= cap + 1e-9,
+                "{name}: chose {config:?} drawing {:.1} W under a {cap:.1} W cap",
+                script_power(config)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{DecisionTableController, StaticController};
+    use crate::throttle::select_configuration;
+
+    #[test]
+    fn static_and_table_controllers_conform() {
+        assert_controller_conformance(
+            || Box::new(StaticController::os_default()),
+            &ConformanceOptions::default(),
+        );
+        assert_controller_conformance(
+            || {
+                let entries = (0..PHASES as u32).map(|p| {
+                    let preds: Vec<_> = Configuration::TARGETS
+                        .iter()
+                        .map(|&c| (c, script_ipc(p as usize, c)))
+                        .collect();
+                    let sampled = script_ipc(p as usize, Configuration::SAMPLE);
+                    (PhaseId::new(p), select_configuration(sampled, &preds))
+                });
+                Box::new(DecisionTableController::new(entries))
+            },
+            &ConformanceOptions::cap_aware(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn nondeterministic_controllers_are_rejected() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static FLIP: AtomicU32 = AtomicU32::new(0);
+
+        struct Flaky(Configuration);
+        impl PowerPerfController for Flaky {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn observe(&mut self, _p: PhaseId, _s: &PhaseSample) {}
+            fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+                crate::controller::Decision::from_config(
+                    self.0,
+                    ctx.shape,
+                    Rationale::Static { label: "flaky" },
+                )
+            }
+        }
+        assert_controller_conformance(
+            || {
+                let n = FLIP.fetch_add(1, Ordering::Relaxed);
+                Box::new(Flaky(if n.is_multiple_of(2) {
+                    Configuration::One
+                } else {
+                    Configuration::Four
+                }))
+            },
+            &ConformanceOptions::default(),
+        );
+    }
+}

@@ -28,15 +28,25 @@
 //!    prediction-error CDF (Figure 6), rank-selection accuracy (Figure 7) and
 //!    the adaptation comparison against oracle strategies (Figure 8).
 //!
-//! Baselines from the paper's related work — multiple linear regression [3]
-//! and online empirical search [17] — are provided in [`baselines`], and a
+//! Baselines from the paper's related work — multiple linear regression \[3\]
+//! and online empirical search \[17\] — are provided in [`baselines`], and a
 //! live [`phase_rt::RegionListener`] implementation for running ACTOR against
 //! real kernels is in [`runtime`].
+//!
+//! All of these decision-makers speak one language: the
+//! [`controller::PowerPerfController`] trait (observe hardware samples per
+//! phase, decide a typed binding + frequency actuation). The ANN predictor,
+//! the oracles, the static baselines and empirical search implement it, the
+//! [`conformance`] harness checks any implementation against the shared
+//! contract, and both the Figure-8 harness and the cluster scheduler accept
+//! any implementation interchangeably.
 
 pub mod accuracy;
 pub mod adaptation;
 pub mod baselines;
 pub mod config;
+pub mod conformance;
+pub mod controller;
 pub mod corpus;
 pub mod error;
 pub mod evaluation;
@@ -51,11 +61,17 @@ pub mod throttle;
 
 pub use accuracy::{run_accuracy_study, AccuracyStudy, PredictionRecord};
 pub use adaptation::{
-    run_adaptation_study, run_adaptation_study_seeded, AdaptationStudy, BenchmarkAdaptation,
-    Metric, Strategy, StrategyOutcome,
+    adaptation_with_controller, run_adaptation_study, run_adaptation_study_seeded, AdaptationStudy,
+    BenchmarkAdaptation, Metric, Strategy, StrategyOutcome,
 };
 pub use baselines::{EmpiricalSearchPolicy, LinearRegressionPredictor};
 pub use config::{ActorConfig, PredictorConfig};
+pub use conformance::{assert_controller_conformance, ConformanceOptions};
+pub use controller::{
+    binding_for, configuration_of, shape_of, AnnController, CandidatePerf, Decision, DecisionCtx,
+    DecisionTableController, EmpiricalSearchController, OracleController, PhaseSample,
+    PowerPerfController, PredictorController, Rationale, StaticController,
+};
 pub use corpus::{TrainingCorpus, TrainingSample};
 pub use error::ActorError;
 pub use evaluation::{
@@ -63,7 +79,7 @@ pub use evaluation::{
 };
 pub use oracle::{global_optimal, phase_optimal};
 pub use predictor::{AnnPredictor, IpcPredictor};
-pub use report::Table;
+pub use report::{NullReporter, Reporter, StdoutReporter, Table};
 pub use runtime::{ActorRuntime, ThrottleMode};
 pub use sampling::{sample_phase, SamplingPlan};
 pub use scalability::{phase_ipc_study, scalability_report, PhaseIpcRow, ScalabilityReport};
@@ -75,9 +91,13 @@ pub mod prelude {
     pub use crate::accuracy::{run_accuracy_study, AccuracyStudy};
     pub use crate::adaptation::{run_adaptation_study, AdaptationStudy, Strategy};
     pub use crate::config::{ActorConfig, PredictorConfig};
+    pub use crate::controller::{
+        AnnController, Decision, DecisionCtx, PhaseSample, PowerPerfController,
+    };
     pub use crate::corpus::TrainingCorpus;
     pub use crate::error::ActorError;
     pub use crate::predictor::{AnnPredictor, IpcPredictor};
+    pub use crate::report::{Reporter, Table};
     pub use crate::runtime::{ActorRuntime, ThrottleMode};
     pub use crate::scalability::scalability_report;
     pub use crate::summary::paper_comparison;

@@ -92,6 +92,54 @@ impl Table {
     }
 }
 
+/// Where experiment output goes: tables, free-form notes and file artefacts.
+///
+/// The benchmark harness (`actor-bench`) provides the standard
+/// implementation that prints tables to stdout and writes CSV/JSON files
+/// under `results/`; library code and examples can use [`StdoutReporter`]
+/// (print only) or [`NullReporter`] (discard everything). One `Reporter`
+/// implementation replaces the per-binary output-writing code that used to
+/// be copy-pasted across the figure binaries.
+pub trait Reporter {
+    /// Reports one named table under a human-readable heading.
+    fn table(&mut self, name: &str, heading: &str, table: &Table);
+
+    /// Reports one free-form line (headline numbers, progress).
+    fn note(&mut self, line: &str);
+
+    /// Reports a named file artefact (e.g. `summary.json`); `filename`
+    /// includes the extension.
+    fn artifact(&mut self, filename: &str, contents: &str);
+}
+
+/// Prints tables and notes to stdout; artefacts are not persisted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdoutReporter;
+
+impl Reporter for StdoutReporter {
+    fn table(&mut self, _name: &str, heading: &str, table: &Table) {
+        println!("== {heading} ==");
+        println!("{}", table.to_text());
+    }
+
+    fn note(&mut self, line: &str) {
+        println!("{line}");
+    }
+
+    fn artifact(&mut self, _filename: &str, _contents: &str) {}
+}
+
+/// Discards all output (for tests and library callers that only want the
+/// returned study values).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullReporter;
+
+impl Reporter for NullReporter {
+    fn table(&mut self, _name: &str, _heading: &str, _table: &Table) {}
+    fn note(&mut self, _line: &str) {}
+    fn artifact(&mut self, _filename: &str, _contents: &str) {}
+}
+
 /// Formats a float with 3 significant decimals for table cells.
 pub fn fmt3(v: f64) -> String {
     format!("{v:.3}")

@@ -5,7 +5,7 @@
 //! code running on real threads rather than machine-model profiles):
 //!
 //! * [`ThrottleMode::Search`] — the online empirical-search strategy of the
-//!   authors' earlier work [17]: the first executions of each phase try every
+//!   authors' earlier work \[17\]: the first executions of each phase try every
 //!   candidate binding once, measuring wall-clock time; the fastest binding
 //!   is then locked in for all subsequent executions. This is the strategy
 //!   ACTOR's prediction approach is designed to out-scale (its exploration
@@ -21,7 +21,12 @@ use parking_lot::Mutex;
 use phase_rt::{Binding, PhaseId, RegionEvent, RegionListener};
 
 /// How the live runtime decides per-phase bindings.
+///
+/// Marked `#[non_exhaustive]`: a controller-driven mode (wrapping any
+/// [`crate::controller::PowerPerfController`]) is the next planned variant;
+/// match with a wildcard arm downstream.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum ThrottleMode {
     /// Measure every candidate binding once per phase, then lock the fastest.
     Search {

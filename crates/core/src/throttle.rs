@@ -32,15 +32,22 @@ impl ThrottleDecision {
     /// The predicted (or observed, for the sampling configuration) IPC of the
     /// chosen configuration.
     pub fn chosen_ipc(&self) -> f64 {
-        if self.chosen == Configuration::SAMPLE {
-            self.sampled_ipc
-        } else {
-            self.ranked_predictions
-                .iter()
-                .find(|(c, _)| *c == self.chosen)
-                .map(|(_, ipc)| *ipc)
-                .unwrap_or(self.sampled_ipc)
+        self.predicted_ipc(self.chosen)
+    }
+
+    /// The predicted IPC this decision assigns to any configuration: the
+    /// observed IPC for the sampling configuration, the ranked prediction for
+    /// the alternatives (falling back to the observed IPC for a configuration
+    /// the predictor did not rank).
+    pub fn predicted_ipc(&self, config: Configuration) -> f64 {
+        if config == Configuration::SAMPLE {
+            return self.sampled_ipc;
         }
+        self.ranked_predictions
+            .iter()
+            .find(|(c, _)| *c == config)
+            .map(|(_, ipc)| *ipc)
+            .unwrap_or(self.sampled_ipc)
     }
 }
 

@@ -4,7 +4,7 @@
 //! FT, IS, LU, LU-HP, MG and SP. This crate provides those workloads in two
 //! complementary forms:
 //!
-//! * **Phase profiles** ([`profiles`], [`benchmark`], [`suite`]) — per-phase
+//! * **Phase profiles** ([`profiles`], [`benchmark()`], [`suite`]) — per-phase
 //!   analytical characterisations of each benchmark, calibrated so that the
 //!   machine model reproduces the scalability classes of the paper's
 //!   Section III: {BT, FT, LU-HP} scale well, {CG, LU, SP} flatten after two

@@ -125,6 +125,37 @@ impl Binding {
     }
 }
 
+/// A DVFS actuation step: an index into a machine-defined frequency ladder.
+///
+/// Step `0` is the nominal (highest) frequency; larger steps lower the clock.
+/// The paper's platform throttles *concurrency* only, so every decision made
+/// by the reproduction today carries [`FreqStep::NOMINAL`] — the type exists
+/// so a [`controller decision`](Binding) is expressed in the full
+/// (threads × frequency) actuation space and combined DVFS + DCT controllers
+/// can be added without another API break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FreqStep(u8);
+
+impl FreqStep {
+    /// The nominal (unthrottled) frequency.
+    pub const NOMINAL: FreqStep = FreqStep(0);
+
+    /// A specific step down the frequency ladder (`0` = nominal).
+    pub fn new(step: u8) -> Self {
+        Self(step)
+    }
+
+    /// The ladder index (`0` = nominal).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the nominal frequency.
+    pub fn is_nominal(self) -> bool {
+        self.0 == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +202,16 @@ mod tests {
         assert_eq!(Binding::packed(0, &q).num_threads(), 1);
         assert_eq!(Binding::packed(99, &q).num_threads(), 4);
         assert_eq!(Binding::spread(99, &q).num_threads(), 4);
+    }
+
+    #[test]
+    fn freq_steps() {
+        assert!(FreqStep::NOMINAL.is_nominal());
+        assert_eq!(FreqStep::default(), FreqStep::NOMINAL);
+        let slow = FreqStep::new(2);
+        assert!(!slow.is_nominal());
+        assert_eq!(slow.index(), 2);
+        assert!(FreqStep::NOMINAL < slow, "lower steps are faster clocks");
     }
 
     #[test]

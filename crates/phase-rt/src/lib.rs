@@ -41,7 +41,7 @@ pub mod schedule;
 pub mod stats;
 pub mod team;
 
-pub use affinity::{Binding, MachineShape};
+pub use affinity::{Binding, FreqStep, MachineShape};
 pub use barrier::SpinBarrier;
 pub use error::RtError;
 pub use pool::ThreadPool;
@@ -52,7 +52,7 @@ pub use team::{RegionReport, Team, WorkerCtx};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::affinity::{Binding, MachineShape};
+    pub use crate::affinity::{Binding, FreqStep, MachineShape};
     pub use crate::barrier::SpinBarrier;
     pub use crate::error::RtError;
     pub use crate::pool::ThreadPool;

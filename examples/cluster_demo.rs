@@ -47,7 +47,7 @@ fn main() {
 
     let mut reports = Vec::new();
     for name in ["fcfs", "backfill", "power-aware"] {
-        let mut policy = policy_by_name(name).expect("known policy");
+        let mut policy = policy_by_name(name, &model).expect("known policy");
         reports.push(simulate(&spec, &model, policy.as_mut()).expect("simulation runs"));
     }
 

@@ -1,36 +1,30 @@
 //! Energy-efficiency report: runs the paper's Figure-8 comparison (4 cores vs
 //! global optimal vs phase optimal vs ACTOR's prediction) on a subset of the
 //! suite with the fast training configuration, and prints normalised time,
-//! power, energy and ED² per benchmark.
+//! power, energy and ED² per benchmark — all through the `ExperimentBuilder`
+//! façade.
 //!
 //! ```bash
 //! cargo run --release --example energy_report
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use actor_suite::actor::adaptation::{run_adaptation_study_on, Metric, Strategy};
-use actor_suite::actor::report::{fmt3, Table};
-use actor_suite::actor::ActorConfig;
-use actor_suite::sim::Machine;
-use actor_suite::workloads::{benchmark, BenchmarkId};
+use actor_suite::prelude::*;
 
 fn main() {
-    let machine = Machine::xeon_qx6600();
     let config = ActorConfig::fast();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    let benchmarks =
+    let suite: Vec<BenchmarkProfile> =
         [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Sp]
             .map(benchmark)
             .to_vec();
-    println!(
-        "training leave-one-out models for {} benchmarks (fast config)...\n",
-        benchmarks.len()
-    );
-    let study = run_adaptation_study_on(&machine, &config, &benchmarks, &mut rng)
-        .expect("adaptation study");
+    println!("training leave-one-out models for {} benchmarks (fast config)...\n", suite.len());
+
+    let mut exp = ExperimentBuilder::new()
+        .suite(suite)
+        .config(config)
+        .controller(ControllerSpec::Ann)
+        .run()
+        .expect("valid experiment");
+    let study = exp.adaptation().expect("adaptation study");
 
     for metric in Metric::ALL {
         let mut table =
@@ -51,11 +45,11 @@ fn main() {
             fmt3(study.average_normalised(Strategy::PhaseOptimal, metric)),
             fmt3(study.average_normalised(Strategy::Prediction, metric)),
         ]);
-        println!("normalised {} (lower is better):", metric.label());
-        println!("{}", table.to_text());
+        let name = format!("energy_report_{}", metric.label().to_lowercase().replace(' ', "_"));
+        exp.emit(&name, &format!("normalised {} (lower is better)", metric.label()), &table);
     }
 
-    println!("ACTOR's per-phase decisions:");
+    exp.note("ACTOR's per-phase decisions:");
     for bench in &study.benchmarks {
         let summary: Vec<String> = bench
             .decisions
@@ -64,11 +58,11 @@ fn main() {
                 format!("{}={}", phase.rsplit('.').next().unwrap_or(phase), config.label())
             })
             .collect();
-        println!(
+        exp.note(&format!(
             "  {:6} (sampled {:.0}% of timesteps): {}",
             bench.id.name(),
             bench.sampling_fraction * 100.0,
             summary.join(", ")
-        );
+        ));
     }
 }

@@ -9,9 +9,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use actor_suite::actor::controller::{
+    shape_of, AnnController, CandidatePerf, DecisionCtx, PhaseSample, PowerPerfController,
+};
 use actor_suite::actor::prelude::*;
 use actor_suite::actor::sampling::{sample_phase, SamplingPlan};
 use actor_suite::actor::TrainingCorpus;
+use actor_suite::rt::PhaseId;
 use actor_suite::sim::Machine;
 use actor_suite::workloads::{benchmark, BenchmarkId};
 
@@ -47,9 +51,12 @@ fn main() {
         predictor.mean_holdout_error() * 100.0
     );
 
-    // 3. Online adaptation of the unseen application (IS): sample each phase
-    //    at maximal concurrency, predict the IPC of every alternative
-    //    configuration, and throttle to the best one.
+    // 3. Online adaptation of the unseen application (IS) through the
+    //    unified controller loop: observe one sampling window per phase at
+    //    maximal concurrency, then let the controller decide the binding.
+    //    The same two calls drive an oracle, a static baseline, or the
+    //    cluster scheduler — every decision-maker implements
+    //    `PowerPerfController`.
     println!(
         "adapting {} (sampling {} of {} timesteps, {} events)",
         target.id,
@@ -57,17 +64,23 @@ fn main() {
         plan.total_timesteps,
         plan.event_set.len()
     );
-    for phase in &target.phases {
+    let shape = shape_of(&machine);
+    let candidates = CandidatePerf::all_unknown();
+    let mut controller = AnnController::ann(predictor.clone());
+    for (i, phase) in target.phases.iter().enumerate() {
+        let pid = PhaseId::new(i as u32);
         let rates = sample_phase(&machine, phase, &plan, config.measurement_noise, &mut rng)
             .expect("sampling");
-        let predictions = predictor.predict(&rates.features()).expect("prediction");
-        let decision = select_configuration(rates.ipc(), &predictions);
+        let exec = machine.simulate_config(phase, actor_suite::sim::Configuration::SAMPLE);
+        controller.observe(pid, &PhaseSample::sampling(rates.features(), rates.ipc(), exec.time_s));
+        let decision = controller.decide(&DecisionCtx::unconstrained(pid, &shape, &candidates));
         println!(
-            "  {:22} sampled IPC {:.2} -> run on configuration {:2} (predicted IPC {:.2})",
+            "  {:22} sampled IPC {:.2} -> bind {} threads on cores {:?} ({:?})",
             phase.name,
-            decision.sampled_ipc,
-            decision.chosen.label(),
-            decision.chosen_ipc()
+            rates.ipc(),
+            decision.binding.num_threads(),
+            decision.binding.cores(),
+            decision.rationale,
         );
     }
 

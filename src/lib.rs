@@ -19,9 +19,22 @@
 //!   cluster of Xeon nodes scheduling NPB jobs under a shared power budget,
 //!   with an ANN-driven power-aware policy.
 //!
+//! Two unifying abstractions tie the pieces into one system:
+//!
+//! * [`actor::controller::PowerPerfController`] — the single decision loop
+//!   (observe per-phase hardware samples → decide a typed binding +
+//!   frequency actuation) that the ANN predictor, the oracles, the static
+//!   baselines and the cluster's power-aware policy all implement or
+//!   consume;
+//! * [`experiment::ExperimentBuilder`] — the one front door for running
+//!   studies: machine, suite, controller, seed, power budget and reporter in
+//!   one builder, replacing per-binary ad-hoc wiring.
+//!
 //! See `examples/quickstart.rs` for the fastest path from nothing to a
 //! throttling decision, and the `actor-bench` crate for the binaries that
 //! regenerate every figure of the paper.
+
+pub mod experiment;
 
 pub use actor_core as actor;
 pub use annlib as ml;
@@ -30,6 +43,41 @@ pub use hwcounters as counters;
 pub use npb_workloads as workloads;
 pub use phase_rt as rt;
 pub use xeon_sim as sim;
+
+pub use experiment::{ControllerFactory, ControllerSpec, Experiment, ExperimentBuilder};
+
+/// The blessed public surface, re-exported flat: everything a typical
+/// experiment — single-node or cluster — needs in one import.
+///
+/// ```no_run
+/// use actor_suite::prelude::*;
+///
+/// let mut exp = ExperimentBuilder::new().seed(7).run().expect("experiment");
+/// let study = exp.adaptation().expect("study");
+/// assert!(study.average_normalised(Strategy::Prediction, Metric::Ed2) < 1.0);
+/// ```
+pub mod prelude {
+    pub use crate::experiment::{ControllerFactory, ControllerSpec, Experiment, ExperimentBuilder};
+
+    pub use actor_core::controller::{
+        binding_for, configuration_of, shape_of, AnnController, CandidatePerf, Decision,
+        DecisionCtx, DecisionTableController, EmpiricalSearchController, OracleController,
+        PhaseSample, PowerPerfController, PredictorController, Rationale, StaticController,
+    };
+    pub use actor_core::report::{fmt3, fmt_pct};
+    pub use actor_core::{
+        assert_controller_conformance, ActorConfig, ActorError, AdaptationStudy,
+        ConformanceOptions, Metric, NullReporter, Reporter, StdoutReporter, Strategy, Table,
+    };
+    pub use cluster_sched::{
+        budget_from_fraction, cluster_summary_table, job_table, policy_by_name, simulate,
+        ClusterReport, ClusterSpec, PowerAwarePolicy, SchedulerPolicy, WorkloadModel, WorkloadSpec,
+        POLICY_NAMES,
+    };
+    pub use npb_workloads::{benchmark, nas_suite, BenchmarkId, BenchmarkProfile};
+    pub use phase_rt::{Binding, FreqStep, MachineShape, PhaseId};
+    pub use xeon_sim::{Configuration, Machine};
+}
 
 /// The workspace version (all member crates share it).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

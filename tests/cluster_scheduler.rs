@@ -34,8 +34,20 @@ fn spec(nodes: usize, budget_fraction: f64) -> ClusterSpec {
 }
 
 fn run(model: &WorkloadModel, spec: &ClusterSpec, policy: &str) -> ClusterReport {
-    let mut policy = policy_by_name(policy).unwrap();
+    let mut policy = policy_by_name(policy, model).unwrap();
     simulate(spec, model, policy.as_mut()).unwrap()
+}
+
+#[test]
+fn unknown_policy_names_report_the_valid_ones() {
+    let model = model();
+    let err = actor_suite::cluster::policy_by_name("lottery", &model)
+        .err()
+        .expect("unknown policy must fail");
+    let msg = err.to_string();
+    for name in actor_suite::cluster::POLICY_NAMES {
+        assert!(msg.contains(name), "{msg:?} must list {name}");
+    }
 }
 
 #[test]
