@@ -9,7 +9,10 @@
 //! the whole sweep (reports + rendered tables) as JSON to
 //! `results/cluster_power_cap.json`.
 //!
-//! Pass `--fast` to use the reduced ANN training configuration.
+//! Pass `--fast` to use the reduced ANN training configuration, and
+//! `--dvfs` (alias `--freq-ladder`) to add the joint DVFS+DCT policy
+//! (`power-aware-dvfs`) to the sweep — the JSON then also reports the
+//! headline 8-node tight-budget ED² delta of joint control vs DCT-only.
 
 use actor_bench::Harness;
 use actor_core::report::fmt3;
@@ -47,20 +50,30 @@ struct SweepOutput {
     workload_seed: u64,
     entries: Vec<SweepEntry>,
     summary_table_csv: String,
+    /// 8-node tight-budget ED² of joint DVFS+DCT control relative to the
+    /// DCT-only power-aware policy (%); `null` unless the sweep ran with
+    /// `--dvfs`.
+    dvfs_joint_vs_dct_ed2_pct: Option<f64>,
 }
 
 fn main() {
+    let dvfs = std::env::args().skip(1).any(|a| a == "--dvfs" || a == "--freq-ladder");
     let mut exp = Harness::from_env().experiment();
     let idle_w = exp.machine().params().power.system_idle_w;
 
     eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
     let model = exp.workload_model().expect("workload model construction failed");
 
+    let policies: Vec<&str> = if dvfs {
+        POLICIES.iter().copied().chain(["power-aware-dvfs"]).collect()
+    } else {
+        POLICIES.to_vec()
+    };
     let mut entries: Vec<SweepEntry> = Vec::new();
     let mut reports: Vec<ClusterReport> = Vec::new();
     for nodes in NODE_COUNTS {
         for (budget_label, fraction) in BUDGET_FRACTIONS {
-            for policy_name in POLICIES {
+            for &policy_name in &policies {
                 let spec = ClusterSpec {
                     nodes,
                     power_budget_w: budget_from_fraction(nodes, idle_w, 160.0, fraction),
@@ -140,8 +153,26 @@ fn main() {
     }
     exp.emit("cluster_power_cap_tight8", "8 nodes, tight budget: the headline", &headline);
 
-    let output =
-        SweepOutput { workload_seed: WORKLOAD_SEED, entries, summary_table_csv: summary.to_csv() };
+    // Under --dvfs: the joint-control headline, relative to DCT-only.
+    let dvfs_joint_vs_dct_ed2_pct = if dvfs {
+        let aware = tight_8.iter().find(|r| r.policy == "power-aware").expect("DCT-only ran");
+        let joint =
+            tight_8.iter().find(|r| r.policy == "power-aware-dvfs").expect("joint policy ran");
+        let pct = (joint.cluster_ed2() / aware.cluster_ed2() - 1.0) * 100.0;
+        exp.note(&format!(
+            "8 nodes @ tight budget: joint DVFS+DCT ED2 is {pct:+.1}% vs DCT-only power-aware",
+        ));
+        Some(pct)
+    } else {
+        None
+    };
+
+    let output = SweepOutput {
+        workload_seed: WORKLOAD_SEED,
+        entries,
+        summary_table_csv: summary.to_csv(),
+        dvfs_joint_vs_dct_ed2_pct,
+    };
     let json = serde_json::to_string_pretty(&output).expect("sweep serializes");
     exp.artifact("cluster_power_cap.json", &json);
 

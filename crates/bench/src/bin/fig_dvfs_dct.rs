@@ -1,0 +1,240 @@
+//! DVFS extension — compare DCT-only, DVFS-only and joint DVFS+DCT control
+//! under a per-phase power cap, per suite benchmark, on energy/EDP/ED².
+//!
+//! Three adaptive controllers run through the same Figure-8 harness
+//! (`adaptation_with_controller` via the `ExperimentBuilder`), each against
+//! the same power cap:
+//!
+//! * **dct-only** — the paper's controller: ANN decisions over thread
+//!   configurations, nominal frequency (the ladder is not offered);
+//! * **dvfs-only** — frequency scaling with the thread configuration pinned
+//!   at maximal concurrency (the candidate list is restricted to `4`);
+//! * **joint** — the full (threads × frequency) space: ANN IPC predictions
+//!   extrapolated along the ladder via each phase's stall/compute split.
+//!
+//! Memory-bound suites are where the joint controller earns its keep: under
+//! a cap that forces DCT-only to shed threads, the joint controller
+//! downclocks instead, keeping throughput while meeting the same cap —
+//! strictly lower ED² on IS/MG/CG at the default cap. Prints tables to
+//! stdout, writes CSVs under `results/`, and emits the whole comparison as
+//! JSON to `results/fig_dvfs_dct.json`.
+//!
+//! Pass `--fast` for the reduced training configuration, `--cap <W>` to move
+//! the power cap (default 125 W).
+
+use actor_bench::Harness;
+use actor_core::controller::{
+    CandidatePerf, Decision, DecisionCtx, DecisionTableController, DvfsSpace, JointPerf,
+    PowerPerfController,
+};
+use actor_core::report::{fmt3, NullReporter, Table};
+use actor_core::{Metric, PhaseSample, Strategy};
+use actor_suite::ControllerSpec;
+use phase_rt::PhaseId;
+use serde::{Deserialize, Serialize};
+use xeon_sim::Configuration;
+
+/// Default per-phase average-power cap (W): tight enough that DCT-only must
+/// shed threads on every suite, so the frequency axis has headroom to win.
+const DEFAULT_CAP_W: f64 = 125.0;
+
+/// Restricts a wrapped controller's decision space to maximal concurrency:
+/// only the `4` configuration survives in the candidate list (and in the
+/// joint cells), so the only remaining knob is the frequency ladder — the
+/// DVFS-only comparison arm.
+struct FreqOnlyController<C>(C);
+
+impl<C: PowerPerfController> PowerPerfController for FreqOnlyController<C> {
+    fn name(&self) -> &'static str {
+        "dvfs-only"
+    }
+
+    fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
+        self.0.observe(phase, sample);
+    }
+
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        let four: Vec<CandidatePerf> =
+            ctx.candidates.iter().filter(|c| c.config == Configuration::Four).copied().collect();
+        let joint: Vec<JointPerf> = ctx
+            .dvfs
+            .map(|space| {
+                space.joint.iter().filter(|c| c.config == Configuration::Four).copied().collect()
+            })
+            .unwrap_or_default();
+        let restricted = DecisionCtx {
+            phase: ctx.phase,
+            shape: ctx.shape,
+            candidates: &four,
+            power_cap_w: ctx.power_cap_w,
+            dvfs: ctx.dvfs.map(|space| DvfsSpace { ladder: space.ladder, joint: &joint }),
+        };
+        self.0.decide(&restricted)
+    }
+}
+
+/// One (benchmark, mode) cell of the comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ModeOutcome {
+    benchmark: String,
+    mode: String,
+    time_s: f64,
+    avg_power_w: f64,
+    energy_j: f64,
+    edp_j_s: f64,
+    ed2_j_s2: f64,
+    downclocked_phases: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DvfsDctOutput {
+    power_cap_w: f64,
+    seed: u64,
+    outcomes: Vec<ModeOutcome>,
+    /// Per-benchmark joint-vs-DCT ED² change (negative = joint wins).
+    joint_vs_dct_ed2_pct: Vec<(String, f64)>,
+}
+
+/// `--cap <W>` (bin-specific; the shared harness ignores unknown flags).
+fn cap_from_args() -> f64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--cap" {
+            match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(cap) if cap.is_finite() && cap > 0.0 => return cap,
+                _ => eprintln!("warning: --cap requires a positive number; using the default"),
+            }
+        }
+    }
+    DEFAULT_CAP_W
+}
+
+/// Builds the controller spec of one comparison arm.
+fn mode_spec(mode: &str) -> ControllerSpec {
+    match mode {
+        "dvfs-only" => ControllerSpec::Custom(Box::new(|_, _, eval| {
+            Box::new(FreqOnlyController(DecisionTableController::new(
+                eval.phases
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (PhaseId::new(i as u32), p.decision.clone())),
+            )))
+        })),
+        _ => ControllerSpec::Ann,
+    }
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let cap_w = cap_from_args();
+    let mut exp = harness.experiment();
+    let seed = exp.config().seed;
+
+    // One experiment for all three arms: swapping the controller and the
+    // DVFS toggle keeps the cached leave-one-out evaluations, so the
+    // expensive ANN training runs once, not per arm.
+    let mut arms = harness
+        .builder()
+        .power_budget_w(cap_w)
+        .reporter(Box::new(NullReporter))
+        .run()
+        .expect("valid experiment");
+
+    let mut outcomes: Vec<ModeOutcome> = Vec::new();
+    for (mode, dvfs) in [("dct-only", false), ("dvfs-only", true), ("joint", true)] {
+        eprintln!("running the {mode} adaptation study (cap {cap_w} W)...");
+        arms.set_controller(mode_spec(mode));
+        arms.set_dvfs(dvfs);
+        let study = arms.adaptation().expect("adaptation study");
+        for bench in &study.benchmarks {
+            let o = bench.outcome(Strategy::Prediction);
+            outcomes.push(ModeOutcome {
+                benchmark: bench.id.to_string(),
+                mode: mode.to_string(),
+                time_s: o.time_s,
+                avg_power_w: o.power_w,
+                energy_j: o.energy_j,
+                edp_j_s: o.energy_j * o.time_s,
+                ed2_j_s2: o.metric(Metric::Ed2),
+                downclocked_phases: bench.freq_steps.iter().filter(|&&s| s > 0).count(),
+            });
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "mode",
+        "time s",
+        "power W",
+        "energy kJ",
+        "EDP kJ.s",
+        "ED2 MJ.s2",
+        "downclocked",
+    ]);
+    let benchmarks: Vec<String> = {
+        let mut seen = Vec::new();
+        for o in &outcomes {
+            if !seen.contains(&o.benchmark) {
+                seen.push(o.benchmark.clone());
+            }
+        }
+        seen
+    };
+    for bench in &benchmarks {
+        for o in outcomes.iter().filter(|o| &o.benchmark == bench) {
+            table.push_row(vec![
+                o.benchmark.clone(),
+                o.mode.clone(),
+                fmt3(o.time_s),
+                fmt3(o.avg_power_w),
+                fmt3(o.energy_j / 1e3),
+                fmt3(o.edp_j_s / 1e3),
+                fmt3(o.ed2_j_s2 / 1e6),
+                o.downclocked_phases.to_string(),
+            ]);
+        }
+    }
+    exp.emit(
+        "fig_dvfs_dct",
+        &format!("DCT-only vs DVFS-only vs joint under a {cap_w} W cap"),
+        &table,
+    );
+
+    let ed2_of = |bench: &str, mode: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.benchmark == bench && o.mode == mode)
+            .map(|o| o.ed2_j_s2)
+            .expect("every (benchmark, mode) cell ran")
+    };
+    let joint_vs_dct: Vec<(String, f64)> = benchmarks
+        .iter()
+        .map(|b| (b.clone(), (ed2_of(b, "joint") / ed2_of(b, "dct-only") - 1.0) * 100.0))
+        .collect();
+
+    let mut delta = Table::new(vec!["benchmark", "joint vs dct-only ED2"]);
+    for (bench, pct) in &joint_vs_dct {
+        delta.push_row(vec![bench.clone(), format!("{pct:+.1}%")]);
+    }
+    exp.emit("fig_dvfs_dct_delta", "Joint DVFS+DCT vs DCT-only: ED2 change", &delta);
+
+    let output = DvfsDctOutput {
+        power_cap_w: cap_w,
+        seed,
+        outcomes,
+        joint_vs_dct_ed2_pct: joint_vs_dct.clone(),
+    };
+    let json = serde_json::to_string_pretty(&output).expect("comparison serializes");
+    exp.artifact("fig_dvfs_dct.json", &json);
+
+    let wins = joint_vs_dct.iter().filter(|(_, pct)| *pct < 0.0).count();
+    let best =
+        joint_vs_dct.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("at least one benchmark ran");
+    exp.note(&format!(
+        "joint DVFS+DCT beats DCT-only on ED2 for {wins}/{} suites under the {cap_w} W cap; \
+         best: {} ({:+.1}%)",
+        joint_vs_dct.len(),
+        best.0,
+        best.1,
+    ));
+}

@@ -164,6 +164,7 @@ mod tests {
                 ("a".to_string(), Configuration::TwoLoose),
                 ("b".to_string(), Configuration::Four),
             ],
+            freq_steps: Vec::new(),
             exec_time_s: 10.0,
             energy_j: 1500.0,
             peak_power_w: 180.0,

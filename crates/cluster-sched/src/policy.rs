@@ -22,7 +22,7 @@
 //! k × its per-node plan peak, and every node runs the same plan.
 
 use actor_core::controller::{
-    CandidatePerf, DecisionCtx, DecisionTableController, PowerPerfController,
+    CandidatePerf, DecisionCtx, DecisionTableController, DvfsSpace, PowerPerfController,
 };
 use phase_rt::{MachineShape, PhaseId};
 use xeon_sim::Configuration;
@@ -101,7 +101,7 @@ pub trait SchedulerPolicy {
 }
 
 /// Every name [`policy_by_name`] accepts.
-pub const POLICY_NAMES: [&str; 3] = ["fcfs", "backfill", "power-aware"];
+pub const POLICY_NAMES: [&str; 4] = ["fcfs", "backfill", "power-aware", "power-aware-dvfs"];
 
 /// Builds the policy named `name` (see [`POLICY_NAMES`]). The workload model
 /// supplies the decision table behind the power-aware policy's default
@@ -128,6 +128,7 @@ pub fn policy_by_name(
         "fcfs" => Ok(Box::new(FcfsPolicy)),
         "backfill" => Ok(Box::new(BackfillPolicy)),
         "power-aware" => Ok(Box::new(PowerAwarePolicy::from_model(model))),
+        "power-aware-dvfs" => Ok(Box::new(PowerAwarePolicy::from_model(model).with_dvfs())),
         _ => Err(SchedError::UnknownPolicy { requested: name.to_string() }),
     }
 }
@@ -295,6 +296,11 @@ pub struct PowerAwarePolicy<C: PowerPerfController = DecisionTableController> {
     controller: C,
     shape: MachineShape,
     observed: std::collections::HashSet<PhaseId>,
+    /// Whether to offer the node machine's frequency ladder to the
+    /// controller, widening decisions to the joint (threads × frequency)
+    /// space: a job that would not fit its cap share at nominal frequency
+    /// downclocks before it queues.
+    dvfs: bool,
 }
 
 impl PowerAwarePolicy<DecisionTableController> {
@@ -305,13 +311,21 @@ impl PowerAwarePolicy<DecisionTableController> {
 }
 
 impl<C: PowerPerfController> PowerAwarePolicy<C> {
-    /// Wraps an arbitrary controller.
+    /// Wraps an arbitrary controller (DCT-only: nominal frequency).
     pub fn new(controller: C) -> Self {
         Self {
             controller,
             shape: MachineShape::quad_core(),
             observed: std::collections::HashSet::new(),
+            dvfs: false,
         }
+    }
+
+    /// Enables joint DVFS+DCT control: the controller is offered the node
+    /// ladder and may downclock phases instead of queueing the job.
+    pub fn with_dvfs(mut self) -> Self {
+        self.dvfs = true;
+        self
     }
 
     /// The wrapped controller.
@@ -322,7 +336,11 @@ impl<C: PowerPerfController> PowerAwarePolicy<C> {
 
 impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
     fn name(&self) -> &'static str {
-        "power-aware"
+        if self.dvfs {
+            "power-aware-dvfs"
+        } else {
+            "power-aware"
+        }
     }
 
     fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
@@ -333,6 +351,8 @@ impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
         let controller = &mut self.controller;
         let shape = &self.shape;
         let observed = &mut self.observed;
+        let dvfs = self.dvfs;
+        let ladder = ctx.model.freq_ladder();
         assign_in_order(ctx, |job, node_cap| {
             let k = ctx.model.knowledge(job.benchmark);
             let mut choices = Vec::with_capacity(k.phases.len());
@@ -349,29 +369,34 @@ impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
                         avg_power_w: Some(exec.avg_power_w),
                     })
                     .collect();
+                let joint = if dvfs { phase.joint_candidates() } else { Vec::new() };
                 let decision = controller.decide(&DecisionCtx {
                     phase: pid,
                     shape,
                     candidates: &candidates,
                     power_cap_w: Some(node_cap),
+                    dvfs: dvfs.then_some(DvfsSpace { ladder, joint: &joint }),
                 });
-                // A non-paper binding is a controller contract violation
-                // (the conformance harness rejects such controllers); fail
-                // loudly rather than letting the job starve behind what
-                // would be misreported as a power-budget problem.
-                let config = decision.configuration(shape).unwrap_or_else(|| {
-                    panic!(
-                        "controller {:?} decided binding {:?} for {} phase {idx}, which is not \
-                         one of the paper's five configurations",
-                        controller.name(),
-                        decision.binding.cores(),
-                        job.benchmark,
-                    )
-                });
-                choices.push(config);
+                // A non-paper binding — or a frequency the controller was
+                // not offered / the ladder does not have — is a controller
+                // contract violation (the conformance harness rejects such
+                // controllers, and `validate_decision` is the contract's one
+                // definition); fail loudly rather than letting the job
+                // starve behind what would be misreported as a power-budget
+                // problem.
+                let config =
+                    actor_core::controller::validate_decision(&decision, shape, ladder.len(), dvfs)
+                        .unwrap_or_else(|violation| {
+                            panic!(
+                                "controller {:?} deciding {} phase {idx}: {violation}",
+                                controller.name(),
+                                job.benchmark,
+                            )
+                        });
+                choices.push((config, decision.freq_step));
             }
             let mut iter = choices.into_iter();
-            Some(ctx.model.plan_with(job, |_| iter.next().expect("one choice per phase")))
+            Some(ctx.model.plan_with_joint(job, |_| iter.next().expect("one choice per phase")))
         })
     }
 }
@@ -548,6 +573,60 @@ mod tests {
             model.knowledge(BenchmarkId::Mg).phases.iter().map(|p| p.decision.chosen).collect();
         let got: Vec<Configuration> = a[0].plan.decisions.iter().map(|(_, c)| *c).collect();
         assert_eq!(got, expected, "with no pressure, the plan is ACTOR's own decision");
+    }
+
+    #[test]
+    fn power_aware_dvfs_downclocks_instead_of_shedding_threads() {
+        let model = model();
+        let queue = vec![job(0, BenchmarkId::Is, 1)];
+        let idle = [0usize];
+        let four_w = model.plan_fixed(&queue[0], Configuration::Four).peak_power_w;
+        // Budget below the four-core nominal peak but above single-core power.
+        let budget = IDLE_W + (four_w - IDLE_W) * 0.5;
+
+        let mut dct = PowerAwarePolicy::from_model(&model);
+        let dct_plan = &dct.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[]))[0].plan;
+        assert!(dct_plan.freq_steps.is_empty(), "DCT-only plans carry no frequency axis");
+
+        let mut joint = PowerAwarePolicy::from_model(&model).with_dvfs();
+        assert_eq!(joint.name(), "power-aware-dvfs");
+        let a = joint.assign(&ctx(&model, &queue, &idle, budget, IDLE_W, &[]));
+        assert_eq!(a.len(), 1, "joint control must also fit the job under the cap");
+        let plan = &a[0].plan;
+        assert!(plan.peak_power_w <= budget - IDLE_W + IDLE_W + 1e-9);
+        assert!(
+            !plan.freq_steps.is_empty() && plan.freq_steps.iter().any(|&s| s > 0),
+            "IS is memory-bound: the joint controller should downclock at least one phase \
+             (steps: {:?})",
+            plan.freq_steps
+        );
+        // Keeping more threads at a lower clock must not run slower than
+        // shedding threads at nominal.
+        assert!(
+            plan.exec_time_s <= dct_plan.exec_time_s * 1.001,
+            "joint plan ({:.2} s) should not lose time to the DCT-only plan ({:.2} s)",
+            plan.exec_time_s,
+            dct_plan.exec_time_s
+        );
+    }
+
+    #[test]
+    fn power_aware_dvfs_matches_dct_when_budget_is_ample() {
+        let model = model();
+        let queue = vec![job(0, BenchmarkId::Mg, 1)];
+        let idle = [0usize];
+        let mut joint = PowerAwarePolicy::from_model(&model).with_dvfs();
+        let a = joint.assign(&ctx(&model, &queue, &idle, 10_000.0, IDLE_W, &[]));
+        assert_eq!(a.len(), 1);
+        let expected: Vec<Configuration> =
+            model.knowledge(BenchmarkId::Mg).phases.iter().map(|p| p.decision.chosen).collect();
+        let got: Vec<Configuration> = a[0].plan.decisions.iter().map(|(_, c)| *c).collect();
+        assert_eq!(got, expected, "no pressure: the joint plan is ACTOR's own decision");
+        assert!(
+            a[0].plan.freq_steps.is_empty(),
+            "no pressure: nominal frequency everywhere (steps: {:?})",
+            a[0].plan.freq_steps
+        );
     }
 
     #[test]

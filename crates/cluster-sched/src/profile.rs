@@ -9,14 +9,14 @@
 //! predict?" without re-running the pipeline per job.
 
 use actor_core::controller::{
-    best_config_by_ipc, CandidatePerf, DecisionTableController, PhaseSample,
+    best_config_by_ipc, CandidatePerf, DecisionTableController, JointPerf, PhaseSample,
 };
 use actor_core::{evaluate_benchmarks, ActorConfig, ThrottleDecision};
 use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
-use phase_rt::PhaseId;
+use phase_rt::{FreqStep, PhaseId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xeon_sim::{Configuration, Machine, PhaseExecution};
+use xeon_sim::{Configuration, FreqLadder, Machine, PhaseExecution};
 
 use crate::error::ClusterError;
 use crate::job::Job;
@@ -35,12 +35,16 @@ pub struct PhaseKnowledge {
     /// Counter-derived feature vector observed on the sampling
     /// configuration (what a live controller would re-predict from).
     pub features: Vec<f64>,
-    /// Machine-model execution of one phase instance per configuration.
+    /// Machine-model execution of one phase instance per configuration, at
+    /// the nominal frequency.
     pub executions: Vec<(Configuration, PhaseExecution)>,
+    /// Executions of the *downclocked* joint cells: one entry per
+    /// (configuration, ladder step ≥ 1). Step 0 lives in `executions`.
+    pub dvfs_executions: Vec<((Configuration, usize), PhaseExecution)>,
 }
 
 impl PhaseKnowledge {
-    /// Execution of this phase under `config`.
+    /// Execution of this phase under `config` at the nominal frequency.
     pub fn execution(&self, config: Configuration) -> &PhaseExecution {
         &self
             .executions
@@ -50,6 +54,58 @@ impl PhaseKnowledge {
             .1
     }
 
+    /// Execution of this phase in the joint cell (`config`, `step`).
+    ///
+    /// Panics on a step the workload model did not pre-simulate — an
+    /// out-of-ladder step is a contract violation upstream.
+    pub fn execution_at(&self, config: Configuration, step: FreqStep) -> &PhaseExecution {
+        if step.is_nominal() {
+            return self.execution(config);
+        }
+        let key = (config, step.index() as usize);
+        &self
+            .dvfs_executions
+            .iter()
+            .find(|(c, _)| *c == key)
+            .unwrap_or_else(|| {
+                panic!(
+                    "phase {:?}: joint cell ({config:?}, step {}) was not pre-simulated — \
+                     the step is outside the machine's frequency ladder",
+                    self.name,
+                    step.index()
+                )
+            })
+            .1
+    }
+
+    /// The memory-stall fraction observed on the sampling configuration —
+    /// the stall/compute split a DVFS-aware controller extrapolates along
+    /// the frequency ladder (one definition:
+    /// [`PhaseExecution::stall_fraction`]).
+    pub fn stall_fraction(&self) -> f64 {
+        self.execution(Configuration::SAMPLE).stall_fraction()
+    }
+
+    /// The joint (configuration × frequency) candidate cells with their
+    /// pre-simulated powers, for a [`actor_core::DvfsSpace`].
+    pub fn joint_candidates(&self) -> Vec<JointPerf> {
+        let mut joint: Vec<JointPerf> = self
+            .executions
+            .iter()
+            .map(|(config, exec)| JointPerf {
+                config: *config,
+                step: FreqStep::NOMINAL,
+                avg_power_w: Some(exec.avg_power_w),
+            })
+            .collect();
+        joint.extend(self.dvfs_executions.iter().map(|((config, step), exec)| JointPerf {
+            config: *config,
+            step: FreqStep::new(*step as u8),
+            avg_power_w: Some(exec.avg_power_w),
+        }));
+        joint
+    }
+
     /// Predicted (or, for the sampling configuration, observed) IPC of this
     /// phase under `config`.
     pub fn predicted_ipc(&self, config: Configuration) -> f64 {
@@ -57,14 +113,15 @@ impl PhaseKnowledge {
     }
 
     /// The observation a [`actor_core::PowerPerfController`] would receive
-    /// for this phase: the sampling-configuration window with its features
-    /// and IPC.
+    /// for this phase: the sampling-configuration window with its features,
+    /// IPC and stall/compute split.
     pub fn sample(&self) -> PhaseSample {
         PhaseSample::sampling(
             self.features.clone(),
             self.decision.sampled_ipc,
             self.execution(Configuration::SAMPLE).time_s,
         )
+        .with_stall_fraction(self.stall_fraction())
     }
 
     /// The highest-predicted-IPC configuration whose average phase power fits
@@ -99,6 +156,9 @@ pub struct BenchmarkKnowledge {
 pub struct ExecutionPlan {
     /// Chosen configuration per phase, in phase order.
     pub decisions: Vec<(String, Configuration)>,
+    /// Chosen DVFS step per phase, aligned with `decisions`. Empty means
+    /// nominal frequency throughout (the DCT-only plans).
+    pub freq_steps: Vec<u8>,
     /// Total execution time (s) over all timesteps.
     pub exec_time_s: f64,
     /// Total energy (J) over all timesteps.
@@ -122,6 +182,9 @@ impl ExecutionPlan {
 #[derive(Debug, Clone)]
 pub struct WorkloadModel {
     benchmarks: Vec<(BenchmarkId, BenchmarkKnowledge)>,
+    /// The node machine's voltage/frequency ladder (all nodes are identical),
+    /// offered to DVFS-aware policies.
+    ladder: FreqLadder,
 }
 
 impl WorkloadModel {
@@ -158,19 +221,36 @@ impl WorkloadModel {
                 .phases
                 .iter()
                 .zip(&eval.phases)
-                .map(|(phase, pe)| PhaseKnowledge {
-                    name: phase.name.clone(),
-                    decision: pe.decision.clone(),
-                    features: pe.features.clone(),
-                    executions: Configuration::ALL
-                        .iter()
-                        .map(|&c| (c, machine.simulate_config(phase, c)))
-                        .collect(),
+                .map(|(phase, pe)| {
+                    // One ladder-wide simulation per configuration: the
+                    // nominal execution plus every downclocked cell from a
+                    // single contention solve.
+                    let mut executions = Vec::with_capacity(Configuration::ALL.len());
+                    let mut dvfs_executions = Vec::new();
+                    for &c in &Configuration::ALL {
+                        let mut ladder_execs = machine.simulate_config_ladder(phase, c).into_iter();
+                        executions
+                            .push((c, ladder_execs.next().expect("ladders have a nominal step")));
+                        dvfs_executions
+                            .extend(ladder_execs.enumerate().map(|(i, e)| ((c, i + 1), e)));
+                    }
+                    PhaseKnowledge {
+                        name: phase.name.clone(),
+                        decision: pe.decision.clone(),
+                        features: pe.features.clone(),
+                        executions,
+                        dvfs_executions,
+                    }
                 })
                 .collect();
             benchmarks.push((profile.id, BenchmarkKnowledge { profile, phases }));
         }
-        Ok(Self { benchmarks })
+        Ok(Self { benchmarks, ladder: machine.freq_ladder().clone() })
+    }
+
+    /// The node machine's voltage/frequency ladder.
+    pub fn freq_ladder(&self) -> &FreqLadder {
+        &self.ladder
     }
 
     /// The benchmarks in the model.
@@ -248,22 +328,46 @@ impl WorkloadModel {
         job: &Job,
         mut choose: impl FnMut(&PhaseKnowledge) -> Configuration,
     ) -> ExecutionPlan {
+        self.plan_with_joint(job, |phase| (choose(phase), FreqStep::NOMINAL))
+    }
+
+    /// Plan `job` with an arbitrary per-phase choice in the joint
+    /// (configuration × frequency) space. Panics on a step outside the node
+    /// machine's ladder — an out-of-range step is a controller contract
+    /// violation, not a schedulable plan.
+    pub fn plan_with_joint(
+        &self,
+        job: &Job,
+        mut choose: impl FnMut(&PhaseKnowledge) -> (Configuration, FreqStep),
+    ) -> ExecutionPlan {
         let k = self.knowledge(job.benchmark);
         let timesteps = job.effective_timesteps(k.profile.timesteps) as f64;
         let mut decisions = Vec::with_capacity(k.phases.len());
+        let mut steps = Vec::with_capacity(k.phases.len());
         let mut time_per_timestep = 0.0;
         let mut energy_per_timestep = 0.0;
         let mut peak_power_w = 0.0f64;
         for phase in &k.phases {
-            let config = choose(phase);
-            let exec = phase.execution(config);
+            let (config, step) = choose(phase);
+            assert!(
+                step.is_valid_for(self.ladder.len()),
+                "phase {:?}: chosen frequency step {} is outside the node ladder ({} steps)",
+                phase.name,
+                step.index(),
+                self.ladder.len()
+            );
+            let exec = phase.execution_at(config, step);
             decisions.push((phase.name.clone(), config));
+            steps.push(step.index());
             time_per_timestep += exec.time_s;
             energy_per_timestep += exec.energy_j;
             peak_power_w = peak_power_w.max(exec.avg_power_w);
         }
+        // DCT-only plans keep the compact representation (no frequency axis).
+        let freq_steps = if steps.iter().all(|&s| s == 0) { Vec::new() } else { steps };
         ExecutionPlan {
             decisions,
+            freq_steps,
             exec_time_s: time_per_timestep * timesteps,
             energy_j: energy_per_timestep * timesteps,
             peak_power_w,
@@ -336,6 +440,72 @@ mod tests {
                 assert!(p.best_config_within(one_w - 1.0).is_none());
             }
         }
+    }
+
+    #[test]
+    fn joint_cells_are_presimulated_with_monotone_power() {
+        let m = model();
+        let ladder_len = m.freq_ladder().len();
+        assert!(ladder_len >= 2, "the default node machine ships a real ladder");
+        for id in m.benchmark_ids() {
+            for p in &m.knowledge(id).phases {
+                assert_eq!(
+                    p.dvfs_executions.len(),
+                    Configuration::ALL.len() * (ladder_len - 1),
+                    "one pre-simulated cell per (configuration, downclocked step)"
+                );
+                let stall = p.stall_fraction();
+                assert!((0.0..=1.0).contains(&stall));
+                for &config in &Configuration::ALL {
+                    let mut prev = p.execution_at(config, FreqStep::NOMINAL).avg_power_w;
+                    for step in 1..ladder_len {
+                        let exec = p.execution_at(config, FreqStep::new(step as u8));
+                        assert!(exec.avg_power_w <= prev + 1e-9, "power rose down the ladder");
+                        assert!(
+                            exec.time_s + 1e-12 >= p.execution_at(config, FreqStep::NOMINAL).time_s,
+                            "downclocking never speeds a phase up"
+                        );
+                        prev = exec.avg_power_w;
+                    }
+                }
+                let joint = p.joint_candidates();
+                assert_eq!(joint.len(), Configuration::ALL.len() * ladder_len);
+                assert!(joint.iter().all(|c| c.avg_power_w.is_some()));
+                // The sample a controller receives carries the stall split.
+                assert_eq!(p.sample().stall_fraction, stall);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not pre-simulated")]
+    fn out_of_ladder_execution_lookup_fails_loudly() {
+        let m = model();
+        let id = m.benchmark_ids()[0];
+        let p = &m.knowledge(id).phases[0];
+        let _ = p.execution_at(Configuration::One, FreqStep::new(99));
+    }
+
+    #[test]
+    fn joint_plans_price_the_frequency_axis() {
+        let m = model();
+        let j = job(BenchmarkId::Is);
+        let ladder_len = m.freq_ladder().len();
+        let nominal = m.plan_fixed(&j, Configuration::Four);
+        assert!(nominal.freq_steps.is_empty());
+        let bottom = FreqStep::new((ladder_len - 1) as u8);
+        let slow = m.plan_with_joint(&j, |_| (Configuration::Four, bottom));
+        assert_eq!(slow.freq_steps, vec![bottom.index(); slow.decisions.len()]);
+        assert!(slow.peak_power_w < nominal.peak_power_w, "downclocked plan draws less");
+        assert!(slow.exec_time_s >= nominal.exec_time_s, "…but never finishes earlier");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the node ladder")]
+    fn joint_plans_reject_out_of_ladder_steps() {
+        let m = model();
+        let j = job(BenchmarkId::Is);
+        let _ = m.plan_with_joint(&j, |_| (Configuration::Four, FreqStep::new(99)));
     }
 
     #[test]

@@ -19,13 +19,13 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use npb_workloads::{suite, BenchmarkId, BenchmarkProfile};
-use phase_rt::PhaseId;
+use phase_rt::{FreqStep, PhaseId};
 use xeon_sim::{AggregateExecution, Configuration, Machine};
 
 use crate::config::ActorConfig;
 use crate::controller::{
-    shape_of, CandidatePerf, DecisionCtx, DecisionTableController, OracleController, PhaseSample,
-    PowerPerfController, StaticController,
+    shape_of, validate_decision, CandidatePerf, DecisionCtx, DecisionTableController, DvfsSpace,
+    JointPerf, OracleController, PhaseSample, PowerPerfController, StaticController,
 };
 use crate::error::ActorError;
 use crate::evaluation::{evaluate_benchmarks, BenchmarkEvaluation};
@@ -172,6 +172,10 @@ pub struct BenchmarkAdaptation {
     pub outcomes: Vec<StrategyOutcome>,
     /// ACTOR's per-phase decisions (phase name → chosen configuration).
     pub decisions: Vec<(String, Configuration)>,
+    /// The DVFS step chosen per phase, aligned with `decisions` (`0` =
+    /// nominal everywhere unless the adaptive controller was offered the
+    /// frequency ladder).
+    pub freq_steps: Vec<u8>,
     /// Fraction of the run spent sampling.
     pub sampling_fraction: f64,
 }
@@ -228,19 +232,27 @@ impl AdaptationStudy {
 
 /// Simulates a benchmark where the first `sample_timesteps` timesteps run at
 /// maximal concurrency (the sampling window) and the rest follow the
-/// per-phase decisions, charging the re-binding power penalty to throttled
-/// phases.
+/// per-phase joint (configuration, frequency) decisions, charging the
+/// re-binding power penalty to throttled phases.
 fn simulate_prediction_strategy(
     machine: &Machine,
     bench: &BenchmarkProfile,
-    decisions: &[Configuration],
+    decisions: &[(Configuration, FreqStep)],
     sample_timesteps: usize,
     rebinding_power_w: f64,
 ) -> AggregateExecution {
     let mut agg = AggregateExecution::new(format!("{} (prediction)", bench.id));
     let sampling_execs = bench.simulate_phases(machine, Configuration::Four);
-    let adapted_execs: Vec<_> =
-        bench.phases.iter().zip(decisions).map(|(p, &c)| machine.simulate_config(p, c)).collect();
+    let adapted_execs: Vec<_> = bench
+        .phases
+        .iter()
+        .zip(decisions)
+        .map(|(p, &(c, step))| {
+            machine
+                .simulate_config_at(p, c, step.index() as usize)
+                .expect("decide_phases validates steps against the machine ladder")
+        })
+        .collect();
 
     let sample_timesteps = sample_timesteps.min(bench.timesteps);
     for _ in 0..sample_timesteps {
@@ -249,7 +261,7 @@ fn simulate_prediction_strategy(
         }
     }
     for _ in sample_timesteps..bench.timesteps {
-        for (exec, &chosen) in adapted_execs.iter().zip(decisions) {
+        for (exec, &(chosen, _)) in adapted_execs.iter().zip(decisions) {
             agg.add(exec);
             if chosen != Configuration::Four {
                 // Cache-warmth loss from re-binding: extra bus/memory power.
@@ -261,13 +273,20 @@ fn simulate_prediction_strategy(
 }
 
 /// Walks a controller through one benchmark — observe the phase's sampling
-/// window, then decide — and returns the chosen configuration per phase.
+/// window, then decide — and returns the chosen (configuration, frequency
+/// step) per phase.
 ///
 /// Phase `i` is keyed by `PhaseId::new(i)`. When `power_cap_w` is set, each
 /// phase's per-configuration average power (from the machine model) is
 /// offered through the [`DecisionCtx`] so cap-aware controllers can re-rank.
-/// A decision whose binding is not one of the paper's five configurations is
-/// an error (the conformance harness catches such controllers earlier, but
+/// When `dvfs` is set, the machine's frequency ladder (with per-cell powers
+/// under a cap) is offered too, widening the decision space to
+/// (threads × frequency).
+///
+/// Decisions are validated loudly: a binding that is not one of the paper's
+/// five configurations is an error, as is a frequency step outside the
+/// machine's ladder — or any non-nominal step when the ladder was *not*
+/// offered (the conformance harness catches such controllers earlier, but
 /// custom controllers may reach here unvetted).
 pub fn decide_phases(
     controller: &mut dyn PowerPerfController,
@@ -275,8 +294,10 @@ pub fn decide_phases(
     bench: &BenchmarkProfile,
     eval: &BenchmarkEvaluation,
     power_cap_w: Option<f64>,
-) -> Result<Vec<Configuration>, ActorError> {
+    dvfs: bool,
+) -> Result<Vec<(Configuration, FreqStep)>, ActorError> {
     let shape = shape_of(machine);
+    let ladder = machine.freq_ladder();
     bench
         .phases
         .iter()
@@ -291,29 +312,74 @@ pub fn decide_phases(
                     pe.features.clone(),
                     pe.decision.sampled_ipc,
                     sampling_exec.time_s,
-                ),
+                )
+                .with_stall_fraction(sampling_exec.stall_fraction()),
             );
+            // Powers are only needed under a cap; with the frequency axis on,
+            // one ladder-wide simulation per configuration covers both the
+            // nominal candidates and every joint cell (a single contention
+            // solve per configuration, however deep the ladder is).
+            let ladder_execs: Option<Vec<Vec<f64>>> = power_cap_w.map(|_| {
+                Configuration::ALL
+                    .iter()
+                    .map(|&config| {
+                        if dvfs {
+                            machine
+                                .simulate_config_ladder(phase, config)
+                                .iter()
+                                .map(|e| e.avg_power_w)
+                                .collect()
+                        } else {
+                            vec![machine.simulate_config(phase, config).avg_power_w]
+                        }
+                    })
+                    .collect()
+            });
+            let power_of = |config_idx: usize, step_idx: usize| {
+                ladder_execs.as_ref().map(|powers| powers[config_idx][step_idx])
+            };
             let candidates: Vec<CandidatePerf> = Configuration::ALL
                 .iter()
-                .map(|&config| CandidatePerf {
-                    config,
-                    avg_power_w: power_cap_w
-                        .map(|_| machine.simulate_config(phase, config).avg_power_w),
-                })
+                .enumerate()
+                .map(|(ci, &config)| CandidatePerf { config, avg_power_w: power_of(ci, 0) })
                 .collect();
-            let ctx =
-                DecisionCtx { phase: pid, shape: &shape, candidates: &candidates, power_cap_w };
+            let joint: Vec<JointPerf> = if dvfs {
+                Configuration::ALL
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(ci, &config)| {
+                        (0..ladder.len()).map(move |step_idx| (ci, config, step_idx))
+                    })
+                    .map(|(ci, config, step_idx)| JointPerf {
+                        config,
+                        step: FreqStep::new(step_idx as u8),
+                        avg_power_w: power_of(ci, step_idx),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let dvfs_space = dvfs.then_some(DvfsSpace { ladder, joint: &joint });
+            let ctx = DecisionCtx {
+                phase: pid,
+                shape: &shape,
+                candidates: &candidates,
+                power_cap_w,
+                dvfs: dvfs_space,
+            };
             let decision = controller.decide(&ctx);
-            decision.configuration(&shape).ok_or_else(|| ActorError::InvalidConfig {
-                reason: format!(
-                    "controller {:?} decided binding {:?} for {} phase {:?}, which is not one \
-                     of the paper's five configurations",
-                    controller.name(),
-                    decision.binding.cores(),
-                    bench.id,
-                    pe.phase_name,
-                ),
-            })
+            let config =
+                validate_decision(&decision, &shape, ladder.len(), dvfs).map_err(|violation| {
+                    ActorError::InvalidConfig {
+                        reason: format!(
+                            "controller {:?} deciding {} phase {:?}: {violation}",
+                            controller.name(),
+                            bench.id,
+                            pe.phase_name,
+                        ),
+                    }
+                })?;
+            Ok((config, decision.freq_step))
         })
         .collect()
 }
@@ -325,7 +391,9 @@ pub fn decide_phases(
 /// themselves produced by controllers — [`Strategy::controller`] — and the
 /// fourth comes from `adaptive_for`, so any [`PowerPerfController`] is
 /// drop-in comparable against the oracles. `power_cap_w` constrains the
-/// adaptive controller only (the references are uncapped comparison points).
+/// adaptive controller only (the references are uncapped comparison points),
+/// and `dvfs` offers the machine's frequency ladder to the adaptive
+/// controller only — the references always run at nominal frequency.
 pub fn adaptation_with_controller(
     machine: &Machine,
     config: &ActorConfig,
@@ -337,29 +405,33 @@ pub fn adaptation_with_controller(
         &BenchmarkEvaluation,
     ) -> Box<dyn PowerPerfController>,
     power_cap_w: Option<f64>,
+    dvfs: bool,
 ) -> Result<AdaptationStudy, ActorError> {
     let mut results = Vec::with_capacity(benchmarks.len());
     for bench in benchmarks {
         let eval = evaluations.iter().find(|e| e.id == bench.id).ok_or_else(|| {
             ActorError::InvalidConfig { reason: format!("no evaluation found for {}", bench.id) }
         })?;
+        let configs_of = |choices: &[(Configuration, FreqStep)]| -> Vec<Configuration> {
+            choices.iter().map(|&(c, _)| c).collect()
+        };
 
         // Reference strategies, each realised by its controller.
         let mut four_ctl = Strategy::FourCores.controller(machine, bench, eval);
-        let four_choices = decide_phases(four_ctl.as_mut(), machine, bench, eval, None)?;
-        let four = bench.simulate_per_phase(machine, &four_choices);
+        let four_choices = decide_phases(four_ctl.as_mut(), machine, bench, eval, None, false)?;
+        let four = bench.simulate_per_phase(machine, &configs_of(&four_choices));
 
         let mut global_ctl = Strategy::GlobalOptimal.controller(machine, bench, eval);
-        let global_choices = decide_phases(global_ctl.as_mut(), machine, bench, eval, None)?;
-        let global = bench.simulate_per_phase(machine, &global_choices);
+        let global_choices = decide_phases(global_ctl.as_mut(), machine, bench, eval, None, false)?;
+        let global = bench.simulate_per_phase(machine, &configs_of(&global_choices));
 
         let mut oracle_ctl = Strategy::PhaseOptimal.controller(machine, bench, eval);
-        let oracle_choices = decide_phases(oracle_ctl.as_mut(), machine, bench, eval, None)?;
-        let phase_opt = bench.simulate_per_phase(machine, &oracle_choices);
+        let oracle_choices = decide_phases(oracle_ctl.as_mut(), machine, bench, eval, None, false)?;
+        let phase_opt = bench.simulate_per_phase(machine, &configs_of(&oracle_choices));
 
         // The adaptive slot: sampling overhead and re-binding penalty apply.
         let mut adaptive = adaptive_for(machine, bench, eval);
-        let decisions = decide_phases(adaptive.as_mut(), machine, bench, eval, power_cap_w)?;
+        let decisions = decide_phases(adaptive.as_mut(), machine, bench, eval, power_cap_w, dvfs)?;
         let prediction = simulate_prediction_strategy(
             machine,
             bench,
@@ -380,8 +452,9 @@ pub fn adaptation_with_controller(
                 .phases
                 .iter()
                 .map(|p| p.phase_name.clone())
-                .zip(decisions.iter().copied())
+                .zip(decisions.iter().map(|&(c, _)| c))
                 .collect(),
+            freq_steps: decisions.iter().map(|&(_, step)| step.index()).collect(),
             sampling_fraction: eval.plan.sampling_fraction(),
         });
     }
@@ -403,6 +476,7 @@ pub fn adaptation_from_evaluations(
         evaluations,
         &mut |m, b, e| Strategy::Prediction.controller(m, b, e),
         None,
+        false,
     )
 }
 

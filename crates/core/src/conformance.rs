@@ -18,6 +18,13 @@
 //! 4. **Power-cap respect** (opt-in, for cap-aware controllers) — when at
 //!    least one candidate fits the cap, the chosen configuration fits it;
 //!    when none fits, the decision is flagged [`Rationale::Infeasible`].
+//! 5. **Nominal fallback** — when the decision context offers no
+//!    [`DvfsSpace`], every decision carries [`FreqStep::NOMINAL`]: a
+//!    controller must never actuate a frequency it was not offered.
+//! 6. **Ladder validity** — when a frequency ladder *is* offered, every
+//!    decision's step indexes an existing rung (the whole script is re-run
+//!    with a DVFS-enabled context, including the determinism, ordering and
+//!    cap checks over the joint space).
 //!
 //! The harness drives the controller with a deterministic synthetic script
 //! (no RNG, no wall clock) and panics with a named violation on the first
@@ -33,12 +40,12 @@
 //! );
 //! ```
 
-use phase_rt::{MachineShape, PhaseId};
-use xeon_sim::Configuration;
+use phase_rt::{FreqStep, MachineShape, PhaseId};
+use xeon_sim::{Configuration, FreqLadder};
 
 use crate::controller::{
-    configuration_of, CandidatePerf, Decision, DecisionCtx, PhaseSample, PowerPerfController,
-    Rationale,
+    configuration_of, frequency_throughput_scale, CandidatePerf, Decision, DecisionCtx, DvfsSpace,
+    JointPerf, PhaseSample, PowerPerfController, Rationale,
 };
 
 /// What the harness checks beyond the universal contract, and how the
@@ -76,8 +83,24 @@ impl ConformanceOptions {
 /// Number of synthetic phases the script exercises.
 const PHASES: usize = 3;
 /// Observation/decision rounds per phase (enough to finish a five-candidate
-/// empirical search).
+/// empirical search at nominal; the joint search keeps exploring, which
+/// exercises the exploration path under every check).
 const ROUNDS: usize = 7;
+
+/// The ladder the DVFS-enabled script offers.
+fn script_ladder() -> FreqLadder {
+    FreqLadder::xeon_4step()
+}
+
+/// Synthetic memory-stall fraction per phase: phase 1 is memory-bound,
+/// phase 0 compute-bound, phase 2 mixed.
+fn script_stall(phase: usize) -> f64 {
+    match phase % PHASES {
+        1 => 0.9,
+        2 => 0.5,
+        _ => 0.1,
+    }
+}
 
 /// Synthetic per-configuration truth for one phase of the script: IPC favours
 /// different configurations per phase, power grows with thread count.
@@ -101,17 +124,32 @@ fn script_power(config: Configuration) -> f64 {
     100.0 + 15.0 * config.num_threads() as f64
 }
 
-fn script_sample(phase: usize, config: Configuration, feature_dim: usize) -> PhaseSample {
+/// Power of one joint cell: the thread-count term scales with `f·V²` down
+/// the ladder, mirroring the machine model's core-dynamic term.
+fn script_joint_power(ladder: &FreqLadder, config: Configuration, step: usize) -> f64 {
+    let dyn_scale = ladder.dynamic_power_scale(step).expect("script steps are in range");
+    100.0 + 15.0 * config.num_threads() as f64 * dyn_scale
+}
+
+fn script_sample(
+    phase: usize,
+    config: Configuration,
+    step: FreqStep,
+    feature_dim: usize,
+    ladder: &FreqLadder,
+) -> PhaseSample {
     let ipc = script_ipc(phase, config);
-    // Work per phase instance is fixed, so time is inverse throughput.
-    let time_s = (1.0 + phase as f64) / ipc;
-    if config == Configuration::SAMPLE {
+    if config == Configuration::SAMPLE && step.is_nominal() {
         let features =
             (0..feature_dim).map(|j| ipc / (1.0 + j as f64) + 0.05 * phase as f64).collect();
-        PhaseSample::sampling(features, ipc, time_s)
-    } else {
-        PhaseSample::measurement(config, time_s)
+        return PhaseSample::sampling(features, ipc, (1.0 + phase as f64) / ipc)
+            .with_stall_fraction(script_stall(phase));
     }
+    // Work per phase instance is fixed, so time is inverse throughput; the
+    // stall/compute split sets how much a lower clock hurts.
+    let fs = ladder.freq_scale(step.index() as usize).expect("script steps are in range");
+    let time_s = (1.0 + phase as f64) / (ipc * frequency_throughput_scale(script_stall(phase), fs));
+    PhaseSample::measurement_at(config, step, time_s)
 }
 
 fn candidates_with_power() -> Vec<CandidatePerf> {
@@ -121,9 +159,29 @@ fn candidates_with_power() -> Vec<CandidatePerf> {
         .collect()
 }
 
-/// Checks a decision is inside the machine's configuration space, returning
-/// the configuration it realises.
-fn check_in_space(name: &str, shape: &MachineShape, decision: &Decision) -> Configuration {
+fn joint_with_power(ladder: &FreqLadder) -> Vec<JointPerf> {
+    let mut joint = Vec::new();
+    for &config in &Configuration::ALL {
+        for step in 0..ladder.len() {
+            joint.push(JointPerf {
+                config,
+                step: FreqStep::new(step as u8),
+                avg_power_w: Some(script_joint_power(ladder, config, step)),
+            });
+        }
+    }
+    joint
+}
+
+/// Checks a decision is inside the machine's configuration space — and the
+/// frequency space the context offered — returning the configuration it
+/// realises.
+fn check_in_space(
+    name: &str,
+    shape: &MachineShape,
+    decision: &Decision,
+    ladder: Option<&FreqLadder>,
+) -> Configuration {
     let threads = decision.binding.num_threads();
     assert!(
         threads >= 1 && threads <= shape.num_cores,
@@ -136,6 +194,20 @@ fn check_in_space(name: &str, shape: &MachineShape, decision: &Decision) -> Conf
             "{name}: decision binds core {core} outside the {}-core shape",
             shape.num_cores
         );
+    }
+    match ladder {
+        None => assert!(
+            decision.freq_step.is_nominal(),
+            "{name}: decision carries frequency step {} but no ladder was offered — \
+             controllers must fall back to FreqStep::NOMINAL",
+            decision.freq_step.index()
+        ),
+        Some(ladder) => assert!(
+            decision.freq_step.is_valid_for(ladder.len()),
+            "{name}: decision carries frequency step {} but the offered ladder has only {} steps",
+            decision.freq_step.index(),
+            ladder.len()
+        ),
     }
     configuration_of(&decision.binding, shape).unwrap_or_else(|| {
         panic!(
@@ -150,26 +222,34 @@ fn check_in_space(name: &str, shape: &MachineShape, decision: &Decision) -> Conf
 ///
 /// `probe_first` additionally calls `decide` on every phase *before* any
 /// observation (the ordering check): the probed decisions are discarded and
-/// must not alter the returned trace.
+/// must not alter the returned trace. `ladder` switches the script into
+/// DVFS mode: the context offers the ladder with per-cell powers, and the
+/// feedback loop measures whatever (configuration, step) cell the
+/// controller decided.
 fn run_script(
     controller: &mut dyn PowerPerfController,
     shape: &MachineShape,
     capped: bool,
     probe_first: bool,
     feature_dim: usize,
+    ladder: Option<&FreqLadder>,
 ) -> Vec<Decision> {
     let candidates = candidates_with_power();
+    let joint = ladder.map(joint_with_power).unwrap_or_default();
+    let dvfs = ladder.map(|ladder| DvfsSpace { ladder, joint: &joint });
     let cap = if capped { Some(script_power(Configuration::TwoLoose)) } else { None };
+    let ctx_for = |phase: usize| DecisionCtx {
+        phase: PhaseId::new(phase as u32),
+        shape,
+        candidates: &candidates,
+        power_cap_w: cap,
+        dvfs,
+    };
     if probe_first {
         for phase in 0..PHASES {
-            let ctx = DecisionCtx {
-                phase: PhaseId::new(phase as u32),
-                shape,
-                candidates: &candidates,
-                power_cap_w: cap,
-            };
+            let ctx = ctx_for(phase);
             let probed = controller.decide(&ctx);
-            check_in_space(controller.name(), shape, &probed);
+            check_in_space(controller.name(), shape, &probed, ladder);
             // Repeated decides must be idempotent (no exploration consumed).
             assert_eq!(
                 probed,
@@ -179,91 +259,133 @@ fn run_script(
             );
         }
     }
+    let fallback_ladder = script_ladder();
+    let time_ladder = ladder.unwrap_or(&fallback_ladder);
     let mut trace = Vec::new();
     for round in 0..ROUNDS {
         for phase in 0..PHASES {
             let pid = PhaseId::new(phase as u32);
-            let ctx = DecisionCtx { phase: pid, shape, candidates: &candidates, power_cap_w: cap };
-            // Observe what the previously decided configuration achieved
-            // (first round: the sampling configuration), then decide.
-            let observed_config = if round == 0 {
-                Configuration::SAMPLE
+            let ctx = ctx_for(phase);
+            // Observe what the previously decided cell achieved (first
+            // round: the sampling configuration at nominal), then decide.
+            let observed = if round == 0 {
+                (Configuration::SAMPLE, FreqStep::NOMINAL)
             } else {
                 // Feed back the controller's own previous decision so search
                 // strategies can explore.
                 let prev: &Decision = &trace[(round - 1) * PHASES + phase];
-                configuration_of(&prev.binding, shape).unwrap_or(Configuration::SAMPLE)
+                (
+                    configuration_of(&prev.binding, shape).unwrap_or(Configuration::SAMPLE),
+                    prev.freq_step,
+                )
             };
-            controller.observe(pid, &script_sample(phase, observed_config, feature_dim));
+            controller.observe(
+                pid,
+                &script_sample(phase, observed.0, observed.1, feature_dim, time_ladder),
+            );
             // Always feed one sampling observation too, so predictor-style
             // controllers have features regardless of the decided config.
-            if observed_config != Configuration::SAMPLE {
-                controller.observe(pid, &script_sample(phase, Configuration::SAMPLE, feature_dim));
+            if observed != (Configuration::SAMPLE, FreqStep::NOMINAL) {
+                controller.observe(
+                    pid,
+                    &script_sample(
+                        phase,
+                        Configuration::SAMPLE,
+                        FreqStep::NOMINAL,
+                        feature_dim,
+                        time_ladder,
+                    ),
+                );
             }
             let decision = controller.decide(&ctx);
-            check_in_space(controller.name(), shape, &decision);
+            check_in_space(controller.name(), shape, &decision, ladder);
             trace.push(decision);
         }
     }
     trace
 }
 
-/// Asserts the full conformance contract for a controller family.
-///
-/// `make` must build a *fresh but identically-constructed* controller on
-/// every call (same training data, same seed): the determinism check runs
-/// the script on two instances and requires identical traces.
-pub fn assert_controller_conformance(
-    mut make: impl FnMut() -> Box<dyn PowerPerfController>,
+/// Runs validity + determinism + ordering (+ opt-in cap respect) in one
+/// script mode; `ladder` selects the nominal-only or DVFS-enabled context.
+fn assert_conformance_in_mode(
+    make: &mut dyn FnMut() -> Box<dyn PowerPerfController>,
     options: &ConformanceOptions,
+    ladder: Option<&FreqLadder>,
 ) {
     let shape = MachineShape::quad_core();
+    let mode = if ladder.is_some() { "joint (DVFS) script" } else { "nominal script" };
 
-    // 1 + 2: validity along the trace and same-construction determinism.
+    // Validity along the trace and same-construction determinism.
     let mut a = make();
     let name = a.name();
-    let trace_a = run_script(a.as_mut(), &shape, false, false, options.feature_dim);
-    assert!(!trace_a.is_empty(), "{name}: the script produced no decisions");
+    let trace_a = run_script(a.as_mut(), &shape, false, false, options.feature_dim, ladder);
+    assert!(!trace_a.is_empty(), "{name}: the {mode} produced no decisions");
     let mut b = make();
-    let trace_b = run_script(b.as_mut(), &shape, false, false, options.feature_dim);
+    let trace_b = run_script(b.as_mut(), &shape, false, false, options.feature_dim, ladder);
     assert_eq!(
         trace_a, trace_b,
-        "{name}: two identically-constructed controllers diverged on the same script"
+        "{name}: two identically-constructed controllers diverged on the same {mode}"
     );
 
-    // 3: probing decide() before the first observation must not change the
+    // Probing decide() before the first observation must not change the
     // post-observation decisions.
     let mut c = make();
-    let trace_c = run_script(c.as_mut(), &shape, false, true, options.feature_dim);
+    let trace_c = run_script(c.as_mut(), &shape, false, true, options.feature_dim, ladder);
     assert_eq!(
         trace_a, trace_c,
-        "{name}: deciding before observing changed later decisions — decide() must not \
-         consume exploration budget or fabricate observations"
+        "{name}: deciding before observing changed later decisions on the {mode} — decide() \
+         must not consume exploration budget or fabricate observations"
     );
 
-    // 4 (opt-in): the cap is respected whenever it is satisfiable.
+    // Opt-in: the cap is respected whenever it is satisfiable.
     if options.respects_power_cap {
         let mut d = make();
         let cap = script_power(Configuration::TwoLoose);
-        let trace_d = run_script(d.as_mut(), &shape, true, false, options.feature_dim);
+        let trace_d = run_script(d.as_mut(), &shape, true, false, options.feature_dim, ladder);
         for decision in &trace_d {
-            let config = check_in_space(name, &shape, decision);
+            let config = check_in_space(name, &shape, decision, ladder);
             if matches!(decision.rationale, Rationale::Infeasible { .. }) {
                 continue;
             }
+            let power = match ladder {
+                None => script_power(config),
+                Some(ladder) => {
+                    script_joint_power(ladder, config, decision.freq_step.index() as usize)
+                }
+            };
             assert!(
-                script_power(config) <= cap + 1e-9,
-                "{name}: chose {config:?} drawing {:.1} W under a {cap:.1} W cap",
-                script_power(config)
+                power <= cap + 1e-9,
+                "{name}: chose {config:?} at step {} drawing {power:.1} W under a {cap:.1} W cap \
+                 ({mode})",
+                decision.freq_step.index(),
             );
         }
     }
 }
 
+/// Asserts the full conformance contract for a controller family.
+///
+/// `make` must build a *fresh but identically-constructed* controller on
+/// every call (same training data, same seed): the determinism check runs
+/// the script on two instances and requires identical traces. The whole
+/// suite runs twice — once with a nominal-only context (checking the
+/// nominal fallback) and once offering the frequency ladder (checking
+/// ladder validity over the joint space).
+pub fn assert_controller_conformance(
+    mut make: impl FnMut() -> Box<dyn PowerPerfController>,
+    options: &ConformanceOptions,
+) {
+    assert_conformance_in_mode(&mut make, options, None);
+    let ladder = script_ladder();
+    assert_conformance_in_mode(&mut make, options, Some(&ladder));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::{DecisionTableController, StaticController};
+    use crate::controller::{
+        frequency_scaled_ipc, DecisionTableController, JointSearchController, StaticController,
+    };
     use crate::throttle::select_configuration;
 
     #[test]
@@ -286,6 +408,62 @@ mod tests {
             },
             &ConformanceOptions::cap_aware(),
         );
+    }
+
+    #[test]
+    fn joint_search_controller_conforms() {
+        assert_controller_conformance(
+            || Box::new(JointSearchController::default()),
+            &ConformanceOptions::cap_aware(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no ladder was offered")]
+    fn non_nominal_decisions_without_a_ladder_are_rejected() {
+        struct Overclocker;
+        impl PowerPerfController for Overclocker {
+            fn name(&self) -> &'static str {
+                "overclocker"
+            }
+            fn observe(&mut self, _p: PhaseId, _s: &PhaseSample) {}
+            fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+                Decision::joint(
+                    Configuration::One,
+                    FreqStep::new(1),
+                    ctx.shape,
+                    Rationale::Static { label: "overclocker" },
+                )
+            }
+        }
+        assert_controller_conformance(|| Box::new(Overclocker), &ConformanceOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "ladder has only")]
+    fn out_of_ladder_steps_are_rejected() {
+        struct DeepDiver;
+        impl PowerPerfController for DeepDiver {
+            fn name(&self) -> &'static str {
+                "deep-diver"
+            }
+            fn observe(&mut self, _p: PhaseId, _s: &PhaseSample) {}
+            fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+                // Nominal when no ladder (passes the first mode), an absurd
+                // step when one is offered (must trip ladder validity).
+                let step = match ctx.dvfs {
+                    None => FreqStep::NOMINAL,
+                    Some(_) => FreqStep::new(99),
+                };
+                Decision::joint(
+                    Configuration::One,
+                    step,
+                    ctx.shape,
+                    Rationale::Static { label: "deep-diver" },
+                )
+            }
+        }
+        assert_controller_conformance(|| Box::new(DeepDiver), &ConformanceOptions::default());
     }
 
     #[test]
@@ -319,5 +497,28 @@ mod tests {
             },
             &ConformanceOptions::default(),
         );
+    }
+
+    #[test]
+    fn script_truths_are_internally_consistent() {
+        let ladder = script_ladder();
+        for phase in 0..PHASES {
+            for &config in &Configuration::ALL {
+                for step in 0..ladder.len() {
+                    // Power never rises down the ladder, nominal matches the
+                    // concurrency-only script power.
+                    let p = script_joint_power(&ladder, config, step);
+                    assert!(p <= script_joint_power(&ladder, config, 0) + 1e-12);
+                    if step == 0 {
+                        assert!((p - script_power(config)).abs() < 1e-12);
+                    }
+                    // Scaled IPC follows the stall split.
+                    let fs = ladder.freq_scale(step).unwrap();
+                    let ipc =
+                        frequency_scaled_ipc(script_ipc(phase, config), script_stall(phase), fs);
+                    assert!(ipc >= script_ipc(phase, config) - 1e-12);
+                }
+            }
+        }
     }
 }

@@ -35,11 +35,20 @@
 //! | [`OracleController`] | ground-truth per-configuration measurements |
 //! | [`StaticController`] | a fixed configuration (OS default / global-optimal baselines) |
 //! | [`EmpiricalSearchController`] | model-free exploration, as in the authors' earlier work \[17\] |
+//! | [`JointSearchController`] | model-free exploration of the joint (threads × frequency) space |
+//!
+//! The decision space is the joint (threads × frequency) grid: a caller that
+//! can actuate DVFS offers the machine's ladder through
+//! [`DecisionCtx::dvfs`], and cap-aware controllers extrapolate their IPC
+//! predictions along it using the phase's measured stall/compute split
+//! ([`frequency_scaled_ipc`]). Callers that cannot (the paper's
+//! concurrency-only platform) leave it `None` and every decision carries
+//! [`FreqStep::NOMINAL`] — enforced loudly downstream.
 
 use std::collections::HashMap;
 
 use phase_rt::{Binding, FreqStep, MachineShape, PhaseId};
-use xeon_sim::{Configuration, Machine};
+use xeon_sim::{Configuration, FreqLadder, Machine};
 
 use npb_workloads::BenchmarkProfile;
 
@@ -51,6 +60,9 @@ use crate::throttle::{select_configuration, ThrottleDecision};
 pub struct PhaseSample {
     /// The configuration the phase ran on while being measured.
     pub config: Configuration,
+    /// The DVFS step the phase ran at while being measured
+    /// ([`FreqStep::NOMINAL`] for the paper's concurrency-only platform).
+    pub freq_step: FreqStep,
     /// Counter-derived event-rate feature vector (Equation 2); empty for
     /// model-free measurements.
     pub features: Vec<f64>,
@@ -58,19 +70,46 @@ pub struct PhaseSample {
     pub ipc: f64,
     /// Wall-clock time of the measured execution (s).
     pub time_s: f64,
+    /// Fraction of cycles spent stalled on memory during the measurement
+    /// (`MemStallCycles / Cycles`) — the stall/compute split that lets a
+    /// controller predict how IPC shifts across the frequency ladder. Zero
+    /// when unknown (DVFS-aware ranking then degenerates to preferring the
+    /// nominal step).
+    pub stall_fraction: f64,
 }
 
 impl PhaseSample {
     /// A sampling-window observation on the maximal-concurrency sampling
     /// configuration (what ACTOR's online sampling produces).
     pub fn sampling(features: Vec<f64>, ipc: f64, time_s: f64) -> Self {
-        Self { config: Configuration::SAMPLE, features, ipc, time_s }
+        Self {
+            config: Configuration::SAMPLE,
+            freq_step: FreqStep::NOMINAL,
+            features,
+            ipc,
+            time_s,
+            stall_fraction: 0.0,
+        }
     }
 
-    /// A plain wall-clock measurement of one configuration (what empirical
-    /// search consumes); carries no counter features.
+    /// A plain wall-clock measurement of one configuration at the nominal
+    /// frequency (what empirical search consumes); carries no counter
+    /// features.
     pub fn measurement(config: Configuration, time_s: f64) -> Self {
-        Self { config, features: Vec::new(), ipc: 0.0, time_s }
+        Self::measurement_at(config, FreqStep::NOMINAL, time_s)
+    }
+
+    /// A plain wall-clock measurement of one (configuration, frequency) cell
+    /// (what the joint search consumes).
+    pub fn measurement_at(config: Configuration, freq_step: FreqStep, time_s: f64) -> Self {
+        Self { config, freq_step, features: Vec::new(), ipc: 0.0, time_s, stall_fraction: 0.0 }
+    }
+
+    /// Attaches the measured memory-stall fraction (clamped to `[0, 1]`).
+    pub fn with_stall_fraction(mut self, stall_fraction: f64) -> Self {
+        self.stall_fraction =
+            if stall_fraction.is_finite() { stall_fraction.clamp(0.0, 1.0) } else { 0.0 };
+        self
     }
 }
 
@@ -98,6 +137,45 @@ impl CandidatePerf {
     }
 }
 
+/// One cell of the joint (configuration × frequency) decision space, with
+/// its average power when the caller knows it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointPerf {
+    /// The thread configuration.
+    pub config: Configuration,
+    /// The DVFS step.
+    pub step: FreqStep,
+    /// Average power draw of the phase in this cell (W), if known.
+    pub avg_power_w: Option<f64>,
+}
+
+/// The frequency axis of a decision: the machine's DVFS ladder, plus any
+/// known per-cell powers of the joint space. Offered through
+/// [`DecisionCtx::dvfs`] by callers that can actuate frequency; its absence
+/// means the decision space is the paper's nominal-only (configuration ×
+/// {[`FreqStep::NOMINAL`]}) space and every decision must carry the nominal
+/// step.
+#[derive(Debug, Clone, Copy)]
+pub struct DvfsSpace<'a> {
+    /// The machine's voltage/frequency ladder (step 0 = nominal).
+    pub ladder: &'a FreqLadder,
+    /// Known per-cell powers of the joint space; may be empty when the
+    /// caller cannot pre-compute them (cells are then always admitted).
+    pub joint: &'a [JointPerf],
+}
+
+impl DvfsSpace<'_> {
+    /// The known average power of one cell, if any.
+    pub fn power_of(&self, config: Configuration, step: FreqStep) -> Option<f64> {
+        self.joint.iter().find(|c| c.config == config && c.step == step).and_then(|c| c.avg_power_w)
+    }
+
+    /// The deepest (lowest-power) step of the ladder.
+    pub fn deepest_step(&self) -> FreqStep {
+        FreqStep::new((self.ladder.len() - 1).min(u8::MAX as usize) as u8)
+    }
+}
+
 /// Everything a controller may look at when deciding a phase's configuration.
 #[derive(Debug, Clone)]
 pub struct DecisionCtx<'a> {
@@ -110,16 +188,19 @@ pub struct DecisionCtx<'a> {
     /// Average-power cap the chosen configuration should respect (W), if the
     /// caller is operating under a power budget.
     pub power_cap_w: Option<f64>,
+    /// The frequency axis, when the caller can actuate DVFS. `None` keeps
+    /// the decision space nominal-only and requires nominal-step decisions.
+    pub dvfs: Option<DvfsSpace<'a>>,
 }
 
 impl<'a> DecisionCtx<'a> {
-    /// A context with no power constraint.
+    /// A context with no power constraint (and no frequency axis).
     pub fn unconstrained(
         phase: PhaseId,
         shape: &'a MachineShape,
         candidates: &'a [CandidatePerf],
     ) -> Self {
-        Self { phase, shape, candidates, power_cap_w: None }
+        Self { phase, shape, candidates, power_cap_w: None, dvfs: None }
     }
 
     /// Whether a candidate fits under the power cap. Candidates with unknown
@@ -178,8 +259,9 @@ pub enum Rationale {
 pub struct Decision {
     /// Thread-to-core binding to enforce for the phase.
     pub binding: Binding,
-    /// DVFS step to enforce ([`FreqStep::NOMINAL`] until combined DVFS+DCT
-    /// controllers land).
+    /// DVFS step to enforce. Must be [`FreqStep::NOMINAL`] when the decision
+    /// context carried no [`DvfsSpace`], and must index an existing rung of
+    /// the offered ladder otherwise — both are enforced loudly downstream.
     pub freq_step: FreqStep,
     /// Why this configuration was chosen.
     pub rationale: Rationale,
@@ -188,7 +270,17 @@ pub struct Decision {
 impl Decision {
     /// A nominal-frequency decision for a paper configuration on `shape`.
     pub fn from_config(config: Configuration, shape: &MachineShape, rationale: Rationale) -> Self {
-        Self { binding: binding_for(config, shape), freq_step: FreqStep::NOMINAL, rationale }
+        Self::joint(config, FreqStep::NOMINAL, shape, rationale)
+    }
+
+    /// A decision in the joint (configuration × frequency) space.
+    pub fn joint(
+        config: Configuration,
+        freq_step: FreqStep,
+        shape: &MachineShape,
+        rationale: Rationale,
+    ) -> Self {
+        Self { binding: binding_for(config, shape), freq_step, rationale }
     }
 
     /// The paper configuration this decision's binding corresponds to on
@@ -221,6 +313,42 @@ pub fn configuration_of(binding: &Binding, shape: &MachineShape) -> Option<Confi
 pub fn shape_of(machine: &Machine) -> MachineShape {
     let topo = machine.topology();
     MachineShape { num_cores: topo.num_cores, cores_per_l2: topo.cores_per_l2 }
+}
+
+/// Validates a controller decision against the machine's actuation space —
+/// the single definition of the decision contract every enforcement layer
+/// shares (the adaptation harness returns the message as an error, the
+/// cluster policy panics with it):
+///
+/// * the binding realises one of the paper's five configurations on `shape`;
+/// * the frequency step is [`FreqStep::NOMINAL`] when no ladder was offered
+///   (`dvfs_offered == false`);
+/// * the frequency step indexes an existing rung of the machine's
+///   `ladder_len`-step ladder.
+///
+/// Returns the realised configuration, or a human-readable description of
+/// the violation.
+pub fn validate_decision(
+    decision: &Decision,
+    shape: &MachineShape,
+    ladder_len: usize,
+    dvfs_offered: bool,
+) -> Result<Configuration, String> {
+    let Some(config) = decision.configuration(shape) else {
+        return Err(format!(
+            "binding {:?} is not one of the paper's five configurations",
+            decision.binding.cores()
+        ));
+    };
+    if !dvfs_offered && !decision.freq_step.is_nominal() {
+        return Err(format!(
+            "frequency step {} was decided without being offered a ladder — decisions must \
+             stay at FreqStep::NOMINAL",
+            decision.freq_step.index()
+        ));
+    }
+    FreqStep::for_ladder(decision.freq_step.index(), ladder_len).map_err(|e| e.to_string())?;
+    Ok(config)
 }
 
 /// One decision loop: observe per-phase hardware samples, decide per-phase
@@ -282,6 +410,93 @@ fn best_admissible_by_ipc(
     ipc_of: impl FnMut(Configuration) -> f64,
 ) -> Option<(Configuration, f64)> {
     best_config_by_ipc(ctx.candidates.iter().copied(), ctx.power_cap_w, ipc_of)
+}
+
+/// Predicted aggregate IPC of a phase at a relative frequency `freq_scale`,
+/// given its nominal IPC and memory-stall fraction (the stall/compute split
+/// the counters expose: `MemStallCycles / Cycles`).
+///
+/// Compute cycles are clock-bound (their count per instruction is constant),
+/// memory-stall time is wall-bound (its *cycle* count shrinks with the
+/// clock), so per-cycle IPC at scale `s` is `ipc / (1 − μ + μ·s)`: a pure
+/// compute phase (μ = 0) keeps its IPC while a pure stall phase (μ = 1) sees
+/// IPC rise as `1/s` — fewer (slower) cycles cover the same stall time.
+pub fn frequency_scaled_ipc(nominal_ipc: f64, stall_fraction: f64, freq_scale: f64) -> f64 {
+    let mu = stall_fraction.clamp(0.0, 1.0);
+    nominal_ipc / (1.0 - mu + mu * freq_scale)
+}
+
+/// Relative instruction throughput (performance) of a phase at frequency
+/// scale `s`: `s / (1 − μ + μ·s)`. Equals 1 at nominal; a pure compute
+/// phase slows as `s`, a pure stall phase not at all.
+pub fn frequency_throughput_scale(stall_fraction: f64, freq_scale: f64) -> f64 {
+    let mu = stall_fraction.clamp(0.0, 1.0);
+    freq_scale / (1.0 - mu + mu * freq_scale)
+}
+
+/// Scans the joint (configuration × frequency) space for the cell with the
+/// highest predicted throughput whose power — when known — fits under the
+/// cap. Ties break towards fewer threads, then towards the deeper (lower
+/// power) step, so equal-performance cells resolve to the cheapest one.
+/// This is the joint-space generalisation of [`best_config_by_ipc`] and the
+/// single definition of the DVFS+DCT selection rule.
+///
+/// `nominal_ipc_of` supplies each configuration's predicted IPC at the
+/// nominal frequency; `stall_fraction` is the phase's measured
+/// stall/compute split, used to extrapolate along the ladder. Returns the
+/// chosen cell and its predicted (frequency-scaled) IPC.
+pub fn best_joint_by_throughput(
+    candidates: &[CandidatePerf],
+    space: &DvfsSpace<'_>,
+    power_cap_w: Option<f64>,
+    stall_fraction: f64,
+    mut nominal_ipc_of: impl FnMut(Configuration) -> f64,
+) -> Option<(Configuration, FreqStep, f64)> {
+    let mut best: Option<(Configuration, FreqStep, f64, f64)> = None; // +throughput
+    for cand in candidates {
+        let base_ipc = nominal_ipc_of(cand.config);
+        for step_idx in 0..space.ladder.len() {
+            let step = FreqStep::new(step_idx.min(u8::MAX as usize) as u8);
+            let power = if step.is_nominal() {
+                space.power_of(cand.config, step).or(cand.avg_power_w)
+            } else {
+                space.power_of(cand.config, step)
+            };
+            if let (Some(cap), Some(w)) = (power_cap_w, power) {
+                if w > cap {
+                    continue;
+                }
+            }
+            let fs = space.ladder.freq_scale(step_idx).expect("step in range");
+            let throughput = base_ipc * frequency_throughput_scale(stall_fraction, fs);
+            let wins = match &best {
+                None => true,
+                Some((bc, bs, _, bt)) => {
+                    throughput > *bt
+                        || (throughput == *bt
+                            && (cand.config.num_threads() < bc.num_threads()
+                                || (cand.config.num_threads() == bc.num_threads() && step > *bs)))
+                }
+            };
+            if wins {
+                let expected_ipc = frequency_scaled_ipc(base_ipc, stall_fraction, fs);
+                best = Some((cand.config, step, expected_ipc, throughput));
+            }
+        }
+    }
+    best.map(|(config, step, ipc, _)| (config, step, ipc))
+}
+
+/// The fallback decision when nothing fits the cap: the lowest-power
+/// candidate, at the ladder bottom when a frequency axis is offered.
+fn infeasible_decision(ctx: &DecisionCtx<'_>) -> Decision {
+    let step = ctx.dvfs.map(|space| space.deepest_step()).unwrap_or(FreqStep::NOMINAL);
+    Decision::joint(
+        lowest_power_candidate(ctx.candidates),
+        step,
+        ctx.shape,
+        Rationale::Infeasible { cap_w: ctx.power_cap_w.unwrap_or(f64::INFINITY) },
+    )
 }
 
 /// The lowest-power candidate (fewest threads when powers are unknown), used
@@ -372,16 +587,6 @@ impl<P: IpcPredictor> PowerPerfController for PredictorController<P> {
                 Rationale::Static { label: "prediction-failed" },
             );
         };
-        if ctx.power_cap_w.is_none() {
-            // The paper's unconstrained selection rule, bit-for-bit.
-            let chosen = select_configuration(sample.ipc, &predictions);
-            let expected_ipc = chosen.chosen_ipc();
-            return Decision::from_config(
-                chosen.chosen,
-                ctx.shape,
-                Rationale::Predicted { expected_ipc },
-            );
-        }
         let ipc_of = |config: Configuration| {
             if config == Configuration::SAMPLE {
                 sample.ipc
@@ -393,15 +598,38 @@ impl<P: IpcPredictor> PowerPerfController for PredictorController<P> {
                     .unwrap_or(sample.ipc)
             }
         };
+        if let Some(space) = ctx.dvfs {
+            // The joint (threads × frequency) space: extrapolate each
+            // configuration's predicted IPC along the ladder via the phase's
+            // stall/compute split and take the best admissible cell.
+            return match best_joint_by_throughput(
+                ctx.candidates,
+                &space,
+                ctx.power_cap_w,
+                sample.stall_fraction,
+                ipc_of,
+            ) {
+                Some((config, step, expected_ipc)) => {
+                    Decision::joint(config, step, ctx.shape, Rationale::Predicted { expected_ipc })
+                }
+                None => infeasible_decision(ctx),
+            };
+        }
+        if ctx.power_cap_w.is_none() {
+            // The paper's unconstrained selection rule, bit-for-bit.
+            let chosen = select_configuration(sample.ipc, &predictions);
+            let expected_ipc = chosen.chosen_ipc();
+            return Decision::from_config(
+                chosen.chosen,
+                ctx.shape,
+                Rationale::Predicted { expected_ipc },
+            );
+        }
         match best_admissible_by_ipc(ctx, ipc_of) {
             Some((config, expected_ipc)) => {
                 Decision::from_config(config, ctx.shape, Rationale::Predicted { expected_ipc })
             }
-            None => Decision::from_config(
-                lowest_power_candidate(ctx.candidates),
-                ctx.shape,
-                Rationale::Infeasible { cap_w: ctx.power_cap_w.unwrap_or(f64::INFINITY) },
-            ),
+            None => infeasible_decision(ctx),
         }
     }
 }
@@ -410,15 +638,24 @@ impl<P: IpcPredictor> PowerPerfController for PredictorController<P> {
 /// deployment mode, where the ANN ensembles ran offline and the runtime only
 /// enforces the chosen configurations (re-ranking them when a power cap
 /// demands it).
+///
+/// When the decision context offers a [`DvfsSpace`], the stored predictions
+/// are extrapolated along the frequency ladder using the phase's observed
+/// stall/compute split (recorded from the sampling window through
+/// [`observe`](PowerPerfController::observe)), and the best admissible joint
+/// cell wins — this is the joint DVFS+DCT deployment mode.
 #[derive(Debug, Clone, Default)]
 pub struct DecisionTableController {
     table: HashMap<PhaseId, ThrottleDecision>,
+    /// Memory-stall fraction per phase, observed from the sampling window;
+    /// only consulted when a frequency axis is offered.
+    stall: HashMap<PhaseId, f64>,
 }
 
 impl DecisionTableController {
     /// Builds the controller from per-phase decisions.
     pub fn new(entries: impl IntoIterator<Item = (PhaseId, ThrottleDecision)>) -> Self {
-        Self { table: entries.into_iter().collect() }
+        Self { table: entries.into_iter().collect(), stall: HashMap::new() }
     }
 }
 
@@ -427,8 +664,13 @@ impl PowerPerfController for DecisionTableController {
         "ann-table"
     }
 
-    fn observe(&mut self, _phase: PhaseId, _sample: &PhaseSample) {
-        // Decisions were computed offline; live observations are not needed.
+    fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
+        // Decisions were computed offline; the only live signal consumed is
+        // the sampling window's stall/compute split, which prices the
+        // frequency ladder when a caller offers one.
+        if sample.config == Configuration::SAMPLE && sample.freq_step.is_nominal() {
+            self.stall.insert(phase, sample.stall_fraction);
+        }
     }
 
     fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
@@ -439,21 +681,32 @@ impl PowerPerfController for DecisionTableController {
                 Rationale::Static { label: "no-decision" },
             );
         };
+        if let Some(space) = ctx.dvfs {
+            let stall = self.stall.get(&ctx.phase).copied().unwrap_or(0.0);
+            return match best_joint_by_throughput(
+                ctx.candidates,
+                &space,
+                ctx.power_cap_w,
+                stall,
+                |c| decision.predicted_ipc(c),
+            ) {
+                Some((config, step, expected_ipc)) => {
+                    Decision::joint(config, step, ctx.shape, Rationale::Predicted { expected_ipc })
+                }
+                None => infeasible_decision(ctx),
+            };
+        }
         match ctx.power_cap_w {
             None => Decision::from_config(
                 decision.chosen,
                 ctx.shape,
                 Rationale::Predicted { expected_ipc: decision.chosen_ipc() },
             ),
-            Some(cap) => match best_admissible_by_ipc(ctx, |c| decision.predicted_ipc(c)) {
+            Some(_) => match best_admissible_by_ipc(ctx, |c| decision.predicted_ipc(c)) {
                 Some((config, expected_ipc)) => {
                     Decision::from_config(config, ctx.shape, Rationale::Predicted { expected_ipc })
                 }
-                None => Decision::from_config(
-                    lowest_power_candidate(ctx.candidates),
-                    ctx.shape,
-                    Rationale::Infeasible { cap_w: cap },
-                ),
+                None => infeasible_decision(ctx),
             },
         }
     }
@@ -553,11 +806,7 @@ impl PowerPerfController for OracleController {
                 ctx.shape,
                 Rationale::Oracle { expected_ipc: entry.ipc },
             ),
-            None => Decision::from_config(
-                lowest_power_candidate(ctx.candidates),
-                ctx.shape,
-                Rationale::Infeasible { cap_w: ctx.power_cap_w.unwrap_or(f64::INFINITY) },
-            ),
+            None => infeasible_decision(ctx),
         }
     }
 }
@@ -610,9 +859,9 @@ impl PowerPerfController for StaticController {
 /// controller
 /// tracks coverage *by configuration*: duplicate measurements of a
 /// candidate — common in generic harnesses that replay the sampling window
-/// alongside decided configurations — refine that candidate's first
-/// measurement rather than consuming another exploration slot, so the
-/// search never locks before every candidate has actually been measured.
+/// alongside decided configurations — are dropped (the first measurement
+/// wins) rather than consuming another exploration slot, so the search
+/// never locks before every candidate has actually been measured.
 #[derive(Debug, Clone)]
 pub struct EmpiricalSearchController {
     candidates: Vec<Configuration>,
@@ -673,6 +922,122 @@ impl PowerPerfController for EmpiricalSearchController {
                 Rationale::Static { label: "no-candidates" },
             ),
         }
+    }
+}
+
+/// Model-free exploration of the *joint* (configuration × frequency) space:
+/// the DVFS+DCT generalisation of [`EmpiricalSearchController`]. Each phase
+/// measures every admissible cell once (coverage tracked per cell; duplicate
+/// observations are dropped — first measurement wins — rather than
+/// consuming exploration slots) and then locks the fastest measured cell.
+///
+/// The ladder depth comes from the decision context: with no
+/// [`DvfsSpace`] offered the search degenerates to the nominal-only
+/// candidate list, exactly like the concurrency-only search. Cells whose
+/// known power exceeds the context's cap are excluded from both exploration
+/// and locking; if no cell is admissible the decision is
+/// [`Rationale::Infeasible`].
+#[derive(Debug, Clone)]
+pub struct JointSearchController {
+    candidates: Vec<Configuration>,
+    /// First measured time per (phase, configuration, step) cell.
+    measured: HashMap<PhaseId, Vec<(JointCell, f64)>>,
+}
+
+/// One cell of the joint search grid.
+type JointCell = (Configuration, FreqStep);
+
+impl Default for JointSearchController {
+    fn default() -> Self {
+        Self::new(Configuration::ALL.to_vec())
+    }
+}
+
+impl JointSearchController {
+    /// Searches over `candidates` × the offered ladder, configuration-major
+    /// (all steps of one configuration before the next).
+    pub fn new(candidates: Vec<Configuration>) -> Self {
+        Self { candidates, measured: HashMap::new() }
+    }
+
+    /// The joint cells the context admits, in exploration order.
+    fn admissible_cells(&self, ctx: &DecisionCtx<'_>) -> Vec<(Configuration, FreqStep)> {
+        let steps = ctx.dvfs.map(|space| space.ladder.len()).unwrap_or(1);
+        let mut cells = Vec::with_capacity(self.candidates.len() * steps);
+        for &config in &self.candidates {
+            for step_idx in 0..steps {
+                let step = FreqStep::new(step_idx.min(u8::MAX as usize) as u8);
+                let power = match ctx.dvfs {
+                    Some(space) if !step.is_nominal() => space.power_of(config, step),
+                    Some(space) => space.power_of(config, step).or_else(|| {
+                        ctx.candidates
+                            .iter()
+                            .find(|c| c.config == config)
+                            .and_then(|c| c.avg_power_w)
+                    }),
+                    None => ctx
+                        .candidates
+                        .iter()
+                        .find(|c| c.config == config)
+                        .and_then(|c| c.avg_power_w),
+                };
+                if let (Some(cap), Some(w)) = (ctx.power_cap_w, power) {
+                    if w > cap {
+                        continue;
+                    }
+                }
+                cells.push((config, step));
+            }
+        }
+        cells
+    }
+}
+
+impl PowerPerfController for JointSearchController {
+    fn name(&self) -> &'static str {
+        "joint-search"
+    }
+
+    fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
+        if !self.candidates.contains(&sample.config) {
+            return;
+        }
+        let cell = (sample.config, sample.freq_step);
+        let measured = self.measured.entry(phase).or_default();
+        if measured.iter().all(|(c, _)| *c != cell) {
+            measured.push((cell, sample.time_s));
+        }
+    }
+
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        let cells = self.admissible_cells(ctx);
+        if cells.is_empty() {
+            return infeasible_decision(ctx);
+        }
+        let measured = self.measured.get(&ctx.phase).map(Vec::as_slice).unwrap_or(&[]);
+        let measured_of = |cell: &(Configuration, FreqStep)| {
+            measured.iter().find(|(c, _)| c == cell).map(|(_, t)| *t)
+        };
+        // Still exploring: run the first admissible cell without a
+        // measurement.
+        if let Some(&(config, step)) = cells.iter().find(|cell| measured_of(cell).is_none()) {
+            let tried = cells.iter().filter(|cell| measured_of(cell).is_some()).count();
+            return Decision::joint(
+                config,
+                step,
+                ctx.shape,
+                Rationale::Exploring { tried, total: cells.len() },
+            );
+        }
+        // Every admissible cell measured: lock the fastest (ties keep the
+        // earlier cell in exploration order).
+        let best = cells
+            .iter()
+            .filter_map(|&cell| measured_of(&cell).map(|t| (cell, t)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("cells is non-empty and fully measured");
+        let ((config, step), time_s) = best;
+        Decision::joint(config, step, ctx.shape, Rationale::Measured { time_s })
     }
 }
 
@@ -745,15 +1110,25 @@ mod tests {
             .zip(powers)
             .map(|(&config, w)| CandidatePerf { config, avg_power_w: Some(w) })
             .collect();
-        let ctx =
-            DecisionCtx { phase, shape: &shape, candidates: &candidates, power_cap_w: Some(121.0) };
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: Some(121.0),
+            dvfs: None,
+        };
         let d = c.decide(&ctx);
         assert_eq!(d.configuration(&shape), Some(Configuration::TwoTight));
         assert!(matches!(d.rationale, Rationale::Predicted { .. }));
 
         // Impossible cap: infeasible, lowest-power fallback.
-        let ctx =
-            DecisionCtx { phase, shape: &shape, candidates: &candidates, power_cap_w: Some(10.0) };
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: Some(10.0),
+            dvfs: None,
+        };
         let d = c.decide(&ctx);
         assert!(matches!(d.rationale, Rationale::Infeasible { .. }));
         assert_eq!(d.configuration(&shape), Some(Configuration::One));
@@ -801,6 +1176,278 @@ mod tests {
         // Deciding repeatedly does not advance the search.
         let again = c.decide(&DecisionCtx::unconstrained(phase, &shape, &candidates));
         assert_eq!(again, d);
+    }
+
+    #[test]
+    fn frequency_scaling_helpers_match_the_stall_compute_split() {
+        // Pure compute: IPC constant, throughput falls with the clock.
+        assert!((frequency_scaled_ipc(2.0, 0.0, 0.5) - 2.0).abs() < 1e-12);
+        assert!((frequency_throughput_scale(0.0, 0.5) - 0.5).abs() < 1e-12);
+        // Pure stall: IPC rises as 1/s, throughput unchanged.
+        assert!((frequency_scaled_ipc(2.0, 1.0, 0.5) - 4.0).abs() < 1e-12);
+        assert!((frequency_throughput_scale(1.0, 0.5) - 1.0).abs() < 1e-12);
+        // Nominal is always the identity.
+        assert_eq!(frequency_scaled_ipc(2.0, 0.3, 1.0), 2.0);
+        assert_eq!(frequency_throughput_scale(0.3, 1.0), 1.0);
+        // Out-of-range stall fractions are clamped, not trusted.
+        assert!((frequency_scaled_ipc(2.0, 7.0, 0.5) - 4.0).abs() < 1e-12);
+        assert!((frequency_scaled_ipc(2.0, -3.0, 0.5) - 2.0).abs() < 1e-12);
+    }
+
+    /// A 2-step script ladder (nominal + a half-speed step) plus per-cell
+    /// powers where only deep cells fit a tight cap.
+    fn joint_fixture(ladder: &FreqLadder) -> Vec<JointPerf> {
+        let mut joint = Vec::new();
+        for &config in &Configuration::ALL {
+            for step_idx in 0..ladder.len() {
+                let dyn_scale = ladder.dynamic_power_scale(step_idx).unwrap();
+                joint.push(JointPerf {
+                    config,
+                    step: FreqStep::new(step_idx as u8),
+                    avg_power_w: Some(100.0 + 15.0 * config.num_threads() as f64 * dyn_scale),
+                });
+            }
+        }
+        joint
+    }
+
+    #[test]
+    fn joint_selection_downclocks_memory_bound_phases_under_a_cap() {
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let joint = joint_fixture(&ladder);
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let candidates = CandidatePerf::all_unknown();
+
+        // A memory-bound phase (stall 0.9) whose IPC saturates beyond two
+        // threads. Cap admits Four only at the deep step
+        // (100 + 60·(0.5·(1/1.2)²·…)) but not at nominal.
+        let ipc_of = |c: Configuration| match c {
+            Configuration::One => 0.9,
+            Configuration::TwoTight => 1.3,
+            Configuration::TwoLoose => 1.45,
+            Configuration::Three => 1.5,
+            Configuration::Four => 1.55,
+        };
+        let four_nominal = space.power_of(Configuration::Four, FreqStep::NOMINAL).unwrap();
+        let four_deep = space.power_of(Configuration::Four, FreqStep::new(1)).unwrap();
+        assert!(four_deep < four_nominal);
+        let cap = four_deep + 1.0;
+
+        let (config, step, expected_ipc) =
+            best_joint_by_throughput(&candidates, &space, Some(cap), 0.9, ipc_of).unwrap();
+        assert_eq!(config, Configuration::Four, "memory-bound: keep the threads");
+        assert_eq!(step, FreqStep::new(1), "…and downclock to fit the cap");
+        assert!(expected_ipc > ipc_of(Configuration::Four), "per-cycle IPC rises at low clock");
+
+        // The same cap on a compute-bound phase (stall 0): downclocking costs
+        // full throughput, so fewer threads at nominal speed win.
+        let (config, step, _) =
+            best_joint_by_throughput(&candidates, &space, Some(cap), 0.0, ipc_of).unwrap();
+        assert!(
+            step.is_nominal() || config.num_threads() < 4,
+            "compute-bound phases should not blindly keep max width at the ladder bottom"
+        );
+
+        // No cap: nominal wins outright for any stall fraction below 1.
+        let (config, step, _) =
+            best_joint_by_throughput(&candidates, &space, None, 0.9, ipc_of).unwrap();
+        assert_eq!((config, step), (Configuration::Four, FreqStep::NOMINAL));
+
+        // An impossible cap admits nothing.
+        assert!(best_joint_by_throughput(&candidates, &space, Some(10.0), 0.9, ipc_of).is_none());
+    }
+
+    #[test]
+    fn table_controller_ranks_the_joint_space_when_offered_a_ladder() {
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let joint = joint_fixture(&ladder);
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let shape = quad();
+        let phase = PhaseId::new(0);
+        // Saturated memory-bound phase: sampling config wins at nominal.
+        let decision = select_configuration(
+            1.55,
+            &[
+                (Configuration::One, 0.9),
+                (Configuration::TwoTight, 1.3),
+                (Configuration::TwoLoose, 1.45),
+                (Configuration::Three, 1.5),
+            ],
+        );
+        let mut c = DecisionTableController::new([(phase, decision)]);
+        c.observe(phase, &PhaseSample::sampling(vec![1.0], 1.55, 1.0).with_stall_fraction(0.9));
+
+        let candidates = CandidatePerf::all_unknown();
+        let cap = space.power_of(Configuration::Four, FreqStep::new(1)).unwrap() + 1.0;
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: Some(cap),
+            dvfs: Some(space),
+        };
+        let d = c.decide(&ctx);
+        assert_eq!(d.configuration(&shape), Some(Configuration::Four));
+        assert_eq!(
+            d.freq_step,
+            FreqStep::new(1),
+            "joint mode downclocks instead of dropping threads"
+        );
+
+        // Without the ladder the same cap forces a thread drop — DCT-only.
+        let powers: Vec<CandidatePerf> = Configuration::ALL
+            .iter()
+            .map(|&config| CandidatePerf {
+                config,
+                avg_power_w: space.power_of(config, FreqStep::NOMINAL),
+            })
+            .collect();
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &powers,
+            power_cap_w: Some(cap),
+            dvfs: None,
+        };
+        let d = c.decide(&ctx);
+        assert!(d.freq_step.is_nominal(), "no ladder offered ⇒ nominal decisions only");
+        assert!(d.configuration(&shape).unwrap().num_threads() < 4);
+    }
+
+    #[test]
+    fn joint_search_explores_the_grid_and_locks_the_fastest_cell() {
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let joint = joint_fixture(&ladder);
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let shape = quad();
+        let phase = PhaseId::new(0);
+        let candidates = CandidatePerf::all_unknown();
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: None,
+            dvfs: Some(space),
+        };
+
+        let mut c = JointSearchController::default();
+        // 5 configurations × 2 steps = 10 cells, configuration-major.
+        let mut explored = Vec::new();
+        for i in 0..10 {
+            let d = c.decide(&ctx);
+            assert!(
+                matches!(d.rationale, Rationale::Exploring { tried, total: 10 } if tried == i),
+                "step {i}: {:?}",
+                d.rationale
+            );
+            let cell = (d.configuration(&shape).unwrap(), d.freq_step);
+            explored.push(cell);
+            // TwoLoose at the deep step is fastest; everything else slower.
+            let time = if cell == (Configuration::TwoLoose, FreqStep::new(1)) {
+                2.0
+            } else {
+                5.0 + i as f64
+            };
+            c.observe(phase, &PhaseSample::measurement_at(cell.0, cell.1, time));
+        }
+        assert_eq!(explored.len(), 10);
+        assert_eq!(explored[0], (Configuration::One, FreqStep::NOMINAL));
+        assert_eq!(explored[1], (Configuration::One, FreqStep::new(1)));
+        let d = c.decide(&ctx);
+        assert_eq!(d.configuration(&shape), Some(Configuration::TwoLoose));
+        assert_eq!(d.freq_step, FreqStep::new(1));
+        assert!(matches!(d.rationale, Rationale::Measured { time_s } if time_s == 2.0));
+        // Deciding again changes nothing.
+        assert_eq!(c.decide(&ctx), d);
+
+        // Same script on a fresh controller: bit-identical decisions.
+        let mut fresh = JointSearchController::default();
+        for &(config, step) in &explored {
+            let time = if (config, step) == (Configuration::TwoLoose, FreqStep::new(1)) {
+                2.0
+            } else {
+                5.0 + explored.iter().position(|c| *c == (config, step)).unwrap() as f64
+            };
+            fresh.observe(phase, &PhaseSample::measurement_at(config, step, time));
+        }
+        assert_eq!(fresh.decide(&ctx), d, "same observations, same locked cell");
+    }
+
+    #[test]
+    fn joint_search_without_a_ladder_matches_the_nominal_search_space() {
+        let shape = quad();
+        let phase = PhaseId::new(0);
+        let candidates = CandidatePerf::all_unknown();
+        let mut c = JointSearchController::default();
+        let times = [10.0, 8.0, 4.0, 6.0, 7.0];
+        for (&config, time) in Configuration::ALL.iter().zip(times) {
+            let ctx = DecisionCtx::unconstrained(phase, &shape, &candidates);
+            let d = c.decide(&ctx);
+            assert_eq!(d.configuration(&shape), Some(config));
+            assert!(d.freq_step.is_nominal(), "no ladder ⇒ nominal-only exploration");
+            c.observe(phase, &PhaseSample::measurement(config, time));
+        }
+        let d = c.decide(&DecisionCtx::unconstrained(phase, &shape, &candidates));
+        assert_eq!(d.configuration(&shape), Some(Configuration::TwoLoose));
+        assert!(d.freq_step.is_nominal());
+    }
+
+    #[test]
+    fn joint_search_skips_cells_over_the_cap_and_reports_infeasibility() {
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let joint = joint_fixture(&ladder);
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let shape = quad();
+        let phase = PhaseId::new(0);
+        let candidates = CandidatePerf::all_unknown();
+
+        // Cap below every cell: infeasible, deepest-step fallback.
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: Some(10.0),
+            dvfs: Some(space),
+        };
+        let mut c = JointSearchController::default();
+        let d = c.decide(&ctx);
+        assert!(matches!(d.rationale, Rationale::Infeasible { .. }));
+        assert_eq!(d.freq_step, FreqStep::new(1), "fallback sits at the ladder bottom");
+
+        // Cap admitting only single-thread cells: exploration never leaves
+        // them.
+        let one_deep = space.power_of(Configuration::One, FreqStep::new(1)).unwrap();
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: Some(one_deep + 0.1),
+            dvfs: Some(space),
+        };
+        for _ in 0..4 {
+            let d = c.decide(&ctx);
+            if matches!(d.rationale, Rationale::Exploring { .. } | Rationale::Measured { .. }) {
+                assert_eq!(d.configuration(&shape), Some(Configuration::One));
+            }
+            let cell = (d.configuration(&shape).unwrap(), d.freq_step);
+            c.observe(phase, &PhaseSample::measurement_at(cell.0, cell.1, 3.0));
+        }
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub use baselines::{EmpiricalSearchPolicy, LinearRegressionPredictor};
 pub use config::{ActorConfig, PredictorConfig};
 pub use conformance::{assert_controller_conformance, ConformanceOptions};
 pub use controller::{
-    binding_for, configuration_of, shape_of, AnnController, CandidatePerf, Decision, DecisionCtx,
-    DecisionTableController, EmpiricalSearchController, OracleController, PhaseSample,
+    binding_for, configuration_of, frequency_scaled_ipc, frequency_throughput_scale, shape_of,
+    AnnController, CandidatePerf, Decision, DecisionCtx, DecisionTableController, DvfsSpace,
+    EmpiricalSearchController, JointPerf, JointSearchController, OracleController, PhaseSample,
     PowerPerfController, PredictorController, Rationale, StaticController,
 };
 pub use corpus::{TrainingCorpus, TrainingSample};
@@ -92,7 +93,8 @@ pub mod prelude {
     pub use crate::adaptation::{run_adaptation_study, AdaptationStudy, Strategy};
     pub use crate::config::{ActorConfig, PredictorConfig};
     pub use crate::controller::{
-        AnnController, Decision, DecisionCtx, PhaseSample, PowerPerfController,
+        AnnController, Decision, DecisionCtx, DvfsSpace, JointSearchController, PhaseSample,
+        PowerPerfController,
     };
     pub use crate::corpus::TrainingCorpus;
     pub use crate::error::ActorError;

@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use actor_core::baselines::LinearRegressionPredictor;
 use actor_core::conformance::{assert_controller_conformance, ConformanceOptions};
 use actor_core::controller::{
-    AnnController, DecisionTableController, EmpiricalSearchController, OracleController,
-    PowerPerfController, PredictorController, StaticController,
+    AnnController, DecisionTableController, EmpiricalSearchController, JointSearchController,
+    OracleController, PowerPerfController, PredictorController, StaticController,
 };
 use actor_core::predictor::AnnPredictor;
 use actor_core::throttle::select_configuration;
@@ -86,6 +86,17 @@ fn empirical_search_controller_conforms() {
     assert_controller_conformance(
         || Box::new(EmpiricalSearchController::default()),
         &ConformanceOptions::default(),
+    );
+}
+
+#[test]
+fn joint_search_controller_conforms() {
+    // The joint (threads × frequency) search is cap-aware: it excludes
+    // over-cap cells from exploration, so the harness may hold it to the
+    // power-cap contract on both the nominal and the DVFS script.
+    assert_controller_conformance(
+        || Box::new(JointSearchController::default()),
+        &ConformanceOptions::cap_aware(),
     );
 }
 

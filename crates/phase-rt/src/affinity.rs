@@ -128,11 +128,14 @@ impl Binding {
 /// A DVFS actuation step: an index into a machine-defined frequency ladder.
 ///
 /// Step `0` is the nominal (highest) frequency; larger steps lower the clock.
-/// The paper's platform throttles *concurrency* only, so every decision made
-/// by the reproduction today carries [`FreqStep::NOMINAL`] — the type exists
-/// so a [`controller decision`](Binding) is expressed in the full
-/// (threads × frequency) actuation space and combined DVFS + DCT controllers
-/// can be added without another API break.
+/// The paper's platform throttles *concurrency* only, but the combined
+/// DVFS + DCT controllers of the authors' follow-up work decide in the full
+/// (threads × frequency) space, so every controller decision carries a
+/// `FreqStep` next to its [`Binding`]. A bare [`FreqStep::new`] is not
+/// validated against any particular ladder — use [`FreqStep::for_ladder`]
+/// when the ladder depth is known, and note that the machine layers
+/// (`xeon-sim`, the adaptation harness, the cluster scheduler) all treat an
+/// out-of-range step as a loud contract violation rather than clamping it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct FreqStep(u8);
 
@@ -140,9 +143,26 @@ impl FreqStep {
     /// The nominal (unthrottled) frequency.
     pub const NOMINAL: FreqStep = FreqStep(0);
 
-    /// A specific step down the frequency ladder (`0` = nominal).
+    /// A specific step down the frequency ladder (`0` = nominal). Not
+    /// validated against any ladder; see [`FreqStep::for_ladder`].
     pub fn new(step: u8) -> Self {
         Self(step)
+    }
+
+    /// A step validated against a ladder of `ladder_len` rungs: the step must
+    /// index an existing rung (`step < ladder_len`).
+    pub fn for_ladder(step: u8, ladder_len: usize) -> Result<Self, RtError> {
+        if (step as usize) < ladder_len {
+            Ok(Self(step))
+        } else {
+            Err(RtError::InvalidFreqStep { step: step as usize, ladder_len })
+        }
+    }
+
+    /// Whether this step indexes an existing rung of a ladder of
+    /// `ladder_len` rungs.
+    pub fn is_valid_for(self, ladder_len: usize) -> bool {
+        (self.0 as usize) < ladder_len
     }
 
     /// The ladder index (`0` = nominal).
@@ -212,6 +232,19 @@ mod tests {
         assert!(!slow.is_nominal());
         assert_eq!(slow.index(), 2);
         assert!(FreqStep::NOMINAL < slow, "lower steps are faster clocks");
+    }
+
+    #[test]
+    fn freq_steps_validate_against_a_ladder() {
+        assert_eq!(FreqStep::for_ladder(0, 1), Ok(FreqStep::NOMINAL));
+        assert_eq!(FreqStep::for_ladder(3, 4), Ok(FreqStep::new(3)));
+        assert_eq!(
+            FreqStep::for_ladder(4, 4),
+            Err(RtError::InvalidFreqStep { step: 4, ladder_len: 4 })
+        );
+        assert!(FreqStep::new(3).is_valid_for(4));
+        assert!(!FreqStep::new(4).is_valid_for(4));
+        assert!(!FreqStep::NOMINAL.is_valid_for(0));
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub enum RtError {
         /// The rejected chunk size.
         chunk: usize,
     },
+    /// A DVFS step referenced a rung the machine's frequency ladder does not
+    /// have.
+    InvalidFreqStep {
+        /// The offending step index.
+        step: usize,
+        /// Number of steps in the ladder.
+        ladder_len: usize,
+    },
 }
 
 impl fmt::Display for RtError {
@@ -50,6 +58,9 @@ impl fmt::Display for RtError {
             }
             RtError::PoolShutDown => write!(f, "thread pool has been shut down"),
             RtError::InvalidChunk { chunk } => write!(f, "invalid chunk size {chunk}"),
+            RtError::InvalidFreqStep { step, ladder_len } => {
+                write!(f, "DVFS step {step} out of range (ladder has {ladder_len} steps)")
+            }
         }
     }
 }
@@ -68,5 +79,7 @@ mod tests {
         assert!(RtError::DuplicateCore { core: 1 }.to_string().contains("core 1"));
         assert!(RtError::PoolShutDown.to_string().contains("shut down"));
         assert!(RtError::InvalidChunk { chunk: 0 }.to_string().contains("0"));
+        let e = RtError::InvalidFreqStep { step: 4, ladder_len: 4 };
+        assert!(e.to_string().contains("step 4") && e.to_string().contains("4 steps"));
     }
 }

@@ -31,6 +31,14 @@ pub enum SimError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A DVFS step index referenced a rung the machine's frequency ladder
+    /// does not have.
+    InvalidFreqStep {
+        /// The offending step index.
+        step: usize,
+        /// Number of steps in the ladder.
+        ladder_len: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +56,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidCacheConfig { reason } => {
                 write!(f, "invalid cache configuration: {reason}")
+            }
+            SimError::InvalidFreqStep { step, ladder_len } => {
+                write!(f, "DVFS step {step} out of range (ladder has {ladder_len} steps)")
             }
         }
     }
@@ -72,6 +83,8 @@ mod tests {
         assert!(e.to_string().contains("base_cpi"));
         let e = SimError::InvalidCacheConfig { reason: "ways must be power of two".into() };
         assert!(e.to_string().contains("ways"));
+        let e = SimError::InvalidFreqStep { step: 7, ladder_len: 4 };
+        assert!(e.to_string().contains("step 7") && e.to_string().contains("4 steps"));
     }
 
     #[test]

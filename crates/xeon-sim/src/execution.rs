@@ -14,6 +14,10 @@ pub struct PhaseExecution {
     pub config_label: String,
     /// Number of threads used.
     pub threads: usize,
+    /// DVFS ladder step the phase ran at (`0` = nominal frequency).
+    pub freq_step: usize,
+    /// Effective core clock during the phase (GHz).
+    pub freq_ghz: f64,
     /// Wall-clock execution time in seconds.
     pub time_s: f64,
     /// Wall-clock cycles (time × clock frequency).
@@ -46,6 +50,19 @@ pub struct PhaseExecution {
 }
 
 impl PhaseExecution {
+    /// Fraction of cycles spent stalled on memory (`MemStallCycles /
+    /// Cycles`, clamped to `[0, 1]`) — the stall/compute split a DVFS-aware
+    /// controller extrapolates along the frequency ladder. Zero when no
+    /// cycles were recorded.
+    pub fn stall_fraction(&self) -> f64 {
+        let cycles = self.counters.get(crate::counters::HwEvent::Cycles);
+        if cycles > 0.0 {
+            (self.counters.get(crate::counters::HwEvent::MemStallCycles) / cycles).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Energy-delay product (J·s).
     pub fn edp(&self) -> f64 {
         self.energy_j * self.time_s
@@ -149,6 +166,8 @@ mod tests {
             phase_name: "p".into(),
             config_label: "4".into(),
             threads: 4,
+            freq_step: 0,
+            freq_ghz: 2.4,
             time_s,
             wall_cycles: 2.4e9 * time_s,
             instructions: 1e9,

@@ -46,12 +46,9 @@ impl Machine {
     /// Builds a machine from a topology and parameter set.
     pub fn new(topo: Topology, params: MachineParams) -> Result<Self, SimError> {
         params.validate().map_err(|reason| SimError::InvalidCacheConfig { reason })?;
-        Ok(Self {
-            topo,
-            params,
-            bus: BusModel::from_params(&params),
-            power: PowerModel::new(params.power),
-        })
+        let bus = BusModel::from_params(&params);
+        let power = PowerModel::new(params.power);
+        Ok(Self { topo, params, bus, power })
     }
 
     /// The paper's platform: quad-core Xeon QX6600 (two pairs sharing 4 MB L2
@@ -81,8 +78,13 @@ impl Machine {
         &self.bus
     }
 
+    /// The machine's voltage/frequency ladder.
+    pub fn freq_ladder(&self) -> &crate::params::FreqLadder {
+        &self.params.freq_ladder
+    }
+
     /// Simulates one phase instance under one of the paper's named
-    /// configurations.
+    /// configurations, at the nominal frequency.
     pub fn simulate_config(&self, profile: &PhaseProfile, config: Configuration) -> PhaseExecution {
         let placement = config.placement(&self.topo);
         let mut exec = self.simulate_phase(profile, &placement);
@@ -90,8 +92,103 @@ impl Machine {
         exec
     }
 
-    /// Simulates one phase instance under an arbitrary placement.
+    /// Simulates one phase instance under a named configuration at a DVFS
+    /// ladder step; fails loudly on a step the ladder does not have.
+    pub fn simulate_config_at(
+        &self,
+        profile: &PhaseProfile,
+        config: Configuration,
+        freq_step: usize,
+    ) -> Result<PhaseExecution, SimError> {
+        let placement = config.placement(&self.topo);
+        let mut exec = self.simulate_phase_at(profile, &placement, freq_step)?;
+        exec.config_label = if freq_step == 0 {
+            config.label().to_string()
+        } else {
+            format!("{}@f{}", config.label(), freq_step)
+        };
+        Ok(exec)
+    }
+
+    /// Simulates one phase instance under an arbitrary placement, at the
+    /// nominal frequency.
     pub fn simulate_phase(&self, profile: &PhaseProfile, placement: &Placement) -> PhaseExecution {
+        self.simulate_phase_nominal(profile, placement)
+    }
+
+    /// Simulates one phase instance under a named configuration at *every*
+    /// step of the ladder, returning one execution per step (index =
+    /// step). The contention model is solved once — at nominal — and the
+    /// downclocked steps derive from that solve, so this costs one fixed
+    /// point no matter how deep the ladder is; prefer it over calling
+    /// [`Machine::simulate_config_at`] per step when enumerating the
+    /// frequency axis.
+    pub fn simulate_config_ladder(
+        &self,
+        profile: &PhaseProfile,
+        config: Configuration,
+    ) -> Vec<PhaseExecution> {
+        let placement = config.placement(&self.topo);
+        let mut nominal = self.simulate_phase_nominal(profile, &placement);
+        nominal.config_label = config.label().to_string();
+        let mut execs = Vec::with_capacity(self.params.freq_ladder.len());
+        for step in 1..self.params.freq_ladder.len() {
+            let mut exec = self.derive_downclocked(profile, &placement, nominal.clone(), step);
+            exec.config_label = format!("{}@f{step}", config.label());
+            execs.push(exec);
+        }
+        execs.insert(0, nominal);
+        execs
+    }
+
+    /// Simulates one phase instance under an arbitrary placement at a DVFS
+    /// ladder step.
+    ///
+    /// Compute-bound cycles stretch with `1/f` (base CPI, L1 miss penalties,
+    /// fork/join overheads are core-clocked), while memory/bus-bound stall
+    /// time does not (off-chip latency in nanoseconds is set by the memory
+    /// subsystem) — so memory-bound phases tolerate downclocking with little
+    /// slowdown. Core power scales with `f·V²` (dynamic) and `V` (static);
+    /// the idle/bus/DRAM terms are frequency-independent.
+    ///
+    /// The contention fixed point is solved once, at the nominal clock, and
+    /// downclocked executions are derived from its converged stall/compute
+    /// split. Besides keeping the nominal path bit-identical to the pre-DVFS
+    /// model, this guarantees the physical monotonicities the ladder must
+    /// exhibit (time never shrinks, power never grows down the ladder) that
+    /// re-running a damped fixed point at a different clock cannot — its
+    /// trajectory, truncated at a fixed iteration count, lands on slightly
+    /// different pseudo-equilibria per frequency. The derivation slightly
+    /// overstates bus queueing at low clocks (contention was solved at the
+    /// nominal demand rate), which is the conservative direction.
+    ///
+    /// Fails loudly with [`SimError::InvalidFreqStep`] on a step the
+    /// machine's ladder does not have.
+    pub fn simulate_phase_at(
+        &self,
+        profile: &PhaseProfile,
+        placement: &Placement,
+        freq_step: usize,
+    ) -> Result<PhaseExecution, SimError> {
+        let ladder = &self.params.freq_ladder;
+        if ladder.step(freq_step).is_none() {
+            return Err(SimError::InvalidFreqStep { step: freq_step, ladder_len: ladder.len() });
+        }
+        let nominal = self.simulate_phase(profile, placement);
+        if freq_step == 0 {
+            return Ok(nominal);
+        }
+        Ok(self.derive_downclocked(profile, placement, nominal, freq_step))
+    }
+
+    /// Simulates one phase instance under an arbitrary placement, at the
+    /// nominal frequency — the original (pre-DVFS) analytical model,
+    /// bit-for-bit.
+    fn simulate_phase_nominal(
+        &self,
+        profile: &PhaseProfile,
+        placement: &Placement,
+    ) -> PhaseExecution {
         debug_assert!(profile.validate().is_ok(), "invalid phase profile {:?}", profile.name);
 
         let p = &self.params;
@@ -191,6 +288,8 @@ impl Machine {
             phase_name: profile.name.clone(),
             config_label: format!("{}t", t),
             threads: t,
+            freq_step: 0,
+            freq_ghz: p.clock_ghz,
             time_s,
             wall_cycles,
             instructions: profile.instructions,
@@ -204,6 +303,112 @@ impl Machine {
             avg_power_w,
             power_breakdown: breakdown,
             energy_j,
+        }
+    }
+
+    /// Derives a downclocked execution from the nominal solve of the same
+    /// (phase, placement): compute cycles stretch with `1/f`, the converged
+    /// memory-stall time stays wall-bound, the roofline is
+    /// frequency-independent, and power is re-evaluated at the step's
+    /// operating point (see [`Machine::simulate_phase_at`]).
+    fn derive_downclocked(
+        &self,
+        profile: &PhaseProfile,
+        placement: &Placement,
+        nominal: PhaseExecution,
+        freq_step: usize,
+    ) -> PhaseExecution {
+        let p = &self.params;
+        let ladder = &p.freq_ladder;
+        let s = ladder.freq_scale(freq_step).expect("caller validated the step");
+        let t = placement.num_threads();
+        let tf = t as f64;
+        let clock_hz = p.clock_hz();
+
+        // Reconstruct the nominal solve's split. The compute part of the CPI
+        // (core-clocked) is exact; the memory part is whatever the converged
+        // contention model added on top.
+        let l1_misses_per_instr = profile.l1_mpki / 1000.0;
+        let l2_misses_per_instr = nominal.l2_mpki / 1000.0;
+        let compute_cpi = profile.base_cpi + l1_misses_per_instr * p.l1_miss_penalty_cycles;
+        let mem_cpi = (nominal.effective_cpi - compute_cpi).max(0.0);
+        let exposed_miss_cycles =
+            if l2_misses_per_instr > 0.0 { mem_cpi / l2_misses_per_instr } else { 0.0 };
+
+        let par_instr = profile.instructions * profile.parallel_fraction;
+        let ser_instr = profile.instructions - par_instr;
+        let spread = (self.topo.num_cores.max(2) - 1) as f64;
+        let imbalance = 1.0 + profile.load_imbalance * (tf - 1.0) / spread;
+        let crit_instr = ser_instr + (par_instr / tf) * imbalance;
+
+        // --- time: compute stretches with 1/f, stall time does not ---------
+        let compute_time = crit_instr * (compute_cpi / s + mem_cpi) / clock_hz;
+        let writeback_factor = 1.0 + 0.6 * profile.store_fraction;
+        let total_bytes =
+            profile.instructions * l2_misses_per_instr * p.line_bytes as f64 * writeback_factor;
+        let bandwidth_time = total_bytes / self.bus.bandwidth_bytes_per_s;
+        let overhead_s = (p.fork_join_us
+            + p.barrier_us_per_thread * (tf - 1.0).max(0.0)
+            + profile.serial_overhead_us)
+            * 1e-6
+            / s;
+        let core_time = compute_time.max(bandwidth_time);
+        let time_s = core_time + overhead_s;
+
+        // --- bus demand falls with the instruction rate --------------------
+        let nominal_core_time = (crit_instr * nominal.effective_cpi / clock_hz).max(bandwidth_time);
+        let demand_scale = if core_time > 0.0 { nominal_core_time / core_time } else { 1.0 };
+        let demand_bytes = nominal.bus_demand_ratio * self.bus.bandwidth_bytes_per_s * demand_scale;
+        let bus_demand_ratio = self.bus.raw_utilisation(demand_bytes);
+        let bus_utilisation = self.bus.utilisation(demand_bytes);
+
+        // --- derived rates at the effective clock --------------------------
+        let eff_ghz = p.clock_ghz * s;
+        let wall_cycles = time_s * eff_ghz * 1e9;
+        let aggregate_ipc = profile.instructions / wall_cycles;
+        let per_core_ipc = aggregate_ipc / tf;
+        let effective_cpi = compute_cpi + mem_cpi * s;
+
+        // Exposed stall time is wall-constant, so its cycle count shrinks
+        // with the clock.
+        let counters = self.derive_counters(
+            profile,
+            nominal.l2_mpki,
+            wall_cycles,
+            bus_utilisation,
+            crit_instr,
+            exposed_miss_cycles * s,
+        );
+
+        let static_scale = ladder.static_power_scale(freq_step).expect("step validated");
+        let dynamic_scale = ladder.dynamic_power_scale(freq_step).expect("step validated");
+        let breakdown = self.power.phase_power_scaled(
+            t,
+            per_core_ipc,
+            placement.active_l2(&self.topo),
+            bus_utilisation,
+            bus_utilisation,
+            static_scale,
+            dynamic_scale,
+        );
+        let avg_power_w = breakdown.total_w();
+        let energy_j = avg_power_w * time_s;
+
+        PhaseExecution {
+            freq_step,
+            freq_ghz: eff_ghz,
+            time_s,
+            wall_cycles,
+            aggregate_ipc,
+            per_core_ipc,
+            effective_cpi,
+            bus_utilisation,
+            bus_demand_ratio,
+            counters,
+            avg_power_w,
+            power_breakdown: breakdown,
+            energy_j,
+            ..nominal
         }
     }
 
@@ -436,6 +641,111 @@ mod tests {
         let t8 = m.simulate_phase(&p, &all).time_s;
         let t1 = m.simulate_phase(&p, &Placement::packed(1, m.topology()).unwrap()).time_s;
         assert!(t1 / t8 > 3.0, "a compute-bound phase should keep scaling on 8 cores");
+    }
+
+    #[test]
+    fn nominal_step_matches_the_pre_dvfs_model_exactly() {
+        let m = machine();
+        let p = PhaseProfile::cache_sensitive("cs", 1e9);
+        for cfg in Configuration::ALL {
+            let nominal = m.simulate_config(&p, cfg);
+            let at0 = m.simulate_config_at(&p, cfg, 0).unwrap();
+            assert_eq!(nominal, at0, "step 0 must be bit-identical to the nominal path");
+            assert_eq!(nominal.freq_step, 0);
+            assert!((nominal.freq_ghz - m.params().clock_ghz).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compute_bound_time_stretches_with_one_over_f() {
+        let m = machine();
+        let p = PhaseProfile::compute_bound("cb", 5e9);
+        let bottom = m.params().freq_ladder.len() - 1;
+        let nominal = m.simulate_config(&p, Configuration::Four);
+        let slow = m.simulate_config_at(&p, Configuration::Four, bottom).unwrap();
+        let fs = m.params().freq_ladder.freq_scale(bottom).unwrap();
+        let stretch = slow.time_s / nominal.time_s;
+        assert!(
+            stretch > 0.9 / fs && stretch < 1.1 / fs,
+            "compute-bound stretch {stretch:.3} should track 1/f = {:.3}",
+            1.0 / fs
+        );
+        assert_eq!(slow.freq_step, bottom);
+        assert!(slow.freq_ghz < nominal.freq_ghz);
+    }
+
+    /// A phase that is almost pure memory stall: negligible compute CPI
+    /// (tiny base CPI and L1-hit traffic — both core-clocked) and a miss
+    /// stream heavy enough that wall-clock time is set by the memory system
+    /// alone.
+    fn pure_stall_phase(instructions: f64) -> PhaseProfile {
+        PhaseProfile {
+            base_cpi: 0.05,
+            l1_mpki: 0.5,
+            l2_mrc: crate::mrc::MissRatioCurve::new(55.0, 60.0, 6.0, 1.05),
+            prefetch_coverage: 0.0,
+            ..PhaseProfile::bandwidth_bound("stall", instructions)
+        }
+    }
+
+    #[test]
+    fn memory_bound_phase_tolerates_downclocking() {
+        // The reason DVFS pays off: a bandwidth-saturated phase barely slows
+        // down at the ladder bottom but draws measurably less core power, so
+        // its energy (and a fortiori EDP/ED²) improves.
+        let m = machine();
+        let p = pure_stall_phase(5e9);
+        let bottom = m.params().freq_ladder.len() - 1;
+        let nominal = m.simulate_config(&p, Configuration::Four);
+        let slow = m.simulate_config_at(&p, Configuration::Four, bottom).unwrap();
+        let fs = m.params().freq_ladder.freq_scale(bottom).unwrap();
+        let stretch = slow.time_s / nominal.time_s;
+        assert!(
+            stretch < 1.0 + 0.2 * (1.0 / fs - 1.0),
+            "pure-stall stretch {stretch:.4} should stay far below 1/f = {:.3}",
+            1.0 / fs
+        );
+        assert!(slow.avg_power_w < nominal.avg_power_w);
+        assert!(slow.energy_j < nominal.energy_j, "downclocking a saturated phase saves energy");
+        assert!(slow.ed2() < nominal.ed2(), "…and a fortiori its ED²");
+    }
+
+    #[test]
+    fn out_of_range_step_is_a_loud_error() {
+        let m = machine();
+        let p = PhaseProfile::compute_bound("cb", 1e9);
+        let len = m.params().freq_ladder.len();
+        let err = m.simulate_config_at(&p, Configuration::One, len).unwrap_err();
+        assert_eq!(err, SimError::InvalidFreqStep { step: len, ladder_len: len });
+        let placement = Configuration::One.placement(m.topology());
+        assert!(m.simulate_phase_at(&p, &placement, 99).is_err());
+    }
+
+    #[test]
+    fn ladder_simulation_matches_per_step_simulation() {
+        let m = machine();
+        let p = PhaseProfile::cache_sensitive("cs", 1e9);
+        for cfg in Configuration::ALL {
+            let ladder = m.simulate_config_ladder(&p, cfg);
+            assert_eq!(ladder.len(), m.params().freq_ladder.len());
+            for (step, exec) in ladder.iter().enumerate() {
+                assert_eq!(exec, &m.simulate_config_at(&p, cfg, step).unwrap(), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_labels_carry_the_step_only_when_downclocked() {
+        let m = machine();
+        let p = PhaseProfile::compute_bound("cb", 1e9);
+        assert_eq!(
+            m.simulate_config_at(&p, Configuration::TwoLoose, 0).unwrap().config_label,
+            "2b"
+        );
+        assert_eq!(
+            m.simulate_config_at(&p, Configuration::TwoLoose, 2).unwrap().config_label,
+            "2b@f2"
+        );
     }
 
     #[test]

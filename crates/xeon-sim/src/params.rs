@@ -8,6 +8,154 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One rung of the voltage/frequency ladder: a core clock and the supply
+/// voltage the silicon needs to sustain it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqPoint {
+    /// Core clock frequency at this step (GHz).
+    pub ghz: f64,
+    /// Supply voltage at this step (V).
+    pub vdd: f64,
+}
+
+/// The machine's DVFS ladder: step `0` is the nominal (highest) frequency,
+/// larger steps lower the clock and the supply voltage together.
+///
+/// The execution model stretches compute-bound cycles with `1/f` while
+/// leaving memory/bus-bound stall time untouched (off-chip latency is set by
+/// the memory subsystem, not the core clock) — which is exactly why
+/// memory-bound phases tolerate downclocking. The power model scales core
+/// dynamic power with `f·V²` and core static power with `V`; the idle floor,
+/// bus and DRAM terms are frequency-independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqLadder {
+    steps: Vec<FreqPoint>,
+}
+
+impl FreqLadder {
+    /// Builds a ladder from explicit steps. The first step is nominal; steps
+    /// must have strictly decreasing frequency and non-increasing voltage.
+    pub fn new(steps: Vec<FreqPoint>) -> Result<Self, String> {
+        let ladder = Self { steps };
+        ladder.validate()?;
+        Ok(ladder)
+    }
+
+    /// A ladder with only the nominal operating point (no DVFS).
+    pub fn nominal_only(ghz: f64, vdd: f64) -> Self {
+        Self { steps: vec![FreqPoint { ghz, vdd }] }
+    }
+
+    /// The default 4-step Xeon-like ladder of the modelled QX6600-era part:
+    /// 2.40 GHz @ 1.30 V down to 1.60 GHz @ 1.10 V.
+    pub fn xeon_4step() -> Self {
+        Self {
+            steps: vec![
+                FreqPoint { ghz: 2.40, vdd: 1.30 },
+                FreqPoint { ghz: 2.13, vdd: 1.25 },
+                FreqPoint { ghz: 1.87, vdd: 1.175 },
+                FreqPoint { ghz: 1.60, vdd: 1.10 },
+            ],
+        }
+    }
+
+    /// Number of steps (≥ 1; step indices are `0..len()`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the ladder has no steps (never true for a validated ladder).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The operating point of one step.
+    pub fn step(&self, step: usize) -> Option<FreqPoint> {
+        self.steps.get(step).copied()
+    }
+
+    /// The nominal (step-0) operating point.
+    pub fn nominal(&self) -> FreqPoint {
+        self.steps[0]
+    }
+
+    /// All steps, nominal first.
+    pub fn steps(&self) -> &[FreqPoint] {
+        &self.steps
+    }
+
+    /// Frequency of `step` relative to nominal (`1.0` at step 0).
+    pub fn freq_scale(&self, step: usize) -> Option<f64> {
+        self.step(step).map(|p| p.ghz / self.nominal().ghz)
+    }
+
+    /// Voltage of `step` relative to nominal (`1.0` at step 0).
+    pub fn volt_scale(&self, step: usize) -> Option<f64> {
+        self.step(step).map(|p| p.vdd / self.nominal().vdd)
+    }
+
+    /// Core *dynamic* power scale of `step` relative to nominal: `f·V²`.
+    pub fn dynamic_power_scale(&self, step: usize) -> Option<f64> {
+        let f = self.freq_scale(step)?;
+        let v = self.volt_scale(step)?;
+        Some(f * v * v)
+    }
+
+    /// Core *static* power scale of `step` relative to nominal: `V`.
+    pub fn static_power_scale(&self, step: usize) -> Option<f64> {
+        self.volt_scale(step)
+    }
+
+    /// Checks the ladder is physically plausible; returns a human-readable
+    /// description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.steps.is_empty() {
+            return Err("frequency ladder needs at least the nominal step".to_string());
+        }
+        for (i, p) in self.steps.iter().enumerate() {
+            if !(p.ghz.is_finite() && p.ghz > 0.0) {
+                return Err(format!(
+                    "ladder step {i}: ghz must be positive and finite, got {}",
+                    p.ghz
+                ));
+            }
+            if !(p.vdd.is_finite() && p.vdd > 0.0) {
+                return Err(format!(
+                    "ladder step {i}: vdd must be positive and finite, got {}",
+                    p.vdd
+                ));
+            }
+        }
+        for (i, pair) in self.steps.windows(2).enumerate() {
+            if pair[1].ghz >= pair[0].ghz {
+                return Err(format!(
+                    "ladder steps must have strictly decreasing frequency, but step {} \
+                     ({} GHz) >= step {i} ({} GHz)",
+                    i + 1,
+                    pair[1].ghz,
+                    pair[0].ghz
+                ));
+            }
+            if pair[1].vdd > pair[0].vdd {
+                return Err(format!(
+                    "ladder steps must have non-increasing voltage, but step {} ({} V) > \
+                     step {i} ({} V)",
+                    i + 1,
+                    pair[1].vdd,
+                    pair[0].vdd
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FreqLadder {
+    fn default() -> Self {
+        Self::xeon_4step()
+    }
+}
+
 /// Coefficients of the full-system power model.
 ///
 /// Total power = `system_idle_w`
@@ -52,9 +200,10 @@ impl Default for PowerParams {
 }
 
 /// Timing, cache and bandwidth parameters of the modelled machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineParams {
-    /// Core clock frequency in GHz.
+    /// Core clock frequency in GHz (the *nominal* operating point; DVFS steps
+    /// scale it by the ladder's relative frequencies).
     pub clock_ghz: f64,
     /// Private L1 data cache size (KB) — only used by the trace-driven cache
     /// simulator and counter derivation; the analytical model takes L1 miss
@@ -90,6 +239,10 @@ pub struct MachineParams {
     pub bus_max_utilisation: f64,
     /// Power model coefficients.
     pub power: PowerParams,
+    /// Voltage/frequency ladder for DVFS. Step 0 is nominal; the ladder's
+    /// frequencies are interpreted *relative to its own nominal step* and
+    /// applied as scales on `clock_ghz`.
+    pub freq_ladder: FreqLadder,
 }
 
 impl MachineParams {
@@ -111,6 +264,7 @@ impl MachineParams {
             bus_queue_factor: 1.15,
             bus_max_utilisation: 0.96,
             power: PowerParams::default(),
+            freq_ladder: FreqLadder::xeon_4step(),
         }
     }
 
@@ -160,7 +314,7 @@ impl MachineParams {
                 self.bus_max_utilisation
             ));
         }
-        Ok(())
+        self.freq_ladder.validate()
     }
 }
 
@@ -195,6 +349,55 @@ mod tests {
         for p in bad {
             assert!(p.validate().is_err(), "{p:?} should fail validation");
         }
+    }
+
+    #[test]
+    fn default_ladder_is_a_valid_four_step_descent() {
+        let ladder = FreqLadder::xeon_4step();
+        assert_eq!(ladder.len(), 4);
+        assert!(!ladder.is_empty());
+        assert!(ladder.validate().is_ok());
+        assert_eq!(ladder.freq_scale(0), Some(1.0));
+        assert_eq!(ladder.volt_scale(0), Some(1.0));
+        assert_eq!(ladder.dynamic_power_scale(0), Some(1.0));
+        assert_eq!(ladder.static_power_scale(0), Some(1.0));
+        for step in 1..ladder.len() {
+            assert!(ladder.freq_scale(step).unwrap() < ladder.freq_scale(step - 1).unwrap());
+            assert!(ladder.volt_scale(step).unwrap() <= ladder.volt_scale(step - 1).unwrap());
+            assert!(
+                ladder.dynamic_power_scale(step).unwrap()
+                    < ladder.dynamic_power_scale(step - 1).unwrap(),
+                "f·V² must fall monotonically down the ladder"
+            );
+        }
+        assert_eq!(ladder.step(4), None);
+        assert_eq!(ladder.freq_scale(9), None);
+    }
+
+    #[test]
+    fn ladder_validation_catches_bad_shapes() {
+        assert!(FreqLadder::new(vec![]).is_err());
+        // Frequency must strictly decrease.
+        assert!(FreqLadder::new(vec![
+            FreqPoint { ghz: 2.0, vdd: 1.2 },
+            FreqPoint { ghz: 2.0, vdd: 1.1 },
+        ])
+        .is_err());
+        // Voltage must not rise down the ladder.
+        assert!(FreqLadder::new(vec![
+            FreqPoint { ghz: 2.0, vdd: 1.1 },
+            FreqPoint { ghz: 1.5, vdd: 1.2 },
+        ])
+        .is_err());
+        assert!(FreqLadder::new(vec![FreqPoint { ghz: f64::NAN, vdd: 1.2 }]).is_err());
+        assert!(FreqLadder::new(vec![FreqPoint { ghz: 2.0, vdd: 0.0 }]).is_err());
+        let nominal = FreqLadder::nominal_only(2.4, 1.3);
+        assert_eq!(nominal.len(), 1);
+        assert!(nominal.validate().is_ok());
+        // An invalid ladder invalidates the machine parameters.
+        let mut params = MachineParams::xeon_qx6600();
+        params.freq_ladder = FreqLadder { steps: vec![] };
+        assert!(params.validate().is_err());
     }
 
     #[test]

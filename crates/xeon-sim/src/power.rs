@@ -59,7 +59,7 @@ impl PowerModel {
         &self.params
     }
 
-    /// Average system power for a phase.
+    /// Average system power for a phase at the nominal operating point.
     ///
     /// * `active_cores` — number of cores running threads;
     /// * `per_core_ipc` — average IPC of each active core (drives dynamic power);
@@ -73,9 +73,39 @@ impl PowerModel {
         bus_utilisation: f64,
         dram_utilisation: f64,
     ) -> PowerBreakdown {
+        self.phase_power_scaled(
+            active_cores,
+            per_core_ipc,
+            active_l2,
+            bus_utilisation,
+            dram_utilisation,
+            1.0,
+            1.0,
+        )
+    }
+
+    /// Average system power for a phase at a DVFS operating point.
+    ///
+    /// `static_scale` multiplies the per-core static/leakage term (∝ V) and
+    /// `dynamic_scale` the per-core dynamic term (∝ f·V²), both relative to
+    /// nominal — see [`crate::params::FreqLadder::static_power_scale`] and
+    /// [`crate::params::FreqLadder::dynamic_power_scale`]. The idle floor, L2,
+    /// bus and DRAM terms are frequency-independent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn phase_power_scaled(
+        &self,
+        active_cores: usize,
+        per_core_ipc: f64,
+        active_l2: usize,
+        bus_utilisation: f64,
+        dram_utilisation: f64,
+        static_scale: f64,
+        dynamic_scale: f64,
+    ) -> PowerBreakdown {
         let p = &self.params;
         let activity = (per_core_ipc.max(0.0) / p.core_ipc_ref).min(p.core_dynamic_cap);
-        let cores_w = active_cores as f64 * (p.core_static_w + p.core_dynamic_max_w * activity);
+        let cores_w = active_cores as f64
+            * (p.core_static_w * static_scale + p.core_dynamic_max_w * activity * dynamic_scale);
         PowerBreakdown {
             idle_w: p.system_idle_w,
             cores_w,
@@ -205,6 +235,33 @@ mod tests {
         assert!((hi - cap).abs() < 1e-9, "IPC above the cap must not add power");
         let low = m.phase_power(4, 0.2, 2, 0.0, 0.0).total_w();
         assert!(low < hi);
+    }
+
+    #[test]
+    fn dvfs_scaling_touches_only_the_core_term() {
+        let m = model();
+        let nominal = m.phase_power(4, 1.2, 2, 0.5, 0.5);
+        let unit = m.phase_power_scaled(4, 1.2, 2, 0.5, 0.5, 1.0, 1.0);
+        assert_eq!(nominal, unit, "unit scales must reproduce the nominal model exactly");
+
+        // A Xeon-like bottom step: f 2/3 of nominal, V ~0.85 of nominal.
+        let (vs, fs) = (0.85, 2.0 / 3.0);
+        let down = m.phase_power_scaled(4, 1.2, 2, 0.5, 0.5, vs, fs * vs * vs);
+        assert!(down.cores_w < nominal.cores_w, "downclocked cores must draw less");
+        assert_eq!(down.idle_w, nominal.idle_w);
+        assert_eq!(down.l2_w, nominal.l2_w);
+        assert_eq!(down.bus_w, nominal.bus_w);
+        assert_eq!(down.dram_w, nominal.dram_w);
+        // The core saving has both a static (V) and a dynamic (f·V²) part.
+        let p = m.params();
+        let expected = 4.0
+            * (p.core_static_w * vs
+                + p.core_dynamic_max_w
+                    * (1.2f64 / p.core_ipc_ref).min(p.core_dynamic_cap)
+                    * fs
+                    * vs
+                    * vs);
+        assert!((down.cores_w - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -39,7 +39,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use actor_core::adaptation::adaptation_with_controller;
-use actor_core::controller::{OracleController, PowerPerfController, StaticController};
+use actor_core::controller::{
+    JointSearchController, OracleController, PowerPerfController, StaticController,
+};
 use actor_core::evaluation::evaluate_benchmarks;
 use actor_core::report::{NullReporter, Reporter, StdoutReporter, Table};
 use actor_core::scalability::{
@@ -71,6 +73,9 @@ pub enum ControllerSpec {
     /// A fixed configuration for every phase (e.g. the OS default,
     /// [`Configuration::Four`]).
     Static(Configuration),
+    /// Model-free exploration of the joint (threads × frequency) space —
+    /// pair with [`ExperimentBuilder::dvfs`] to actually offer the ladder.
+    JointSearch,
     /// An arbitrary controller factory, called once per evaluated benchmark.
     Custom(ControllerFactory),
 }
@@ -81,6 +86,7 @@ impl std::fmt::Debug for ControllerSpec {
             ControllerSpec::Ann => write!(f, "ControllerSpec::Ann"),
             ControllerSpec::PhaseOracle => write!(f, "ControllerSpec::PhaseOracle"),
             ControllerSpec::Static(c) => write!(f, "ControllerSpec::Static({c:?})"),
+            ControllerSpec::JointSearch => write!(f, "ControllerSpec::JointSearch"),
             ControllerSpec::Custom(_) => write!(f, "ControllerSpec::Custom(..)"),
         }
     }
@@ -100,6 +106,7 @@ impl ControllerSpec {
                 Box::new(OracleController::for_benchmark(machine, bench))
             }
             ControllerSpec::Static(config) => Box::new(StaticController::new(*config, "static")),
+            ControllerSpec::JointSearch => Box::new(JointSearchController::default()),
             ControllerSpec::Custom(factory) => factory(machine, bench, eval),
         }
     }
@@ -117,6 +124,7 @@ pub struct ExperimentBuilder {
     config: ActorConfig,
     controller: ControllerSpec,
     power_budget_w: Option<f64>,
+    dvfs: bool,
     reporter: Box<dyn Reporter>,
 }
 
@@ -135,6 +143,7 @@ impl ExperimentBuilder {
             config: ActorConfig::default(),
             controller: ControllerSpec::Ann,
             power_budget_w: None,
+            dvfs: false,
             reporter: Box::new(StdoutReporter),
         }
     }
@@ -178,6 +187,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Offers the machine's voltage/frequency ladder to the adaptive
+    /// controller, widening its decision space to (threads × frequency).
+    /// The reference bars stay at nominal frequency, and `false` (the
+    /// default) reproduces the concurrency-only studies bit-for-bit.
+    pub fn dvfs(mut self, enabled: bool) -> Self {
+        self.dvfs = enabled;
+        self
+    }
+
     /// Where tables, notes and artefacts go.
     pub fn reporter(mut self, reporter: Box<dyn Reporter>) -> Self {
         self.reporter = reporter;
@@ -209,6 +227,7 @@ impl ExperimentBuilder {
             config: self.config,
             controller: self.controller,
             power_budget_w: self.power_budget_w,
+            dvfs: self.dvfs,
             reporter: self.reporter,
             evaluations: None,
             scalability: None,
@@ -225,6 +244,7 @@ pub struct Experiment {
     config: ActorConfig,
     controller: ControllerSpec,
     power_budget_w: Option<f64>,
+    dvfs: bool,
     reporter: Box<dyn Reporter>,
     evaluations: Option<Vec<BenchmarkEvaluation>>,
     scalability: Option<ScalabilityReport>,
@@ -289,6 +309,7 @@ impl Experiment {
             evaluations,
             &mut |m, b, e| controller.build(m, b, e),
             self.power_budget_w,
+            self.dvfs,
         )
     }
 
@@ -312,6 +333,34 @@ impl Experiment {
         }
         let ids: Vec<BenchmarkId> = self.suite.iter().map(|b| b.id).collect();
         WorkloadModel::build(&self.machine, &self.config, &ids)
+    }
+
+    /// Swaps the controller occupying the adaptive slot. The cached
+    /// leave-one-out evaluations survive, so comparing several controllers
+    /// (or DVFS settings) trains the ANN ensembles once — see the
+    /// `fig_dvfs_dct` binary.
+    pub fn set_controller(&mut self, controller: ControllerSpec) {
+        self.controller = controller;
+    }
+
+    /// Sets (or clears, with `None`) the per-phase power cap for subsequent
+    /// adaptation studies; cached evaluations survive.
+    pub fn set_power_budget_w(&mut self, budget_w: Option<f64>) -> Result<(), ActorError> {
+        if let Some(b) = budget_w {
+            if !(b.is_finite() && b > 0.0) {
+                return Err(ActorError::InvalidConfig {
+                    reason: format!("power_budget_w must be positive and finite, got {b}"),
+                });
+            }
+        }
+        self.power_budget_w = budget_w;
+        Ok(())
+    }
+
+    /// Toggles the frequency axis for subsequent adaptation studies; cached
+    /// evaluations survive.
+    pub fn set_dvfs(&mut self, enabled: bool) {
+        self.dvfs = enabled;
     }
 
     /// Reports one named table through the configured reporter.

@@ -60,9 +60,10 @@ pub mod prelude {
     pub use crate::experiment::{ControllerFactory, ControllerSpec, Experiment, ExperimentBuilder};
 
     pub use actor_core::controller::{
-        binding_for, configuration_of, shape_of, AnnController, CandidatePerf, Decision,
-        DecisionCtx, DecisionTableController, EmpiricalSearchController, OracleController,
-        PhaseSample, PowerPerfController, PredictorController, Rationale, StaticController,
+        binding_for, configuration_of, frequency_scaled_ipc, frequency_throughput_scale, shape_of,
+        AnnController, CandidatePerf, Decision, DecisionCtx, DecisionTableController, DvfsSpace,
+        EmpiricalSearchController, JointPerf, JointSearchController, OracleController, PhaseSample,
+        PowerPerfController, PredictorController, Rationale, StaticController,
     };
     pub use actor_core::report::{fmt3, fmt_pct};
     pub use actor_core::{
@@ -76,7 +77,7 @@ pub mod prelude {
     };
     pub use npb_workloads::{benchmark, nas_suite, BenchmarkId, BenchmarkProfile};
     pub use phase_rt::{Binding, FreqStep, MachineShape, PhaseId};
-    pub use xeon_sim::{Configuration, Machine};
+    pub use xeon_sim::{Configuration, FreqLadder, FreqPoint, Machine};
 }
 
 /// The workspace version (all member crates share it).

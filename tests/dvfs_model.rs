@@ -1,0 +1,262 @@
+//! Cross-crate tests of the DVFS subsystem: physical invariants of the
+//! frequency ladder in the machine model (proptest), determinism of the
+//! joint (threads × frequency) search, byte-identity of nominal-only runs
+//! with the pre-DVFS decision path, and the headline result — joint
+//! DVFS+DCT control strictly beats DCT-only ED² on memory-bound suites
+//! under a tight power cap.
+
+use proptest::prelude::*;
+
+use actor_suite::actor::Strategy as AdaptStrategy;
+use actor_suite::prelude::*;
+use actor_suite::sim::{MissRatioCurve, PhaseProfile};
+
+/// A bounded random phase profile: every draw is a valid profile spanning
+/// compute-bound to heavily memory-bound behaviour.
+fn arb_profile(
+    base_cpi: f64,
+    l1_mpki: f64,
+    floor_mpki: f64,
+    extra_peak: f64,
+    working_set_mb: f64,
+    parallel_fraction: f64,
+    prefetch: f64,
+) -> PhaseProfile {
+    PhaseProfile {
+        base_cpi,
+        l1_mpki,
+        l2_mrc: MissRatioCurve::new(floor_mpki, floor_mpki + extra_peak, working_set_mb, 1.4),
+        parallel_fraction,
+        prefetch_coverage: prefetch,
+        ..PhaseProfile::cache_sensitive("prop", 2e9)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Down the ladder (larger step = lower clock): power never rises and
+    /// phase time never shrinks, for any profile and any configuration.
+    #[test]
+    fn ladder_is_monotone_in_power_and_time(
+        base_cpi in 0.1f64..3.0,
+        l1_mpki in 0.0f64..60.0,
+        floor_mpki in 0.0f64..30.0,
+        extra_peak in 0.5f64..30.0,
+        working_set_mb in 0.2f64..8.0,
+        parallel_fraction in 0.5f64..1.0,
+        prefetch in 0.0f64..0.9,
+    ) {
+        let machine = Machine::xeon_qx6600();
+        let profile = arb_profile(
+            base_cpi, l1_mpki, floor_mpki, extra_peak, working_set_mb,
+            parallel_fraction, prefetch,
+        );
+        prop_assert!(profile.validate().is_ok(), "bounded ranges always form a valid profile");
+        let steps = machine.freq_ladder().len();
+        for &config in &Configuration::ALL {
+            let mut prev = machine.simulate_config_at(&profile, config, 0).unwrap();
+            for step in 1..steps {
+                let exec = machine.simulate_config_at(&profile, config, step).unwrap();
+                prop_assert!(
+                    exec.avg_power_w <= prev.avg_power_w + 1e-9,
+                    "{config:?} step {step}: power rose down the ladder \
+                     ({} -> {} W)", prev.avg_power_w, exec.avg_power_w
+                );
+                prop_assert!(
+                    exec.time_s + 1e-12 >= prev.time_s,
+                    "{config:?} step {step}: time shrank down the ladder \
+                     ({} -> {} s)", prev.time_s, exec.time_s
+                );
+                prop_assert!(exec.freq_ghz < prev.freq_ghz);
+                prev = exec;
+            }
+        }
+    }
+
+    /// For a pure-stall phase (time set by the memory system, negligible
+    /// core-clocked work), the ladder bottom never costs energy: the core
+    /// power saving is free because the phase barely slows down.
+    #[test]
+    fn ladder_bottom_saves_energy_on_pure_stall_phases(
+        instructions in 1e9f64..8e9,
+        floor_mpki in 45.0f64..70.0,
+    ) {
+        let machine = Machine::xeon_qx6600();
+        let profile = PhaseProfile {
+            base_cpi: 0.05,
+            l1_mpki: 0.5,
+            l2_mrc: MissRatioCurve::new(floor_mpki, floor_mpki + 2.0, 6.0, 1.05),
+            prefetch_coverage: 0.0,
+            ..PhaseProfile::bandwidth_bound("stall", instructions)
+        };
+        prop_assert!(profile.validate().is_ok(), "bounded ranges always form a valid profile");
+        let bottom = machine.freq_ladder().len() - 1;
+        for &config in &Configuration::ALL {
+            let nominal = machine.simulate_config_at(&profile, config, 0).unwrap();
+            let slow = machine.simulate_config_at(&profile, config, bottom).unwrap();
+            prop_assert!(
+                slow.energy_j <= nominal.energy_j + 1e-9,
+                "{config:?}: ladder bottom cost energy on a pure-stall phase \
+                 ({} -> {} J over {} -> {} s)",
+                nominal.energy_j, slow.energy_j, nominal.time_s, slow.time_s
+            );
+        }
+    }
+}
+
+/// Same seed (here: same observation script) ⇒ bit-identical decision trace
+/// from two independently constructed joint searches — the explicit
+/// determinism guarantee behind the conformance harness's generic check.
+#[test]
+fn joint_search_controller_is_deterministic_for_a_seeded_script() {
+    use actor_suite::actor::controller::{CandidatePerf, DecisionCtx, DvfsSpace, JointPerf};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let machine = Machine::xeon_qx6600();
+    let ladder = machine.freq_ladder().clone();
+    let shape = MachineShape::quad_core();
+    let candidates: Vec<CandidatePerf> = Configuration::ALL
+        .iter()
+        .map(|&config| CandidatePerf {
+            config,
+            avg_power_w: Some(110.0 + 12.0 * config.num_threads() as f64),
+        })
+        .collect();
+    let joint: Vec<JointPerf> = Configuration::ALL
+        .iter()
+        .flat_map(|&config| (0..ladder.len()).map(move |s| (config, s)))
+        .map(|(config, s)| JointPerf {
+            config,
+            step: FreqStep::new(s as u8),
+            avg_power_w: Some(
+                110.0 + 12.0 * config.num_threads() as f64 * ladder.dynamic_power_scale(s).unwrap(),
+            ),
+        })
+        .collect();
+
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut controller = JointSearchController::default();
+        let mut trace = Vec::new();
+        // 5 configurations × 4 steps = 20 cells per phase; 25 rounds per
+        // phase pushes every phase past full coverage into the
+        // measurement-dependent locked regime.
+        for round in 0..75 {
+            let phase = PhaseId::new(round % 3);
+            let ctx = DecisionCtx {
+                phase,
+                shape: &shape,
+                candidates: &candidates,
+                power_cap_w: Some(150.0),
+                dvfs: Some(DvfsSpace { ladder: &ladder, joint: &joint }),
+            };
+            let decision = controller.decide(&ctx);
+            // Feed back a seeded "measurement" of whatever was decided.
+            let config = configuration_of(&decision.binding, &shape).unwrap();
+            let time_s = 1.0 + rng.gen_range(0.0..3.0);
+            controller
+                .observe(phase, &PhaseSample::measurement_at(config, decision.freq_step, time_s));
+            trace.push((config, decision.freq_step));
+        }
+        trace
+    };
+    assert_eq!(run(42), run(42), "same seed, same joint decision trace");
+    assert_ne!(run(42), run(7), "different measurement streams explore differently");
+}
+
+fn fast_suite() -> Vec<BenchmarkProfile> {
+    [BenchmarkId::Bt, BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg].map(benchmark).to_vec()
+}
+
+fn fast_config() -> ActorConfig {
+    ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() }
+}
+
+/// A `FreqStep::NOMINAL`-only run (no ladder offered) is byte-identical to
+/// the pre-DVFS decision path: the builder without `.dvfs(true)` reproduces
+/// the historical free-function study exactly, and every chosen step is 0.
+#[test]
+fn nominal_only_runs_match_the_pre_dvfs_decision_traces() {
+    let machine = Machine::xeon_qx6600();
+    let config = fast_config();
+    let legacy = {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(config.seed);
+        let evaluations =
+            actor_suite::actor::evaluate_benchmarks(&machine, &config, &fast_suite(), &mut rng)
+                .unwrap();
+        actor_suite::actor::adaptation::adaptation_from_evaluations(
+            &machine,
+            &config,
+            &fast_suite(),
+            &evaluations,
+        )
+        .unwrap()
+    };
+    let mut exp = ExperimentBuilder::new()
+        .config(config)
+        .suite(fast_suite())
+        .controller(ControllerSpec::Ann)
+        .reporter(Box::new(NullReporter))
+        .run()
+        .unwrap();
+    let built = exp.adaptation().unwrap();
+    assert_eq!(
+        built, legacy,
+        "builder without .dvfs(true) must be bit-identical to the legacy path"
+    );
+    for bench in &built.benchmarks {
+        assert!(
+            bench.freq_steps.iter().all(|&s| s == 0),
+            "{}: nominal-only run chose a non-nominal step ({:?})",
+            bench.id,
+            bench.freq_steps
+        );
+    }
+    let json_a = serde_json::to_string(&built).unwrap();
+    let json_b = serde_json::to_string(&legacy).unwrap();
+    assert_eq!(json_a, json_b, "serialized decision traces must be byte-identical");
+}
+
+/// The acceptance headline: under a tight per-phase power cap, the joint
+/// DVFS+DCT controller achieves strictly lower ED² than DCT-only on the
+/// memory-bound suites (IS and MG here), because it downclocks wide
+/// configurations instead of shedding threads.
+#[test]
+fn joint_control_beats_dct_only_ed2_on_memory_bound_suites_under_a_cap() {
+    const CAP_W: f64 = 125.0;
+    let study_with = |dvfs: bool| {
+        let mut exp = ExperimentBuilder::new()
+            .config(fast_config())
+            .suite(fast_suite())
+            .controller(ControllerSpec::Ann)
+            .power_budget_w(CAP_W)
+            .dvfs(dvfs)
+            .reporter(Box::new(NullReporter))
+            .run()
+            .unwrap();
+        exp.adaptation().unwrap()
+    };
+    let dct_only = study_with(false);
+    let joint = study_with(true);
+    for id in [BenchmarkId::Is, BenchmarkId::Mg] {
+        let dct = dct_only.benchmark(id).unwrap();
+        let jnt = joint.benchmark(id).unwrap();
+        let dct_ed2 = dct.outcome(AdaptStrategy::Prediction).metric(Metric::Ed2);
+        let joint_ed2 = jnt.outcome(AdaptStrategy::Prediction).metric(Metric::Ed2);
+        assert!(
+            joint_ed2 < dct_ed2,
+            "{id}: joint ED2 ({joint_ed2:.1}) must beat DCT-only ({dct_ed2:.1}) under {CAP_W} W"
+        );
+        assert!(
+            jnt.freq_steps.iter().any(|&s| s > 0),
+            "{id}: the joint win must come from actual downclocking ({:?})",
+            jnt.freq_steps
+        );
+        assert!(
+            dct.freq_steps.iter().all(|&s| s == 0),
+            "{id}: the DCT-only arm must never downclock"
+        );
+    }
+}
