@@ -11,8 +11,11 @@
 //!
 //! Pass `--fast` to use the reduced ANN training configuration, and
 //! `--dvfs` (alias `--freq-ladder`) to add the joint DVFS+DCT policy
-//! (`power-aware-dvfs`) to the sweep — the JSON then also reports the
-//! headline 8-node tight-budget ED² delta of joint control vs DCT-only.
+//! (`power-aware-dvfs`) *and* the coordinated policy
+//! (`power-aware-coordinated`, which redistributes the cluster budget
+//! across jobs at every event) to the sweep — the JSON then also reports
+//! the headline 8-node tight-budget ED² deltas of joint control vs
+//! DCT-only and of coordinated vs independent capping.
 
 use actor_bench::Harness;
 use actor_core::report::fmt3;
@@ -54,6 +57,10 @@ struct SweepOutput {
     /// DCT-only power-aware policy (%); `null` unless the sweep ran with
     /// `--dvfs`.
     dvfs_joint_vs_dct_ed2_pct: Option<f64>,
+    /// 8-node tight-budget ED² of coordinated capping relative to the
+    /// independent `power-aware-dvfs` baseline (%); `null` unless the sweep
+    /// ran with `--dvfs`. Negative = the coordinator wins.
+    coordinated_vs_independent_ed2_pct: Option<f64>,
 }
 
 fn main() {
@@ -65,7 +72,7 @@ fn main() {
     let model = exp.workload_model().expect("workload model construction failed");
 
     let policies: Vec<&str> = if dvfs {
-        POLICIES.iter().copied().chain(["power-aware-dvfs"]).collect()
+        POLICIES.iter().copied().chain(["power-aware-dvfs", "power-aware-coordinated"]).collect()
     } else {
         POLICIES.to_vec()
     };
@@ -153,18 +160,29 @@ fn main() {
     }
     exp.emit("cluster_power_cap_tight8", "8 nodes, tight budget: the headline", &headline);
 
-    // Under --dvfs: the joint-control headline, relative to DCT-only.
-    let dvfs_joint_vs_dct_ed2_pct = if dvfs {
+    // Under --dvfs: the joint-control and coordination headlines.
+    let (dvfs_joint_vs_dct_ed2_pct, coordinated_vs_independent_ed2_pct) = if dvfs {
         let aware = tight_8.iter().find(|r| r.policy == "power-aware").expect("DCT-only ran");
         let joint =
             tight_8.iter().find(|r| r.policy == "power-aware-dvfs").expect("joint policy ran");
-        let pct = (joint.cluster_ed2() / aware.cluster_ed2() - 1.0) * 100.0;
+        let coordinated = tight_8
+            .iter()
+            .find(|r| r.policy == "power-aware-coordinated")
+            .expect("coordinated policy ran");
+        let joint_pct = (joint.cluster_ed2() / aware.cluster_ed2() - 1.0) * 100.0;
         exp.note(&format!(
-            "8 nodes @ tight budget: joint DVFS+DCT ED2 is {pct:+.1}% vs DCT-only power-aware",
+            "8 nodes @ tight budget: joint DVFS+DCT ED2 is {joint_pct:+.1}% vs DCT-only \
+             power-aware",
         ));
-        Some(pct)
+        let coord_pct = (coordinated.cluster_ed2() / joint.cluster_ed2() - 1.0) * 100.0;
+        exp.note(&format!(
+            "8 nodes @ tight budget: coordinated capping ED2 is {coord_pct:+.1}% vs independent \
+             power-aware-dvfs ({})",
+            if coord_pct < 0.0 { "redistribution wins" } else { "UNEXPECTED" },
+        ));
+        (Some(joint_pct), Some(coord_pct))
     } else {
-        None
+        (None, None)
     };
 
     let output = SweepOutput {
@@ -172,6 +190,7 @@ fn main() {
         entries,
         summary_table_csv: summary.to_csv(),
         dvfs_joint_vs_dct_ed2_pct,
+        coordinated_vs_independent_ed2_pct,
     };
     let json = serde_json::to_string_pretty(&output).expect("sweep serializes");
     exp.artifact("cluster_power_cap.json", &json);

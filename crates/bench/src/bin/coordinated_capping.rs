@@ -1,0 +1,146 @@
+//! Coordinated vs independent multi-node capping, across power budgets.
+//!
+//! Sweeps the cluster budget from tight to ample on an 8-node cluster and
+//! runs the same NPB job stream under the independent joint policy
+//! (`power-aware-dvfs`: each job is throttled against a static share of the
+//! headroom at assignment time) and the coordinated policy
+//! (`power-aware-coordinated`: a cluster-level [`cluster_sched::CapCoordinator`]
+//! observes per-node draw at every discrete event and redistributes the
+//! budget so memory-bound slack funds compute-bound boost). The DCT-only
+//! `power-aware` policy rides along as the reference point.
+//!
+//! Prints a per-budget table, notes the headline tight-budget delta, and
+//! writes the whole sweep as JSON to `results/coordinated_capping.json`.
+//! Pass `--fast` for the reduced ANN training configuration.
+
+use actor_bench::Harness;
+use actor_core::report::{fmt3, Table};
+use cluster_sched::{
+    budget_from_fraction, policy_by_name, simulate, ClusterReport, ClusterSpec, WorkloadSpec,
+};
+use serde::{Deserialize, Serialize};
+
+const NODES: usize = 8;
+const BUDGET_FRACTIONS: [(&str, f64); 4] =
+    [("tight", 0.45), ("snug", 0.55), ("medium", 0.7), ("ample", 1.0)];
+const POLICIES: [&str; 3] = ["power-aware", "power-aware-dvfs", "power-aware-coordinated"];
+const WORKLOAD_SEED: u64 = 2007;
+
+/// One (budget, policy) cell of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepEntry {
+    budget_label: String,
+    budget_fraction: f64,
+    power_budget_w: f64,
+    policy: String,
+    cluster_ed2_j_s2: f64,
+    makespan_s: f64,
+    total_energy_j: f64,
+    avg_wait_s: f64,
+    throttle_fraction: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepOutput {
+    nodes: usize,
+    workload_seed: u64,
+    entries: Vec<SweepEntry>,
+    /// Coordinated ED² relative to independent `power-aware-dvfs`, per
+    /// budget label (%). Negative = coordination wins.
+    coordinated_vs_independent_ed2_pct: Vec<(String, f64)>,
+}
+
+fn main() {
+    let mut exp = Harness::from_env().experiment();
+    let idle_w = exp.machine().params().power.system_idle_w;
+
+    eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
+    let model = exp.workload_model().expect("workload model construction failed");
+
+    let mut entries: Vec<SweepEntry> = Vec::new();
+    let mut table =
+        Table::new(vec!["budget", "policy", "makespan s", "energy kJ", "ED2 MJ.s2", "vs indep."]);
+    let mut deltas: Vec<(String, f64)> = Vec::new();
+    for (budget_label, fraction) in BUDGET_FRACTIONS {
+        let spec = ClusterSpec {
+            nodes: NODES,
+            power_budget_w: budget_from_fraction(NODES, idle_w, 160.0, fraction),
+            workload: WorkloadSpec {
+                num_jobs: 8 * NODES.max(3),
+                mean_interarrival_s: 12.0 / NODES as f64,
+                node_counts: vec![1, 1, 2, 4],
+                ..Default::default()
+            },
+            seed: WORKLOAD_SEED,
+        };
+        let mut reports: Vec<ClusterReport> = Vec::new();
+        for policy_name in POLICIES {
+            let mut policy = policy_by_name(policy_name, &model).expect("known policy");
+            let report = simulate(&spec, &model, policy.as_mut())
+                .unwrap_or_else(|e| panic!("{policy_name} at {budget_label}: {e}"));
+            eprintln!(
+                "  {budget_label:<6} ({:.0} W) | {policy_name:<23} -> makespan {:.0} s, \
+                 ED2 {:.3e} J.s2",
+                spec.power_budget_w,
+                report.makespan_s,
+                report.cluster_ed2(),
+            );
+            reports.push(report);
+        }
+        let independent_ed2 = reports
+            .iter()
+            .find(|r| r.policy == "power-aware-dvfs")
+            .map(ClusterReport::cluster_ed2)
+            .expect("independent baseline ran");
+        for report in &reports {
+            let vs = (report.cluster_ed2() / independent_ed2 - 1.0) * 100.0;
+            table.push_row(vec![
+                budget_label.to_string(),
+                report.policy.clone(),
+                fmt3(report.makespan_s),
+                fmt3(report.total_energy_j / 1e3),
+                fmt3(report.cluster_ed2() / 1e6),
+                format!("{vs:+.1}%"),
+            ]);
+            entries.push(SweepEntry {
+                budget_label: budget_label.to_string(),
+                budget_fraction: fraction,
+                power_budget_w: spec.power_budget_w,
+                policy: report.policy.clone(),
+                cluster_ed2_j_s2: report.cluster_ed2(),
+                makespan_s: report.makespan_s,
+                total_energy_j: report.total_energy_j,
+                avg_wait_s: report.avg_wait_s(),
+                throttle_fraction: report.throttle_fraction(),
+            });
+        }
+        let coordinated_ed2 = reports
+            .iter()
+            .find(|r| r.policy == "power-aware-coordinated")
+            .map(ClusterReport::cluster_ed2)
+            .expect("coordinated policy ran");
+        deltas.push((budget_label.to_string(), (coordinated_ed2 / independent_ed2 - 1.0) * 100.0));
+    }
+
+    exp.emit(
+        "coordinated_capping",
+        "Coordinated vs independent capping, 8 nodes across budgets",
+        &table,
+    );
+    for (label, pct) in &deltas {
+        exp.note(&format!(
+            "{NODES} nodes @ {label}: coordinated capping ED2 is {pct:+.1}% vs independent \
+             power-aware-dvfs ({})",
+            if *pct < 0.0 { "redistribution wins" } else { "independent holds" },
+        ));
+    }
+
+    let output = SweepOutput {
+        nodes: NODES,
+        workload_seed: WORKLOAD_SEED,
+        entries,
+        coordinated_vs_independent_ed2_pct: deltas,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("sweep serializes");
+    exp.artifact("coordinated_capping.json", &json);
+}

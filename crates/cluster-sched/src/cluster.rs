@@ -269,6 +269,12 @@ impl<'a> Cluster<'a> {
                     }
                 }
                 running.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s));
+                // The observe step of the control plane at cluster level:
+                // per-node instantaneous draw. Coordinators use it to size
+                // the headroom (budget minus running draw) they
+                // redistribute across the jobs starting at this event;
+                // running jobs keep their granted caps until completion.
+                let node_draws: Vec<f64> = self.nodes.iter().map(Node::power_draw_w).collect();
                 let ctx = SchedContext {
                     now,
                     queue: &queue,
@@ -277,6 +283,7 @@ impl<'a> Cluster<'a> {
                     budget_w: self.spec.power_budget_w,
                     draw_w: self.draw_w(),
                     node_idle_w: idle_node_w,
+                    node_draw_w: &node_draws,
                     running: &running,
                 };
                 let assignments = policy.assign(&ctx);

@@ -4,14 +4,30 @@ use std::fmt;
 
 use crate::policy::POLICY_NAMES;
 
-/// Failures constructing a scheduling policy.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Failures constructing a scheduling policy or redistributing the cluster
+/// budget.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SchedError {
     /// No policy is registered under the requested name.
     UnknownPolicy {
         /// What was asked for.
         requested: String,
+    },
+    /// A coordinator redistribution assigned more extra draw than the
+    /// cluster budget has headroom for.
+    CapOverBudget {
+        /// Total extra draw of the assigned caps (W).
+        extra_w: f64,
+        /// The headroom they had to fit (W).
+        headroom_w: f64,
+    },
+    /// A coordinator redistribution starved a job below the node idle floor.
+    CapBelowIdleFloor {
+        /// The offending per-node cap (W).
+        cap_w: f64,
+        /// The node idle floor (W).
+        idle_w: f64,
     },
 }
 
@@ -22,6 +38,16 @@ impl fmt::Display for SchedError {
                 f,
                 "unknown scheduling policy {requested:?}; valid policies are: {}",
                 POLICY_NAMES.join(", ")
+            ),
+            SchedError::CapOverBudget { extra_w, headroom_w } => write!(
+                f,
+                "coordinated caps draw {extra_w:.1} W extra and exceed the {headroom_w:.1} W \
+                 cluster headroom"
+            ),
+            SchedError::CapBelowIdleFloor { cap_w, idle_w } => write!(
+                f,
+                "coordinated cap {cap_w:.1} W starves a job below the {idle_w:.1} W node idle \
+                 floor"
             ),
         }
     }

@@ -31,6 +31,7 @@
 //!   cluster-level reports as [`actor_core::report::Table`]s.
 
 pub mod cluster;
+pub mod coordinator;
 pub mod error;
 pub mod job;
 pub mod node;
@@ -39,6 +40,7 @@ pub mod profile;
 pub mod tables;
 
 pub use cluster::{budget_from_fraction, simulate, Cluster, ClusterReport, ClusterSpec};
+pub use coordinator::{validate_caps, CapCoordinator, CoordinatedPowerPolicy, JobCap};
 pub use error::{ClusterError, SchedError};
 pub use job::{Job, JobOutcome, WorkloadSpec};
 pub use node::{binding_for, Node};

@@ -21,12 +21,14 @@
 //! Jobs are gang-scheduled: a k-node job needs k idle nodes at once, draws
 //! k × its per-node plan peak, and every node runs the same plan.
 
+use actor_core::control_plane::ControlPlane;
 use actor_core::controller::{
-    CandidatePerf, DecisionCtx, DecisionTableController, DvfsSpace, PowerPerfController,
+    CandidatePerf, DecisionTableController, DvfsSpace, PowerPerfController,
 };
-use phase_rt::{MachineShape, PhaseId};
+use phase_rt::MachineShape;
 use xeon_sim::Configuration;
 
+use crate::coordinator::CoordinatedPowerPolicy;
 use crate::error::SchedError;
 use crate::job::Job;
 use crate::profile::{ExecutionPlan, WorkloadModel};
@@ -57,6 +59,11 @@ pub struct SchedContext<'a> {
     pub budget_w: f64,
     /// Current cluster draw (W): running peaks + idle floors.
     pub draw_w: f64,
+    /// Instantaneous draw per node (W), indexed by node id — what a
+    /// cluster-level coordinator observes before redistributing the budget.
+    /// Sums to `draw_w`; may be empty in hand-built test contexts, in which
+    /// case `draw_w` is authoritative.
+    pub node_draw_w: &'a [f64],
     /// Idle power of one node (W) — what an idle node already contributes to
     /// `draw_w`.
     pub node_idle_w: f64,
@@ -101,7 +108,8 @@ pub trait SchedulerPolicy {
 }
 
 /// Every name [`policy_by_name`] accepts.
-pub const POLICY_NAMES: [&str; 4] = ["fcfs", "backfill", "power-aware", "power-aware-dvfs"];
+pub const POLICY_NAMES: [&str; 5] =
+    ["fcfs", "backfill", "power-aware", "power-aware-dvfs", "power-aware-coordinated"];
 
 /// Builds the policy named `name` (see [`POLICY_NAMES`]). The workload model
 /// supplies the decision table behind the power-aware policy's default
@@ -129,6 +137,7 @@ pub fn policy_by_name(
         "backfill" => Ok(Box::new(BackfillPolicy)),
         "power-aware" => Ok(Box::new(PowerAwarePolicy::from_model(model))),
         "power-aware-dvfs" => Ok(Box::new(PowerAwarePolicy::from_model(model).with_dvfs())),
+        "power-aware-coordinated" => Ok(Box::new(CoordinatedPowerPolicy::from_model(model))),
         _ => Err(SchedError::UnknownPolicy { requested: name.to_string() }),
     }
 }
@@ -278,24 +287,91 @@ impl SchedulerPolicy for BackfillPolicy {
     }
 }
 
+/// Plans one job through a [`ControlPlane`]: per phase, observe the
+/// sampling window once, ask the wrapped controller for its joint
+/// (configuration, frequency) decision under `node_cap`, and cost the
+/// resulting plan. Shared by [`PowerAwarePolicy`] (per-job equal headroom
+/// shares) and the coordinator (jointly redistributed caps).
+///
+/// A contract violation panics: the conformance harness rejects such
+/// controllers up front, and a defective decision must fail loudly rather
+/// than let the job starve behind what would be misreported as a
+/// power-budget problem
+/// ([`actor_core::controller::validate_decision`] — applied inside the
+/// plane — is the contract's one definition).
+pub(crate) fn plan_via_plane<C: PowerPerfController>(
+    plane: &mut ControlPlane<C>,
+    ctx: &SchedContext<'_>,
+    job: &Job,
+    node_cap: f64,
+    dvfs: bool,
+) -> ExecutionPlan {
+    let choices = decide_choices_via_plane(plane, ctx, job.benchmark, node_cap, dvfs);
+    let mut iter = choices.into_iter();
+    ctx.model.plan_with_joint(job, |_| iter.next().expect("one choice per phase"))
+}
+
+/// The decide half of [`plan_via_plane`]: the controller's validated
+/// per-phase (configuration, frequency) choices for one benchmark under
+/// `node_cap`, without job-specific costing. For a conformant controller
+/// (decide is a pure function of construction state + observations — the
+/// conformance contract — and each phase's sampling window is observed
+/// exactly once, here) the result depends only on `(benchmark, node_cap)`,
+/// which is what lets the coordinator cache it across scheduling events.
+pub(crate) fn decide_choices_via_plane<C: PowerPerfController>(
+    plane: &mut ControlPlane<C>,
+    ctx: &SchedContext<'_>,
+    benchmark: npb_workloads::BenchmarkId,
+    node_cap: f64,
+    dvfs: bool,
+) -> Vec<(Configuration, phase_rt::FreqStep)> {
+    let ladder = ctx.model.freq_ladder();
+    let k = ctx.model.knowledge(benchmark);
+    let mut choices = Vec::with_capacity(k.phases.len());
+    for (idx, phase) in k.phases.iter().enumerate() {
+        let pid = ctx.model.phase_id(benchmark, idx);
+        plane.observe_once(pid, || phase.sample());
+        let candidates: Vec<CandidatePerf> = phase
+            .executions
+            .iter()
+            .map(|(config, exec)| CandidatePerf {
+                config: *config,
+                avg_power_w: Some(exec.avg_power_w),
+            })
+            .collect();
+        let joint = if dvfs { phase.joint_candidates() } else { Vec::new() };
+        let pd = plane
+            .decide(
+                pid,
+                &candidates,
+                dvfs.then_some(DvfsSpace { ladder, joint: &joint }),
+                Some(node_cap),
+            )
+            .unwrap_or_else(|v| panic!("{v} (planning {benchmark} phase {idx})"));
+        choices.push((pd.config, pd.step));
+    }
+    choices
+}
+
 /// Controller-driven power-aware scheduling: per phase, whatever
 /// configuration the wrapped [`PowerPerfController`] decides under the
-/// per-node share of the current headroom.
+/// per-node share of the current headroom. The observe → decide cycle is
+/// the shared [`ControlPlane`] — the same plumbing that drives the Figure-8
+/// harness and the live runtime — so the policy body is only the scheduling
+/// mechanics.
 ///
 /// With the default [`DecisionTableController`] built from the workload
 /// model (the ANN ensembles' offline decisions) this reproduces ACTOR's
 /// prediction path; swapping in an [`actor_core::OracleController`] or
 /// [`actor_core::StaticController`] changes the decision-maker without
-/// touching the scheduling mechanics — the policy feeds each phase's
+/// touching the scheduling mechanics — the plane feeds each phase's
 /// sampling window to the controller exactly once (the model has one
 /// sampling window per phase; replaying it at every scheduling event would
 /// corrupt exploration-counting controllers), asks for a decision, and the
 /// cluster's cap enforcement handles the rest.
 #[derive(Debug)]
 pub struct PowerAwarePolicy<C: PowerPerfController = DecisionTableController> {
-    controller: C,
-    shape: MachineShape,
-    observed: std::collections::HashSet<PhaseId>,
+    plane: ControlPlane<C>,
     /// Whether to offer the node machine's frequency ladder to the
     /// controller, widening decisions to the joint (threads × frequency)
     /// space: a job that would not fit its cap share at nominal frequency
@@ -313,12 +389,7 @@ impl PowerAwarePolicy<DecisionTableController> {
 impl<C: PowerPerfController> PowerAwarePolicy<C> {
     /// Wraps an arbitrary controller (DCT-only: nominal frequency).
     pub fn new(controller: C) -> Self {
-        Self {
-            controller,
-            shape: MachineShape::quad_core(),
-            observed: std::collections::HashSet::new(),
-            dvfs: false,
-        }
+        Self { plane: ControlPlane::new(controller, MachineShape::quad_core()), dvfs: false }
     }
 
     /// Enables joint DVFS+DCT control: the controller is offered the node
@@ -330,7 +401,7 @@ impl<C: PowerPerfController> PowerAwarePolicy<C> {
 
     /// The wrapped controller.
     pub fn controller(&self) -> &C {
-        &self.controller
+        self.plane.controller()
     }
 }
 
@@ -348,56 +419,9 @@ impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
         // per-node share of the current headroom. A plan whose peak exceeds
         // the headroom makes the job wait (strict order, like FCFS) via the
         // budget check in `assign_in_order`.
-        let controller = &mut self.controller;
-        let shape = &self.shape;
-        let observed = &mut self.observed;
+        let plane = &mut self.plane;
         let dvfs = self.dvfs;
-        let ladder = ctx.model.freq_ladder();
-        assign_in_order(ctx, |job, node_cap| {
-            let k = ctx.model.knowledge(job.benchmark);
-            let mut choices = Vec::with_capacity(k.phases.len());
-            for (idx, phase) in k.phases.iter().enumerate() {
-                let pid = ctx.model.phase_id(job.benchmark, idx);
-                if observed.insert(pid) {
-                    controller.observe(pid, &phase.sample());
-                }
-                let candidates: Vec<CandidatePerf> = phase
-                    .executions
-                    .iter()
-                    .map(|(config, exec)| CandidatePerf {
-                        config: *config,
-                        avg_power_w: Some(exec.avg_power_w),
-                    })
-                    .collect();
-                let joint = if dvfs { phase.joint_candidates() } else { Vec::new() };
-                let decision = controller.decide(&DecisionCtx {
-                    phase: pid,
-                    shape,
-                    candidates: &candidates,
-                    power_cap_w: Some(node_cap),
-                    dvfs: dvfs.then_some(DvfsSpace { ladder, joint: &joint }),
-                });
-                // A non-paper binding — or a frequency the controller was
-                // not offered / the ladder does not have — is a controller
-                // contract violation (the conformance harness rejects such
-                // controllers, and `validate_decision` is the contract's one
-                // definition); fail loudly rather than letting the job
-                // starve behind what would be misreported as a power-budget
-                // problem.
-                let config =
-                    actor_core::controller::validate_decision(&decision, shape, ladder.len(), dvfs)
-                        .unwrap_or_else(|violation| {
-                            panic!(
-                                "controller {:?} deciding {} phase {idx}: {violation}",
-                                controller.name(),
-                                job.benchmark,
-                            )
-                        });
-                choices.push((config, decision.freq_step));
-            }
-            let mut iter = choices.into_iter();
-            Some(ctx.model.plan_with_joint(job, |_| iter.next().expect("one choice per phase")))
-        })
+        assign_in_order(ctx, |job, node_cap| Some(plan_via_plane(plane, ctx, job, node_cap, dvfs)))
     }
 }
 
@@ -449,6 +473,7 @@ mod tests {
             budget_w,
             draw_w,
             node_idle_w: IDLE_W,
+            node_draw_w: &[],
             running,
         }
     }

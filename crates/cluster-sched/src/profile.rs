@@ -87,7 +87,12 @@ impl PhaseKnowledge {
     }
 
     /// The joint (configuration × frequency) candidate cells with their
-    /// pre-simulated powers, for a [`actor_core::DvfsSpace`].
+    /// pre-simulated powers *and* each cell's own converged stall fraction,
+    /// for a [`actor_core::DvfsSpace`] — the per-configuration stall model:
+    /// a DVFS-aware controller extrapolates every configuration with its own
+    /// contention-solved stall/compute split instead of the single sampled
+    /// one (narrow configurations contend less for the bus, so the sampled
+    /// split systematically overstates how well they tolerate downclocking).
     pub fn joint_candidates(&self) -> Vec<JointPerf> {
         let mut joint: Vec<JointPerf> = self
             .executions
@@ -96,12 +101,14 @@ impl PhaseKnowledge {
                 config: *config,
                 step: FreqStep::NOMINAL,
                 avg_power_w: Some(exec.avg_power_w),
+                stall_fraction: Some(exec.stall_fraction()),
             })
             .collect();
         joint.extend(self.dvfs_executions.iter().map(|((config, step), exec)| JointPerf {
             config: *config,
             step: FreqStep::new(*step as u8),
             avg_power_w: Some(exec.avg_power_w),
+            stall_fraction: Some(exec.stall_fraction()),
         }));
         joint
     }

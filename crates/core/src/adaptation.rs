@@ -23,9 +23,10 @@ use phase_rt::{FreqStep, PhaseId};
 use xeon_sim::{AggregateExecution, Configuration, Machine};
 
 use crate::config::ActorConfig;
+use crate::control_plane::ControlPlane;
 use crate::controller::{
-    shape_of, validate_decision, CandidatePerf, DecisionCtx, DecisionTableController, DvfsSpace,
-    JointPerf, OracleController, PhaseSample, PowerPerfController, StaticController,
+    shape_of, CandidatePerf, DecisionTableController, DvfsSpace, JointPerf, OracleController,
+    PhaseSample, PowerPerfController, StaticController,
 };
 use crate::error::ActorError;
 use crate::evaluation::{evaluate_benchmarks, BenchmarkEvaluation};
@@ -77,7 +78,7 @@ impl Strategy {
         machine: &Machine,
         bench: &BenchmarkProfile,
         eval: &BenchmarkEvaluation,
-    ) -> Box<dyn PowerPerfController> {
+    ) -> Box<dyn PowerPerfController + Send> {
         match self {
             Strategy::FourCores => Box::new(StaticController::os_default()),
             Strategy::GlobalOptimal => {
@@ -274,14 +275,19 @@ fn simulate_prediction_strategy(
 
 /// Walks a controller through one benchmark — observe the phase's sampling
 /// window, then decide — and returns the chosen (configuration, frequency
-/// step) per phase.
+/// step) per phase. The cycle itself (context assembly, observe-once
+/// bookkeeping, loud validation) is the shared
+/// [`ControlPlane`]; this function only supplies the
+/// machine-model samples and candidate powers.
 ///
 /// Phase `i` is keyed by `PhaseId::new(i)`. When `power_cap_w` is set, each
 /// phase's per-configuration average power (from the machine model) is
-/// offered through the [`DecisionCtx`] so cap-aware controllers can re-rank.
-/// When `dvfs` is set, the machine's frequency ladder (with per-cell powers
-/// under a cap) is offered too, widening the decision space to
-/// (threads × frequency).
+/// offered through the decision context so cap-aware controllers can
+/// re-rank. When `dvfs` is set, the machine's frequency ladder is offered
+/// too, widening the decision space to (threads × frequency); every joint
+/// cell then carries its own converged stall fraction (the
+/// per-configuration stall model behind
+/// [`crate::controller::best_joint_by_throughput`]).
 ///
 /// Decisions are validated loudly: a binding that is not one of the paper's
 /// five configurations is an error, as is a frequency step outside the
@@ -296,8 +302,8 @@ pub fn decide_phases(
     power_cap_w: Option<f64>,
     dvfs: bool,
 ) -> Result<Vec<(Configuration, FreqStep)>, ActorError> {
-    let shape = shape_of(machine);
     let ladder = machine.freq_ladder();
+    let mut plane = ControlPlane::new(controller, shape_of(machine));
     bench
         .phases
         .iter()
@@ -306,7 +312,7 @@ pub fn decide_phases(
         .map(|(i, (phase, pe))| {
             let pid = PhaseId::new(i as u32);
             let sampling_exec = machine.simulate_config(phase, Configuration::SAMPLE);
-            controller.observe(
+            plane.observe(
                 pid,
                 &PhaseSample::sampling(
                     pe.features.clone(),
@@ -315,28 +321,28 @@ pub fn decide_phases(
                 )
                 .with_stall_fraction(sampling_exec.stall_fraction()),
             );
-            // Powers are only needed under a cap; with the frequency axis on,
-            // one ladder-wide simulation per configuration covers both the
-            // nominal candidates and every joint cell (a single contention
-            // solve per configuration, however deep the ladder is).
-            let ladder_execs: Option<Vec<Vec<f64>>> = power_cap_w.map(|_| {
-                Configuration::ALL
-                    .iter()
-                    .map(|&config| {
-                        if dvfs {
-                            machine
-                                .simulate_config_ladder(phase, config)
-                                .iter()
-                                .map(|e| e.avg_power_w)
-                                .collect()
-                        } else {
-                            vec![machine.simulate_config(phase, config).avg_power_w]
-                        }
-                    })
-                    .collect()
-            });
-            let power_of = |config_idx: usize, step_idx: usize| {
-                ladder_execs.as_ref().map(|powers| powers[config_idx][step_idx])
+            // Per-configuration executions are needed for powers (under a
+            // cap) and for each configuration's own converged stall split
+            // (with the frequency axis on). One ladder-wide simulation per
+            // configuration covers both the nominal candidates and every
+            // joint cell — a single contention solve per configuration,
+            // however deep the ladder is.
+            let ladder_execs: Option<Vec<Vec<xeon_sim::PhaseExecution>>> =
+                (power_cap_w.is_some() || dvfs).then(|| {
+                    Configuration::ALL
+                        .iter()
+                        .map(|&config| {
+                            if dvfs {
+                                machine.simulate_config_ladder(phase, config)
+                            } else {
+                                vec![machine.simulate_config(phase, config)]
+                            }
+                        })
+                        .collect()
+                });
+            let power_of = |config_idx: usize, step_idx: usize| -> Option<f64> {
+                power_cap_w?;
+                ladder_execs.as_ref().map(|execs| execs[config_idx][step_idx].avg_power_w)
             };
             let candidates: Vec<CandidatePerf> = Configuration::ALL
                 .iter()
@@ -354,32 +360,24 @@ pub fn decide_phases(
                         config,
                         step: FreqStep::new(step_idx as u8),
                         avg_power_w: power_of(ci, step_idx),
+                        stall_fraction: ladder_execs
+                            .as_ref()
+                            .map(|execs| execs[ci][step_idx].stall_fraction()),
                     })
                     .collect()
             } else {
                 Vec::new()
             };
             let dvfs_space = dvfs.then_some(DvfsSpace { ladder, joint: &joint });
-            let ctx = DecisionCtx {
-                phase: pid,
-                shape: &shape,
-                candidates: &candidates,
-                power_cap_w,
-                dvfs: dvfs_space,
-            };
-            let decision = controller.decide(&ctx);
-            let config =
-                validate_decision(&decision, &shape, ladder.len(), dvfs).map_err(|violation| {
-                    ActorError::InvalidConfig {
-                        reason: format!(
-                            "controller {:?} deciding {} phase {:?}: {violation}",
-                            controller.name(),
-                            bench.id,
-                            pe.phase_name,
-                        ),
-                    }
-                })?;
-            Ok((config, decision.freq_step))
+            let pd = plane.decide(pid, &candidates, dvfs_space, power_cap_w).map_err(|v| {
+                ActorError::InvalidConfig {
+                    reason: format!(
+                        "controller {:?} deciding {} phase {:?}: {}",
+                        v.controller, bench.id, pe.phase_name, v.violation,
+                    ),
+                }
+            })?;
+            Ok((pd.config, pd.step))
         })
         .collect()
 }
@@ -403,7 +401,7 @@ pub fn adaptation_with_controller(
         &Machine,
         &BenchmarkProfile,
         &BenchmarkEvaluation,
-    ) -> Box<dyn PowerPerfController>,
+    ) -> Box<dyn PowerPerfController + Send>,
     power_cap_w: Option<f64>,
     dvfs: bool,
 ) -> Result<AdaptationStudy, ActorError> {

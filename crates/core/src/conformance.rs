@@ -25,6 +25,11 @@
 //!    decision's step indexes an existing rung (the whole script is re-run
 //!    with a DVFS-enabled context, including the determinism, ordering and
 //!    cap checks over the joint space).
+//! 7. **Control-plane compatibility** — routing the same script through the
+//!    shared [`crate::control_plane::ControlPlane`] (the cycle the
+//!    adaptation harness, the live runtime and the cluster policies all
+//!    use) produces bit-identical decisions to driving the controller
+//!    directly.
 //!
 //! The harness drives the controller with a deterministic synthetic script
 //! (no RNG, no wall clock) and panics with a named violation on the first
@@ -43,6 +48,7 @@
 use phase_rt::{FreqStep, MachineShape, PhaseId};
 use xeon_sim::{Configuration, FreqLadder};
 
+use crate::control_plane::ControlPlane;
 use crate::controller::{
     configuration_of, frequency_throughput_scale, CandidatePerf, Decision, DecisionCtx, DvfsSpace,
     JointPerf, PhaseSample, PowerPerfController, Rationale,
@@ -160,14 +166,17 @@ fn candidates_with_power() -> Vec<CandidatePerf> {
 }
 
 fn joint_with_power(ladder: &FreqLadder) -> Vec<JointPerf> {
+    // Per-cell powers without per-cell stalls: the script's stall split is
+    // per *phase*, so the selection rule's per-configuration stall model
+    // falls back to the sampled μ — keeping the script truths authoritative.
     let mut joint = Vec::new();
     for &config in &Configuration::ALL {
         for step in 0..ladder.len() {
-            joint.push(JointPerf {
+            joint.push(JointPerf::with_power(
                 config,
-                step: FreqStep::new(step as u8),
-                avg_power_w: Some(script_joint_power(ladder, config, step)),
-            });
+                FreqStep::new(step as u8),
+                script_joint_power(ladder, config, step),
+            ));
         }
     }
     joint
@@ -225,7 +234,9 @@ fn check_in_space(
 /// must not alter the returned trace. `ladder` switches the script into
 /// DVFS mode: the context offers the ladder with per-cell powers, and the
 /// feedback loop measures whatever (configuration, step) cell the
-/// controller decided.
+/// controller decided. `via_plane` routes every decision through the shared
+/// [`ControlPlane`] instead of calling the controller directly (the
+/// plane-compatibility check).
 fn run_script(
     controller: &mut dyn PowerPerfController,
     shape: &MachineShape,
@@ -233,11 +244,14 @@ fn run_script(
     probe_first: bool,
     feature_dim: usize,
     ladder: Option<&FreqLadder>,
+    via_plane: bool,
 ) -> Vec<Decision> {
     let candidates = candidates_with_power();
     let joint = ladder.map(joint_with_power).unwrap_or_default();
     let dvfs = ladder.map(|ladder| DvfsSpace { ladder, joint: &joint });
     let cap = if capped { Some(script_power(Configuration::TwoLoose)) } else { None };
+    let mut plane = ControlPlane::new(controller, *shape);
+    let name = plane.controller().name();
     let ctx_for = |phase: usize| DecisionCtx {
         phase: PhaseId::new(phase as u32),
         shape,
@@ -245,17 +259,25 @@ fn run_script(
         power_cap_w: cap,
         dvfs,
     };
+    let decide = |plane: &mut ControlPlane<&mut dyn PowerPerfController>, phase: usize| {
+        if via_plane {
+            plane
+                .decide(PhaseId::new(phase as u32), &candidates, dvfs, cap)
+                .unwrap_or_else(|v| panic!("{v}"))
+                .decision
+        } else {
+            plane.controller_mut().decide(&ctx_for(phase))
+        }
+    };
     if probe_first {
         for phase in 0..PHASES {
-            let ctx = ctx_for(phase);
-            let probed = controller.decide(&ctx);
-            check_in_space(controller.name(), shape, &probed, ladder);
+            let probed = decide(&mut plane, phase);
+            check_in_space(name, shape, &probed, ladder);
             // Repeated decides must be idempotent (no exploration consumed).
             assert_eq!(
                 probed,
-                controller.decide(&ctx),
-                "{}: back-to-back decide() calls disagree — decide must not mutate search state",
-                controller.name()
+                decide(&mut plane, phase),
+                "{name}: back-to-back decide() calls disagree — decide must not mutate search state",
             );
         }
     }
@@ -265,7 +287,6 @@ fn run_script(
     for round in 0..ROUNDS {
         for phase in 0..PHASES {
             let pid = PhaseId::new(phase as u32);
-            let ctx = ctx_for(phase);
             // Observe what the previously decided cell achieved (first
             // round: the sampling configuration at nominal), then decide.
             let observed = if round == 0 {
@@ -279,14 +300,14 @@ fn run_script(
                     prev.freq_step,
                 )
             };
-            controller.observe(
+            plane.observe(
                 pid,
                 &script_sample(phase, observed.0, observed.1, feature_dim, time_ladder),
             );
             // Always feed one sampling observation too, so predictor-style
             // controllers have features regardless of the decided config.
             if observed != (Configuration::SAMPLE, FreqStep::NOMINAL) {
-                controller.observe(
+                plane.observe(
                     pid,
                     &script_sample(
                         phase,
@@ -297,8 +318,8 @@ fn run_script(
                     ),
                 );
             }
-            let decision = controller.decide(&ctx);
-            check_in_space(controller.name(), shape, &decision, ladder);
+            let decision = decide(&mut plane, phase);
+            check_in_space(name, shape, &decision, ladder);
             trace.push(decision);
         }
     }
@@ -318,10 +339,10 @@ fn assert_conformance_in_mode(
     // Validity along the trace and same-construction determinism.
     let mut a = make();
     let name = a.name();
-    let trace_a = run_script(a.as_mut(), &shape, false, false, options.feature_dim, ladder);
+    let trace_a = run_script(a.as_mut(), &shape, false, false, options.feature_dim, ladder, false);
     assert!(!trace_a.is_empty(), "{name}: the {mode} produced no decisions");
     let mut b = make();
-    let trace_b = run_script(b.as_mut(), &shape, false, false, options.feature_dim, ladder);
+    let trace_b = run_script(b.as_mut(), &shape, false, false, options.feature_dim, ladder, false);
     assert_eq!(
         trace_a, trace_b,
         "{name}: two identically-constructed controllers diverged on the same {mode}"
@@ -330,18 +351,29 @@ fn assert_conformance_in_mode(
     // Probing decide() before the first observation must not change the
     // post-observation decisions.
     let mut c = make();
-    let trace_c = run_script(c.as_mut(), &shape, false, true, options.feature_dim, ladder);
+    let trace_c = run_script(c.as_mut(), &shape, false, true, options.feature_dim, ladder, false);
     assert_eq!(
         trace_a, trace_c,
         "{name}: deciding before observing changed later decisions on the {mode} — decide() \
          must not consume exploration budget or fabricate observations"
     );
 
+    // Control-plane compatibility: routing the same script through the
+    // shared ControlPlane must not change a single decision.
+    let mut p = make();
+    let trace_p = run_script(p.as_mut(), &shape, false, false, options.feature_dim, ladder, true);
+    assert_eq!(
+        trace_a, trace_p,
+        "{name}: the shared ControlPlane changed decisions on the {mode} — plane and direct \
+         driving must be interchangeable"
+    );
+
     // Opt-in: the cap is respected whenever it is satisfiable.
     if options.respects_power_cap {
         let mut d = make();
         let cap = script_power(Configuration::TwoLoose);
-        let trace_d = run_script(d.as_mut(), &shape, true, false, options.feature_dim, ladder);
+        let trace_d =
+            run_script(d.as_mut(), &shape, true, false, options.feature_dim, ladder, false);
         for decision in &trace_d {
             let config = check_in_space(name, &shape, decision, ladder);
             if matches!(decision.rationale, Rationale::Infeasible { .. }) {

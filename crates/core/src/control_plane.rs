@@ -1,0 +1,261 @@
+//! The control plane: the one observe → decide → act cycle.
+//!
+//! The paper's runtime is a single loop — sample hardware counters for a
+//! phase, ask the decision-maker for an actuation, validate and enforce it —
+//! yet that loop used to be written three times: once in the Figure-8
+//! adaptation harness, once in the live [`crate::runtime::ActorRuntime`],
+//! and once inside the cluster scheduler's power-aware policy.
+//! [`ControlPlane`] is that cycle extracted: it owns the controller, the
+//! machine shape decisions actuate on, the *observe-once* bookkeeping (a
+//! phase's sampling window must be fed to the controller exactly once, no
+//! matter how many scheduling events replay it), and the loud validation of
+//! every decision against the actuation space
+//! ([`crate::controller::validate_decision`] is the single definition of
+//! that contract).
+//!
+//! Callers differ only in where samples and candidate powers come from:
+//!
+//! * the adaptation harness simulates them with the machine model;
+//! * the cluster policies read them from the pre-simulated
+//!   `WorkloadModel`;
+//! * the live runtime measures wall-clock time (and, with a counter
+//!   sampler attached, live event rates) from real `phase-rt` regions.
+//!
+//! All three now hand those inputs to the same plane and get back a
+//! validated [`PlaneDecision`].
+
+use std::collections::HashSet;
+
+use phase_rt::{FreqStep, MachineShape, PhaseId};
+use xeon_sim::Configuration;
+
+use crate::controller::{
+    validate_decision, CandidatePerf, Decision, DecisionCtx, DvfsSpace, PhaseSample,
+    PowerPerfController,
+};
+
+/// A controller decision that violated the actuation contract (a binding
+/// outside the paper's five configurations, or a frequency step the caller
+/// did not offer). The adaptation harness converts this into an
+/// [`crate::error::ActorError`]; the cluster policies panic with it (a
+/// defective controller must fail loudly, not starve a job behind what
+/// would be misreported as a power-budget problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlViolation {
+    /// The offending controller's [`PowerPerfController::name`].
+    pub controller: &'static str,
+    /// The phase being decided.
+    pub phase: PhaseId,
+    /// Human-readable description of the violation.
+    pub violation: String,
+}
+
+impl std::fmt::Display for ControlViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "controller {:?} deciding {}: {}", self.controller, self.phase, self.violation)
+    }
+}
+
+impl std::error::Error for ControlViolation {}
+
+/// A validated actuation: what the control plane tells its caller to
+/// enforce for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneDecision {
+    /// The paper configuration the decision's binding realises.
+    pub config: Configuration,
+    /// The DVFS step to actuate ([`FreqStep::NOMINAL`] unless the caller
+    /// offered a ladder).
+    pub step: FreqStep,
+    /// The controller's full decision (binding + rationale).
+    pub decision: Decision,
+}
+
+/// One observe → decide cycle around a [`PowerPerfController`].
+///
+/// Generic over the controller so monomorphised callers (the cluster
+/// policies) pay no dispatch cost; boxed trait objects drop in unchanged
+/// (`ControlPlane<Box<dyn PowerPerfController + Send>>` is what the live
+/// runtime uses).
+#[derive(Debug)]
+pub struct ControlPlane<C: PowerPerfController> {
+    controller: C,
+    shape: MachineShape,
+    observed: HashSet<PhaseId>,
+}
+
+impl<C: PowerPerfController> ControlPlane<C> {
+    /// Wraps a controller actuating on `shape`.
+    pub fn new(controller: C, shape: MachineShape) -> Self {
+        Self { controller, shape, observed: HashSet::new() }
+    }
+
+    /// The machine shape decisions actuate on.
+    pub fn shape(&self) -> &MachineShape {
+        &self.shape
+    }
+
+    /// The wrapped controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// The wrapped controller, mutably (for callers that feed observations
+    /// outside the observe-once protocol, e.g. per-execution measurements).
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
+
+    /// Unwraps the plane back into its controller.
+    pub fn into_controller(self) -> C {
+        self.controller
+    }
+
+    /// Feeds one observation of `phase` unconditionally (live measurement
+    /// loops observe every execution).
+    pub fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
+        self.observed.insert(phase);
+        self.controller.observe(phase, sample);
+    }
+
+    /// Feeds `phase`'s sampling window to the controller the *first* time
+    /// this plane sees the phase, and never again: scheduling loops revisit
+    /// phases at every event, and replaying the one sampling window would
+    /// corrupt exploration-counting controllers. Returns whether the sample
+    /// was consumed (and only builds it then).
+    pub fn observe_once(&mut self, phase: PhaseId, sample: impl FnOnce() -> PhaseSample) -> bool {
+        if self.observed.insert(phase) {
+            self.controller.observe(phase, &sample());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `phase`'s sampling window has been fed already.
+    pub fn has_observed(&self, phase: PhaseId) -> bool {
+        self.observed.contains(&phase)
+    }
+
+    /// Forgets which phases were observed (the controller's own state is
+    /// untouched — use this only when the controller is also rebuilt).
+    pub fn reset_observations(&mut self) {
+        self.observed.clear();
+    }
+
+    /// Asks the controller to decide `phase` and validates the decision
+    /// against the actuation space: `candidates` are the configurations the
+    /// caller can actuate (with powers when known), `dvfs` is the frequency
+    /// axis when the caller can actuate DVFS (its absence requires
+    /// nominal-step decisions), and `power_cap_w` the average-power cap the
+    /// decision should respect.
+    pub fn decide(
+        &mut self,
+        phase: PhaseId,
+        candidates: &[CandidatePerf],
+        dvfs: Option<DvfsSpace<'_>>,
+        power_cap_w: Option<f64>,
+    ) -> Result<PlaneDecision, ControlViolation> {
+        let ctx = DecisionCtx { phase, shape: &self.shape, candidates, power_cap_w, dvfs };
+        let decision = self.controller.decide(&ctx);
+        let ladder_len = dvfs.map_or(1, |space| space.ladder.len());
+        match validate_decision(&decision, &self.shape, ladder_len, dvfs.is_some()) {
+            Ok(config) => Ok(PlaneDecision { config, step: decision.freq_step, decision }),
+            Err(violation) => {
+                Err(ControlViolation { controller: self.controller.name(), phase, violation })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Rationale, StaticController};
+    use crate::throttle::select_configuration;
+    use crate::DecisionTableController;
+
+    #[test]
+    fn observe_once_feeds_each_phase_exactly_once() {
+        let mut plane =
+            ControlPlane::new(DecisionTableController::default(), MachineShape::quad_core());
+        let phase = PhaseId::new(5);
+        let mut built = 0usize;
+        for _ in 0..3 {
+            plane.observe_once(phase, || {
+                built += 1;
+                PhaseSample::sampling(vec![1.0], 1.2, 0.5)
+            });
+        }
+        assert_eq!(built, 1, "the sampling window must be built and fed exactly once");
+        assert!(plane.has_observed(phase));
+        assert!(!plane.has_observed(PhaseId::new(6)));
+        plane.reset_observations();
+        assert!(!plane.has_observed(phase));
+    }
+
+    #[test]
+    fn decide_validates_against_the_actuation_space() {
+        let shape = MachineShape::quad_core();
+        let candidates = CandidatePerf::all_unknown();
+        let mut plane = ControlPlane::new(StaticController::os_default(), shape);
+        let pd = plane.decide(PhaseId::new(0), &candidates, None, None).unwrap();
+        assert_eq!(pd.config, Configuration::Four);
+        assert!(pd.step.is_nominal());
+        assert!(matches!(pd.decision.rationale, Rationale::Static { .. }));
+    }
+
+    #[test]
+    fn contract_violations_surface_as_typed_errors() {
+        struct Overclocker;
+        impl PowerPerfController for Overclocker {
+            fn name(&self) -> &'static str {
+                "overclocker"
+            }
+            fn observe(&mut self, _p: PhaseId, _s: &PhaseSample) {}
+            fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+                Decision::joint(
+                    Configuration::One,
+                    FreqStep::new(1),
+                    ctx.shape,
+                    Rationale::Static { label: "overclocker" },
+                )
+            }
+        }
+        let mut plane = ControlPlane::new(Overclocker, MachineShape::quad_core());
+        let candidates = CandidatePerf::all_unknown();
+        let err = plane.decide(PhaseId::new(2), &candidates, None, None).unwrap_err();
+        assert_eq!(err.controller, "overclocker");
+        assert_eq!(err.phase, PhaseId::new(2));
+        assert!(err.to_string().contains("without being offered a ladder"), "{err}");
+    }
+
+    #[test]
+    fn plane_matches_direct_controller_driving() {
+        // Driving a controller through the plane must not change what it
+        // decides — the refactor's no-behavior-change guarantee in miniature.
+        let shape = MachineShape::quad_core();
+        let phase = PhaseId::new(0);
+        let decision = select_configuration(
+            1.0,
+            &[
+                (Configuration::One, 0.9),
+                (Configuration::TwoTight, 1.1),
+                (Configuration::TwoLoose, 1.6),
+                (Configuration::Three, 1.2),
+            ],
+        );
+        let candidates = CandidatePerf::all_unknown();
+        let sample = PhaseSample::sampling(vec![1.0], 1.0, 0.5);
+
+        let mut direct = DecisionTableController::new([(phase, decision.clone())]);
+        direct.observe(phase, &sample);
+        let want = direct.decide(&DecisionCtx::unconstrained(phase, &shape, &candidates));
+
+        let mut plane = ControlPlane::new(DecisionTableController::new([(phase, decision)]), shape);
+        plane.observe_once(phase, || sample.clone());
+        let got = plane.decide(phase, &candidates, None, None).unwrap();
+        assert_eq!(got.decision, want);
+        assert_eq!(got.config, Configuration::TwoLoose);
+    }
+}

@@ -147,6 +147,22 @@ pub struct JointPerf {
     pub step: FreqStep,
     /// Average power draw of the phase in this cell (W), if known.
     pub avg_power_w: Option<f64>,
+    /// The cell's own converged memory-stall fraction (`MemStallCycles /
+    /// Cycles` from the contention solve behind this cell), if known. The
+    /// nominal cell's value is *this configuration's* stall/compute split,
+    /// which the selection rule prefers over the single sampled split — the
+    /// sampling configuration's μ systematically mispredicts how narrow
+    /// configurations tolerate downclocking (they contend less for the bus,
+    /// so their stall share shrinks).
+    pub stall_fraction: Option<f64>,
+}
+
+impl JointPerf {
+    /// A cell with a known power but no per-cell stall split (callers that
+    /// cannot run the contention model, e.g. live search contexts).
+    pub fn with_power(config: Configuration, step: FreqStep, avg_power_w: f64) -> Self {
+        Self { config, step, avg_power_w: Some(avg_power_w), stall_fraction: None }
+    }
 }
 
 /// The frequency axis of a decision: the machine's DVFS ladder, plus any
@@ -168,6 +184,17 @@ impl DvfsSpace<'_> {
     /// The known average power of one cell, if any.
     pub fn power_of(&self, config: Configuration, step: FreqStep) -> Option<f64> {
         self.joint.iter().find(|c| c.config == config && c.step == step).and_then(|c| c.avg_power_w)
+    }
+
+    /// The configuration's own converged stall fraction — the nominal cell's
+    /// [`JointPerf::stall_fraction`], if the caller supplied one. This is the
+    /// μ the frequency extrapolation should use for `config`; absent, the
+    /// selection rule falls back to the single sampled split.
+    pub fn stall_of(&self, config: Configuration) -> Option<f64> {
+        self.joint
+            .iter()
+            .find(|c| c.config == config && c.step.is_nominal())
+            .and_then(|c| c.stall_fraction)
     }
 
     /// The deepest (lowest-power) step of the ladder.
@@ -372,6 +399,34 @@ pub trait PowerPerfController {
     fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision;
 }
 
+impl<T: PowerPerfController + ?Sized> PowerPerfController for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
+        (**self).observe(phase, sample)
+    }
+
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        (**self).decide(ctx)
+    }
+}
+
+impl<T: PowerPerfController + ?Sized> PowerPerfController for &mut T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
+        (**self).observe(phase, sample)
+    }
+
+    fn decide(&mut self, ctx: &DecisionCtx<'_>) -> Decision {
+        (**self).decide(ctx)
+    }
+}
+
 /// Scans candidates in order for the configuration with the highest
 /// `ipc_of` whose power — when known — fits under the cap, breaking ties
 /// towards fewer threads. This is *the* selection rule of the paper's
@@ -443,8 +498,13 @@ pub fn frequency_throughput_scale(stall_fraction: f64, freq_scale: f64) -> f64 {
 ///
 /// `nominal_ipc_of` supplies each configuration's predicted IPC at the
 /// nominal frequency; `stall_fraction` is the phase's measured
-/// stall/compute split, used to extrapolate along the ladder. Returns the
-/// chosen cell and its predicted (frequency-scaled) IPC.
+/// stall/compute split on the *sampling* configuration. When the joint
+/// space carries per-cell stall fractions ([`JointPerf::stall_fraction`]),
+/// each configuration extrapolates with its **own** converged split
+/// ([`DvfsSpace::stall_of`]) — the per-configuration stall model; the single
+/// sampled μ is only the fallback for callers that cannot supply per-cell
+/// stalls. Returns the chosen cell and its predicted (frequency-scaled)
+/// IPC.
 pub fn best_joint_by_throughput(
     candidates: &[CandidatePerf],
     space: &DvfsSpace<'_>,
@@ -455,6 +515,7 @@ pub fn best_joint_by_throughput(
     let mut best: Option<(Configuration, FreqStep, f64, f64)> = None; // +throughput
     for cand in candidates {
         let base_ipc = nominal_ipc_of(cand.config);
+        let mu = space.stall_of(cand.config).unwrap_or(stall_fraction);
         for step_idx in 0..space.ladder.len() {
             let step = FreqStep::new(step_idx.min(u8::MAX as usize) as u8);
             let power = if step.is_nominal() {
@@ -468,7 +529,7 @@ pub fn best_joint_by_throughput(
                 }
             }
             let fs = space.ladder.freq_scale(step_idx).expect("step in range");
-            let throughput = base_ipc * frequency_throughput_scale(stall_fraction, fs);
+            let throughput = base_ipc * frequency_throughput_scale(mu, fs);
             let wins = match &best {
                 None => true,
                 Some((bc, bs, _, bt)) => {
@@ -479,7 +540,7 @@ pub fn best_joint_by_throughput(
                 }
             };
             if wins {
-                let expected_ipc = frequency_scaled_ipc(base_ipc, stall_fraction, fs);
+                let expected_ipc = frequency_scaled_ipc(base_ipc, mu, fs);
                 best = Some((cand.config, step, expected_ipc, throughput));
             }
         }
@@ -1201,11 +1262,11 @@ mod tests {
         for &config in &Configuration::ALL {
             for step_idx in 0..ladder.len() {
                 let dyn_scale = ladder.dynamic_power_scale(step_idx).unwrap();
-                joint.push(JointPerf {
+                joint.push(JointPerf::with_power(
                     config,
-                    step: FreqStep::new(step_idx as u8),
-                    avg_power_w: Some(100.0 + 15.0 * config.num_threads() as f64 * dyn_scale),
-                });
+                    FreqStep::new(step_idx as u8),
+                    100.0 + 15.0 * config.num_threads() as f64 * dyn_scale,
+                ));
             }
         }
         joint
@@ -1259,6 +1320,73 @@ mod tests {
 
         // An impossible cap admits nothing.
         assert!(best_joint_by_throughput(&candidates, &space, Some(10.0), 0.9, ipc_of).is_none());
+    }
+
+    #[test]
+    fn per_configuration_stall_model_corrects_narrow_config_extrapolation() {
+        // The sampling configuration (4 threads) is heavily memory-bound
+        // (μ = 0.9) because four threads fight for the bus — but a single
+        // thread contends far less (μ = 0.2). Extrapolating One's ladder
+        // with the *sampled* μ overstates how well it tolerates
+        // downclocking; the per-configuration stall model corrects it.
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let candidates = CandidatePerf::all_unknown();
+        let ipc_of = |c: Configuration| match c {
+            Configuration::One => 2.0,
+            Configuration::TwoTight => 1.5,
+            _ => 0.1,
+        };
+        // Powers: cap admits One only at the deep step, TwoTight at nominal.
+        let power = |config: Configuration, step: FreqStep| match (config, step.index()) {
+            (Configuration::One, 0) => 140.0,
+            (Configuration::One, 1) => 110.0,
+            (Configuration::TwoTight, _) => 120.0,
+            _ => 200.0,
+        };
+        let cells = |stall_one: Option<f64>| -> Vec<JointPerf> {
+            Configuration::ALL
+                .iter()
+                .flat_map(|&config| {
+                    (0..ladder.len()).map(move |s| {
+                        let step = FreqStep::new(s as u8);
+                        JointPerf {
+                            config,
+                            step,
+                            avg_power_w: Some(power(config, step)),
+                            stall_fraction: if config == Configuration::One {
+                                stall_one
+                            } else {
+                                Some(0.9)
+                            },
+                        }
+                    })
+                })
+                .collect()
+        };
+        let cap = Some(125.0);
+
+        // Without per-cell stalls the sampled μ = 0.9 rules: One at the
+        // ladder bottom looks almost free (predicted throughput
+        // 2.0 × 0.91 ≈ 1.82 > 1.5) — the narrow-configuration
+        // misprediction.
+        let joint = cells(None);
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let (config, step, _) =
+            best_joint_by_throughput(&candidates, &space, cap, 0.9, ipc_of).unwrap();
+        assert_eq!((config, step), (Configuration::One, FreqStep::new(1)));
+
+        // With One's own converged μ = 0.2 the rule knows the truth: the
+        // downclocked single thread loses nearly half its throughput
+        // (2.0 × 0.56 ≈ 1.11 < 1.5), so two tight threads at nominal win.
+        let joint = cells(Some(0.2));
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let (config, step, _) =
+            best_joint_by_throughput(&candidates, &space, cap, 0.9, ipc_of).unwrap();
+        assert_eq!((config, step), (Configuration::TwoTight, FreqStep::NOMINAL));
     }
 
     #[test]

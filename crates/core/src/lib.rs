@@ -38,14 +38,18 @@
 //! phase, decide a typed binding + frequency actuation). The ANN predictor,
 //! the oracles, the static baselines and empirical search implement it, the
 //! [`conformance`] harness checks any implementation against the shared
-//! contract, and both the Figure-8 harness and the cluster scheduler accept
-//! any implementation interchangeably.
+//! contract, and every consumer — the Figure-8 harness, the live runtime
+//! ([`runtime::ThrottleMode::Controller`] with online counter sampling) and
+//! the cluster scheduler — drives any implementation through one shared
+//! cycle, the [`control_plane::ControlPlane`] (observe-once bookkeeping,
+//! context assembly, loud decision validation).
 
 pub mod accuracy;
 pub mod adaptation;
 pub mod baselines;
 pub mod config;
 pub mod conformance;
+pub mod control_plane;
 pub mod controller;
 pub mod corpus;
 pub mod error;
@@ -67,6 +71,7 @@ pub use adaptation::{
 pub use baselines::{EmpiricalSearchPolicy, LinearRegressionPredictor};
 pub use config::{ActorConfig, PredictorConfig};
 pub use conformance::{assert_controller_conformance, ConformanceOptions};
+pub use control_plane::{ControlPlane, ControlViolation, PlaneDecision};
 pub use controller::{
     binding_for, configuration_of, frequency_scaled_ipc, frequency_throughput_scale, shape_of,
     AnnController, CandidatePerf, Decision, DecisionCtx, DecisionTableController, DvfsSpace,
@@ -81,7 +86,7 @@ pub use evaluation::{
 pub use oracle::{global_optimal, phase_optimal};
 pub use predictor::{AnnPredictor, IpcPredictor};
 pub use report::{NullReporter, Reporter, StdoutReporter, Table};
-pub use runtime::{ActorRuntime, ThrottleMode};
+pub use runtime::{ActorRuntime, BackendSampler, CounterSampler, CounterWindow, ThrottleMode};
 pub use sampling::{sample_phase, SamplingPlan};
 pub use scalability::{phase_ipc_study, scalability_report, PhaseIpcRow, ScalabilityReport};
 pub use summary::{paper_comparison, HeadlineNumbers};
@@ -92,6 +97,7 @@ pub mod prelude {
     pub use crate::accuracy::{run_accuracy_study, AccuracyStudy};
     pub use crate::adaptation::{run_adaptation_study, AdaptationStudy, Strategy};
     pub use crate::config::{ActorConfig, PredictorConfig};
+    pub use crate::control_plane::{ControlPlane, PlaneDecision};
     pub use crate::controller::{
         AnnController, Decision, DecisionCtx, DvfsSpace, JointSearchController, PhaseSample,
         PowerPerfController,

@@ -1,7 +1,11 @@
 //! Live adaptation demo: a real conjugate-gradient solver running on the
-//! `phase-rt` runtime, throttled by the ACTOR runtime in empirical-search
-//! mode (the model-free strategy of the authors' earlier work, ideal when no
-//! trained model is available for the host machine).
+//! `phase-rt` runtime, throttled by the ACTOR runtime — first in
+//! empirical-search mode (the model-free strategy of the authors' earlier
+//! work, ideal when no trained model is available for the host machine),
+//! then through the live controller loop (`ThrottleMode::Controller`),
+//! where the same search strategy runs as a [`PowerPerfController`] behind
+//! the shared control plane — the exact abstraction the Figure-8 harness
+//! and the cluster scheduler drive.
 //!
 //! The runtime explores every candidate binding once per phase, measures it,
 //! locks the fastest, and all later iterations of that phase use the locked
@@ -14,6 +18,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use actor_suite::actor::controller::{JointSearchController, PowerPerfController};
 use actor_suite::actor::runtime::ActorRuntime;
 use actor_suite::rt::{Binding, Team};
 use actor_suite::workloads::kernels::ConjugateGradient;
@@ -55,6 +60,27 @@ fn main() {
 
     println!("\nlocked per-phase decisions:");
     for (phase, binding) in runtime.decisions() {
+        println!("  {phase}: {} thread(s) on cores {:?}", binding.num_threads(), binding.cores());
+    }
+    team.clear_listener();
+
+    // The same closed loop through the control plane: any
+    // PowerPerfController — here the model-free joint search — drives the
+    // live kernel via ThrottleMode::Controller.
+    let controller: Box<dyn PowerPerfController + Send> =
+        Box::new(JointSearchController::default());
+    let live = Arc::new(ActorRuntime::controller_driven(controller, &shape));
+    team.set_listener(live.clone());
+    let start = Instant::now();
+    let result = solver.run(&team, &Binding::packed(4, &shape));
+    println!(
+        "\nadaptive (controller loop):  {:>7.1?}  (residual {:.2e}, {} iterations)",
+        start.elapsed(),
+        result.residual_norm,
+        result.iterations
+    );
+    println!("live controller decisions:");
+    for (phase, binding) in live.decisions() {
         println!("  {phase}: {} thread(s) on cores {:?}", binding.num_threads(), binding.cores());
     }
     team.clear_listener();

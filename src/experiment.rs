@@ -57,7 +57,11 @@ use xeon_sim::{Configuration, Machine};
 /// A factory building one [`PowerPerfController`] per evaluated benchmark
 /// (the leave-one-out protocol trains one model per held-out application).
 pub type ControllerFactory = Box<
-    dyn FnMut(&Machine, &BenchmarkProfile, &BenchmarkEvaluation) -> Box<dyn PowerPerfController>,
+    dyn FnMut(
+        &Machine,
+        &BenchmarkProfile,
+        &BenchmarkEvaluation,
+    ) -> Box<dyn PowerPerfController + Send>,
 >;
 
 /// Which decision-maker occupies the adaptive slot of the experiment.
@@ -99,7 +103,7 @@ impl ControllerSpec {
         machine: &Machine,
         bench: &BenchmarkProfile,
         eval: &BenchmarkEvaluation,
-    ) -> Box<dyn PowerPerfController> {
+    ) -> Box<dyn PowerPerfController + Send> {
         match self {
             ControllerSpec::Ann => Strategy::Prediction.controller(machine, bench, eval),
             ControllerSpec::PhaseOracle => {
@@ -333,6 +337,39 @@ impl Experiment {
         }
         let ids: Vec<BenchmarkId> = self.suite.iter().map(|b| b.id).collect();
         WorkloadModel::build(&self.machine, &self.config, &ids)
+    }
+
+    /// Builds a live [`actor_core::ActorRuntime`] in
+    /// [`actor_core::ThrottleMode::Controller`] mode for one benchmark: the
+    /// configured [`ControllerSpec`] builds the controller from that
+    /// benchmark's cached leave-one-out evaluation, and the returned
+    /// listener drives real `phase-rt` regions through the shared control
+    /// plane — observing every execution, deciding every next one, under
+    /// the experiment's power budget when one is configured. Attach
+    /// it with `team.set_listener`, optionally after
+    /// [`actor_core::ActorRuntime::with_counter_sampler`] for online
+    /// counter-derived features.
+    pub fn live_runtime_for(
+        &mut self,
+        id: BenchmarkId,
+        shape: &phase_rt::MachineShape,
+    ) -> Result<actor_core::ActorRuntime, ActorError> {
+        self.evaluations()?;
+        let evaluations = self.evaluations.as_deref().expect("just computed");
+        let eval =
+            evaluations.iter().find(|e| e.id == id).ok_or_else(|| ActorError::InvalidConfig {
+                reason: format!("benchmark {id} is not part of this experiment's suite"),
+            })?;
+        let bench =
+            self.suite.iter().find(|b| b.id == id).expect("evaluations cover the suite exactly");
+        let controller = self.controller.build(&self.machine, bench, eval);
+        let runtime = actor_core::ActorRuntime::controller_driven(controller, shape);
+        // The facade's cap gates the live loop exactly like the adaptation
+        // studies: the controller sees it in every DecisionCtx.
+        Ok(match self.power_budget_w {
+            Some(budget_w) => runtime.with_power_cap(budget_w),
+            None => runtime,
+        })
     }
 
     /// Swaps the controller occupying the adaptive slot. The cached

@@ -54,7 +54,7 @@ fn unknown_policy_names_report_the_valid_ones() {
 fn same_seed_gives_identical_schedules_and_energy() {
     let model = model();
     let spec = spec(4, 0.6);
-    for policy in ["fcfs", "backfill", "power-aware"] {
+    for policy in actor_suite::cluster::POLICY_NAMES {
         let a = run(&model, &spec, policy);
         let b = run(&model, &spec, policy);
         // Identical completion order, assignments, energies — bit for bit.
@@ -77,7 +77,7 @@ fn instantaneous_cluster_power_never_exceeds_the_budget() {
     let model = model();
     for fraction in [0.45, 0.7, 1.0] {
         let spec = spec(4, fraction);
-        for policy in ["fcfs", "backfill", "power-aware"] {
+        for policy in actor_suite::cluster::POLICY_NAMES {
             let report = run(&model, &spec, policy);
             assert_eq!(
                 report.outcomes.len(),

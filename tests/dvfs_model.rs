@@ -127,12 +127,12 @@ fn joint_search_controller_is_deterministic_for_a_seeded_script() {
     let joint: Vec<JointPerf> = Configuration::ALL
         .iter()
         .flat_map(|&config| (0..ladder.len()).map(move |s| (config, s)))
-        .map(|(config, s)| JointPerf {
-            config,
-            step: FreqStep::new(s as u8),
-            avg_power_w: Some(
+        .map(|(config, s)| {
+            JointPerf::with_power(
+                config,
+                FreqStep::new(s as u8),
                 110.0 + 12.0 * config.num_threads() as f64 * ladder.dynamic_power_scale(s).unwrap(),
-            ),
+            )
         })
         .collect();
 
