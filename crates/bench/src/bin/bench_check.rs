@@ -1,0 +1,267 @@
+//! `bench_check` — the CI bench-trajectory collector and regression gate.
+//!
+//! Reads the JSON artefacts the smoke bins just produced under `results/`
+//! (`cluster_sweep.json`, `coordinated_capping.json`, `fig_dvfs_dct.json`),
+//! collects their quantitative headlines into
+//! `results/BENCH_sweep.current.json` (uploaded by CI as the per-PR bench
+//! trajectory), and compares them against the committed baseline
+//! `results/BENCH_sweep.json`:
+//!
+//! * **ED² headlines** (keys ending `_ed2_pct`, lower is better) may not
+//!   worsen by more than the tolerance (default **2.0** percentage points;
+//!   override with `BENCH_CHECK_TOLERANCE_PTS`).
+//! * **Sweep wall-clock / throughput** may not regress by more than the
+//!   slowdown factor (default **1.5×**, i.e. 50 %; override with
+//!   `BENCH_CHECK_MAX_SLOWDOWN`), with a 1 s absolute grace. On the
+//!   millisecond-scale `--fast` smoke grid this catches per-cell cost
+//!   blowups (e.g. accidentally re-training the model per cell turns the
+//!   48-cell sweep into minutes), not worker-parallelism loss — a
+//!   serialized-but-still-cheap smoke sweep stays under the grace, and an
+//!   outright hang is the CI job timeout's problem.
+//! * **Sweep cell count** must match exactly (coverage guard).
+//!
+//! Intentional changes: re-bless the baseline with
+//! `cargo run --bin bench_check -- --write-baseline` and commit the updated
+//! `results/BENCH_sweep.json`; `BENCH_CHECK_SKIP=1` disables the gate for a
+//! one-off run. A missing input artefact skips its headlines with a
+//! warning; a missing baseline fails loudly (run `--write-baseline` once).
+//!
+//! Exit code 0 = within tolerance, 1 = regression (or missing baseline).
+
+use std::fs;
+use std::process::ExitCode;
+
+use serde::{Deserialize, Serialize, Value};
+
+const RESULTS_DIR: &str = "results";
+const BASELINE: &str = "results/BENCH_sweep.json";
+const CURRENT: &str = "results/BENCH_sweep.current.json";
+const DEFAULT_TOLERANCE_PTS: f64 = 2.0;
+const DEFAULT_MAX_SLOWDOWN: f64 = 1.5;
+
+/// The collected bench trajectory: named scalar headlines, ordered.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Trajectory {
+    headlines: Vec<(String, f64)>,
+}
+
+impl Trajectory {
+    fn get(&self, key: &str) -> Option<f64> {
+        self.headlines.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Loads a results JSON, warning (not failing) when absent — CI runs the
+/// producing bins in the same job, but a local partial run is legitimate.
+fn load(name: &str) -> Option<Value> {
+    let path = format!("{RESULTS_DIR}/{name}");
+    match fs::read_to_string(&path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("warning: {path} is not parseable JSON ({e}); skipping its headlines");
+                None
+            }
+        },
+        Err(_) => {
+            eprintln!("warning: {path} not found; skipping its headlines");
+            None
+        }
+    }
+}
+
+/// Collects the current trajectory from whatever artefacts exist.
+fn collect() -> Trajectory {
+    let mut headlines: Vec<(String, f64)> = Vec::new();
+    let mut push = |key: &str, value: Option<f64>| {
+        if let Some(v) = value {
+            headlines.push((key.to_string(), v));
+        } else {
+            eprintln!("warning: headline {key} unavailable");
+        }
+    };
+
+    if let Some(sweep) = load("cluster_sweep.json") {
+        push("sweep_cells", sweep.get("cells").and_then(as_f64));
+        push("sweep_wall_clock_s", sweep.get("wall_clock_s").and_then(as_f64));
+        push("sweep_cells_per_sec", sweep.get("cells_per_sec").and_then(as_f64));
+        // Mean power-aware ED² vs FCFS across every (nodes, budget, seed)
+        // group of the grid.
+        let aware = sweep.get("policy_mean_ed2_vs_fcfs_pct").and_then(|pairs| match pairs {
+            Value::Seq(items) => items.iter().find_map(|pair| match pair {
+                Value::Seq(kv) if kv.len() == 2 && kv[0] == Value::Str("power-aware".into()) => {
+                    as_f64(&kv[1])
+                }
+                _ => None,
+            }),
+            _ => None,
+        });
+        push("sweep_power_aware_vs_fcfs_ed2_pct", aware);
+    }
+
+    if let Some(coord) = load("coordinated_capping.json") {
+        // The tight-budget coordinated-vs-independent delta: the headline
+        // the coordinator exists for.
+        let tight = coord.get("coordinated_vs_independent_ed2_pct").and_then(|pairs| match pairs {
+            Value::Seq(items) => items.iter().find_map(|pair| match pair {
+                Value::Seq(kv) if kv.len() == 2 && kv[0] == Value::Str("tight".into()) => {
+                    as_f64(&kv[1])
+                }
+                _ => None,
+            }),
+            _ => None,
+        });
+        push("coordinated_vs_independent_tight_ed2_pct", tight);
+    }
+
+    if let Some(dvfs) = load("fig_dvfs_dct.json") {
+        // Mean joint-vs-DCT ED² delta over the NPB suites under the cap.
+        let mean = dvfs.get("joint_vs_dct_ed2_pct").and_then(|pairs| match pairs {
+            Value::Seq(items) => {
+                let values: Vec<f64> = items
+                    .iter()
+                    .filter_map(|pair| match pair {
+                        Value::Seq(kv) if kv.len() == 2 => as_f64(&kv[1]),
+                        _ => None,
+                    })
+                    .collect();
+                if values.is_empty() {
+                    None
+                } else {
+                    Some(values.iter().sum::<f64>() / values.len() as f64)
+                }
+            }
+            _ => None,
+        });
+        push("joint_vs_dct_mean_ed2_pct", mean);
+    }
+
+    Trajectory { headlines }
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Compares `current` against `baseline`; returns the list of violations.
+fn check(current: &Trajectory, baseline: &Trajectory) -> Vec<String> {
+    let tolerance_pts = env_f64("BENCH_CHECK_TOLERANCE_PTS", DEFAULT_TOLERANCE_PTS);
+    let max_slowdown = env_f64("BENCH_CHECK_MAX_SLOWDOWN", DEFAULT_MAX_SLOWDOWN);
+    let mut violations = Vec::new();
+
+    for (key, base) in &baseline.headlines {
+        let Some(now) = current.get(key) else {
+            violations.push(format!(
+                "headline {key} is in the baseline but missing from the current run — did a \
+                 smoke bin fail or stop emitting it?"
+            ));
+            continue;
+        };
+        if key.ends_with("_ed2_pct") {
+            // Lower (more negative) is better; a rise is a regression.
+            let worsened = now - base;
+            if worsened > tolerance_pts {
+                violations.push(format!(
+                    "{key} worsened by {worsened:+.2} points ({base:+.2} -> {now:+.2}, \
+                     tolerance {tolerance_pts})"
+                ));
+            }
+        } else if key == "sweep_wall_clock_s" {
+            // The 1 s absolute grace keeps millisecond-scale smoke sweeps
+            // from tripping on scheduler noise; what this catches is a
+            // per-cell cost blowup (e.g. re-training the model per cell),
+            // which blows through both bounds even on the smoke grid.
+            if now > base * max_slowdown && now > base + 1.0 {
+                violations.push(format!(
+                    "{key} regressed {:.2}x ({base:.2} s -> {now:.2} s, allowed {max_slowdown}x)",
+                    now / base
+                ));
+            }
+        } else if key == "sweep_cells_per_sec" {
+            // Throughput is noise below ~1 s of measured work; the
+            // wall-clock gate above still catches pathological slowdowns.
+            let base_wall = baseline.get("sweep_wall_clock_s").unwrap_or(0.0);
+            if base_wall >= 1.0 && now < base / max_slowdown {
+                violations.push(format!(
+                    "{key} regressed {:.2}x ({base:.1} -> {now:.1} cells/s, allowed \
+                     {max_slowdown}x)",
+                    base / now
+                ));
+            }
+        } else if key == "sweep_cells" && now != *base {
+            violations.push(format!(
+                "{key} changed ({base} -> {now}); grid coverage must change via \
+                 --write-baseline"
+            ));
+        }
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let write_baseline = std::env::args().skip(1).any(|a| a == "--write-baseline");
+    let current = collect();
+
+    println!("== bench trajectory ==");
+    for (key, value) in &current.headlines {
+        println!("  {key:<42} {value:+.3}");
+    }
+    let json = serde_json::to_string_pretty(&current).expect("trajectory serializes");
+    if let Err(e) = fs::write(CURRENT, &json) {
+        eprintln!("warning: could not write {CURRENT}: {e}");
+    } else {
+        println!("[wrote {CURRENT}]");
+    }
+
+    if write_baseline {
+        fs::write(BASELINE, &json).expect("baseline must be writable under --write-baseline");
+        println!("[wrote {BASELINE}] — commit it to bless this trajectory");
+        return ExitCode::SUCCESS;
+    }
+
+    if std::env::var("BENCH_CHECK_SKIP").is_ok_and(|v| v == "1") {
+        println!("BENCH_CHECK_SKIP=1: regression gate skipped");
+        return ExitCode::SUCCESS;
+    }
+
+    let Ok(text) = fs::read_to_string(BASELINE) else {
+        eprintln!(
+            "error: no baseline at {BASELINE}; run `cargo run --bin bench_check -- \
+             --write-baseline` after a green run and commit it"
+        );
+        return ExitCode::FAILURE;
+    };
+    let baseline: Trajectory = match serde_json::from_str(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: baseline {BASELINE} unparseable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let violations = check(&current, &baseline);
+    if violations.is_empty() {
+        println!("bench-check: all headlines within tolerance of the baseline");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-check: {} regression(s) vs {BASELINE}:", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        eprintln!(
+            "intentional? bless with `cargo run --bin bench_check -- --write-baseline` and \
+             commit, or set BENCH_CHECK_TOLERANCE_PTS / BENCH_CHECK_MAX_SLOWDOWN / \
+             BENCH_CHECK_SKIP=1"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -9,6 +9,13 @@
 //! the whole sweep (reports + rendered tables) as JSON to
 //! `results/cluster_power_cap.json`.
 //!
+//! The sweep runs on the parallel sweep engine (`cluster_sched::sweep`):
+//! the ANN-trained workload model is built once and shared across all
+//! cells, which execute concurrently on `--jobs N` worker threads
+//! (default: all cores). Results stream back in completion order but the
+//! persisted tables and JSON are always in deterministic cell order —
+//! byte-identical for any worker count.
+//!
 //! Pass `--fast` to use the reduced ANN training configuration, and
 //! `--dvfs` (alias `--freq-ladder`) to add the joint DVFS+DCT policy
 //! (`power-aware-dvfs`) *and* the coordinated policy
@@ -17,21 +24,15 @@
 //! the headline 8-node tight-budget ED² deltas of joint control vs
 //! DCT-only and of coordinated vs independent capping.
 
-use actor_bench::Harness;
-use actor_core::report::fmt3;
+use std::sync::Arc;
+
+use actor_bench::{FileReporter, Harness};
+use actor_core::report::{fmt3, StreamingReporter};
 use cluster_sched::{
-    budget_from_fraction, cluster_summary_table, job_table, policy_by_name, simulate,
-    ClusterReport, ClusterSpec, WorkloadSpec,
+    budget_from_fraction, cluster_summary_headers, cluster_summary_row, job_table, run_sweep,
+    ClusterReport, SweepSpec,
 };
 use serde::{Deserialize, Serialize};
-
-/// Budget tiers as fractions of the cluster's dynamic power range. The
-/// tightest tier still admits the widest four-core job (BT needs ~0.42), so
-/// strict FCFS can always make progress — just slowly.
-const BUDGET_FRACTIONS: [(&str, f64); 3] = [("tight", 0.45), ("medium", 0.7), ("ample", 1.0)];
-const NODE_COUNTS: [usize; 3] = [2, 4, 8];
-const POLICIES: [&str; 3] = ["fcfs", "backfill", "power-aware"];
-const WORKLOAD_SEED: u64 = 2007;
 
 /// One cell of the sweep, JSON-serializable with its rendered tables.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,72 +66,68 @@ struct SweepOutput {
 
 fn main() {
     let dvfs = std::env::args().skip(1).any(|a| a == "--dvfs" || a == "--freq-ladder");
-    let mut exp = Harness::from_env().experiment();
+    let harness = Harness::from_env();
+    let jobs = harness.args.jobs_or_auto();
+    if harness.args.grid.is_some() {
+        // This bin's headline tables assume the historical fixed grid;
+        // arbitrary grids belong to `cluster_sweep`.
+        eprintln!("warning: --grid is not supported by cluster_power_cap (use cluster_sweep); running the default grid");
+    }
+    let exp = harness.experiment();
     let idle_w = exp.machine().params().power.system_idle_w;
 
     eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
-    let model = exp.workload_model().expect("workload model construction failed");
+    let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
 
-    let policies: Vec<&str> = if dvfs {
-        POLICIES.iter().copied().chain(["power-aware-dvfs", "power-aware-coordinated"]).collect()
-    } else {
-        POLICIES.to_vec()
-    };
-    let mut entries: Vec<SweepEntry> = Vec::new();
-    let mut reports: Vec<ClusterReport> = Vec::new();
-    for nodes in NODE_COUNTS {
-        for (budget_label, fraction) in BUDGET_FRACTIONS {
-            for &policy_name in &policies {
-                let spec = ClusterSpec {
-                    nodes,
-                    power_budget_w: budget_from_fraction(nodes, idle_w, 160.0, fraction),
-                    workload: WorkloadSpec {
-                        num_jobs: 8 * nodes.max(3),
-                        mean_interarrival_s: 12.0 / nodes as f64,
-                        // Cap job width at half the cluster so the tight
-                        // budget tier stays feasible for strict FCFS (a
-                        // full-width four-core BT would need ~0.83 of the
-                        // dynamic range to itself).
-                        node_counts: if nodes >= 8 {
-                            vec![1, 1, 2, 4]
-                        } else if nodes >= 4 {
-                            vec![1, 1, 2]
-                        } else {
-                            vec![1]
-                        },
-                        ..Default::default()
-                    },
-                    seed: WORKLOAD_SEED,
-                };
-                let mut policy = policy_by_name(policy_name, &model).expect("known policy");
-                let report = simulate(&spec, &model, policy.as_mut())
-                    .unwrap_or_else(|e| panic!("{policy_name} on {nodes} nodes: {e}"));
-                eprintln!(
-                    "  {nodes} nodes | {budget_label:<6} ({:.0} W) | {policy_name:<11} -> \
-                     makespan {:.0} s, ED2 {:.3e} J.s2",
-                    spec.power_budget_w,
-                    report.makespan_s,
-                    report.cluster_ed2(),
-                );
-                entries.push(SweepEntry {
-                    nodes,
-                    budget_label: budget_label.to_string(),
-                    budget_fraction: fraction,
-                    policy: policy_name.to_string(),
-                    cluster_ed2_j_s2: report.cluster_ed2(),
-                    avg_wait_s: report.avg_wait_s(),
-                    deadline_misses: report.deadline_misses(),
-                    throttle_fraction: report.throttle_fraction(),
-                    job_table_csv: job_table(&report).to_csv(),
-                    report: report.clone(),
-                });
-                reports.push(report);
-            }
-        }
-    }
+    let spec = SweepSpec::power_cap_default(dvfs);
+    let mut streaming = StreamingReporter::new(
+        Box::new(FileReporter::default()),
+        "cluster_power_cap",
+        "Cluster power-cap sweep: all runs",
+        cluster_summary_headers(),
+        spec.len(),
+    );
+    eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
+    let run = run_sweep(&spec, &model, jobs, |outcome, _done, _total| {
+        let (p, r) = (&outcome.cell.point, &outcome.report);
+        eprintln!(
+            "  {} nodes | {:<6} ({:.0} W) | {:<11} -> makespan {:.0} s, ED2 {:.3e} J.s2",
+            p.nodes,
+            p.budget_label,
+            r.power_budget_w,
+            p.policy,
+            r.makespan_s,
+            r.cluster_ed2(),
+        );
+        streaming.row(outcome.cell.index, cluster_summary_row(r));
+    })
+    .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    let mut reporter = streaming.finish();
+    reporter.note(&format!(
+        "sweep: {} cells in {:.1} s on {} worker thread(s) ({:.2} cells/s)",
+        run.outcomes.len(),
+        run.wall_clock_s,
+        run.jobs,
+        run.cells_per_sec(),
+    ));
 
-    let summary = cluster_summary_table(&reports);
-    exp.emit("cluster_power_cap", "Cluster power-cap sweep: all runs", &summary);
+    let entries: Vec<SweepEntry> = run
+        .outcomes
+        .iter()
+        .map(|o| SweepEntry {
+            nodes: o.cell.point.nodes,
+            budget_label: o.cell.point.budget_label.clone(),
+            budget_fraction: o.cell.point.budget_fraction,
+            policy: o.cell.point.policy.clone(),
+            cluster_ed2_j_s2: o.report.cluster_ed2(),
+            avg_wait_s: o.report.avg_wait_s(),
+            deadline_misses: o.report.deadline_misses(),
+            throttle_fraction: o.report.throttle_fraction(),
+            job_table_csv: job_table(&o.report).to_csv(),
+            report: o.report.clone(),
+        })
+        .collect();
+    let reports: Vec<&ClusterReport> = run.reports();
 
     // The headline comparison: 8 nodes, tightest budget.
     let mut headline = actor_core::report::Table::new(vec![
@@ -143,6 +140,7 @@ fn main() {
     let tight_8: Vec<&ClusterReport> = reports
         .iter()
         .filter(|r| r.nodes == 8 && r.power_budget_w < budget_from_fraction(8, idle_w, 160.0, 0.5))
+        .copied()
         .collect();
     let fcfs_ed2 = tight_8
         .iter()
@@ -158,7 +156,7 @@ fn main() {
             format!("{:+.1}%", (r.cluster_ed2() / fcfs_ed2 - 1.0) * 100.0),
         ]);
     }
-    exp.emit("cluster_power_cap_tight8", "8 nodes, tight budget: the headline", &headline);
+    reporter.table("cluster_power_cap_tight8", "8 nodes, tight budget: the headline", &headline);
 
     // Under --dvfs: the joint-control and coordination headlines.
     let (dvfs_joint_vs_dct_ed2_pct, coordinated_vs_independent_ed2_pct) = if dvfs {
@@ -170,12 +168,12 @@ fn main() {
             .find(|r| r.policy == "power-aware-coordinated")
             .expect("coordinated policy ran");
         let joint_pct = (joint.cluster_ed2() / aware.cluster_ed2() - 1.0) * 100.0;
-        exp.note(&format!(
+        reporter.note(&format!(
             "8 nodes @ tight budget: joint DVFS+DCT ED2 is {joint_pct:+.1}% vs DCT-only \
              power-aware",
         ));
         let coord_pct = (coordinated.cluster_ed2() / joint.cluster_ed2() - 1.0) * 100.0;
-        exp.note(&format!(
+        reporter.note(&format!(
             "8 nodes @ tight budget: coordinated capping ED2 is {coord_pct:+.1}% vs independent \
              power-aware-dvfs ({})",
             if coord_pct < 0.0 { "redistribution wins" } else { "UNEXPECTED" },
@@ -185,22 +183,26 @@ fn main() {
         (None, None)
     };
 
+    let mut summary_table = actor_core::report::Table::new(cluster_summary_headers());
+    for o in &run.outcomes {
+        summary_table.push_row(cluster_summary_row(&o.report));
+    }
     let output = SweepOutput {
-        workload_seed: WORKLOAD_SEED,
+        workload_seed: *spec.seeds.first().expect("the default grid has a workload seed"),
         entries,
-        summary_table_csv: summary.to_csv(),
+        summary_table_csv: summary_table.to_csv(),
         dvfs_joint_vs_dct_ed2_pct,
         coordinated_vs_independent_ed2_pct,
     };
     let json = serde_json::to_string_pretty(&output).expect("sweep serializes");
-    exp.artifact("cluster_power_cap.json", &json);
+    reporter.artifact("cluster_power_cap.json", &json);
 
     let aware_ed2 = tight_8
         .iter()
         .find(|r| r.policy == "power-aware")
         .map(|r| r.cluster_ed2())
         .expect("power-aware ran at the tight tier");
-    exp.note(&format!(
+    reporter.note(&format!(
         "8 nodes @ tight budget: power-aware ED2 is {:+.1}% vs FCFS ({})",
         (aware_ed2 / fcfs_ed2 - 1.0) * 100.0,
         if aware_ed2 < fcfs_ed2 { "prediction-based throttling wins" } else { "UNEXPECTED" },

@@ -9,22 +9,22 @@
 //! budget so memory-bound slack funds compute-bound boost). The DCT-only
 //! `power-aware` policy rides along as the reference point.
 //!
+//! Runs on the parallel sweep engine (`cluster_sched::sweep`): one shared
+//! ANN-trained workload model, all (budget × policy) cells concurrent on
+//! `--jobs N` worker threads, deterministic cell-ordered output.
+//!
 //! Prints a per-budget table, notes the headline tight-budget delta, and
 //! writes the whole sweep as JSON to `results/coordinated_capping.json`.
 //! Pass `--fast` for the reduced ANN training configuration.
 
+use std::sync::Arc;
+
 use actor_bench::Harness;
 use actor_core::report::{fmt3, Table};
-use cluster_sched::{
-    budget_from_fraction, policy_by_name, simulate, ClusterReport, ClusterSpec, WorkloadSpec,
-};
+use cluster_sched::{run_sweep, ClusterReport, SweepSpec};
 use serde::{Deserialize, Serialize};
 
 const NODES: usize = 8;
-const BUDGET_FRACTIONS: [(&str, f64); 4] =
-    [("tight", 0.45), ("snug", 0.55), ("medium", 0.7), ("ample", 1.0)];
-const POLICIES: [&str; 3] = ["power-aware", "power-aware-dvfs", "power-aware-coordinated"];
-const WORKLOAD_SEED: u64 = 2007;
 
 /// One (budget, policy) cell of the sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,48 +51,57 @@ struct SweepOutput {
 }
 
 fn main() {
-    let mut exp = Harness::from_env().experiment();
-    let idle_w = exp.machine().params().power.system_idle_w;
+    let harness = Harness::from_env();
+    let jobs = harness.args.jobs_or_auto();
+    if harness.args.grid.is_some() {
+        // This bin's per-budget deltas assume the historical fixed grid;
+        // arbitrary grids belong to `cluster_sweep`.
+        eprintln!("warning: --grid is not supported by coordinated_capping (use cluster_sweep); running the default grid");
+    }
+    let mut exp = harness.experiment();
 
     eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
-    let model = exp.workload_model().expect("workload model construction failed");
+    let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
+
+    let spec = SweepSpec::coordinated_default();
+    eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
+    let run = run_sweep(&spec, &model, jobs, |outcome, _done, _total| {
+        let (p, r) = (&outcome.cell.point, &outcome.report);
+        eprintln!(
+            "  {:<6} ({:.0} W) | {:<23} -> makespan {:.0} s, ED2 {:.3e} J.s2",
+            p.budget_label,
+            r.power_budget_w,
+            p.policy,
+            r.makespan_s,
+            r.cluster_ed2(),
+        );
+    })
+    .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    eprintln!(
+        "sweep: {} cells in {:.1} s on {} worker thread(s) ({:.2} cells/s)",
+        run.outcomes.len(),
+        run.wall_clock_s,
+        run.jobs,
+        run.cells_per_sec(),
+    );
 
     let mut entries: Vec<SweepEntry> = Vec::new();
     let mut table =
         Table::new(vec!["budget", "policy", "makespan s", "energy kJ", "ED2 MJ.s2", "vs indep."]);
     let mut deltas: Vec<(String, f64)> = Vec::new();
-    for (budget_label, fraction) in BUDGET_FRACTIONS {
-        let spec = ClusterSpec {
-            nodes: NODES,
-            power_budget_w: budget_from_fraction(NODES, idle_w, 160.0, fraction),
-            workload: WorkloadSpec {
-                num_jobs: 8 * NODES.max(3),
-                mean_interarrival_s: 12.0 / NODES as f64,
-                node_counts: vec![1, 1, 2, 4],
-                ..Default::default()
-            },
-            seed: WORKLOAD_SEED,
-        };
-        let mut reports: Vec<ClusterReport> = Vec::new();
-        for policy_name in POLICIES {
-            let mut policy = policy_by_name(policy_name, &model).expect("known policy");
-            let report = simulate(&spec, &model, policy.as_mut())
-                .unwrap_or_else(|e| panic!("{policy_name} at {budget_label}: {e}"));
-            eprintln!(
-                "  {budget_label:<6} ({:.0} W) | {policy_name:<23} -> makespan {:.0} s, \
-                 ED2 {:.3e} J.s2",
-                spec.power_budget_w,
-                report.makespan_s,
-                report.cluster_ed2(),
-            );
-            reports.push(report);
-        }
-        let independent_ed2 = reports
+    for (budget_label, fraction) in &spec.budgets {
+        let tier: Vec<(&str, &ClusterReport)> = run
+            .outcomes
             .iter()
-            .find(|r| r.policy == "power-aware-dvfs")
-            .map(ClusterReport::cluster_ed2)
+            .filter(|o| o.cell.point.budget_label == *budget_label)
+            .map(|o| (o.cell.point.policy.as_str(), &o.report))
+            .collect();
+        let independent_ed2 = tier
+            .iter()
+            .find(|(p, _)| *p == "power-aware-dvfs")
+            .map(|(_, r)| r.cluster_ed2())
             .expect("independent baseline ran");
-        for report in &reports {
+        for (_, report) in &tier {
             let vs = (report.cluster_ed2() / independent_ed2 - 1.0) * 100.0;
             table.push_row(vec![
                 budget_label.to_string(),
@@ -104,8 +113,8 @@ fn main() {
             ]);
             entries.push(SweepEntry {
                 budget_label: budget_label.to_string(),
-                budget_fraction: fraction,
-                power_budget_w: spec.power_budget_w,
+                budget_fraction: *fraction,
+                power_budget_w: report.power_budget_w,
                 policy: report.policy.clone(),
                 cluster_ed2_j_s2: report.cluster_ed2(),
                 makespan_s: report.makespan_s,
@@ -114,10 +123,10 @@ fn main() {
                 throttle_fraction: report.throttle_fraction(),
             });
         }
-        let coordinated_ed2 = reports
+        let coordinated_ed2 = tier
             .iter()
-            .find(|r| r.policy == "power-aware-coordinated")
-            .map(ClusterReport::cluster_ed2)
+            .find(|(p, _)| *p == "power-aware-coordinated")
+            .map(|(_, r)| r.cluster_ed2())
             .expect("coordinated policy ran");
         deltas.push((budget_label.to_string(), (coordinated_ed2 / independent_ed2 - 1.0) * 100.0));
     }
@@ -137,7 +146,7 @@ fn main() {
 
     let output = SweepOutput {
         nodes: NODES,
-        workload_seed: WORKLOAD_SEED,
+        workload_seed: *spec.seeds.first().expect("the default grid has a workload seed"),
         entries,
         coordinated_vs_independent_ed2_pct: deltas,
     };

@@ -30,6 +30,15 @@ pub struct BenchArgs {
     pub scalability_only: bool,
     /// `--seed N`: override the configuration seed.
     pub seed: Option<u64>,
+    /// `--jobs N`: worker threads for sweep-engine binaries (`None` =
+    /// auto-detect via [`BenchArgs::jobs_or_auto`]).
+    pub jobs: Option<usize>,
+    /// `--grid SPEC`: sweep grid override (see
+    /// `cluster_sched::SweepSpec::with_grid` for the syntax). Honoured by
+    /// `cluster_sweep`; the fixed-grid bins (`cluster_power_cap`,
+    /// `coordinated_capping`) warn and ignore it — their headline tables
+    /// assume the historical grid.
+    pub grid: Option<String>,
 }
 
 impl BenchArgs {
@@ -61,10 +70,37 @@ impl BenchArgs {
                     }
                     _ => eprintln!("warning: --seed requires a value; using the config seed"),
                 },
+                "--jobs" => match args.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = args.next().expect("just peeked");
+                        match v.parse() {
+                            Ok(jobs) if jobs > 0 => out.jobs = Some(jobs),
+                            _ => eprintln!(
+                                "warning: ignoring unparseable --jobs value {v:?} (expected a \
+                                 positive integer)"
+                            ),
+                        }
+                    }
+                    _ => eprintln!("warning: --jobs requires a value; auto-detecting"),
+                },
+                "--grid" => match args.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        out.grid = Some(args.next().expect("just peeked"));
+                    }
+                    _ => eprintln!("warning: --grid requires a value; using the default grid"),
+                },
                 _ => {}
             }
         }
         out
+    }
+
+    /// Worker threads for sweep execution: the `--jobs` override, or the
+    /// machine's available parallelism (sweep output is deterministic in
+    /// the worker count, so auto-detection never changes results).
+    pub fn jobs_or_auto(&self) -> usize {
+        self.jobs
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
     }
 
     /// The ACTOR configuration these arguments select: the paper
@@ -172,6 +208,8 @@ mod tests {
         );
         assert!(args.fast && args.scalability_only);
         assert_eq!(args.seed, Some(99));
+        assert_eq!(args.jobs, None);
+        assert!(args.jobs_or_auto() >= 1);
         let config = args.config();
         assert_eq!(config.seed, 99);
         assert_eq!(config.predictor.folds, ActorConfig::fast().predictor.folds);
@@ -196,6 +234,24 @@ mod tests {
         // Trailing --seed with no value at all.
         let args = BenchArgs::parse(["--fast", "--seed"].map(String::from));
         assert_eq!(args.seed, None);
+        assert!(args.fast);
+    }
+
+    #[test]
+    fn jobs_and_grid_parse_without_swallowing_flags() {
+        let args =
+            BenchArgs::parse(["--jobs", "8", "--grid", "nodes=2,4;seeds=1..3"].map(String::from));
+        assert_eq!(args.jobs, Some(8));
+        assert_eq!(args.jobs_or_auto(), 8);
+        assert_eq!(args.grid.as_deref(), Some("nodes=2,4;seeds=1..3"));
+
+        // Missing or invalid values never swallow a following flag.
+        let args = BenchArgs::parse(["--jobs", "--fast"].map(String::from));
+        assert_eq!(args.jobs, None);
+        assert!(args.fast);
+        let args = BenchArgs::parse(["--jobs", "0", "--grid", "--fast"].map(String::from));
+        assert_eq!(args.jobs, None);
+        assert_eq!(args.grid, None);
         assert!(args.fast);
     }
 

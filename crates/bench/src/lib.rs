@@ -15,9 +15,13 @@
 //! | `ablation_predictors` | ANN vs linear regression vs empirical search |
 //! | `manycore_projection` | extension: the same study on an 8-core machine |
 //! | `cluster_power_cap` | extension: N-node cluster under a power budget |
+//! | `cluster_sweep` | extension: ~1000-cell parallel policy-search grid |
+//! | `bench_check` | CI: bench-trajectory collector + regression gate |
 //!
 //! Every binary goes through the shared [`harness`]: arguments are parsed by
-//! [`BenchArgs`] (`--fast`, `--scalability-only`, `--seed N`), the studies
+//! [`BenchArgs`] (`--fast`, `--scalability-only`, `--seed N`, and for the
+//! sweep binaries `--jobs N`; `cluster_sweep` additionally honours
+//! `--grid SPEC`), the studies
 //! run through `actor_suite::ExperimentBuilder`, and all output is routed
 //! through the [`FileReporter`] — aligned tables on stdout plus CSV/JSON
 //! artefacts under `results/` for re-plotting.

@@ -29,6 +29,11 @@
 //! * [`cluster`] — the discrete-event loop, cap enforcement, and
 //!   [`cluster::ClusterReport`]; [`tables`] renders per-job and
 //!   cluster-level reports as [`actor_core::report::Table`]s.
+//! * [`sweep`] — the parallel sweep engine: a [`sweep::SweepSpec`] grid
+//!   (nodes × budgets × policies × seeds, plus explicit cells) expanded
+//!   into independent cells and executed concurrently on a
+//!   [`phase_rt::ThreadPool`] against one `Arc`-shared workload model,
+//!   with deterministic cell-ordered results.
 
 pub mod cluster;
 pub mod coordinator;
@@ -37,6 +42,7 @@ pub mod job;
 pub mod node;
 pub mod policy;
 pub mod profile;
+pub mod sweep;
 pub mod tables;
 
 pub use cluster::{budget_from_fraction, simulate, Cluster, ClusterReport, ClusterSpec};
@@ -49,4 +55,8 @@ pub use policy::{
     SchedulerPolicy, POLICY_NAMES,
 };
 pub use profile::{ExecutionPlan, WorkloadModel};
-pub use tables::{cluster_summary_table, job_table};
+pub use sweep::{
+    default_workload, light_workload, run_sweep, SweepCell, SweepCellOutcome, SweepError,
+    SweepPoint, SweepRun, SweepSpec,
+};
+pub use tables::{cluster_summary_headers, cluster_summary_row, cluster_summary_table, job_table};

@@ -1,0 +1,704 @@
+//! The parallel sweep engine: a cartesian grid of cluster experiments run
+//! concurrently on a [`phase_rt::ThreadPool`].
+//!
+//! The cluster sweeps (`cluster_power_cap`, `coordinated_capping`, the
+//! policy-search `cluster_sweep` grid) are embarrassingly parallel: every
+//! (nodes × budget × policy × seed) cell is an independent discrete-event
+//! simulation against the same immutable [`WorkloadModel`]. The engine
+//! expands a [`SweepSpec`] into ordered [`SweepCell`]s, shares the model by
+//! `Arc` (built once — thousands of cells never re-train the ANN
+//! ensembles), executes cells on a worker pool, and streams results back
+//! over a channel in completion order while preserving a deterministic
+//! *report* order: [`run_sweep`] returns outcomes sorted by cell index, so
+//! rendered CSV/JSON is bit-identical regardless of worker count or
+//! completion order (`actor_core::report::StreamingReporter` is the
+//! matching presentation adapter).
+//!
+//! Worker panics do not poison the engine: the pool catches the unwind at
+//! the job boundary and the sweep join surfaces it as
+//! [`phase_rt::RtError::WorkerPanicked`] inside [`SweepError::Pool`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use phase_rt::{RtError, ThreadPool};
+use serde::{Deserialize, Serialize};
+use xeon_sim::Machine;
+
+use crate::cluster::{budget_from_fraction, simulate, ClusterReport, ClusterSpec};
+use crate::error::ClusterError;
+use crate::job::WorkloadSpec;
+use crate::policy::{policy_by_name, POLICY_NAMES};
+use crate::profile::WorkloadModel;
+
+/// The per-node dynamic power ceiling used to translate budget fractions
+/// into watts — the historical constant of every cluster bin.
+pub const DEFAULT_MAX_NODE_W: f64 = 160.0;
+
+/// The workload-shaping rule the cluster bins have always used: job count
+/// and arrival rate scale with the cluster, and job width is capped at half
+/// the cluster so the tight budget tier stays feasible for strict FCFS (a
+/// full-width four-core BT would need ~0.83 of the dynamic range to
+/// itself).
+pub fn default_workload(nodes: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        num_jobs: 8 * nodes.max(3),
+        mean_interarrival_s: 12.0 / nodes as f64,
+        node_counts: if nodes >= 8 {
+            vec![1, 1, 2, 4]
+        } else if nodes >= 4 {
+            vec![1, 1, 2]
+        } else {
+            vec![1]
+        },
+        ..Default::default()
+    }
+}
+
+/// A light workload for huge policy-search grids: a handful of jobs per
+/// cell so a ~1000-cell grid stays interactive, same width rule as
+/// [`default_workload`].
+pub fn light_workload(nodes: usize) -> WorkloadSpec {
+    WorkloadSpec { num_jobs: (2 * nodes).clamp(4, 16), ..default_workload(nodes) }
+}
+
+/// One point of the sweep grid (a cell before it is given its index).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Budget tier label (reporting only).
+    pub budget_label: String,
+    /// Budget as a fraction of the cluster's dynamic power range.
+    pub budget_fraction: f64,
+    /// Scheduling policy name (see [`POLICY_NAMES`]).
+    pub policy: String,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+/// One expanded, ordered cell of the sweep. `index` is the cell's position
+/// in the deterministic expansion order — the order every report uses, no
+/// matter which worker finishes first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Position in the deterministic expansion order.
+    pub index: usize,
+    /// The grid point.
+    pub point: SweepPoint,
+}
+
+/// A cartesian sweep grid plus explicit extra cells.
+///
+/// Expansion order is `nodes → budgets → policies → seeds` (the historical
+/// nested-loop order of the cluster bins), with `extra` points appended
+/// afterwards in their given order.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Node-count axis.
+    pub nodes: Vec<usize>,
+    /// Budget axis: `(label, fraction of the dynamic power range)`.
+    pub budgets: Vec<(String, f64)>,
+    /// Policy axis (names accepted by [`policy_by_name`]).
+    pub policies: Vec<String>,
+    /// Workload-seed axis.
+    pub seeds: Vec<u64>,
+    /// Explicit cells appended after the grid (for targeted re-runs and
+    /// irregular grids).
+    pub extra: Vec<SweepPoint>,
+    /// Per-node dynamic power ceiling (W) for fraction → watts conversion.
+    pub max_node_w: f64,
+    /// Workload shape per node count. A plain `fn` so specs stay `Clone`
+    /// and comparable; the default is [`default_workload`].
+    pub workload: fn(usize) -> WorkloadSpec,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self {
+            nodes: vec![8],
+            budgets: vec![("tight".into(), 0.45)],
+            policies: vec!["power-aware".into()],
+            seeds: vec![2007],
+            extra: Vec::new(),
+            max_node_w: DEFAULT_MAX_NODE_W,
+            workload: default_workload,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// The default grid of the `cluster_power_cap` binary: 2/4/8 nodes ×
+    /// tight/medium/ample × the DCT-only policies, seed 2007; `dvfs` adds
+    /// the joint and coordinated policies exactly like the bin's `--dvfs`
+    /// flag.
+    pub fn power_cap_default(dvfs: bool) -> Self {
+        let mut policies = vec!["fcfs".to_string(), "backfill".into(), "power-aware".into()];
+        if dvfs {
+            policies.push("power-aware-dvfs".into());
+            policies.push("power-aware-coordinated".into());
+        }
+        Self {
+            nodes: vec![2, 4, 8],
+            budgets: vec![("tight".into(), 0.45), ("medium".into(), 0.7), ("ample".into(), 1.0)],
+            policies,
+            seeds: vec![2007],
+            ..Self::default()
+        }
+    }
+
+    /// The default grid of the `coordinated_capping` binary: 8 nodes ×
+    /// tight/snug/medium/ample × the three power-aware policies, seed 2007.
+    pub fn coordinated_default() -> Self {
+        Self {
+            nodes: vec![8],
+            budgets: vec![
+                ("tight".into(), 0.45),
+                ("snug".into(), 0.55),
+                ("medium".into(), 0.7),
+                ("ample".into(), 1.0),
+            ],
+            policies: vec![
+                "power-aware".into(),
+                "power-aware-dvfs".into(),
+                "power-aware-coordinated".into(),
+            ],
+            seeds: vec![2007],
+            ..Self::default()
+        }
+    }
+
+    /// Expands the DVFS on/off axis into the policy axis: with `off` only,
+    /// the base names; with `on`, each policy that has a joint DVFS+DCT
+    /// variant contributes it ("power-aware" → "power-aware-dvfs";
+    /// policies that are already DVFS-aware or have no frequency axis are
+    /// contributed once, by the `off` arm, so no cell is duplicated).
+    pub fn dvfs_axis(base: &[&str], on: &[bool]) -> Vec<String> {
+        let mut out = Vec::new();
+        for &dvfs in on {
+            for &name in base {
+                let effective = match (name, dvfs) {
+                    ("power-aware", true) => Some("power-aware-dvfs"),
+                    (_, true) => None, // no DVFS variant: covered by the off arm
+                    (name, false) => Some(name),
+                };
+                if let Some(e) = effective {
+                    if !out.contains(&e.to_string()) {
+                        out.push(e.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the axes: every axis non-empty, every policy known, every
+    /// budget fraction in (0, 1], node counts positive.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        let empty = |name: &'static str| SweepError::InvalidGrid {
+            reason: format!("axis {name:?} is empty — the grid has no cells"),
+        };
+        if self.nodes.is_empty() && self.extra.is_empty() {
+            return Err(empty("nodes"));
+        }
+        if !self.nodes.is_empty() {
+            if self.budgets.is_empty() {
+                return Err(empty("budgets"));
+            }
+            if self.policies.is_empty() {
+                return Err(empty("policies"));
+            }
+            if self.seeds.is_empty() {
+                return Err(empty("seeds"));
+            }
+        }
+        let check_point = |nodes: usize, fraction: f64, policy: &str| {
+            if nodes == 0 {
+                return Err(SweepError::InvalidGrid {
+                    reason: "node counts must be positive".into(),
+                });
+            }
+            if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+                return Err(SweepError::InvalidGrid {
+                    reason: format!("budget fraction {fraction} outside (0, 1]"),
+                });
+            }
+            if !POLICY_NAMES.contains(&policy) {
+                return Err(SweepError::InvalidGrid {
+                    reason: format!(
+                        "unknown policy {policy:?}; valid policies are: {}",
+                        POLICY_NAMES.join(", ")
+                    ),
+                });
+            }
+            Ok(())
+        };
+        for &nodes in &self.nodes {
+            for (_, fraction) in &self.budgets {
+                for policy in &self.policies {
+                    check_point(nodes, *fraction, policy)?;
+                }
+            }
+        }
+        for p in &self.extra {
+            check_point(p.nodes, p.budget_fraction, &p.policy)?;
+        }
+        Ok(())
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn len(&self) -> usize {
+        self.nodes.len() * self.budgets.len() * self.policies.len() * self.seeds.len()
+            + self.extra.len()
+    }
+
+    /// Whether the spec expands to no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into ordered cells (`nodes → budgets → policies →
+    /// seeds`, then `extra`).
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &nodes in &self.nodes {
+            for (budget_label, budget_fraction) in &self.budgets {
+                for policy in &self.policies {
+                    for &seed in &self.seeds {
+                        cells.push(SweepPoint {
+                            nodes,
+                            budget_label: budget_label.clone(),
+                            budget_fraction: *budget_fraction,
+                            policy: policy.clone(),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells.extend(self.extra.iter().cloned());
+        cells.into_iter().enumerate().map(|(index, point)| SweepCell { index, point }).collect()
+    }
+
+    /// Parses a `--grid` command-line override: semicolon-separated
+    /// `axis=values` clauses over the default axes, e.g.
+    ///
+    /// ```text
+    /// nodes=2,4,8;budgets=tight:0.45,ample:1.0;policies=fcfs,power-aware;seeds=1..9
+    /// ```
+    ///
+    /// * `nodes` — comma-separated counts.
+    /// * `budgets` — comma-separated `label:fraction` pairs.
+    /// * `policies` — comma-separated policy names.
+    /// * `seeds` — comma-separated values; `a..b` spans the half-open range.
+    /// * `dvfs` — `on`, `off` or `both`: rewrites the policy axis through
+    ///   [`Self::dvfs_axis`] (apply after `policies`).
+    ///
+    /// Unspecified axes keep the values `self` already has.
+    pub fn with_grid(mut self, grid: &str) -> Result<Self, SweepError> {
+        let invalid = |reason: String| SweepError::InvalidGrid { reason };
+        for clause in grid.split(';').filter(|c| !c.trim().is_empty()) {
+            let (axis, values) = clause
+                .split_once('=')
+                .ok_or_else(|| invalid(format!("clause {clause:?} is not axis=values")))?;
+            let values = values.trim();
+            match axis.trim() {
+                "nodes" => {
+                    self.nodes = values
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse::<usize>()
+                                .map_err(|_| invalid(format!("bad node count {v:?}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "budgets" => {
+                    self.budgets = values
+                        .split(',')
+                        .map(|pair| {
+                            let (label, fraction) = pair
+                                .trim()
+                                .split_once(':')
+                                .ok_or_else(|| invalid(format!("{pair:?} is not label:frac")))?;
+                            let f = fraction
+                                .parse::<f64>()
+                                .map_err(|_| invalid(format!("bad fraction {fraction:?}")))?;
+                            Ok((label.to_string(), f))
+                        })
+                        .collect::<Result<_, SweepError>>()?;
+                }
+                "policies" => {
+                    self.policies = values.split(',').map(|v| v.trim().to_string()).collect();
+                }
+                "seeds" => {
+                    let mut seeds = Vec::new();
+                    for v in values.split(',') {
+                        let v = v.trim();
+                        if let Some((a, b)) = v.split_once("..") {
+                            let a =
+                                a.parse::<u64>().map_err(|_| invalid(format!("bad seed {a:?}")))?;
+                            let b =
+                                b.parse::<u64>().map_err(|_| invalid(format!("bad seed {b:?}")))?;
+                            if a >= b {
+                                return Err(invalid(format!("empty seed range {v:?}")));
+                            }
+                            seeds.extend(a..b);
+                        } else {
+                            seeds.push(
+                                v.parse::<u64>().map_err(|_| invalid(format!("bad seed {v:?}")))?,
+                            );
+                        }
+                    }
+                    self.seeds = seeds;
+                }
+                "dvfs" => {
+                    let on: &[bool] = match values {
+                        "on" => &[true],
+                        "off" => &[false],
+                        "both" => &[false, true],
+                        other => {
+                            return Err(invalid(format!(
+                                "dvfs must be on, off or both, got {other:?}"
+                            )))
+                        }
+                    };
+                    let base: Vec<&str> = self.policies.iter().map(String::as_str).collect();
+                    self.policies = Self::dvfs_axis(&base, on);
+                }
+                other => return Err(invalid(format!("unknown axis {other:?}"))),
+            }
+        }
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+/// One completed cell: the grid point plus its simulated cluster report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCellOutcome {
+    /// The cell that ran.
+    pub cell: SweepCell,
+    /// The simulation result.
+    pub report: ClusterReport,
+}
+
+/// The result of a whole sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRun {
+    /// Every cell's outcome, sorted by cell index (deterministic report
+    /// order, independent of worker count).
+    pub outcomes: Vec<SweepCellOutcome>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock duration of the execute phase (s).
+    pub wall_clock_s: f64,
+}
+
+impl SweepRun {
+    /// Throughput headline: completed cells per wall-clock second.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_clock_s > 0.0 {
+            self.outcomes.len() as f64 / self.wall_clock_s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The reports alone, in cell order.
+    pub fn reports(&self) -> Vec<&ClusterReport> {
+        self.outcomes.iter().map(|o| &o.report).collect()
+    }
+}
+
+/// Sweep failures: an invalid grid, a failing cell, or a pool-level fault
+/// (including a panicking worker job, surfaced as
+/// [`RtError::WorkerPanicked`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// The grid specification is malformed.
+    InvalidGrid {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A cell's simulation failed; the lowest-index failure is reported.
+    Cell {
+        /// The failing cell.
+        cell: Box<SweepCell>,
+        /// Why it failed.
+        source: ClusterError,
+    },
+    /// The worker pool failed (shutdown, or a panicking cell job).
+    Pool(RtError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidGrid { reason } => write!(f, "invalid sweep grid: {reason}"),
+            SweepError::Cell { cell, source } => write!(
+                f,
+                "sweep cell {} ({} nodes, {} budget, {}, seed {}) failed: {source}",
+                cell.index,
+                cell.point.nodes,
+                cell.point.budget_label,
+                cell.point.policy,
+                cell.point.seed
+            ),
+            SweepError::Pool(e) => write!(f, "sweep worker pool failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<RtError> for SweepError {
+    fn from(e: RtError) -> Self {
+        SweepError::Pool(e)
+    }
+}
+
+/// Runs one cell against the shared model.
+fn run_cell(
+    model: &WorkloadModel,
+    spec: &SweepSpec,
+    cell: &SweepCell,
+    idle_node_w: f64,
+) -> Result<ClusterReport, ClusterError> {
+    let point = &cell.point;
+    let cluster_spec = ClusterSpec {
+        nodes: point.nodes,
+        power_budget_w: budget_from_fraction(
+            point.nodes,
+            idle_node_w,
+            spec.max_node_w,
+            point.budget_fraction,
+        ),
+        workload: (spec.workload)(point.nodes),
+        seed: point.seed,
+    };
+    let mut policy = policy_by_name(&point.policy, model)?;
+    simulate(&cluster_spec, model, policy.as_mut())
+}
+
+/// Executes every cell of `spec` against the shared `model` on `jobs`
+/// worker threads (1 = in-line serial execution, no pool).
+///
+/// `on_cell(outcome, done, total)` streams results in *completion* order as
+/// they arrive — progress narration, incremental CSV rows. The returned
+/// [`SweepRun`] is always sorted by cell index, so anything rendered from
+/// it is bit-identical across worker counts; pair with
+/// `actor_core::report::StreamingReporter` for the presentation side.
+///
+/// The model is `Arc`-shared immutably: one ANN training pass serves every
+/// cell, and each cell constructs its own policy (policies are stateful)
+/// from the shared decision tables.
+///
+/// Budgets are priced against the idle floor of the node machine the
+/// cluster simulation instantiates (`Machine::xeon_qx6600`, the one
+/// machine [`Cluster::new`](crate::cluster::Cluster::new) builds nodes
+/// from) — the same source the pre-engine bins used; generalising the node
+/// machine is a ROADMAP item and must change both places together.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    model: &Arc<WorkloadModel>,
+    jobs: usize,
+    mut on_cell: impl FnMut(&SweepCellOutcome, usize, usize),
+) -> Result<SweepRun, SweepError> {
+    spec.validate()?;
+    let cells = spec.expand();
+    let total = cells.len();
+    let idle_node_w = Machine::xeon_qx6600().params().power.system_idle_w;
+    let started = Instant::now();
+
+    let mut outcomes: Vec<SweepCellOutcome> = Vec::with_capacity(total);
+    let mut failures: Vec<(SweepCell, ClusterError)> = Vec::new();
+
+    if jobs <= 1 {
+        for cell in cells {
+            // Same panic semantics as the pooled path: a panicking cell is
+            // contained and surfaced as WorkerPanicked, not an unwind
+            // through the caller.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_cell(model, spec, &cell, idle_node_w)
+            }));
+            match result {
+                Ok(Ok(report)) => {
+                    let outcome = SweepCellOutcome { cell, report };
+                    on_cell(&outcome, outcomes.len() + 1, total);
+                    outcomes.push(outcome);
+                }
+                Ok(Err(e)) => failures.push((cell, e)),
+                Err(payload) => {
+                    return Err(SweepError::Pool(RtError::WorkerPanicked {
+                        message: format!(
+                            "sweep cell {} panicked: {}",
+                            cell.index,
+                            phase_rt::pool::panic_message(payload.as_ref())
+                        ),
+                    }))
+                }
+            }
+        }
+    } else {
+        let pool = ThreadPool::new(jobs)?;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let shared_spec = Arc::new(spec.clone());
+        for cell in cells {
+            let model = Arc::clone(model);
+            let spec = Arc::clone(&shared_spec);
+            let tx = tx.clone();
+            pool.execute(move || {
+                let result = run_cell(&model, &spec, &cell, idle_node_w);
+                // A send failure means the join loop is gone; nothing to do.
+                let _ = tx.send((cell, result));
+            })?;
+        }
+        // The join loop holds no sender: when every job has sent (or
+        // panicked, dropping its sender mid-unwind), the channel
+        // disconnects and `recv` returns Err instead of hanging.
+        drop(tx);
+        let mut done = 0usize;
+        while let Ok((cell, result)) = rx.recv() {
+            done += 1;
+            match result {
+                Ok(report) => {
+                    let outcome = SweepCellOutcome { cell, report };
+                    on_cell(&outcome, done, total);
+                    outcomes.push(outcome);
+                }
+                Err(e) => failures.push((cell, e)),
+            }
+        }
+        pool.wait_idle();
+        if pool.panicked() > 0 {
+            return Err(SweepError::Pool(RtError::WorkerPanicked {
+                message: format!(
+                    "{} sweep cell(s) panicked; last: {}",
+                    pool.panicked(),
+                    pool.last_panic().unwrap_or_else(|| "unknown".into())
+                ),
+            }));
+        }
+    }
+
+    if let Some((cell, source)) = failures.into_iter().min_by_key(|(cell, _)| cell.index) {
+        return Err(SweepError::Cell { cell: Box::new(cell), source });
+    }
+    outcomes.sort_by_key(|o| o.cell.index);
+    Ok(SweepRun { outcomes, jobs: jobs.max(1), wall_clock_s: started.elapsed().as_secs_f64() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_order_is_the_historical_nested_loop() {
+        let spec = SweepSpec {
+            nodes: vec![2, 4],
+            budgets: vec![("tight".into(), 0.45), ("ample".into(), 1.0)],
+            policies: vec!["fcfs".into(), "power-aware".into()],
+            seeds: vec![1, 2],
+            extra: vec![SweepPoint {
+                nodes: 8,
+                budget_label: "odd".into(),
+                budget_fraction: 0.6,
+                policy: "backfill".into(),
+                seed: 99,
+            }],
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.len(), 17);
+        assert!(!spec.is_empty());
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 17);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+        // nodes is the outermost axis, seeds the innermost.
+        assert_eq!((cells[0].point.nodes, cells[0].point.seed), (2, 1));
+        assert_eq!((cells[1].point.nodes, cells[1].point.seed), (2, 2));
+        assert_eq!(cells[2].point.policy, "power-aware");
+        assert_eq!(cells[4].point.budget_label, "ample");
+        assert_eq!(cells[8].point.nodes, 4);
+        assert_eq!(cells[16].point.budget_label, "odd");
+    }
+
+    #[test]
+    fn validation_rejects_bad_grids() {
+        let ok = SweepSpec::power_cap_default(true);
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.policies.len(), 5);
+
+        let empty = SweepSpec { nodes: vec![], ..ok.clone() };
+        assert!(matches!(empty.validate(), Err(SweepError::InvalidGrid { .. })));
+        let bad_policy = SweepSpec { policies: vec!["lottery".into()], ..ok.clone() };
+        let err = bad_policy.validate().unwrap_err();
+        assert!(err.to_string().contains("power-aware-coordinated"), "{err}");
+        let bad_fraction = SweepSpec { budgets: vec![("x".into(), 1.5)], ..ok.clone() };
+        assert!(bad_fraction.validate().is_err());
+        let zero_nodes = SweepSpec { nodes: vec![0], ..ok };
+        assert!(zero_nodes.validate().is_err());
+    }
+
+    #[test]
+    fn grid_parsing_overrides_axes() {
+        let spec = SweepSpec::power_cap_default(false)
+            .with_grid("nodes=2,8;budgets=t:0.5,a:1.0;policies=fcfs,power-aware;seeds=1..4,9")
+            .unwrap();
+        assert_eq!(spec.nodes, vec![2, 8]);
+        assert_eq!(spec.budgets, vec![("t".into(), 0.5), ("a".into(), 1.0)]);
+        assert_eq!(spec.policies, vec!["fcfs".to_string(), "power-aware".into()]);
+        assert_eq!(spec.seeds, vec![1, 2, 3, 9]);
+
+        // dvfs rewrites the policy axis through dvfs_axis.
+        let both = SweepSpec::power_cap_default(false)
+            .with_grid("policies=fcfs,power-aware;dvfs=both")
+            .unwrap();
+        assert_eq!(
+            both.policies,
+            vec!["fcfs".to_string(), "power-aware".into(), "power-aware-dvfs".into()]
+        );
+
+        for bad in [
+            "nodes=two",
+            "budgets=0.5",
+            "seeds=5..5",
+            "dvfs=sideways",
+            "warp=9",
+            "policies=lottery",
+            "noequals",
+        ] {
+            assert!(
+                SweepSpec::power_cap_default(false).with_grid(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn dvfs_axis_expands_without_duplicates() {
+        let base = ["fcfs", "power-aware"];
+        assert_eq!(SweepSpec::dvfs_axis(&base, &[false]), vec!["fcfs", "power-aware"]);
+        assert_eq!(SweepSpec::dvfs_axis(&base, &[true]), vec!["power-aware-dvfs"]);
+        assert_eq!(
+            SweepSpec::dvfs_axis(&base, &[false, true]),
+            vec!["fcfs", "power-aware", "power-aware-dvfs"]
+        );
+    }
+
+    #[test]
+    fn workload_shapes_match_the_historical_rule() {
+        for nodes in [1, 2, 4, 8, 16] {
+            let w = default_workload(nodes);
+            assert_eq!(w.num_jobs, 8 * nodes.max(3));
+            assert!((w.mean_interarrival_s - 12.0 / nodes as f64).abs() < 1e-12);
+            let widest = *w.node_counts.iter().max().unwrap();
+            assert!(widest <= nodes.max(1), "width must fit the cluster");
+            let light = light_workload(nodes);
+            assert!(light.num_jobs <= 16 && light.num_jobs >= 4);
+            assert_eq!(light.node_counts, w.node_counts);
+        }
+    }
+}

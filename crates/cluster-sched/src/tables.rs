@@ -53,9 +53,11 @@ pub fn job_table(report: &ClusterReport) -> Table {
     table
 }
 
-/// Cluster-level comparison table: one row per run.
-pub fn cluster_summary_table(reports: &[ClusterReport]) -> Table {
-    let mut table = Table::new(vec![
+/// Column headers of the cluster-level comparison table — shared by
+/// [`cluster_summary_table`] and streaming producers
+/// (`actor_core::report::StreamingReporter`) so both render identically.
+pub fn cluster_summary_headers() -> Vec<&'static str> {
+    vec![
         "policy",
         "nodes",
         "budget W",
@@ -69,23 +71,34 @@ pub fn cluster_summary_table(reports: &[ClusterReport]) -> Table {
         "misses",
         "throttled %",
         "cap viol",
-    ]);
+    ]
+}
+
+/// One run's row of the cluster-level comparison table (the one definition
+/// of the row format; [`cluster_summary_table`] delegates here).
+pub fn cluster_summary_row(r: &ClusterReport) -> Vec<String> {
+    vec![
+        r.policy.clone(),
+        r.nodes.to_string(),
+        fmt3(r.power_budget_w),
+        r.outcomes.len().to_string(),
+        fmt3(r.makespan_s),
+        fmt3(r.total_energy_j / 1e3),
+        fmt3(r.total_energy_j / r.makespan_s.max(1e-12)),
+        fmt3(r.peak_power_w),
+        fmt3(r.cluster_ed2() / 1e6),
+        fmt3(r.avg_wait_s()),
+        r.deadline_misses().to_string(),
+        fmt3(r.throttle_fraction() * 100.0),
+        r.cap_violations.to_string(),
+    ]
+}
+
+/// Cluster-level comparison table: one row per run.
+pub fn cluster_summary_table(reports: &[ClusterReport]) -> Table {
+    let mut table = Table::new(cluster_summary_headers());
     for r in reports {
-        table.push_row(vec![
-            r.policy.clone(),
-            r.nodes.to_string(),
-            fmt3(r.power_budget_w),
-            r.outcomes.len().to_string(),
-            fmt3(r.makespan_s),
-            fmt3(r.total_energy_j / 1e3),
-            fmt3(r.total_energy_j / r.makespan_s.max(1e-12)),
-            fmt3(r.peak_power_w),
-            fmt3(r.cluster_ed2() / 1e6),
-            fmt3(r.avg_wait_s()),
-            r.deadline_misses().to_string(),
-            fmt3(r.throttle_fraction() * 100.0),
-            r.cap_violations.to_string(),
-        ]);
+        table.push_row(cluster_summary_row(r));
     }
     table
 }

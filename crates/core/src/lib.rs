@@ -85,7 +85,7 @@ pub use evaluation::{
 };
 pub use oracle::{global_optimal, phase_optimal};
 pub use predictor::{AnnPredictor, IpcPredictor};
-pub use report::{NullReporter, Reporter, StdoutReporter, Table};
+pub use report::{NullReporter, Reporter, StdoutReporter, StreamingReporter, Table};
 pub use runtime::{ActorRuntime, BackendSampler, CounterSampler, CounterWindow, ThrottleMode};
 pub use sampling::{sample_phase, SamplingPlan};
 pub use scalability::{phase_ipc_study, scalability_report, PhaseIpcRow, ScalabilityReport};

@@ -140,6 +140,87 @@ impl Reporter for NullReporter {
     fn artifact(&mut self, _filename: &str, _contents: &str) {}
 }
 
+/// Streams out-of-order results into a deterministic, ordered final report.
+///
+/// Concurrent producers (the cluster sweep engine's worker pool) finish
+/// cells in whatever order the scheduler dictates. This adapter accepts
+/// `(index, row)` pairs as they arrive, emits an incremental progress note
+/// through the wrapped [`Reporter`] for liveness, and on [`finish`] sorts
+/// the rows by index and reports the final table — so the persisted
+/// CSV/JSON artefact is bit-identical regardless of worker count or
+/// completion order.
+///
+/// [`finish`]: StreamingReporter::finish
+pub struct StreamingReporter {
+    inner: Box<dyn Reporter>,
+    name: String,
+    heading: String,
+    headers: Vec<String>,
+    rows: Vec<(usize, Vec<String>)>,
+    expected: usize,
+    /// Emit a progress note every this many rows (and always on the last).
+    progress_stride: usize,
+}
+
+impl StreamingReporter {
+    /// Streams `expected` rows into a table called `name` with the given
+    /// column headers, narrating progress through `inner`.
+    pub fn new<S: Into<String>>(
+        inner: Box<dyn Reporter>,
+        name: &str,
+        heading: &str,
+        headers: Vec<S>,
+        expected: usize,
+    ) -> Self {
+        Self {
+            inner,
+            name: name.to_string(),
+            heading: heading.to_string(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::with_capacity(expected),
+            expected,
+            // ~20 progress lines per run regardless of scale.
+            progress_stride: (expected / 20).max(1),
+        }
+    }
+
+    /// Number of rows received so far.
+    pub fn received(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Accepts one result row. `index` is the row's position in the
+    /// deterministic cell order; arrival order is irrelevant.
+    pub fn row<S: Into<String>>(&mut self, index: usize, row: Vec<S>) {
+        self.rows.push((index, row.into_iter().map(Into::into).collect()));
+        let done = self.rows.len();
+        if done.is_multiple_of(self.progress_stride) || done == self.expected {
+            self.inner.note(&format!("[{}] {done}/{} cells done", self.name, self.expected));
+        }
+    }
+
+    /// Sorts the received rows by index, reports the final table through the
+    /// wrapped reporter, and hands the reporter back for further output.
+    /// Panics if two rows claimed the same index — a producer bug that would
+    /// otherwise silently scramble the deterministic order.
+    pub fn finish(mut self) -> Box<dyn Reporter> {
+        self.rows.sort_by_key(|(index, _)| *index);
+        for pair in self.rows.windows(2) {
+            assert!(
+                pair[0].0 != pair[1].0,
+                "two streamed rows claimed cell index {} — duplicate producer",
+                pair[0].0
+            );
+        }
+        let mut table = Table::new(self.headers);
+        for (_, row) in self.rows {
+            table.push_row(row);
+        }
+        self.inner.table(&self.name, &self.heading, &table);
+        self.inner
+    }
+}
+
 /// Formats a float with 3 significant decimals for table cells.
 pub fn fmt3(v: f64) -> String {
     format!("{v:.3}")
@@ -196,6 +277,75 @@ mod tests {
     fn formatters() {
         assert_eq!(fmt3(1.23456), "1.235");
         assert_eq!(fmt_pct(0.0651), "6.5%");
+    }
+
+    use std::sync::{Arc, Mutex};
+
+    /// Captures table CSVs and notes behind shared handles, so tests can
+    /// inspect what a `Box<dyn Reporter>` received after it is consumed.
+    #[derive(Default, Clone)]
+    struct CaptureReporter {
+        tables: Arc<Mutex<Vec<(String, String)>>>,
+        notes: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl Reporter for CaptureReporter {
+        fn table(&mut self, name: &str, _heading: &str, table: &Table) {
+            self.tables.lock().unwrap().push((name.to_string(), table.to_csv()));
+        }
+        fn note(&mut self, line: &str) {
+            self.notes.lock().unwrap().push(line.to_string());
+        }
+        fn artifact(&mut self, _filename: &str, _contents: &str) {}
+    }
+
+    #[test]
+    fn streaming_reporter_orders_rows_deterministically() {
+        let csv_of = |arrival_order: &[usize]| {
+            let capture = CaptureReporter::default();
+            let mut streaming = StreamingReporter::new(
+                Box::new(capture.clone()),
+                "sweep",
+                "a sweep",
+                vec!["idx", "value"],
+                arrival_order.len(),
+            );
+            for &i in arrival_order {
+                streaming.row(i, vec![i.to_string(), format!("v{i}")]);
+            }
+            assert_eq!(streaming.received(), arrival_order.len());
+            let _ = streaming.finish();
+            let tables = capture.tables.lock().unwrap();
+            assert_eq!(tables.len(), 1);
+            assert_eq!(tables[0].0, "sweep");
+            tables[0].1.clone()
+        };
+        // Shuffled completion order produces the identical final table.
+        assert_eq!(csv_of(&[2, 0, 3, 1]), csv_of(&[0, 1, 2, 3]));
+        assert!(csv_of(&[1, 0]).starts_with("idx,value\n0,v0\n1,v1\n"));
+    }
+
+    #[test]
+    fn streaming_reporter_notes_progress() {
+        let capture = CaptureReporter::default();
+        let mut streaming =
+            StreamingReporter::new(Box::new(capture.clone()), "s", "h", vec!["i"], 40);
+        for i in 0..40 {
+            streaming.row(i, vec![i.to_string()]);
+        }
+        let _ = streaming.finish();
+        let notes = capture.notes.lock().unwrap();
+        assert_eq!(notes.len(), 20, "one progress note per stride");
+        assert!(notes.last().unwrap().contains("40/40"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate producer")]
+    fn streaming_reporter_rejects_duplicate_indices() {
+        let mut streaming = StreamingReporter::new(Box::new(NullReporter), "s", "h", vec!["i"], 2);
+        streaming.row(1, vec!["a"]);
+        streaming.row(1, vec!["b"]);
+        let _ = streaming.finish();
     }
 
     #[test]

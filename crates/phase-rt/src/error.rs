@@ -41,6 +41,13 @@ pub enum RtError {
         /// Number of steps in the ladder.
         ladder_len: usize,
     },
+    /// A pool job panicked. The worker thread survives (the pool catches the
+    /// unwind at the job boundary, so the pending-count/idle protocol stays
+    /// sound) and the panic is surfaced to whoever joins the job's result.
+    WorkerPanicked {
+        /// The panic payload, if it was a string (the common case).
+        message: String,
+    },
 }
 
 impl fmt::Display for RtError {
@@ -60,6 +67,9 @@ impl fmt::Display for RtError {
             RtError::InvalidChunk { chunk } => write!(f, "invalid chunk size {chunk}"),
             RtError::InvalidFreqStep { step, ladder_len } => {
                 write!(f, "DVFS step {step} out of range (ladder has {ladder_len} steps)")
+            }
+            RtError::WorkerPanicked { message } => {
+                write!(f, "pool job panicked: {message}")
             }
         }
     }
@@ -81,5 +91,7 @@ mod tests {
         assert!(RtError::InvalidChunk { chunk: 0 }.to_string().contains("0"));
         let e = RtError::InvalidFreqStep { step: 4, ladder_len: 4 };
         assert!(e.to_string().contains("step 4") && e.to_string().contains("4 steps"));
+        let e = RtError::WorkerPanicked { message: "boom".into() };
+        assert!(e.to_string().contains("panicked") && e.to_string().contains("boom"));
     }
 }

@@ -44,7 +44,7 @@ pub mod team;
 pub use affinity::{Binding, FreqStep, MachineShape};
 pub use barrier::SpinBarrier;
 pub use error::RtError;
-pub use pool::ThreadPool;
+pub use pool::{JobHandle, ThreadPool};
 pub use region::{PhaseId, RegionEvent, RegionListener};
 pub use schedule::{ChunkQueue, LoopSchedule};
 pub use stats::{PhaseStats, RuntimeStats};
@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::affinity::{Binding, FreqStep, MachineShape};
     pub use crate::barrier::SpinBarrier;
     pub use crate::error::RtError;
-    pub use crate::pool::ThreadPool;
+    pub use crate::pool::{JobHandle, ThreadPool};
     pub use crate::region::{PhaseId, RegionEvent, RegionListener};
     pub use crate::schedule::{ChunkQueue, LoopSchedule};
     pub use crate::stats::{PhaseStats, RuntimeStats};

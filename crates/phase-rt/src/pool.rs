@@ -6,11 +6,12 @@
 //! shutdown protocol; jobs are `'static` closures (the fork-join, borrowing
 //! path for parallel regions lives in [`crate::team`]).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::RtError;
@@ -19,8 +20,67 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
     pending: AtomicUsize,
+    panicked: AtomicUsize,
+    last_panic: Mutex<Option<String>>,
     idle_cv: Condvar,
     idle_mutex: Mutex<()>,
+}
+
+/// Renders a panic payload for error reporting (panics usually carry a
+/// `&str` or `String` message). Public so pool clients (e.g. the cluster
+/// sweep engine) report caught panics the same way the pool does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Handle to the result of one [`ThreadPool::submit`]ted job.
+///
+/// [`JobHandle::join`] blocks until the job finishes and returns its value;
+/// a job that panicked yields [`RtError::WorkerPanicked`] with the panic
+/// message instead of poisoning the pool.
+pub struct JobHandle<T> {
+    rx: Receiver<Result<T, String>>,
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T> JobHandle<T> {
+    /// Blocks until the job completes; a panicking job surfaces as
+    /// [`RtError::WorkerPanicked`].
+    pub fn join(self) -> Result<T, RtError> {
+        match self.rx.recv() {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(message)) => Err(RtError::WorkerPanicked { message }),
+            // The result sender was dropped without sending — only possible
+            // if the job never ran because the pool shut down first.
+            Err(_) => Err(RtError::PoolShutDown),
+        }
+    }
+
+    /// Non-blocking probe: `Some(result)` once the job has finished.
+    ///
+    /// The result is moved out of the handle on the first `Some`; probing
+    /// again after that returns `Some(Err(RtError::PoolShutDown))` (the
+    /// one-shot result channel is spent), so stop polling once a result
+    /// arrives.
+    pub fn try_join(&self) -> Option<Result<T, RtError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(value)) => Some(Ok(value)),
+            Ok(Err(message)) => Some(Err(RtError::WorkerPanicked { message })),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Some(Err(RtError::PoolShutDown)),
+        }
+    }
 }
 
 /// A fixed-size pool of background worker threads.
@@ -45,6 +105,8 @@ impl ThreadPool {
         let (sender, receiver) = unbounded::<Job>();
         let shared = Arc::new(Shared {
             pending: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            last_panic: Mutex::new(None),
             idle_cv: Condvar::new(),
             idle_mutex: Mutex::new(()),
         });
@@ -56,7 +118,14 @@ impl ThreadPool {
                 .name(format!("phase-rt-pool-{i}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        job();
+                        // Contain panics at the job boundary: an unwinding
+                        // job must not kill the worker (which would strand
+                        // queued jobs) or skip the pending-count decrement
+                        // (which would hang `wait_idle` forever).
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                            shared.panicked.fetch_add(1, Ordering::AcqRel);
+                            *shared.last_panic.lock() = Some(panic_message(payload.as_ref()));
+                        }
                         if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                             let _guard = shared.idle_mutex.lock();
                             shared.idle_cv.notify_all();
@@ -79,6 +148,18 @@ impl ThreadPool {
         self.shared.pending.load(Ordering::Acquire)
     }
 
+    /// Number of jobs that panicked since the pool was built. The workers
+    /// survive panicking jobs; callers that need the panic itself should use
+    /// [`Self::submit`] and [`JobHandle::join`].
+    pub fn panicked(&self) -> usize {
+        self.shared.panicked.load(Ordering::Acquire)
+    }
+
+    /// The most recent panicking job's message, if any job has panicked.
+    pub fn last_panic(&self) -> Option<String> {
+        self.shared.last_panic.lock().clone()
+    }
+
     /// Submits a job for asynchronous execution.
     pub fn execute<F>(&self, job: F) -> Result<(), RtError>
     where
@@ -94,6 +175,29 @@ impl ThreadPool {
             }
             None => Err(RtError::PoolShutDown),
         }
+    }
+
+    /// Submits a job and returns a [`JobHandle`] for its result — the
+    /// result-returning sibling of [`Self::execute`]. A panic inside the job
+    /// is caught at the job boundary and reported from [`JobHandle::join`]
+    /// as [`RtError::WorkerPanicked`] (and counted by [`Self::panicked`]).
+    pub fn submit<T, F>(&self, job: F) -> Result<JobHandle<T>, RtError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = unbounded::<Result<T, String>>();
+        self.execute(move || match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(value) => {
+                let _ = tx.send(Ok(value));
+            }
+            Err(payload) => {
+                let _ = tx.send(Err(panic_message(payload.as_ref())));
+                // Re-raise so the pool's own boundary accounting sees it too.
+                resume_unwind(payload);
+            }
+        })?;
+        Ok(JobHandle { rx })
     }
 
     /// Blocks until every submitted job has finished.
@@ -177,6 +281,66 @@ mod tests {
         assert_eq!(pool.execute(|| {}), Err(RtError::PoolShutDown));
         // Shutdown is idempotent.
         pool.shutdown();
+    }
+
+    #[test]
+    fn submit_returns_job_results() {
+        let pool = ThreadPool::new(2).unwrap();
+        let handles: Vec<_> = (0..10u64).map(|i| pool.submit(move || i * i).unwrap()).collect();
+        let squares: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<u64>>());
+        assert_eq!(pool.panicked(), 0);
+        assert_eq!(pool.last_panic(), None);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_poison_the_pool() {
+        // Regression: a panicking job used to unwind through the worker
+        // loop, killing the thread before the pending-count decrement —
+        // stranding queued jobs and hanging wait_idle forever.
+        let pool = ThreadPool::new(1).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("job 1 exploded")).unwrap();
+        // Queued behind the panicking job on the same single worker.
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 1, "the worker must survive the panic");
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.panicked(), 1);
+        assert!(pool.last_panic().unwrap().contains("job 1 exploded"));
+    }
+
+    #[test]
+    fn submitted_panics_surface_as_worker_panicked() {
+        let pool = ThreadPool::new(2).unwrap();
+        let ok = pool.submit(|| 7usize).unwrap();
+        let bad = pool.submit(|| -> usize { panic!("deliberate: {}", 6 * 7) }).unwrap();
+        assert_eq!(ok.join().unwrap(), 7);
+        match bad.join() {
+            Err(RtError::WorkerPanicked { message }) => {
+                assert!(message.contains("deliberate: 42"), "got {message:?}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The pool is still fully usable afterwards.
+        assert_eq!(pool.submit(|| 1 + 1).unwrap().join().unwrap(), 2);
+        // join() returns at the wrapper's send, which precedes the pool
+        // boundary's panic accounting — wait for the worker to finish the
+        // unwind before reading the counter.
+        pool.wait_idle();
+        assert_eq!(pool.panicked(), 1);
+    }
+
+    #[test]
+    fn try_join_reports_completion_without_blocking() {
+        let pool = ThreadPool::new(1).unwrap();
+        let handle = pool.submit(|| 5u8).unwrap();
+        pool.wait_idle();
+        assert_eq!(handle.try_join().unwrap().unwrap(), 5);
     }
 
     #[test]

@@ -71,8 +71,9 @@ pub mod prelude {
         ConformanceOptions, Metric, NullReporter, Reporter, StdoutReporter, Strategy, Table,
     };
     pub use cluster_sched::{
-        budget_from_fraction, cluster_summary_table, job_table, policy_by_name, simulate,
-        ClusterReport, ClusterSpec, PowerAwarePolicy, SchedulerPolicy, WorkloadModel, WorkloadSpec,
+        budget_from_fraction, cluster_summary_table, job_table, policy_by_name, run_sweep,
+        simulate, ClusterReport, ClusterSpec, PowerAwarePolicy, SchedulerPolicy, SweepCell,
+        SweepCellOutcome, SweepError, SweepPoint, SweepRun, SweepSpec, WorkloadModel, WorkloadSpec,
         POLICY_NAMES,
     };
     pub use npb_workloads::{benchmark, nas_suite, BenchmarkId, BenchmarkProfile};
