@@ -1,7 +1,8 @@
 //! `bench_check` — the CI bench-trajectory collector and regression gate.
 //!
 //! Reads the JSON artefacts the smoke bins just produced under `results/`
-//! (`cluster_sweep.json`, `coordinated_capping.json`, `fig_dvfs_dct.json`),
+//! (`cluster_sweep.json`, `coordinated_capping.json`, `decision_bench.json`,
+//! `fig_dvfs_dct.json`),
 //! collects their quantitative headlines into
 //! `results/BENCH_sweep.current.json` (uploaded by CI as the per-PR bench
 //! trajectory), and compares them against the committed baseline
@@ -123,6 +124,12 @@ fn collect() -> Trajectory {
         push("coordinated_vs_independent_tight_ed2_pct", tight);
     }
 
+    if let Some(bench) = load("decision_bench.json") {
+        push("decision_bench_decisions_per_sec", bench.get("decisions_per_sec").and_then(as_f64));
+        push("decision_bench_events_per_sec", bench.get("events_per_sec").and_then(as_f64));
+        push("decision_bench_wall_clock_s", bench.get("wall_clock_s").and_then(as_f64));
+    }
+
     if let Some(dvfs) = load("fig_dvfs_dct.json") {
         // Mean joint-vs-DCT ED² delta over the NPB suites under the cap.
         let mean = dvfs.get("joint_vs_dct_ed2_pct").and_then(|pairs| match pairs {
@@ -146,6 +153,18 @@ fn collect() -> Trajectory {
     }
 
     Trajectory { headlines }
+}
+
+/// The wall-clock companion that gates a per-second throughput headline:
+/// the rate is only meaningful once its measured section lasts ≥ 1 s.
+fn throughput_wall_key(key: &str) -> Option<&'static str> {
+    match key {
+        "sweep_cells_per_sec" => Some("sweep_wall_clock_s"),
+        "decision_bench_decisions_per_sec" | "decision_bench_events_per_sec" => {
+            Some("decision_bench_wall_clock_s")
+        }
+        _ => None,
+    }
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -175,8 +194,8 @@ fn check(current: &Trajectory, baseline: &Trajectory) -> Vec<String> {
                      tolerance {tolerance_pts})"
                 ));
             }
-        } else if key == "sweep_wall_clock_s" {
-            // The 1 s absolute grace keeps millisecond-scale smoke sweeps
+        } else if key.ends_with("_wall_clock_s") {
+            // The 1 s absolute grace keeps millisecond-scale smoke runs
             // from tripping on scheduler noise; what this catches is a
             // per-cell cost blowup (e.g. re-training the model per cell),
             // which blows through both bounds even on the smoke grid.
@@ -186,13 +205,13 @@ fn check(current: &Trajectory, baseline: &Trajectory) -> Vec<String> {
                     now / base
                 ));
             }
-        } else if key == "sweep_cells_per_sec" {
+        } else if let Some(wall_key) = throughput_wall_key(key) {
             // Throughput is noise below ~1 s of measured work; the
             // wall-clock gate above still catches pathological slowdowns.
-            let base_wall = baseline.get("sweep_wall_clock_s").unwrap_or(0.0);
+            let base_wall = baseline.get(wall_key).unwrap_or(0.0);
             if base_wall >= 1.0 && now < base / max_slowdown {
                 violations.push(format!(
-                    "{key} regressed {:.2}x ({base:.1} -> {now:.1} cells/s, allowed \
+                    "{key} regressed {:.2}x ({base:.1} -> {now:.1} per s, allowed \
                      {max_slowdown}x)",
                     base / now
                 ));

@@ -22,15 +22,17 @@
 //! (`power-aware-coordinated`, which redistributes the cluster budget
 //! across jobs at every event) to the sweep — the JSON then also reports
 //! the headline 8-node tight-budget ED² deltas of joint control vs
-//! DCT-only and of coordinated vs independent capping.
+//! DCT-only and of coordinated vs independent capping. Pass `--trace PATH`
+//! for JSONL telemetry: one record per controller decision, cluster event,
+//! completed sweep cell and progress note.
 
 use std::sync::Arc;
 
 use actor_bench::{FileReporter, Harness};
 use actor_core::report::{fmt3, StreamingReporter};
 use cluster_sched::{
-    budget_from_fraction, cluster_summary_headers, cluster_summary_row, job_table, run_sweep,
-    ClusterReport, SweepSpec,
+    budget_from_fraction, cluster_summary_headers, cluster_summary_row, job_table,
+    run_sweep_traced, ClusterReport, SweepSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -87,20 +89,29 @@ fn main() {
         cluster_summary_headers(),
         spec.len(),
     );
+    if let Some(sink) = harness.telemetry_sink() {
+        streaming = streaming.with_telemetry(sink);
+    }
     eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
-    let run = run_sweep(&spec, &model, jobs, |outcome, _done, _total| {
-        let (p, r) = (&outcome.cell.point, &outcome.report);
-        eprintln!(
-            "  {} nodes | {:<6} ({:.0} W) | {:<11} -> makespan {:.0} s, ED2 {:.3e} J.s2",
-            p.nodes,
-            p.budget_label,
-            r.power_budget_w,
-            p.policy,
-            r.makespan_s,
-            r.cluster_ed2(),
-        );
-        streaming.row(outcome.cell.index, cluster_summary_row(r));
-    })
+    let run = run_sweep_traced(
+        &spec,
+        &model,
+        jobs,
+        harness.telemetry_sink(),
+        |outcome, _done, _total| {
+            let (p, r) = (&outcome.cell.point, &outcome.report);
+            eprintln!(
+                "  {} nodes | {:<6} ({:.0} W) | {:<11} -> makespan {:.0} s, ED2 {:.3e} J.s2",
+                p.nodes,
+                p.budget_label,
+                r.power_budget_w,
+                p.policy,
+                r.makespan_s,
+                r.cluster_ed2(),
+            );
+            streaming.row(outcome.cell.index, cluster_summary_row(r));
+        },
+    )
     .unwrap_or_else(|e| panic!("sweep failed: {e}"));
     let mut reporter = streaming.finish();
     reporter.note(&format!(

@@ -20,13 +20,15 @@
 //!   `nodes=2,8;budgets=tight:0.45;policies=fcfs,power-aware;seeds=1..9`
 //!   (see `SweepSpec::with_grid`).
 //! * `--seed N` — ANN training seed (workload seeds are a grid axis).
+//! * `--trace PATH` — JSONL telemetry: one record per controller decision,
+//!   cluster event, completed sweep cell and progress note.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use actor_bench::{FileReporter, Harness};
 use actor_core::report::{fmt3, StreamingReporter, Table};
-use cluster_sched::{light_workload, run_sweep, SweepRun, SweepSpec};
+use cluster_sched::{light_workload, run_sweep_traced, SweepRun, SweepSpec};
 use serde::{Deserialize, Serialize};
 
 /// One compact cell record (the full `ClusterReport`s would make a
@@ -157,8 +159,11 @@ fn main() {
         headers,
         spec.len(),
     );
+    if let Some(sink) = harness.telemetry_sink() {
+        streaming = streaming.with_telemetry(sink);
+    }
     eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
-    let run = run_sweep(&spec, &model, jobs, |outcome, _done, _total| {
+    let run = run_sweep_traced(&spec, &model, jobs, harness.telemetry_sink(), |outcome, _, _| {
         let (p, r) = (&outcome.cell.point, &outcome.report);
         streaming.row(
             outcome.cell.index,

@@ -15,13 +15,15 @@
 //!
 //! Prints a per-budget table, notes the headline tight-budget delta, and
 //! writes the whole sweep as JSON to `results/coordinated_capping.json`.
-//! Pass `--fast` for the reduced ANN training configuration.
+//! Pass `--fast` for the reduced ANN training configuration, and
+//! `--trace PATH` for JSONL telemetry (one record per controller decision,
+//! cluster event and completed sweep cell).
 
 use std::sync::Arc;
 
 use actor_bench::Harness;
 use actor_core::report::{fmt3, Table};
-use cluster_sched::{run_sweep, ClusterReport, SweepSpec};
+use cluster_sched::{run_sweep_traced, ClusterReport, SweepSpec};
 use serde::{Deserialize, Serialize};
 
 const NODES: usize = 8;
@@ -65,17 +67,23 @@ fn main() {
 
     let spec = SweepSpec::coordinated_default();
     eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
-    let run = run_sweep(&spec, &model, jobs, |outcome, _done, _total| {
-        let (p, r) = (&outcome.cell.point, &outcome.report);
-        eprintln!(
-            "  {:<6} ({:.0} W) | {:<23} -> makespan {:.0} s, ED2 {:.3e} J.s2",
-            p.budget_label,
-            r.power_budget_w,
-            p.policy,
-            r.makespan_s,
-            r.cluster_ed2(),
-        );
-    })
+    let run = run_sweep_traced(
+        &spec,
+        &model,
+        jobs,
+        harness.telemetry_sink(),
+        |outcome, _done, _total| {
+            let (p, r) = (&outcome.cell.point, &outcome.report);
+            eprintln!(
+                "  {:<6} ({:.0} W) | {:<23} -> makespan {:.0} s, ED2 {:.3e} J.s2",
+                p.budget_label,
+                r.power_budget_w,
+                p.policy,
+                r.makespan_s,
+                r.cluster_ed2(),
+            );
+        },
+    )
     .unwrap_or_else(|e| panic!("sweep failed: {e}"));
     eprintln!(
         "sweep: {} cells in {:.1} s on {} worker thread(s) ({:.2} cells/s)",

@@ -1,0 +1,245 @@
+//! `decision_bench` — hot-path throughput headlines for the control plane
+//! and the cluster event loop (ROADMAP item 3: decisions/s and events/s at
+//! 64–256 simulated nodes).
+//!
+//! Two measured sections, both with the telemetry [`MetricsRegistry`]
+//! attached — the published numbers are the *instrumented* hot path, so a
+//! telemetry-cost regression shows up here too:
+//!
+//! 1. **Decisions/s** — a tight [`ControlPlane::decide`] loop over every
+//!    (benchmark, phase) of the ANN-trained workload model with full joint
+//!    DVFS+DCT candidate menus, cycling three per-phase power caps (just
+//!    above single-thread power, mid-range, and ample). Decide latency is
+//!    bucketed into the registry's `decision_latency_ns` histogram and its
+//!    p50/p95/p99 snapshot lands in the JSON artefact.
+//! 2. **Events/s** — full cluster simulations under the `power-aware`
+//!    policy at 64 nodes (`--fast`) or 64/128/256 nodes, with a light
+//!    workload of 4 jobs per node and a 0.7-fraction budget. Every traced
+//!    record (job arrival/start/completion, controller decision) counts as
+//!    an event.
+//!
+//! Writes `results/decision_bench.json`; `bench_check` collects
+//! `decision_bench_decisions_per_sec`, `decision_bench_events_per_sec` and
+//! `decision_bench_wall_clock_s` from it and gates them against the
+//! committed baseline. Flags: `--fast` (reduced ANN training + the small
+//! grid, CI runs this), `--seed N`, `--trace PATH` (JSONL telemetry fanned
+//! out alongside the registry).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use actor_bench::{FileReporter, Harness};
+use actor_core::control_plane::ControlPlane;
+use actor_core::controller::{CandidatePerf, DvfsSpace, JointPerf, PhaseSample};
+use actor_core::report::fmt3;
+use actor_core::telemetry::{FanoutSink, HistogramSnapshot, MetricsRegistry, SharedSink};
+use actor_core::Reporter;
+use cluster_sched::{
+    budget_from_fraction, policy_by_name, simulate_traced, ClusterSpec, WorkloadModel, WorkloadSpec,
+};
+use phase_rt::{MachineShape, PhaseId};
+use serde::Serialize;
+use xeon_sim::Machine;
+
+/// One pre-built decide case: a phase with its observation sample, DCT
+/// candidate menu, joint DVFS×DCT menu, and the three power caps to cycle.
+struct PhaseCase {
+    pid: PhaseId,
+    sample: PhaseSample,
+    candidates: Vec<CandidatePerf>,
+    joint: Vec<JointPerf>,
+    caps: [f64; 3],
+}
+
+fn phase_cases(model: &WorkloadModel) -> Vec<PhaseCase> {
+    let mut cases = Vec::new();
+    for id in model.benchmark_ids() {
+        let k = model.knowledge(id);
+        for (idx, phase) in k.phases.iter().enumerate() {
+            let candidates: Vec<CandidatePerf> = phase
+                .executions
+                .iter()
+                .map(|(config, exec)| CandidatePerf {
+                    config: *config,
+                    avg_power_w: Some(exec.avg_power_w),
+                })
+                .collect();
+            let powers: Vec<f64> = candidates.iter().filter_map(|c| c.avg_power_w).collect();
+            let lo = powers.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = powers.iter().copied().fold(0.0f64, f64::max);
+            cases.push(PhaseCase {
+                pid: model.phase_id(id, idx),
+                sample: phase.sample(),
+                candidates,
+                joint: phase.joint_candidates(),
+                // Tight-but-feasible, mid-range, and ample: the cap axis a
+                // node-share actually traverses as cluster headroom moves.
+                caps: [lo * 1.05, (lo + hi) / 2.0, hi + 10.0],
+            });
+        }
+    }
+    cases
+}
+
+/// Sum of every registry counter — the traced-event total.
+fn counter_total(registry: &MetricsRegistry) -> u64 {
+    registry.counters().iter().map(|(_, n)| *n).sum()
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct NodeRun {
+    nodes: usize,
+    jobs: usize,
+    power_budget_w: f64,
+    makespan_s: f64,
+    events: u64,
+    wall_clock_s: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct DecisionBenchOutput {
+    fast: bool,
+    decisions: u64,
+    decide_wall_clock_s: f64,
+    decisions_per_sec: f64,
+    node_runs: Vec<NodeRun>,
+    events: u64,
+    events_wall_clock_s: f64,
+    events_per_sec: f64,
+    /// Combined measured wall clock (both sections; model training
+    /// excluded) — the slowdown gate's denominator.
+    wall_clock_s: f64,
+    decision_latency_ns: Option<HistogramSnapshot>,
+    event_counts: Vec<(String, u64)>,
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let fast = harness.args.fast;
+    let exp = harness.experiment();
+
+    eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
+    let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink: SharedSink = match harness.telemetry_sink() {
+        Some(trace) => Arc::new(FanoutSink::new(vec![registry.clone() as SharedSink, trace])),
+        None => registry.clone(),
+    };
+
+    // Section 1: the tight decide loop.
+    let cases = phase_cases(&model);
+    let ladder = model.freq_ladder();
+    let mut plane = ControlPlane::new(model.decision_table(), MachineShape::quad_core())
+        .with_telemetry(sink.clone());
+    for case in &cases {
+        plane.observe(case.pid, &case.sample);
+    }
+    let target: u64 = if fast { 20_000 } else { 200_000 };
+    let mut decisions = 0u64;
+    eprintln!("decide loop: {} phase cases x 3 caps, {} decisions...", cases.len(), target);
+    let decide_started = Instant::now();
+    'decide: loop {
+        for case in &cases {
+            for &cap in &case.caps {
+                plane
+                    .decide(
+                        case.pid,
+                        &case.candidates,
+                        Some(DvfsSpace { ladder, joint: &case.joint }),
+                        Some(cap),
+                    )
+                    .unwrap_or_else(|v| panic!("{v}"));
+                decisions += 1;
+                if decisions >= target {
+                    break 'decide;
+                }
+            }
+        }
+    }
+    let decide_wall = decide_started.elapsed().as_secs_f64();
+    let decisions_per_sec = decisions as f64 / decide_wall.max(1e-9);
+
+    // Section 2: cluster event throughput at scale.
+    let idle_w = Machine::xeon_qx6600().params().power.system_idle_w;
+    let node_counts: &[usize] = if fast { &[64] } else { &[64, 128, 256] };
+    let mut node_runs = Vec::new();
+    let mut events_total = 0u64;
+    let mut events_wall = 0.0f64;
+    for &nodes in node_counts {
+        let spec = ClusterSpec {
+            nodes,
+            power_budget_w: budget_from_fraction(
+                nodes,
+                idle_w,
+                cluster_sched::sweep::DEFAULT_MAX_NODE_W,
+                0.7,
+            ),
+            workload: WorkloadSpec {
+                num_jobs: 4 * nodes,
+                mean_interarrival_s: 12.0 / nodes as f64,
+                node_counts: vec![1, 1, 2, 4],
+                ..Default::default()
+            },
+            seed: harness.args.seed.unwrap_or(2007),
+        };
+        let mut policy = policy_by_name("power-aware", &model).expect("built-in policy");
+        eprintln!("cluster loop: {nodes} nodes, {} jobs...", spec.workload.num_jobs);
+        let before = counter_total(&registry);
+        let started = Instant::now();
+        let report = simulate_traced(&spec, &model, policy.as_mut(), Some(sink.clone()))
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+        let wall = started.elapsed().as_secs_f64();
+        let events = counter_total(&registry) - before;
+        events_total += events;
+        events_wall += wall;
+        node_runs.push(NodeRun {
+            nodes,
+            jobs: spec.workload.num_jobs,
+            power_budget_w: spec.power_budget_w,
+            makespan_s: report.makespan_s,
+            events,
+            wall_clock_s: wall,
+        });
+    }
+    let events_per_sec = events_total as f64 / events_wall.max(1e-9);
+    sink.flush();
+
+    let output = DecisionBenchOutput {
+        fast,
+        decisions,
+        decide_wall_clock_s: decide_wall,
+        decisions_per_sec,
+        node_runs,
+        events: events_total,
+        events_wall_clock_s: events_wall,
+        events_per_sec,
+        wall_clock_s: decide_wall + events_wall,
+        decision_latency_ns: registry.histogram("decision_latency_ns"),
+        event_counts: registry.counters(),
+    };
+
+    let mut reporter = FileReporter::default();
+    reporter.note(&format!(
+        "decide: {decisions} decisions in {} s ({} decisions/s)",
+        fmt3(decide_wall),
+        fmt3(decisions_per_sec)
+    ));
+    reporter.note(&format!(
+        "cluster: {events_total} traced events in {} s ({} events/s) across {:?} nodes",
+        fmt3(events_wall),
+        fmt3(events_per_sec),
+        node_counts
+    ));
+    if let Some(snap) = &output.decision_latency_ns {
+        reporter.note(&format!(
+            "decide latency: p50 {} ns, p95 {} ns, p99 {} ns (n={})",
+            fmt3(snap.p50),
+            fmt3(snap.p95),
+            fmt3(snap.p99),
+            snap.count
+        ));
+    }
+    let json = serde_json::to_string_pretty(&output).expect("output serializes");
+    reporter.artifact("decision_bench.json", &json);
+}

@@ -39,60 +39,69 @@ pub struct BenchArgs {
     /// `coordinated_capping`) warn and ignore it — their headline tables
     /// assume the historical grid.
     pub grid: Option<String>,
+    /// `--trace PATH`: write one JSONL trace record per controller
+    /// decision / cluster event / sweep cell to `PATH` (see
+    /// `actor_core::telemetry::JsonlSink`). `None` = telemetry off.
+    pub trace: Option<String>,
 }
 
 impl BenchArgs {
-    /// Parses the process arguments (unknown flags are ignored, so binaries
-    /// can add their own).
+    /// Parses the process arguments. Unknown flags are ignored (binaries add
+    /// their own); a value-taking flag with a missing or unparseable value
+    /// is a hard error printed to stderr, exiting with status 2.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parses an explicit argument list (for tests). A `--seed` without a
-    /// parseable value warns and is ignored; it never swallows a following
-    /// flag.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    /// Parses an explicit argument list, erroring loudly on a value-taking
+    /// flag (`--seed`, `--jobs`, `--grid`, `--trace`) whose value is
+    /// missing, starts with `--`, or does not parse — a missing value must
+    /// never silently swallow the next flag.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        fn value_of<I: Iterator<Item = String>>(
+            flag: &str,
+            args: &mut std::iter::Peekable<I>,
+        ) -> Result<String, String> {
+            match args.peek() {
+                Some(v) if !v.starts_with("--") => Ok(args.next().expect("just peeked")),
+                _ => Err(format!("{flag} requires a value")),
+            }
+        }
         let mut out = Self::default();
         let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--fast" => out.fast = true,
                 "--scalability-only" => out.scalability_only = true,
-                "--seed" => match args.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = args.next().expect("just peeked");
-                        match v.parse() {
-                            Ok(seed) => out.seed = Some(seed),
-                            Err(_) => eprintln!(
-                                "warning: ignoring unparseable --seed value {v:?} (expected u64)"
-                            ),
-                        }
+                "--seed" => {
+                    let v = value_of("--seed", &mut args)?;
+                    out.seed = Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid --seed value {v:?} (expected u64)"))?,
+                    );
+                }
+                "--jobs" => {
+                    let v = value_of("--jobs", &mut args)?;
+                    let jobs: usize = v.parse().map_err(|_| {
+                        format!("invalid --jobs value {v:?} (expected a positive integer)")
+                    })?;
+                    if jobs == 0 {
+                        return Err("invalid --jobs value 0 (expected a positive integer)".into());
                     }
-                    _ => eprintln!("warning: --seed requires a value; using the config seed"),
-                },
-                "--jobs" => match args.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = args.next().expect("just peeked");
-                        match v.parse() {
-                            Ok(jobs) if jobs > 0 => out.jobs = Some(jobs),
-                            _ => eprintln!(
-                                "warning: ignoring unparseable --jobs value {v:?} (expected a \
-                                 positive integer)"
-                            ),
-                        }
-                    }
-                    _ => eprintln!("warning: --jobs requires a value; auto-detecting"),
-                },
-                "--grid" => match args.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        out.grid = Some(args.next().expect("just peeked"));
-                    }
-                    _ => eprintln!("warning: --grid requires a value; using the default grid"),
-                },
+                    out.jobs = Some(jobs);
+                }
+                "--grid" => out.grid = Some(value_of("--grid", &mut args)?),
+                "--trace" => out.trace = Some(value_of("--trace", &mut args)?),
                 _ => {}
             }
         }
-        out
+        Ok(out)
     }
 
     /// Worker threads for sweep execution: the `--jobs` override, or the
@@ -169,24 +178,64 @@ impl Reporter for FileReporter {
 }
 
 /// Argument parsing + experiment construction for one figure binary.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Harness {
     /// The parsed arguments.
     pub args: BenchArgs,
+    /// The `--trace` JSONL sink, opened once at startup (so repeated
+    /// [`Harness::builder`] calls append to one trace, not truncate it).
+    trace_sink: Option<actor_core::telemetry::SharedSink>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("args", &self.args)
+            .field("trace_sink", &self.trace_sink.is_some())
+            .finish()
+    }
 }
 
 impl Harness {
-    /// Parses the process arguments.
+    /// Parses the process arguments and, under `--trace PATH`, opens the
+    /// trace file (exiting with status 2 if it cannot be created — a
+    /// requested trace must never be silently dropped).
     pub fn from_env() -> Self {
-        Self { args: BenchArgs::from_env() }
+        Self::from_args(BenchArgs::from_env())
+    }
+
+    /// Builds a harness from already-parsed arguments.
+    pub fn from_args(args: BenchArgs) -> Self {
+        let trace_sink = args.trace.as_deref().map(|path| {
+            match actor_core::telemetry::JsonlSink::create(path) {
+                Ok(sink) => std::sync::Arc::new(sink) as actor_core::telemetry::SharedSink,
+                Err(e) => {
+                    eprintln!("error: cannot create --trace file {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        });
+        Self { args, trace_sink }
+    }
+
+    /// The `--trace` sink, if one was requested — cluster bins pass it to
+    /// `run_sweep_traced`/`simulate_traced` so their sweeps share the
+    /// experiment's trace file.
+    pub fn telemetry_sink(&self) -> Option<actor_core::telemetry::SharedSink> {
+        self.trace_sink.clone()
     }
 
     /// An [`ExperimentBuilder`] pre-loaded with the paper machine, the
-    /// argument-selected configuration and the standard file reporter.
+    /// argument-selected configuration, the standard file reporter, and the
+    /// `--trace` sink when one was requested.
     pub fn builder(&self) -> ExperimentBuilder {
-        ExperimentBuilder::new()
+        let mut builder = ExperimentBuilder::new()
             .config(self.args.config())
-            .reporter(Box::new(FileReporter::default()))
+            .reporter(Box::new(FileReporter::default()));
+        if let Some(sink) = &self.trace_sink {
+            builder = builder.telemetry(sink.clone());
+        }
+        builder
     }
 
     /// The default experiment (full NAS suite on the paper machine); panics
@@ -201,11 +250,13 @@ impl Harness {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn args_parse_known_flags_and_ignore_unknown_ones() {
-        let args = BenchArgs::parse(
-            ["--fast", "--whatever", "--seed", "99", "--scalability-only"].map(String::from),
-        );
+        let args = parse(&["--fast", "--whatever", "--seed", "99", "--scalability-only"]).unwrap();
         assert!(args.fast && args.scalability_only);
         assert_eq!(args.seed, Some(99));
         assert_eq!(args.jobs, None);
@@ -214,45 +265,87 @@ mod tests {
         assert_eq!(config.seed, 99);
         assert_eq!(config.predictor.folds, ActorConfig::fast().predictor.folds);
 
-        let defaults = BenchArgs::parse([]);
+        let defaults = parse(&[]).unwrap();
         assert_eq!(defaults, BenchArgs::default());
         assert_eq!(defaults.config().seed, ActorConfig::default().seed);
     }
 
     #[test]
-    fn seed_never_swallows_a_following_flag() {
-        // `--seed --fast`: the missing value is reported, --fast still wins.
-        let args = BenchArgs::parse(["--seed", "--fast"].map(String::from));
-        assert_eq!(args.seed, None);
-        assert!(args.fast);
-
-        // Unparseable values are ignored, not silently mis-set.
-        let args = BenchArgs::parse(["--seed", "0x2A", "--fast"].map(String::from));
-        assert_eq!(args.seed, None);
-        assert!(args.fast);
-
-        // Trailing --seed with no value at all.
-        let args = BenchArgs::parse(["--fast", "--seed"].map(String::from));
-        assert_eq!(args.seed, None);
-        assert!(args.fast);
-    }
-
-    #[test]
-    fn jobs_and_grid_parse_without_swallowing_flags() {
-        let args =
-            BenchArgs::parse(["--jobs", "8", "--grid", "nodes=2,4;seeds=1..3"].map(String::from));
+    fn every_value_flag_parses_with_a_valid_value() {
+        let args = parse(&[
+            "--seed",
+            "7",
+            "--jobs",
+            "8",
+            "--grid",
+            "nodes=2,4;seeds=1..3",
+            "--trace",
+            "results/t.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(args.seed, Some(7));
         assert_eq!(args.jobs, Some(8));
         assert_eq!(args.jobs_or_auto(), 8);
         assert_eq!(args.grid.as_deref(), Some("nodes=2,4;seeds=1..3"));
+        assert_eq!(args.trace.as_deref(), Some("results/t.jsonl"));
+    }
 
-        // Missing or invalid values never swallow a following flag.
-        let args = BenchArgs::parse(["--jobs", "--fast"].map(String::from));
-        assert_eq!(args.jobs, None);
+    #[test]
+    fn missing_values_error_loudly_instead_of_swallowing_flags() {
+        // A following flag is never consumed as the value.
+        for flag in ["--seed", "--jobs", "--grid", "--trace"] {
+            let err = parse(&[flag, "--fast"]).unwrap_err();
+            assert_eq!(err, format!("{flag} requires a value"), "{flag}");
+            // Trailing flag with no value at all.
+            let err = parse(&["--fast", flag]).unwrap_err();
+            assert_eq!(err, format!("{flag} requires a value"), "{flag}");
+        }
+    }
+
+    #[test]
+    fn unparseable_values_error_loudly() {
+        let err = parse(&["--seed", "0x2A"]).unwrap_err();
+        assert!(err.contains("--seed") && err.contains("0x2A"), "{err}");
+        let err = parse(&["--jobs", "many"]).unwrap_err();
+        assert!(err.contains("--jobs") && err.contains("many"), "{err}");
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("--jobs") && err.contains('0'), "{err}");
+    }
+
+    #[test]
+    fn flag_combinations_compose() {
+        let args = parse(&["--fast", "--jobs", "2", "--trace", "t.jsonl", "--seed", "5"]).unwrap();
         assert!(args.fast);
-        let args = BenchArgs::parse(["--jobs", "0", "--grid", "--fast"].map(String::from));
-        assert_eq!(args.jobs, None);
-        assert_eq!(args.grid, None);
-        assert!(args.fast);
+        assert_eq!((args.jobs, args.seed), (Some(2), Some(5)));
+        assert_eq!(args.trace.as_deref(), Some("t.jsonl"));
+        // Order independence.
+        let swapped =
+            parse(&["--seed", "5", "--trace", "t.jsonl", "--jobs", "2", "--fast"]).unwrap();
+        assert_eq!(args, swapped);
+        // The error reports the *first* offending flag.
+        let err = parse(&["--seed", "bad", "--jobs"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn harness_opens_a_trace_sink_only_when_asked() {
+        let harness = Harness::from_args(parse(&["--fast"]).unwrap());
+        assert!(harness.telemetry_sink().is_none());
+        assert!(format!("{harness:?}").contains("trace_sink: false"));
+
+        let path = std::env::temp_dir().join("actor_bench_harness_trace.jsonl");
+        let mut args = parse(&["--fast"]).unwrap();
+        args.trace = Some(path.display().to_string());
+        let harness = Harness::from_args(args);
+        let sink = harness.telemetry_sink().expect("trace requested");
+        sink.record(&actor_core::telemetry::TraceEvent::Progress {
+            name: "t".into(),
+            done: 1,
+            expected: 1,
+        });
+        sink.flush();
+        assert_eq!(fs::read_to_string(&path).unwrap().lines().count(), 1);
+        let _ = fs::remove_file(path);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use actor_core::telemetry::{SharedSink, TraceEvent};
 use serde::{Deserialize, Serialize};
 use xeon_sim::Machine;
 
@@ -169,6 +170,9 @@ pub struct Cluster<'a> {
     spec: ClusterSpec,
     model: &'a WorkloadModel,
     nodes: Vec<Node>,
+    /// Attached sink: one record per arrival/start/completion event. `None`
+    /// keeps the event loop free of timestamps and record construction.
+    telemetry: Option<SharedSink>,
 }
 
 impl<'a> Cluster<'a> {
@@ -177,7 +181,17 @@ impl<'a> Cluster<'a> {
         let machine = Machine::xeon_qx6600();
         spec.validate(machine.params().power.system_idle_w)?;
         let nodes = (0..spec.nodes).map(|id| Node::new(id, machine.clone())).collect();
-        Ok(Self { spec, model, nodes })
+        Ok(Self { spec, model, nodes, telemetry: None })
+    }
+
+    /// Attaches a telemetry sink: [`Cluster::run`] then emits one
+    /// [`TraceEvent`] per job arrival, start and completion, and installs
+    /// the sink into the policy (so controller-driven policies trace their
+    /// planning decisions too).
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: SharedSink) -> Self {
+        self.telemetry = Some(sink);
+        self
     }
 
     /// Current instantaneous cluster draw (W).
@@ -187,6 +201,9 @@ impl<'a> Cluster<'a> {
 
     /// Runs the workload to completion under `policy`.
     pub fn run(&mut self, policy: &mut dyn SchedulerPolicy) -> Result<ClusterReport, ClusterError> {
+        if let Some(sink) = &self.telemetry {
+            policy.set_telemetry(sink.clone());
+        }
         let idle_node_w = self.nodes[0].idle_power_w();
         let jobs =
             self.spec.workload.generate(self.spec.seed, |id| self.model.four_core_time_s(id))?;
@@ -218,6 +235,14 @@ impl<'a> Cluster<'a> {
             for event in batch {
                 match event.kind {
                     EventKind::Arrival(job) => {
+                        if let Some(sink) = &self.telemetry {
+                            sink.record(&TraceEvent::JobArrival {
+                                time_s: now,
+                                job: job.id,
+                                benchmark: job.benchmark.to_string(),
+                                width: job.nodes,
+                            });
+                        }
                         queue.push(job);
                         // Priority first (descending), then arrival, then id.
                         queue.sort_by(|a, b| {
@@ -235,11 +260,20 @@ impl<'a> Cluster<'a> {
                             gang.push(node);
                         }
                         let run = runs.first().expect("completions have members").clone();
+                        let energy_j: f64 = runs.iter().map(|r| r.plan.energy_j).sum();
+                        if let Some(sink) = &self.telemetry {
+                            sink.record(&TraceEvent::JobCompletion {
+                                time_s: now,
+                                job: run.job.id,
+                                width: gang.len(),
+                                energy_j,
+                            });
+                        }
                         outcomes.push(JobOutcome {
                             job: run.job,
                             start_s: run.start_s,
                             finish_s: now,
-                            energy_j: runs.iter().map(|r| r.plan.energy_j).sum(),
+                            energy_j,
                             peak_power_w: runs.iter().map(|r| r.plan.peak_power_w).sum(),
                             decisions: run.plan.decisions,
                             nodes: gang,
@@ -306,6 +340,15 @@ impl<'a> Cluster<'a> {
                         continue;
                     }
                     let job = queue.remove(a.queue_idx);
+                    if let Some(sink) = &self.telemetry {
+                        sink.record(&TraceEvent::JobStart {
+                            time_s: now,
+                            job: job.id,
+                            width: k,
+                            node_peak_w: a.plan.peak_power_w,
+                            exec_time_s: a.plan.exec_time_s,
+                        });
+                    }
                     let mut finish = now;
                     for &node in &a.nodes {
                         finish = self.nodes[node].assign(job.clone(), a.plan.clone(), now);
@@ -353,5 +396,22 @@ pub fn simulate(
     model: &WorkloadModel,
     policy: &mut dyn SchedulerPolicy,
 ) -> Result<ClusterReport, ClusterError> {
-    Cluster::new(spec.clone(), model)?.run(policy)
+    simulate_traced(spec, model, policy, None)
+}
+
+/// [`simulate`] with an optional telemetry sink: `Some` traces every job
+/// arrival/start/completion (and, through the policy, every controller
+/// decision and budget redistribution); `None` is exactly [`simulate`].
+pub fn simulate_traced(
+    spec: &ClusterSpec,
+    model: &WorkloadModel,
+    policy: &mut dyn SchedulerPolicy,
+    telemetry: Option<SharedSink>,
+) -> Result<ClusterReport, ClusterError> {
+    let cluster = Cluster::new(spec.clone(), model)?;
+    match telemetry {
+        Some(sink) => cluster.with_telemetry(sink),
+        None => cluster,
+    }
+    .run(policy)
 }

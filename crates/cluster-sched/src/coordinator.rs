@@ -29,6 +29,7 @@
 
 use actor_core::control_plane::ControlPlane;
 use actor_core::controller::{DecisionTableController, PowerPerfController};
+use actor_core::telemetry::{SharedSink, TraceEvent};
 use phase_rt::MachineShape;
 
 use crate::error::SchedError;
@@ -80,7 +81,6 @@ struct OperatingPoint {
 /// startable jobs at every scheduling event. Generic over the
 /// decision-making controller exactly like the independent policies; the
 /// default is the workload model's ANN decision table.
-#[derive(Debug)]
 pub struct CapCoordinator<C: PowerPerfController = DecisionTableController> {
     plane: ControlPlane<C>,
     /// The controller's per-phase choices per (benchmark, probed cap).
@@ -96,6 +96,21 @@ pub struct CapCoordinator<C: PowerPerfController = DecisionTableController> {
     /// of re-enumerating (and re-allocating) every phase's joint cells at
     /// every scheduling event.
     cap_cache: HashMap<BenchmarkId, Vec<f64>>,
+    /// Attached sink: one [`TraceEvent::Redistribute`] per
+    /// [`CapCoordinator::redistribute`] call (latency in ns). `None` keeps
+    /// the redistribution loop timestamp- and allocation-free.
+    telemetry: Option<SharedSink>,
+}
+
+impl<C: PowerPerfController + std::fmt::Debug> std::fmt::Debug for CapCoordinator<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CapCoordinator")
+            .field("plane", &self.plane)
+            .field("choice_cache", &self.choice_cache.len())
+            .field("cap_cache", &self.cap_cache.len())
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
 }
 
 impl CapCoordinator<DecisionTableController> {
@@ -113,7 +128,16 @@ impl<C: PowerPerfController> CapCoordinator<C> {
             plane: ControlPlane::new(controller, MachineShape::quad_core()),
             choice_cache: HashMap::new(),
             cap_cache: HashMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink: every [`CapCoordinator::redistribute`]
+    /// emits one [`TraceEvent::Redistribute`], and the underlying control
+    /// plane traces each per-phase planning decision.
+    pub fn set_telemetry(&mut self, sink: Option<SharedSink>) {
+        self.plane.set_telemetry(sink.clone());
+        self.telemetry = sink;
     }
 
     /// The wrapped controller.
@@ -208,6 +232,8 @@ impl<C: PowerPerfController> CapCoordinator<C> {
     /// exceeding the observed headroom or a cap below the node idle floor is
     /// a typed [`SchedError`], never a panic.
     pub fn redistribute(&mut self, ctx: &SchedContext<'_>) -> Result<Vec<JobCap>, SchedError> {
+        // Timestamp only when traced: the untraced path stays identical.
+        let started = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let headroom_w = Self::observed_headroom_w(ctx);
         // Strict queue discipline on nodes: the startable set is the longest
         // queue prefix whose cumulative width fits the idle nodes.
@@ -222,6 +248,7 @@ impl<C: PowerPerfController> CapCoordinator<C> {
         }
 
         // Decide: menu per job, floor allocation, then greedy upgrades.
+        let startable_n = startable.len();
         let mut menus: Vec<(usize, usize, Vec<OperatingPoint>)> = Vec::new();
         for (queue_idx, job) in startable {
             let menu = self.upgrade_menu(ctx, job, headroom_w / job.nodes as f64 + ctx.node_idle_w);
@@ -283,6 +310,17 @@ impl<C: PowerPerfController> CapCoordinator<C> {
             })
             .collect();
         validate_caps(&caps, headroom_w, ctx.node_idle_w)?;
+        if let (Some(sink), Some(started)) = (&self.telemetry, started) {
+            sink.record(&TraceEvent::Redistribute {
+                time_s: ctx.now,
+                startable: startable_n,
+                admitted,
+                headroom_before_w: headroom_w,
+                headroom_after_w: headroom_w - spent_w,
+                upgrades: chosen.iter().sum(),
+                latency_ns: started.elapsed().as_nanos() as u64,
+            });
+        }
         Ok(caps)
     }
 }
@@ -364,6 +402,10 @@ impl<C: PowerPerfController> SchedulerPolicy for CoordinatedPowerPolicy<C> {
                 Vec::new()
             }
         }
+    }
+
+    fn set_telemetry(&mut self, sink: SharedSink) {
+        self.coordinator.set_telemetry(Some(sink));
     }
 }
 

@@ -45,7 +45,9 @@ pub mod profile;
 pub mod sweep;
 pub mod tables;
 
-pub use cluster::{budget_from_fraction, simulate, Cluster, ClusterReport, ClusterSpec};
+pub use cluster::{
+    budget_from_fraction, simulate, simulate_traced, Cluster, ClusterReport, ClusterSpec,
+};
 pub use coordinator::{validate_caps, CapCoordinator, CoordinatedPowerPolicy, JobCap};
 pub use error::{ClusterError, SchedError};
 pub use job::{Job, JobOutcome, WorkloadSpec};
@@ -56,7 +58,7 @@ pub use policy::{
 };
 pub use profile::{ExecutionPlan, WorkloadModel};
 pub use sweep::{
-    default_workload, light_workload, run_sweep, SweepCell, SweepCellOutcome, SweepError,
-    SweepPoint, SweepRun, SweepSpec,
+    default_workload, light_workload, run_sweep, run_sweep_traced, SweepCell, SweepCellOutcome,
+    SweepError, SweepPoint, SweepRun, SweepSpec,
 };
 pub use tables::{cluster_summary_headers, cluster_summary_row, cluster_summary_table, job_table};

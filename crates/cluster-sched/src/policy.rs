@@ -105,6 +105,15 @@ pub trait SchedulerPolicy {
     /// Chooses assignments for the current state. Called whenever an arrival
     /// or completion changes the state; must be deterministic.
     fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment>;
+
+    /// Attaches a telemetry sink. Policies that drive a
+    /// [`actor_core::ControlPlane`] install it there so their per-phase
+    /// planning decisions are traced; the default is a no-op (queue-order
+    /// policies make no controller decisions). Only called when the cluster
+    /// itself has a sink attached — telemetry-off runs never reach this.
+    fn set_telemetry(&mut self, sink: actor_core::telemetry::SharedSink) {
+        let _ = sink;
+    }
 }
 
 /// Every name [`policy_by_name`] accepts.
@@ -422,6 +431,10 @@ impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
         let plane = &mut self.plane;
         let dvfs = self.dvfs;
         assign_in_order(ctx, |job, node_cap| Some(plan_via_plane(plane, ctx, job, node_cap, dvfs)))
+    }
+
+    fn set_telemetry(&mut self, sink: actor_core::telemetry::SharedSink) {
+        self.plane.set_telemetry(Some(sink));
     }
 }
 

@@ -22,11 +22,12 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
+use actor_core::telemetry::{SharedSink, TraceEvent};
 use phase_rt::{RtError, ThreadPool};
 use serde::{Deserialize, Serialize};
 use xeon_sim::Machine;
 
-use crate::cluster::{budget_from_fraction, simulate, ClusterReport, ClusterSpec};
+use crate::cluster::{budget_from_fraction, simulate_traced, ClusterReport, ClusterSpec};
 use crate::error::ClusterError;
 use crate::job::WorkloadSpec;
 use crate::policy::{policy_by_name, POLICY_NAMES};
@@ -460,12 +461,28 @@ impl From<RtError> for SweepError {
     }
 }
 
+/// The per-cell trace record: the cell's grid coordinates plus the two
+/// headline results every downstream aggregation starts from.
+fn sweep_cell_event(outcome: &SweepCellOutcome) -> TraceEvent {
+    let point = &outcome.cell.point;
+    TraceEvent::SweepCell {
+        index: outcome.cell.index,
+        nodes: point.nodes,
+        budget: point.budget_label.clone(),
+        policy: point.policy.clone(),
+        seed: point.seed,
+        makespan_s: outcome.report.makespan_s,
+        total_energy_j: outcome.report.total_energy_j,
+    }
+}
+
 /// Runs one cell against the shared model.
 fn run_cell(
     model: &WorkloadModel,
     spec: &SweepSpec,
     cell: &SweepCell,
     idle_node_w: f64,
+    telemetry: Option<&SharedSink>,
 ) -> Result<ClusterReport, ClusterError> {
     let point = &cell.point;
     let cluster_spec = ClusterSpec {
@@ -480,7 +497,7 @@ fn run_cell(
         seed: point.seed,
     };
     let mut policy = policy_by_name(&point.policy, model)?;
-    simulate(&cluster_spec, model, policy.as_mut())
+    simulate_traced(&cluster_spec, model, policy.as_mut(), telemetry.cloned())
 }
 
 /// Executes every cell of `spec` against the shared `model` on `jobs`
@@ -505,6 +522,21 @@ pub fn run_sweep(
     spec: &SweepSpec,
     model: &Arc<WorkloadModel>,
     jobs: usize,
+    on_cell: impl FnMut(&SweepCellOutcome, usize, usize),
+) -> Result<SweepRun, SweepError> {
+    run_sweep_traced(spec, model, jobs, None, on_cell)
+}
+
+/// [`run_sweep`] with an optional telemetry sink: the sink is shared into
+/// every worker (cells trace their cluster events and controller decisions
+/// through it, concurrently) and one [`TraceEvent::SweepCell`] per
+/// completed cell is emitted from the single-threaded join side, in
+/// completion order. `None` is exactly [`run_sweep`].
+pub fn run_sweep_traced(
+    spec: &SweepSpec,
+    model: &Arc<WorkloadModel>,
+    jobs: usize,
+    telemetry: Option<SharedSink>,
     mut on_cell: impl FnMut(&SweepCellOutcome, usize, usize),
 ) -> Result<SweepRun, SweepError> {
     spec.validate()?;
@@ -522,11 +554,14 @@ pub fn run_sweep(
             // contained and surfaced as WorkerPanicked, not an unwind
             // through the caller.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_cell(model, spec, &cell, idle_node_w)
+                run_cell(model, spec, &cell, idle_node_w, telemetry.as_ref())
             }));
             match result {
                 Ok(Ok(report)) => {
                     let outcome = SweepCellOutcome { cell, report };
+                    if let Some(sink) = &telemetry {
+                        sink.record(&sweep_cell_event(&outcome));
+                    }
                     on_cell(&outcome, outcomes.len() + 1, total);
                     outcomes.push(outcome);
                 }
@@ -550,8 +585,9 @@ pub fn run_sweep(
             let model = Arc::clone(model);
             let spec = Arc::clone(&shared_spec);
             let tx = tx.clone();
+            let telemetry = telemetry.clone();
             pool.execute(move || {
-                let result = run_cell(&model, &spec, &cell, idle_node_w);
+                let result = run_cell(&model, &spec, &cell, idle_node_w, telemetry.as_ref());
                 // A send failure means the join loop is gone; nothing to do.
                 let _ = tx.send((cell, result));
             })?;
@@ -566,6 +602,9 @@ pub fn run_sweep(
             match result {
                 Ok(report) => {
                     let outcome = SweepCellOutcome { cell, report };
+                    if let Some(sink) = &telemetry {
+                        sink.record(&sweep_cell_event(&outcome));
+                    }
                     on_cell(&outcome, done, total);
                     outcomes.push(outcome);
                 }

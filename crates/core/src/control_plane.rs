@@ -24,7 +24,9 @@
 //! All three now hand those inputs to the same plane and get back a
 //! validated [`PlaneDecision`].
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
 
 use phase_rt::{FreqStep, MachineShape, PhaseId};
 use xeon_sim::Configuration;
@@ -33,6 +35,7 @@ use crate::controller::{
     validate_decision, CandidatePerf, Decision, DecisionCtx, DvfsSpace, PhaseSample,
     PowerPerfController,
 };
+use crate::telemetry::{SharedSink, TraceEvent};
 
 /// A controller decision that violated the actuation contract (a binding
 /// outside the paper's five configurations, or a frequency step the caller
@@ -77,17 +80,57 @@ pub struct PlaneDecision {
 /// policies) pay no dispatch cost; boxed trait objects drop in unchanged
 /// (`ControlPlane<Box<dyn PowerPerfController + Send>>` is what the live
 /// runtime uses).
-#[derive(Debug)]
 pub struct ControlPlane<C: PowerPerfController> {
     controller: C,
     shape: MachineShape,
     observed: HashSet<PhaseId>,
+    telemetry: Option<SharedSink>,
+    // Per-phase (ipc, stall_fraction) from the sampling window, kept only
+    // while a sink is attached so decision records can carry the counters
+    // that informed them. Empty (never touched) when telemetry is off.
+    observed_stats: HashMap<PhaseId, (f64, f64)>,
+}
+
+impl<C: PowerPerfController + fmt::Debug> fmt::Debug for ControlPlane<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("controller", &self.controller)
+            .field("shape", &self.shape)
+            .field("observed", &self.observed)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
 }
 
 impl<C: PowerPerfController> ControlPlane<C> {
     /// Wraps a controller actuating on `shape`.
     pub fn new(controller: C, shape: MachineShape) -> Self {
-        Self { controller, shape, observed: HashSet::new() }
+        Self {
+            controller,
+            shape,
+            observed: HashSet::new(),
+            telemetry: None,
+            observed_stats: HashMap::new(),
+        }
+    }
+
+    /// Attaches a telemetry sink: every validated [`ControlPlane::decide`]
+    /// from here on emits one [`TraceEvent::Decision`] (with decide latency
+    /// in ns). Builder-style variant of [`ControlPlane::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: SharedSink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// Attaches (`Some`) or detaches (`None`) a telemetry sink in place.
+    pub fn set_telemetry(&mut self, sink: Option<SharedSink>) {
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&SharedSink> {
+        self.telemetry.as_ref()
     }
 
     /// The machine shape decisions actuate on.
@@ -115,6 +158,9 @@ impl<C: PowerPerfController> ControlPlane<C> {
     /// loops observe every execution).
     pub fn observe(&mut self, phase: PhaseId, sample: &PhaseSample) {
         self.observed.insert(phase);
+        if self.telemetry.is_some() {
+            self.observed_stats.insert(phase, (sample.ipc, sample.stall_fraction));
+        }
         self.controller.observe(phase, sample);
     }
 
@@ -125,7 +171,11 @@ impl<C: PowerPerfController> ControlPlane<C> {
     /// was consumed (and only builds it then).
     pub fn observe_once(&mut self, phase: PhaseId, sample: impl FnOnce() -> PhaseSample) -> bool {
         if self.observed.insert(phase) {
-            self.controller.observe(phase, &sample());
+            let sample = sample();
+            if self.telemetry.is_some() {
+                self.observed_stats.insert(phase, (sample.ipc, sample.stall_fraction));
+            }
+            self.controller.observe(phase, &sample);
             true
         } else {
             false
@@ -141,6 +191,7 @@ impl<C: PowerPerfController> ControlPlane<C> {
     /// untouched — use this only when the controller is also rebuilt).
     pub fn reset_observations(&mut self) {
         self.observed.clear();
+        self.observed_stats.clear();
     }
 
     /// Asks the controller to decide `phase` and validates the decision
@@ -157,10 +208,31 @@ impl<C: PowerPerfController> ControlPlane<C> {
         power_cap_w: Option<f64>,
     ) -> Result<PlaneDecision, ControlViolation> {
         let ctx = DecisionCtx { phase, shape: &self.shape, candidates, power_cap_w, dvfs };
+        // Timestamps only exist when a sink is attached: the disabled path
+        // is the exact pre-telemetry decide loop.
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
         let decision = self.controller.decide(&ctx);
         let ladder_len = dvfs.map_or(1, |space| space.ladder.len());
         match validate_decision(&decision, &self.shape, ladder_len, dvfs.is_some()) {
-            Ok(config) => Ok(PlaneDecision { config, step: decision.freq_step, decision }),
+            Ok(config) => {
+                if let (Some(sink), Some(started)) = (&self.telemetry, started) {
+                    let stats = self.observed_stats.get(&phase);
+                    sink.record(&TraceEvent::Decision {
+                        phase: phase.raw(),
+                        controller: self.controller.name(),
+                        candidates: candidates.len(),
+                        joint_cells: dvfs.map_or(0, |space| space.joint.len()),
+                        threads: config.num_threads(),
+                        freq_step: decision.freq_step.index(),
+                        rationale: decision.rationale.label(),
+                        ipc: stats.map(|&(ipc, _)| ipc),
+                        stall_fraction: stats.map(|&(_, stall)| stall),
+                        power_cap_w,
+                        latency_ns: started.elapsed().as_nanos() as u64,
+                    });
+                }
+                Ok(PlaneDecision { config, step: decision.freq_step, decision })
+            }
             Err(violation) => {
                 Err(ControlViolation { controller: self.controller.name(), phase, violation })
             }
@@ -228,6 +300,59 @@ mod tests {
         assert_eq!(err.controller, "overclocker");
         assert_eq!(err.phase, PhaseId::new(2));
         assert!(err.to_string().contains("without being offered a ladder"), "{err}");
+    }
+
+    #[test]
+    fn attached_sink_receives_one_record_per_validated_decision() {
+        use crate::telemetry::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let mut plane =
+            ControlPlane::new(StaticController::os_default(), MachineShape::quad_core())
+                .with_telemetry(sink.clone());
+        assert!(plane.telemetry().is_some());
+        let phase = PhaseId::new(3);
+        plane.observe_once(phase, || {
+            PhaseSample::sampling(vec![1.0], 1.4, 0.5).with_stall_fraction(0.25)
+        });
+        let candidates = CandidatePerf::all_unknown();
+        plane.decide(phase, &candidates, None, Some(120.0)).unwrap();
+        plane.decide(PhaseId::new(9), &candidates, None, None).unwrap();
+
+        let events = sink.events();
+        assert_eq!(events.len(), 2, "one record per decide call");
+        match &events[0] {
+            TraceEvent::Decision {
+                phase: p,
+                controller,
+                candidates: n,
+                threads,
+                rationale,
+                ipc,
+                stall_fraction,
+                power_cap_w,
+                ..
+            } => {
+                assert_eq!(*p, 3);
+                assert_eq!(*controller, "os-default");
+                assert_eq!(*n, 5);
+                assert_eq!(*threads, 4);
+                assert_eq!(*rationale, "static");
+                assert_eq!(*ipc, Some(1.4));
+                assert_eq!(*stall_fraction, Some(0.25));
+                assert_eq!(*power_cap_w, Some(120.0));
+            }
+            other => panic!("expected a decision record, got {other:?}"),
+        }
+        // The second phase was never observed: its record carries no sample.
+        match &events[1] {
+            TraceEvent::Decision { ipc, stall_fraction, .. } => {
+                assert_eq!(*ipc, None);
+                assert_eq!(*stall_fraction, None);
+            }
+            other => panic!("expected a decision record, got {other:?}"),
+        }
     }
 
     #[test]

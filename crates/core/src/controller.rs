@@ -281,6 +281,21 @@ pub enum Rationale {
     },
 }
 
+impl Rationale {
+    /// The variant name as a stable label, for trace records and metrics
+    /// keyed by decision kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rationale::Static { .. } => "static",
+            Rationale::Predicted { .. } => "predicted",
+            Rationale::Oracle { .. } => "oracle",
+            Rationale::Exploring { .. } => "exploring",
+            Rationale::Measured { .. } => "measured",
+            Rationale::Infeasible { .. } => "infeasible",
+        }
+    }
+}
+
 /// A typed actuation decision: where threads run and how fast they clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Decision {

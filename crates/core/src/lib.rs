@@ -61,6 +61,7 @@ pub mod runtime;
 pub mod sampling;
 pub mod scalability;
 pub mod summary;
+pub mod telemetry;
 pub mod throttle;
 
 pub use accuracy::{run_accuracy_study, AccuracyStudy, PredictionRecord};
@@ -90,6 +91,10 @@ pub use runtime::{ActorRuntime, BackendSampler, CounterSampler, CounterWindow, T
 pub use sampling::{sample_phase, SamplingPlan};
 pub use scalability::{phase_ipc_study, scalability_report, PhaseIpcRow, ScalabilityReport};
 pub use summary::{paper_comparison, HeadlineNumbers};
+pub use telemetry::{
+    FanoutSink, Histogram, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry, NullSink,
+    SharedSink, TelemetrySink, TraceEvent,
+};
 pub use throttle::{select_configuration, ThrottleDecision};
 
 /// Convenient glob import.
@@ -109,5 +114,8 @@ pub mod prelude {
     pub use crate::runtime::{ActorRuntime, ThrottleMode};
     pub use crate::scalability::scalability_report;
     pub use crate::summary::paper_comparison;
+    pub use crate::telemetry::{
+        JsonlSink, MemorySink, MetricsRegistry, NullSink, SharedSink, TelemetrySink, TraceEvent,
+    };
     pub use crate::throttle::select_configuration;
 }

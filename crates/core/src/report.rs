@@ -160,6 +160,7 @@ pub struct StreamingReporter {
     expected: usize,
     /// Emit a progress note every this many rows (and always on the last).
     progress_stride: usize,
+    telemetry: Option<crate::telemetry::SharedSink>,
 }
 
 impl StreamingReporter {
@@ -181,7 +182,25 @@ impl StreamingReporter {
             expected,
             // ~20 progress lines per run regardless of scale.
             progress_stride: (expected / 20).max(1),
+            telemetry: None,
         }
+    }
+
+    /// Overrides the progress-note stride: a note every `stride` rows
+    /// (and always on the last). `0` is treated as `1` (a note per row).
+    #[must_use]
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.progress_stride = stride.max(1);
+        self
+    }
+
+    /// Routes each progress note into `sink` as a
+    /// [`crate::telemetry::TraceEvent::Progress`] record, alongside the
+    /// human-readable note through the wrapped reporter.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: crate::telemetry::SharedSink) -> Self {
+        self.telemetry = Some(sink);
+        self
     }
 
     /// Number of rows received so far.
@@ -196,6 +215,13 @@ impl StreamingReporter {
         let done = self.rows.len();
         if done.is_multiple_of(self.progress_stride) || done == self.expected {
             self.inner.note(&format!("[{}] {done}/{} cells done", self.name, self.expected));
+            if let Some(sink) = &self.telemetry {
+                sink.record(&crate::telemetry::TraceEvent::Progress {
+                    name: self.name.clone(),
+                    done,
+                    expected: self.expected,
+                });
+            }
         }
     }
 
@@ -337,6 +363,85 @@ mod tests {
         let notes = capture.notes.lock().unwrap();
         assert_eq!(notes.len(), 20, "one progress note per stride");
         assert!(notes.last().unwrap().contains("40/40"));
+    }
+
+    #[test]
+    fn streaming_reporter_stride_is_configurable() {
+        // stride 7 over 20 rows: notes at 7, 14 and the final row 20.
+        let capture = CaptureReporter::default();
+        let mut streaming =
+            StreamingReporter::new(Box::new(capture.clone()), "s", "h", vec!["i"], 20)
+                .with_stride(7);
+        for i in 0..20 {
+            streaming.row(i, vec![i.to_string()]);
+        }
+        let _ = streaming.finish();
+        let notes = capture.notes.lock().unwrap().clone();
+        assert_eq!(notes.len(), 3, "{notes:?}");
+        assert!(notes[0].contains("7/20"));
+        assert!(notes[1].contains("14/20"));
+        assert!(notes[2].contains("20/20"));
+
+        // stride larger than the run still notes the final row.
+        let capture = CaptureReporter::default();
+        let mut streaming =
+            StreamingReporter::new(Box::new(capture.clone()), "s", "h", vec!["i"], 3)
+                .with_stride(100);
+        for i in 0..3 {
+            streaming.row(i, vec![i.to_string()]);
+        }
+        let _ = streaming.finish();
+        let notes = capture.notes.lock().unwrap().clone();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("3/3"));
+
+        // stride 0 is clamped to 1: a note on every row.
+        let capture = CaptureReporter::default();
+        let mut streaming =
+            StreamingReporter::new(Box::new(capture.clone()), "s", "h", vec!["i"], 2)
+                .with_stride(0);
+        streaming.row(0, vec!["a"]);
+        streaming.row(1, vec!["b"]);
+        let _ = streaming.finish();
+        assert_eq!(capture.notes.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn streaming_reporter_routes_progress_through_telemetry() {
+        use crate::telemetry::{MemorySink, TraceEvent};
+
+        let sink = Arc::new(MemorySink::new());
+        let capture = CaptureReporter::default();
+        let mut streaming =
+            StreamingReporter::new(Box::new(capture.clone()), "sweep", "h", vec!["i"], 4)
+                .with_stride(2)
+                .with_telemetry(sink.clone());
+        // Out-of-order ingestion: progress counts arrivals, not indices.
+        for &i in &[3usize, 0, 2, 1] {
+            streaming.row(i, vec![i.to_string()]);
+        }
+        let _ = streaming.finish();
+
+        let events = sink.events();
+        assert_eq!(events.len(), 2, "stride 2 over 4 rows → two progress events");
+        match &events[0] {
+            TraceEvent::Progress { name, done, expected } => {
+                assert_eq!(name, "sweep");
+                assert_eq!((*done, *expected), (2, 4));
+            }
+            other => panic!("expected progress, got {other:?}"),
+        }
+        match &events[1] {
+            TraceEvent::Progress { done, expected, .. } => {
+                assert_eq!((*done, *expected), (4, 4));
+            }
+            other => panic!("expected progress, got {other:?}"),
+        }
+        // The note path still works alongside the sink, and the final table
+        // is still deterministically ordered.
+        assert_eq!(capture.notes.lock().unwrap().len(), 2);
+        let tables = capture.tables.lock().unwrap();
+        assert!(tables[0].1.starts_with("i\n0\n1\n2\n3\n"));
     }
 
     #[test]

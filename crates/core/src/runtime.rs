@@ -239,6 +239,18 @@ impl ActorRuntime {
         self
     }
 
+    /// Attaches a telemetry sink to a controller-driven runtime (no-op in
+    /// the other modes): every validated live decision then emits one
+    /// [`crate::telemetry::TraceEvent::Decision`] through the shared
+    /// control plane.
+    #[must_use]
+    pub fn with_telemetry(self, sink: crate::telemetry::SharedSink) -> Self {
+        if let Mode::Controller(live) = &self.mode {
+            live.lock().plane.set_telemetry(Some(sink));
+        }
+        self
+    }
+
     /// Attaches an online counter sampler to a controller-driven runtime
     /// (no-op in the other modes): completed sampling-configuration
     /// executions then feed full feature windows to the controller instead

@@ -1,0 +1,745 @@
+//! Structured telemetry: typed trace events, pluggable sinks, and a
+//! metrics registry.
+//!
+//! Every decision loop in the workspace — the [`crate::ControlPlane`]'s
+//! observe → decide cycle, the cluster's discrete-event loop, the
+//! coordinator's per-event budget redistribution, and the sweep engine's
+//! cell fan-out — can emit one typed [`TraceEvent`] per decision or event
+//! into a [`TelemetrySink`]. Sinks are strictly opt-in: every instrumented
+//! call site is gated on `Option<SharedSink>` being `Some`, so with no sink
+//! attached the hot paths take no timestamps, build no records and allocate
+//! nothing, and all outputs stay byte-identical to an uninstrumented build.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`NullSink`] — accepts and discards everything (for byte-identity
+//!   testing of the instrumented paths themselves);
+//! * [`MemorySink`] — buffers events in memory for test assertions;
+//! * [`JsonlSink`] — appends one JSON object per event to a file (the
+//!   `--trace PATH` flag of the benchmark binaries).
+//!
+//! [`MetricsRegistry`] is the aggregating counterpart: counters, gauges and
+//! log-bucketed latency histograms with p50/p95/p99 snapshots. It
+//! implements [`TelemetrySink`] itself, counting events by kind and feeding
+//! decision/redistribution latencies into histograms — which is how the
+//! `decision_bench` binary turns a trace stream into decisions-per-second
+//! headlines. [`FanoutSink`] broadcasts one stream into several sinks
+//! (e.g. a registry *and* a JSONL file).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+/// The shared, thread-safe handle instrumented code stores: sinks cross
+/// worker-pool and live-runtime boundaries, so they are reference-counted
+/// trait objects rather than borrows.
+pub type SharedSink = Arc<dyn TelemetrySink>;
+
+/// One structured record from an instrumented decision loop.
+///
+/// Serialized (via [`serde::Serialize`]) as a flat JSON object whose
+/// `"event"` field names the variant in `snake_case` — the schema the
+/// README's Observability section documents.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// One validated [`crate::ControlPlane::decide`] call.
+    Decision {
+        /// Raw id of the phase being decided.
+        phase: u32,
+        /// [`crate::controller::PowerPerfController::name`] of the decider.
+        controller: &'static str,
+        /// Concurrency candidates offered to the controller.
+        candidates: usize,
+        /// Joint (threads × frequency) menu size (0 = no DVFS axis offered).
+        joint_cells: usize,
+        /// Threads of the validated binding (the chosen concurrency).
+        threads: usize,
+        /// Chosen frequency-step index (0 = nominal).
+        freq_step: u8,
+        /// Variant name of the decision's [`crate::controller::Rationale`].
+        rationale: &'static str,
+        /// IPC sampled for the phase, when the plane observed one.
+        ipc: Option<f64>,
+        /// Memory-stall fraction sampled for the phase, when observed.
+        stall_fraction: Option<f64>,
+        /// The average-power cap offered to the controller (W).
+        power_cap_w: Option<f64>,
+        /// Wall-clock latency of the decide call (ns).
+        latency_ns: u64,
+    },
+    /// A job joined the cluster queue.
+    JobArrival {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Job id.
+        job: usize,
+        /// Benchmark the job runs.
+        benchmark: String,
+        /// Gang width (nodes) the job needs.
+        width: usize,
+    },
+    /// A job started on its gang.
+    JobStart {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Job id.
+        job: usize,
+        /// Gang width (nodes).
+        width: usize,
+        /// Per-node peak draw of the chosen plan (W).
+        node_peak_w: f64,
+        /// Planned execution time (s).
+        exec_time_s: f64,
+    },
+    /// A gang completed.
+    JobCompletion {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Job id.
+        job: usize,
+        /// Gang width (nodes).
+        width: usize,
+        /// Energy the gang consumed (J).
+        energy_j: f64,
+    },
+    /// One `CapCoordinator::redistribute` invocation in `cluster-sched`.
+    Redistribute {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Jobs whose gang fit the idle nodes (the startable prefix).
+        startable: usize,
+        /// Jobs actually granted a cap this event.
+        admitted: usize,
+        /// Power headroom observed before redistribution (W).
+        headroom_before_w: f64,
+        /// Headroom left after all caps were granted (W).
+        headroom_after_w: f64,
+        /// Greedy menu upgrades performed across all admitted jobs.
+        upgrades: usize,
+        /// Wall-clock latency of the redistribution (ns).
+        latency_ns: u64,
+    },
+    /// One completed cell of a sweep grid.
+    SweepCell {
+        /// Cell position in the deterministic expansion order.
+        index: usize,
+        /// Cluster size of the cell.
+        nodes: usize,
+        /// Budget tier label.
+        budget: String,
+        /// Policy name.
+        policy: String,
+        /// Workload seed.
+        seed: u64,
+        /// Simulated makespan (s).
+        makespan_s: f64,
+        /// Total cluster energy (J).
+        total_energy_j: f64,
+    },
+    /// A progress note from a [`crate::StreamingReporter`].
+    Progress {
+        /// Table name the reporter streams into.
+        name: String,
+        /// Rows received so far.
+        done: usize,
+        /// Rows expected in total.
+        expected: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The `snake_case` kind tag of the variant — the `"event"` field of the
+    /// serialized record and the counter key in [`MetricsRegistry`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::JobArrival { .. } => "job_arrival",
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobCompletion { .. } => "job_completion",
+            TraceEvent::Redistribute { .. } => "redistribute",
+            TraceEvent::SweepCell { .. } => "sweep_cell",
+            TraceEvent::Progress { .. } => "progress",
+        }
+    }
+
+    /// The latency the event carries, for variants that time a hot path.
+    pub fn latency_ns(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Decision { latency_ns, .. }
+            | TraceEvent::Redistribute { latency_ns, .. } => Some(*latency_ns),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let opt = |v: &Option<f64>| match v {
+            Some(x) => Value::Float(*x),
+            None => Value::Null,
+        };
+        let mut m: Vec<(String, Value)> = vec![("event".into(), Value::Str(self.kind().into()))];
+        match self {
+            TraceEvent::Decision {
+                phase,
+                controller,
+                candidates,
+                joint_cells,
+                threads,
+                freq_step,
+                rationale,
+                ipc,
+                stall_fraction,
+                power_cap_w,
+                latency_ns,
+            } => {
+                m.push(("phase".into(), Value::UInt(u64::from(*phase))));
+                m.push(("controller".into(), Value::Str((*controller).into())));
+                m.push(("candidates".into(), Value::UInt(*candidates as u64)));
+                m.push(("joint_cells".into(), Value::UInt(*joint_cells as u64)));
+                m.push(("threads".into(), Value::UInt(*threads as u64)));
+                m.push(("freq_step".into(), Value::UInt(u64::from(*freq_step))));
+                m.push(("rationale".into(), Value::Str((*rationale).into())));
+                m.push(("ipc".into(), opt(ipc)));
+                m.push(("stall_fraction".into(), opt(stall_fraction)));
+                m.push(("power_cap_w".into(), opt(power_cap_w)));
+                m.push(("latency_ns".into(), Value::UInt(*latency_ns)));
+            }
+            TraceEvent::JobArrival { time_s, job, benchmark, width } => {
+                m.push(("time_s".into(), Value::Float(*time_s)));
+                m.push(("job".into(), Value::UInt(*job as u64)));
+                m.push(("benchmark".into(), Value::Str(benchmark.clone())));
+                m.push(("width".into(), Value::UInt(*width as u64)));
+            }
+            TraceEvent::JobStart { time_s, job, width, node_peak_w, exec_time_s } => {
+                m.push(("time_s".into(), Value::Float(*time_s)));
+                m.push(("job".into(), Value::UInt(*job as u64)));
+                m.push(("width".into(), Value::UInt(*width as u64)));
+                m.push(("node_peak_w".into(), Value::Float(*node_peak_w)));
+                m.push(("exec_time_s".into(), Value::Float(*exec_time_s)));
+            }
+            TraceEvent::JobCompletion { time_s, job, width, energy_j } => {
+                m.push(("time_s".into(), Value::Float(*time_s)));
+                m.push(("job".into(), Value::UInt(*job as u64)));
+                m.push(("width".into(), Value::UInt(*width as u64)));
+                m.push(("energy_j".into(), Value::Float(*energy_j)));
+            }
+            TraceEvent::Redistribute {
+                time_s,
+                startable,
+                admitted,
+                headroom_before_w,
+                headroom_after_w,
+                upgrades,
+                latency_ns,
+            } => {
+                m.push(("time_s".into(), Value::Float(*time_s)));
+                m.push(("startable".into(), Value::UInt(*startable as u64)));
+                m.push(("admitted".into(), Value::UInt(*admitted as u64)));
+                m.push(("headroom_before_w".into(), Value::Float(*headroom_before_w)));
+                m.push(("headroom_after_w".into(), Value::Float(*headroom_after_w)));
+                m.push(("upgrades".into(), Value::UInt(*upgrades as u64)));
+                m.push(("latency_ns".into(), Value::UInt(*latency_ns)));
+            }
+            TraceEvent::SweepCell {
+                index,
+                nodes,
+                budget,
+                policy,
+                seed,
+                makespan_s,
+                total_energy_j,
+            } => {
+                m.push(("index".into(), Value::UInt(*index as u64)));
+                m.push(("nodes".into(), Value::UInt(*nodes as u64)));
+                m.push(("budget".into(), Value::Str(budget.clone())));
+                m.push(("policy".into(), Value::Str(policy.clone())));
+                m.push(("seed".into(), Value::UInt(*seed)));
+                m.push(("makespan_s".into(), Value::Float(*makespan_s)));
+                m.push(("total_energy_j".into(), Value::Float(*total_energy_j)));
+            }
+            TraceEvent::Progress { name, done, expected } => {
+                m.push(("name".into(), Value::Str(name.clone())));
+                m.push(("done".into(), Value::UInt(*done as u64)));
+                m.push(("expected".into(), Value::UInt(*expected as u64)));
+            }
+        }
+        Value::Map(m)
+    }
+}
+
+/// Receives [`TraceEvent`]s from instrumented decision loops.
+///
+/// Implementations must be cheap and non-blocking enough to sit on hot
+/// paths, and interiorly mutable (`record` takes `&self`): one sink is
+/// shared across sweep workers and live-runtime locks via [`SharedSink`].
+pub trait TelemetrySink: Send + Sync {
+    /// Accepts one event. Called synchronously from the instrumented path.
+    fn record(&self, event: &TraceEvent);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Accepts and discards every event — the sink to attach when only the
+/// *instrumented code path* should be exercised (byte-identity tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Buffers every event in memory, for tests and in-process inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// A snapshot of every recorded event, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drains and returns every recorded event.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Appends one compact JSON object per event to a file — the sink behind
+/// the benchmark binaries' `--trace PATH` flag.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let line = serde_json::to_string(event).expect("trace events always serialize");
+        let mut out = self.out.lock();
+        // A full disk mid-trace must not panic the simulation it observes.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Broadcasts every event to several sinks (e.g. a [`MetricsRegistry`] for
+/// aggregation *and* a [`JsonlSink`] for the raw trace).
+#[derive(Clone, Default)]
+pub struct FanoutSink {
+    sinks: Vec<SharedSink>,
+}
+
+impl FanoutSink {
+    /// Fans out to `sinks`, in order.
+    pub fn new(sinks: Vec<SharedSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FanoutSink").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// Number of log₂ buckets a [`Histogram`] keeps: bucket `i` holds values
+/// whose bit length is `i`, so 65 buckets cover the full `u64` range.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed latency histogram: O(1) insertion, 65 fixed buckets,
+/// exact count/min/max/mean and approximate quantiles (each bucket spans
+/// one power of two, so a quantile is accurate to within ~50 %, plenty for
+/// order-of-magnitude latency headlines).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { count: 0, sum: 0.0, min: u64::MAX, max: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// Records one value (typically a latency in ns).
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[(u64::BITS - value.leading_zeros()) as usize] += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`): the geometric midpoint
+    /// of the bucket holding the `q`-th value, clamped to the exact
+    /// observed min/max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i covers [2^(i-1), 2^i); represent it by 1.5·2^(i-1).
+                let mid = if i == 0 { 0.0 } else { 1.5 * (i as f64 - 1.0).exp2() };
+                return mid.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// An immutable summary of the histogram's current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: if self.count == 0 { 0.0 } else { self.sum / self.count as f64 },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of one [`Histogram`]: exact count/min/max/mean
+/// plus approximate p50/p95/p99 (same unit as the recorded values).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named counters, gauges and latency [`Histogram`]s.
+///
+/// As a [`TelemetrySink`] it aggregates instead of storing: every event
+/// bumps the counter named after its [`TraceEvent::kind`], and events that
+/// carry a latency ([`TraceEvent::latency_ns`]) feed the
+/// `"<kind>_latency_ns"` histogram — so attaching a registry to an
+/// instrumented loop yields decisions/s and p50/p95/p99 headlines with no
+/// per-event storage.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to the counter `name` (created at 0 on first use).
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        *self.inner.lock().counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of the counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.lock().counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).copied()
+    }
+
+    /// Records one value into the histogram `name` (created on first use).
+    pub fn observe(&self, name: &str, value: u64) {
+        self.inner.lock().histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// A snapshot of the histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner.lock().histograms.get(name).map(Histogram::snapshot)
+    }
+
+    /// Snapshots of every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner.lock().histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect()
+    }
+}
+
+impl TelemetrySink for MetricsRegistry {
+    fn record(&self, event: &TraceEvent) {
+        let kind = event.kind();
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(kind.to_string()).or_insert(0) += 1;
+        if let Some(ns) = event.latency_ns() {
+            inner.histograms.entry(format!("{kind}_latency_ns")).or_default().observe(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(latency_ns: u64) -> TraceEvent {
+        TraceEvent::Decision {
+            phase: 7,
+            controller: "decision-table",
+            candidates: 5,
+            joint_cells: 20,
+            threads: 2,
+            freq_step: 1,
+            rationale: "Predicted",
+            ipc: Some(1.25),
+            stall_fraction: Some(0.4),
+            power_cap_w: Some(140.0),
+            latency_ns,
+        }
+    }
+
+    #[test]
+    fn kinds_and_latencies_are_exposed() {
+        assert_eq!(decision(9).kind(), "decision");
+        assert_eq!(decision(9).latency_ns(), Some(9));
+        let arrival =
+            TraceEvent::JobArrival { time_s: 0.0, job: 1, benchmark: "CG".into(), width: 2 };
+        assert_eq!(arrival.kind(), "job_arrival");
+        assert_eq!(arrival.latency_ns(), None);
+    }
+
+    #[test]
+    fn events_serialize_flat_with_an_event_tag() {
+        let v = decision(123).to_value();
+        assert_eq!(v.get("event"), Some(&Value::Str("decision".into())));
+        assert_eq!(v.get("phase"), Some(&Value::UInt(7)));
+        assert_eq!(v.get("rationale"), Some(&Value::Str("Predicted".into())));
+        assert_eq!(v.get("latency_ns"), Some(&Value::UInt(123)));
+        let line = serde_json::to_string(&decision(123)).unwrap();
+        assert!(line.starts_with("{\"event\":\"decision\""), "{line}");
+        assert!(!line.contains('\n'));
+
+        let mut none = decision(1);
+        if let TraceEvent::Decision { ipc, stall_fraction, power_cap_w, .. } = &mut none {
+            *ipc = None;
+            *stall_fraction = None;
+            *power_cap_w = None;
+        }
+        assert_eq!(none.to_value().get("ipc"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&decision(1));
+        sink.record(&decision(2));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[0].latency_ns(), Some(1));
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let sink = NullSink;
+        sink.record(&decision(1));
+        sink.flush();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_record_per_line() {
+        let path = std::env::temp_dir().join("actor_telemetry_jsonl_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&decision(11));
+        sink.record(&TraceEvent::Progress { name: "sweep".into(), done: 1, expected: 2 });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("event"), Some(&Value::Str("decision".into())));
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second.get("done"), Some(&Value::UInt(1)));
+        drop(sink);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MetricsRegistry::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.record(&decision(5));
+        fan.flush();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.counter("decision"), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_of_magnitude_accurate() {
+        let mut h = Histogram::default();
+        assert_eq!(h.snapshot().count, 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!((snap.min, snap.max), (1, 1000));
+        assert!((snap.mean - 500.5).abs() < 1e-9);
+        // log2 buckets: the true p50 is 500, the bucket midpoint 1.5·256.
+        assert!(snap.p50 >= 250.0 && snap.p50 <= 1000.0, "p50 = {}", snap.p50);
+        assert!(snap.p95 >= snap.p50 && snap.p99 >= snap.p95);
+        assert!(snap.p99 <= snap.max as f64);
+
+        let mut single = Histogram::default();
+        single.observe(42);
+        let snap = single.snapshot();
+        assert_eq!((snap.min, snap.max), (42, 42));
+        assert_eq!(snap.p50, 42.0);
+        assert_eq!(snap.p99, 42.0);
+        // Zero lands in bucket 0 without panicking.
+        single.observe(0);
+        assert_eq!(single.snapshot().min, 0);
+        single.observe(u64::MAX);
+        assert_eq!(single.snapshot().max, u64::MAX);
+    }
+
+    #[test]
+    fn registry_counts_events_and_buckets_latencies() {
+        let reg = MetricsRegistry::new();
+        reg.record(&decision(100));
+        reg.record(&decision(200));
+        reg.record(&TraceEvent::JobArrival {
+            time_s: 0.0,
+            job: 0,
+            benchmark: "IS".into(),
+            width: 1,
+        });
+        assert_eq!(reg.counter("decision"), 2);
+        assert_eq!(reg.counter("job_arrival"), 1);
+        assert_eq!(reg.counter("nonexistent"), 0);
+        let snap = reg.histogram("decision_latency_ns").unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!((snap.min, snap.max), (100, 200));
+        assert!(reg.histogram("job_arrival_latency_ns").is_none());
+        assert_eq!(reg.counters().len(), 2);
+        assert_eq!(reg.histograms().len(), 1);
+
+        reg.incr("custom");
+        reg.add("custom", 4);
+        assert_eq!(reg.counter("custom"), 5);
+        reg.set_gauge("headroom_w", 42.5);
+        assert_eq!(reg.gauge("headroom_w"), Some(42.5));
+        assert_eq!(reg.gauge("missing"), None);
+        reg.observe("manual", 7);
+        assert_eq!(reg.histogram("manual").unwrap().count, 1);
+    }
+}

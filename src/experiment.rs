@@ -130,6 +130,7 @@ pub struct ExperimentBuilder {
     power_budget_w: Option<f64>,
     dvfs: bool,
     reporter: Box<dyn Reporter>,
+    telemetry: Option<actor_core::telemetry::SharedSink>,
 }
 
 impl Default for ExperimentBuilder {
@@ -149,6 +150,7 @@ impl ExperimentBuilder {
             power_budget_w: None,
             dvfs: false,
             reporter: Box::new(StdoutReporter),
+            telemetry: None,
         }
     }
 
@@ -206,6 +208,16 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attaches a telemetry sink: live runtimes built by this experiment
+    /// trace every validated controller decision through it, and cluster
+    /// bins can share the same sink with their sweeps (see
+    /// [`Experiment::telemetry_sink`]). Default: off — no trace records,
+    /// no timestamps, byte-identical outputs.
+    pub fn telemetry(mut self, sink: actor_core::telemetry::SharedSink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// Validates the assembly and returns the ready-to-run experiment.
     pub fn run(self) -> Result<Experiment, ActorError> {
         self.config.validate()?;
@@ -233,6 +245,7 @@ impl ExperimentBuilder {
             power_budget_w: self.power_budget_w,
             dvfs: self.dvfs,
             reporter: self.reporter,
+            telemetry: self.telemetry,
             evaluations: None,
             scalability: None,
         })
@@ -250,6 +263,7 @@ pub struct Experiment {
     power_budget_w: Option<f64>,
     dvfs: bool,
     reporter: Box<dyn Reporter>,
+    telemetry: Option<actor_core::telemetry::SharedSink>,
     evaluations: Option<Vec<BenchmarkEvaluation>>,
     scalability: Option<ScalabilityReport>,
 }
@@ -363,13 +377,23 @@ impl Experiment {
         let bench =
             self.suite.iter().find(|b| b.id == id).expect("evaluations cover the suite exactly");
         let controller = self.controller.build(&self.machine, bench, eval);
-        let runtime = actor_core::ActorRuntime::controller_driven(controller, shape);
+        let mut runtime = actor_core::ActorRuntime::controller_driven(controller, shape);
         // The facade's cap gates the live loop exactly like the adaptation
         // studies: the controller sees it in every DecisionCtx.
-        Ok(match self.power_budget_w {
-            Some(budget_w) => runtime.with_power_cap(budget_w),
-            None => runtime,
-        })
+        if let Some(budget_w) = self.power_budget_w {
+            runtime = runtime.with_power_cap(budget_w);
+        }
+        if let Some(sink) = &self.telemetry {
+            runtime = runtime.with_telemetry(sink.clone());
+        }
+        Ok(runtime)
+    }
+
+    /// The attached telemetry sink, if any — cluster bins clone it into
+    /// their sweeps (`run_sweep_traced`) so one `--trace` flag covers both
+    /// the live runtimes and the cluster event loops.
+    pub fn telemetry_sink(&self) -> Option<actor_core::telemetry::SharedSink> {
+        self.telemetry.clone()
     }
 
     /// Swaps the controller occupying the adaptive slot. The cached

@@ -66,15 +66,19 @@ pub mod prelude {
         PowerPerfController, PredictorController, Rationale, StaticController,
     };
     pub use actor_core::report::{fmt3, fmt_pct};
+    pub use actor_core::telemetry::{
+        FanoutSink, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry, NullSink,
+        SharedSink, TelemetrySink, TraceEvent,
+    };
     pub use actor_core::{
         assert_controller_conformance, ActorConfig, ActorError, AdaptationStudy,
         ConformanceOptions, Metric, NullReporter, Reporter, StdoutReporter, Strategy, Table,
     };
     pub use cluster_sched::{
         budget_from_fraction, cluster_summary_table, job_table, policy_by_name, run_sweep,
-        simulate, ClusterReport, ClusterSpec, PowerAwarePolicy, SchedulerPolicy, SweepCell,
-        SweepCellOutcome, SweepError, SweepPoint, SweepRun, SweepSpec, WorkloadModel, WorkloadSpec,
-        POLICY_NAMES,
+        run_sweep_traced, simulate, simulate_traced, ClusterReport, ClusterSpec, PowerAwarePolicy,
+        SchedulerPolicy, SweepCell, SweepCellOutcome, SweepError, SweepPoint, SweepRun, SweepSpec,
+        WorkloadModel, WorkloadSpec, POLICY_NAMES,
     };
     pub use npb_workloads::{benchmark, nas_suite, BenchmarkId, BenchmarkProfile};
     pub use phase_rt::{Binding, FreqStep, MachineShape, PhaseId};
