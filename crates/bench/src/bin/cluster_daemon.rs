@@ -1,0 +1,122 @@
+//! `cluster_daemon` — serve the policy-search sweep grid to external
+//! workers over a Unix-domain socket.
+//!
+//! The daemon owns the sweep: it expands the grid, dispatches cells to
+//! every `cluster_worker` that connects to `--serve SOCKET`, tracks
+//! liveness by heartbeat, reassigns cells from dead or stalled workers,
+//! and streams results in completion order while persisting them in
+//! deterministic cell order. The timing-free artefact
+//! (`results/cluster_daemon_cells.json`) is **byte-identical** to
+//! `cluster_sweep`'s `cluster_sweep_cells.json` for the same grid and
+//! seed, whatever the worker count or death schedule — CI diffs the two.
+//!
+//! Flags:
+//!
+//! * `--serve SOCKET` (required) — bind this Unix socket path and accept
+//!   workers. A stale socket file from a previous run is removed.
+//! * `--fast` — the 48-cell smoke grid and reduced ANN training config
+//!   (workers train from the wire-carried config).
+//! * `--grid SPEC` — axis overrides, as in `cluster_sweep`.
+//! * `--seed N` — ANN training seed forwarded to workers.
+//! * `--trace PATH` — JSONL telemetry, including `TraceEvent`s forwarded
+//!   by the workers.
+//!
+//! The daemon exits once the grid completes (or fails a cell past the
+//! attempt cap); it is not a long-lived service.
+
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use actor_bench::sweep_out::{
+    cells_output, default_spec, score_policies, sweep_table_headers, sweep_table_row,
+};
+use actor_bench::{FileReporter, Harness};
+use actor_core::report::StreamingReporter;
+use cluster_daemon::{accept_unix, serve, DaemonConfig};
+use cluster_rpc::SweepContext;
+use npb_workloads::BenchmarkId;
+
+fn main() {
+    let harness = Harness::from_env();
+    let args = &harness.args;
+    let Some(socket) = args.serve.clone() else {
+        eprintln!("error: cluster_daemon requires --serve SOCKET (the Unix socket to bind)");
+        std::process::exit(2);
+    };
+    if args.processes.is_some() || args.connect.is_some() {
+        eprintln!(
+            "error: cluster_daemon serves external workers only; --processes belongs to \
+             cluster_sweep and --connect to cluster_worker"
+        );
+        std::process::exit(2);
+    }
+
+    let mut spec = default_spec(args.fast);
+    if let Some(grid) = &args.grid {
+        spec = spec.with_grid(grid).unwrap_or_else(|e| panic!("{e}"));
+    }
+    let context = SweepContext {
+        config: args.config(),
+        benchmarks: BenchmarkId::ALL.to_vec(),
+        workload: "light".into(),
+        max_node_w: spec.max_node_w,
+        heartbeat_ms: 250,
+    };
+
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {socket}: {e}");
+        std::process::exit(1);
+    });
+    listener.set_nonblocking(true).expect("socket accepts nonblocking mode");
+    let stop = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = crossbeam::channel::unbounded();
+    let acceptor = accept_unix(listener, Arc::clone(&stop), conn_tx);
+    eprintln!("serving {} sweep cells on {socket}; waiting for workers...", spec.len());
+
+    let mut streaming = StreamingReporter::new(
+        Box::new(FileReporter::default()),
+        "cluster_daemon",
+        "Policy-search sweep (daemon-served): every cell",
+        sweep_table_headers(),
+        spec.len(),
+    );
+    if let Some(sink) = harness.telemetry_sink() {
+        streaming = streaming.with_telemetry(sink);
+    }
+
+    let result = serve(
+        &spec,
+        &DaemonConfig::new(context),
+        conn_rx,
+        harness.telemetry_sink(),
+        |outcome, _, _| {
+            streaming.row(outcome.cell.index, sweep_table_row(outcome));
+        },
+    );
+    stop.store(true, Ordering::Relaxed);
+    let _ = acceptor.join();
+    let _ = std::fs::remove_file(&socket);
+
+    let dist = result.unwrap_or_else(|e| {
+        eprintln!("error: daemon sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let mut reporter = streaming.finish();
+    reporter.note(&format!(
+        "daemon: {} cells in {:.1} s across {} worker(s), {} reassignment(s)",
+        dist.run.outcomes.len(),
+        dist.run.wall_clock_s,
+        dist.workers_seen,
+        dist.reassignments,
+    ));
+    for (policy, mean) in score_policies(&dist.run.outcomes).0 {
+        if policy != "fcfs" {
+            reporter.note(&format!("{policy}: mean cluster ED2 {mean:+.1}% vs fcfs"));
+        }
+    }
+    let cells_json =
+        serde_json::to_string_pretty(&cells_output(&dist.run.outcomes)).expect("cells serialize");
+    reporter.artifact("cluster_daemon_cells.json", &cells_json);
+}

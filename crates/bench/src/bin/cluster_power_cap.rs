@@ -12,9 +12,11 @@
 //! The sweep runs on the parallel sweep engine (`cluster_sched::sweep`):
 //! the ANN-trained workload model is built once and shared across all
 //! cells, which execute concurrently on `--jobs N` worker threads
-//! (default: all cores). Results stream back in completion order but the
-//! persisted tables and JSON are always in deterministic cell order —
-//! byte-identical for any worker count.
+//! (default: all cores) — or, under `--processes N`, on N local worker
+//! *processes* dispatched by the cluster daemon, each rebuilding the model
+//! from the wire-carried config. Results stream back in completion order
+//! but the persisted tables and JSON are always in deterministic cell
+//! order — byte-identical for any worker count in either mode.
 //!
 //! Pass `--fast` to use the reduced ANN training configuration, and
 //! `--dvfs` (alias `--freq-ladder`) to add the joint DVFS+DCT policy
@@ -28,12 +30,15 @@
 
 use std::sync::Arc;
 
-use actor_bench::{FileReporter, Harness};
+use actor_bench::{BenchArgs, FileReporter, Harness};
 use actor_core::report::{fmt3, StreamingReporter};
+use cluster_daemon::{run_distributed, ProcessSweepOptions};
+use cluster_rpc::SweepContext;
 use cluster_sched::{
     budget_from_fraction, cluster_summary_headers, cluster_summary_row, job_table,
-    run_sweep_traced, ClusterReport, SweepSpec,
+    run_sweep_traced, ClusterReport, SweepCellOutcome, SweepSpec,
 };
+use npb_workloads::BenchmarkId;
 use serde::{Deserialize, Serialize};
 
 /// One cell of the sweep, JSON-serializable with its rendered tables.
@@ -69,7 +74,13 @@ struct SweepOutput {
 fn main() {
     let dvfs = std::env::args().skip(1).any(|a| a == "--dvfs" || a == "--freq-ladder");
     let harness = Harness::from_env();
-    let jobs = harness.args.jobs_or_auto();
+    if harness.args.serve.is_some() || harness.args.connect.is_some() {
+        eprintln!(
+            "error: cluster_power_cap neither serves nor connects; use the cluster_daemon and \
+             cluster_worker binaries for external workers"
+        );
+        std::process::exit(2);
+    }
     if harness.args.grid.is_some() {
         // This bin's headline tables assume the historical fixed grid;
         // arbitrary grids belong to `cluster_sweep`.
@@ -77,9 +88,6 @@ fn main() {
     }
     let exp = harness.experiment();
     let idle_w = exp.machine().params().power.system_idle_w;
-
-    eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
-    let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
 
     let spec = SweepSpec::power_cap_default(dvfs);
     let mut streaming = StreamingReporter::new(
@@ -92,30 +100,51 @@ fn main() {
     if let Some(sink) = harness.telemetry_sink() {
         streaming = streaming.with_telemetry(sink);
     }
-    eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
-    let run = run_sweep_traced(
-        &spec,
-        &model,
-        jobs,
-        harness.telemetry_sink(),
-        |outcome, _done, _total| {
-            let (p, r) = (&outcome.cell.point, &outcome.report);
-            eprintln!(
-                "  {} nodes | {:<6} ({:.0} W) | {:<11} -> makespan {:.0} s, ED2 {:.3e} J.s2",
-                p.nodes,
-                p.budget_label,
-                r.power_budget_w,
-                p.policy,
-                r.makespan_s,
-                r.cluster_ed2(),
-            );
-            streaming.row(outcome.cell.index, cluster_summary_row(r));
-        },
-    )
-    .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    let mut on_cell = |outcome: &SweepCellOutcome, _done: usize, _total: usize| {
+        let (p, r) = (&outcome.cell.point, &outcome.report);
+        eprintln!(
+            "  {} nodes | {:<6} ({:.0} W) | {:<11} -> makespan {:.0} s, ED2 {:.3e} J.s2",
+            p.nodes,
+            p.budget_label,
+            r.power_budget_w,
+            p.policy,
+            r.makespan_s,
+            r.cluster_ed2(),
+        );
+        streaming.row(outcome.cell.index, cluster_summary_row(r));
+    };
+    let run = if let Some(processes) = harness.args.processes {
+        let worker_bin = BenchArgs::sibling_bin("cluster_worker").unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let context = SweepContext {
+            config: harness.args.config(),
+            benchmarks: BenchmarkId::ALL.to_vec(),
+            workload: "default".into(),
+            max_node_w: spec.max_node_w,
+            heartbeat_ms: 250,
+        };
+        let opts = ProcessSweepOptions::new(processes, worker_bin, context);
+        eprintln!(
+            "running {} sweep cells on {processes} worker process(es) (each retrains the \
+             model)...",
+            spec.len()
+        );
+        run_distributed(&spec, &opts, harness.telemetry_sink(), &mut on_cell)
+            .unwrap_or_else(|e| panic!("distributed sweep failed: {e}"))
+            .run
+    } else {
+        let jobs = harness.args.jobs_or_auto();
+        eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
+        let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
+        eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
+        run_sweep_traced(&spec, &model, jobs, harness.telemetry_sink(), &mut on_cell)
+            .unwrap_or_else(|e| panic!("sweep failed: {e}"))
+    };
     let mut reporter = streaming.finish();
     reporter.note(&format!(
-        "sweep: {} cells in {:.1} s on {} worker thread(s) ({:.2} cells/s)",
+        "sweep: {} cells in {:.1} s on {} worker(s) ({:.2} cells/s)",
         run.outcomes.len(),
         run.wall_clock_s,
         run.jobs,

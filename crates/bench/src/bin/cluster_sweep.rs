@@ -1,21 +1,27 @@
 //! `cluster_sweep` — the policy-search demonstrator for the parallel sweep
 //! engine: a ~1000-cell grid over nodes × budgets × policies × seeds, run
 //! concurrently on `phase_rt::ThreadPool` workers against one `Arc`-shared
-//! ANN-trained workload model.
+//! ANN-trained workload model — or, under `--processes N`, on N local
+//! worker *processes* dispatched by the cluster daemon.
 //!
 //! Every policy is scored across the whole space: per (nodes, budget, seed)
 //! group, each policy's cluster ED² is normalised against FCFS in the same
 //! group, then averaged — "which scheduling policy wins, and by how much,
 //! across the operating envelope" rather than at one hand-picked point. The
-//! streamed summary table and the JSON artefact
-//! (`results/cluster_sweep.json`) are in deterministic cell order,
-//! byte-identical for any `--jobs N` (timing fields excepted).
+//! streamed summary table and the JSON artefacts
+//! (`results/cluster_sweep.json` with timing,
+//! `results/cluster_sweep_cells.json` without) are in deterministic cell
+//! order; the cells artefact is byte-identical for any `--jobs N` or
+//! `--processes N`.
 //!
 //! Flags (via the shared bench harness):
 //!
 //! * `--fast` — reduced ANN training *and* a 48-cell smoke grid (CI runs
 //!   this).
 //! * `--jobs N` — worker threads (default: all cores).
+//! * `--processes N` — worker processes via the cluster daemon instead of
+//!   threads; each worker retrains the model from the wire-carried config
+//!   and is CPU-pinned when `taskset` exists.
 //! * `--grid SPEC` — axis overrides, e.g.
 //!   `nodes=2,8;budgets=tight:0.45;policies=fcfs,power-aware;seeds=1..9`
 //!   (see `SweepSpec::with_grid`).
@@ -23,173 +29,95 @@
 //! * `--trace PATH` — JSONL telemetry: one record per controller decision,
 //!   cluster event, completed sweep cell and progress note.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use actor_bench::{FileReporter, Harness};
-use actor_core::report::{fmt3, StreamingReporter, Table};
-use cluster_sched::{light_workload, run_sweep_traced, SweepRun, SweepSpec};
-use serde::{Deserialize, Serialize};
-
-/// One compact cell record (the full `ClusterReport`s would make a
-/// 1000-cell artefact enormous).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct CellEntry {
-    index: usize,
-    nodes: usize,
-    budget_label: String,
-    budget_fraction: f64,
-    policy: String,
-    seed: u64,
-    cluster_ed2_j_s2: f64,
-    makespan_s: f64,
-    total_energy_j: f64,
-    avg_wait_s: f64,
-    throttle_fraction: f64,
-    cap_violations: usize,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct SweepOutput {
-    cells: usize,
-    jobs: usize,
-    wall_clock_s: f64,
-    cells_per_sec: f64,
-    entries: Vec<CellEntry>,
-    /// Per policy: mean ED² relative to FCFS over every (nodes, budget,
-    /// seed) group that ran both (%; negative = beats FCFS). Empty when the
-    /// grid has no `fcfs` reference cells.
-    policy_mean_ed2_vs_fcfs_pct: Vec<(String, f64)>,
-    /// Per policy: number of (nodes, budget, seed) groups it won outright
-    /// (lowest ED² in the group).
-    policy_wins: Vec<(String, usize)>,
-}
-
-/// The default ~1000-cell policy-search grid, or the 48-cell smoke grid
-/// under `--fast`.
-fn default_spec(fast: bool) -> SweepSpec {
-    let mut spec = if fast {
-        SweepSpec {
-            nodes: vec![2, 4],
-            budgets: vec![("tight".into(), 0.45), ("ample".into(), 1.0)],
-            policies: vec!["fcfs".into(), "power-aware".into(), "power-aware-dvfs".into()],
-            seeds: (2007..2011).collect(),
-            ..SweepSpec::default()
-        }
-    } else {
-        SweepSpec {
-            nodes: vec![2, 4, 6, 8],
-            budgets: vec![
-                ("tight".into(), 0.45),
-                ("snug".into(), 0.55),
-                ("medium".into(), 0.7),
-                ("ample".into(), 1.0),
-            ],
-            policies: cluster_sched::POLICY_NAMES.iter().map(|s| s.to_string()).collect(),
-            seeds: (2007..2020).collect(),
-            ..SweepSpec::default()
-        }
-    };
-    // Policy search wants breadth over depth: a light per-cell workload
-    // keeps a four-digit grid interactive.
-    spec.workload = light_workload;
-    spec
-}
-
-/// Per-policy mean ED² vs FCFS (%), ordered by policy name.
-type PolicyMeans = Vec<(String, f64)>;
-/// Per-policy outright group-win counts, ordered by policy name.
-type PolicyWins = Vec<(String, usize)>;
-
-/// Scores policies across (nodes, budget, seed) groups: mean ED² vs the
-/// group's FCFS reference, and outright group wins.
-fn score_policies(run: &SweepRun) -> (PolicyMeans, PolicyWins) {
-    // The fraction (as bits, for Ord) joins the label in the key: `--grid`
-    // overrides may reuse a label for distinct tiers, and two different
-    // budgets must never share one scoring group or FCFS reference.
-    type GroupKey = (usize, String, u64, u64);
-    let mut groups: BTreeMap<GroupKey, Vec<(&str, f64)>> = BTreeMap::new();
-    for o in &run.outcomes {
-        let p = &o.cell.point;
-        groups
-            .entry((p.nodes, p.budget_label.clone(), p.budget_fraction.to_bits(), p.seed))
-            .or_default()
-            .push((p.policy.as_str(), o.report.cluster_ed2()));
-    }
-    let mut vs_fcfs: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    let mut wins: BTreeMap<&str, usize> = BTreeMap::new();
-    for members in groups.values() {
-        if let Some(&(_, fcfs_ed2)) = members.iter().find(|(p, _)| *p == "fcfs") {
-            for &(policy, ed2) in members {
-                vs_fcfs.entry(policy).or_default().push((ed2 / fcfs_ed2 - 1.0) * 100.0);
-            }
-        }
-        if let Some(&(winner, _)) = members.iter().min_by(|(_, a), (_, b)| a.total_cmp(b)) {
-            *wins.entry(winner).or_default() += 1;
-        }
-    }
-    let means = vs_fcfs
-        .into_iter()
-        .map(|(p, v)| (p.to_string(), v.iter().sum::<f64>() / v.len() as f64))
-        .collect();
-    let wins = wins.into_iter().map(|(p, n)| (p.to_string(), n)).collect();
-    (means, wins)
-}
+use actor_bench::sweep_out::{
+    cells_output, default_spec, score_policies, sweep_output, sweep_table_headers, sweep_table_row,
+};
+use actor_bench::{BenchArgs, FileReporter, Harness};
+use actor_core::report::{StreamingReporter, Table};
+use cluster_daemon::{run_distributed, ProcessSweepOptions};
+use cluster_rpc::SweepContext;
+use cluster_sched::{run_sweep_traced, SweepRun};
+use npb_workloads::BenchmarkId;
 
 fn main() {
     let harness = Harness::from_env();
     let args = &harness.args;
-    let jobs = args.jobs_or_auto();
-    let exp = harness.experiment();
-
-    eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
-    let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
+    if args.serve.is_some() || args.connect.is_some() {
+        eprintln!(
+            "error: cluster_sweep neither serves nor connects; use the cluster_daemon and \
+             cluster_worker binaries for external workers"
+        );
+        std::process::exit(2);
+    }
 
     let mut spec = default_spec(args.fast);
     if let Some(grid) = &args.grid {
         spec = spec.with_grid(grid).unwrap_or_else(|e| panic!("{e}"));
     }
 
-    let headers =
-        vec!["cell", "nodes", "budget", "policy", "seed", "makespan s", "energy kJ", "ED2 MJ.s2"];
     let mut streaming = StreamingReporter::new(
         Box::new(FileReporter::default()),
         "cluster_sweep",
         "Policy-search sweep: every cell",
-        headers,
+        sweep_table_headers(),
         spec.len(),
     );
     if let Some(sink) = harness.telemetry_sink() {
         streaming = streaming.with_telemetry(sink);
     }
-    eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
-    let run = run_sweep_traced(&spec, &model, jobs, harness.telemetry_sink(), |outcome, _, _| {
-        let (p, r) = (&outcome.cell.point, &outcome.report);
-        streaming.row(
-            outcome.cell.index,
-            vec![
-                outcome.cell.index.to_string(),
-                p.nodes.to_string(),
-                p.budget_label.clone(),
-                p.policy.clone(),
-                p.seed.to_string(),
-                fmt3(r.makespan_s),
-                fmt3(r.total_energy_j / 1e3),
-                fmt3(r.cluster_ed2() / 1e6),
-            ],
+
+    let run: SweepRun = if let Some(processes) = args.processes {
+        // Distributed mode: the daemon owns the grid, N spawned workers
+        // each rebuild the model from the wire-carried context.
+        let worker_bin = BenchArgs::sibling_bin("cluster_worker").unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let context = SweepContext {
+            config: args.config(),
+            benchmarks: BenchmarkId::ALL.to_vec(),
+            workload: "light".into(),
+            max_node_w: spec.max_node_w,
+            heartbeat_ms: 250,
+        };
+        let opts = ProcessSweepOptions::new(processes, worker_bin, context);
+        eprintln!(
+            "running {} sweep cells on {processes} worker process(es) (each retrains the \
+             model)...",
+            spec.len()
         );
-    })
-    .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+        let dist = run_distributed(&spec, &opts, harness.telemetry_sink(), |outcome, _, _| {
+            streaming.row(outcome.cell.index, sweep_table_row(outcome));
+        })
+        .unwrap_or_else(|e| panic!("distributed sweep failed: {e}"));
+        if dist.reassignments > 0 {
+            eprintln!("note: {} cell(s) were reassigned from dead workers", dist.reassignments);
+        }
+        dist.run
+    } else {
+        let jobs = args.jobs_or_auto();
+        let exp = harness.experiment();
+        eprintln!("building the workload model (leave-one-out ANN training over the NPB suite)...");
+        let model = Arc::new(exp.workload_model().expect("workload model construction failed"));
+        eprintln!("running {} sweep cells on {jobs} worker thread(s)...", spec.len());
+        run_sweep_traced(&spec, &model, jobs, harness.telemetry_sink(), |outcome, _, _| {
+            streaming.row(outcome.cell.index, sweep_table_row(outcome));
+        })
+        .unwrap_or_else(|e| panic!("sweep failed: {e}"))
+    };
+
     let mut reporter = streaming.finish();
     reporter.note(&format!(
-        "sweep: {} cells in {:.1} s on {} worker thread(s) ({:.2} cells/s)",
+        "sweep: {} cells in {:.1} s on {} worker(s) ({:.2} cells/s)",
         run.outcomes.len(),
         run.wall_clock_s,
         run.jobs,
         run.cells_per_sec(),
     ));
 
-    let (means, wins) = score_policies(&run);
+    let (means, wins) = score_policies(&run.outcomes);
     let mut scoreboard = Table::new(vec!["policy", "mean ED2 vs fcfs", "group wins"]);
     for (policy, mean) in &means {
         let won = wins.iter().find(|(p, _)| p == policy).map_or(0, |(_, n)| *n);
@@ -206,33 +134,10 @@ fn main() {
         }
     }
 
-    let entries: Vec<CellEntry> = run
-        .outcomes
-        .iter()
-        .map(|o| CellEntry {
-            index: o.cell.index,
-            nodes: o.cell.point.nodes,
-            budget_label: o.cell.point.budget_label.clone(),
-            budget_fraction: o.cell.point.budget_fraction,
-            policy: o.cell.point.policy.clone(),
-            seed: o.cell.point.seed,
-            cluster_ed2_j_s2: o.report.cluster_ed2(),
-            makespan_s: o.report.makespan_s,
-            total_energy_j: o.report.total_energy_j,
-            avg_wait_s: o.report.avg_wait_s(),
-            throttle_fraction: o.report.throttle_fraction(),
-            cap_violations: o.report.cap_violations,
-        })
-        .collect();
-    let output = SweepOutput {
-        cells: run.outcomes.len(),
-        jobs: run.jobs,
-        wall_clock_s: run.wall_clock_s,
-        cells_per_sec: run.cells_per_sec(),
-        entries,
-        policy_mean_ed2_vs_fcfs_pct: means,
-        policy_wins: wins,
-    };
-    let json = serde_json::to_string_pretty(&output).expect("sweep serializes");
+    let json = serde_json::to_string_pretty(&sweep_output(&run)).expect("sweep serializes");
     reporter.artifact("cluster_sweep.json", &json);
+    // The timing-free twin: byte-identical across every execution mode.
+    let cells_json =
+        serde_json::to_string_pretty(&cells_output(&run.outcomes)).expect("cells serialize");
+    reporter.artifact("cluster_sweep_cells.json", &cells_json);
 }

@@ -1,0 +1,52 @@
+//! `cluster_worker` — execute sweep cells for a `cluster_daemon` (or a
+//! `--processes N` sweep, which spawns these automatically).
+//!
+//! The worker connects to the daemon's Unix socket, handshakes, rebuilds
+//! the ANN-trained workload model from the wire-carried `SweepContext`
+//! (heartbeating throughout, so training never reads as death), then
+//! executes `AssignCell`s until `Shutdown` — forwarding batched
+//! `TraceEvent`s ahead of each `CellResult`.
+//!
+//! Flags:
+//!
+//! * `--connect SOCKET` (required) — the daemon's Unix socket path.
+//! * `--name NAME` — worker name reported in the handshake (default
+//!   `worker-<pid>`).
+//!
+//! Exit status: 0 after an orderly `Shutdown`, 1 on connection or
+//! protocol failure, 2 on bad arguments.
+
+use std::os::unix::net::UnixStream;
+
+use actor_bench::BenchArgs;
+use cluster_daemon::run_worker;
+
+/// `--name NAME` from the raw argument list (`BenchArgs` skips flags it
+/// does not own).
+fn name_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--name" {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let Some(socket) = args.connect else {
+        eprintln!("error: cluster_worker requires --connect SOCKET (the daemon's Unix socket)");
+        std::process::exit(2);
+    };
+    let name = name_arg().unwrap_or_else(|| format!("worker-{}", std::process::id()));
+
+    let stream = UnixStream::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to daemon at {socket}: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = run_worker(Box::new(stream), &name) {
+        eprintln!("error: worker {name} failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,16 @@ pub struct BenchArgs {
     /// decision / cluster event / sweep cell to `PATH` (see
     /// `actor_core::telemetry::JsonlSink`). `None` = telemetry off.
     pub trace: Option<String>,
+    /// `--processes N`: run the sweep on N local worker *processes*
+    /// through the cluster daemon (sweep binaries; each worker is
+    /// CPU-pinned when `taskset` is available). Overrides `--jobs`.
+    pub processes: Option<usize>,
+    /// `--serve PATH`: daemon mode — bind the Unix socket at `PATH` and
+    /// accept external `cluster_worker` processes (`cluster_daemon` bin).
+    pub serve: Option<String>,
+    /// `--connect PATH`: worker mode — connect to a daemon's Unix socket
+    /// (`cluster_worker` bin).
+    pub connect: Option<String>,
 }
 
 impl BenchArgs {
@@ -60,9 +70,10 @@ impl BenchArgs {
     }
 
     /// Parses an explicit argument list, erroring loudly on a value-taking
-    /// flag (`--seed`, `--jobs`, `--grid`, `--trace`) whose value is
-    /// missing, starts with `--`, or does not parse — a missing value must
-    /// never silently swallow the next flag.
+    /// flag (`--seed`, `--jobs`, `--grid`, `--trace`, `--processes`,
+    /// `--serve`, `--connect`) whose value is missing, starts with `--`,
+    /// or does not parse — a missing value must never silently swallow the
+    /// next flag.
     pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         fn value_of<I: Iterator<Item = String>>(
             flag: &str,
@@ -98,6 +109,20 @@ impl BenchArgs {
                 }
                 "--grid" => out.grid = Some(value_of("--grid", &mut args)?),
                 "--trace" => out.trace = Some(value_of("--trace", &mut args)?),
+                "--processes" => {
+                    let v = value_of("--processes", &mut args)?;
+                    let processes: usize = v.parse().map_err(|_| {
+                        format!("invalid --processes value {v:?} (expected a positive integer)")
+                    })?;
+                    if processes == 0 {
+                        return Err(
+                            "invalid --processes value 0 (expected a positive integer)".into()
+                        );
+                    }
+                    out.processes = Some(processes);
+                }
+                "--serve" => out.serve = Some(value_of("--serve", &mut args)?),
+                "--connect" => out.connect = Some(value_of("--connect", &mut args)?),
                 _ => {}
             }
         }
@@ -110,6 +135,23 @@ impl BenchArgs {
     pub fn jobs_or_auto(&self) -> usize {
         self.jobs
             .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+    }
+
+    /// Locates a sibling binary of the current executable (e.g. the
+    /// `cluster_worker` a `--processes` sweep spawns): same directory
+    /// first, then one level up (test binaries live in `deps/`).
+    pub fn sibling_bin(name: &str) -> Result<PathBuf, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+        let dir = exe.parent().ok_or("this binary has no parent directory")?;
+        for candidate in [dir.join(name), dir.parent().map(|p| p.join(name)).unwrap_or_default()] {
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+        Err(format!(
+            "binary {name:?} not found beside {}; build it first (cargo build --bin {name})",
+            exe.display()
+        ))
     }
 
     /// The ACTOR configuration these arguments select: the paper
@@ -293,7 +335,8 @@ mod tests {
     #[test]
     fn missing_values_error_loudly_instead_of_swallowing_flags() {
         // A following flag is never consumed as the value.
-        for flag in ["--seed", "--jobs", "--grid", "--trace"] {
+        for flag in ["--seed", "--jobs", "--grid", "--trace", "--processes", "--serve", "--connect"]
+        {
             let err = parse(&[flag, "--fast"]).unwrap_err();
             assert_eq!(err, format!("{flag} requires a value"), "{flag}");
             // Trailing flag with no value at all.
@@ -310,6 +353,26 @@ mod tests {
         assert!(err.contains("--jobs") && err.contains("many"), "{err}");
         let err = parse(&["--jobs", "0"]).unwrap_err();
         assert!(err.contains("--jobs") && err.contains('0'), "{err}");
+        let err = parse(&["--processes", "two"]).unwrap_err();
+        assert!(err.contains("--processes") && err.contains("two"), "{err}");
+        let err = parse(&["--processes", "0"]).unwrap_err();
+        assert!(err.contains("--processes") && err.contains('0'), "{err}");
+    }
+
+    #[test]
+    fn distributed_flags_parse_and_default_off() {
+        let defaults = parse(&["--fast"]).unwrap();
+        assert_eq!((defaults.processes, &defaults.serve, &defaults.connect), (None, &None, &None));
+
+        let args = parse(&["--processes", "2"]).unwrap();
+        assert_eq!(args.processes, Some(2));
+
+        let args = parse(&["--serve", "/tmp/daemon.sock", "--fast"]).unwrap();
+        assert_eq!(args.serve.as_deref(), Some("/tmp/daemon.sock"));
+        assert!(args.fast);
+
+        let args = parse(&["--connect", "/tmp/daemon.sock"]).unwrap();
+        assert_eq!(args.connect.as_deref(), Some("/tmp/daemon.sock"));
     }
 
     #[test]

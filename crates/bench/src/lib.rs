@@ -31,5 +31,6 @@
 //! configurations).
 
 pub mod harness;
+pub mod sweep_out;
 
 pub use harness::{BenchArgs, FileReporter, Harness};

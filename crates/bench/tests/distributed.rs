@@ -1,0 +1,195 @@
+//! Process-level tests of the distributed sweep: real `cluster_worker`
+//! binaries over Unix-domain sockets, each retraining the workload model
+//! from the wire-carried `SweepContext`.
+//!
+//! Complements `cluster-daemon`'s duplex tests (deterministic
+//! reassignment mechanics) with what only the bench crate can test —
+//! `CARGO_BIN_EXE_cluster_worker` exists here: byte-identity of the
+//! artefact across every execution mode, and a SIGKILLed worker process
+//! leaving the daemon serving.
+
+use std::cell::RefCell;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use actor_bench::sweep_out::cells_output;
+use actor_core::config::ActorConfig;
+use cluster_daemon::{
+    accept_unix, run_distributed, serve, DaemonConfig, DistRun, ProcessSweepOptions,
+};
+use cluster_rpc::SweepContext;
+use cluster_sched::{quad_test_workload, run_sweep, SweepRun, SweepSpec, WorkloadModel};
+use npb_workloads::BenchmarkId;
+use xeon_sim::Machine;
+
+const IDS: [BenchmarkId; 4] = [BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Bt];
+
+fn config() -> ActorConfig {
+    ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() }
+}
+
+fn model() -> Arc<WorkloadModel> {
+    static MODEL: OnceLock<Arc<WorkloadModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        Arc::new(WorkloadModel::build(&Machine::xeon_qx6600(), &config(), &IDS).unwrap())
+    }))
+}
+
+/// The context the daemon serves: workers must rebuild exactly the model
+/// [`model`] builds in-process, or byte-identity cannot hold.
+fn context() -> SweepContext {
+    SweepContext {
+        config: config(),
+        benchmarks: IDS.to_vec(),
+        workload: "quad-test".into(),
+        max_node_w: 160.0,
+        heartbeat_ms: 50,
+    }
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        nodes: vec![2, 4],
+        budgets: vec![("tight".into(), 0.45)],
+        policies: vec!["fcfs".into(), "power-aware".into()],
+        seeds: vec![1, 2],
+        extra: vec![],
+        max_node_w: 160.0,
+        workload: quad_test_workload,
+    }
+}
+
+fn unique_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("actor-bench-{tag}-{}.sock", std::process::id()))
+}
+
+fn spawn_worker_process(socket: &std::path::Path, name: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_cluster_worker"))
+        .arg("--connect")
+        .arg(socket)
+        .args(["--name", name])
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("cluster_worker spawns")
+}
+
+/// Serves `spec` on a fresh Unix socket, calling `workers` once the
+/// socket is listening (spawn processes, return their children) and
+/// `on_cell` per streamed result. Reaps the children afterwards.
+fn serve_with_processes(
+    spec: &SweepSpec,
+    workers: impl FnOnce(&std::path::Path) -> Vec<Child>,
+    on_cell: impl FnMut(&cluster_sched::SweepCellOutcome, usize, usize),
+) -> (DistRun, Vec<std::process::ExitStatus>) {
+    let socket = unique_socket("serve");
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).expect("socket binds");
+    listener.set_nonblocking(true).expect("socket accepts nonblocking mode");
+    let stop = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = crossbeam::channel::unbounded();
+    let acceptor = accept_unix(listener, Arc::clone(&stop), conn_tx);
+    let children = RefCell::new(workers(&socket));
+
+    let mut daemon_config = DaemonConfig::new(context());
+    daemon_config.no_worker_timeout = Some(Duration::from_secs(120));
+    let result = serve(spec, &daemon_config, conn_rx, None, on_cell);
+    stop.store(true, Ordering::Relaxed);
+    acceptor.join().expect("acceptor joins");
+    let _ = std::fs::remove_file(&socket);
+
+    let statuses = children
+        .into_inner()
+        .into_iter()
+        .map(|mut child| child.wait().expect("worker reaps"))
+        .collect();
+    (result.expect("daemon sweep completes"), statuses)
+}
+
+fn assert_same_outcomes(label: &str, reference: &SweepRun, run: &SweepRun) {
+    assert_eq!(reference.outcomes, run.outcomes, "{label}: outcomes diverged from serial");
+    // Byte-level: the artefact every mode persists.
+    assert_eq!(
+        serde_json::to_string_pretty(&cells_output(&reference.outcomes)).unwrap(),
+        serde_json::to_string_pretty(&cells_output(&run.outcomes)).unwrap(),
+        "{label}: cells artefact is not byte-identical"
+    );
+}
+
+/// The acceptance matrix: serial in-process, `--jobs 8` threads,
+/// `--processes 2` spawned workers, and a daemon serving two external
+/// worker processes all produce byte-identical artefacts.
+#[test]
+fn every_execution_mode_is_byte_identical() {
+    let spec = spec();
+    let serial = run_sweep(&spec, &model(), 1, |_, _, _| {}).unwrap();
+    assert_eq!(serial.outcomes.len(), spec.len());
+
+    let threaded = run_sweep(&spec, &model(), 8, |_, _, _| {}).unwrap();
+    assert_same_outcomes("--jobs 8", &serial, &threaded);
+
+    let opts =
+        ProcessSweepOptions::new(2, PathBuf::from(env!("CARGO_BIN_EXE_cluster_worker")), context());
+    let dist = run_distributed(&spec, &opts, None, |_, _, _| {}).unwrap();
+    assert_eq!(dist.workers_seen, 2);
+    assert_eq!(dist.reassignments, 0);
+    assert_same_outcomes("--processes 2", &serial, &dist.run);
+
+    let (served, statuses) = serve_with_processes(
+        &spec,
+        |socket| vec![spawn_worker_process(socket, "ext-1"), spawn_worker_process(socket, "ext-2")],
+        |_, _, _| {},
+    );
+    assert_eq!(served.workers_seen, 2);
+    assert_same_outcomes("daemon + external workers", &serial, &served.run);
+    // An orderly Shutdown: both workers exit 0.
+    assert!(statuses.iter().all(|s| s.success()), "worker exit statuses: {statuses:?}");
+}
+
+/// SIGKILLing a worker process mid-run leaves the daemon serving: a
+/// replacement picks up the remaining cells (including any the victim
+/// held) and the artefact is still byte-identical to the serial run.
+#[test]
+fn a_sigkilled_worker_process_does_not_stop_the_daemon() {
+    let spec = spec();
+    let serial = run_sweep(&spec, &model(), 1, |_, _, _| {}).unwrap();
+
+    let socket = unique_socket("sigkill");
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).expect("socket binds");
+    listener.set_nonblocking(true).expect("socket accepts nonblocking mode");
+    let stop = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = crossbeam::channel::unbounded();
+    let acceptor = accept_unix(listener, Arc::clone(&stop), conn_tx);
+
+    let children = RefCell::new(vec![spawn_worker_process(&socket, "victim")]);
+    let mut results_seen = 0usize;
+    let mut daemon_config = DaemonConfig::new(context());
+    daemon_config.no_worker_timeout = Some(Duration::from_secs(120));
+    let dist = serve(&spec, &daemon_config, conn_rx, None, |_, _, _| {
+        results_seen += 1;
+        if results_seen == 1 {
+            // First result in: SIGKILL the only worker (no Shutdown, no
+            // socket courtesy) and connect its replacement.
+            let mut kids = children.borrow_mut();
+            kids[0].kill().expect("SIGKILL reaches the worker");
+            kids[0].wait().expect("victim reaps");
+            kids.push(spawn_worker_process(&socket, "replacement"));
+        }
+    })
+    .expect("the daemon keeps serving through the kill");
+    stop.store(true, Ordering::Relaxed);
+    acceptor.join().expect("acceptor joins");
+    let _ = std::fs::remove_file(&socket);
+
+    assert_eq!(results_seen, spec.len());
+    assert_eq!(dist.workers_seen, 2, "the replacement worker joined");
+    assert_same_outcomes("post-SIGKILL", &serial, &dist.run);
+
+    let mut kids = children.into_inner();
+    let replacement = kids.pop().expect("replacement child exists").wait().expect("reaps");
+    assert!(replacement.success(), "replacement exited {replacement:?}");
+}

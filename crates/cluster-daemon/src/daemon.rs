@@ -1,0 +1,418 @@
+//! The daemon control loop: grid ownership, dispatch, heartbeat liveness,
+//! and reassignment of cells from dead or stalled workers.
+//!
+//! [`serve`] is transport-agnostic: it consumes connected [`Wire`]s from a
+//! channel, so the same loop runs over Unix-socket accepts in production
+//! and in-memory duplexes in tests. Each connection gets a handler thread
+//! that handshakes and forwards frames into one event channel; the control
+//! loop itself is single-threaded, which keeps the bookkeeping (pending
+//! queue, attempt counts, completion set) free of locks.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use actor_core::telemetry::{SharedSink, TraceEvent};
+use cluster_rpc::{server_handshake, CellOutcome, Connection, Message, SweepContext, Wire};
+use cluster_sched::{SweepCell, SweepCellOutcome, SweepRun, SweepSpec};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::error::DaemonError;
+
+/// How the daemon treats its workers.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The context every worker receives at handshake (model config,
+    /// benchmark list, workload shape name, heartbeat period).
+    pub context: SweepContext,
+    /// Silence longer than this declares a worker dead and requeues its
+    /// cell.
+    pub liveness_grace: Duration,
+    /// Assignments a cell may consume before its worker deaths become a
+    /// terminal [`DaemonError::Cell`].
+    pub max_attempts: usize,
+    /// Give up with [`DaemonError::NoWorkers`] after this long with zero
+    /// live workers and cells still unresolved. `None` waits forever.
+    pub no_worker_timeout: Option<Duration>,
+}
+
+impl DaemonConfig {
+    /// Defaults derived from the context: a liveness grace of 10 heartbeat
+    /// periods (min 100 ms), 3 attempts per cell, wait forever for
+    /// workers.
+    pub fn new(context: SweepContext) -> Self {
+        let grace = Duration::from_millis(context.heartbeat_ms.saturating_mul(10).max(100));
+        Self { context, liveness_grace: grace, max_attempts: 3, no_worker_timeout: None }
+    }
+}
+
+/// A completed distributed sweep: the `run_sweep`-shaped result plus
+/// distribution bookkeeping.
+#[derive(Debug, Clone)]
+pub struct DistRun {
+    /// Outcomes sorted by cell index — renders byte-identical to
+    /// [`cluster_sched::run_sweep`] on the same grid. `run.jobs` is the
+    /// number of distinct workers that ever joined.
+    pub run: SweepRun,
+    /// Distinct workers that completed the handshake.
+    pub workers_seen: usize,
+    /// Cells requeued because their worker died or stalled.
+    pub reassignments: usize,
+}
+
+/// What the per-connection handler threads feed the control loop.
+enum Event {
+    Joined { id: u64, name: String, conn: Arc<Connection> },
+    Frame { id: u64, msg: Message },
+    Left { id: u64, reason: String },
+}
+
+struct WorkerState {
+    name: String,
+    conn: Arc<Connection>,
+    busy: Option<SweepCell>,
+    last_seen: Instant,
+}
+
+/// The mirror of `cluster_sched`'s private per-cell trace record — kept
+/// field-identical so daemon-mode JSONL traces match in-process ones.
+fn sweep_cell_event(outcome: &SweepCellOutcome) -> TraceEvent {
+    let point = &outcome.cell.point;
+    TraceEvent::SweepCell {
+        index: outcome.cell.index,
+        nodes: point.nodes,
+        budget: point.budget_label.clone(),
+        policy: point.policy.clone(),
+        seed: point.seed,
+        makespan_s: outcome.report.makespan_s,
+        total_energy_j: outcome.report.total_energy_j,
+    }
+}
+
+/// Turns raw wires into handshaked connections feeding `events`: one
+/// handler thread per connection, exiting when its connection closes.
+fn spawn_acceptor(conns: Receiver<Box<dyn Wire>>, context: SweepContext, events: Sender<Event>) {
+    std::thread::spawn(move || {
+        let mut next_id = 0u64;
+        while let Ok(wire) = conns.recv() {
+            let id = next_id;
+            next_id += 1;
+            let events = events.clone();
+            let context = context.clone();
+            std::thread::spawn(move || {
+                let conn = match Connection::new(wire) {
+                    Ok(c) => Arc::new(c),
+                    Err(_) => return,
+                };
+                let name = match server_handshake(&conn, &context) {
+                    Ok(name) => name,
+                    Err(_) => {
+                        conn.shutdown();
+                        return;
+                    }
+                };
+                if events.send(Event::Joined { id, name, conn: Arc::clone(&conn) }).is_err() {
+                    conn.shutdown();
+                    return;
+                }
+                loop {
+                    match conn.recv() {
+                        Ok(msg) => {
+                            if events.send(Event::Frame { id, msg }).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = events.send(Event::Left { id, reason: e.to_string() });
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Requeues a died-with-its-worker cell at the *front* (retries happen
+/// promptly, keeping completion order close to expansion order), unless
+/// its attempts are exhausted — then it becomes a terminal failure.
+fn requeue_or_fail(
+    cell: SweepCell,
+    reason: String,
+    attempts: &BTreeMap<usize, usize>,
+    max_attempts: usize,
+    pending: &mut VecDeque<SweepCell>,
+    failures: &mut Vec<(SweepCell, String, usize)>,
+) {
+    let tried = attempts.get(&cell.index).copied().unwrap_or(0);
+    if tried >= max_attempts {
+        failures.push((cell, reason, tried));
+    } else {
+        pending.push_front(cell);
+    }
+}
+
+/// Serves one sweep to however many workers connect, returning when every
+/// cell is resolved.
+///
+/// Workers arrive as connected [`Wire`]s on `conns` (a Unix-socket accept
+/// loop in production, [`cluster_rpc::duplex`] halves in tests) and may
+/// join at any point mid-sweep. Results stream through `on_cell` in
+/// completion order exactly like [`cluster_sched::run_sweep`]'s callback,
+/// and the returned outcomes are index-sorted, so artefacts rendered from
+/// either are byte-identical.
+///
+/// Failure semantics mirror `run_sweep`: a cell whose simulation fails
+/// (worker reported [`CellOutcome::Failed`]) is deterministic — never
+/// retried, sweep keeps running, lowest-index failure reported at the end.
+/// A worker death or stall is indeterminate — the cell is requeued until
+/// [`DaemonConfig::max_attempts`].
+pub fn serve(
+    spec: &SweepSpec,
+    config: &DaemonConfig,
+    conns: Receiver<Box<dyn Wire>>,
+    telemetry: Option<SharedSink>,
+    mut on_cell: impl FnMut(&SweepCellOutcome, usize, usize),
+) -> Result<DistRun, DaemonError> {
+    spec.validate()?;
+    let all_cells = spec.expand();
+    let total = all_cells.len();
+    let started = Instant::now();
+
+    let (event_tx, event_rx) = crossbeam::channel::unbounded();
+    spawn_acceptor(conns, config.context.clone(), event_tx);
+
+    let tick = (config.liveness_grace / 4).max(Duration::from_millis(5));
+    let mut pending: VecDeque<SweepCell> = all_cells.iter().cloned().collect();
+    let mut attempts: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut workers: BTreeMap<u64, WorkerState> = BTreeMap::new();
+    let mut completed: BTreeSet<usize> = BTreeSet::new();
+    let mut outcomes: Vec<SweepCellOutcome> = Vec::with_capacity(total);
+    let mut failures: Vec<(SweepCell, String, usize)> = Vec::new();
+    let mut workers_seen = 0usize;
+    let mut reassignments = 0usize;
+    let mut workers_empty_since = started;
+
+    let result = loop {
+        // Dispatch pending cells to idle workers. A failed send means the
+        // worker is already gone: undo the attempt (the assignment never
+        // arrived) and drop the worker.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, worker) in workers.iter_mut() {
+            if worker.busy.is_some() {
+                continue;
+            }
+            let Some(cell) = pending.pop_front() else { break };
+            *attempts.entry(cell.index).or_insert(0) += 1;
+            match worker.conn.send(&Message::AssignCell(cell.clone())) {
+                Ok(()) => worker.busy = Some(cell),
+                Err(_) => {
+                    *attempts.get_mut(&cell.index).expect("attempt just counted") -= 1;
+                    pending.push_front(cell);
+                    dead.push(id);
+                }
+            }
+        }
+        for id in dead {
+            if let Some(worker) = workers.remove(&id) {
+                worker.conn.shutdown();
+            }
+        }
+
+        if outcomes.len() + failures.len() == total {
+            break Ok(());
+        }
+
+        match event_rx.recv_timeout(tick) {
+            Ok(Event::Joined { id, name, conn }) => {
+                workers_seen += 1;
+                workers
+                    .insert(id, WorkerState { name, conn, busy: None, last_seen: Instant::now() });
+            }
+            Ok(Event::Frame { id, msg }) => {
+                // Frames from workers already declared dead are ignored:
+                // their cell was requeued, and the completion set below
+                // guards against double-counting anyway.
+                let Some(worker) = workers.get_mut(&id) else { continue };
+                worker.last_seen = Instant::now();
+                match msg {
+                    Message::Heartbeat => {}
+                    Message::TraceBatch(events) => {
+                        if let Some(sink) = &telemetry {
+                            sink.record_batch(&events);
+                        }
+                    }
+                    Message::CellResult { index, outcome } => {
+                        if worker.busy.as_ref().map(|c| c.index) == Some(index) {
+                            worker.busy = None;
+                        }
+                        if index >= total || completed.contains(&index) {
+                            continue;
+                        }
+                        match outcome {
+                            CellOutcome::Completed(report) => {
+                                completed.insert(index);
+                                let outcome =
+                                    SweepCellOutcome { cell: all_cells[index].clone(), report };
+                                if let Some(sink) = &telemetry {
+                                    sink.record(&sweep_cell_event(&outcome));
+                                }
+                                on_cell(&outcome, outcomes.len() + failures.len() + 1, total);
+                                outcomes.push(outcome);
+                            }
+                            CellOutcome::Failed { reason, panicked } => {
+                                // A simulation failure is deterministic:
+                                // retrying on another worker would fail
+                                // identically, so it is terminal — exactly
+                                // run_sweep's semantics.
+                                if failures.iter().any(|(c, ..)| c.index == index) {
+                                    continue;
+                                }
+                                let tried = attempts.get(&index).copied().unwrap_or(1);
+                                let reason = if panicked {
+                                    format!("cell panicked: {reason}")
+                                } else {
+                                    reason
+                                };
+                                failures.push((all_cells[index].clone(), reason, tried));
+                            }
+                        }
+                    }
+                    Message::Error(e) => {
+                        if let Some(worker) = workers.remove(&id) {
+                            worker.conn.shutdown();
+                            if let Some(cell) = worker.busy {
+                                reassignments += 1;
+                                requeue_or_fail(
+                                    cell,
+                                    format!("worker {} failed: {e}", worker.name),
+                                    &attempts,
+                                    config.max_attempts,
+                                    &mut pending,
+                                    &mut failures,
+                                );
+                            }
+                        }
+                    }
+                    other => {
+                        // Hello/HelloAck/AssignCell/Shutdown from a worker
+                        // are protocol violations; drop the worker.
+                        if let Some(worker) = workers.remove(&id) {
+                            worker.conn.shutdown();
+                            if let Some(cell) = worker.busy {
+                                reassignments += 1;
+                                requeue_or_fail(
+                                    cell,
+                                    format!(
+                                        "worker {} sent an unexpected {} frame",
+                                        worker.name,
+                                        other.kind()
+                                    ),
+                                    &attempts,
+                                    config.max_attempts,
+                                    &mut pending,
+                                    &mut failures,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Event::Left { id, reason }) => {
+                if let Some(worker) = workers.remove(&id) {
+                    worker.conn.shutdown();
+                    if let Some(cell) = worker.busy {
+                        reassignments += 1;
+                        requeue_or_fail(
+                            cell,
+                            format!("worker {} died: {reason}", worker.name),
+                            &attempts,
+                            config.max_attempts,
+                            &mut pending,
+                            &mut failures,
+                        );
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                break Err(DaemonError::Disconnected {
+                    resolved: outcomes.len() + failures.len(),
+                    total,
+                });
+            }
+        }
+
+        // Liveness: a worker silent past the grace is dead — its
+        // connection may still look open (SIGKILL leaves the socket up
+        // until the kernel notices), so the heartbeat is authoritative.
+        let now = Instant::now();
+        let stalled: Vec<u64> = workers
+            .iter()
+            .filter(|(_, w)| now.duration_since(w.last_seen) > config.liveness_grace)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stalled {
+            if let Some(worker) = workers.remove(&id) {
+                worker.conn.shutdown();
+                if let Some(cell) = worker.busy {
+                    reassignments += 1;
+                    requeue_or_fail(
+                        cell,
+                        format!(
+                            "worker {} stalled (silent past {:.1} s)",
+                            worker.name,
+                            config.liveness_grace.as_secs_f64()
+                        ),
+                        &attempts,
+                        config.max_attempts,
+                        &mut pending,
+                        &mut failures,
+                    );
+                }
+            }
+        }
+
+        if workers.is_empty() {
+            if let Some(timeout) = config.no_worker_timeout {
+                if workers_empty_since.elapsed() > timeout {
+                    break Err(DaemonError::NoWorkers {
+                        waited_s: workers_empty_since.elapsed().as_secs_f64(),
+                    });
+                }
+            }
+        } else {
+            workers_empty_since = now;
+        }
+    };
+
+    // Wind down: tell every surviving worker to exit cleanly, then close
+    // the transports so handler threads unblock. Connections whose Joined
+    // event is still queued get the same treatment.
+    for worker in workers.values() {
+        let _ = worker.conn.send(&Message::Shutdown);
+        worker.conn.shutdown();
+    }
+    while let Ok(event) = event_rx.try_recv() {
+        if let Event::Joined { conn, .. } = event {
+            let _ = conn.send(&Message::Shutdown);
+            conn.shutdown();
+        }
+    }
+
+    result?;
+
+    if let Some((cell, reason, tried)) = failures.into_iter().min_by_key(|(c, ..)| c.index) {
+        return Err(DaemonError::Cell { cell: Box::new(cell), reason, attempts: tried.max(1) });
+    }
+    outcomes.sort_by_key(|o| o.cell.index);
+    Ok(DistRun {
+        run: SweepRun {
+            outcomes,
+            jobs: workers_seen.max(1),
+            wall_clock_s: started.elapsed().as_secs_f64(),
+        },
+        workers_seen,
+        reassignments,
+    })
+}

@@ -1,0 +1,154 @@
+//! The worker runtime: handshake, heartbeat, model rebuild, cell loop.
+//!
+//! A worker is a thin shell around [`cluster_sched::execute_cell`] — the
+//! same function every in-process sweep thread runs — so a cell computes
+//! the identical [`cluster_sched::ClusterReport`] no matter which side of
+//! the socket it runs on. The only worker-specific machinery is the
+//! heartbeat thread (started *before* model training, which takes seconds
+//! and must not read as death) and the telemetry forwarder that batches
+//! trace events into `TraceBatch` frames.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use actor_core::telemetry::{BufferedSink, SharedSink, TelemetrySink, TraceEvent};
+use cluster_rpc::{
+    client_handshake, CellOutcome, Connection, Message, RpcError, SweepContext, Wire,
+};
+use cluster_sched::{execute_cell, workload_shape_by_name, WorkloadModel, WorkloadSpec};
+use xeon_sim::Machine;
+
+use crate::error::WorkerError;
+
+/// Ships trace events to the daemon as `TraceBatch` frames. Sits behind a
+/// [`BufferedSink`] so hot-path events amortise to one frame per batch;
+/// send failures are swallowed — a dying connection surfaces in the cell
+/// loop, not in telemetry.
+struct TraceForwardSink {
+    conn: Arc<Connection>,
+}
+
+impl TelemetrySink for TraceForwardSink {
+    fn record(&self, event: &TraceEvent) {
+        let _ = self.conn.send(&Message::TraceBatch(vec![event.clone()]));
+    }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        if !events.is_empty() {
+            let _ = self.conn.send(&Message::TraceBatch(events.to_vec()));
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Executes one assigned cell, containing panics: the daemon gets a typed
+/// [`CellOutcome`] either way, never a dead worker from a bad cell.
+fn run_one_cell(
+    model: &WorkloadModel,
+    workload: fn(usize) -> WorkloadSpec,
+    max_node_w: f64,
+    cell: &cluster_sched::SweepCell,
+    telemetry: &SharedSink,
+) -> CellOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_cell(model, workload, max_node_w, cell, Some(telemetry))
+    }));
+    match result {
+        Ok(Ok(report)) => CellOutcome::Completed(report),
+        Ok(Err(e)) => CellOutcome::Failed { reason: e.to_string(), panicked: false },
+        Err(payload) => {
+            CellOutcome::Failed { reason: panic_message(payload.as_ref()), panicked: true }
+        }
+    }
+}
+
+/// Runs the worker protocol over `wire` until the daemon says
+/// [`Message::Shutdown`] (clean exit) or the connection fails.
+///
+/// The model is rebuilt from the handshake's [`SweepContext`]:
+/// [`WorkloadModel::build`] is deterministic in `(config, benchmarks)`, so
+/// every worker trains the exact tables the daemon's in-process peer would
+/// use.
+pub fn run_worker(wire: Box<dyn Wire>, name: &str) -> Result<(), WorkerError> {
+    run_worker_with(wire, name, |ctx| {
+        WorkloadModel::build(&Machine::xeon_qx6600(), &ctx.config, &ctx.benchmarks)
+            .map(Arc::new)
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// [`run_worker`] with an injectable model source — tests hand every
+/// duplex worker one prebuilt `Arc` instead of re-training per worker.
+pub fn run_worker_with(
+    wire: Box<dyn Wire>,
+    name: &str,
+    model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
+) -> Result<(), WorkerError> {
+    let conn = Arc::new(Connection::new(wire).map_err(RpcError::from)?);
+    let ctx = client_handshake(&conn, name)?;
+
+    // Heartbeats start before the (seconds-long) model build so training
+    // never reads as death at the daemon's liveness scan.
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let conn = Arc::clone(&conn);
+        let stop = Arc::clone(&stop);
+        let period = Duration::from_millis(ctx.heartbeat_ms.max(1));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if conn.send(&Message::Heartbeat).is_err() {
+                    break;
+                }
+                std::thread::sleep(period);
+            }
+        })
+    };
+
+    let result = worker_loop(&conn, &ctx, model_builder);
+
+    stop.store(true, Ordering::Relaxed);
+    conn.shutdown();
+    let _ = heartbeat.join();
+    result
+}
+
+fn worker_loop(
+    conn: &Arc<Connection>,
+    ctx: &SweepContext,
+    model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
+) -> Result<(), WorkerError> {
+    let workload = workload_shape_by_name(&ctx.workload)
+        .ok_or_else(|| WorkerError::UnknownShape { name: ctx.workload.clone() })?;
+    let model = model_builder(ctx).map_err(|reason| WorkerError::Model { reason })?;
+    let forward: SharedSink =
+        Arc::new(BufferedSink::new(Arc::new(TraceForwardSink { conn: Arc::clone(conn) })));
+    loop {
+        match conn.recv()? {
+            Message::AssignCell(cell) => {
+                let outcome = run_one_cell(&model, workload, ctx.max_node_w, &cell, &forward);
+                // Trace frames precede the result: once the daemon sees
+                // the CellResult, the cell's telemetry is fully delivered.
+                forward.flush();
+                conn.send(&Message::CellResult { index: cell.index, outcome })?;
+            }
+            Message::Shutdown => return Ok(()),
+            Message::Heartbeat => {}
+            Message::Error(e) => return Err(WorkerError::Rpc(e)),
+            other => {
+                return Err(WorkerError::Rpc(RpcError::Protocol {
+                    reason: format!("unexpected {} frame for a worker", other.kind()),
+                }))
+            }
+        }
+    }
+}

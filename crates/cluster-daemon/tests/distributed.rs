@@ -1,0 +1,301 @@
+//! Daemon + worker integration over in-memory duplexes: completion parity
+//! with `run_sweep`, reassignment on worker death and stall, terminal
+//! simulation failures, and the no-worker timeout.
+//!
+//! Every duplex worker gets the one prebuilt model via `run_worker_with` —
+//! the process-level path (which re-trains per worker) is covered by the
+//! bench crate's tests, where the worker binary exists.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use actor_core::config::ActorConfig;
+use cluster_daemon::{run_worker_with, serve, DaemonConfig, DaemonError};
+use cluster_rpc::{client_handshake, duplex, CellOutcome, Connection, Message, SweepContext, Wire};
+use cluster_sched::{quad_test_workload, run_sweep, SweepSpec, WorkloadModel};
+use crossbeam::channel::{unbounded, Sender};
+use npb_workloads::BenchmarkId;
+use xeon_sim::Machine;
+
+const IDS: [BenchmarkId; 4] = [BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Bt];
+
+fn model() -> Arc<WorkloadModel> {
+    static MODEL: OnceLock<Arc<WorkloadModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
+        Arc::new(WorkloadModel::build(&Machine::xeon_qx6600(), &config, &IDS).unwrap())
+    }))
+}
+
+fn context() -> SweepContext {
+    SweepContext {
+        config: ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() },
+        benchmarks: IDS.to_vec(),
+        workload: "quad-test".into(),
+        max_node_w: 160.0,
+        heartbeat_ms: 25,
+    }
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        nodes: vec![2],
+        budgets: vec![("tight".into(), 0.45)],
+        policies: vec!["fcfs".into(), "power-aware".into()],
+        seeds: vec![1, 2],
+        extra: vec![],
+        max_node_w: 160.0,
+        workload: quad_test_workload,
+    }
+}
+
+/// Connects a well-behaved worker over a duplex, returning its thread.
+fn spawn_worker(
+    conns: &Sender<Box<dyn Wire>>,
+    name: &'static str,
+) -> std::thread::JoinHandle<Result<(), cluster_daemon::WorkerError>> {
+    let (daemon_side, worker_side) = duplex();
+    conns.send(Box::new(daemon_side)).map_err(|_| "conns channel closed").unwrap();
+    std::thread::spawn(move || run_worker_with(Box::new(worker_side), name, |_| Ok(model())))
+}
+
+#[test]
+fn duplex_workers_complete_the_grid_identically_to_run_sweep() {
+    let spec = spec();
+    let serial = run_sweep(&spec, &model(), 1, |_, _, _| {}).unwrap();
+
+    let (conn_tx, conn_rx) = unbounded();
+    let w1 = spawn_worker(&conn_tx, "dup-1");
+    let w2 = spawn_worker(&conn_tx, "dup-2");
+    drop(conn_tx);
+
+    let mut streamed = 0usize;
+    let dist = serve(&spec, &DaemonConfig::new(context()), conn_rx, None, |_, done, total| {
+        streamed += 1;
+        assert!(done <= total);
+    })
+    .unwrap();
+
+    assert_eq!(streamed, spec.len());
+    assert_eq!(dist.workers_seen, 2);
+    assert_eq!(dist.reassignments, 0);
+    assert_eq!(dist.run.jobs, 2);
+    // The distributed outcomes are the serial outcomes, index for index.
+    assert_eq!(dist.run.outcomes, serial.outcomes);
+
+    w1.join().unwrap().unwrap();
+    w2.join().unwrap().unwrap();
+}
+
+#[test]
+fn a_worker_dying_mid_cell_gets_its_cell_reassigned() {
+    let spec = spec();
+    let serial = run_sweep(&spec, &model(), 1, |_, _, _| {}).unwrap();
+
+    let (conn_tx, conn_rx) = unbounded();
+    let (got_cell_tx, got_cell_rx) = unbounded();
+
+    // A rigged worker: handshakes, accepts one cell, then drops the
+    // connection without answering — a crash from the daemon's viewpoint.
+    let (daemon_side, worker_side) = duplex();
+    conn_tx
+        .send(Box::new(daemon_side) as Box<dyn Wire>)
+        .map_err(|_| "conns channel closed")
+        .unwrap();
+    let crasher = std::thread::spawn(move || {
+        let conn = Connection::new(Box::new(worker_side)).unwrap();
+        client_handshake(&conn, "crasher").unwrap();
+        loop {
+            match conn.recv() {
+                Ok(Message::AssignCell(_)) => {
+                    got_cell_tx.send(()).unwrap();
+                    conn.shutdown();
+                    return;
+                }
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        }
+    });
+
+    // The survivor joins only once the crasher holds a cell, so the
+    // reassignment path is exercised deterministically.
+    let survivor = std::thread::spawn(move || {
+        got_cell_rx.recv().unwrap();
+        let worker = spawn_worker(&conn_tx, "survivor");
+        drop(conn_tx);
+        worker.join().unwrap()
+    });
+
+    let dist = serve(&spec, &DaemonConfig::new(context()), conn_rx, None, |_, _, _| {}).unwrap();
+    assert!(dist.reassignments >= 1, "the crashed worker's cell must be requeued");
+    assert_eq!(dist.run.outcomes, serial.outcomes);
+
+    crasher.join().unwrap();
+    survivor.join().unwrap().unwrap();
+}
+
+#[test]
+fn a_stalled_worker_is_declared_dead_by_the_heartbeat_scan() {
+    let spec = spec();
+    let serial = run_sweep(&spec, &model(), 1, |_, _, _| {}).unwrap();
+
+    let (conn_tx, conn_rx) = unbounded();
+    let (got_cell_tx, got_cell_rx) = unbounded();
+
+    // A rigged worker that handshakes, takes a cell, then goes silent: no
+    // heartbeats, no result. SIGKILL on a remote host looks exactly like
+    // this until the kernel tears the socket down.
+    let (daemon_side, worker_side) = duplex();
+    conn_tx
+        .send(Box::new(daemon_side) as Box<dyn Wire>)
+        .map_err(|_| "conns channel closed")
+        .unwrap();
+    let staller = std::thread::spawn(move || {
+        let conn = Connection::new(Box::new(worker_side)).unwrap();
+        client_handshake(&conn, "staller").unwrap();
+        loop {
+            match conn.recv() {
+                Ok(Message::AssignCell(_)) => {
+                    got_cell_tx.send(()).unwrap();
+                    // Outlive the liveness grace (10 × 25 ms) in silence.
+                    std::thread::sleep(Duration::from_millis(600));
+                }
+                _ => return, // shut down once the daemon declares us dead
+            }
+        }
+    });
+
+    let survivor = std::thread::spawn(move || {
+        got_cell_rx.recv().unwrap();
+        let worker = spawn_worker(&conn_tx, "survivor");
+        drop(conn_tx);
+        worker.join().unwrap()
+    });
+
+    let dist = serve(&spec, &DaemonConfig::new(context()), conn_rx, None, |_, _, _| {}).unwrap();
+    assert!(dist.reassignments >= 1, "the stalled worker's cell must be requeued");
+    assert_eq!(dist.run.outcomes, serial.outcomes);
+
+    staller.join().unwrap();
+    survivor.join().unwrap().unwrap();
+}
+
+#[test]
+fn simulation_failures_are_terminal_and_report_the_lowest_index() {
+    let spec = spec();
+    let (conn_tx, conn_rx) = unbounded();
+
+    // A worker that answers every assignment with a deterministic failure.
+    let (daemon_side, worker_side) = duplex();
+    conn_tx
+        .send(Box::new(daemon_side) as Box<dyn Wire>)
+        .map_err(|_| "conns channel closed")
+        .unwrap();
+    let failer = std::thread::spawn(move || {
+        let conn = Connection::new(Box::new(worker_side)).unwrap();
+        client_handshake(&conn, "failer").unwrap();
+        loop {
+            match conn.recv() {
+                Ok(Message::AssignCell(cell)) => {
+                    conn.send(&Message::CellResult {
+                        index: cell.index,
+                        outcome: CellOutcome::Failed {
+                            reason: format!("rigged failure {}", cell.index),
+                            panicked: false,
+                        },
+                    })
+                    .unwrap();
+                }
+                _ => return,
+            }
+        }
+    });
+    drop(conn_tx);
+
+    let err = serve(&spec, &DaemonConfig::new(context()), conn_rx, None, |_, _, _| {}).unwrap_err();
+    match err {
+        DaemonError::Cell { cell, reason, attempts } => {
+            assert_eq!(cell.index, 0, "lowest-index failure wins, as in run_sweep");
+            assert!(reason.contains("rigged failure 0"), "{reason}");
+            assert_eq!(attempts, 1, "simulation failures are never retried");
+        }
+        other => panic!("expected DaemonError::Cell, got {other}"),
+    }
+    failer.join().unwrap();
+}
+
+#[test]
+fn repeated_worker_deaths_exhaust_the_attempt_cap() {
+    // One cell, three crashers: the cell dies with each in turn, and the
+    // third death exhausts the default 3-attempt cap.
+    let spec = SweepSpec { policies: vec!["fcfs".into()], seeds: vec![1], ..spec() };
+    let (conn_tx, conn_rx) = unbounded();
+    let mut crashers = Vec::new();
+    for _ in 0..3 {
+        let (daemon_side, worker_side) = duplex();
+        conn_tx
+            .send(Box::new(daemon_side) as Box<dyn Wire>)
+            .map_err(|_| "conns channel closed")
+            .unwrap();
+        crashers.push(std::thread::spawn(move || {
+            let conn = Connection::new(Box::new(worker_side)).unwrap();
+            client_handshake(&conn, "crasher").unwrap();
+            loop {
+                match conn.recv() {
+                    Ok(Message::AssignCell(_)) => {
+                        conn.shutdown();
+                        return;
+                    }
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        }));
+    }
+    drop(conn_tx);
+
+    // A guard against hangs: a correct daemon resolves the cell (as a
+    // failure) long before this expires.
+    let mut config = DaemonConfig::new(context());
+    config.no_worker_timeout = Some(Duration::from_secs(10));
+    let err = serve(&spec, &config, conn_rx, None, |_, _, _| {}).unwrap_err();
+    match err {
+        DaemonError::Cell { cell, attempts, reason } => {
+            assert_eq!(cell.index, 0);
+            assert_eq!(attempts, 3, "the cap is 3 attempts");
+            assert!(reason.contains("died") || reason.contains("stalled"), "{reason}");
+        }
+        other => panic!("expected DaemonError::Cell, got {other}"),
+    }
+    for c in crashers {
+        c.join().unwrap();
+    }
+}
+
+#[test]
+fn a_workerless_daemon_gives_up_after_the_configured_wait() {
+    // Accept source open but silent: the no-worker timeout fires.
+    let (conn_tx, conn_rx) = unbounded::<Box<dyn Wire>>();
+    let mut config = DaemonConfig::new(context());
+    config.no_worker_timeout = Some(Duration::from_millis(50));
+    let err = serve(&spec(), &config, conn_rx, None, |_, _, _| {}).unwrap_err();
+    match err {
+        DaemonError::NoWorkers { waited_s } => assert!(waited_s >= 0.05),
+        other => panic!("expected DaemonError::NoWorkers, got {other}"),
+    }
+    drop(conn_tx);
+
+    // Accept source gone with no workers: nothing can ever arrive, which
+    // is a disconnection, not a timeout.
+    let (conn_tx, conn_rx) = unbounded::<Box<dyn Wire>>();
+    drop(conn_tx);
+    let err =
+        serve(&spec(), &DaemonConfig::new(context()), conn_rx, None, |_, _, _| {}).unwrap_err();
+    match err {
+        DaemonError::Disconnected { resolved, total } => {
+            assert_eq!((resolved, total), (0, 4));
+        }
+        other => panic!("expected DaemonError::Disconnected, got {other}"),
+    }
+}

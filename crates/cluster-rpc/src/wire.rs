@@ -1,0 +1,238 @@
+//! Byte-stream transports: the [`Wire`] abstraction, Unix-domain sockets,
+//! and the in-memory [`duplex`] used by tests and CI.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Upper bound on one frame's payload, enforced *before* the payload
+/// buffer is allocated so a corrupt or hostile length header cannot OOM
+/// the process. 64 MiB comfortably holds the largest real frame (a
+/// `CellResult` carrying a full `ClusterReport`, tens of KiB).
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// A duplex byte stream a [`crate::Connection`] can be built over.
+///
+/// The two extra operations beyond `Read + Write` are what the protocol's
+/// threading model needs: [`Wire::try_clone_wire`] yields an independent
+/// handle to the same stream (so reads and writes can live behind separate
+/// locks), and [`Wire::shutdown_wire`] unblocks any reader from another
+/// thread (how connections are torn down mid-`recv`).
+pub trait Wire: Read + Write + Send + Sync {
+    /// An independent handle to the same underlying stream.
+    fn try_clone_wire(&self) -> io::Result<Box<dyn Wire>>;
+
+    /// Closes both directions, waking blocked readers with EOF.
+    fn shutdown_wire(&self) -> io::Result<()>;
+}
+
+impl Wire for UnixStream {
+    fn try_clone_wire(&self) -> io::Result<Box<dyn Wire>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn shutdown_wire(&self) -> io::Result<()> {
+        match self.shutdown(Shutdown::Both) {
+            // Already torn down by the peer: shutdown is idempotent.
+            Err(e) if e.kind() == io::ErrorKind::NotConnected => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// One direction of the in-memory duplex: a byte queue with blocking reads.
+#[derive(Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+    }
+
+    fn write(&self, bytes: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "duplex peer closed"));
+        }
+        st.buf.extend(bytes);
+        self.readable.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock();
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for slot in out[..n].iter_mut() {
+                    *slot = st.buf.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                // Buffered bytes drain before EOF, like a real socket.
+                return Ok(0);
+            }
+            self.readable.wait(&mut st);
+        }
+    }
+}
+
+/// Closes both pipes when the last handle of one side drops, so a dropped
+/// endpoint behaves like a dropped socket: the peer's reads hit EOF (after
+/// draining) and its writes fail with `BrokenPipe`.
+struct SideGuard {
+    outbound: Arc<Pipe>,
+    inbound: Arc<Pipe>,
+}
+
+impl Drop for SideGuard {
+    fn drop(&mut self) {
+        self.outbound.close();
+        self.inbound.close();
+    }
+}
+
+/// One endpoint of an in-memory byte duplex — the test transport.
+///
+/// Created in connected pairs by [`duplex`]. Clones (via
+/// [`Wire::try_clone_wire`]) share the endpoint; the streams close when
+/// the last clone of either side drops, or on [`Wire::shutdown_wire`].
+pub struct DuplexWire {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    guard: Arc<SideGuard>,
+}
+
+impl std::fmt::Debug for DuplexWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DuplexWire").finish_non_exhaustive()
+    }
+}
+
+/// A connected pair of in-memory endpoints: bytes written to one are read
+/// from the other, in order, with blocking reads and socket-like EOF /
+/// `BrokenPipe` semantics on drop.
+pub fn duplex() -> (DuplexWire, DuplexWire) {
+    let a_to_b = Arc::new(Pipe::default());
+    let b_to_a = Arc::new(Pipe::default());
+    let a = DuplexWire {
+        rx: Arc::clone(&b_to_a),
+        tx: Arc::clone(&a_to_b),
+        guard: Arc::new(SideGuard { outbound: Arc::clone(&a_to_b), inbound: Arc::clone(&b_to_a) }),
+    };
+    let b = DuplexWire {
+        rx: Arc::clone(&a_to_b),
+        tx: Arc::clone(&b_to_a),
+        guard: Arc::new(SideGuard { outbound: b_to_a, inbound: a_to_b }),
+    };
+    (a, b)
+}
+
+impl Read for DuplexWire {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(buf)
+    }
+}
+
+impl Write for DuplexWire {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Wire for DuplexWire {
+    fn try_clone_wire(&self) -> io::Result<Box<dyn Wire>> {
+        Ok(Box::new(DuplexWire {
+            rx: Arc::clone(&self.rx),
+            tx: Arc::clone(&self.tx),
+            guard: Arc::clone(&self.guard),
+        }))
+    }
+
+    fn shutdown_wire(&self) -> io::Result<()> {
+        self.tx.close();
+        self.rx.close();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_carries_bytes_both_ways_in_order() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn dropping_one_side_eofs_the_reader_after_draining() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"last words").unwrap();
+        drop(a);
+        let mut buf = Vec::new();
+        b.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"last words");
+        assert_eq!(b.read(&mut [0u8; 1]).unwrap(), 0, "EOF persists");
+        assert!(b.write_all(b"x").is_err(), "writes to a dropped peer fail");
+    }
+
+    #[test]
+    fn clones_share_the_stream_and_keep_it_open() {
+        let (a, mut b) = duplex();
+        let mut a2 = a.try_clone_wire().unwrap();
+        drop(a);
+        // The clone keeps side A alive.
+        a2.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        drop(a2);
+        assert_eq!(b.read(&mut [0u8; 1]).unwrap(), 0, "last clone closes the side");
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_reader_in_another_thread() {
+        let (a, mut b) = duplex();
+        let handle = std::thread::spawn(move || b.read(&mut [0u8; 1]).unwrap());
+        let shutdown = a.try_clone_wire().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        shutdown.shutdown_wire().unwrap();
+        assert_eq!(handle.join().unwrap(), 0, "reader sees EOF on shutdown");
+    }
+
+    #[test]
+    fn zero_length_reads_return_immediately() {
+        let (mut a, _b) = duplex();
+        assert_eq!(a.read(&mut []).unwrap(), 0);
+    }
+}

@@ -58,7 +58,8 @@ pub use policy::{
 };
 pub use profile::{ExecutionPlan, WorkloadModel};
 pub use sweep::{
-    default_workload, light_workload, run_sweep, run_sweep_traced, SweepCell, SweepCellOutcome,
-    SweepError, SweepPoint, SweepRun, SweepSpec,
+    default_workload, execute_cell, light_workload, quad_test_workload, run_sweep,
+    run_sweep_traced, workload_shape_by_name, SweepCell, SweepCellOutcome, SweepError, SweepPoint,
+    SweepRun, SweepSpec, WORKLOAD_SHAPE_NAMES,
 };
 pub use tables::{cluster_summary_headers, cluster_summary_row, cluster_summary_table, job_table};

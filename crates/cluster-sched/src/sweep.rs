@@ -64,6 +64,39 @@ pub fn light_workload(nodes: usize) -> WorkloadSpec {
     WorkloadSpec { num_jobs: (2 * nodes).clamp(4, 16), ..default_workload(nodes) }
 }
 
+/// The four-benchmark test workload the cross-crate suites sweep with: six
+/// jobs per cell drawing only CG/IS/MG/BT, so it pairs with a model trained
+/// on those four benchmarks (`ActorConfig::fast`, `corpus_replicas: 2`)
+/// instead of the full NAS suite the bins use.
+pub fn quad_test_workload(nodes: usize) -> WorkloadSpec {
+    use npb_workloads::BenchmarkId;
+    WorkloadSpec {
+        num_jobs: 6,
+        mean_interarrival_s: 12.0 / nodes as f64,
+        benchmarks: vec![BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg, BenchmarkId::Bt],
+        node_counts: if nodes >= 4 { vec![1, 1, 2] } else { vec![1] },
+        ..Default::default()
+    }
+}
+
+/// The workload shapes a sweep can name *on the wire*: a
+/// [`SweepSpec::workload`] is a function pointer, which cannot cross a
+/// process boundary, so the distributed cluster daemon ships one of these
+/// names and workers rebuild the `fn` through [`workload_shape_by_name`].
+pub const WORKLOAD_SHAPE_NAMES: [&str; 3] = ["default", "light", "quad-test"];
+
+/// Resolves a named workload shape ([`WORKLOAD_SHAPE_NAMES`]) back to its
+/// function: `"default"` → [`default_workload`], `"light"` →
+/// [`light_workload`], `"quad-test"` → [`quad_test_workload`].
+pub fn workload_shape_by_name(name: &str) -> Option<fn(usize) -> WorkloadSpec> {
+    match name {
+        "default" => Some(default_workload),
+        "light" => Some(light_workload),
+        "quad-test" => Some(quad_test_workload),
+        _ => None,
+    }
+}
+
 /// One point of the sweep grid (a cell before it is given its index).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
@@ -476,10 +509,31 @@ fn sweep_cell_event(outcome: &SweepCellOutcome) -> TraceEvent {
     }
 }
 
-/// Runs one cell against the shared model.
-fn run_cell(
+/// Runs one cell against the shared model — exactly what each in-process
+/// sweep worker does, exported so remote workers (the distributed
+/// `cluster_worker`) execute cells through the *same* code path and stay
+/// byte-identical with `run_sweep`.
+///
+/// `workload` is the spec's shape function (a remote worker rebuilds it via
+/// [`workload_shape_by_name`]) and `max_node_w` the spec's per-node dynamic
+/// ceiling; the idle floor is the node machine's, as in [`run_sweep`].
+pub fn execute_cell(
     model: &WorkloadModel,
-    spec: &SweepSpec,
+    workload: fn(usize) -> WorkloadSpec,
+    max_node_w: f64,
+    cell: &SweepCell,
+    telemetry: Option<&SharedSink>,
+) -> Result<ClusterReport, ClusterError> {
+    let idle_node_w = Machine::xeon_qx6600().params().power.system_idle_w;
+    execute_cell_inner(model, workload, max_node_w, cell, idle_node_w, telemetry)
+}
+
+/// [`execute_cell`] with the idle floor precomputed (the sweep loops price
+/// it once, not per cell).
+fn execute_cell_inner(
+    model: &WorkloadModel,
+    workload: fn(usize) -> WorkloadSpec,
+    max_node_w: f64,
     cell: &SweepCell,
     idle_node_w: f64,
     telemetry: Option<&SharedSink>,
@@ -490,14 +544,25 @@ fn run_cell(
         power_budget_w: budget_from_fraction(
             point.nodes,
             idle_node_w,
-            spec.max_node_w,
+            max_node_w,
             point.budget_fraction,
         ),
-        workload: (spec.workload)(point.nodes),
+        workload: workload(point.nodes),
         seed: point.seed,
     };
     let mut policy = policy_by_name(&point.policy, model)?;
     simulate_traced(&cluster_spec, model, policy.as_mut(), telemetry.cloned())
+}
+
+/// Runs one cell against the shared model.
+fn run_cell(
+    model: &WorkloadModel,
+    spec: &SweepSpec,
+    cell: &SweepCell,
+    idle_node_w: f64,
+    telemetry: Option<&SharedSink>,
+) -> Result<ClusterReport, ClusterError> {
+    execute_cell_inner(model, spec.workload, spec.max_node_w, cell, idle_node_w, telemetry)
 }
 
 /// Executes every cell of `spec` against the shared `model` on `jobs`
@@ -738,6 +803,24 @@ mod tests {
             let light = light_workload(nodes);
             assert!(light.num_jobs <= 16 && light.num_jobs >= 4);
             assert_eq!(light.node_counts, w.node_counts);
+            let quad = quad_test_workload(nodes);
+            assert_eq!(quad.num_jobs, 6);
+            assert_eq!(quad.benchmarks.len(), 4);
+            assert!(*quad.node_counts.iter().max().unwrap() <= nodes.max(1));
         }
+    }
+
+    #[test]
+    fn every_named_shape_resolves_and_unknown_names_do_not() {
+        for name in WORKLOAD_SHAPE_NAMES {
+            let shape = workload_shape_by_name(name)
+                .unwrap_or_else(|| panic!("shape {name:?} must resolve"));
+            assert!(shape(4).num_jobs > 0);
+        }
+        assert_eq!(
+            workload_shape_by_name("default").map(|f| f as *const ()),
+            Some(default_workload as fn(usize) -> WorkloadSpec as *const ())
+        );
+        assert!(workload_shape_by_name("bespoke").is_none());
     }
 }

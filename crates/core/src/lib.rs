@@ -92,8 +92,8 @@ pub use sampling::{sample_phase, SamplingPlan};
 pub use scalability::{phase_ipc_study, scalability_report, PhaseIpcRow, ScalabilityReport};
 pub use summary::{paper_comparison, HeadlineNumbers};
 pub use telemetry::{
-    FanoutSink, Histogram, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry, NullSink,
-    SharedSink, TelemetrySink, TraceEvent,
+    BufferedSink, FanoutSink, Histogram, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry,
+    NullSink, SharedSink, TelemetrySink, TraceEvent,
 };
 pub use throttle::{select_configuration, ThrottleDecision};
 

@@ -10,13 +10,23 @@
 //! attached the hot paths take no timestamps, build no records and allocate
 //! nothing, and all outputs stay byte-identical to an uninstrumented build.
 //!
-//! Three sinks ship with the crate:
+//! Four sinks ship with the crate:
 //!
 //! * [`NullSink`] — accepts and discards everything (for byte-identity
 //!   testing of the instrumented paths themselves);
 //! * [`MemorySink`] — buffers events in memory for test assertions;
 //! * [`JsonlSink`] — appends one JSON object per event to a file (the
-//!   `--trace PATH` flag of the benchmark binaries).
+//!   `--trace PATH` flag of the benchmark binaries);
+//! * [`BufferedSink`] — batches events in front of any inner sink and
+//!   replays them through [`TelemetrySink::record_batch`], amortising the
+//!   inner sink's per-event cost (one lock/write per batch instead of per
+//!   event). The distributed cluster workers use it to assemble
+//!   `TraceBatch` RPC frames; it is equally the first lever on the
+//!   instrumented-hot-path overhead, since a registry or JSONL sink is
+//!   locked once per batch.
+//!
+//! [`TraceEvent`] also implements [`serde::Deserialize`], so a JSONL trace
+//! (or an RPC `TraceBatch` frame) round-trips back into typed events.
 //!
 //! [`MetricsRegistry`] is the aggregating counterpart: counters, gauges and
 //! log-bucketed latency histograms with p50/p95/p99 snapshots. It
@@ -26,15 +36,15 @@
 //! headlines. [`FanoutSink`] broadcasts one stream into several sinks
 //! (e.g. a registry *and* a JSONL file).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
-use serde::{Serialize, Value};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// The shared, thread-safe handle instrumented code stores: sinks cross
 /// worker-pool and live-runtime boundaries, so they are reference-counted
@@ -275,6 +285,91 @@ impl Serialize for TraceEvent {
     }
 }
 
+/// Interns a string into a `&'static str`.
+///
+/// [`TraceEvent::Decision`] carries two `&'static str` fields (controller
+/// and rationale names) that are string literals on the serializing side.
+/// Deserialization leaks each *distinct* name once and reuses it afterwards
+/// — the name space is the closed set of controller/rationale labels, so
+/// the leak is bounded and a long-running daemon can decode traces forever.
+fn intern(s: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new())).lock();
+    if let Some(existing) = set.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        fn req<T: Deserialize>(m: &Value, key: &str) -> Result<T, SerdeError> {
+            T::from_value(m.get(key).ok_or_else(|| SerdeError::missing_field(key))?)
+        }
+        let kind: String = req(value, "event")?;
+        match kind.as_str() {
+            "decision" => Ok(TraceEvent::Decision {
+                phase: req(value, "phase")?,
+                controller: intern(&req::<String>(value, "controller")?),
+                candidates: req(value, "candidates")?,
+                joint_cells: req(value, "joint_cells")?,
+                threads: req(value, "threads")?,
+                freq_step: req(value, "freq_step")?,
+                rationale: intern(&req::<String>(value, "rationale")?),
+                ipc: req(value, "ipc")?,
+                stall_fraction: req(value, "stall_fraction")?,
+                power_cap_w: req(value, "power_cap_w")?,
+                latency_ns: req(value, "latency_ns")?,
+            }),
+            "job_arrival" => Ok(TraceEvent::JobArrival {
+                time_s: req(value, "time_s")?,
+                job: req(value, "job")?,
+                benchmark: req(value, "benchmark")?,
+                width: req(value, "width")?,
+            }),
+            "job_start" => Ok(TraceEvent::JobStart {
+                time_s: req(value, "time_s")?,
+                job: req(value, "job")?,
+                width: req(value, "width")?,
+                node_peak_w: req(value, "node_peak_w")?,
+                exec_time_s: req(value, "exec_time_s")?,
+            }),
+            "job_completion" => Ok(TraceEvent::JobCompletion {
+                time_s: req(value, "time_s")?,
+                job: req(value, "job")?,
+                width: req(value, "width")?,
+                energy_j: req(value, "energy_j")?,
+            }),
+            "redistribute" => Ok(TraceEvent::Redistribute {
+                time_s: req(value, "time_s")?,
+                startable: req(value, "startable")?,
+                admitted: req(value, "admitted")?,
+                headroom_before_w: req(value, "headroom_before_w")?,
+                headroom_after_w: req(value, "headroom_after_w")?,
+                upgrades: req(value, "upgrades")?,
+                latency_ns: req(value, "latency_ns")?,
+            }),
+            "sweep_cell" => Ok(TraceEvent::SweepCell {
+                index: req(value, "index")?,
+                nodes: req(value, "nodes")?,
+                budget: req(value, "budget")?,
+                policy: req(value, "policy")?,
+                seed: req(value, "seed")?,
+                makespan_s: req(value, "makespan_s")?,
+                total_energy_j: req(value, "total_energy_j")?,
+            }),
+            "progress" => Ok(TraceEvent::Progress {
+                name: req(value, "name")?,
+                done: req(value, "done")?,
+                expected: req(value, "expected")?,
+            }),
+            other => Err(SerdeError::custom(format!("unknown trace event kind {other:?}"))),
+        }
+    }
+}
+
 /// Receives [`TraceEvent`]s from instrumented decision loops.
 ///
 /// Implementations must be cheap and non-blocking enough to sit on hot
@@ -283,6 +378,18 @@ impl Serialize for TraceEvent {
 pub trait TelemetrySink: Send + Sync {
     /// Accepts one event. Called synchronously from the instrumented path.
     fn record(&self, event: &TraceEvent);
+
+    /// Accepts a batch of events in order.
+    ///
+    /// The default forwards to [`TelemetrySink::record`] per event; sinks
+    /// with per-call locking override it to take their lock once per batch.
+    /// [`BufferedSink`] replays its buffer through this, and the cluster
+    /// daemon ingests worker `TraceBatch` frames with it.
+    fn record_batch(&self, events: &[TraceEvent]) {
+        for event in events {
+            self.record(event);
+        }
+    }
 
     /// Flushes any buffered output (no-op by default).
     fn flush(&self) {}
@@ -334,6 +441,10 @@ impl TelemetrySink for MemorySink {
     fn record(&self, event: &TraceEvent) {
         self.events.lock().push(event.clone());
     }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        self.events.lock().extend_from_slice(events);
+    }
 }
 
 /// Appends one compact JSON object per event to a file — the sink behind
@@ -362,6 +473,14 @@ impl TelemetrySink for JsonlSink {
         let mut out = self.out.lock();
         // A full disk mid-trace must not panic the simulation it observes.
         let _ = writeln!(out, "{line}");
+    }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        let mut out = self.out.lock();
+        for event in events {
+            let line = serde_json::to_string(event).expect("trace events always serialize");
+            let _ = writeln!(out, "{line}");
+        }
     }
 
     fn flush(&self) {
@@ -399,6 +518,12 @@ impl TelemetrySink for FanoutSink {
     fn record(&self, event: &TraceEvent) {
         for sink in &self.sinks {
             sink.record(event);
+        }
+    }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        for sink in &self.sinks {
+            sink.record_batch(events);
         }
     }
 
@@ -582,6 +707,104 @@ impl TelemetrySink for MetricsRegistry {
             inner.histograms.entry(format!("{kind}_latency_ns")).or_default().observe(ns);
         }
     }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        let mut inner = self.inner.lock();
+        for event in events {
+            let kind = event.kind();
+            *inner.counters.entry(kind.to_string()).or_insert(0) += 1;
+            if let Some(ns) = event.latency_ns() {
+                inner.histograms.entry(format!("{kind}_latency_ns")).or_default().observe(ns);
+            }
+        }
+    }
+}
+
+/// Batches events in front of any inner sink, flushing them through
+/// [`TelemetrySink::record_batch`] whenever `capacity` events accumulate
+/// (and on [`TelemetrySink::flush`] / drop).
+///
+/// Two jobs: it amortises the inner sink's per-event cost — one lock or
+/// write per batch instead of per event, the first lever on the
+/// instrumented-hot-path overhead — and it is the worker-side assembly
+/// buffer for the distributed cluster's `TraceBatch` RPC frames (the inner
+/// sink there serializes each flushed batch into one frame).
+///
+/// Batch boundaries never reorder events: the buffer is drained under the
+/// same lock that admits new events, so the inner sink observes the exact
+/// record order.
+pub struct BufferedSink {
+    inner: SharedSink,
+    capacity: usize,
+    buf: Mutex<Vec<TraceEvent>>,
+}
+
+impl BufferedSink {
+    /// Default batch size: large enough to amortise a lock/syscall, small
+    /// enough that a worker's trace frames stay a few KiB.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Buffers up to [`Self::DEFAULT_CAPACITY`] events in front of `inner`.
+    pub fn new(inner: SharedSink) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Buffers up to `capacity` events in front of `inner` (min 1).
+    pub fn with_capacity(inner: SharedSink, capacity: usize) -> Self {
+        Self { inner, capacity: capacity.max(1), buf: Mutex::new(Vec::new()) }
+    }
+
+    /// Events currently buffered (not yet pushed to the inner sink).
+    pub fn buffered(&self) -> usize {
+        self.buf.lock().len()
+    }
+}
+
+impl fmt::Debug for BufferedSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferedSink")
+            .field("capacity", &self.capacity)
+            .field("buffered", &self.buffered())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink for BufferedSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut buf = self.buf.lock();
+        buf.push(event.clone());
+        if buf.len() >= self.capacity {
+            let batch = std::mem::take(&mut *buf);
+            // Deliver while still holding the lock so concurrent recorders
+            // cannot interleave a later event ahead of this batch.
+            self.inner.record_batch(&batch);
+        }
+    }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        let mut buf = self.buf.lock();
+        buf.extend_from_slice(events);
+        if buf.len() >= self.capacity {
+            let batch = std::mem::take(&mut *buf);
+            self.inner.record_batch(&batch);
+        }
+    }
+
+    fn flush(&self) {
+        let mut buf = self.buf.lock();
+        if !buf.is_empty() {
+            let batch = std::mem::take(&mut *buf);
+            self.inner.record_batch(&batch);
+        }
+        drop(buf);
+        self.inner.flush();
+    }
+}
+
+impl Drop for BufferedSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
 }
 
 #[cfg(test)]
@@ -635,6 +858,83 @@ mod tests {
     }
 
     #[test]
+    fn every_event_variant_round_trips_through_json() {
+        let events = vec![
+            decision(123),
+            TraceEvent::JobArrival { time_s: 1.5, job: 3, benchmark: "CG".into(), width: 2 },
+            TraceEvent::JobStart {
+                time_s: 2.0,
+                job: 3,
+                width: 2,
+                node_peak_w: 151.25,
+                exec_time_s: 40.5,
+            },
+            TraceEvent::JobCompletion { time_s: 42.5, job: 3, width: 2, energy_j: 1.25e4 },
+            TraceEvent::Redistribute {
+                time_s: 42.5,
+                startable: 4,
+                admitted: 3,
+                headroom_before_w: 200.0,
+                headroom_after_w: 12.5,
+                upgrades: 2,
+                latency_ns: 777,
+            },
+            TraceEvent::SweepCell {
+                index: 9,
+                nodes: 8,
+                budget: "tight".into(),
+                policy: "power-aware".into(),
+                seed: 2007,
+                makespan_s: 512.0,
+                total_energy_j: 9.5e5,
+            },
+            TraceEvent::Progress { name: "sweep".into(), done: 3, expected: 48 },
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event, "round-trip of {json}");
+        }
+
+        // Option fields survive as Null.
+        let mut none = decision(1);
+        if let TraceEvent::Decision { ipc, stall_fraction, power_cap_w, .. } = &mut none {
+            *ipc = None;
+            *stall_fraction = None;
+            *power_cap_w = None;
+        }
+        let back: TraceEvent =
+            serde_json::from_str(&serde_json::to_string(&none).unwrap()).unwrap();
+        assert_eq!(back, none);
+
+        // Deserialized &'static str fields intern to the same content, and
+        // repeated decodes reuse the same interned pointer.
+        if let (
+            TraceEvent::Decision { controller: a, .. },
+            TraceEvent::Decision { controller: b, .. },
+        ) = (
+            serde_json::from_str::<TraceEvent>(&serde_json::to_string(&decision(1)).unwrap())
+                .unwrap(),
+            serde_json::from_str::<TraceEvent>(&serde_json::to_string(&decision(2)).unwrap())
+                .unwrap(),
+        ) {
+            assert!(std::ptr::eq(a, b));
+        } else {
+            panic!("decisions decode as decisions");
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_unknown_kinds_and_missing_fields() {
+        let err = serde_json::from_str::<TraceEvent>("{\"event\":\"warp_drive\"}").unwrap_err();
+        assert!(err.to_string().contains("warp_drive"), "{err}");
+        let err =
+            serde_json::from_str::<TraceEvent>("{\"event\":\"progress\",\"done\":1}").unwrap_err();
+        assert!(err.to_string().contains("name") || err.to_string().contains("expected"), "{err}");
+        assert!(serde_json::from_str::<TraceEvent>("{\"done\":1}").is_err());
+    }
+
+    #[test]
     fn memory_sink_buffers_and_drains() {
         let sink = MemorySink::new();
         assert!(sink.is_empty());
@@ -680,6 +980,48 @@ mod tests {
         fan.flush();
         assert_eq!(a.len(), 1);
         assert_eq!(b.counter("decision"), 1);
+    }
+
+    #[test]
+    fn buffered_sink_batches_then_flushes() {
+        let inner = Arc::new(MemorySink::new());
+        let buffered = BufferedSink::with_capacity(inner.clone(), 3);
+        buffered.record(&decision(1));
+        buffered.record(&decision(2));
+        assert_eq!(inner.len(), 0, "below capacity nothing reaches the inner sink");
+        assert_eq!(buffered.buffered(), 2);
+        buffered.record(&decision(3));
+        assert_eq!(inner.len(), 3, "capacity reached: the batch lands at once");
+        assert_eq!(buffered.buffered(), 0);
+
+        buffered.record(&decision(4));
+        buffered.flush();
+        assert_eq!(inner.len(), 4, "flush drains a partial batch");
+        let latencies: Vec<_> = inner.events().iter().map(|e| e.latency_ns().unwrap()).collect();
+        assert_eq!(latencies, vec![1, 2, 3, 4], "order is preserved across batches");
+
+        // record_batch feeds the buffer too, and drop flushes the remainder.
+        buffered.record_batch(&[decision(5), decision(6)]);
+        assert_eq!(inner.len(), 4);
+        drop(buffered);
+        assert_eq!(inner.len(), 6, "drop flushes buffered events");
+    }
+
+    #[test]
+    fn record_batch_default_and_overrides_agree() {
+        let events = vec![decision(10), decision(20)];
+        let reg = MetricsRegistry::new();
+        reg.record_batch(&events);
+        assert_eq!(reg.counter("decision"), 2);
+        assert_eq!(reg.histogram("decision_latency_ns").unwrap().count, 2);
+
+        let mem = Arc::new(MemorySink::new());
+        let fan = FanoutSink::new(vec![mem.clone()]);
+        fan.record_batch(&events);
+        assert_eq!(mem.len(), 2);
+
+        // The default implementation (NullSink has no override) still works.
+        NullSink.record_batch(&events);
     }
 
     #[test]

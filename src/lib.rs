@@ -17,7 +17,14 @@
 //!   sampling, throttling, oracles, baselines and the evaluation studies;
 //! * [`cluster`] (`cluster-sched`) — the multi-node extension: a simulated
 //!   cluster of Xeon nodes scheduling NPB jobs under a shared power budget,
-//!   with an ANN-driven power-aware policy.
+//!   with an ANN-driven power-aware policy;
+//! * [`rpc`] (`cluster-rpc`) — the transport-agnostic wire protocol for
+//!   distributed sweeps: length-prefixed, version-handshaked frames over
+//!   Unix-domain sockets or in-memory duplexes;
+//! * [`daemon`] (`cluster-daemon`) — the distributed sweep service: a
+//!   daemon that owns the grid and dispatches cells to worker processes
+//!   with heartbeat liveness and reassignment on death, plus the worker
+//!   loop and local process-spawning orchestration (`--processes N`).
 //!
 //! Two unifying abstractions tie the pieces into one system:
 //!
@@ -38,6 +45,8 @@ pub mod experiment;
 
 pub use actor_core as actor;
 pub use annlib as ml;
+pub use cluster_daemon as daemon;
+pub use cluster_rpc as rpc;
 pub use cluster_sched as cluster;
 pub use hwcounters as counters;
 pub use npb_workloads as workloads;
@@ -74,11 +83,17 @@ pub mod prelude {
         assert_controller_conformance, ActorConfig, ActorError, AdaptationStudy,
         ConformanceOptions, Metric, NullReporter, Reporter, StdoutReporter, Strategy, Table,
     };
+    pub use cluster_daemon::{
+        run_distributed, run_worker, serve, DaemonConfig, DaemonError, DistRun,
+        ProcessSweepOptions, WorkerError,
+    };
+    pub use cluster_rpc::{duplex, Connection, Message, RpcError, SweepContext};
     pub use cluster_sched::{
         budget_from_fraction, cluster_summary_table, job_table, policy_by_name, run_sweep,
-        run_sweep_traced, simulate, simulate_traced, ClusterReport, ClusterSpec, PowerAwarePolicy,
-        SchedulerPolicy, SweepCell, SweepCellOutcome, SweepError, SweepPoint, SweepRun, SweepSpec,
-        WorkloadModel, WorkloadSpec, POLICY_NAMES,
+        run_sweep_traced, simulate, simulate_traced, workload_shape_by_name, ClusterReport,
+        ClusterSpec, PowerAwarePolicy, SchedulerPolicy, SweepCell, SweepCellOutcome, SweepError,
+        SweepPoint, SweepRun, SweepSpec, WorkloadModel, WorkloadSpec, POLICY_NAMES,
+        WORKLOAD_SHAPE_NAMES,
     };
     pub use npb_workloads::{benchmark, nas_suite, BenchmarkId, BenchmarkProfile};
     pub use phase_rt::{Binding, FreqStep, MachineShape, PhaseId};

@@ -2,8 +2,9 @@
 //! worker counts (proptest over random grids), byte-identity of the
 //! migrated `cluster_power_cap` sweep against the pre-migration inline
 //! loop at every default budget, failure surfacing (failing cells and
-//! panicking cells), and the measured-speedup acceptance check (ignored by
-//! default — it needs real cores).
+//! panicking cells), and the measured-speedup acceptance checks (thread
+//! pool and daemon dispatch), which self-skip loudly at runtime on
+//! machines without at least 4 real cores.
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -233,14 +234,8 @@ fn panicking_cells_surface_as_worker_panicked() {
     }
 }
 
-/// Acceptance: on a machine with real cores, `--jobs 8` is ≥4× faster than
-/// `--jobs 1` on a ~1000-cell grid. Ignored by default because CI
-/// containers (and this repo's build sandbox) may expose a single CPU —
-/// run with `cargo test --release -- --ignored sweep_speedup` on real
-/// hardware.
-#[test]
-#[ignore = "needs >=8 physical cores for the 4x bound; run explicitly on real hardware"]
-fn sweep_speedup_with_eight_workers() {
+/// The acceptance grid of the speedup checks: four-digit, light cells.
+fn speedup_spec() -> SweepSpec {
     let spec = SweepSpec {
         nodes: vec![1, 2, 4],
         budgets: vec![("tight".into(), 0.5), ("ample".into(), 1.0)],
@@ -249,16 +244,99 @@ fn sweep_speedup_with_eight_workers() {
         ..test_spec()
     };
     assert!(spec.len() >= 1000, "the acceptance grid is four-digit ({} cells)", spec.len());
+    spec
+}
+
+/// Loudly skips a speedup acceptance when the machine cannot express
+/// parallelism, returning the worker count to use otherwise. Runtime
+/// detection instead of `#[ignore]`: on real hardware the check always
+/// runs, and starved CI containers say exactly why they skipped.
+fn speedup_workers_or_skip(test: &str) -> Option<usize> {
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    if cores < 4 {
+        eprintln!(
+            "SKIPPED {test}: available_parallelism() = {cores} (< 4); the speedup acceptance \
+             needs real cores — run this suite on real hardware to enforce it"
+        );
+        return None;
+    }
+    Some(cores.min(8))
+}
+
+/// Acceptance: with ≥4 real cores, `--jobs N` (N = min(cores, 8)) is at
+/// least N/2× faster than `--jobs 1` on a ~1000-cell grid — and byte
+/// identical. Self-skips (loudly) on machines without the cores instead
+/// of hiding behind `#[ignore]`.
+#[test]
+fn sweep_speedup_with_parallel_workers() {
+    let Some(jobs) = speedup_workers_or_skip("sweep_speedup_with_parallel_workers") else {
+        return;
+    };
+    let spec = speedup_spec();
     let t1 = Instant::now();
     let serial = run_sweep(&spec, model(), 1, |_, _, _| {}).unwrap();
     let serial_s = t1.elapsed().as_secs_f64();
-    let t8 = Instant::now();
-    let parallel = run_sweep(&spec, model(), 8, |_, _, _| {}).unwrap();
-    let parallel_s = t8.elapsed().as_secs_f64();
+    let tn = Instant::now();
+    let parallel = run_sweep(&spec, model(), jobs, |_, _, _| {}).unwrap();
+    let parallel_s = tn.elapsed().as_secs_f64();
     assert_eq!(serial.outcomes, parallel.outcomes, "speedup must not change results");
     let speedup = serial_s / parallel_s;
+    let floor = jobs as f64 / 2.0;
     assert!(
-        speedup >= 4.0,
-        "8 workers achieved only {speedup:.2}x over serial ({serial_s:.2} s vs {parallel_s:.2} s)"
+        speedup >= floor,
+        "{jobs} workers achieved only {speedup:.2}x over serial (floor {floor:.1}x; \
+         {serial_s:.2} s vs {parallel_s:.2} s)"
+    );
+}
+
+/// The same acceptance through the distributed path: a daemon dispatching
+/// to N in-memory duplex workers (the `--processes` engine without the
+/// per-process model retraining) still beats serial on a ~1000-cell grid,
+/// and stays byte-identical. The floor is looser than the thread-pool
+/// one — every cell result crosses the RPC wire.
+#[test]
+fn distributed_dispatch_speedup_over_serial() {
+    use cluster_daemon::{run_worker_with, serve, DaemonConfig};
+    use cluster_rpc::{duplex, SweepContext};
+
+    let Some(jobs) = speedup_workers_or_skip("distributed_dispatch_speedup_over_serial") else {
+        return;
+    };
+    let spec = speedup_spec();
+    let t1 = Instant::now();
+    let serial = run_sweep(&spec, model(), 1, |_, _, _| {}).unwrap();
+    let serial_s = t1.elapsed().as_secs_f64();
+
+    let context = SweepContext {
+        config: ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() },
+        benchmarks: IDS.to_vec(),
+        workload: "quad-test".into(),
+        max_node_w: spec.max_node_w,
+        heartbeat_ms: 250,
+    };
+    let (conn_tx, conn_rx) = crossbeam::channel::unbounded();
+    let mut workers = Vec::new();
+    for _ in 0..jobs {
+        let (daemon_side, worker_side) = duplex();
+        conn_tx.send(Box::new(daemon_side) as _).map_err(|_| "conns closed").unwrap();
+        workers.push(std::thread::spawn(move || {
+            run_worker_with(Box::new(worker_side), "speedup", |_| Ok(Arc::clone(model())))
+        }));
+    }
+    drop(conn_tx);
+    let tn = Instant::now();
+    let dist = serve(&spec, &DaemonConfig::new(context), conn_rx, None, |_, _, _| {}).unwrap();
+    let dist_s = tn.elapsed().as_secs_f64();
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+
+    assert_eq!(serial.outcomes, dist.run.outcomes, "distribution must not change results");
+    assert_eq!(dist.workers_seen, jobs);
+    let speedup = serial_s / dist_s;
+    assert!(
+        speedup >= 1.3,
+        "{jobs} duplex workers achieved only {speedup:.2}x over serial ({serial_s:.2} s vs \
+         {dist_s:.2} s)"
     );
 }

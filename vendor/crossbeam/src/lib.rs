@@ -57,6 +57,13 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Timed receive outcome.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
     /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -119,6 +126,28 @@ pub mod channel {
                 Some(item) => Ok(item),
                 None if inner.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks for at most `timeout`, returning the next value, or why
+        /// none arrived (timeout vs disconnection).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = inner.items.pop_front() {
+                    return Ok(item);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self.shared.ready.wait_timeout(inner, remaining).unwrap();
+                inner = guard;
             }
         }
     }
