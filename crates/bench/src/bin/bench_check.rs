@@ -19,6 +19,19 @@
 //!   48-cell sweep into minutes), not worker-parallelism loss — a
 //!   serialized-but-still-cheap smoke sweep stays under the grace, and an
 //!   outright hang is the CI job timeout's problem.
+//! * **Telemetry overhead ratios** (keys ending `_ratio`) must stay above
+//!   an *absolute* floor (default **0.80**; override with
+//!   `BENCH_CHECK_MIN_TRACED_RATIO`) — not baseline-relative, so a slowly
+//!   eroding ratio cannot be laundered by re-blessing. The design target
+//!   is ≤5 % overhead (ratio ≥0.95): the hot path costs ~45 ns per
+//!   record, which *is* ≤5 % wherever a decide costs ≥1 µs or the host
+//!   has a core for the drainer to overlap on. The default floor is set
+//!   for the worst supported measurement environment — a single-vCPU CI
+//!   box timing a ~500 ns table-lookup decide, where the same ~45 ns is
+//!   ~9 % and scheduler noise adds a few points — while still catching
+//!   any real hot-path regression (a reintroduced per-event lock lands
+//!   the ratio back near 0.5). Multicore environments should export
+//!   `BENCH_CHECK_MIN_TRACED_RATIO=0.95`.
 //! * **Sweep cell count** must match exactly (coverage guard).
 //!
 //! Intentional changes: re-bless the baseline with
@@ -39,6 +52,7 @@ const BASELINE: &str = "results/BENCH_sweep.json";
 const CURRENT: &str = "results/BENCH_sweep.current.json";
 const DEFAULT_TOLERANCE_PTS: f64 = 2.0;
 const DEFAULT_MAX_SLOWDOWN: f64 = 1.5;
+const DEFAULT_MIN_TRACED_RATIO: f64 = 0.80;
 
 /// The collected bench trajectory: named scalar headlines, ordered.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -126,6 +140,13 @@ fn collect() -> Trajectory {
 
     if let Some(bench) = load("decision_bench.json") {
         push("decision_bench_decisions_per_sec", bench.get("decisions_per_sec").and_then(as_f64));
+        push(
+            "decision_bench_traced_decisions_per_sec",
+            bench.get("traced_decisions_per_sec").and_then(as_f64),
+        );
+        // Telemetry overhead with a RingSink attached: traced / untraced
+        // decisions/s, gated against the absolute ratio floor below.
+        push("decision_bench_traced_ratio", bench.get("traced_ratio").and_then(as_f64));
         push("decision_bench_events_per_sec", bench.get("events_per_sec").and_then(as_f64));
         push("decision_bench_wall_clock_s", bench.get("wall_clock_s").and_then(as_f64));
     }
@@ -160,9 +181,9 @@ fn collect() -> Trajectory {
 fn throughput_wall_key(key: &str) -> Option<&'static str> {
     match key {
         "sweep_cells_per_sec" => Some("sweep_wall_clock_s"),
-        "decision_bench_decisions_per_sec" | "decision_bench_events_per_sec" => {
-            Some("decision_bench_wall_clock_s")
-        }
+        "decision_bench_decisions_per_sec"
+        | "decision_bench_traced_decisions_per_sec"
+        | "decision_bench_events_per_sec" => Some("decision_bench_wall_clock_s"),
         _ => None,
     }
 }
@@ -203,6 +224,17 @@ fn check(current: &Trajectory, baseline: &Trajectory) -> Vec<String> {
                 violations.push(format!(
                     "{key} regressed {:.2}x ({base:.2} s -> {now:.2} s, allowed {max_slowdown}x)",
                     now / base
+                ));
+            }
+        } else if key.ends_with("_ratio") {
+            // Absolute floor, not baseline-relative: the telemetry
+            // overhead budget holds regardless of what was last blessed
+            // (see the module docs for why the default floor is 0.80).
+            let floor = env_f64("BENCH_CHECK_MIN_TRACED_RATIO", DEFAULT_MIN_TRACED_RATIO);
+            if now < floor {
+                violations.push(format!(
+                    "{key} is {now:.3}, below the {floor} floor — telemetry overhead on the \
+                     decide hot path exceeds the budget"
                 ));
             }
         } else if let Some(wall_key) = throughput_wall_key(key) {

@@ -18,13 +18,18 @@
 //!   (workers train from the wire-carried config).
 //! * `--grid SPEC` — axis overrides, as in `cluster_sweep`.
 //! * `--seed N` — ANN training seed forwarded to workers.
-//! * `--trace PATH` — JSONL telemetry, including `TraceEvent`s forwarded
-//!   by the workers.
+//! * `--trace PATH` — JSONL telemetry, span-stamped (`run_id` = daemon
+//!   pid, source = `cluster_daemon`), including the span-stamped
+//!   `TraceEvent`s forwarded by the workers and the daemon's own
+//!   `worker_connected`/`worker_dead`/`cell_reassigned` lifecycle events.
+//! * `--metrics SOCKET` — *client* mode: connect to a **running** daemon's
+//!   socket, print its live metrics snapshot (`name value` lines), and
+//!   exit. Nothing else happens; combine with nothing.
 //!
 //! The daemon exits once the grid completes (or fails a cell past the
 //! attempt cap); it is not a long-lived service.
 
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -33,15 +38,57 @@ use actor_bench::sweep_out::{
 };
 use actor_bench::{FileReporter, Harness};
 use actor_core::report::StreamingReporter;
+use actor_core::telemetry::MetricsRegistry;
 use cluster_daemon::{accept_unix, serve, DaemonConfig};
-use cluster_rpc::SweepContext;
+use cluster_rpc::{request_metrics, Connection, SweepContext};
 use npb_workloads::BenchmarkId;
 
+/// `--metrics SOCKET` from the raw argument list (`BenchArgs` skips flags
+/// it does not own).
+fn metrics_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Client mode: ask the daemon at `socket` for a metrics snapshot, print
+/// it, exit.
+fn query_metrics(socket: &str) -> ! {
+    let stream = UnixStream::connect(socket).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to daemon at {socket}: {e}");
+        std::process::exit(1);
+    });
+    let conn = Connection::new(Box::new(stream)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    match request_metrics(&conn) {
+        Ok(text) => {
+            print!("{text}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: metrics request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    if let Some(socket) = metrics_arg() {
+        query_metrics(&socket);
+    }
     let harness = Harness::from_env();
     let args = &harness.args;
     let Some(socket) = args.serve.clone() else {
-        eprintln!("error: cluster_daemon requires --serve SOCKET (the Unix socket to bind)");
+        eprintln!(
+            "error: cluster_daemon requires --serve SOCKET (the Unix socket to bind) or \
+             --metrics SOCKET (query a running daemon)"
+        );
         std::process::exit(2);
     };
     if args.processes.is_some() || args.connect.is_some() {
@@ -62,6 +109,9 @@ fn main() {
         workload: "light".into(),
         max_node_w: spec.max_node_w,
         heartbeat_ms: 250,
+        // Workers stamp their spans with this, the same run id the
+        // harness's own SpanSink uses — one causal timeline per run.
+        run_id: Harness::run_id(),
     };
 
     let _ = std::fs::remove_file(&socket);
@@ -86,15 +136,14 @@ fn main() {
         streaming = streaming.with_telemetry(sink);
     }
 
-    let result = serve(
-        &spec,
-        &DaemonConfig::new(context),
-        conn_rx,
-        harness.telemetry_sink(),
-        |outcome, _, _| {
-            streaming.row(outcome.cell.index, sweep_table_row(outcome));
-        },
-    );
+    // Live-queryable metrics: any `cluster_daemon --metrics SOCKET` client
+    // connecting to the serve socket gets a snapshot of this registry.
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut config = DaemonConfig::new(context);
+    config.metrics = Some(Arc::clone(&registry));
+    let result = serve(&spec, &config, conn_rx, harness.telemetry_sink(), |outcome, _, _| {
+        streaming.row(outcome.cell.index, sweep_table_row(outcome));
+    });
     stop.store(true, Ordering::Relaxed);
     let _ = acceptor.join();
     let _ = std::fs::remove_file(&socket);

@@ -81,6 +81,7 @@ fn main() {
             workload: "light".into(),
             max_node_w: spec.max_node_w,
             heartbeat_ms: 250,
+            run_id: Harness::run_id(),
         };
         let opts = ProcessSweepOptions::new(processes, worker_bin, context);
         eprintln!(

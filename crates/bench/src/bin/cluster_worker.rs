@@ -12,14 +12,21 @@
 //! * `--connect SOCKET` (required) — the daemon's Unix socket path.
 //! * `--name NAME` — worker name reported in the handshake (default
 //!   `worker-<pid>`).
+//! * `--trace PATH` — also write this worker's span-stamped events to a
+//!   local JSONL file (they are forwarded to the daemon regardless). The
+//!   file survives the worker being SIGKILLed mid-cell, which is what
+//!   lets `trace_tool merge` reconstruct a timeline including events the
+//!   daemon never received.
 //!
 //! Exit status: 0 after an orderly `Shutdown`, 1 on connection or
 //! protocol failure, 2 on bad arguments.
 
 use std::os::unix::net::UnixStream;
+use std::sync::Arc;
 
 use actor_bench::BenchArgs;
-use cluster_daemon::run_worker;
+use actor_core::telemetry::{JsonlSink, SharedSink};
+use cluster_daemon::run_worker_traced;
 
 /// `--name NAME` from the raw argument list (`BenchArgs` skips flags it
 /// does not own).
@@ -40,12 +47,22 @@ fn main() {
         std::process::exit(2);
     };
     let name = name_arg().unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    // The worker runtime stamps spans itself (run_id from the handshake,
+    // source = worker name), so the local sink is a bare JSONL writer.
+    let local: Option<SharedSink> =
+        args.trace.as_deref().map(|path| match JsonlSink::create(path) {
+            Ok(sink) => Arc::new(sink) as SharedSink,
+            Err(e) => {
+                eprintln!("error: cannot create --trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        });
 
     let stream = UnixStream::connect(&socket).unwrap_or_else(|e| {
         eprintln!("error: cannot connect to daemon at {socket}: {e}");
         std::process::exit(1);
     });
-    if let Err(e) = run_worker(Box::new(stream), &name) {
+    if let Err(e) = run_worker_traced(Box::new(stream), &name, local) {
         eprintln!("error: worker {name} failed: {e}");
         std::process::exit(1);
     }

@@ -1,0 +1,209 @@
+//! `trace_tool` — inspect, validate, and merge span-stamped JSONL traces.
+//!
+//! Subcommands:
+//!
+//! * `stats FILE...` — per-kind and per-source event counts plus exact
+//!   (nearest-rank) decide/redistribute latency percentiles over the
+//!   union of all files.
+//! * `filter --kind K [--source S] FILE...` — matching events to stdout,
+//!   one JSON object per line (same schema as the input).
+//! * `check FILE...` — validate each file: every line parses and every
+//!   stamped `(run_id, source)` span sequence is dense from 0. Exit 1 on
+//!   malformed lines (including a torn final line) or sequence gaps.
+//! * `merge FILE... [--out PATH]` — deduplicate daemon + worker traces
+//!   and emit one causally-ordered timeline (workers' in-cell events
+//!   immediately before the daemon's `sweep_cell` record for that cell).
+//!   Tolerates a torn final line (a SIGKILLed writer); exits 1 if the
+//!   merged union still has sequence holes, because a clean run — even
+//!   one with killed workers — never does.
+//!
+//! Exit status: 0 on success, 1 on validation failure, 2 on bad
+//! arguments.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+use actor_bench::trace_ops::{filter, load_trace, merge, sequence_gaps, stats, LoadedTrace};
+
+const USAGE: &str = "usage: trace_tool <stats|filter|check|merge> [OPTIONS] FILE...
+  stats  FILE...                        per-kind counts + latency percentiles
+  filter --kind K [--source S] FILE...  matching events as JSONL on stdout
+  check  FILE...                        fail on malformed lines or seq gaps
+  merge  FILE... [--out PATH]           causally-ordered merged timeline";
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Loads every file, exiting with status 2 if any cannot be read at all.
+fn load_all(paths: &[String]) -> Result<Vec<LoadedTrace>, ExitCode> {
+    let mut traces = Vec::with_capacity(paths.len());
+    for path in paths {
+        match load_trace(Path::new(path)) {
+            Ok(trace) => traces.push(trace),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(traces)
+}
+
+fn cmd_stats(paths: &[String]) -> ExitCode {
+    let traces = match load_all(paths) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let events: Vec<_> = traces.iter().flat_map(|t| t.events.iter().cloned()).collect();
+    print!("{}", stats(&events).render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_filter(kind: Option<&str>, source: Option<&str>, paths: &[String]) -> ExitCode {
+    let traces = match load_all(paths) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let events: Vec<_> = traces.iter().flat_map(|t| t.events.iter().cloned()).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for event in filter(&events, kind, source) {
+        let line = serde_json::to_string(event).expect("trace events serialize");
+        if writeln!(out, "{line}").is_err() {
+            return ExitCode::SUCCESS; // closed pipe (e.g. | head)
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(paths: &[String]) -> ExitCode {
+    let traces = match load_all(paths) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let mut failed = false;
+    for trace in &traces {
+        for line in &trace.malformed {
+            eprintln!("{}: line {line}: malformed trace event", trace.path);
+            failed = true;
+        }
+        if trace.torn_tail {
+            eprintln!("{}: torn final line (writer killed mid-write)", trace.path);
+            failed = true;
+        }
+        // Per-file check: each file on its own must be gap-free.
+        for gap in sequence_gaps(&trace.events) {
+            eprintln!("{}: sequence gap: {gap}", trace.path);
+            failed = true;
+        }
+        eprintln!("{}: {} event(s)", trace.path, trace.events.len());
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_merge(paths: &[String], out_path: Option<&str>) -> ExitCode {
+    let traces = match load_all(paths) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    for trace in &traces {
+        for line in &trace.malformed {
+            eprintln!("warning: {}: line {line}: malformed trace event, skipped", trace.path);
+        }
+        if trace.torn_tail {
+            eprintln!("note: {}: torn final line (writer killed mid-write), dropped", trace.path);
+        }
+    }
+    let merged = merge(&traces);
+    let mut rendered = String::with_capacity(merged.events.len() * 128);
+    for event in &merged.events {
+        rendered.push_str(&serde_json::to_string(event).expect("trace events serialize"));
+        rendered.push('\n');
+    }
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    eprintln!(
+        "merged {} file(s): {} event(s), {} duplicate(s) dropped",
+        traces.len(),
+        merged.events.len(),
+        merged.duplicates
+    );
+    if merged.gaps.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for gap in &merged.gaps {
+            eprintln!("error: sequence gap in merged timeline: {gap}");
+        }
+        eprintln!(
+            "error: {} sequence gap(s) — trace events were lost in transit, not just at a tail",
+            merged.gaps.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        return fail_usage("missing subcommand");
+    };
+    let rest = &argv[1..];
+
+    // Split flags (each takes a value) from positional FILE arguments.
+    let mut kind = None;
+    let mut source = None;
+    let mut out = None;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        let mut take = |slot: &mut Option<String>| {
+            i += 1;
+            match rest.get(i) {
+                Some(v) => {
+                    *slot = Some(v.clone());
+                    true
+                }
+                None => false,
+            }
+        };
+        let ok = match arg.as_str() {
+            "--kind" => take(&mut kind),
+            "--source" => take(&mut source),
+            "--out" => take(&mut out),
+            _ => {
+                files.push(arg.clone());
+                true
+            }
+        };
+        if !ok {
+            return fail_usage(&format!("{arg} requires a value"));
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return fail_usage("no trace files given");
+    }
+
+    match command.as_str() {
+        "stats" => cmd_stats(&files),
+        "filter" => cmd_filter(kind.as_deref(), source.as_deref(), &files),
+        "check" => cmd_check(&files),
+        "merge" => cmd_merge(&files, out.as_deref()),
+        other => fail_usage(&format!("unknown subcommand {other:?}")),
+    }
+}

@@ -166,6 +166,15 @@ impl BenchArgs {
     }
 }
 
+/// The current executable's file stem (`cluster_daemon`, `cluster_sweep`,
+/// …) — the span source every `--trace` record is stamped with.
+fn bin_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".into())
+}
+
 /// The standard benchmark reporter: tables go to stdout *and* to
 /// `results/<name>.csv`; artefacts go to `results/<filename>`; notes go to
 /// stdout. IO errors are reported but not fatal (the printed output is the
@@ -247,10 +256,22 @@ impl Harness {
     }
 
     /// Builds a harness from already-parsed arguments.
+    ///
+    /// The `--trace` JSONL sink is wrapped in a
+    /// [`actor_core::telemetry::SpanSink`] stamping every record with this
+    /// process's [`Harness::run_id`] and the binary name as span source —
+    /// so any bin's trace file feeds `trace_tool merge`/`check` directly.
     pub fn from_args(args: BenchArgs) -> Self {
         let trace_sink = args.trace.as_deref().map(|path| {
             match actor_core::telemetry::JsonlSink::create(path) {
-                Ok(sink) => std::sync::Arc::new(sink) as actor_core::telemetry::SharedSink,
+                Ok(sink) => {
+                    let inner = std::sync::Arc::new(sink) as actor_core::telemetry::SharedSink;
+                    std::sync::Arc::new(actor_core::telemetry::SpanSink::new(
+                        inner,
+                        Self::run_id(),
+                        bin_name(),
+                    )) as actor_core::telemetry::SharedSink
+                }
                 Err(e) => {
                     eprintln!("error: cannot create --trace file {path}: {e}");
                     std::process::exit(2);
@@ -258,6 +279,14 @@ impl Harness {
             }
         });
         Self { args, trace_sink }
+    }
+
+    /// The trace-span run identifier this process stamps: its pid. The
+    /// daemon bins put the same value in
+    /// [`cluster_rpc::SweepContext::run_id`], so worker-side spans land in
+    /// the daemon's run.
+    pub fn run_id() -> u64 {
+        u64::from(std::process::id())
     }
 
     /// The `--trace` sink, if one was requested — cluster bins pass it to

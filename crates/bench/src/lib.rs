@@ -32,5 +32,6 @@
 
 pub mod harness;
 pub mod sweep_out;
+pub mod trace_ops;
 
 pub use harness::{BenchArgs, FileReporter, Harness};

@@ -1,0 +1,447 @@
+//! Operator-side trace analysis: loading span-stamped JSONL traces,
+//! per-kind statistics with exact latency percentiles, span-sequence gap
+//! detection, and the causal merge of daemon + worker trace files into one
+//! timeline.
+//!
+//! This is the library half of the `trace_tool` binary. Every function
+//! works on [`SpannedEvent`]s as written by
+//! `actor_core::telemetry::JsonlSink` behind a `SpanSink` — one compact
+//! JSON object per line, span keys (`run_id`/`source`/`seq`/`cell`)
+//! flattened into the event's own map. Unstamped lines (from pre-span
+//! traces or sinks without a `SpanSink` in front) still load; they are
+//! exempt from sequence checking and merge after everything anchored.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use actor_core::telemetry::SpannedEvent;
+
+/// One parsed trace file.
+#[derive(Debug)]
+pub struct LoadedTrace {
+    /// The file, for diagnostics.
+    pub path: String,
+    /// Every line that parsed, in file order.
+    pub events: Vec<SpannedEvent>,
+    /// 1-based numbers of lines that failed to parse, excluding a torn
+    /// final line.
+    pub malformed: Vec<usize>,
+    /// The final line failed to parse — the signature of a writer killed
+    /// mid-write (SIGKILL between `write` and newline). `merge` tolerates
+    /// it; `check` treats it as malformed.
+    pub torn_tail: bool,
+}
+
+/// Parses a JSONL trace file. IO failure is the only error; unparseable
+/// lines are recorded in [`LoadedTrace::malformed`] / `torn_tail`, not
+/// fatal.
+pub fn load_trace(path: &Path) -> std::io::Result<LoadedTrace> {
+    let text = fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    let mut bad: Vec<usize> = Vec::new();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        match serde_json::from_str::<SpannedEvent>(line) {
+            Ok(event) => events.push(event),
+            Err(_) => bad.push(i + 1),
+        }
+    }
+    // A lone unparseable *last* line is a torn tail; anything earlier is
+    // corruption.
+    let torn_tail = bad.last().is_some_and(|&n| n == lines.len());
+    if torn_tail {
+        bad.pop();
+    }
+    Ok(LoadedTrace { path: path.display().to_string(), events, malformed: bad, torn_tail })
+}
+
+/// One hole in a per-`(run_id, source)` span sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceGap {
+    /// The run the gap is in.
+    pub run_id: u64,
+    /// The source whose sequence has the hole.
+    pub source: String,
+    /// The sequence number that should have come next.
+    pub expected: u64,
+    /// The sequence number that was found instead.
+    pub found: u64,
+}
+
+impl std::fmt::Display for SequenceGap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run {} source {:?}: expected seq {}, found {} ({} event(s) missing)",
+            self.run_id,
+            self.source,
+            self.expected,
+            self.found,
+            self.found - self.expected
+        )
+    }
+}
+
+/// Checks that every stamped `(run_id, source)` stream is dense from 0
+/// (after deduplication — merged inputs legitimately repeat events).
+/// A missing *tail* is undetectable and therefore not reported: a killed
+/// worker's final events simply never exist anywhere.
+pub fn sequence_gaps(events: &[SpannedEvent]) -> Vec<SequenceGap> {
+    let mut streams: BTreeMap<(u64, &str), BTreeSet<u64>> = BTreeMap::new();
+    for e in events {
+        if let Some(span) = &e.span {
+            streams.entry((span.run_id, span.source.as_str())).or_default().insert(span.seq);
+        }
+    }
+    let mut gaps = Vec::new();
+    for ((run_id, source), seqs) in streams {
+        let mut expected = 0u64;
+        for seq in seqs {
+            if seq != expected {
+                gaps.push(SequenceGap { run_id, source: source.to_string(), expected, found: seq });
+            }
+            expected = seq + 1;
+        }
+    }
+    gaps
+}
+
+/// Aggregate statistics over a set of events.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Total events.
+    pub total: usize,
+    /// Events per [`actor_core::telemetry::TraceEvent::kind`].
+    pub by_kind: BTreeMap<String, usize>,
+    /// Events per stamped span source (unstamped events land under `"-"`).
+    pub by_source: BTreeMap<String, usize>,
+    /// Decide/redistribute latencies, sorted ascending (ns).
+    latencies: Vec<u64>,
+}
+
+/// Exact (nearest-rank) percentile of a sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl TraceStats {
+    /// Exact latency percentile (nearest-rank, unlike the registry
+    /// histogram's power-of-two approximation), `q` in `[0, 1]`.
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        percentile(&self.latencies, q)
+    }
+
+    /// Number of events carrying a latency.
+    pub fn latency_count(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// The human-readable rendering `trace_tool stats` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "events {}", self.total);
+        for (kind, n) in &self.by_kind {
+            let _ = writeln!(out, "kind.{kind} {n}");
+        }
+        for (source, n) in &self.by_source {
+            let _ = writeln!(out, "source.{source} {n}");
+        }
+        if !self.latencies.is_empty() {
+            let _ = writeln!(out, "latency_count {}", self.latency_count());
+            for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                let _ = writeln!(out, "latency_{label}_ns {}", self.latency_ns(q));
+            }
+            let _ = writeln!(out, "latency_max_ns {}", self.latencies[self.latencies.len() - 1]);
+        }
+        out
+    }
+}
+
+/// Computes [`TraceStats`] over `events`.
+pub fn stats(events: &[SpannedEvent]) -> TraceStats {
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_source: BTreeMap<String, usize> = BTreeMap::new();
+    let mut latencies = Vec::new();
+    for e in events {
+        *by_kind.entry(e.event.kind().to_string()).or_insert(0) += 1;
+        let source = e.span.as_ref().map_or("-", |s| s.source.as_str());
+        *by_source.entry(source.to_string()).or_insert(0) += 1;
+        if let Some(ns) = e.event.latency_ns() {
+            latencies.push(ns);
+        }
+    }
+    latencies.sort_unstable();
+    TraceStats { total: events.len(), by_kind, by_source, latencies }
+}
+
+/// Keeps events whose kind and/or span source match the given filters
+/// (`None` = no constraint on that axis).
+pub fn filter<'a>(
+    events: &'a [SpannedEvent],
+    kind: Option<&str>,
+    source: Option<&str>,
+) -> Vec<&'a SpannedEvent> {
+    events
+        .iter()
+        .filter(|e| kind.is_none_or(|k| e.event.kind() == k))
+        .filter(|e| source.is_none_or(|s| e.span.as_ref().is_some_and(|sp| sp.source == s)))
+        .collect()
+}
+
+/// The result of merging daemon + worker trace files.
+#[derive(Debug)]
+pub struct MergedTimeline {
+    /// The causally-ordered timeline (see [`merge`] for the order).
+    pub events: Vec<SpannedEvent>,
+    /// Duplicates dropped — events present in both a worker's local file
+    /// and the daemon's trace (same `(run_id, source, seq)`).
+    pub duplicates: usize,
+    /// Sequence gaps detected across the merged union. A clean
+    /// daemon+workers run — even one with SIGKILLed workers — has none:
+    /// any hole means trace data was lost somewhere it should not be.
+    pub gaps: Vec<SequenceGap>,
+}
+
+/// Merges several traces (typically one daemon JSONL plus each worker's
+/// local `--trace` file) into one causally-ordered timeline:
+///
+/// 1. The union is deduplicated by `(run_id, source, seq)` — a worker
+///    event usually exists both in its local file and, forwarded, in the
+///    daemon's.
+/// 2. Events from **daemon sources** (sources that emit `sweep_cell`
+///    events) form the spine, in their own stamped order.
+/// 3. Every other stamped event carrying a cell index is placed
+///    immediately *before* the daemon's `sweep_cell` record for that cell
+///    — the work precedes the result that acknowledges it — ordered by
+///    `(source, seq)` within the slot.
+/// 4. Events with no anchor (no cell, a cell the daemon never resolved,
+///    or no span at all) follow at the end, in `(source, seq)` then file
+///    order.
+pub fn merge(traces: &[LoadedTrace]) -> MergedTimeline {
+    let mut seen: BTreeSet<(u64, String, u64)> = BTreeSet::new();
+    let mut duplicates = 0usize;
+    let mut stamped: Vec<SpannedEvent> = Vec::new();
+    let mut unstamped: Vec<SpannedEvent> = Vec::new();
+    for trace in traces {
+        for e in &trace.events {
+            match &e.span {
+                Some(span) => {
+                    if seen.insert((span.run_id, span.source.clone(), span.seq)) {
+                        stamped.push(e.clone());
+                    } else {
+                        duplicates += 1;
+                    }
+                }
+                None => unstamped.push(e.clone()),
+            }
+        }
+    }
+    let gaps = sequence_gaps(&stamped);
+
+    // Daemon sources: whoever emits sweep_cell records owns the spine.
+    let daemon_sources: BTreeSet<(u64, String)> = stamped
+        .iter()
+        .filter(|e| e.event.kind() == "sweep_cell")
+        .filter_map(|e| e.span.as_ref().map(|s| (s.run_id, s.source.clone())))
+        .collect();
+    let is_daemon = |e: &SpannedEvent| {
+        e.span.as_ref().is_some_and(|s| daemon_sources.contains(&(s.run_id, s.source.clone())))
+    };
+
+    let sort_key = |e: &SpannedEvent| {
+        let s = e.span.as_ref().expect("stamped");
+        (s.run_id, s.source.clone(), s.seq)
+    };
+    let mut spine: Vec<SpannedEvent> = stamped.iter().filter(|e| is_daemon(e)).cloned().collect();
+    spine.sort_by_key(sort_key);
+
+    // Anchor slot per (run_id, cell index): the spine position of the
+    // daemon's sweep_cell record for that cell.
+    let mut anchors: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    for (pos, e) in spine.iter().enumerate() {
+        if e.event.kind() == "sweep_cell" {
+            if let (Some(span), Some(index)) = (&e.span, sweep_cell_index(e)) {
+                anchors.entry((span.run_id, index)).or_insert(pos);
+            }
+        }
+    }
+
+    let mut slotted: BTreeMap<usize, Vec<SpannedEvent>> = BTreeMap::new();
+    let mut leftovers: Vec<SpannedEvent> = Vec::new();
+    for e in stamped.into_iter().filter(|e| !is_daemon(e)) {
+        let anchor = e
+            .span
+            .as_ref()
+            .and_then(|s| s.cell.map(|c| (s.run_id, c)))
+            .and_then(|key| anchors.get(&key).copied());
+        match anchor {
+            Some(pos) => slotted.entry(pos).or_default().push(e),
+            None => leftovers.push(e),
+        }
+    }
+    for bucket in slotted.values_mut() {
+        bucket.sort_by_key(sort_key);
+    }
+    leftovers.sort_by_key(sort_key);
+
+    let mut events = Vec::with_capacity(spine.len() + leftovers.len());
+    for (pos, spine_event) in spine.into_iter().enumerate() {
+        if let Some(bucket) = slotted.remove(&pos) {
+            events.extend(bucket);
+        }
+        events.push(spine_event);
+    }
+    events.extend(leftovers);
+    events.extend(unstamped);
+    MergedTimeline { events, duplicates, gaps }
+}
+
+/// The cell index of a `sweep_cell` event, if that is what `e` is.
+fn sweep_cell_index(e: &SpannedEvent) -> Option<u64> {
+    match &e.event {
+        actor_core::telemetry::TraceEvent::SweepCell { index, .. } => Some(*index as u64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actor_core::telemetry::{SpanContext, TraceEvent};
+
+    fn spanned(source: &str, seq: u64, cell: Option<u64>, event: TraceEvent) -> SpannedEvent {
+        SpannedEvent {
+            span: Some(SpanContext { run_id: 1, source: source.into(), seq, cell }),
+            event,
+        }
+    }
+
+    fn progress(done: usize) -> TraceEvent {
+        TraceEvent::Progress { name: "t".into(), done, expected: 10 }
+    }
+
+    fn sweep_cell(index: usize) -> TraceEvent {
+        TraceEvent::SweepCell {
+            index,
+            nodes: 2,
+            budget: "tight".into(),
+            policy: "fcfs".into(),
+            seed: 1,
+            makespan_s: 1.0,
+            total_energy_j: 2.0,
+        }
+    }
+
+    #[test]
+    fn gaps_are_found_and_tails_are_not() {
+        let events = vec![
+            spanned("w1", 0, None, progress(0)),
+            spanned("w1", 1, None, progress(1)),
+            spanned("w1", 3, None, progress(3)), // hole: seq 2 missing
+            spanned("w2", 0, None, progress(0)), // tail loss after 0: invisible
+        ];
+        let gaps = sequence_gaps(&events);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!((gaps[0].expected, gaps[0].found), (2, 3));
+        assert_eq!(gaps[0].source, "w1");
+    }
+
+    #[test]
+    fn merge_anchors_worker_events_before_their_sweep_cell() {
+        // Daemon: connected, sweep_cell(1), sweep_cell(0). Workers: w1 ran
+        // cell 1, w2 ran cell 0; both also exist (duplicated) in the
+        // daemon file.
+        let daemon = LoadedTrace {
+            path: "daemon.jsonl".into(),
+            events: vec![
+                spanned("daemon", 0, None, TraceEvent::WorkerConnected { worker: "w1".into() }),
+                spanned("w1", 0, Some(1), progress(0)),
+                spanned("daemon", 1, None, sweep_cell(1)),
+                spanned("daemon", 2, None, sweep_cell(0)),
+            ],
+            malformed: vec![],
+            torn_tail: false,
+        };
+        let w1 = LoadedTrace {
+            path: "w1.jsonl".into(),
+            events: vec![
+                spanned("w1", 0, Some(1), progress(0)),
+                spanned("w1", 1, Some(1), progress(1)),
+            ],
+            malformed: vec![],
+            torn_tail: false,
+        };
+        let w2 = LoadedTrace {
+            path: "w2.jsonl".into(),
+            events: vec![spanned("w2", 0, Some(0), progress(0))],
+            malformed: vec![],
+            torn_tail: true,
+        };
+        let merged = merge(&[daemon, w1, w2]);
+        assert!(merged.gaps.is_empty(), "{:?}", merged.gaps);
+        assert_eq!(merged.duplicates, 1, "w1 seq 0 exists in both files");
+        let labels: Vec<String> = merged
+            .events
+            .iter()
+            .map(|e| {
+                let s = e.span.as_ref().unwrap();
+                format!("{}:{}:{}", s.source, s.seq, e.event.kind())
+            })
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "daemon:0:worker_connected",
+                "w1:0:progress",
+                "w1:1:progress",
+                "daemon:1:sweep_cell",
+                "w2:0:progress",
+                "daemon:2:sweep_cell",
+            ],
+            "workers' in-cell events precede the daemon's sweep_cell record"
+        );
+    }
+
+    #[test]
+    fn stats_count_kinds_and_take_exact_percentiles() {
+        let mut events: Vec<SpannedEvent> = (0..100u64)
+            .map(|i| {
+                spanned(
+                    "w",
+                    i,
+                    None,
+                    TraceEvent::Redistribute {
+                        time_s: 0.0,
+                        startable: 1,
+                        admitted: 1,
+                        headroom_before_w: 1.0,
+                        headroom_after_w: 0.5,
+                        upgrades: 0,
+                        latency_ns: i + 1, // latencies 1..=100
+                    },
+                )
+            })
+            .collect();
+        events.push(spanned("w", 100, None, progress(0)));
+        let s = stats(&events);
+        assert_eq!(s.total, 101);
+        assert_eq!(s.by_kind["redistribute"], 100);
+        assert_eq!(s.by_kind["progress"], 1);
+        assert_eq!(s.by_source["w"], 101);
+        assert_eq!(s.latency_count(), 100);
+        assert_eq!(s.latency_ns(0.50), 50);
+        assert_eq!(s.latency_ns(0.95), 95);
+        assert_eq!(s.latency_ns(0.99), 99);
+        assert_eq!(s.latency_ns(1.0), 100);
+
+        let filtered = filter(&events, Some("progress"), Some("w"));
+        assert_eq!(filtered.len(), 1);
+        assert!(filter(&events, None, Some("nobody")).is_empty());
+    }
+}

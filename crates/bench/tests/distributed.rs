@@ -13,11 +13,15 @@ use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use actor_bench::sweep_out::cells_output;
+use actor_bench::trace_ops::{load_trace, merge};
 use actor_core::config::ActorConfig;
+use actor_core::telemetry::{
+    FanoutSink, JsonlSink, SharedSink, SpanSink, TelemetrySink, TraceEvent,
+};
 use cluster_daemon::{
     accept_unix, run_distributed, serve, DaemonConfig, DistRun, ProcessSweepOptions,
 };
@@ -48,6 +52,7 @@ fn context() -> SweepContext {
         workload: "quad-test".into(),
         max_node_w: 160.0,
         heartbeat_ms: 50,
+        run_id: 7001,
     }
 }
 
@@ -192,4 +197,151 @@ fn a_sigkilled_worker_process_does_not_stop_the_daemon() {
     let mut kids = children.into_inner();
     let replacement = kids.pop().expect("replacement child exists").wait().expect("reaps");
     assert!(replacement.success(), "replacement exited {replacement:?}");
+}
+
+/// A sink that announces `worker_connected` events on a channel — how the
+/// trace-merge test learns the victim has joined (and therefore holds an
+/// assignment) without racing the sweep.
+struct ConnectWatch {
+    tx: crossbeam::channel::Sender<String>,
+}
+
+impl TelemetrySink for ConnectWatch {
+    fn record(&self, event: &TraceEvent) {
+        if let TraceEvent::WorkerConnected { worker } = event {
+            let _ = self.tx.send(worker.clone());
+        }
+    }
+}
+
+fn spawn_traced_worker(socket: &std::path::Path, name: &str, trace: &std::path::Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_cluster_worker"))
+        .arg("--connect")
+        .arg(socket)
+        .args(["--name", name])
+        .arg("--trace")
+        .arg(trace)
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("cluster_worker spawns")
+}
+
+/// The full operator story, end to end with real binaries: a daemon
+/// tracing to JSONL serves two `--trace`d workers, one of which is
+/// SIGKILLed mid-cell. `trace_tool merge` over the daemon file plus both
+/// worker-local files (the victim's possibly torn mid-write) must
+/// reconstruct one causally-ordered timeline with zero sequence gaps
+/// that shows the `worker_dead`/`cell_reassigned` lifecycle.
+#[test]
+fn trace_tool_merges_a_sigkilled_run_into_one_causal_timeline() {
+    let spec = spec();
+    let dir = std::env::temp_dir().join(format!("actor-trace-merge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("trace dir creates");
+    let daemon_trace = dir.join("daemon.jsonl");
+    let victim_trace = dir.join("victim.jsonl");
+    let survivor_trace = dir.join("survivor.jsonl");
+
+    let jsonl: SharedSink = Arc::new(JsonlSink::create(&daemon_trace).expect("daemon trace"));
+    let (connect_tx, connect_rx) = crossbeam::channel::unbounded();
+    let watch: SharedSink = Arc::new(ConnectWatch { tx: connect_tx });
+    // Stamp with the same run id `context()` serves to workers: one run,
+    // one causal timeline.
+    let daemon_sink: SharedSink = Arc::new(SpanSink::new(
+        Arc::new(FanoutSink::new(vec![jsonl, watch])),
+        context().run_id,
+        "daemon",
+    ));
+
+    let socket = unique_socket("trace-merge");
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).expect("socket binds");
+    listener.set_nonblocking(true).expect("socket accepts nonblocking mode");
+    let stop = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = crossbeam::channel::unbounded();
+    let acceptor = accept_unix(listener, Arc::clone(&stop), conn_tx);
+
+    let victim = Arc::new(Mutex::new(spawn_traced_worker(&socket, "victim", &victim_trace)));
+    let survivor = RefCell::new(spawn_traced_worker(&socket, "survivor", &survivor_trace));
+    // Kill the victim shortly after its `worker_connected` lands. At that
+    // point the daemon has already dispatched it a cell, and the victim
+    // is still seconds away from finishing (it retrains the workload
+    // model first), so the SIGKILL is guaranteed to strand a busy cell —
+    // the daemon must requeue it (`cell_reassigned`).
+    let killer = {
+        let victim = Arc::clone(&victim);
+        std::thread::spawn(move || {
+            while let Ok(name) = connect_rx.recv() {
+                if name == "victim" {
+                    std::thread::sleep(Duration::from_millis(100));
+                    let mut child = victim.lock().expect("victim lock");
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return;
+                }
+            }
+        })
+    };
+
+    let mut daemon_config = DaemonConfig::new(context());
+    daemon_config.no_worker_timeout = Some(Duration::from_secs(120));
+    let dist = serve(&spec, &daemon_config, conn_rx, Some(Arc::clone(&daemon_sink)), |_, _, _| {})
+        .expect("the daemon keeps serving through the kill");
+    stop.store(true, Ordering::Relaxed);
+    acceptor.join().expect("acceptor joins");
+    let _ = std::fs::remove_file(&socket);
+    killer.join().expect("killer joins");
+    let survivor_status = survivor.into_inner().wait().expect("survivor reaps");
+    assert!(survivor_status.success(), "survivor exited {survivor_status:?}");
+    assert_eq!(dist.run.outcomes.len(), spec.len());
+    daemon_sink.flush();
+
+    // The library-level merge: one timeline, no holes, full lifecycle.
+    let traces: Vec<_> = [&daemon_trace, &victim_trace, &survivor_trace]
+        .iter()
+        .map(|p| load_trace(p).expect("trace loads"))
+        .collect();
+    let merged = merge(&traces);
+    assert!(merged.gaps.is_empty(), "sequence gaps in merged timeline: {:?}", merged.gaps);
+    let kind_count = |kind: &str| merged.events.iter().filter(|e| e.event.kind() == kind).count();
+    assert!(kind_count("worker_dead") >= 1, "no worker_dead event in the merged timeline");
+    assert!(kind_count("cell_reassigned") >= 1, "no cell_reassigned event in the merged timeline");
+    assert_eq!(kind_count("sweep_cell"), spec.len(), "one sweep_cell record per grid cell");
+    let run_id = context().run_id;
+    assert!(
+        merged.events.iter().all(|e| e.span.as_ref().is_some_and(|s| s.run_id == run_id)),
+        "every merged event is stamped with the run id the daemon served"
+    );
+
+    // The operator-facing binary agrees: merge exits 0 (zero gap errors)
+    // and emits the same causal timeline on stdout.
+    let output = Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .arg("merge")
+        .args([&daemon_trace, &victim_trace, &survivor_trace])
+        .output()
+        .expect("trace_tool runs");
+    assert!(
+        output.status.success(),
+        "trace_tool merge failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("merge output is UTF-8");
+    assert_eq!(stdout.lines().count(), merged.events.len());
+    assert!(stdout.contains("worker_dead") && stdout.contains("cell_reassigned"));
+
+    // And `check` on the merged artefact passes: dense sequences, no
+    // malformed lines.
+    let merged_path = dir.join("merged.jsonl");
+    std::fs::write(&merged_path, &stdout).expect("merged artefact writes");
+    let check = Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .arg("check")
+        .arg(&merged_path)
+        .output()
+        .expect("trace_tool runs");
+    assert!(
+        check.status.success(),
+        "trace_tool check failed on the merged timeline:\n{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -12,8 +12,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use actor_core::telemetry::{SharedSink, TraceEvent};
-use cluster_rpc::{server_handshake, CellOutcome, Connection, Message, SweepContext, Wire};
+use actor_core::telemetry::{MetricsRegistry, SharedSink, TraceEvent};
+use cluster_rpc::{server_accept, Accepted, CellOutcome, Connection, Message, SweepContext, Wire};
 use cluster_sched::{SweepCell, SweepCellOutcome, SweepRun, SweepSpec};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
@@ -34,6 +34,11 @@ pub struct DaemonConfig {
     /// Give up with [`DaemonError::NoWorkers`] after this long with zero
     /// live workers and cells still unresolved. `None` waits forever.
     pub no_worker_timeout: Option<Duration>,
+    /// Live-queryable metrics: when set, the control loop keeps worker and
+    /// cell counters current in it, and any connection whose first frame is
+    /// [`Message::MetricsRequest`] is served a
+    /// [`MetricsRegistry::render_text`] snapshot instead of a handshake.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl DaemonConfig {
@@ -42,7 +47,13 @@ impl DaemonConfig {
     /// workers.
     pub fn new(context: SweepContext) -> Self {
         let grace = Duration::from_millis(context.heartbeat_ms.saturating_mul(10).max(100));
-        Self { context, liveness_grace: grace, max_attempts: 3, no_worker_timeout: None }
+        Self {
+            context,
+            liveness_grace: grace,
+            max_attempts: 3,
+            no_worker_timeout: None,
+            metrics: None,
+        }
     }
 }
 
@@ -91,7 +102,15 @@ fn sweep_cell_event(outcome: &SweepCellOutcome) -> TraceEvent {
 
 /// Turns raw wires into handshaked connections feeding `events`: one
 /// handler thread per connection, exiting when its connection closes.
-fn spawn_acceptor(conns: Receiver<Box<dyn Wire>>, context: SweepContext, events: Sender<Event>) {
+/// Connections opening with [`Message::MetricsRequest`] are served a
+/// snapshot from `metrics` and closed without ever reaching the control
+/// loop.
+fn spawn_acceptor(
+    conns: Receiver<Box<dyn Wire>>,
+    context: SweepContext,
+    events: Sender<Event>,
+    metrics: Option<Arc<MetricsRegistry>>,
+) {
     std::thread::spawn(move || {
         let mut next_id = 0u64;
         while let Ok(wire) = conns.recv() {
@@ -99,14 +118,23 @@ fn spawn_acceptor(conns: Receiver<Box<dyn Wire>>, context: SweepContext, events:
             next_id += 1;
             let events = events.clone();
             let context = context.clone();
+            let metrics = metrics.clone();
             std::thread::spawn(move || {
                 let conn = match Connection::new(wire) {
                     Ok(c) => Arc::new(c),
                     Err(_) => return,
                 };
-                let name = match server_handshake(&conn, &context) {
-                    Ok(name) => name,
-                    Err(_) => {
+                let render;
+                let render_ref: Option<&dyn Fn() -> String> = match metrics {
+                    Some(reg) => {
+                        render = move || reg.render_text();
+                        Some(&render)
+                    }
+                    None => None,
+                };
+                let name = match server_accept(&conn, &context, render_ref) {
+                    Ok(Accepted::Worker(name)) => name,
+                    Ok(Accepted::MetricsServed) | Err(_) => {
                         conn.shutdown();
                         return;
                     }
@@ -152,6 +180,49 @@ fn requeue_or_fail(
     }
 }
 
+/// The one exit path for a worker leaving the pool for any reason (error
+/// frame, protocol violation, closed connection, heartbeat stall): closes
+/// the transport, traces [`TraceEvent::WorkerDead`] and — when a cell dies
+/// with it — [`TraceEvent::CellReassigned`], keeps the registry counters
+/// current, and requeues the orphaned cell. Returns 1 when a cell was
+/// orphaned (the caller's reassignment count), 0 otherwise.
+#[allow(clippy::too_many_arguments)]
+fn drop_worker(
+    worker: WorkerState,
+    reason: String,
+    attempts: &BTreeMap<usize, usize>,
+    max_attempts: usize,
+    pending: &mut VecDeque<SweepCell>,
+    failures: &mut Vec<(SweepCell, String, usize)>,
+    telemetry: Option<&SharedSink>,
+    metrics: Option<&MetricsRegistry>,
+) -> usize {
+    worker.conn.shutdown();
+    if let Some(sink) = telemetry {
+        sink.record(&TraceEvent::WorkerDead {
+            worker: worker.name.clone(),
+            reason: reason.clone(),
+        });
+    }
+    if let Some(reg) = metrics {
+        reg.incr("workers_dead");
+    }
+    let Some(cell) = worker.busy else { return 0 };
+    let attempt = attempts.get(&cell.index).copied().unwrap_or(0);
+    if let Some(sink) = telemetry {
+        sink.record(&TraceEvent::CellReassigned {
+            index: cell.index,
+            worker: worker.name.clone(),
+            attempt,
+        });
+    }
+    if let Some(reg) = metrics {
+        reg.incr("cells_reassigned");
+    }
+    requeue_or_fail(cell, reason, attempts, max_attempts, pending, failures);
+    1
+}
+
 /// Serves one sweep to however many workers connect, returning when every
 /// cell is resolved.
 ///
@@ -180,7 +251,11 @@ pub fn serve(
     let started = Instant::now();
 
     let (event_tx, event_rx) = crossbeam::channel::unbounded();
-    spawn_acceptor(conns, config.context.clone(), event_tx);
+    spawn_acceptor(conns, config.context.clone(), event_tx, config.metrics.clone());
+    let metrics = config.metrics.as_deref();
+    if let Some(reg) = metrics {
+        reg.set_gauge("cells_total", total as f64);
+    }
 
     let tick = (config.liveness_grace / 4).max(Duration::from_millis(5));
     let mut pending: VecDeque<SweepCell> = all_cells.iter().cloned().collect();
@@ -215,7 +290,21 @@ pub fn serve(
         }
         for id in dead {
             if let Some(worker) = workers.remove(&id) {
-                worker.conn.shutdown();
+                // The cell never left the queue (send failed), so this is
+                // a death without a reassignment.
+                drop_worker(
+                    worker,
+                    "assignment send failed".into(),
+                    &attempts,
+                    config.max_attempts,
+                    &mut pending,
+                    &mut failures,
+                    telemetry.as_ref(),
+                    metrics,
+                );
+                if let Some(reg) = metrics {
+                    reg.set_gauge("workers_live", workers.len() as f64);
+                }
             }
         }
 
@@ -226,8 +315,17 @@ pub fn serve(
         match event_rx.recv_timeout(tick) {
             Ok(Event::Joined { id, name, conn }) => {
                 workers_seen += 1;
+                if let Some(sink) = &telemetry {
+                    sink.record(&TraceEvent::WorkerConnected { worker: name.clone() });
+                }
+                if let Some(reg) = metrics {
+                    reg.incr("workers_connected");
+                }
                 workers
                     .insert(id, WorkerState { name, conn, busy: None, last_seen: Instant::now() });
+                if let Some(reg) = metrics {
+                    reg.set_gauge("workers_live", workers.len() as f64);
+                }
             }
             Ok(Event::Frame { id, msg }) => {
                 // Frames from workers already declared dead are ignored:
@@ -238,8 +336,15 @@ pub fn serve(
                 match msg {
                     Message::Heartbeat => {}
                     Message::TraceBatch(events) => {
+                        // Worker frames arrive already span-stamped;
+                        // record_spanned preserves those stamps (the
+                        // daemon's own SpanSink only stamps span-less
+                        // events).
                         if let Some(sink) = &telemetry {
-                            sink.record_batch(&events);
+                            sink.record_spanned(&events);
+                        }
+                        if let Some(reg) = metrics {
+                            reg.add("trace_events_ingested", events.len() as u64);
                         }
                     }
                     Message::CellResult { index, outcome } => {
@@ -252,6 +357,9 @@ pub fn serve(
                         match outcome {
                             CellOutcome::Completed(report) => {
                                 completed.insert(index);
+                                if let Some(reg) = metrics {
+                                    reg.incr("cells_completed");
+                                }
                                 let outcome =
                                     SweepCellOutcome { cell: all_cells[index].clone(), report };
                                 if let Some(sink) = &telemetry {
@@ -274,23 +382,28 @@ pub fn serve(
                                 } else {
                                     reason
                                 };
+                                if let Some(reg) = metrics {
+                                    reg.incr("cells_failed");
+                                }
                                 failures.push((all_cells[index].clone(), reason, tried));
                             }
                         }
                     }
                     Message::Error(e) => {
                         if let Some(worker) = workers.remove(&id) {
-                            worker.conn.shutdown();
-                            if let Some(cell) = worker.busy {
-                                reassignments += 1;
-                                requeue_or_fail(
-                                    cell,
-                                    format!("worker {} failed: {e}", worker.name),
-                                    &attempts,
-                                    config.max_attempts,
-                                    &mut pending,
-                                    &mut failures,
-                                );
+                            let reason = format!("worker {} failed: {e}", worker.name);
+                            reassignments += drop_worker(
+                                worker,
+                                reason,
+                                &attempts,
+                                config.max_attempts,
+                                &mut pending,
+                                &mut failures,
+                                telemetry.as_ref(),
+                                metrics,
+                            );
+                            if let Some(reg) = metrics {
+                                reg.set_gauge("workers_live", workers.len() as f64);
                             }
                         }
                     }
@@ -298,21 +411,23 @@ pub fn serve(
                         // Hello/HelloAck/AssignCell/Shutdown from a worker
                         // are protocol violations; drop the worker.
                         if let Some(worker) = workers.remove(&id) {
-                            worker.conn.shutdown();
-                            if let Some(cell) = worker.busy {
-                                reassignments += 1;
-                                requeue_or_fail(
-                                    cell,
-                                    format!(
-                                        "worker {} sent an unexpected {} frame",
-                                        worker.name,
-                                        other.kind()
-                                    ),
-                                    &attempts,
-                                    config.max_attempts,
-                                    &mut pending,
-                                    &mut failures,
-                                );
+                            let reason = format!(
+                                "worker {} sent an unexpected {} frame",
+                                worker.name,
+                                other.kind()
+                            );
+                            reassignments += drop_worker(
+                                worker,
+                                reason,
+                                &attempts,
+                                config.max_attempts,
+                                &mut pending,
+                                &mut failures,
+                                telemetry.as_ref(),
+                                metrics,
+                            );
+                            if let Some(reg) = metrics {
+                                reg.set_gauge("workers_live", workers.len() as f64);
                             }
                         }
                     }
@@ -320,17 +435,19 @@ pub fn serve(
             }
             Ok(Event::Left { id, reason }) => {
                 if let Some(worker) = workers.remove(&id) {
-                    worker.conn.shutdown();
-                    if let Some(cell) = worker.busy {
-                        reassignments += 1;
-                        requeue_or_fail(
-                            cell,
-                            format!("worker {} died: {reason}", worker.name),
-                            &attempts,
-                            config.max_attempts,
-                            &mut pending,
-                            &mut failures,
-                        );
+                    let reason = format!("worker {} died: {reason}", worker.name);
+                    reassignments += drop_worker(
+                        worker,
+                        reason,
+                        &attempts,
+                        config.max_attempts,
+                        &mut pending,
+                        &mut failures,
+                        telemetry.as_ref(),
+                        metrics,
+                    );
+                    if let Some(reg) = metrics {
+                        reg.set_gauge("workers_live", workers.len() as f64);
                     }
                 }
             }
@@ -354,21 +471,23 @@ pub fn serve(
             .collect();
         for id in stalled {
             if let Some(worker) = workers.remove(&id) {
-                worker.conn.shutdown();
-                if let Some(cell) = worker.busy {
-                    reassignments += 1;
-                    requeue_or_fail(
-                        cell,
-                        format!(
-                            "worker {} stalled (silent past {:.1} s)",
-                            worker.name,
-                            config.liveness_grace.as_secs_f64()
-                        ),
-                        &attempts,
-                        config.max_attempts,
-                        &mut pending,
-                        &mut failures,
-                    );
+                let reason = format!(
+                    "worker {} stalled (silent past {:.1} s)",
+                    worker.name,
+                    config.liveness_grace.as_secs_f64()
+                );
+                reassignments += drop_worker(
+                    worker,
+                    reason,
+                    &attempts,
+                    config.max_attempts,
+                    &mut pending,
+                    &mut failures,
+                    telemetry.as_ref(),
+                    metrics,
+                );
+                if let Some(reg) = metrics {
+                    reg.set_gauge("workers_live", workers.len() as f64);
                 }
             }
         }

@@ -42,4 +42,4 @@ pub mod worker;
 pub use daemon::{serve, DaemonConfig, DistRun};
 pub use error::{DaemonError, WorkerError};
 pub use spawn::{accept_unix, run_distributed, ProcessSweepOptions};
-pub use worker::{run_worker, run_worker_with};
+pub use worker::{run_worker, run_worker_full, run_worker_traced, run_worker_with};

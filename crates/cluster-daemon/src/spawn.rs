@@ -38,6 +38,11 @@ pub struct ProcessSweepOptions {
     /// Abort with [`DaemonError::NoWorkers`] if no worker is live for this
     /// long — covers both startup failures and a fully-died fleet.
     pub startup_timeout: Duration,
+    /// When set, each spawned worker writes its own span-stamped JSONL
+    /// trace to `<dir>/worker-local-<i>.jsonl` (the `--trace` flag of
+    /// `cluster_worker`) — the files `trace_tool merge` combines with the
+    /// daemon's trace into one causal timeline.
+    pub worker_trace_dir: Option<PathBuf>,
 }
 
 impl ProcessSweepOptions {
@@ -52,6 +57,7 @@ impl ProcessSweepOptions {
             context,
             max_attempts: 3,
             startup_timeout: Duration::from_secs(120),
+            worker_trace_dir: None,
         }
     }
 }
@@ -108,6 +114,9 @@ fn worker_command(
         Command::new(&opts.worker_bin)
     };
     cmd.arg("--connect").arg(socket).arg("--name").arg(format!("local-{index}"));
+    if let Some(dir) = &opts.worker_trace_dir {
+        cmd.arg("--trace").arg(dir.join(format!("worker-local-{index}.jsonl")));
+    }
     cmd
 }
 

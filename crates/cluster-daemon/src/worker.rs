@@ -5,38 +5,86 @@
 //! the identical [`cluster_sched::ClusterReport`] no matter which side of
 //! the socket it runs on. The only worker-specific machinery is the
 //! heartbeat thread (started *before* model training, which takes seconds
-//! and must not read as death) and the telemetry forwarder that batches
-//! trace events into `TraceBatch` frames.
+//! and must not read as death) and the telemetry pipeline: a
+//! [`SpanSink`] stamps every event with the wire-carried run id, the
+//! worker's name, a dense sequence, and the cell being executed, then a
+//! rebatching forward sink ships them to the daemon as `TraceBatch`
+//! frames (one frame per batch — never one frame per event).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use actor_core::telemetry::{BufferedSink, SharedSink, TelemetrySink, TraceEvent};
+use actor_core::telemetry::{
+    FanoutSink, SharedSink, SpanSink, SpannedEvent, TelemetrySink, TraceEvent,
+};
 use cluster_rpc::{
     client_handshake, CellOutcome, Connection, Message, RpcError, SweepContext, Wire,
 };
 use cluster_sched::{execute_cell, workload_shape_by_name, WorkloadModel, WorkloadSpec};
+use parking_lot::Mutex;
 use xeon_sim::Machine;
 
 use crate::error::WorkerError;
 
-/// Ships trace events to the daemon as `TraceBatch` frames. Sits behind a
-/// [`BufferedSink`] so hot-path events amortise to one frame per batch;
-/// send failures are swallowed — a dying connection surfaces in the cell
-/// loop, not in telemetry.
+/// Ships trace events to the daemon as `TraceBatch` frames, rebatching
+/// internally: *every* entry path (`record`, `record_batch`,
+/// `record_spanned`) accumulates into one buffer that is sent as a single
+/// frame when `capacity` events gather or on flush — so no caller can
+/// regress to one frame per event. Send failures are swallowed: a dying
+/// connection surfaces in the cell loop, not in telemetry.
 struct TraceForwardSink {
     conn: Arc<Connection>,
+    capacity: usize,
+    buf: Mutex<Vec<SpannedEvent>>,
+}
+
+impl TraceForwardSink {
+    /// Batch size for trace frames: a few KiB per frame, same order as the
+    /// old `BufferedSink` wrapper this sink replaces.
+    const DEFAULT_CAPACITY: usize = 256;
+
+    fn new(conn: Arc<Connection>) -> Self {
+        Self { conn, capacity: Self::DEFAULT_CAPACITY, buf: Mutex::new(Vec::new()) }
+    }
+
+    #[cfg(test)]
+    fn with_capacity(conn: Arc<Connection>, capacity: usize) -> Self {
+        Self { conn, capacity: capacity.max(1), buf: Mutex::new(Vec::new()) }
+    }
+
+    fn push(&self, events: &[SpannedEvent]) {
+        let mut buf = self.buf.lock();
+        buf.extend_from_slice(events);
+        if buf.len() >= self.capacity {
+            let batch = std::mem::take(&mut *buf);
+            // Send while holding the lock so concurrent recorders cannot
+            // interleave a later event ahead of this frame.
+            let _ = self.conn.send(&Message::TraceBatch(batch));
+        }
+    }
 }
 
 impl TelemetrySink for TraceForwardSink {
     fn record(&self, event: &TraceEvent) {
-        let _ = self.conn.send(&Message::TraceBatch(vec![event.clone()]));
+        self.push(std::slice::from_ref(&SpannedEvent::unspanned(event.clone())));
     }
 
     fn record_batch(&self, events: &[TraceEvent]) {
-        if !events.is_empty() {
-            let _ = self.conn.send(&Message::TraceBatch(events.to_vec()));
+        let spanned: Vec<SpannedEvent> =
+            events.iter().cloned().map(SpannedEvent::unspanned).collect();
+        self.push(&spanned);
+    }
+
+    fn record_spanned(&self, events: &[SpannedEvent]) {
+        self.push(events);
+    }
+
+    fn flush(&self) {
+        let mut buf = self.buf.lock();
+        if !buf.is_empty() {
+            let batch = std::mem::take(&mut *buf);
+            let _ = self.conn.send(&Message::TraceBatch(batch));
         }
     }
 }
@@ -80,7 +128,18 @@ fn run_one_cell(
 /// every worker trains the exact tables the daemon's in-process peer would
 /// use.
 pub fn run_worker(wire: Box<dyn Wire>, name: &str) -> Result<(), WorkerError> {
-    run_worker_with(wire, name, |ctx| {
+    run_worker_traced(wire, name, None)
+}
+
+/// [`run_worker`] with an optional local sink (e.g. a worker-side
+/// `--trace` JSONL file) that receives the same span-stamped events the
+/// daemon does.
+pub fn run_worker_traced(
+    wire: Box<dyn Wire>,
+    name: &str,
+    local: Option<SharedSink>,
+) -> Result<(), WorkerError> {
+    run_worker_full(wire, name, local, |ctx| {
         WorkloadModel::build(&Machine::xeon_qx6600(), &ctx.config, &ctx.benchmarks)
             .map(Arc::new)
             .map_err(|e| e.to_string())
@@ -92,6 +151,17 @@ pub fn run_worker(wire: Box<dyn Wire>, name: &str) -> Result<(), WorkerError> {
 pub fn run_worker_with(
     wire: Box<dyn Wire>,
     name: &str,
+    model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
+) -> Result<(), WorkerError> {
+    run_worker_full(wire, name, None, model_builder)
+}
+
+/// The fully-general worker entry point: injectable model source *and*
+/// optional local telemetry sink beside the daemon forwarder.
+pub fn run_worker_full(
+    wire: Box<dyn Wire>,
+    name: &str,
+    local: Option<SharedSink>,
     model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
 ) -> Result<(), WorkerError> {
     let conn = Arc::new(Connection::new(wire).map_err(RpcError::from)?);
@@ -114,7 +184,7 @@ pub fn run_worker_with(
         })
     };
 
-    let result = worker_loop(&conn, &ctx, model_builder);
+    let result = worker_loop(&conn, name, local, &ctx, model_builder);
 
     stop.store(true, Ordering::Relaxed);
     conn.shutdown();
@@ -124,21 +194,33 @@ pub fn run_worker_with(
 
 fn worker_loop(
     conn: &Arc<Connection>,
+    name: &str,
+    local: Option<SharedSink>,
     ctx: &SweepContext,
     model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
 ) -> Result<(), WorkerError> {
     let workload = workload_shape_by_name(&ctx.workload)
         .ok_or_else(|| WorkerError::UnknownShape { name: ctx.workload.clone() })?;
     let model = model_builder(ctx).map_err(|reason| WorkerError::Model { reason })?;
-    let forward: SharedSink =
-        Arc::new(BufferedSink::new(Arc::new(TraceForwardSink { conn: Arc::clone(conn) })));
+    // Pipeline: SpanSink (stamps run_id/worker/seq/cell) → forwarder to
+    // the daemon, plus the optional local sink, both receiving the same
+    // stamped events.
+    let forward: SharedSink = Arc::new(TraceForwardSink::new(Arc::clone(conn)));
+    let downstream: SharedSink = match local {
+        Some(local_sink) => Arc::new(FanoutSink::new(vec![forward, local_sink])),
+        None => forward,
+    };
+    let span = Arc::new(SpanSink::new(downstream, ctx.run_id, name));
+    let telemetry: SharedSink = Arc::clone(&span) as SharedSink;
     loop {
         match conn.recv()? {
             Message::AssignCell(cell) => {
-                let outcome = run_one_cell(&model, workload, ctx.max_node_w, &cell, &forward);
+                span.set_cell(Some(cell.index as u64));
+                let outcome = run_one_cell(&model, workload, ctx.max_node_w, &cell, &telemetry);
+                span.set_cell(None);
                 // Trace frames precede the result: once the daemon sees
                 // the CellResult, the cell's telemetry is fully delivered.
-                forward.flush();
+                telemetry.flush();
                 conn.send(&Message::CellResult { index: cell.index, outcome })?;
             }
             Message::Shutdown => return Ok(()),
@@ -149,6 +231,75 @@ fn worker_loop(
                     reason: format!("unexpected {} frame for a worker", other.kind()),
                 }))
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_rpc::duplex;
+
+    fn progress(done: usize) -> TraceEvent {
+        TraceEvent::Progress { name: "t".into(), done, expected: 100 }
+    }
+
+    /// Regression for the one-frame-per-event bug: every entry path of the
+    /// forwarder rebatches, so 10 single-event records at capacity 4 make
+    /// 3 frames, not 10.
+    #[test]
+    fn forward_sink_rebatches_single_event_records_into_frames() {
+        let (ours, theirs) = duplex();
+        let conn = Arc::new(Connection::new(Box::new(ours)).unwrap());
+        let peer = Connection::new(Box::new(theirs)).unwrap();
+        let sink = TraceForwardSink::with_capacity(conn, 4);
+
+        for i in 0..10 {
+            sink.record(&progress(i));
+        }
+        sink.flush();
+
+        let mut frames = 0;
+        let mut events = 0;
+        while events < 10 {
+            match peer.recv().unwrap() {
+                Message::TraceBatch(batch) => {
+                    frames += 1;
+                    events += batch.len();
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(events, 10, "every event arrives");
+        assert_eq!(frames, 3, "4 + 4 + 2, never one frame per event");
+    }
+
+    /// Span stamps survive the forwarder: what the daemon receives is what
+    /// the SpanSink stamped.
+    #[test]
+    fn forward_sink_preserves_span_stamps() {
+        let (ours, theirs) = duplex();
+        let conn = Arc::new(Connection::new(Box::new(ours)).unwrap());
+        let peer = Connection::new(Box::new(theirs)).unwrap();
+        let forward: SharedSink = Arc::new(TraceForwardSink::with_capacity(conn, 64));
+        let span = SpanSink::new(forward.clone(), 99, "w-test");
+        span.set_cell(Some(5));
+        span.record(&progress(0));
+        span.record(&progress(1));
+        span.flush();
+
+        match peer.recv().unwrap() {
+            Message::TraceBatch(batch) => {
+                assert_eq!(batch.len(), 2);
+                for (i, e) in batch.iter().enumerate() {
+                    let s = e.span.as_ref().expect("stamped");
+                    assert_eq!(s.run_id, 99);
+                    assert_eq!(s.source, "w-test");
+                    assert_eq!(s.seq, i as u64);
+                    assert_eq!(s.cell, Some(5));
+                }
+            }
+            other => panic!("unexpected frame {other:?}"),
         }
     }
 }

@@ -10,8 +10,11 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use actor_core::config::ActorConfig;
+use actor_core::telemetry::{MemorySink, MetricsRegistry, SharedSink, SpanSink};
 use cluster_daemon::{run_worker_with, serve, DaemonConfig, DaemonError};
-use cluster_rpc::{client_handshake, duplex, CellOutcome, Connection, Message, SweepContext, Wire};
+use cluster_rpc::{
+    client_handshake, duplex, request_metrics, CellOutcome, Connection, Message, SweepContext, Wire,
+};
 use cluster_sched::{quad_test_workload, run_sweep, SweepSpec, WorkloadModel};
 use crossbeam::channel::{unbounded, Sender};
 use npb_workloads::BenchmarkId;
@@ -34,6 +37,7 @@ fn context() -> SweepContext {
         workload: "quad-test".into(),
         max_node_w: 160.0,
         heartbeat_ms: 25,
+        run_id: 4242,
     }
 }
 
@@ -271,6 +275,126 @@ fn repeated_worker_deaths_exhaust_the_attempt_cap() {
     for c in crashers {
         c.join().unwrap();
     }
+}
+
+#[test]
+fn lifecycle_events_and_worker_spans_survive_a_death_and_merge_causally() {
+    let spec = spec();
+
+    let (conn_tx, conn_rx) = unbounded();
+    let (got_cell_tx, got_cell_rx) = unbounded();
+
+    // A crasher that dies holding a cell, exactly as in the reassignment
+    // test above — but this run watches the telemetry.
+    let (daemon_side, worker_side) = duplex();
+    conn_tx
+        .send(Box::new(daemon_side) as Box<dyn Wire>)
+        .map_err(|_| "conns channel closed")
+        .unwrap();
+    let crasher = std::thread::spawn(move || {
+        let conn = Connection::new(Box::new(worker_side)).unwrap();
+        client_handshake(&conn, "crasher").unwrap();
+        loop {
+            match conn.recv() {
+                Ok(Message::AssignCell(_)) => {
+                    got_cell_tx.send(()).unwrap();
+                    conn.shutdown();
+                    return;
+                }
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        }
+    });
+    let survivor = std::thread::spawn(move || {
+        got_cell_rx.recv().unwrap();
+        let worker = spawn_worker(&conn_tx, "survivor");
+        drop(conn_tx);
+        worker.join().unwrap()
+    });
+
+    // The daemon's own pipeline: a SpanSink stamping source "daemon" in
+    // front of a MemorySink. Worker frames arrive pre-stamped and must
+    // pass through untouched.
+    let memory = Arc::new(MemorySink::new());
+    let span: SharedSink =
+        Arc::new(SpanSink::new(Arc::clone(&memory) as SharedSink, 4242, "daemon"));
+    let dist =
+        serve(&spec, &DaemonConfig::new(context()), conn_rx, Some(span), |_, _, _| {}).unwrap();
+    assert!(dist.reassignments >= 1);
+    crasher.join().unwrap();
+    survivor.join().unwrap().unwrap();
+
+    let events = memory.spanned_events();
+    let kinds: Vec<&'static str> = events.iter().map(|e| e.event.kind()).collect();
+    assert!(kinds.iter().filter(|k| **k == "worker_connected").count() >= 2, "{kinds:?}");
+    assert!(kinds.contains(&"worker_dead"), "{kinds:?}");
+    assert!(kinds.contains(&"cell_reassigned"), "{kinds:?}");
+    assert_eq!(kinds.iter().filter(|k| **k == "sweep_cell").count(), spec.len());
+
+    // Every event is stamped (the daemon stamps its own, workers stamp
+    // theirs), all under the handshake's run_id, and per-source sequences
+    // are dense from 0 — the invariant trace_tool's gap check relies on.
+    let mut by_source: std::collections::BTreeMap<&str, Vec<u64>> = Default::default();
+    for e in &events {
+        let s = e.span.as_ref().expect("all events stamped");
+        assert_eq!(s.run_id, 4242);
+        by_source.entry(s.source.as_str()).or_default().push(s.seq);
+    }
+    assert!(by_source.contains_key("daemon"), "{by_source:?}");
+    assert!(by_source.contains_key("survivor"), "worker spans must survive the wire");
+    for (source, mut seqs) in by_source {
+        seqs.sort_unstable();
+        for (i, seq) in seqs.iter().enumerate() {
+            assert_eq!(*seq, i as u64, "gap in {source} sequence: {seqs:?}");
+        }
+    }
+
+    // Worker events carry the cell they executed under.
+    assert!(
+        events.iter().any(|e| {
+            e.span.as_ref().is_some_and(|s| s.source == "survivor" && s.cell.is_some())
+        }),
+        "survivor's in-cell events must be stamped with their cell index"
+    );
+}
+
+#[test]
+fn a_live_daemon_answers_metrics_requests_and_keeps_counters_current() {
+    let spec = spec();
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.incr("preseeded");
+
+    let (conn_tx, conn_rx) = unbounded();
+    let w1 = spawn_worker(&conn_tx, "dup-1");
+
+    // A metrics client is just another accepted connection whose first
+    // frame is MetricsRequest: served a snapshot by the handler thread,
+    // never reaching the control loop.
+    let (daemon_side, client_side) = duplex();
+    conn_tx
+        .send(Box::new(daemon_side) as Box<dyn Wire>)
+        .map_err(|_| "conns channel closed")
+        .unwrap();
+    let client = std::thread::spawn(move || {
+        let conn = Connection::new(Box::new(client_side)).unwrap();
+        request_metrics(&conn).unwrap()
+    });
+    drop(conn_tx);
+
+    let mut config = DaemonConfig::new(context());
+    config.metrics = Some(Arc::clone(&registry));
+    let dist = serve(&spec, &config, conn_rx, None, |_, _, _| {}).unwrap();
+    w1.join().unwrap().unwrap();
+
+    let text = client.join().unwrap();
+    assert!(text.contains("preseeded 1"), "snapshot must render the registry:\n{text}");
+
+    assert_eq!(registry.counter("workers_connected"), 1);
+    assert_eq!(registry.counter("cells_completed"), spec.len() as u64);
+    assert_eq!(registry.counter("workers_dead"), 0);
+    assert!(registry.counter("trace_events_ingested") > 0, "worker telemetry must be counted");
+    assert_eq!(dist.run.outcomes.len(), spec.len());
 }
 
 #[test]

@@ -14,7 +14,10 @@ use crate::wire::{Wire, MAX_FRAME_LEN};
 /// The protocol version both ends must agree on during the
 /// `Hello`/`HelloAck` handshake. Bump on any wire-visible change to
 /// [`Message`] or the framing.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: `TraceBatch` carries span-stamped events, `SweepContext` gained
+/// `run_id`, and the `MetricsRequest`/`MetricsSnapshot` exchange exists.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A message-level connection over any [`Wire`].
 ///
@@ -130,24 +133,80 @@ pub fn client_handshake(conn: &Connection, worker: &str) -> Result<SweepContext,
     }
 }
 
-/// Daemon side of the handshake: expects a version-matching `Hello`,
-/// replies with `HelloAck` carrying `context`, and returns the worker's
-/// name. A mismatched version is *told* to the worker via
-/// [`Message::Error`] before this side fails.
-pub fn server_handshake(conn: &Connection, context: &SweepContext) -> Result<String, RpcError> {
+/// What a daemon-side [`server_accept`] found on a fresh connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Accepted {
+    /// A worker completed the `Hello`/`HelloAck` handshake; the payload is
+    /// its name. The connection stays open for cell dispatch.
+    Worker(String),
+    /// The peer was a metrics client: its `MetricsRequest` was answered
+    /// with a `MetricsSnapshot` and the exchange is over — drop the
+    /// connection.
+    MetricsServed,
+}
+
+/// Daemon side of connection acceptance: the first frame decides whether
+/// the peer is a worker (version-matching `Hello` → `HelloAck` carrying
+/// `context`) or a metrics client (`MetricsRequest` → `MetricsSnapshot`
+/// rendered by `metrics`, when one is provided).
+///
+/// A mismatched worker version is *told* to the worker via
+/// [`Message::Error`] before this side fails, and a `MetricsRequest` on a
+/// daemon with no registry attached is answered the same way.
+pub fn server_accept(
+    conn: &Connection,
+    context: &SweepContext,
+    metrics: Option<&dyn Fn() -> String>,
+) -> Result<Accepted, RpcError> {
     match conn.recv()? {
         Message::Hello { version, worker } if version == PROTOCOL_VERSION => {
             conn.send(&Message::HelloAck { version: PROTOCOL_VERSION, context: context.clone() })?;
-            Ok(worker)
+            Ok(Accepted::Worker(worker))
         }
         Message::Hello { version, .. } => {
             let err = RpcError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version };
             let _ = conn.send(&Message::Error(err.clone()));
             Err(err)
         }
+        Message::MetricsRequest => match metrics {
+            Some(render) => {
+                conn.send(&Message::MetricsSnapshot { text: render() })?;
+                Ok(Accepted::MetricsServed)
+            }
+            None => {
+                let err =
+                    RpcError::Protocol { reason: "this daemon serves no metrics registry".into() };
+                let _ = conn.send(&Message::Error(err.clone()));
+                Err(err)
+            }
+        },
         other => {
             Err(RpcError::Protocol { reason: format!("expected Hello, got {}", other.kind()) })
         }
+    }
+}
+
+/// Daemon side of the worker handshake ([`server_accept`] restricted to
+/// workers): expects a version-matching `Hello`, replies with `HelloAck`
+/// carrying `context`, and returns the worker's name.
+pub fn server_handshake(conn: &Connection, context: &SweepContext) -> Result<String, RpcError> {
+    match server_accept(conn, context, None)? {
+        Accepted::Worker(name) => Ok(name),
+        Accepted::MetricsServed => unreachable!("server_accept with no metrics cannot serve them"),
+    }
+}
+
+/// Client side of the metrics exchange: sends `MetricsRequest` as the
+/// connection's first (and only) frame and returns the daemon's text
+/// exposition.
+pub fn request_metrics(conn: &Connection) -> Result<String, RpcError> {
+    conn.send(&Message::MetricsRequest)?;
+    match conn.recv()? {
+        Message::MetricsSnapshot { text } => Ok(text),
+        Message::Error(e) => Err(e),
+        other => Err(RpcError::Protocol {
+            reason: format!("expected MetricsSnapshot, got {}", other.kind()),
+        }),
     }
 }
 
@@ -168,6 +227,7 @@ mod tests {
             workload: "light".into(),
             max_node_w: 160.0,
             heartbeat_ms: 100,
+            run_id: 77,
         }
     }
 
@@ -273,6 +333,36 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(a);
         assert_eq!(reader.join().unwrap().unwrap_err(), RpcError::Closed);
+    }
+
+    #[test]
+    fn metrics_request_is_served_when_a_registry_renders() {
+        let (daemon, client) = pair();
+        let server = std::thread::spawn(move || {
+            server_accept(&daemon, &context(), Some(&|| "decision 3\nworkers_live 2\n".into()))
+        });
+        let text = request_metrics(&client).unwrap();
+        assert_eq!(server.join().unwrap().unwrap(), Accepted::MetricsServed);
+        assert!(text.contains("workers_live 2"), "{text}");
+    }
+
+    #[test]
+    fn metrics_request_without_a_registry_is_a_told_protocol_error() {
+        let (daemon, client) = pair();
+        let server = std::thread::spawn(move || server_accept(&daemon, &context(), None));
+        let err = request_metrics(&client).unwrap_err();
+        assert!(matches!(err, RpcError::Protocol { .. }), "{err}");
+        assert!(matches!(server.join().unwrap().unwrap_err(), RpcError::Protocol { .. }));
+    }
+
+    #[test]
+    fn server_accept_still_handshakes_workers_beside_metrics() {
+        let (daemon, worker) = pair();
+        let server =
+            std::thread::spawn(move || server_accept(&daemon, &context(), Some(&|| String::new())));
+        let got = client_handshake(&worker, "w3").unwrap();
+        assert_eq!(server.join().unwrap().unwrap(), Accepted::Worker("w3".into()));
+        assert_eq!(got, context());
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! * **Messages** — [`Message`] carries the whole protocol: the
 //!   version-checked `Hello`/`HelloAck` handshake (rejected mismatches
 //!   surface as [`RpcError::VersionMismatch`] on *both* sides), cell
-//!   dispatch and results, batched telemetry
-//!   ([`actor_core::telemetry::TraceEvent`] round-trips through serde),
-//!   heartbeats, and shutdown.
+//!   dispatch and results, batched span-stamped telemetry
+//!   ([`actor_core::telemetry::SpannedEvent`] round-trips through serde
+//!   with its causal `run_id`/`source`/`seq`/`cell` stamp intact),
+//!   heartbeats, shutdown, and the [`request_metrics`] /
+//!   [`Message::MetricsSnapshot`] exchange that lets an operator ask a
+//!   live daemon for its metrics registry.
 //! * **Transports** — [`Wire`] abstracts the byte stream: Unix-domain
 //!   sockets for real deployments ([`Connection::connect_unix`]) and an
 //!   in-memory [`duplex`] for tests and CI, which exercises the identical
@@ -36,6 +39,9 @@ pub mod conn;
 pub mod message;
 pub mod wire;
 
-pub use conn::{client_handshake, server_handshake, Connection, PROTOCOL_VERSION};
+pub use conn::{
+    client_handshake, request_metrics, server_accept, server_handshake, Accepted, Connection,
+    PROTOCOL_VERSION,
+};
 pub use message::{CellOutcome, Message, RpcError, SweepContext};
 pub use wire::{duplex, DuplexWire, Wire, MAX_FRAME_LEN};

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use actor_core::config::ActorConfig;
-use actor_core::telemetry::TraceEvent;
+use actor_core::telemetry::SpannedEvent;
 use cluster_sched::{ClusterReport, SweepCell};
 use npb_workloads::BenchmarkId;
 use serde::{Deserialize, Serialize};
@@ -34,6 +34,11 @@ pub struct SweepContext {
     pub max_node_w: f64,
     /// Interval at which the worker must emit [`Message::Heartbeat`] (ms).
     pub heartbeat_ms: u64,
+    /// Trace-span run identifier (the daemon's choice, typically its pid):
+    /// every worker stamps it into its
+    /// [`actor_core::telemetry::SpanContext`]s so daemon and worker traces
+    /// merge into one causal timeline.
+    pub run_id: u64,
 }
 
 /// What became of one dispatched cell, as reported by the worker.
@@ -85,13 +90,25 @@ pub enum Message {
         outcome: CellOutcome,
     },
     /// Worker → daemon: buffered telemetry from cell execution, in record
-    /// order (assembled by `actor_core::telemetry::BufferedSink`).
-    TraceBatch(Vec<TraceEvent>),
+    /// order, span stamps intact (assembled by the worker's rebatching
+    /// forward sink).
+    TraceBatch(Vec<SpannedEvent>),
     /// Worker → daemon: still alive (sent every
     /// [`SweepContext::heartbeat_ms`], including during model training).
     Heartbeat,
     /// Daemon → worker: the sweep is over; exit cleanly.
     Shutdown,
+    /// Client → daemon: asks for a point-in-time metrics snapshot. Sent
+    /// *instead of* `Hello` as a connection's first frame (`cluster_daemon
+    /// --metrics`); the daemon answers with [`Message::MetricsSnapshot`]
+    /// and closes.
+    MetricsRequest,
+    /// Daemon → client: the metrics text exposition
+    /// (`actor_core::telemetry::MetricsRegistry::render_text`).
+    MetricsSnapshot {
+        /// Plain `name value` lines, deterministically ordered.
+        text: String,
+    },
     /// Either direction: a typed protocol failure.
     Error(RpcError),
 }
@@ -107,6 +124,8 @@ impl Message {
             Message::TraceBatch(_) => "TraceBatch",
             Message::Heartbeat => "Heartbeat",
             Message::Shutdown => "Shutdown",
+            Message::MetricsRequest => "MetricsRequest",
+            Message::MetricsSnapshot { .. } => "MetricsSnapshot",
             Message::Error(_) => "Error",
         }
     }

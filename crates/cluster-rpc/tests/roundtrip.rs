@@ -8,7 +8,7 @@
 //! builders assemble each message variant from them.
 
 use actor_core::config::ActorConfig;
-use actor_core::telemetry::TraceEvent;
+use actor_core::telemetry::{SpanContext, SpannedEvent, TraceEvent};
 use cluster_rpc::{
     client_handshake, duplex, server_handshake, CellOutcome, Connection, Message, RpcError,
     SweepContext, PROTOCOL_VERSION,
@@ -78,12 +78,13 @@ fn context(seed: u64, f1: f64, hb: u64) -> SweepContext {
         workload: ["default", "light", "quad-test"][seed as usize % 3].into(),
         max_node_w: 100.0 + f1,
         heartbeat_ms: hb,
+        run_id: seed.wrapping_mul(31),
     }
 }
 
 fn trace_events(n: usize, f1: f64, latency: u64) -> Vec<TraceEvent> {
     (0..n)
-        .map(|i| match i % 4 {
+        .map(|i| match i % 7 {
             0 => TraceEvent::Decision {
                 phase: i as u32,
                 controller: "ann",
@@ -112,7 +113,31 @@ fn trace_events(n: usize, f1: f64, latency: u64) -> Vec<TraceEvent> {
                 upgrades: i % 3,
                 latency_ns: latency,
             },
+            3 => TraceEvent::WorkerConnected { worker: format!("w{i}") },
+            4 => TraceEvent::WorkerDead { worker: format!("w{i}"), reason: "stall".into() },
+            5 => TraceEvent::CellReassigned { index: i, worker: format!("w{i}"), attempt: i % 3 },
             _ => TraceEvent::Progress { name: "sweep".into(), done: i, expected: n },
+        })
+        .collect()
+}
+
+/// Span-stamped trace events: a mix of stamped (with and without a cell)
+/// and unstamped envelopes, as a worker's forward sink would ship them.
+fn spanned_events(n: usize, f1: f64, latency: u64, seed: u64) -> Vec<SpannedEvent> {
+    trace_events(n, f1, latency)
+        .into_iter()
+        .enumerate()
+        .map(|(i, event)| SpannedEvent {
+            span: match i % 3 {
+                0 => None,
+                r => Some(SpanContext {
+                    run_id: seed,
+                    source: format!("w{}", seed % 5),
+                    seq: i as u64,
+                    cell: if r == 1 { Some(i as u64 / 2) } else { None },
+                }),
+            },
+            event,
         })
         .collect()
 }
@@ -132,7 +157,7 @@ fn rpc_error(pick: usize, a: u32, b: u32, text_seed: u64) -> RpcError {
 /// Every message variant, built from drawn primitives. `pick` selects the
 /// variant; the other arguments parameterise its payload.
 fn message(pick: usize, idx: usize, nodes: usize, f1: f64, f2: f64, seed: u64) -> Message {
-    match pick % 9 {
+    match pick % 11 {
         0 => Message::Hello { version: seed as u32, worker: format!("w{idx}") },
         1 => Message::HelloAck {
             version: PROTOCOL_VERSION,
@@ -150,9 +175,13 @@ fn message(pick: usize, idx: usize, nodes: usize, f1: f64, f2: f64, seed: u64) -
                 panicked: idx.is_multiple_of(2),
             },
         },
-        5 => Message::TraceBatch(trace_events(idx % 6, f1, seed)),
+        5 => Message::TraceBatch(spanned_events(idx % 9, f1, seed, seed % 1000)),
         6 => Message::Heartbeat,
         7 => Message::Shutdown,
+        8 => Message::MetricsRequest,
+        9 => Message::MetricsSnapshot {
+            text: format!("decision {seed}\nworkers_live {}\n", idx % 8),
+        },
         _ => Message::Error(rpc_error(idx, seed as u32, (seed >> 32) as u32, seed)),
     }
 }
@@ -163,7 +192,7 @@ proptest! {
     /// One frame of every variant survives the duplex bit-exactly.
     #[test]
     fn every_frame_type_round_trips(
-        pick in 0usize..9,
+        pick in 0usize..11,
         idx in 0usize..10_000,
         nodes in 1usize..16,
         f1 in 0.0f64..100.0,
@@ -182,7 +211,7 @@ proptest! {
     /// reads as `Closed`.
     #[test]
     fn frame_sequences_preserve_order_and_boundaries(
-        picks in collection::vec(0usize..9, 1..8),
+        picks in collection::vec(0usize..11, 1..8),
         idx in 0usize..1000,
         nodes in 1usize..8,
         f1 in 0.0f64..10.0,
@@ -209,7 +238,7 @@ proptest! {
     /// a different-but-valid message — never a panic or a hang.
     #[test]
     fn corrupted_frames_never_panic(
-        pick in 0usize..9,
+        pick in 0usize..11,
         idx in 0usize..100,
         nodes in 1usize..8,
         f1 in 0.0f64..10.0,

@@ -26,7 +26,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::time::Instant;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use phase_rt::{FreqStep, MachineShape, PhaseId};
 use xeon_sim::Configuration;
@@ -35,7 +35,43 @@ use crate::controller::{
     validate_decision, CandidatePerf, Decision, DecisionCtx, DvfsSpace, PhaseSample,
     PowerPerfController,
 };
-use crate::telemetry::{SharedSink, TraceEvent};
+use crate::telemetry::{clock, SharedSink, TraceEvent};
+
+/// One traced decision in this many gets a latency stamp (power of two).
+/// Sampling keeps the per-record hot-path cost to the event build + ring
+/// push while still feeding the latency histogram thousands of points per
+/// second at realistic decide rates.
+const LATENCY_SAMPLE_EVERY: u64 = 16;
+
+/// A multiplicative hasher for the small integer keys of
+/// `observed_stats`. SipHash (the `HashMap` default) costs ~20 ns per
+/// lookup — on the traced decide path that alone is a few percent of a
+/// ~400 ns decision. Fibonacci hashing on the raw phase id is one
+/// multiply and mixes well enough for a table keyed by dense-ish ids.
+#[derive(Default)]
+struct PhaseIdHasher(u64);
+
+impl Hasher for PhaseIdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // PhaseId hashes as one fixed-width integer write; this arm only
+        // exists to satisfy the trait.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.0 = u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// A controller decision that violated the actuation contract (a binding
 /// outside the paper's five configurations, or a frequency step the caller
@@ -88,7 +124,12 @@ pub struct ControlPlane<C: PowerPerfController> {
     // Per-phase (ipc, stall_fraction) from the sampling window, kept only
     // while a sink is attached so decision records can carry the counters
     // that informed them. Empty (never touched) when telemetry is off.
-    observed_stats: HashMap<PhaseId, (f64, f64)>,
+    observed_stats: HashMap<PhaseId, (f64, f64), BuildHasherDefault<PhaseIdHasher>>,
+    // Calibrated TSC scale, captured when a sink attaches; `unattached`
+    // (Instant fallback) otherwise. Only read on the traced path.
+    clock: clock::FastClock,
+    /// Traced decisions so far — drives latency sampling.
+    decides: u64,
 }
 
 impl<C: PowerPerfController + fmt::Debug> fmt::Debug for ControlPlane<C> {
@@ -110,7 +151,9 @@ impl<C: PowerPerfController> ControlPlane<C> {
             shape,
             observed: HashSet::new(),
             telemetry: None,
-            observed_stats: HashMap::new(),
+            observed_stats: HashMap::default(),
+            clock: clock::FastClock::unattached(),
+            decides: 0,
         }
     }
 
@@ -119,12 +162,16 @@ impl<C: PowerPerfController> ControlPlane<C> {
     /// in ns). Builder-style variant of [`ControlPlane::set_telemetry`].
     #[must_use]
     pub fn with_telemetry(mut self, sink: SharedSink) -> Self {
+        self.clock = clock::FastClock::new();
         self.telemetry = Some(sink);
         self
     }
 
     /// Attaches (`Some`) or detaches (`None`) a telemetry sink in place.
     pub fn set_telemetry(&mut self, sink: Option<SharedSink>) {
+        if sink.is_some() {
+            self.clock = clock::FastClock::new();
+        }
         self.telemetry = sink;
     }
 
@@ -209,13 +256,26 @@ impl<C: PowerPerfController> ControlPlane<C> {
     ) -> Result<PlaneDecision, ControlViolation> {
         let ctx = DecisionCtx { phase, shape: &self.shape, candidates, power_cap_w, dvfs };
         // Timestamps only exist when a sink is attached: the disabled path
-        // is the exact pre-telemetry decide loop.
-        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        // is the exact pre-telemetry decide loop. Even then only one
+        // decision in [`LATENCY_SAMPLE_EVERY`] is stamped — the stamp pair
+        // is the single largest per-record cost (two TSC reads, see
+        // `telemetry::clock`), and the sampled subset estimates the
+        // latency distribution just as well. Unsampled decisions carry
+        // `latency_ns: 0`, which [`TraceEvent::latency_ns`] reports as
+        // `None`.
+        let started = match &self.telemetry {
+            Some(_) => {
+                let sampled = self.decides & (LATENCY_SAMPLE_EVERY - 1) == 0;
+                self.decides = self.decides.wrapping_add(1);
+                sampled.then(|| self.clock.start())
+            }
+            None => None,
+        };
         let decision = self.controller.decide(&ctx);
         let ladder_len = dvfs.map_or(1, |space| space.ladder.len());
         match validate_decision(&decision, &self.shape, ladder_len, dvfs.is_some()) {
             Ok(config) => {
-                if let (Some(sink), Some(started)) = (&self.telemetry, started) {
+                if let Some(sink) = &self.telemetry {
                     let stats = self.observed_stats.get(&phase);
                     sink.record(&TraceEvent::Decision {
                         phase: phase.raw(),
@@ -228,7 +288,7 @@ impl<C: PowerPerfController> ControlPlane<C> {
                         ipc: stats.map(|&(ipc, _)| ipc),
                         stall_fraction: stats.map(|&(_, stall)| stall),
                         power_cap_w,
-                        latency_ns: started.elapsed().as_nanos() as u64,
+                        latency_ns: started.map_or(0, |stamp| self.clock.elapsed_ns(stamp)),
                     });
                 }
                 Ok(PlaneDecision { config, step: decision.freq_step, decision })

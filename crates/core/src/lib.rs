@@ -93,7 +93,7 @@ pub use scalability::{phase_ipc_study, scalability_report, PhaseIpcRow, Scalabil
 pub use summary::{paper_comparison, HeadlineNumbers};
 pub use telemetry::{
     BufferedSink, FanoutSink, Histogram, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry,
-    NullSink, SharedSink, TelemetrySink, TraceEvent,
+    NullSink, RingSink, SharedSink, SpanContext, SpanSink, SpannedEvent, TelemetrySink, TraceEvent,
 };
 pub use throttle::{select_configuration, ThrottleDecision};
 
@@ -115,7 +115,8 @@ pub mod prelude {
     pub use crate::scalability::scalability_report;
     pub use crate::summary::paper_comparison;
     pub use crate::telemetry::{
-        JsonlSink, MemorySink, MetricsRegistry, NullSink, SharedSink, TelemetrySink, TraceEvent,
+        JsonlSink, MemorySink, MetricsRegistry, NullSink, RingSink, SharedSink, SpanContext,
+        SpanSink, SpannedEvent, TelemetrySink, TraceEvent,
     };
     pub use crate::throttle::select_configuration;
 }

@@ -10,23 +10,28 @@
 //! attached the hot paths take no timestamps, build no records and allocate
 //! nothing, and all outputs stay byte-identical to an uninstrumented build.
 //!
-//! Four sinks ship with the crate:
+//! The sinks that ship with the crate:
 //!
 //! * [`NullSink`] — accepts and discards everything (for byte-identity
 //!   testing of the instrumented paths themselves);
 //! * [`MemorySink`] — buffers events in memory for test assertions;
 //! * [`JsonlSink`] — appends one JSON object per event to a file (the
-//!   `--trace PATH` flag of the benchmark binaries);
+//!   `--trace PATH` flag of the benchmark binaries), counting write errors
+//!   ([`JsonlSink::write_errors`]) and warning to stderr once;
 //! * [`BufferedSink`] — batches events in front of any inner sink and
-//!   replays them through [`TelemetrySink::record_batch`], amortising the
+//!   replays them through [`TelemetrySink::record_spanned`], amortising the
 //!   inner sink's per-event cost (one lock/write per batch instead of per
-//!   event). The distributed cluster workers use it to assemble
-//!   `TraceBatch` RPC frames; it is equally the first lever on the
-//!   instrumented-hot-path overhead, since a registry or JSONL sink is
-//!   locked once per batch.
+//!   event);
+//! * [`RingSink`] — the lock-free hot-path sink: a bounded ring buffer
+//!   drained by a background thread, never blocking the recorder (overflow
+//!   is counted in [`RingSink::dropped_events`], not waited out);
+//! * [`SpanSink`] — stamps each event with a [`SpanContext`] (run id,
+//!   source identity, dense per-source sequence, current sweep cell) so
+//!   traces from many processes merge into one causal timeline.
 //!
 //! [`TraceEvent`] also implements [`serde::Deserialize`], so a JSONL trace
-//! (or an RPC `TraceBatch` frame) round-trips back into typed events.
+//! (or an RPC `TraceBatch` frame) round-trips back into typed events;
+//! [`SpannedEvent`] round-trips the same flat schema plus the span keys.
 //!
 //! [`MetricsRegistry`] is the aggregating counterpart: counters, gauges and
 //! log-bucketed latency histograms with p50/p95/p99 snapshots. It
@@ -45,6 +50,13 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+pub mod clock;
+mod ring;
+mod span;
+
+pub use ring::RingSink;
+pub use span::{SpanContext, SpanSink, SpannedEvent};
 
 /// The shared, thread-safe handle instrumented code stores: sinks cross
 /// worker-pool and live-runtime boundaries, so they are reference-counted
@@ -81,7 +93,9 @@ pub enum TraceEvent {
         stall_fraction: Option<f64>,
         /// The average-power cap offered to the controller (W).
         power_cap_w: Option<f64>,
-        /// Wall-clock latency of the decide call (ns).
+        /// Wall-clock latency of the decide call (ns); 0 when this
+        /// decision was not latency-sampled (the control plane stamps one
+        /// in sixteen — see [`TraceEvent::latency_ns`]).
         latency_ns: u64,
     },
     /// A job joined the cluster queue.
@@ -162,6 +176,29 @@ pub enum TraceEvent {
         /// Rows expected in total.
         expected: usize,
     },
+    /// A worker completed the daemon handshake (daemon-side lifecycle).
+    WorkerConnected {
+        /// Worker name from its `Hello`.
+        worker: String,
+    },
+    /// The daemon declared a worker dead (daemon-side lifecycle).
+    WorkerDead {
+        /// Worker name.
+        worker: String,
+        /// Why: connection loss, heartbeat stall, or protocol violation.
+        reason: String,
+    },
+    /// A cell held by a dead worker went back into the daemon's queue
+    /// (daemon-side lifecycle; emitted whether the retry budget allows a
+    /// re-run or routes the cell to terminal failure).
+    CellReassigned {
+        /// Cell index in the sweep grid.
+        index: usize,
+        /// Worker that held the cell when it died.
+        worker: String,
+        /// Dispatch attempts the cell has consumed so far.
+        attempt: usize,
+    },
 }
 
 impl TraceEvent {
@@ -176,14 +213,23 @@ impl TraceEvent {
             TraceEvent::Redistribute { .. } => "redistribute",
             TraceEvent::SweepCell { .. } => "sweep_cell",
             TraceEvent::Progress { .. } => "progress",
+            TraceEvent::WorkerConnected { .. } => "worker_connected",
+            TraceEvent::WorkerDead { .. } => "worker_dead",
+            TraceEvent::CellReassigned { .. } => "cell_reassigned",
         }
     }
 
     /// The latency the event carries, for variants that time a hot path.
+    /// `None` for variants with no latency field *and* for unsampled
+    /// records: latency stamping is sampled on the decide hot path, and
+    /// unstamped records carry the sentinel 0 (a real measurement can
+    /// never round to 0 ns — a decide is hundreds of ns).
     pub fn latency_ns(&self) -> Option<u64> {
         match self {
             TraceEvent::Decision { latency_ns, .. }
-            | TraceEvent::Redistribute { latency_ns, .. } => Some(*latency_ns),
+            | TraceEvent::Redistribute { latency_ns, .. } => {
+                (*latency_ns > 0).then_some(*latency_ns)
+            }
             _ => None,
         }
     }
@@ -280,6 +326,18 @@ impl Serialize for TraceEvent {
                 m.push(("done".into(), Value::UInt(*done as u64)));
                 m.push(("expected".into(), Value::UInt(*expected as u64)));
             }
+            TraceEvent::WorkerConnected { worker } => {
+                m.push(("worker".into(), Value::Str(worker.clone())));
+            }
+            TraceEvent::WorkerDead { worker, reason } => {
+                m.push(("worker".into(), Value::Str(worker.clone())));
+                m.push(("reason".into(), Value::Str(reason.clone())));
+            }
+            TraceEvent::CellReassigned { index, worker, attempt } => {
+                m.push(("index".into(), Value::UInt(*index as u64)));
+                m.push(("worker".into(), Value::Str(worker.clone())));
+                m.push(("attempt".into(), Value::UInt(*attempt as u64)));
+            }
         }
         Value::Map(m)
     }
@@ -365,6 +423,16 @@ impl Deserialize for TraceEvent {
                 done: req(value, "done")?,
                 expected: req(value, "expected")?,
             }),
+            "worker_connected" => Ok(TraceEvent::WorkerConnected { worker: req(value, "worker")? }),
+            "worker_dead" => Ok(TraceEvent::WorkerDead {
+                worker: req(value, "worker")?,
+                reason: req(value, "reason")?,
+            }),
+            "cell_reassigned" => Ok(TraceEvent::CellReassigned {
+                index: req(value, "index")?,
+                worker: req(value, "worker")?,
+                attempt: req(value, "attempt")?,
+            }),
             other => Err(SerdeError::custom(format!("unknown trace event kind {other:?}"))),
         }
     }
@@ -391,6 +459,21 @@ pub trait TelemetrySink: Send + Sync {
         }
     }
 
+    /// Accepts a batch of span-stamped events in order.
+    ///
+    /// This is the path causal traces travel: a [`SpanSink`] stamps events
+    /// and forwards them here, the distributed daemon re-ingests worker
+    /// `TraceBatch` frames through it, and span-aware sinks
+    /// ([`JsonlSink`], [`MemorySink`], [`RingSink`], …) override it to
+    /// preserve the stamps. The default strips spans and forwards the bare
+    /// events to [`TelemetrySink::record`], so span-oblivious sinks (a
+    /// metrics registry, a custom aggregator) keep working unchanged.
+    fn record_spanned(&self, events: &[SpannedEvent]) {
+        for event in events {
+            self.record(&event.event);
+        }
+    }
+
     /// Flushes any buffered output (no-op by default).
     fn flush(&self) {}
 }
@@ -402,12 +485,18 @@ pub struct NullSink;
 
 impl TelemetrySink for NullSink {
     fn record(&self, _event: &TraceEvent) {}
+
+    fn record_batch(&self, _events: &[TraceEvent]) {}
+
+    fn record_spanned(&self, _events: &[SpannedEvent]) {}
 }
 
 /// Buffers every event in memory, for tests and in-process inspection.
+/// Span stamps are kept when events arrive through
+/// [`TelemetrySink::record_spanned`] (see [`MemorySink::spanned_events`]).
 #[derive(Debug, Default)]
 pub struct MemorySink {
-    events: Mutex<Vec<TraceEvent>>,
+    events: Mutex<Vec<SpannedEvent>>,
 }
 
 impl MemorySink {
@@ -426,44 +515,97 @@ impl MemorySink {
         self.events.lock().is_empty()
     }
 
-    /// A snapshot of every recorded event, in arrival order.
+    /// A snapshot of every recorded event, in arrival order, spans
+    /// stripped.
     pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().map(|e| e.event.clone()).collect()
+    }
+
+    /// A snapshot of every recorded event with its span stamp (if it
+    /// arrived with one), in arrival order.
+    pub fn spanned_events(&self) -> Vec<SpannedEvent> {
         self.events.lock().clone()
     }
 
-    /// Drains and returns every recorded event.
+    /// Drains and returns every recorded event, spans stripped.
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.events.lock())
+        std::mem::take(&mut *self.events.lock()).into_iter().map(|e| e.event).collect()
     }
 }
 
 impl TelemetrySink for MemorySink {
     fn record(&self, event: &TraceEvent) {
-        self.events.lock().push(event.clone());
+        self.events.lock().push(SpannedEvent::unspanned(event.clone()));
     }
 
     fn record_batch(&self, events: &[TraceEvent]) {
+        let mut buf = self.events.lock();
+        buf.extend(events.iter().cloned().map(SpannedEvent::unspanned));
+    }
+
+    fn record_spanned(&self, events: &[SpannedEvent]) {
         self.events.lock().extend_from_slice(events);
     }
 }
 
 /// Appends one compact JSON object per event to a file — the sink behind
-/// the benchmark binaries' `--trace PATH` flag.
+/// the benchmark binaries' `--trace PATH` flag. Events arriving through
+/// [`TelemetrySink::record_spanned`] keep their span keys on the line.
+///
+/// Write errors (full disk, closed descriptor) must not panic or stall the
+/// simulation being observed, but they must not vanish either: each failed
+/// write bumps a counter readable as [`JsonlSink::write_errors`], and the
+/// first failure prints one warning to stderr.
 pub struct JsonlSink {
     out: Mutex<BufWriter<File>>,
+    path: String,
+    errors: std::sync::atomic::AtomicU64,
+    warned: std::sync::atomic::AtomicBool,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the trace file at `path`.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        let file = File::create(path)?;
-        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+        let file = File::create(&path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+            path: path.as_ref().display().to_string(),
+            errors: std::sync::atomic::AtomicU64::new(0),
+            warned: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Write/flush failures so far. Non-zero means the trace file is
+    /// incomplete even though the run itself carried on.
+    pub fn write_errors(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn note_error(&self, err: &io::Error) {
+        use std::sync::atomic::Ordering;
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: trace file {}: {err}; the run continues but the trace is incomplete \
+                 (further write errors are counted silently)",
+                self.path
+            );
+        }
+    }
+
+    fn write_line(&self, out: &mut BufWriter<File>, line: &str) {
+        if let Err(err) = writeln!(out, "{line}") {
+            self.note_error(&err);
+        }
     }
 }
 
 impl fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("JsonlSink").finish_non_exhaustive()
+        f.debug_struct("JsonlSink")
+            .field("path", &self.path)
+            .field("write_errors", &self.write_errors())
+            .finish_non_exhaustive()
     }
 }
 
@@ -471,20 +613,29 @@ impl TelemetrySink for JsonlSink {
     fn record(&self, event: &TraceEvent) {
         let line = serde_json::to_string(event).expect("trace events always serialize");
         let mut out = self.out.lock();
-        // A full disk mid-trace must not panic the simulation it observes.
-        let _ = writeln!(out, "{line}");
+        self.write_line(&mut out, &line);
     }
 
     fn record_batch(&self, events: &[TraceEvent]) {
         let mut out = self.out.lock();
         for event in events {
             let line = serde_json::to_string(event).expect("trace events always serialize");
-            let _ = writeln!(out, "{line}");
+            self.write_line(&mut out, &line);
+        }
+    }
+
+    fn record_spanned(&self, events: &[SpannedEvent]) {
+        let mut out = self.out.lock();
+        for event in events {
+            let line = serde_json::to_string(event).expect("trace events always serialize");
+            self.write_line(&mut out, &line);
         }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().flush();
+        if let Err(err) = self.out.lock().flush() {
+            self.note_error(&err);
+        }
     }
 }
 
@@ -524,6 +675,12 @@ impl TelemetrySink for FanoutSink {
     fn record_batch(&self, events: &[TraceEvent]) {
         for sink in &self.sinks {
             sink.record_batch(events);
+        }
+    }
+
+    fn record_spanned(&self, events: &[SpannedEvent]) {
+        for sink in &self.sinks {
+            sink.record_spanned(events);
         }
     }
 
@@ -570,6 +727,21 @@ impl Histogram {
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Folds another histogram into this one (used by batch aggregation:
+    /// observe into a thread-local histogram, merge under the lock once).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (bucket, add) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *bucket += add;
+        }
     }
 
     /// The approximate `q`-quantile (`0.0 ..= 1.0`): the geometric midpoint
@@ -696,6 +868,85 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
         self.inner.lock().histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect()
     }
+
+    /// Renders the whole registry as plain `name value` lines, one metric
+    /// per line, deterministically ordered — the text exposition the
+    /// cluster daemon serves over `Message::MetricsRequest` and
+    /// `cluster_daemon --metrics` prints. Histograms expand into
+    /// `_count`/`_min`/`_max`/`_mean`/`_p50`/`_p95`/`_p99` lines.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &inner.gauges {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, histogram) in &inner.histograms {
+            let snap = histogram.snapshot();
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+            let _ = writeln!(out, "{name}_min {}", snap.min);
+            let _ = writeln!(out, "{name}_max {}", snap.max);
+            let _ = writeln!(out, "{name}_mean {}", snap.mean);
+            let _ = writeln!(out, "{name}_p50 {}", snap.p50);
+            let _ = writeln!(out, "{name}_p95 {}", snap.p95);
+            let _ = writeln!(out, "{name}_p99 {}", snap.p99);
+        }
+        out
+    }
+
+    /// Batch aggregation core: tallies the batch into per-kind totals and
+    /// scratch histograms *outside* the lock — the kind set is tiny, so a
+    /// linear scan beats any map — then applies one map update per
+    /// distinct kind. A naive per-event loop costs a `String` allocation
+    /// and a `BTreeMap` walk per event (two for latency-carrying events);
+    /// on the `RingSink` drainer that made delivery more expensive than
+    /// the decide loop being traced. Names are only allocated the first
+    /// time a kind appears in the registry.
+    fn aggregate<'a>(&self, events: impl Iterator<Item = &'a TraceEvent>) {
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        let mut latencies: Vec<(&'static str, Histogram)> = Vec::new();
+        for event in events {
+            let kind = event.kind();
+            match counts.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((kind, 1)),
+            }
+            if let Some(ns) = event.latency_ns() {
+                match latencies.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, h)) => h.observe(ns),
+                    None => {
+                        let mut h = Histogram::default();
+                        h.observe(ns);
+                        latencies.push((kind, h));
+                    }
+                }
+            }
+        }
+        if counts.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for (kind, n) in counts {
+            match inner.counters.get_mut(kind) {
+                Some(counter) => *counter += n,
+                None => {
+                    inner.counters.insert(kind.to_string(), n);
+                }
+            }
+        }
+        for (kind, scratch) in latencies {
+            let name = format!("{kind}_latency_ns");
+            match inner.histograms.get_mut(&name) {
+                Some(histogram) => histogram.merge(&scratch),
+                None => {
+                    inner.histograms.insert(name, scratch);
+                }
+            }
+        }
+    }
 }
 
 impl TelemetrySink for MetricsRegistry {
@@ -709,26 +960,23 @@ impl TelemetrySink for MetricsRegistry {
     }
 
     fn record_batch(&self, events: &[TraceEvent]) {
-        let mut inner = self.inner.lock();
-        for event in events {
-            let kind = event.kind();
-            *inner.counters.entry(kind.to_string()).or_insert(0) += 1;
-            if let Some(ns) = event.latency_ns() {
-                inner.histograms.entry(format!("{kind}_latency_ns")).or_default().observe(ns);
-            }
-        }
+        self.aggregate(events.iter());
+    }
+
+    fn record_spanned(&self, events: &[SpannedEvent]) {
+        // Aggregation ignores spans.
+        self.aggregate(events.iter().map(|event| &event.event));
     }
 }
 
 /// Batches events in front of any inner sink, flushing them through
-/// [`TelemetrySink::record_batch`] whenever `capacity` events accumulate
+/// [`TelemetrySink::record_spanned`] whenever `capacity` events accumulate
 /// (and on [`TelemetrySink::flush`] / drop).
 ///
-/// Two jobs: it amortises the inner sink's per-event cost — one lock or
-/// write per batch instead of per event, the first lever on the
-/// instrumented-hot-path overhead — and it is the worker-side assembly
-/// buffer for the distributed cluster's `TraceBatch` RPC frames (the inner
-/// sink there serializes each flushed batch into one frame).
+/// It amortises the inner sink's per-event cost — one lock or write per
+/// batch instead of per event — while preserving span stamps end to end
+/// (unstamped events pass through with no span). For hot paths that must
+/// never even take this sink's `Mutex`, use [`RingSink`] instead.
 ///
 /// Batch boundaries never reorder events: the buffer is drained under the
 /// same lock that admits new events, so the inner sink observes the exact
@@ -736,7 +984,7 @@ impl TelemetrySink for MetricsRegistry {
 pub struct BufferedSink {
     inner: SharedSink,
     capacity: usize,
-    buf: Mutex<Vec<TraceEvent>>,
+    buf: Mutex<Vec<SpannedEvent>>,
 }
 
 impl BufferedSink {
@@ -772,21 +1020,30 @@ impl fmt::Debug for BufferedSink {
 impl TelemetrySink for BufferedSink {
     fn record(&self, event: &TraceEvent) {
         let mut buf = self.buf.lock();
-        buf.push(event.clone());
+        buf.push(SpannedEvent::unspanned(event.clone()));
         if buf.len() >= self.capacity {
             let batch = std::mem::take(&mut *buf);
             // Deliver while still holding the lock so concurrent recorders
             // cannot interleave a later event ahead of this batch.
-            self.inner.record_batch(&batch);
+            self.inner.record_spanned(&batch);
         }
     }
 
     fn record_batch(&self, events: &[TraceEvent]) {
         let mut buf = self.buf.lock();
+        buf.extend(events.iter().cloned().map(SpannedEvent::unspanned));
+        if buf.len() >= self.capacity {
+            let batch = std::mem::take(&mut *buf);
+            self.inner.record_spanned(&batch);
+        }
+    }
+
+    fn record_spanned(&self, events: &[SpannedEvent]) {
+        let mut buf = self.buf.lock();
         buf.extend_from_slice(events);
         if buf.len() >= self.capacity {
             let batch = std::mem::take(&mut *buf);
-            self.inner.record_batch(&batch);
+            self.inner.record_spanned(&batch);
         }
     }
 
@@ -794,7 +1051,7 @@ impl TelemetrySink for BufferedSink {
         let mut buf = self.buf.lock();
         if !buf.is_empty() {
             let batch = std::mem::take(&mut *buf);
-            self.inner.record_batch(&batch);
+            self.inner.record_spanned(&batch);
         }
         drop(buf);
         self.inner.flush();
@@ -831,6 +1088,7 @@ mod tests {
     fn kinds_and_latencies_are_exposed() {
         assert_eq!(decision(9).kind(), "decision");
         assert_eq!(decision(9).latency_ns(), Some(9));
+        assert_eq!(decision(0).latency_ns(), None, "0 is the unsampled sentinel");
         let arrival =
             TraceEvent::JobArrival { time_s: 0.0, job: 1, benchmark: "CG".into(), width: 2 };
         assert_eq!(arrival.kind(), "job_arrival");
@@ -1083,5 +1341,256 @@ mod tests {
         assert_eq!(reg.gauge("missing"), None);
         reg.observe("manual", 7);
         assert_eq!(reg.histogram("manual").unwrap().count, 1);
+    }
+
+    fn span(seq: u64, cell: Option<u64>) -> SpanContext {
+        SpanContext { run_id: 42, source: "worker-1".into(), seq, cell }
+    }
+
+    #[test]
+    fn lifecycle_events_round_trip_through_json() {
+        let events = vec![
+            TraceEvent::WorkerConnected { worker: "local-0".into() },
+            TraceEvent::WorkerDead { worker: "local-0".into(), reason: "heartbeat stall".into() },
+            TraceEvent::CellReassigned { index: 7, worker: "local-0".into(), attempt: 2 },
+        ];
+        assert_eq!(events[0].kind(), "worker_connected");
+        assert_eq!(events[1].kind(), "worker_dead");
+        assert_eq!(events[2].kind(), "cell_reassigned");
+        for event in events {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event, "round-trip of {json}");
+            assert_eq!(event.latency_ns(), None);
+        }
+    }
+
+    #[test]
+    fn spanned_events_serialize_flat_and_round_trip() {
+        let spanned = SpannedEvent { span: Some(span(9, Some(3))), event: decision(123) };
+        let v = spanned.to_value();
+        // Flat: the event's own keys plus the span keys, one object.
+        assert_eq!(v.get("event"), Some(&Value::Str("decision".into())));
+        assert_eq!(v.get("run_id"), Some(&Value::UInt(42)));
+        assert_eq!(v.get("source"), Some(&Value::Str("worker-1".into())));
+        assert_eq!(v.get("seq"), Some(&Value::UInt(9)));
+        assert_eq!(v.get("cell"), Some(&Value::UInt(3)));
+
+        let json = serde_json::to_string(&spanned).unwrap();
+        let back: SpannedEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spanned);
+
+        // The same line still decodes as a bare TraceEvent (span keys are
+        // ignored), so pre-span consumers keep working.
+        let bare: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(bare, spanned.event);
+
+        // And an unspanned line decodes with span: None, cell: Null works.
+        let unspanned = SpannedEvent::unspanned(decision(5));
+        let back: SpannedEvent =
+            serde_json::from_str(&serde_json::to_string(&unspanned).unwrap()).unwrap();
+        assert_eq!(back.span, None);
+        let no_cell = SpannedEvent { span: Some(span(0, None)), event: decision(5) };
+        let back: SpannedEvent =
+            serde_json::from_str(&serde_json::to_string(&no_cell).unwrap()).unwrap();
+        assert_eq!(back, no_cell);
+    }
+
+    #[test]
+    fn span_sink_stamps_dense_sequences_and_preserves_foreign_spans() {
+        let mem = Arc::new(MemorySink::new());
+        let sink = SpanSink::new(mem.clone(), 42, "worker-1");
+        sink.record(&decision(1));
+        sink.set_cell(Some(3));
+        sink.record(&decision(2));
+        sink.record_batch(&[decision(3), decision(4)]);
+        sink.set_cell(None);
+        sink.record(&decision(5));
+        // A foreign, already-stamped event passes through untouched.
+        let foreign = SpannedEvent {
+            span: Some(SpanContext { run_id: 7, source: "other".into(), seq: 99, cell: None }),
+            event: decision(6),
+        };
+        sink.record_spanned(std::slice::from_ref(&foreign));
+        // A mixed batch stamps only the unstamped member.
+        sink.record_spanned(&[foreign.clone(), SpannedEvent::unspanned(decision(7))]);
+
+        let got = mem.spanned_events();
+        // 5 stamped singles/batches + 1 foreign + the 2-event mixed batch.
+        assert_eq!(got.len(), 8);
+        let own: Vec<&SpannedEvent> =
+            got.iter().filter(|e| e.span.as_ref().unwrap().source == "worker-1").collect();
+        let seqs: Vec<u64> = own.iter().map(|e| e.span.as_ref().unwrap().seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5], "dense per-source sequence");
+        let cells: Vec<Option<u64>> = own.iter().map(|e| e.span.as_ref().unwrap().cell).collect();
+        assert_eq!(cells, vec![None, Some(3), Some(3), Some(3), None, None]);
+        assert_eq!(got[5], foreign);
+        assert_eq!(got[6].span.as_ref().unwrap().seq, 99, "foreign span kept in mixed batch");
+        assert_eq!(sink.stamped(), 6);
+    }
+
+    #[test]
+    fn ring_sink_delivers_everything_off_thread_and_flush_waits() {
+        let mem = Arc::new(MemorySink::new());
+        let ring = RingSink::new(mem.clone());
+        for i in 0..2000u64 {
+            // 1-based: latency 0 is the unsampled sentinel `latency_ns()`
+            // hides.
+            ring.record(&decision(i + 1));
+        }
+        ring.flush();
+        assert_eq!(mem.len(), 2000, "flush waits for the drainer");
+        assert_eq!(ring.dropped_events(), 0);
+        assert_eq!(ring.delivered_events(), 2000);
+        let latencies: Vec<u64> = mem.events().iter().map(|e| e.latency_ns().unwrap()).collect();
+        assert!(latencies.windows(2).all(|w| w[0] < w[1]), "single-producer order preserved");
+    }
+
+    #[test]
+    fn deferred_ring_parks_until_flush_and_relieves_pressure() {
+        let mem = Arc::new(MemorySink::new());
+        let ring = RingSink::deferred(mem.clone(), 64);
+        for i in 0..8u64 {
+            ring.record(&decision(i + 1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(mem.len(), 0, "gate closed: nothing delivered before flush");
+        ring.flush();
+        assert_eq!(mem.len(), 8, "flush opens the gate and waits for delivery");
+        assert_eq!(ring.dropped_events(), 0);
+        // Backlog past half the capacity drains without a flush.
+        for i in 0..40u64 {
+            ring.record(&decision(i + 1));
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while mem.len() < 48 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(mem.len(), 48, "pressure relief drains a deferred ring");
+        assert_eq!(ring.dropped_events(), 0);
+    }
+
+    #[test]
+    fn ring_sink_counts_drops_instead_of_blocking() {
+        // An inner sink that wedges until released, so the ring must fill.
+        struct Gate(Mutex<()>);
+        impl TelemetrySink for Gate {
+            fn record(&self, _event: &TraceEvent) {
+                let _hold = self.0.lock();
+            }
+        }
+        let gate = Arc::new(Gate(Mutex::new(())));
+        let held = gate.0.lock();
+        let ring = RingSink::with_capacity(gate.clone(), 64);
+        // Capacity rounds to 64; the drainer may pull a few into its batch
+        // before wedging on the gate, so overfill generously.
+        for i in 0..10_000u64 {
+            ring.record(&decision(i));
+        }
+        assert!(ring.dropped_events() > 0, "overflow must drop, not block");
+        drop(held);
+        ring.flush();
+        let total = ring.delivered_events() + ring.dropped_events();
+        assert_eq!(total, 10_000, "every event is either delivered or counted as dropped");
+    }
+
+    #[test]
+    fn ring_sink_drop_drains_the_remainder() {
+        let mem = Arc::new(MemorySink::new());
+        let ring = RingSink::new(mem.clone());
+        ring.record_batch(&[decision(1), decision(2), decision(3)]);
+        drop(ring);
+        assert_eq!(mem.len(), 3, "drop delivers buffered events synchronously");
+    }
+
+    #[test]
+    fn ring_sink_preserves_spans() {
+        let mem = Arc::new(MemorySink::new());
+        let ring = RingSink::new(mem.clone());
+        let spanned = SpannedEvent { span: Some(span(4, Some(1))), event: decision(9) };
+        ring.record_spanned(std::slice::from_ref(&spanned));
+        ring.flush();
+        assert_eq!(mem.spanned_events(), vec![spanned]);
+    }
+
+    #[test]
+    fn jsonl_sink_counts_write_errors_once_warned() {
+        // /dev/full accepts the open but fails every flushed write with
+        // ENOSPC — exactly the "disk filled mid-trace" failure mode.
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let sink = JsonlSink::create("/dev/full").unwrap();
+        assert_eq!(sink.write_errors(), 0);
+        sink.record(&decision(1));
+        sink.flush();
+        let after_first = sink.write_errors();
+        assert!(after_first >= 1, "flush surfaces ENOSPC");
+        sink.record(&decision(2));
+        sink.flush();
+        assert!(sink.write_errors() > after_first, "subsequent failures keep counting");
+        // Drop flushes again; it must not panic on a persistently full disk.
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+        assert_eq!(empty.count(), 0);
+
+        // Single sample: every quantile is that sample.
+        let mut one = Histogram::default();
+        one.observe(700);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 700.0, "q={q}");
+        }
+
+        // q outside [0, 1] clamps rather than panics.
+        assert_eq!(one.quantile(-3.0), 700.0);
+        assert_eq!(one.quantile(7.0), 700.0);
+
+        // q=0 maps to the first value's bucket, q=1 to the last's; answers
+        // are bucket midpoints, within a factor of two of the true value
+        // and clamped to [min, max].
+        let mut h = Histogram::default();
+        h.observe(1);
+        h.observe(1 << 20);
+        assert!((1.0..=2.0).contains(&h.quantile(0.0)), "q=0 -> {}", h.quantile(0.0));
+        assert_eq!(h.quantile(1.0), (1u64 << 20) as f64, "q=1 clamps to the exact max");
+
+        // Values in the overflow (top log2) bucket: bit length 64, bucket
+        // index 64 — must not index out of bounds and must clamp to max.
+        let mut top = Histogram::default();
+        top.observe(u64::MAX);
+        top.observe(u64::MAX - 1);
+        top.observe(1u64 << 63);
+        assert_eq!(top.count(), 3);
+        // All three share bucket 64; answers are its midpoint clamped into
+        // the exact [min, max] envelope.
+        for q in [0.0, 0.5, 1.0] {
+            let v = top.quantile(q);
+            assert!(v >= (1u64 << 63) as f64 && v <= u64::MAX as f64, "q={q} -> {v}");
+        }
+        let snap = top.snapshot();
+        assert_eq!((snap.min, snap.max), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn registry_renders_deterministic_text() {
+        let reg = MetricsRegistry::new();
+        reg.incr("cells_completed");
+        reg.add("cells_completed", 2);
+        reg.set_gauge("workers_live", 2.0);
+        reg.record(&decision(100));
+        let text = reg.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"cells_completed 3"), "{text}");
+        assert!(lines.contains(&"decision 1"), "{text}");
+        assert!(lines.contains(&"workers_live 2"), "{text}");
+        assert!(lines.contains(&"decision_latency_ns_count 1"), "{text}");
+        assert!(lines.contains(&"decision_latency_ns_min 100"), "{text}");
+        assert_eq!(text, reg.render_text(), "rendering is deterministic");
     }
 }

@@ -76,8 +76,8 @@ pub mod prelude {
     };
     pub use actor_core::report::{fmt3, fmt_pct};
     pub use actor_core::telemetry::{
-        FanoutSink, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry, NullSink,
-        SharedSink, TelemetrySink, TraceEvent,
+        FanoutSink, HistogramSnapshot, JsonlSink, MemorySink, MetricsRegistry, NullSink, RingSink,
+        SharedSink, SpanContext, SpanSink, SpannedEvent, TelemetrySink, TraceEvent,
     };
     pub use actor_core::{
         assert_controller_conformance, ActorConfig, ActorError, AdaptationStudy,

@@ -313,6 +313,7 @@ fn distributed_dispatch_speedup_over_serial() {
         workload: "quad-test".into(),
         max_node_w: spec.max_node_w,
         heartbeat_ms: 250,
+        run_id: 4242,
     };
     let (conn_tx, conn_rx) = crossbeam::channel::unbounded();
     let mut workers = Vec::new();
