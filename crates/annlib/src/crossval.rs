@@ -77,6 +77,17 @@ pub struct FoldReport {
     pub epochs_run: usize,
 }
 
+/// Reusable buffers for [`CrossValEnsemble::predict_batch_into`]: scaled
+/// inputs, per-member outputs, running sums and the network ping/pong
+/// scratch. All buffers grow to the batch high-water mark and stay there.
+#[derive(Debug, Default, Clone)]
+pub struct EnsembleScratch {
+    scaled: Vec<f64>,
+    member_out: Vec<f64>,
+    sums: Vec<f64>,
+    batch: crate::matrix::BatchScratch,
+}
+
 /// A trained cross-validation ensemble: the averaged predictor used by ACTOR.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrossValEnsemble {
@@ -190,6 +201,61 @@ impl CrossValEnsemble {
             *s /= self.members.len() as f64;
         }
         self.target_scaler.inverse(&sum)
+    }
+
+    /// Batched [`CrossValEnsemble::predict`]: predicts every row of `rows`
+    /// through every member in member-major batched passes, reusing
+    /// `scratch` across calls so steady-state prediction is allocation-free.
+    /// Output rows land row-major (`rows.len() × output_dim`) in `outputs`
+    /// and are bit-identical to per-row [`CrossValEnsemble::predict`]: the
+    /// per-sample member accumulation order, the averaging divide and the
+    /// inverse scaling are unchanged.
+    pub fn predict_batch_into(
+        &self,
+        rows: &[Vec<f64>],
+        scratch: &mut EnsembleScratch,
+        outputs: &mut Vec<f64>,
+    ) -> Result<(), AnnError> {
+        let n = rows.len();
+        let in_dim = self.input_dim();
+        let out_dim = self.output_dim;
+        scratch.scaled.resize(n * in_dim, 0.0);
+        for (row, dst) in rows.iter().zip(scratch.scaled.chunks_exact_mut(in_dim)) {
+            self.feature_scaler.transform_into(row, dst)?;
+        }
+        scratch.sums.clear();
+        scratch.sums.resize(n * out_dim, 0.0);
+        for m in &self.members {
+            m.forward_batch_into(
+                &scratch.scaled[..n * in_dim],
+                n,
+                &mut scratch.batch,
+                &mut scratch.member_out,
+            )?;
+            for (s, y) in scratch.sums.iter_mut().zip(&scratch.member_out) {
+                *s += y;
+            }
+        }
+        let members = self.members.len() as f64;
+        for s in &mut scratch.sums {
+            *s /= members;
+        }
+        outputs.clear();
+        outputs.resize(n * out_dim, 0.0);
+        for (sum, dst) in scratch.sums.chunks_exact(out_dim).zip(outputs.chunks_exact_mut(out_dim))
+        {
+            self.target_scaler.inverse_into(sum, dst)?;
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`CrossValEnsemble::predict_batch_into`]
+    /// returning one prediction row per input row.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnnError> {
+        let mut scratch = EnsembleScratch::default();
+        let mut flat = Vec::new();
+        self.predict_batch_into(rows, &mut scratch, &mut flat)?;
+        Ok(flat.chunks_exact(self.output_dim).map(<[f64]>::to_vec).collect())
     }
 
     /// Number of member networks.
@@ -333,6 +399,31 @@ mod tests {
         let x = [0.2, -0.4, 0.6];
         assert_eq!(ensemble.predict(&x).unwrap(), restored.predict(&x).unwrap());
         assert!(CrossValEnsemble::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_predict() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = quadratic_dataset(100, 13);
+        let ensemble = CrossValEnsemble::train(&data, &fast_config(4), &mut rng).unwrap();
+        let probes: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![0.3 * i as f64 - 1.2, 0.1 * i as f64, 1.0 - 0.2 * i as f64])
+            .collect();
+        let batched = ensemble.predict_batch(&probes).unwrap();
+        for (row, out) in probes.iter().zip(&batched) {
+            let single = ensemble.predict(row).unwrap();
+            for (a, b) in out.iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batched ensemble prediction diverged");
+            }
+        }
+        // Scratch reuse across batch sizes keeps the identity.
+        let mut scratch = EnsembleScratch::default();
+        let mut flat = Vec::new();
+        ensemble.predict_batch_into(&probes, &mut scratch, &mut flat).unwrap();
+        ensemble.predict_batch_into(&probes[..2], &mut scratch, &mut flat).unwrap();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[0].to_bits(), ensemble.predict(&probes[0]).unwrap()[0].to_bits());
+        assert!(ensemble.predict_batch(&[vec![1.0]]).is_err());
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub mod scaler;
 pub mod train;
 
 pub use activation::Activation;
-pub use crossval::{CrossValEnsemble, EnsembleConfig, FoldReport};
+pub use crossval::{CrossValEnsemble, EnsembleConfig, EnsembleScratch, FoldReport};
 pub use dataset::Dataset;
 pub use error::AnnError;
-pub use matrix::Matrix;
+pub use matrix::{BatchScratch, Matrix};
 pub use network::Mlp;
 pub use scaler::{MinMaxScaler, StandardScaler};
 pub use train::{TrainConfig, TrainReport, Trainer};
@@ -61,10 +61,10 @@ pub use train::{TrainConfig, TrainReport, Trainer};
 /// Convenient glob import for downstream users.
 pub mod prelude {
     pub use crate::activation::Activation;
-    pub use crate::crossval::{CrossValEnsemble, EnsembleConfig, FoldReport};
+    pub use crate::crossval::{CrossValEnsemble, EnsembleConfig, EnsembleScratch, FoldReport};
     pub use crate::dataset::Dataset;
     pub use crate::error::AnnError;
-    pub use crate::matrix::Matrix;
+    pub use crate::matrix::{BatchScratch, Matrix};
     pub use crate::metrics;
     pub use crate::network::Mlp;
     pub use crate::scaler::{MinMaxScaler, StandardScaler};

@@ -95,6 +95,59 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix-vector product `self * x` written into a caller-supplied
+    /// buffer — the allocation-free core of [`Matrix::matvec`], with
+    /// bit-identical accumulation order (the batched forward pass relies on
+    /// that identity).
+    #[inline]
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), AnnError> {
+        if x.len() != self.cols {
+            return Err(AnnError::DimensionMismatch { expected: self.cols, actual: x.len() });
+        }
+        if out.len() != self.rows {
+            return Err(AnnError::DimensionMismatch { expected: self.rows, actual: out.len() });
+        }
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            let mut acc = 0.0;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *o = acc;
+        }
+        Ok(())
+    }
+
+    /// Row-batched product: treats `inputs` as a row-major `n × cols` block
+    /// and writes `self * inputs[i]` into the `i`-th row of `out`
+    /// (`n × rows`, row-major). One GEMM-shaped loop, no per-sample
+    /// allocation; each output row is bit-identical to [`Matrix::matvec`] on
+    /// the matching input row.
+    pub fn matvec_rows_into(
+        &self,
+        inputs: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) -> Result<(), AnnError> {
+        if inputs.len() != n * self.cols {
+            return Err(AnnError::LengthMismatch {
+                what: "batched matvec inputs",
+                expected: n * self.cols,
+                actual: inputs.len(),
+            });
+        }
+        if out.len() != n * self.rows {
+            return Err(AnnError::LengthMismatch {
+                what: "batched matvec outputs",
+                expected: n * self.rows,
+                actual: out.len(),
+            });
+        }
+        for (x, o) in inputs.chunks_exact(self.cols).zip(out.chunks_exact_mut(self.rows)) {
+            self.matvec_into(x, o)?;
+        }
+        Ok(())
+    }
+
     /// Transposed matrix-vector product `selfᵀ * x` (used to backpropagate
     /// deltas without materialising the transpose).
     #[allow(clippy::needless_range_loop)] // indexing several buffers by one row index
@@ -164,6 +217,37 @@ impl Matrix {
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Reusable ping/pong activation buffers for batched forward passes.
+///
+/// A batched pass through an L-layer network needs two row-major blocks that
+/// alternate as layer input and output; keeping them in a caller-owned
+/// scratch lets repeated batch predictions run without touching the
+/// allocator once the high-water mark is reached.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Both buffers, each resized to at least `len` elements (contents
+    /// unspecified). Split out so callers can ping/pong between them.
+    pub fn buffers(&mut self, len: usize) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        if self.ping.len() < len {
+            self.ping.resize(len, 0.0);
+        }
+        if self.pong.len() < len {
+            self.pong.resize(len, 0.0);
+        }
+        (&mut self.ping, &mut self.pong)
     }
 }
 

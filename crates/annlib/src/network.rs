@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::error::AnnError;
-use crate::matrix::Matrix;
+use crate::matrix::{BatchScratch, Matrix};
 
 /// One fully connected layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +58,37 @@ impl Layer {
             *o = self.activation.apply(*o);
         }
         Ok(out)
+    }
+
+    /// [`Layer::forward`] into a caller-supplied buffer (no allocation,
+    /// bit-identical arithmetic).
+    pub fn forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), AnnError> {
+        self.weights.matvec_into(input, out)?;
+        for (o, b) in out.iter_mut().zip(&self.biases) {
+            *o += b;
+            *o = self.activation.apply(*o);
+        }
+        Ok(())
+    }
+
+    /// Applies the layer to a row-major `n × inputs` block, writing the
+    /// activated `n × outputs` block — one GEMM-shaped loop instead of `n`
+    /// separate calls, with each output row bit-identical to
+    /// [`Layer::forward`] on the matching input row.
+    pub fn forward_rows_into(
+        &self,
+        inputs: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) -> Result<(), AnnError> {
+        self.weights.matvec_rows_into(inputs, n, out)?;
+        for row in out.chunks_exact_mut(self.outputs()) {
+            for (o, b) in row.iter_mut().zip(&self.biases) {
+                *o += b;
+                *o = self.activation.apply(*o);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -173,6 +204,63 @@ impl Mlp {
         Ok(ForwardTrace { activations })
     }
 
+    /// Widest activation block any layer of a batched pass needs, per sample.
+    fn max_layer_width(&self) -> usize {
+        self.layers.iter().map(|l| l.outputs()).max().unwrap_or(0).max(self.input_dim())
+    }
+
+    /// Batched forward pass over `n` row-major samples (`inputs` is
+    /// `n × input_dim`), writing the row-major `n × output_dim` outputs into
+    /// `out` — one GEMM-shaped loop per layer through the ping/pong
+    /// [`BatchScratch`] instead of per-sample `Vec` allocations. Every
+    /// output row is bit-identical to [`Mlp::predict`] on the matching input
+    /// row (pinned by a proptest).
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[f64],
+        n: usize,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnnError> {
+        let in_dim = self.input_dim();
+        if inputs.len() != n * in_dim {
+            return Err(AnnError::LengthMismatch {
+                what: "batched forward inputs",
+                expected: n * in_dim,
+                actual: inputs.len(),
+            });
+        }
+        let (ping, pong) = scratch.buffers(n * self.max_layer_width());
+        ping[..inputs.len()].copy_from_slice(inputs);
+        let (mut src, mut dst) = (ping, pong);
+        let mut width = in_dim;
+        for layer in &self.layers {
+            layer.forward_rows_into(&src[..n * width], n, &mut dst[..n * layer.outputs()])?;
+            width = layer.outputs();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        out.clear();
+        out.extend_from_slice(&src[..n * width]);
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`Mlp::forward_batch_into`]: predicts every
+    /// row of `rows` in one batched pass.
+    pub fn forward_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnnError> {
+        let in_dim = self.input_dim();
+        let mut flat = Vec::with_capacity(rows.len() * in_dim);
+        for row in rows {
+            if row.len() != in_dim {
+                return Err(AnnError::DimensionMismatch { expected: in_dim, actual: row.len() });
+            }
+            flat.extend_from_slice(row);
+        }
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        self.forward_batch_into(&flat, rows.len(), &mut scratch, &mut out)?;
+        Ok(out.chunks_exact(self.output_dim()).map(<[f64]>::to_vec).collect())
+    }
+
     /// True when all weights and biases are finite.
     pub fn is_finite(&self) -> bool {
         self.layers.iter().all(|l| l.weights.is_finite() && l.biases.iter().all(|b| b.is_finite()))
@@ -250,6 +338,28 @@ mod tests {
     }
 
     #[test]
+    fn forward_batch_matches_predict_exactly() {
+        let mut r = rng();
+        let net = Mlp::sigmoid_regressor(4, &[6, 3], 2, &mut r).unwrap();
+        let rows: Vec<Vec<f64>> =
+            (0..7).map(|i| (0..4).map(|j| (i * 4 + j) as f64 * 0.17 - 1.3).collect()).collect();
+        let batched = net.forward_batch(&rows).unwrap();
+        for (row, out) in rows.iter().zip(&batched) {
+            assert_eq!(out, &net.predict(row).unwrap());
+        }
+        // Dimension errors surface, scratch reuse across differing batch
+        // sizes stays exact.
+        assert!(net.forward_batch(&[vec![1.0]]).is_err());
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        net.forward_batch_into(&flat, rows.len(), &mut scratch, &mut out).unwrap();
+        net.forward_batch_into(&flat[..4], 1, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, net.predict(&rows[0]).unwrap());
+        assert!(net.forward_batch_into(&flat[..3], 1, &mut scratch, &mut out).is_err());
+    }
+
+    #[test]
     fn serde_round_trip() {
         let mut r = rng();
         let net = Mlp::sigmoid_regressor(3, &[4], 1, &mut r).unwrap();
@@ -262,5 +372,37 @@ mod tests {
         let a = net.predict(&x).unwrap()[0];
         let b = back.predict(&x).unwrap()[0];
         assert!((a - b).abs() < 1e-12, "round-tripped prediction drifted: {a} vs {b}");
+    }
+
+    mod batch_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The batched pass must be *bit-for-bit* the per-sample pass on
+            // random networks and inputs — the byte-identity contract of
+            // every artefact downstream of the predictor rests on it.
+            #[test]
+            fn forward_batch_is_bitwise_forward(
+                seed in 0u64..500,
+                inputs in 1usize..5,
+                hidden in 1usize..8,
+                outputs in 1usize..4,
+                n in 1usize..9,
+            ) {
+                let mut r = StdRng::seed_from_u64(seed);
+                let net = Mlp::sigmoid_regressor(inputs, &[hidden], outputs, &mut r).unwrap();
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..inputs).map(|_| r.gen_range(-3.0..3.0)).collect())
+                    .collect();
+                let batched = net.forward_batch(&rows).unwrap();
+                for (row, out) in rows.iter().zip(&batched) {
+                    let single = net.predict(row).unwrap();
+                    for (a, b) in out.iter().zip(&single) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
     }
 }

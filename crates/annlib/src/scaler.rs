@@ -92,6 +92,40 @@ impl StandardScaler {
         Ok(row.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| v * s + m).collect())
     }
 
+    /// [`StandardScaler::transform`] into a caller-supplied buffer
+    /// (allocation-free, bit-identical arithmetic).
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) -> Result<(), AnnError> {
+        if row.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
+        }
+        if out.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: out.len() });
+        }
+        for (o, (v, (m, s))) in
+            out.iter_mut().zip(row.iter().zip(self.means.iter().zip(&self.stds)))
+        {
+            *o = (v - m) / s;
+        }
+        Ok(())
+    }
+
+    /// [`StandardScaler::inverse`] into a caller-supplied buffer
+    /// (allocation-free, bit-identical arithmetic).
+    pub fn inverse_into(&self, row: &[f64], out: &mut [f64]) -> Result<(), AnnError> {
+        if row.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: row.len() });
+        }
+        if out.len() != self.dim() {
+            return Err(AnnError::DimensionMismatch { expected: self.dim(), actual: out.len() });
+        }
+        for (o, (v, (m, s))) in
+            out.iter_mut().zip(row.iter().zip(self.means.iter().zip(&self.stds)))
+        {
+            *o = v * s + m;
+        }
+        Ok(())
+    }
+
     /// Transforms a batch of rows.
     pub fn transform_all(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnnError> {
         rows.iter().map(|r| self.transform(r)).collect()

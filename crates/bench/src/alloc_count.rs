@@ -1,0 +1,72 @@
+//! Global-allocator instrumentation for the allocation-regression arm.
+//!
+//! With the `alloc-count` feature enabled, every binary in this crate runs
+//! under a counting wrapper around the [`std::alloc::System`] allocator: each
+//! `alloc`/`alloc_zeroed`/`realloc` bumps one relaxed atomic.
+//! `decision_bench` samples the counter around a dedicated decide pass and
+//! reports `allocs_per_decision`; `bench_check` gates that headline against
+//! an absolute ceiling, so a reintroduced per-decide `Vec` rebuild (the
+//! exact regression the interned decision tables removed) fails CI rather
+//! than silently re-inflating the hot path.
+//!
+//! Without the feature this module compiles to a stub returning [`None`],
+//! the global allocator stays untouched, and timed throughput headlines are
+//! unaffected — CI runs the counting arm as a separate `decision_bench`
+//! invocation after the timing arm.
+
+#[cfg(feature = "alloc-count")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// [`System`] plus one relaxed counter bump per allocation. Frees are
+    /// not counted: the headline is allocations per decision, and a path
+    /// that allocates also frees.
+    struct CountingAllocator;
+
+    // SAFETY: delegates every operation verbatim to `System`; the counter
+    // is a side effect with no aliasing or layout implications.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    pub fn allocation_count() -> Option<u64> {
+        Some(ALLOCATIONS.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(not(feature = "alloc-count"))]
+mod imp {
+    pub fn allocation_count() -> Option<u64> {
+        None
+    }
+}
+
+/// Allocations since process start, or [`None`] when the `alloc-count`
+/// feature is off. Subtract two samples to count a region; the counter is
+/// process-wide, so keep other threads quiet across the sampled region.
+pub fn allocation_count() -> Option<u64> {
+    imp::allocation_count()
+}

@@ -8,27 +8,32 @@
 //!    (benchmark, phase) of the ANN-trained workload model with full joint
 //!    DVFS+DCT candidate menus, cycling three per-phase power caps (just
 //!    above single-thread power, mid-range, and ample). The loop runs in
-//!    two interleaved arms, best-of-3 each: **untraced** (no telemetry
+//!    two interleaved arms, best-of-5 each: **untraced** (no telemetry
 //!    sink at all — the pure hot path) and **traced** (a lock-free
 //!    [`RingSink`] in front of the registry, the recommended
-//!    hot-loop attachment). The ratio of the two is the telemetry
-//!    overhead headline: `bench_check` gates `traced_ratio` against an
-//!    absolute floor (default 0.80 — see `bench_check`'s docs for how the
-//!    floor relates to the ≤5 % design budget on different hosts).
+//!    hot-loop attachment). The difference of the two is the telemetry
+//!    overhead headline: `bench_check` gates the absolute per-decision
+//!    ring cost `trace_overhead_ns` against a ceiling, with the
+//!    `traced_ratio` floor as a backstop (see `bench_check`'s docs).
 //!    Decide latency from the traced arm is bucketed into the registry's
 //!    `decision_latency_ns` histogram; its p50/p95/p99 snapshot lands in
 //!    the JSON artefact.
 //! 2. **Events/s** — full cluster simulations under the `power-aware`
 //!    policy at 64 nodes (`--fast`) or 64/128/256 nodes, with a light
-//!    workload of 4 jobs per node and a 0.7-fraction budget, recording
-//!    synchronously into the registry. Every traced record (job
-//!    arrival/start/completion, controller decision) counts as an event.
+//!    workload of 4 jobs per node and a 0.7-fraction budget, best-of-3,
+//!    recording through a deferred [`RingSink`] so serialization and any
+//!    `--trace` file writes drain outside the timed window. Every traced
+//!    record (job arrival/start/completion, controller decision) counts
+//!    as an event.
 //!
 //! Writes `results/decision_bench.json`; `bench_check` collects
 //! `decision_bench_decisions_per_sec`, `decision_bench_traced_decisions_per_sec`,
-//! `decision_bench_traced_ratio`, `decision_bench_events_per_sec` and
-//! `decision_bench_wall_clock_s` from it and gates them against the
-//! committed baseline. Flags: `--fast` (reduced ANN training + the small
+//! `decision_bench_traced_ratio`, `decision_bench_trace_overhead_ns`,
+//! `decision_bench_events_per_sec`, `decision_bench_events_per_sec_largest`,
+//! `decision_bench_wall_clock_s` and (under `--features alloc-count`)
+//! `decision_bench_allocs_per_decision` from it and gates them against the
+//! committed baseline plus the absolute floors/ceilings described in its
+//! docs. Flags: `--fast` (reduced ANN training + the small
 //! grid, CI runs this), `--seed N`, `--trace PATH` (JSONL telemetry fanned
 //! out alongside the registry).
 
@@ -67,14 +72,7 @@ fn phase_cases(model: &WorkloadModel) -> Vec<PhaseCase> {
     for id in model.benchmark_ids() {
         let k = model.knowledge(id);
         for (idx, phase) in k.phases.iter().enumerate() {
-            let candidates: Vec<CandidatePerf> = phase
-                .executions
-                .iter()
-                .map(|(config, exec)| CandidatePerf {
-                    config: *config,
-                    avg_power_w: Some(exec.avg_power_w),
-                })
-                .collect();
+            let candidates: Vec<CandidatePerf> = phase.candidate_menu().to_vec();
             let powers: Vec<f64> = candidates.iter().filter_map(|c| c.avg_power_w).collect();
             let lo = powers.iter().copied().fold(f64::INFINITY, f64::min);
             let hi = powers.iter().copied().fold(0.0f64, f64::max);
@@ -82,7 +80,7 @@ fn phase_cases(model: &WorkloadModel) -> Vec<PhaseCase> {
                 pid: model.phase_id(id, idx),
                 sample: phase.sample(),
                 candidates,
-                joint: phase.joint_candidates(),
+                joint: phase.joint_candidates().to_vec(),
                 // Tight-but-feasible, mid-range, and ample: the cap axis a
                 // node-share actually traverses as cluster headroom moves.
                 caps: [lo * 1.05, (lo + hi) / 2.0, hi + 10.0],
@@ -123,6 +121,15 @@ struct DecisionBenchOutput {
     /// overhead headline, gated against an absolute floor by
     /// `bench_check`.
     traced_ratio: f64,
+    /// Absolute per-decision cost of the attached ring sink:
+    /// `1/traced − 1/untraced`, in ns. Scale-invariant — unlike the ratio,
+    /// it does not erode as the decide itself gets faster — and gated
+    /// against an absolute ceiling by `bench_check`.
+    trace_overhead_ns: f64,
+    /// Allocations per decision on the untraced path, measured by a
+    /// dedicated decide pass under the `alloc-count` counting allocator;
+    /// `null` without the feature.
+    allocs_per_decision: Option<f64>,
     /// Events the ring discarded rather than block the decide loop
     /// (expected 0 at default capacity; nonzero means the drainer fell
     /// behind the loop for a full ring).
@@ -131,6 +138,12 @@ struct DecisionBenchOutput {
     events: u64,
     events_wall_clock_s: f64,
     events_per_sec: f64,
+    /// Nodes of the largest simulated cluster (64 under `--fast`, 256
+    /// otherwise).
+    largest_nodes: usize,
+    /// Events/s of the largest cluster alone — the at-scale headline (the
+    /// aggregate above mixes node counts in full mode).
+    events_per_sec_largest: f64,
     /// Combined measured wall clock (every decide repeat of both arms plus
     /// the events section; model training excluded) — the slowdown gate's
     /// denominator.
@@ -243,14 +256,29 @@ fn main() {
     let decisions_per_sec = decisions as f64 / bare_wall.max(1e-9);
     let traced_decisions_per_sec = decisions as f64 / traced_wall.max(1e-9);
     let traced_ratio = traced_decisions_per_sec / decisions_per_sec.max(1e-9);
-    let ring_dropped_events = ring.dropped_events();
+    let trace_overhead_ns =
+        (1.0 / traced_decisions_per_sec.max(1e-9) - 1.0 / decisions_per_sec.max(1e-9)) * 1e9;
+    let decide_ring_dropped = ring.dropped_events();
+    // Allocation audit (only under `--features alloc-count`): one dedicated
+    // untimed decide pass with the counting allocator sampled around it.
+    let allocs_per_decision = actor_bench::allocation_count().map(|before| {
+        run_decide(&mut bare_plane, &cases, ladder, target);
+        let after = actor_bench::allocation_count().expect("counter present once enabled");
+        (after - before) as f64 / target as f64
+    });
 
-    // Section 2: cluster event throughput at scale.
+    // Section 2: cluster event throughput at scale. The simulation records
+    // through its own deferred ring into the full sink chain (registry +
+    // optional `--trace` JSONL): with a file sink attached synchronously,
+    // JSON serialization and disk writes dominate the timed window and the
+    // headline measures the file system instead of the event loop. The ring
+    // is flushed (and the registry read) outside the clock.
     let idle_w = Machine::xeon_qx6600().params().power.system_idle_w;
     let node_counts: &[usize] = if fast { &[64] } else { &[64, 128, 256] };
     let mut node_runs = Vec::new();
     let mut events_total = 0u64;
     let mut events_wall = 0.0f64;
+    let mut cluster_ring_dropped = 0u64;
     for &nodes in node_counts {
         let spec = ClusterSpec {
             nodes,
@@ -268,26 +296,55 @@ fn main() {
             },
             seed: harness.args.seed.unwrap_or(2007),
         };
-        let mut policy = policy_by_name("power-aware", &model).expect("built-in policy");
         eprintln!("cluster loop: {nodes} nodes, {} jobs...", spec.workload.num_jobs);
-        let before = counter_total(&registry);
-        let started = Instant::now();
-        let report = simulate_traced(&spec, &model, policy.as_mut(), Some(sink.clone()))
+        // Best-of-3, like the decide loop's best-of-5: a 64-node fast run is
+        // a ~3 ms window, and a single descheduling blip reads as a 5×
+        // throughput swing — far past the absolute floor `bench_check`
+        // holds. The simulation is deterministic, so repeats emit identical
+        // event streams (same count every time) and only the clock varies.
+        const CLUSTER_REPEATS: usize = 3;
+        // Capacity comfortably above one repeat's whole event stream (~13
+        // events per job at 256 nodes) so `dropped` stays 0 even if the
+        // drainer never gets a core until the flush.
+        let cluster_ring =
+            Arc::new(RingSink::deferred(sink.clone(), spec.workload.num_jobs * 32 + 4096));
+        let mut wall = f64::INFINITY;
+        let mut events = 0u64;
+        let mut makespan_s = 0.0f64;
+        for _ in 0..CLUSTER_REPEATS {
+            let mut policy = policy_by_name("power-aware", &model).expect("built-in policy");
+            let before = counter_total(&registry);
+            let started = Instant::now();
+            let report = simulate_traced(
+                &spec,
+                &model,
+                policy.as_mut(),
+                Some(cluster_ring.clone() as SharedSink),
+            )
             .unwrap_or_else(|e| panic!("simulation failed: {e}"));
-        let wall = started.elapsed().as_secs_f64();
-        let events = counter_total(&registry) - before;
+            wall = wall.min(started.elapsed().as_secs_f64());
+            // Drain between repeats so each starts with an empty ring, and
+            // so the registry has everything before the count is read.
+            cluster_ring.flush();
+            events = counter_total(&registry) - before;
+            makespan_s = report.makespan_s;
+        }
+        cluster_ring_dropped += cluster_ring.dropped_events();
         events_total += events;
         events_wall += wall;
         node_runs.push(NodeRun {
             nodes,
             jobs: spec.workload.num_jobs,
             power_budget_w: spec.power_budget_w,
-            makespan_s: report.makespan_s,
+            makespan_s,
             events,
             wall_clock_s: wall,
         });
     }
     let events_per_sec = events_total as f64 / events_wall.max(1e-9);
+    let largest = node_runs.last().expect("at least one node count");
+    let largest_nodes = largest.nodes;
+    let events_per_sec_largest = largest.events as f64 / largest.wall_clock_s.max(1e-9);
     sink.flush();
 
     let output = DecisionBenchOutput {
@@ -297,11 +354,15 @@ fn main() {
         decisions_per_sec,
         traced_decisions_per_sec,
         traced_ratio,
-        ring_dropped_events,
+        trace_overhead_ns,
+        allocs_per_decision,
+        ring_dropped_events: decide_ring_dropped + cluster_ring_dropped,
         node_runs,
         events: events_total,
         events_wall_clock_s: events_wall,
         events_per_sec,
+        largest_nodes,
+        events_per_sec_largest,
         wall_clock_s: decide_wall_total + events_wall,
         decision_latency_ns: registry.histogram("decision_latency_ns"),
         event_counts: registry.counters(),
@@ -314,16 +375,26 @@ fn main() {
         fmt3(decisions_per_sec)
     ));
     reporter.note(&format!(
-        "decide traced: {} decisions/s through the ring sink (ratio {}, {} dropped)",
+        "decide traced: {} decisions/s through the ring sink (ratio {}, overhead {} ns, {} \
+         dropped)",
         fmt3(traced_decisions_per_sec),
         fmt3(traced_ratio),
-        ring_dropped_events
+        fmt3(trace_overhead_ns),
+        decide_ring_dropped
     ));
+    if let Some(allocs) = allocs_per_decision {
+        reporter.note(&format!(
+            "decide allocations: {} per decision (counting allocator)",
+            fmt3(allocs)
+        ));
+    }
     reporter.note(&format!(
-        "cluster: {events_total} traced events in {} s ({} events/s) across {:?} nodes",
+        "cluster: {events_total} traced events in {} s ({} events/s) across {:?} nodes; {} \
+         events/s at {largest_nodes} nodes",
         fmt3(events_wall),
         fmt3(events_per_sec),
-        node_counts
+        node_counts,
+        fmt3(events_per_sec_largest)
     ));
     if let Some(snap) = &output.decision_latency_ns {
         reporter.note(&format!(

@@ -30,8 +30,10 @@
 //! overhead arguments (prediction is cheap; search scales with the number of
 //! configurations).
 
+pub mod alloc_count;
 pub mod harness;
 pub mod sweep_out;
 pub mod trace_ops;
 
+pub use alloc_count::allocation_count;
 pub use harness::{BenchArgs, FileReporter, Harness};

@@ -10,7 +10,8 @@
 //! fact.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use actor_core::telemetry::{SharedSink, TraceEvent};
 use serde::{Deserialize, Serialize};
@@ -165,6 +166,30 @@ impl PartialOrd for Event {
     }
 }
 
+/// Cheap deterministic hasher for the gang-summary index: the keys are
+/// `(f64::to_bits, f64::to_bits)` pairs that are already well-mixed doubles,
+/// so two multiply-xor rounds beat SipHash by an order of magnitude on the
+/// scheduling pass without risking adversarial input (the keys come from the
+/// simulation itself).
+#[derive(Debug, Default)]
+struct GangKeyHasher(u64);
+
+impl Hasher for GangKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29);
+    }
+}
+
 /// The simulated cluster.
 pub struct Cluster<'a> {
     spec: ClusterSpec,
@@ -221,10 +246,27 @@ impl<'a> Cluster<'a> {
         let mut cap_violations = 0usize;
         let mut makespan_s = 0.0f64;
 
+        // Per-event scratch, hoisted out of the loop: a 256-node run visits
+        // hundreds of thousands of events, and rebuilding these five
+        // vectors per event made the allocator the hottest part of the
+        // simulation. Each is cleared (never shrunk) per event.
+        let mut batch: Vec<Event> = Vec::new();
+        let mut runs: Vec<crate::node::RunningJob> = Vec::new();
+        let mut idle_nodes: Vec<usize> = Vec::new();
+        let mut running: Vec<RunningSummary> = Vec::new();
+        let mut node_draws: Vec<f64> = Vec::new();
+        // Index over `running`: gang key → index of the *first* summary with
+        // that key. With hundreds of running single-node gangs a linear
+        // first-match scan per node is O(nodes × gangs) per scheduling pass —
+        // at 256 nodes it was two thirds of the whole simulation.
+        let mut running_index: HashMap<(u64, u64), usize, BuildHasherDefault<GangKeyHasher>> =
+            HashMap::default();
+
         while let Some(event) = heap.pop() {
             let now = event.time_s;
             makespan_s = makespan_s.max(now);
-            let mut batch = vec![event];
+            batch.clear();
+            batch.push(event);
             while let Some(next) = heap.peek() {
                 if next.time_s == now {
                     batch.push(heap.pop().expect("peeked"));
@@ -232,74 +274,95 @@ impl<'a> Cluster<'a> {
                     break;
                 }
             }
-            for event in batch {
+            for event in batch.drain(..) {
                 match event.kind {
                     EventKind::Arrival(job) => {
                         if let Some(sink) = &self.telemetry {
-                            sink.record(&TraceEvent::JobArrival {
+                            sink.record_owned(TraceEvent::JobArrival {
                                 time_s: now,
                                 job: job.id,
                                 benchmark: job.benchmark.to_string(),
                                 width: job.nodes,
                             });
                         }
-                        queue.push(job);
-                        // Priority first (descending), then arrival, then id.
-                        queue.sort_by(|a, b| {
-                            b.priority
-                                .cmp(&a.priority)
-                                .then(a.arrival_s.total_cmp(&b.arrival_s))
-                                .then(a.id.cmp(&b.id))
+                        // Ordered insert — priority first (descending), then
+                        // arrival, then id. Ids are unique, so the order is
+                        // total and inserting equals the stable re-sort this
+                        // replaces (minus the per-arrival O(n log n) churn).
+                        let pos = queue.partition_point(|q| {
+                            q.priority
+                                .cmp(&job.priority)
+                                .then(job.arrival_s.total_cmp(&q.arrival_s))
+                                .then(job.id.cmp(&q.id))
+                                != Ordering::Less
                         });
+                        queue.insert(pos, job);
                     }
                     EventKind::Completion { nodes } => {
-                        let mut gang = Vec::with_capacity(nodes.len());
-                        let mut runs = Vec::with_capacity(nodes.len());
-                        for node in nodes {
+                        runs.clear();
+                        for &node in &nodes {
                             runs.push(self.nodes[node].complete(now));
-                            gang.push(node);
                         }
-                        let run = runs.first().expect("completions have members").clone();
                         let energy_j: f64 = runs.iter().map(|r| r.plan.energy_j).sum();
+                        let peak_power_w: f64 = runs.iter().map(|r| r.plan.peak_power_w).sum();
                         if let Some(sink) = &self.telemetry {
-                            sink.record(&TraceEvent::JobCompletion {
+                            let run = runs.first().expect("completions have members");
+                            sink.record_owned(TraceEvent::JobCompletion {
                                 time_s: now,
                                 job: run.job.id,
-                                width: gang.len(),
+                                width: nodes.len(),
                                 energy_j,
                             });
                         }
+                        // The gang's node list travels by move: policy
+                        // assignment → completion event → outcome, never
+                        // copied.
+                        let run = runs.swap_remove(0);
                         outcomes.push(JobOutcome {
                             job: run.job,
                             start_s: run.start_s,
                             finish_s: now,
                             energy_j,
-                            peak_power_w: runs.iter().map(|r| r.plan.peak_power_w).sum(),
+                            peak_power_w,
                             decisions: run.plan.decisions,
-                            nodes: gang,
+                            nodes,
                         });
                     }
                 }
             }
 
             // Scheduling pass.
-            let idle_nodes: Vec<usize> =
-                self.nodes.iter().filter(|n| n.is_idle()).map(|n| n.id).collect();
+            idle_nodes.clear();
+            idle_nodes.extend(self.nodes.iter().filter(|n| n.is_idle()).map(|n| n.id));
             if !queue.is_empty() && !idle_nodes.is_empty() {
-                // Summarise running gangs (one entry per job, not per node).
-                let mut running: Vec<RunningSummary> = Vec::new();
+                // Summarise running gangs (one entry per job, not per node):
+                // each node folds into the first summary matching its
+                // (finish, peak) key, starting a new one when that summary is
+                // already at its gang's width. `running_index` finds the
+                // first match in O(1); keying on bits equals keying on `==`
+                // here because neither field can be NaN or -0.0 (finish is
+                // now + a positive runtime, peak is a positive draw). Gang
+                // members are adjacent in node order often enough that the
+                // previous node's key short-circuits most map probes.
+                running.clear();
+                running_index.clear();
+                let mut prev: Option<((u64, u64), usize)> = None;
                 for n in &self.nodes {
                     if let Some(r) = n.running() {
-                        match running.iter_mut().find(|s| {
-                            s.finish_s == r.finish_s && s.node_peak_w == r.plan.peak_power_w
-                        }) {
+                        let key = (r.finish_s.to_bits(), r.plan.peak_power_w.to_bits());
+                        let first = match prev {
+                            Some((k, idx)) if k == key => idx,
+                            _ => *running_index.entry(key).or_insert(running.len()),
+                        };
+                        match running.get_mut(first) {
                             Some(s) if s.nodes < r.job.nodes => s.nodes += 1,
-                            Some(_) | None => running.push(RunningSummary {
+                            _ => running.push(RunningSummary {
                                 finish_s: r.finish_s,
                                 nodes: 1,
                                 node_peak_w: r.plan.peak_power_w,
                             }),
                         }
+                        prev = Some((key, first));
                     }
                 }
                 running.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s));
@@ -308,7 +371,8 @@ impl<'a> Cluster<'a> {
                 // the headroom (budget minus running draw) they
                 // redistribute across the jobs starting at this event;
                 // running jobs keep their granted caps until completion.
-                let node_draws: Vec<f64> = self.nodes.iter().map(Node::power_draw_w).collect();
+                node_draws.clear();
+                node_draws.extend(self.nodes.iter().map(Node::power_draw_w));
                 let ctx = SchedContext {
                     now,
                     queue: &queue,

@@ -67,14 +67,58 @@ pub struct JobCap {
     pub plan: ExecutionPlan,
 }
 
-/// One rung of a job's upgrade menu: a feasible operating point.
+/// One feasible operating point of a benchmark at a probe cap, cached per
+/// `(benchmark, effective timesteps)`. [`ExecutionPlan`]s from
+/// `plan_with_joint` depend on the job only through its benchmark and its
+/// effective timestep count, so the full per-cap candidate list is a pure
+/// function of that pair and is computed once; each scheduling event then
+/// folds the admitted prefix (caps within the event's headroom) into a
+/// Pareto menu without re-planning.
 #[derive(Debug, Clone)]
-struct OperatingPoint {
+struct MenuCandidate {
+    /// The probe cap (W) this plan was decided under.
+    cap_w: f64,
+    plan: ExecutionPlan,
+}
+
+/// One rung of a job's Pareto menu inside the shared scratch arena:
+/// peak/time for the greedy-upgrade arithmetic plus the index of the
+/// backing [`MenuCandidate`] (the plan is only cloned for the final caps).
+#[derive(Debug, Clone, Copy)]
+struct MenuPoint {
     /// Per-node peak draw (W).
     peak_w: f64,
     /// Job execution time under this point (s).
     time_s: f64,
-    plan: ExecutionPlan,
+    /// Index into the job's cached candidate list.
+    cand: usize,
+}
+
+/// One startable job's menu: a slice of the shared point arena plus the
+/// cache key to resolve chosen points back to plans.
+#[derive(Debug, Clone, Copy)]
+struct MenuRef {
+    /// Index into the scheduling context's queue.
+    queue_idx: usize,
+    /// Gang width (nodes).
+    width: usize,
+    /// Key into the coordinator's candidate cache.
+    key: (BenchmarkId, u64),
+    /// First point in the arena.
+    start: usize,
+    /// Number of points.
+    len: usize,
+}
+
+/// Per-event scratch of [`CapCoordinator::redistribute`], hoisted into the
+/// coordinator so the event loop's hottest call allocates nothing in steady
+/// state: all menus live in one flat point arena (`points`), referenced by
+/// range.
+#[derive(Debug, Default)]
+struct RedistributeScratch {
+    points: Vec<MenuPoint>,
+    menus: Vec<MenuRef>,
+    chosen: Vec<usize>,
 }
 
 /// The cluster-level coordinator: redistributes the power budget across
@@ -96,6 +140,13 @@ pub struct CapCoordinator<C: PowerPerfController = DecisionTableController> {
     /// of re-enumerating (and re-allocating) every phase's joint cells at
     /// every scheduling event.
     cap_cache: HashMap<BenchmarkId, Vec<f64>>,
+    /// Full feasible candidate list per `(benchmark, effective timesteps)`:
+    /// one costed plan per probe cap, built eagerly on first sight of the
+    /// pair (sound for the same purity reason as `choice_cache`, plus
+    /// `plan_with_joint` depending on the job only through that pair).
+    menu_cache: HashMap<(BenchmarkId, u64), Vec<MenuCandidate>>,
+    /// Reused per-event scratch (menus arena + greedy state).
+    scratch: RedistributeScratch,
     /// Attached sink: one [`TraceEvent::Redistribute`] per
     /// [`CapCoordinator::redistribute`] call (latency in ns). `None` keeps
     /// the redistribution loop timestamp- and allocation-free.
@@ -108,6 +159,7 @@ impl<C: PowerPerfController + std::fmt::Debug> std::fmt::Debug for CapCoordinato
             .field("plane", &self.plane)
             .field("choice_cache", &self.choice_cache.len())
             .field("cap_cache", &self.cap_cache.len())
+            .field("menu_cache", &self.menu_cache.len())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -128,6 +180,8 @@ impl<C: PowerPerfController> CapCoordinator<C> {
             plane: ControlPlane::new(controller, MachineShape::quad_core()),
             choice_cache: HashMap::new(),
             cap_cache: HashMap::new(),
+            menu_cache: HashMap::new(),
+            scratch: RedistributeScratch::default(),
             telemetry: None,
         }
     }
@@ -154,76 +208,48 @@ impl<C: PowerPerfController> CapCoordinator<C> {
         ctx.budget_w - draw_w
     }
 
-    /// The job's menu of feasible operating points under caps up to
-    /// `max_cap_w`, sorted by rising peak draw with strictly falling
-    /// execution time (the Pareto frontier of the joint DCT × DVFS space).
-    fn upgrade_menu(
-        &mut self,
-        ctx: &SchedContext<'_>,
-        job: &Job,
-        max_cap_w: f64,
-    ) -> Vec<OperatingPoint> {
-        // Every achievable plan peak is the power of some joint cell of some
-        // phase, so probing one cap per distinct cell power enumerates the
-        // full menu. The probe points are static per benchmark; the
-        // admitted prefix (≤ `max_cap_w`) varies per event.
-        let caps: Vec<f64> = self
-            .cap_cache
-            .entry(job.benchmark)
-            .or_insert_with(|| {
-                let mut caps: Vec<f64> = ctx
-                    .model
-                    .knowledge(job.benchmark)
-                    .phases
-                    .iter()
-                    .flat_map(|p| p.joint_candidates())
-                    .filter_map(|cell| cell.avg_power_w)
-                    .collect();
-                caps.sort_by(f64::total_cmp);
-                caps.dedup_by(|a, b| (*a - *b).abs() < EPS);
-                caps
-            })
-            .iter()
-            .copied()
-            .take_while(|w| *w <= max_cap_w + EPS)
-            .collect();
-
-        let mut menu: Vec<OperatingPoint> = Vec::new();
-        for cap in caps {
-            let key = (job.benchmark, cap.to_bits());
-            let choices = match self.choice_cache.get(&key) {
-                Some(cached) => cached.clone(),
-                None => {
-                    let fresh =
-                        decide_choices_via_plane(&mut self.plane, ctx, job.benchmark, cap, true);
-                    self.choice_cache.insert(key, fresh.clone());
-                    fresh
-                }
-            };
-            let mut iter = choices.into_iter();
+    /// Ensures the full feasible candidate list for this job's
+    /// `(benchmark, effective timesteps)` pair is cached and returns the
+    /// key. Every achievable plan peak is the power of some joint cell of
+    /// some phase, so probing one cap per distinct cell power enumerates
+    /// the complete menu; infeasible probes (the controller's lowest-power
+    /// fallback still overdraws the cap) are dropped here, once.
+    fn ensure_candidates(&mut self, ctx: &SchedContext<'_>, job: &Job) -> (BenchmarkId, u64) {
+        let knowledge = ctx.model.knowledge(job.benchmark);
+        let key = (job.benchmark, job.effective_timesteps(knowledge.profile.timesteps) as u64);
+        if self.menu_cache.contains_key(&key) {
+            return key;
+        }
+        let caps = self.cap_cache.entry(job.benchmark).or_insert_with(|| {
+            let mut caps: Vec<f64> = knowledge
+                .phases
+                .iter()
+                .flat_map(|p| p.joint_candidates())
+                .filter_map(|cell| cell.avg_power_w)
+                .collect();
+            caps.sort_by(f64::total_cmp);
+            caps.dedup_by(|a, b| (*a - *b).abs() < EPS);
+            caps
+        });
+        let mut cands: Vec<MenuCandidate> = Vec::with_capacity(caps.len());
+        for &cap in caps.iter() {
+            let choice_key = (job.benchmark, cap.to_bits());
+            if !self.choice_cache.contains_key(&choice_key) {
+                let fresh =
+                    decide_choices_via_plane(&mut self.plane, ctx, job.benchmark, cap, true);
+                self.choice_cache.insert(choice_key, fresh);
+            }
+            let mut iter = self.choice_cache[&choice_key].iter().copied();
             let plan = ctx.model.plan_with_joint(job, |_| iter.next().expect("one per phase"));
             if plan.peak_power_w > cap + EPS {
-                // Some phase had no admissible cell under this cap — the
-                // controller fell back to its lowest-power point, which
-                // still overdraws. Not a feasible operating point.
+                // Some phase had no admissible cell under this cap — not a
+                // feasible operating point at this probe.
                 continue;
             }
-            if let Some(last) = menu.last() {
-                let (last_peak, last_time) = (last.peak_w, last.time_s);
-                // Keep only Pareto-improving points: higher peak must buy
-                // strictly less time.
-                if plan.exec_time_s >= last_time - EPS {
-                    continue;
-                }
-                if plan.peak_power_w <= last_peak + EPS {
-                    // Same peak, faster plan (cap slack changed a
-                    // tie-break): replace.
-                    menu.pop();
-                }
-            }
-            menu.push(OperatingPoint { peak_w: plan.peak_power_w, time_s: plan.exec_time_s, plan });
+            cands.push(MenuCandidate { cap_w: cap, plan });
         }
-        menu
+        self.menu_cache.insert(key, cands);
+        key
     }
 
     /// Observes the cluster state and decides per-job caps for the jobs that
@@ -235,42 +261,77 @@ impl<C: PowerPerfController> CapCoordinator<C> {
         // Timestamp only when traced: the untraced path stays identical.
         let started = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let headroom_w = Self::observed_headroom_w(ctx);
+        // Borrow dance: the scratch moves out of `self` so menu building
+        // can call `ensure_candidates` (&mut self) while filling it.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.points.clear();
+        scratch.menus.clear();
+        scratch.chosen.clear();
+
         // Strict queue discipline on nodes: the startable set is the longest
-        // queue prefix whose cumulative width fits the idle nodes.
+        // queue prefix whose cumulative width fits the idle nodes. Each
+        // startable job's Pareto menu — the admitted cap prefix, folded to
+        // rising peak draw with strictly falling execution time — lands in
+        // the shared point arena.
         let mut free = ctx.idle_nodes.len();
-        let mut startable: Vec<(usize, &Job)> = Vec::new();
+        let mut startable_n = 0usize;
         for (queue_idx, job) in ctx.queue.iter().enumerate() {
             if job.nodes > free {
                 break;
             }
             free -= job.nodes;
-            startable.push((queue_idx, job));
+            startable_n += 1;
+            let max_cap_w = headroom_w / job.nodes as f64 + ctx.node_idle_w;
+            let key = self.ensure_candidates(ctx, job);
+            let start = scratch.points.len();
+            for (cand, c) in self.menu_cache[&key].iter().enumerate() {
+                if c.cap_w > max_cap_w + EPS {
+                    break;
+                }
+                let (peak_w, time_s) = (c.plan.peak_power_w, c.plan.exec_time_s);
+                if scratch.points.len() > start {
+                    let last = scratch.points.last().expect("non-empty menu");
+                    // Keep only Pareto-improving points: higher peak must
+                    // buy strictly less time.
+                    if time_s >= last.time_s - EPS {
+                        continue;
+                    }
+                    if peak_w <= last.peak_w + EPS {
+                        // Same peak, faster plan (cap slack changed a
+                        // tie-break): replace.
+                        scratch.points.pop();
+                    }
+                }
+                scratch.points.push(MenuPoint { peak_w, time_s, cand });
+            }
+            scratch.menus.push(MenuRef {
+                queue_idx,
+                width: job.nodes,
+                key,
+                start,
+                len: scratch.points.len() - start,
+            });
         }
 
-        // Decide: menu per job, floor allocation, then greedy upgrades.
-        let startable_n = startable.len();
-        let mut menus: Vec<(usize, usize, Vec<OperatingPoint>)> = Vec::new();
-        for (queue_idx, job) in startable {
-            let menu = self.upgrade_menu(ctx, job, headroom_w / job.nodes as f64 + ctx.node_idle_w);
-            menus.push((queue_idx, job.nodes, menu));
-        }
         // Floor: every job at its cheapest point; jobs whose floor no longer
         // fits (or that have no feasible point at all) wait, and — strict
         // order — so does everything behind them.
-        let mut chosen: Vec<usize> = Vec::new(); // index into each menu
         let mut spent_w = 0.0;
         let mut admitted = 0usize;
-        for (_, width, menu) in &menus {
-            let Some(floor) = menu.first() else { break };
-            let extra = (floor.peak_w - ctx.node_idle_w) * *width as f64;
+        for m in &scratch.menus {
+            if m.len == 0 {
+                break;
+            }
+            let floor = scratch.points[m.start];
+            let extra = (floor.peak_w - ctx.node_idle_w) * m.width as f64;
             if spent_w + extra > headroom_w + EPS {
                 break;
             }
             spent_w += extra;
-            chosen.push(0);
+            scratch.chosen.push(0);
             admitted += 1;
         }
-        menus.truncate(admitted);
+        scratch.menus.truncate(admitted);
 
         // Greedy upgrades: spend the remaining watts where a watt buys the
         // most time. Memory-bound jobs offer near-zero ratios, so the watts
@@ -278,10 +339,13 @@ impl<C: PowerPerfController> CapCoordinator<C> {
         // slack.
         loop {
             let mut best: Option<(usize, f64)> = None; // (menu idx, ratio)
-            for (i, (_, width, menu)) in menus.iter().enumerate() {
-                let cur = &menu[chosen[i]];
-                let Some(next) = menu.get(chosen[i] + 1) else { continue };
-                let extra = (next.peak_w - cur.peak_w) * *width as f64;
+            for (i, m) in scratch.menus.iter().enumerate() {
+                let cur = scratch.points[m.start + scratch.chosen[i]];
+                if scratch.chosen[i] + 1 >= m.len {
+                    continue;
+                }
+                let next = scratch.points[m.start + scratch.chosen[i] + 1];
+                let extra = (next.peak_w - cur.peak_w) * m.width as f64;
                 if spent_w + extra > headroom_w + EPS {
                     continue;
                 }
@@ -291,33 +355,39 @@ impl<C: PowerPerfController> CapCoordinator<C> {
                 }
             }
             let Some((i, _)) = best else { break };
-            let (_, width, menu) = &menus[i];
-            spent_w += (menu[chosen[i] + 1].peak_w - menu[chosen[i]].peak_w) * *width as f64;
-            chosen[i] += 1;
+            let m = scratch.menus[i];
+            let pick = scratch.chosen[i];
+            spent_w += (scratch.points[m.start + pick + 1].peak_w
+                - scratch.points[m.start + pick].peak_w)
+                * m.width as f64;
+            scratch.chosen[i] += 1;
         }
 
-        let caps: Vec<JobCap> = menus
+        let caps: Vec<JobCap> = scratch
+            .menus
             .iter()
-            .zip(&chosen)
-            .map(|((queue_idx, width, menu), &pick)| {
-                let point = &menu[pick];
+            .zip(&scratch.chosen)
+            .map(|(m, &pick)| {
+                let point = scratch.points[m.start + pick];
                 JobCap {
-                    queue_idx: *queue_idx,
-                    width: *width,
+                    queue_idx: m.queue_idx,
+                    width: m.width,
                     node_cap_w: point.peak_w,
-                    plan: point.plan.clone(),
+                    plan: self.menu_cache[&m.key][point.cand].plan.clone(),
                 }
             })
             .collect();
+        let upgrades: usize = scratch.chosen.iter().sum();
+        self.scratch = scratch;
         validate_caps(&caps, headroom_w, ctx.node_idle_w)?;
         if let (Some(sink), Some(started)) = (&self.telemetry, started) {
-            sink.record(&TraceEvent::Redistribute {
+            sink.record_owned(TraceEvent::Redistribute {
                 time_s: ctx.now,
                 startable: startable_n,
                 admitted,
                 headroom_before_w: headroom_w,
                 headroom_after_w: headroom_w - spent_w,
-                upgrades: chosen.iter().sum(),
+                upgrades,
                 latency_ns: started.elapsed().as_nanos() as u64,
             });
         }

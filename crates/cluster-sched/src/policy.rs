@@ -22,9 +22,7 @@
 //! k × its per-node plan peak, and every node runs the same plan.
 
 use actor_core::control_plane::ControlPlane;
-use actor_core::controller::{
-    CandidatePerf, DecisionTableController, DvfsSpace, PowerPerfController,
-};
+use actor_core::controller::{DecisionTableController, DvfsSpace, PowerPerfController};
 use phase_rt::MachineShape;
 use xeon_sim::Configuration;
 
@@ -340,20 +338,15 @@ pub(crate) fn decide_choices_via_plane<C: PowerPerfController>(
     for (idx, phase) in k.phases.iter().enumerate() {
         let pid = ctx.model.phase_id(benchmark, idx);
         plane.observe_once(pid, || phase.sample());
-        let candidates: Vec<CandidatePerf> = phase
-            .executions
-            .iter()
-            .map(|(config, exec)| CandidatePerf {
-                config: *config,
-                avg_power_w: Some(exec.avg_power_w),
-            })
-            .collect();
-        let joint = if dvfs { phase.joint_candidates() } else { Vec::new() };
+        // Both menus are borrowed from the model's per-phase caches — the
+        // planning loop allocates nothing per decide beyond the returned
+        // choices.
+        let joint = if dvfs { phase.joint_candidates() } else { &[] };
         let pd = plane
             .decide(
                 pid,
-                &candidates,
-                dvfs.then_some(DvfsSpace { ladder, joint: &joint }),
+                phase.candidate_menu(),
+                dvfs.then_some(DvfsSpace { ladder, joint }),
                 Some(node_cap),
             )
             .unwrap_or_else(|v| panic!("{v} (planning {benchmark} phase {idx})"));

@@ -41,9 +41,49 @@ pub struct PhaseKnowledge {
     /// Executions of the *downclocked* joint cells: one entry per
     /// (configuration, ladder step ≥ 1). Step 0 lives in `executions`.
     pub dvfs_executions: Vec<((Configuration, usize), PhaseExecution)>,
+    /// Cached candidate menu (one [`CandidatePerf`] per nominal execution),
+    /// derived from `executions` at construction so the planning hot path
+    /// borrows it instead of rebuilding a `Vec` per decide.
+    candidates: Vec<CandidatePerf>,
+    /// Cached joint menu (see [`PhaseKnowledge::joint_candidates`]),
+    /// derived from `executions` + `dvfs_executions` at construction.
+    joint: Vec<JointPerf>,
 }
 
 impl PhaseKnowledge {
+    /// Builds one phase's knowledge, deriving the cached candidate and
+    /// joint menus from the executions.
+    pub fn new(
+        name: String,
+        decision: ThrottleDecision,
+        features: Vec<f64>,
+        executions: Vec<(Configuration, PhaseExecution)>,
+        dvfs_executions: Vec<((Configuration, usize), PhaseExecution)>,
+    ) -> Self {
+        let candidates: Vec<CandidatePerf> = executions
+            .iter()
+            .map(|(config, exec)| CandidatePerf {
+                config: *config,
+                avg_power_w: Some(exec.avg_power_w),
+            })
+            .collect();
+        let mut joint: Vec<JointPerf> = executions
+            .iter()
+            .map(|(config, exec)| JointPerf {
+                config: *config,
+                step: FreqStep::NOMINAL,
+                avg_power_w: Some(exec.avg_power_w),
+                stall_fraction: Some(exec.stall_fraction()),
+            })
+            .collect();
+        joint.extend(dvfs_executions.iter().map(|((config, step), exec)| JointPerf {
+            config: *config,
+            step: FreqStep::new(*step as u8),
+            avg_power_w: Some(exec.avg_power_w),
+            stall_fraction: Some(exec.stall_fraction()),
+        }));
+        Self { name, decision, features, executions, dvfs_executions, candidates, joint }
+    }
     /// Execution of this phase under `config` at the nominal frequency.
     pub fn execution(&self, config: Configuration) -> &PhaseExecution {
         &self
@@ -93,24 +133,15 @@ impl PhaseKnowledge {
     /// contention-solved stall/compute split instead of the single sampled
     /// one (narrow configurations contend less for the bus, so the sampled
     /// split systematically overstates how well they tolerate downclocking).
-    pub fn joint_candidates(&self) -> Vec<JointPerf> {
-        let mut joint: Vec<JointPerf> = self
-            .executions
-            .iter()
-            .map(|(config, exec)| JointPerf {
-                config: *config,
-                step: FreqStep::NOMINAL,
-                avg_power_w: Some(exec.avg_power_w),
-                stall_fraction: Some(exec.stall_fraction()),
-            })
-            .collect();
-        joint.extend(self.dvfs_executions.iter().map(|((config, step), exec)| JointPerf {
-            config: *config,
-            step: FreqStep::new(*step as u8),
-            avg_power_w: Some(exec.avg_power_w),
-            stall_fraction: Some(exec.stall_fraction()),
-        }));
-        joint
+    pub fn joint_candidates(&self) -> &[JointPerf] {
+        &self.joint
+    }
+
+    /// The nominal candidate menu (one entry per pre-simulated
+    /// configuration, with its average power), cached at construction — the
+    /// `candidates` slice a [`actor_core::controller::DecisionCtx`] borrows.
+    pub fn candidate_menu(&self) -> &[CandidatePerf] {
+        &self.candidates
     }
 
     /// Predicted (or, for the sampling configuration, observed) IPC of this
@@ -137,13 +168,9 @@ impl PhaseKnowledge {
     /// definition of the selection rule
     /// ([`actor_core::controller::best_config_by_ipc`]).
     pub fn best_config_within(&self, power_cap_w: f64) -> Option<Configuration> {
-        best_config_by_ipc(
-            self.executions
-                .iter()
-                .map(|(c, exec)| CandidatePerf { config: *c, avg_power_w: Some(exec.avg_power_w) }),
-            Some(power_cap_w),
-            |config| self.predicted_ipc(config),
-        )
+        best_config_by_ipc(self.candidates.iter().copied(), Some(power_cap_w), |config| {
+            self.predicted_ipc(config)
+        })
         .map(|(c, _)| c)
     }
 }
@@ -241,13 +268,13 @@ impl WorkloadModel {
                         dvfs_executions
                             .extend(ladder_execs.enumerate().map(|(i, e)| ((c, i + 1), e)));
                     }
-                    PhaseKnowledge {
-                        name: phase.name.clone(),
-                        decision: pe.decision.clone(),
-                        features: pe.features.clone(),
+                    PhaseKnowledge::new(
+                        phase.name.clone(),
+                        pe.decision.clone(),
+                        pe.features.clone(),
                         executions,
                         dvfs_executions,
-                    }
+                    )
                 })
                 .collect();
             benchmarks.push((profile.id, BenchmarkKnowledge { profile, phases }));

@@ -30,6 +30,18 @@
 //!    adaptation harness, the live runtime and the cluster policies all
 //!    use) produces bit-identical decisions to driving the controller
 //!    directly.
+//! 8. **Cap-axis consistency** — in the joint (DVFS) context, a decision is
+//!    a pure, piecewise-constant function of the power cap: probing every
+//!    bucket boundary of the joint menu's distinct cell powers (ε below,
+//!    exactly at, and ε above each, in ascending order on one instance and
+//!    descending on another) yields bit-identical decisions per
+//!    (phase, cap), caps inside one bucket decide identically, and a cap
+//!    admitting every known-power cell decides exactly like no cap. This
+//!    is the invariant that lets [`crate::controller::InternedJointPolicy`]
+//!    intern per-cap-bucket winners — any interned table that diverges
+//!    from the live ranking (stale entries, mis-bucketed threshold
+//!    search, order-dependent cache state) breaks one of these
+//!    equalities.
 //!
 //! The harness drives the controller with a deterministic synthetic script
 //! (no RNG, no wall clock) and panics with a named violation on the first
@@ -395,6 +407,131 @@ fn assert_conformance_in_mode(
     }
 }
 
+/// Two decisions that agree up to the cap embedded in an
+/// [`Rationale::Infeasible`] flag: caps in the same bucket must actuate the
+/// same cell, but an infeasible decision faithfully reports the cap it
+/// could not satisfy, which legitimately differs across probes.
+fn same_modulo_infeasible_cap(a: &Decision, b: &Decision) -> bool {
+    a == b
+        || (matches!(a.rationale, Rationale::Infeasible { .. })
+            && matches!(b.rationale, Rationale::Infeasible { .. })
+            && a.binding == b.binding
+            && a.freq_step == b.freq_step)
+}
+
+/// Check 8: cap-axis consistency of the joint selection — the invariant the
+/// interned decision tables ([`crate::controller::InternedJointPolicy`])
+/// rely on. See the module docs for the contract.
+fn assert_cap_axis_consistency(
+    make: &mut dyn FnMut() -> Box<dyn PowerPerfController>,
+    options: &ConformanceOptions,
+    ladder: &FreqLadder,
+) {
+    let shape = MachineShape::quad_core();
+    let candidates = candidates_with_power();
+    let joint = joint_with_power(ladder);
+    let dvfs = DvfsSpace { ladder, joint: &joint };
+
+    // Every power the admissibility test can observe, sorted: the cap
+    // values at which the admissible cell set — and therefore the live
+    // ranking or any faithfully interned table — may change.
+    let mut thresholds: Vec<f64> = joint.iter().filter_map(|cell| cell.avg_power_w).collect();
+    thresholds.sort_by(f64::total_cmp);
+    thresholds.dedup();
+    // Probe below every threshold (the nothing-admissible bucket), then
+    // straddle each boundary, then uncapped.
+    let mut caps: Vec<Option<f64>> = vec![Some(thresholds[0] - 1.0)];
+    for &w in &thresholds {
+        caps.extend([Some(w - 1e-6), Some(w), Some(w + 1e-6)]);
+    }
+    caps.push(None);
+
+    let observe_script = |controller: &mut dyn PowerPerfController| {
+        for phase in 0..PHASES {
+            controller.observe(
+                PhaseId::new(phase as u32),
+                &script_sample(
+                    phase,
+                    Configuration::SAMPLE,
+                    FreqStep::NOMINAL,
+                    options.feature_dim,
+                    ladder,
+                ),
+            );
+        }
+    };
+    let decide_at = |controller: &mut dyn PowerPerfController, phase: usize, cap: Option<f64>| {
+        controller.decide(&DecisionCtx {
+            phase: PhaseId::new(phase as u32),
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: cap,
+            dvfs: Some(dvfs),
+        })
+    };
+
+    let mut fwd = make();
+    let name = fwd.name();
+    observe_script(fwd.as_mut());
+    let mut decisions = Vec::with_capacity(caps.len() * PHASES);
+    for &cap in &caps {
+        for phase in 0..PHASES {
+            let decision = decide_at(fwd.as_mut(), phase, cap);
+            check_in_space(name, &shape, &decision, Some(ladder));
+            decisions.push(decision);
+        }
+    }
+
+    // Purity: sweeping the same caps in the opposite order on a fresh
+    // instance must reproduce every decision bit-for-bit — stale or
+    // order-dependent interned state diverges here.
+    let mut bwd = make();
+    observe_script(bwd.as_mut());
+    for (ci, &cap) in caps.iter().enumerate().rev() {
+        for phase in (0..PHASES).rev() {
+            let decision = decide_at(bwd.as_mut(), phase, cap);
+            assert_eq!(
+                decisions[ci * PHASES + phase],
+                decision,
+                "{name}: sweeping the cap axis in the opposite order changed the decision for \
+                 phase {phase} at cap {cap:?} — cached/interned decision state must be \
+                 indistinguishable from a live re-rank"
+            );
+        }
+    }
+
+    // Piecewise constancy: a cap exactly at a threshold and one ε above it
+    // admit the same cell set, so they must decide identically.
+    for (ti, &w) in thresholds.iter().enumerate() {
+        let at = 1 + ti * 3 + 1;
+        for phase in 0..PHASES {
+            let on = &decisions[at * PHASES + phase];
+            let above = &decisions[(at + 1) * PHASES + phase];
+            assert!(
+                same_modulo_infeasible_cap(on, above),
+                "{name}: caps {w} and {} admit the same cells but decide differently for phase \
+                 {phase} ({on:?} vs {above:?}) — the selection must be piecewise-constant \
+                 between the menu's cell powers",
+                w + 1e-6
+            );
+        }
+    }
+
+    // A cap admitting every known-power cell is the same admissible set as
+    // no cap at all — the uncapped bucket of an interned table.
+    let top = 1 + (thresholds.len() - 1) * 3 + 1;
+    let uncapped = caps.len() - 1;
+    for phase in 0..PHASES {
+        let capped = &decisions[top * PHASES + phase];
+        let free = &decisions[uncapped * PHASES + phase];
+        assert!(
+            same_modulo_infeasible_cap(capped, free),
+            "{name}: a cap admitting every cell decided {capped:?} but no cap decided {free:?} \
+             for phase {phase} — the uncapped bucket must match the cap-free ranking"
+        );
+    }
+}
+
 /// Asserts the full conformance contract for a controller family.
 ///
 /// `make` must build a *fresh but identically-constructed* controller on
@@ -402,7 +539,8 @@ fn assert_conformance_in_mode(
 /// the script on two instances and requires identical traces. The whole
 /// suite runs twice — once with a nominal-only context (checking the
 /// nominal fallback) and once offering the frequency ladder (checking
-/// ladder validity over the joint space).
+/// ladder validity over the joint space) — and the DVFS context is then
+/// probed along the cap axis (check 8).
 pub fn assert_controller_conformance(
     mut make: impl FnMut() -> Box<dyn PowerPerfController>,
     options: &ConformanceOptions,
@@ -410,6 +548,7 @@ pub fn assert_controller_conformance(
     assert_conformance_in_mode(&mut make, options, None);
     let ladder = script_ladder();
     assert_conformance_in_mode(&mut make, options, Some(&ladder));
+    assert_cap_axis_consistency(&mut make, options, &ladder);
 }
 
 #[cfg(test)]

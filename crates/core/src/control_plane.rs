@@ -32,8 +32,8 @@ use phase_rt::{FreqStep, MachineShape, PhaseId};
 use xeon_sim::Configuration;
 
 use crate::controller::{
-    validate_decision, CandidatePerf, Decision, DecisionCtx, DvfsSpace, PhaseSample,
-    PowerPerfController,
+    validate_decision_with, CandidatePerf, ConfigurationMap, Decision, DecisionCtx, DvfsSpace,
+    PhaseSample, PowerPerfController,
 };
 use crate::telemetry::{clock, SharedSink, TraceEvent};
 
@@ -49,7 +49,12 @@ const LATENCY_SAMPLE_EVERY: u64 = 16;
 /// ~400 ns decision. Fibonacci hashing on the raw phase id is one
 /// multiply and mixes well enough for a table keyed by dense-ish ids.
 #[derive(Default)]
-struct PhaseIdHasher(u64);
+pub(crate) struct PhaseIdHasher(u64);
+
+/// A `PhaseId`-keyed map using [`PhaseIdHasher`] — the map type for every
+/// per-phase table on the decide hot path (here and in
+/// [`crate::controller::DecisionTableController`]).
+pub(crate) type PhaseMap<V> = HashMap<PhaseId, V, BuildHasherDefault<PhaseIdHasher>>;
 
 impl Hasher for PhaseIdHasher {
     fn write(&mut self, bytes: &[u8]) {
@@ -124,12 +129,16 @@ pub struct ControlPlane<C: PowerPerfController> {
     // Per-phase (ipc, stall_fraction) from the sampling window, kept only
     // while a sink is attached so decision records can carry the counters
     // that informed them. Empty (never touched) when telemetry is off.
-    observed_stats: HashMap<PhaseId, (f64, f64), BuildHasherDefault<PhaseIdHasher>>,
+    observed_stats: PhaseMap<(f64, f64)>,
     // Calibrated TSC scale, captured when a sink attaches; `unattached`
     // (Instant fallback) otherwise. Only read on the traced path.
     clock: clock::FastClock,
     /// Traced decisions so far — drives latency sampling.
     decides: u64,
+    // Binding → configuration lookup precomputed for `shape`, so per-decide
+    // validation is five slice compares instead of five binding
+    // constructions (each a heap allocation).
+    configs: ConfigurationMap,
 }
 
 impl<C: PowerPerfController + fmt::Debug> fmt::Debug for ControlPlane<C> {
@@ -148,6 +157,7 @@ impl<C: PowerPerfController> ControlPlane<C> {
     pub fn new(controller: C, shape: MachineShape) -> Self {
         Self {
             controller,
+            configs: ConfigurationMap::new(&shape),
             shape,
             observed: HashSet::new(),
             telemetry: None,
@@ -273,11 +283,11 @@ impl<C: PowerPerfController> ControlPlane<C> {
         };
         let decision = self.controller.decide(&ctx);
         let ladder_len = dvfs.map_or(1, |space| space.ladder.len());
-        match validate_decision(&decision, &self.shape, ladder_len, dvfs.is_some()) {
+        match validate_decision_with(&decision, &self.configs, ladder_len, dvfs.is_some()) {
             Ok(config) => {
                 if let Some(sink) = &self.telemetry {
                     let stats = self.observed_stats.get(&phase);
-                    sink.record(&TraceEvent::Decision {
+                    sink.record_owned(TraceEvent::Decision {
                         phase: phase.raw(),
                         controller: self.controller.name(),
                         candidates: candidates.len(),

@@ -52,6 +52,7 @@ use xeon_sim::{Configuration, FreqLadder, Machine};
 
 use npb_workloads::BenchmarkProfile;
 
+use crate::control_plane::PhaseMap;
 use crate::predictor::{AnnPredictor, IpcPredictor};
 use crate::throttle::{select_configuration, ThrottleDecision};
 
@@ -351,6 +352,34 @@ pub fn configuration_of(binding: &Binding, shape: &MachineShape) -> Option<Confi
     Configuration::ALL.iter().copied().find(|&c| binding_for(c, shape) == *binding)
 }
 
+/// The five paper bindings for one machine shape, precomputed so binding →
+/// configuration lookups are slice compares instead of five fresh binding
+/// constructions (each a heap allocation). [`ControlPlane`] builds one per
+/// plane and validates every decision through it — on the decide hot path
+/// the construction cost dominated the decision itself.
+///
+/// [`ControlPlane`]: crate::control_plane::ControlPlane
+#[derive(Debug, Clone)]
+pub struct ConfigurationMap {
+    entries: [(Binding, Configuration); Configuration::ALL.len()],
+}
+
+impl ConfigurationMap {
+    /// Precomputes the canonical binding of every paper configuration on
+    /// `shape`.
+    pub fn new(shape: &MachineShape) -> Self {
+        Self { entries: Configuration::ALL.map(|c| (binding_for(c, shape), c)) }
+    }
+
+    /// Which paper configuration `binding` realises, if any. Scans in
+    /// [`Configuration::ALL`] order — exactly [`configuration_of`]'s
+    /// semantics (clamped shapes can map one binding to two configurations;
+    /// the first wins in both).
+    pub fn lookup(&self, binding: &Binding) -> Option<Configuration> {
+        self.entries.iter().find(|(b, _)| b == binding).map(|(_, c)| *c)
+    }
+}
+
 /// The logical shape of a simulated machine, for actuating decisions on it.
 pub fn shape_of(machine: &Machine) -> MachineShape {
     let topo = machine.topology();
@@ -376,7 +405,18 @@ pub fn validate_decision(
     ladder_len: usize,
     dvfs_offered: bool,
 ) -> Result<Configuration, String> {
-    let Some(config) = decision.configuration(shape) else {
+    validate_decision_with(decision, &ConfigurationMap::new(shape), ladder_len, dvfs_offered)
+}
+
+/// [`validate_decision`] against a precomputed [`ConfigurationMap`] —
+/// allocation-free, for callers validating many decisions on one shape.
+pub fn validate_decision_with(
+    decision: &Decision,
+    configs: &ConfigurationMap,
+    ladder_len: usize,
+    dvfs_offered: bool,
+) -> Result<Configuration, String> {
+    let Some(config) = configs.lookup(&decision.binding) else {
         return Err(format!(
             "binding {:?} is not one of the paper's five configurations",
             decision.binding.cores()
@@ -563,6 +603,137 @@ pub fn best_joint_by_throughput(
     best.map(|(config, step, ipc, _)| (config, step, ipc))
 }
 
+/// Interned winners of [`best_joint_by_throughput`] over the power-cap axis
+/// for one fixed (candidates, joint space, stall, IPC) menu.
+///
+/// The selection rule is piecewise-constant in the cap: every per-cell
+/// quantity (throughput, expected IPC) is cap-independent, and the cap
+/// enters only through the admissibility test `power <= cap`, so the winner
+/// can change only where the cap crosses one of the menu's known cell
+/// powers. Building the table runs the live ranking once per distinct power
+/// threshold — the interned winners are the ranking function's own outputs,
+/// byte-identical by construction — and a steady-state lookup is a binary
+/// search over the thresholds plus a table read instead of a full re-rank
+/// of the joint grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternedJointPolicy {
+    /// Distinct known cell powers, sorted ascending: the caps at which the
+    /// admissible set (and therefore the winner) can change.
+    thresholds: Vec<f64>,
+    /// `winners[i]` is the ranking result for any cap with exactly `i`
+    /// thresholds at or below it; `winners[thresholds.len()]` admits every
+    /// known-power cell and doubles as the uncapped winner. `None` means
+    /// nothing is admissible ([`Rationale::Infeasible`] downstream).
+    winners: Vec<Option<(Configuration, FreqStep, f64)>>,
+}
+
+impl InternedJointPolicy {
+    /// Interns the winner per cap bucket by running
+    /// [`best_joint_by_throughput`] once per distinct cell power (plus one
+    /// bucket for caps below all of them).
+    pub fn build(
+        candidates: &[CandidatePerf],
+        space: &DvfsSpace<'_>,
+        stall_fraction: f64,
+        mut nominal_ipc_of: impl FnMut(Configuration) -> f64,
+    ) -> Self {
+        // Collect every power the admissibility test can observe: per-cell
+        // powers, with the candidate's nominal power as the nominal-step
+        // fallback — the exact lookup the live ranking performs.
+        let mut thresholds = Vec::with_capacity(candidates.len() * space.ladder.len());
+        for cand in candidates {
+            for step_idx in 0..space.ladder.len() {
+                let step = FreqStep::new(step_idx.min(u8::MAX as usize) as u8);
+                let power = if step.is_nominal() {
+                    space.power_of(cand.config, step).or(cand.avg_power_w)
+                } else {
+                    space.power_of(cand.config, step)
+                };
+                if let Some(w) = power {
+                    thresholds.push(w);
+                }
+            }
+        }
+        thresholds.sort_by(f64::total_cmp);
+        thresholds.dedup_by(|a, b| a == b);
+        let winners = (0..=thresholds.len())
+            .map(|i| {
+                // Bucket 0 admits only unknown-power cells; bucket i ≥ 1 is
+                // represented by its lowest admitted threshold (every cap in
+                // the bucket admits the same cell set, so the winner — and
+                // its cap-independent expected IPC — is identical).
+                let cap = match i.checked_sub(1) {
+                    None => f64::NEG_INFINITY,
+                    Some(t) => thresholds[t],
+                };
+                best_joint_by_throughput(
+                    candidates,
+                    space,
+                    Some(cap),
+                    stall_fraction,
+                    &mut nominal_ipc_of,
+                )
+            })
+            .collect();
+        Self { thresholds, winners }
+    }
+
+    /// The interned ranking result for `power_cap_w` — bit-identical to
+    /// calling [`best_joint_by_throughput`] with the same menu, for every
+    /// non-NaN cap. (A NaN cap admits every cell under the live rule but
+    /// defeats the threshold search; callers rank it live.)
+    pub fn lookup(&self, power_cap_w: Option<f64>) -> Option<(Configuration, FreqStep, f64)> {
+        let bucket = match power_cap_w {
+            None => self.thresholds.len(),
+            Some(cap) => self.thresholds.partition_point(|&t| t <= cap),
+        };
+        self.winners[bucket]
+    }
+
+    /// Number of cap buckets (distinct thresholds + 1).
+    pub fn buckets(&self) -> usize {
+        self.winners.len()
+    }
+}
+
+/// One phase's interned table plus the exact inputs it was built from. A
+/// decide whose context differs in any input — menu, ladder, or observed
+/// stall — rebuilds instead of serving a stale answer, so the caching is
+/// invisible to callers: validation is a handful of slice equality checks,
+/// far cheaper than the full joint re-rank it replaces.
+#[derive(Debug, Clone)]
+struct InternedEntry {
+    policy: InternedJointPolicy,
+    stall_bits: u64,
+    candidates: Vec<CandidatePerf>,
+    joint: Vec<JointPerf>,
+    ladder: FreqLadder,
+}
+
+impl InternedEntry {
+    fn build(
+        candidates: &[CandidatePerf],
+        space: &DvfsSpace<'_>,
+        stall: f64,
+        nominal_ipc_of: impl FnMut(Configuration) -> f64,
+    ) -> Self {
+        Self {
+            policy: InternedJointPolicy::build(candidates, space, stall, nominal_ipc_of),
+            stall_bits: stall.to_bits(),
+            candidates: candidates.to_vec(),
+            joint: space.joint.to_vec(),
+            ladder: space.ladder.clone(),
+        }
+    }
+
+    fn matches(&self, candidates: &[CandidatePerf], space: &DvfsSpace<'_>, stall: f64) -> bool {
+        self.stall_bits == stall.to_bits()
+            && self.candidates == candidates
+            && self.joint == space.joint
+            && self.ladder == *space.ladder
+    }
+}
+
 /// The fallback decision when nothing fits the cap: the lowest-power
 /// candidate, at the ladder bottom when a frequency axis is offered.
 fn infeasible_decision(ctx: &DecisionCtx<'_>) -> Decision {
@@ -722,16 +893,25 @@ impl<P: IpcPredictor> PowerPerfController for PredictorController<P> {
 /// cell wins — this is the joint DVFS+DCT deployment mode.
 #[derive(Debug, Clone, Default)]
 pub struct DecisionTableController {
-    table: HashMap<PhaseId, ThrottleDecision>,
+    table: PhaseMap<ThrottleDecision>,
     /// Memory-stall fraction per phase, observed from the sampling window;
     /// only consulted when a frequency axis is offered.
-    stall: HashMap<PhaseId, f64>,
+    stall: PhaseMap<f64>,
+    /// Interned joint winners per phase ([`InternedJointPolicy`]), built on
+    /// first joint decide and revalidated against the context's exact menu
+    /// on every use — the steady-state joint decide is a threshold binary
+    /// search instead of a full grid re-rank.
+    interned: PhaseMap<InternedEntry>,
 }
 
 impl DecisionTableController {
     /// Builds the controller from per-phase decisions.
     pub fn new(entries: impl IntoIterator<Item = (PhaseId, ThrottleDecision)>) -> Self {
-        Self { table: entries.into_iter().collect(), stall: HashMap::new() }
+        Self {
+            table: entries.into_iter().collect(),
+            stall: PhaseMap::default(),
+            interned: PhaseMap::default(),
+        }
     }
 }
 
@@ -759,13 +939,42 @@ impl PowerPerfController for DecisionTableController {
         };
         if let Some(space) = ctx.dvfs {
             let stall = self.stall.get(&ctx.phase).copied().unwrap_or(0.0);
-            return match best_joint_by_throughput(
-                ctx.candidates,
-                &space,
-                ctx.power_cap_w,
-                stall,
-                |c| decision.predicted_ipc(c),
-            ) {
+            // A NaN cap admits every cell under the live rule but defeats
+            // the interned threshold search: rank it live (it cannot arise
+            // from sane callers).
+            if ctx.power_cap_w.is_some_and(f64::is_nan) {
+                return match best_joint_by_throughput(
+                    ctx.candidates,
+                    &space,
+                    ctx.power_cap_w,
+                    stall,
+                    |c| decision.predicted_ipc(c),
+                ) {
+                    Some((config, step, expected_ipc)) => Decision::joint(
+                        config,
+                        step,
+                        ctx.shape,
+                        Rationale::Predicted { expected_ipc },
+                    ),
+                    None => infeasible_decision(ctx),
+                };
+            }
+            let entry = self
+                .interned
+                .entry(ctx.phase)
+                .and_modify(|e| {
+                    if !e.matches(ctx.candidates, &space, stall) {
+                        *e = InternedEntry::build(ctx.candidates, &space, stall, |c| {
+                            decision.predicted_ipc(c)
+                        });
+                    }
+                })
+                .or_insert_with(|| {
+                    InternedEntry::build(ctx.candidates, &space, stall, |c| {
+                        decision.predicted_ipc(c)
+                    })
+                });
+            return match entry.policy.lookup(ctx.power_cap_w) {
                 Some((config, step, expected_ipc)) => {
                     Decision::joint(config, step, ctx.shape, Rationale::Predicted { expected_ipc })
                 }
@@ -1591,6 +1800,133 @@ mod tests {
             let cell = (d.configuration(&shape).unwrap(), d.freq_step);
             c.observe(phase, &PhaseSample::measurement_at(cell.0, cell.1, 3.0));
         }
+    }
+
+    #[test]
+    fn interned_policy_matches_live_ranking_bitwise_across_the_cap_axis() {
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.5, vdd: 1.1 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let joint = joint_fixture(&ladder);
+        let space = DvfsSpace { ladder: &ladder, joint: &joint };
+        let powers = [95.0, 120.0, 125.0, 140.0, 160.0];
+        let candidates: Vec<CandidatePerf> = Configuration::ALL
+            .iter()
+            .zip(powers)
+            .map(|(&config, w)| CandidatePerf { config, avg_power_w: Some(w) })
+            .collect();
+        let ipc_of = |c: Configuration| match c {
+            Configuration::One => 0.9,
+            Configuration::TwoTight => 1.3,
+            Configuration::TwoLoose => 1.45,
+            Configuration::Three => 1.5,
+            Configuration::Four => 1.55,
+        };
+        for stall in [0.0, 0.35, 0.9] {
+            let interned = InternedJointPolicy::build(&candidates, &space, stall, ipc_of);
+            // Probe every threshold exactly, just under, just over, far
+            // below everything, far above everything, and the uncapped case.
+            let mut caps: Vec<Option<f64>> = vec![None, Some(1.0), Some(1e6)];
+            for cell in &joint {
+                let w = cell.avg_power_w.unwrap();
+                caps.extend([Some(w), Some(w - 1e-9), Some(w + 1e-9)]);
+            }
+            for cap in caps {
+                let live = best_joint_by_throughput(&candidates, &space, cap, stall, ipc_of);
+                let fast = interned.lookup(cap);
+                match (live, fast) {
+                    (None, None) => {}
+                    (Some((lc, ls, li)), Some((fc, fs, fi))) => {
+                        assert_eq!((lc, ls), (fc, fs), "cap {cap:?} stall {stall}");
+                        assert_eq!(
+                            li.to_bits(),
+                            fi.to_bits(),
+                            "expected IPC diverged at cap {cap:?} stall {stall}"
+                        );
+                    }
+                    (live, fast) => panic!("cap {cap:?}: live {live:?} vs interned {fast:?}"),
+                }
+            }
+            assert_eq!(interned.buckets(), interned.thresholds.len() + 1);
+        }
+    }
+
+    #[test]
+    fn table_controller_interning_is_invisible_and_tracks_stall_updates() {
+        let ladder = FreqLadder::new(vec![
+            xeon_sim::FreqPoint { ghz: 2.0, vdd: 1.2 },
+            xeon_sim::FreqPoint { ghz: 1.0, vdd: 1.0 },
+        ])
+        .unwrap();
+        let joint = joint_fixture(&ladder);
+        let shape = quad();
+        let phase = PhaseId::new(0);
+        let decision = select_configuration(
+            1.55,
+            &[
+                (Configuration::One, 0.9),
+                (Configuration::TwoTight, 1.3),
+                (Configuration::TwoLoose, 1.45),
+                (Configuration::Three, 1.5),
+            ],
+        );
+        let candidates = CandidatePerf::all_unknown();
+        let caps: Vec<Option<f64>> = std::iter::once(None)
+            .chain(joint.iter().map(|c| Some(c.avg_power_w.unwrap() + 0.5)))
+            .collect();
+        let mut cached = DecisionTableController::new([(phase, decision.clone())]);
+        for stall in [0.9, 0.1] {
+            // Re-observing with a new stall split must invalidate the
+            // interned table, not serve answers priced with the old μ.
+            cached.observe(
+                phase,
+                &PhaseSample::sampling(vec![1.0], 1.55, 1.0).with_stall_fraction(stall),
+            );
+            for &cap in &caps {
+                // A fresh controller re-ranks live every time (its interned
+                // table is built and used exactly once per decide).
+                let mut live = DecisionTableController::new([(phase, decision.clone())]);
+                live.observe(
+                    phase,
+                    &PhaseSample::sampling(vec![1.0], 1.55, 1.0).with_stall_fraction(stall),
+                );
+                let space = DvfsSpace { ladder: &ladder, joint: &joint };
+                let ctx = DecisionCtx {
+                    phase,
+                    shape: &shape,
+                    candidates: &candidates,
+                    power_cap_w: cap,
+                    dvfs: Some(space),
+                };
+                // Decide twice on the cached controller: the second decide
+                // is the pure table-lookup steady state.
+                let first = cached.decide(&ctx);
+                let second = cached.decide(&ctx);
+                let want = live.decide(&ctx);
+                assert_eq!(first, want, "cap {cap:?} stall {stall}");
+                assert_eq!(second, want, "steady-state lookup diverged at cap {cap:?}");
+            }
+        }
+        // A changed menu (different joint powers) also invalidates.
+        let mut shifted = joint.clone();
+        for cell in &mut shifted {
+            cell.avg_power_w = cell.avg_power_w.map(|w| w + 7.0);
+        }
+        let space = DvfsSpace { ladder: &ladder, joint: &shifted };
+        let ctx = DecisionCtx {
+            phase,
+            shape: &shape,
+            candidates: &candidates,
+            power_cap_w: Some(shifted[0].avg_power_w.unwrap() + 0.5),
+            dvfs: Some(space),
+        };
+        let got = cached.decide(&ctx);
+        let mut live = DecisionTableController::new([(phase, decision)]);
+        live.observe(phase, &PhaseSample::sampling(vec![1.0], 1.55, 1.0).with_stall_fraction(0.1));
+        assert_eq!(got, live.decide(&ctx), "menu change must rebuild the interned table");
     }
 
     #[test]

@@ -141,11 +141,20 @@ pub fn evaluate_benchmarks<R: Rng + ?Sized>(
         }
         let predictor = AnnPredictor::train(&training, &config.predictor, rng)?;
 
-        let mut phases = Vec::with_capacity(bench.phases.len());
+        // Sample every phase first (preserving the RNG draw order), then
+        // predict the whole benchmark's feature block in one batched call —
+        // one forward pass per target ensemble instead of one per phase.
+        let mut sampled = Vec::with_capacity(bench.phases.len());
         for phase in &bench.phases {
-            let rates = sample_phase(machine, phase, plan, config.measurement_noise, rng)?;
-            let predictions = predictor.predict(&rates.features())?;
-            let decision = select_configuration(rates.ipc(), &predictions);
+            sampled.push(sample_phase(machine, phase, plan, config.measurement_noise, rng)?);
+        }
+        let features: Vec<Vec<f64>> = sampled.iter().map(|r| r.features()).collect();
+        let all_predictions = predictor.predict_batch(&features)?;
+
+        let mut phases = Vec::with_capacity(bench.phases.len());
+        for ((phase, rates), predictions) in bench.phases.iter().zip(&sampled).zip(&all_predictions)
+        {
+            let decision = select_configuration(rates.ipc(), predictions);
             let observed_ipc: Vec<(Configuration, f64)> = Configuration::ALL
                 .iter()
                 .map(|&c| (c, machine.simulate_config(phase, c).aggregate_ipc))

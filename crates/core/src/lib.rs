@@ -75,8 +75,9 @@ pub use conformance::{assert_controller_conformance, ConformanceOptions};
 pub use control_plane::{ControlPlane, ControlViolation, PlaneDecision};
 pub use controller::{
     binding_for, configuration_of, frequency_scaled_ipc, frequency_throughput_scale, shape_of,
-    AnnController, CandidatePerf, Decision, DecisionCtx, DecisionTableController, DvfsSpace,
-    EmpiricalSearchController, JointPerf, JointSearchController, OracleController, PhaseSample,
+    validate_decision, validate_decision_with, AnnController, CandidatePerf, ConfigurationMap,
+    Decision, DecisionCtx, DecisionTableController, DvfsSpace, EmpiricalSearchController,
+    InternedJointPolicy, JointPerf, JointSearchController, OracleController, PhaseSample,
     PowerPerfController, PredictorController, Rationale, StaticController,
 };
 pub use corpus::{TrainingCorpus, TrainingSample};

@@ -23,6 +23,17 @@ pub trait IpcPredictor {
     /// the sampling configuration) for the given feature vector.
     fn predict(&self, features: &[f64]) -> Result<Vec<(Configuration, f64)>, ActorError>;
 
+    /// Predicts a whole batch of feature vectors at once, one prediction
+    /// list per input row. The default delegates row-by-row; batched
+    /// implementations override it with a single pass per model while
+    /// keeping every row bit-identical to [`IpcPredictor::predict`].
+    fn predict_batch(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<Vec<(Configuration, f64)>>, ActorError> {
+        rows.iter().map(|row| self.predict(row)).collect()
+    }
+
     /// The event set the predictor expects features for.
     fn event_set(&self) -> &EventSet;
 
@@ -105,6 +116,36 @@ impl IpcPredictor for AnnPredictor {
         Ok(out)
     }
 
+    /// One batched forward pass per target ensemble instead of one
+    /// per-sample pass per (row, ensemble) pair. Ensemble batch outputs are
+    /// bit-identical to per-row prediction (pinned in `annlib`), so the
+    /// assembled per-row lists match [`AnnPredictor::predict`] exactly.
+    fn predict_batch(
+        &self,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<Vec<(Configuration, f64)>>, ActorError> {
+        let expected = self.feature_dim();
+        for row in rows {
+            if row.len() != expected {
+                return Err(ActorError::FeatureMismatch { expected, actual: row.len() });
+            }
+        }
+        let mut out: Vec<Vec<(Configuration, f64)>> =
+            rows.iter().map(|_| Vec::with_capacity(self.models.len())).collect();
+        let mut scratch = annlib::EnsembleScratch::default();
+        let mut flat = Vec::new();
+        for (config, model) in &self.models {
+            model.predict_batch_into(rows, &mut scratch, &mut flat)?;
+            let width = flat.len() / rows.len().max(1);
+            for (row_out, ipc) in out.iter_mut().zip(flat.chunks_exact(width.max(1))) {
+                // IPC is physically non-negative; clamp tiny negative
+                // artefacts exactly as the per-row path does.
+                row_out.push((*config, ipc[0].max(0.0)));
+            }
+        }
+        Ok(out)
+    }
+
     fn event_set(&self) -> &EventSet {
         &self.event_set
     }
@@ -153,6 +194,26 @@ mod tests {
                 assert!(ipc.is_finite() && *ipc >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_predict() {
+        let corpus = corpus(&[BenchmarkId::Cg, BenchmarkId::Is, BenchmarkId::Mg]);
+        let mut rng = StdRng::seed_from_u64(29);
+        let predictor = AnnPredictor::train(&corpus, &PredictorConfig::fast(), &mut rng).unwrap();
+        let rows: Vec<Vec<f64>> =
+            corpus.samples.iter().take(6).map(|s| s.features.clone()).collect();
+        let batched = predictor.predict_batch(&rows).unwrap();
+        assert_eq!(batched.len(), rows.len());
+        for (row, preds) in rows.iter().zip(&batched) {
+            let single = predictor.predict(row).unwrap();
+            assert_eq!(preds.len(), single.len());
+            for ((ca, ia), (cb, ib)) in preds.iter().zip(&single) {
+                assert_eq!(ca, cb);
+                assert_eq!(ia.to_bits(), ib.to_bits(), "batched predictor diverged");
+            }
+        }
+        assert!(predictor.predict_batch(&[vec![1.0]]).is_err());
     }
 
     #[test]

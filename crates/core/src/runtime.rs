@@ -187,7 +187,7 @@ impl fmt::Debug for LiveLoop {
 enum Mode {
     Search { candidates: Vec<Binding>, state: Mutex<HashMap<PhaseId, SearchState>> },
     Fixed { plan: HashMap<PhaseId, Binding> },
-    Controller(Mutex<LiveLoop>),
+    Controller(Box<Mutex<LiveLoop>>),
 }
 
 /// The live ACTOR runtime.
@@ -220,13 +220,13 @@ impl ActorRuntime {
         shape: &phase_rt::MachineShape,
     ) -> Self {
         Self {
-            mode: Mode::Controller(Mutex::new(LiveLoop {
+            mode: Mode::Controller(Box::new(Mutex::new(LiveLoop {
                 plane: ControlPlane::new(controller, *shape),
                 candidates: CandidatePerf::all_unknown(),
                 power_cap_w: None,
                 sampler: None,
                 decisions: HashMap::new(),
-            })),
+            }))),
         }
     }
 

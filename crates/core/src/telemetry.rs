@@ -233,6 +233,25 @@ impl TraceEvent {
             _ => None,
         }
     }
+
+    /// The registry histogram name for this event's latency samples —
+    /// `"{kind}_latency_ns"`, precomputed so [`MetricsRegistry`] delivery
+    /// never allocates the `String` per event (or per batch) just to look
+    /// the histogram up.
+    pub fn latency_metric_name(&self) -> &'static str {
+        match self {
+            TraceEvent::Decision { .. } => "decision_latency_ns",
+            TraceEvent::JobArrival { .. } => "job_arrival_latency_ns",
+            TraceEvent::JobStart { .. } => "job_start_latency_ns",
+            TraceEvent::JobCompletion { .. } => "job_completion_latency_ns",
+            TraceEvent::Redistribute { .. } => "redistribute_latency_ns",
+            TraceEvent::SweepCell { .. } => "sweep_cell_latency_ns",
+            TraceEvent::Progress { .. } => "progress_latency_ns",
+            TraceEvent::WorkerConnected { .. } => "worker_connected_latency_ns",
+            TraceEvent::WorkerDead { .. } => "worker_dead_latency_ns",
+            TraceEvent::CellReassigned { .. } => "cell_reassigned_latency_ns",
+        }
+    }
 }
 
 impl Serialize for TraceEvent {
@@ -447,6 +466,16 @@ pub trait TelemetrySink: Send + Sync {
     /// Accepts one event. Called synchronously from the instrumented path.
     fn record(&self, event: &TraceEvent);
 
+    /// Accepts one event by value. Sinks that copy the event into owned
+    /// storage anyway ([`RingSink`], [`MemorySink`], [`BufferedSink`])
+    /// override this to consume it directly, so a hot-path caller pays one
+    /// event construction instead of build-plus-clone. The default
+    /// forwards to [`TelemetrySink::record`]; behaviour is identical
+    /// either way.
+    fn record_owned(&self, event: TraceEvent) {
+        self.record(&event);
+    }
+
     /// Accepts a batch of events in order.
     ///
     /// The default forwards to [`TelemetrySink::record`] per event; sinks
@@ -485,6 +514,8 @@ pub struct NullSink;
 
 impl TelemetrySink for NullSink {
     fn record(&self, _event: &TraceEvent) {}
+
+    fn record_owned(&self, _event: TraceEvent) {}
 
     fn record_batch(&self, _events: &[TraceEvent]) {}
 
@@ -536,6 +567,10 @@ impl MemorySink {
 impl TelemetrySink for MemorySink {
     fn record(&self, event: &TraceEvent) {
         self.events.lock().push(SpannedEvent::unspanned(event.clone()));
+    }
+
+    fn record_owned(&self, event: TraceEvent) {
+        self.events.lock().push(SpannedEvent::unspanned(event));
     }
 
     fn record_batch(&self, events: &[TraceEvent]) {
@@ -915,12 +950,13 @@ impl MetricsRegistry {
                 None => counts.push((kind, 1)),
             }
             if let Some(ns) = event.latency_ns() {
-                match latencies.iter_mut().find(|(k, _)| *k == kind) {
+                let name = event.latency_metric_name();
+                match latencies.iter_mut().find(|(k, _)| *k == name) {
                     Some((_, h)) => h.observe(ns),
                     None => {
                         let mut h = Histogram::default();
                         h.observe(ns);
-                        latencies.push((kind, h));
+                        latencies.push((name, h));
                     }
                 }
             }
@@ -937,12 +973,13 @@ impl MetricsRegistry {
                 }
             }
         }
-        for (kind, scratch) in latencies {
-            let name = format!("{kind}_latency_ns");
-            match inner.histograms.get_mut(&name) {
+        for (name, scratch) in latencies {
+            // `name` is the precomputed `&'static` histogram key; the
+            // `String` is only allocated the first time a kind appears.
+            match inner.histograms.get_mut(name) {
                 Some(histogram) => histogram.merge(&scratch),
                 None => {
-                    inner.histograms.insert(name, scratch);
+                    inner.histograms.insert(name.to_string(), scratch);
                 }
             }
         }
@@ -953,9 +990,22 @@ impl TelemetrySink for MetricsRegistry {
     fn record(&self, event: &TraceEvent) {
         let kind = event.kind();
         let mut inner = self.inner.lock();
-        *inner.counters.entry(kind.to_string()).or_insert(0) += 1;
+        match inner.counters.get_mut(kind) {
+            Some(counter) => *counter += 1,
+            None => {
+                inner.counters.insert(kind.to_string(), 1);
+            }
+        }
         if let Some(ns) = event.latency_ns() {
-            inner.histograms.entry(format!("{kind}_latency_ns")).or_default().observe(ns);
+            let name = event.latency_metric_name();
+            match inner.histograms.get_mut(name) {
+                Some(histogram) => histogram.observe(ns),
+                None => {
+                    let mut h = Histogram::default();
+                    h.observe(ns);
+                    inner.histograms.insert(name.to_string(), h);
+                }
+            }
         }
     }
 
@@ -1019,8 +1069,12 @@ impl fmt::Debug for BufferedSink {
 
 impl TelemetrySink for BufferedSink {
     fn record(&self, event: &TraceEvent) {
+        self.record_owned(event.clone());
+    }
+
+    fn record_owned(&self, event: TraceEvent) {
         let mut buf = self.buf.lock();
-        buf.push(SpannedEvent::unspanned(event.clone()));
+        buf.push(SpannedEvent::unspanned(event));
         if buf.len() >= self.capacity {
             let batch = std::mem::take(&mut *buf);
             // Deliver while still holding the lock so concurrent recorders

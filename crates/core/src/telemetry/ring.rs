@@ -400,6 +400,12 @@ impl TelemetrySink for RingSink {
         self.push_with(|| SpannedEvent::unspanned(event.clone()));
     }
 
+    fn record_owned(&self, event: TraceEvent) {
+        // The by-value path moves the caller's event straight into the
+        // claimed ring slot — no clone, one copy fewer than `record`.
+        self.push_with(|| SpannedEvent::unspanned(event));
+    }
+
     fn record_batch(&self, events: &[TraceEvent]) {
         for event in events {
             self.push_with(|| SpannedEvent::unspanned(event.clone()));

@@ -85,21 +85,14 @@ impl SchedulerPolicy for InlineLoopPowerAware {
                 if self.observed.insert(pid) {
                     self.controller.observe(pid, &phase.sample());
                 }
-                let candidates: Vec<CandidatePerf> = phase
-                    .executions
-                    .iter()
-                    .map(|(config, exec)| CandidatePerf {
-                        config: *config,
-                        avg_power_w: Some(exec.avg_power_w),
-                    })
-                    .collect();
-                let joint = if self.dvfs { phase.joint_candidates() } else { Vec::new() };
+                let candidates: &[CandidatePerf] = phase.candidate_menu();
+                let joint = if self.dvfs { phase.joint_candidates() } else { &[] };
                 let decision = self.controller.decide(&DecisionCtx {
                     phase: pid,
                     shape: &self.shape,
-                    candidates: &candidates,
+                    candidates,
                     power_cap_w: Some(node_cap),
-                    dvfs: self.dvfs.then_some(DvfsSpace { ladder, joint: &joint }),
+                    dvfs: self.dvfs.then_some(DvfsSpace { ladder, joint }),
                 });
                 let config =
                     validate_decision(&decision, &self.shape, ladder.len(), self.dvfs).unwrap();
