@@ -1,8 +1,8 @@
 //! `bench_check` — the CI bench-trajectory collector and regression gate.
 //!
 //! Reads the JSON artefacts the smoke bins just produced under `results/`
-//! (`cluster_sweep.json`, `coordinated_capping.json`, `decision_bench.json`,
-//! `fig_dvfs_dct.json`),
+//! (`cluster_sweep.json`, `coordinated_capping.json`, `scenario_sweep.json`,
+//! `decision_bench.json`, `fig_dvfs_dct.json`),
 //! collects their quantitative headlines into
 //! `results/BENCH_sweep.current.json` (uploaded by CI as the per-PR bench
 //! trajectory), and compares them against the committed baseline
@@ -164,6 +164,22 @@ fn collect() -> Trajectory {
             _ => None,
         });
         push("coordinated_vs_independent_tight_ed2_pct", tight);
+    }
+
+    if let Some(scenario) = load("scenario_sweep.json") {
+        // The scenario-engine acceptance headline: coordinated capping's
+        // mean ED² delta vs independent power-aware-dvfs over the
+        // heterogeneous (mixed-generation) cells of the scenario grid.
+        push(
+            "coordinated_vs_independent_hetero_ed2_pct",
+            scenario.get("coordinated_vs_independent_hetero_ed2_pct").and_then(as_f64),
+        );
+        // The homogeneous reference rides along so a trajectory diff shows
+        // whether a shift came from the coordinator or the fleet.
+        push(
+            "coordinated_vs_independent_uniform_ed2_pct",
+            scenario.get("coordinated_vs_independent_uniform_ed2_pct").and_then(as_f64),
+        );
     }
 
     if let Some(bench) = load("decision_bench.json") {

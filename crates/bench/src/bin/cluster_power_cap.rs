@@ -122,6 +122,7 @@ fn main() {
             config: harness.args.config(),
             benchmarks: BenchmarkId::ALL.to_vec(),
             workload: "default".into(),
+            machines: spec.mix_names().unwrap_or_else(|e| panic!("{e}")),
             max_node_w: spec.max_node_w,
             heartbeat_ms: 250,
             run_id: Harness::run_id(),

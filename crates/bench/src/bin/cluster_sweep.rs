@@ -79,6 +79,7 @@ fn main() {
             config: args.config(),
             benchmarks: BenchmarkId::ALL.to_vec(),
             workload: "light".into(),
+            machines: spec.mix_names().unwrap_or_else(|e| panic!("{e}")),
             max_node_w: spec.max_node_w,
             heartbeat_ms: 250,
             run_id: Harness::run_id(),

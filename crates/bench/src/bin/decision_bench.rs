@@ -288,6 +288,8 @@ fn main() {
                 cluster_sched::sweep::DEFAULT_MAX_NODE_W,
                 0.7,
             ),
+            machines: cluster_sched::MachineMix::uniform(),
+            faults: cluster_sched::FaultSpec::default(),
             workload: WorkloadSpec {
                 num_jobs: 4 * nodes,
                 mean_interarrival_s: 12.0 / nodes as f64,

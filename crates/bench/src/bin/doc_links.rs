@@ -1,0 +1,167 @@
+//! `doc_links` — the CI dead-link checker for the prose docs.
+//!
+//! Scans `README.md`, `ROADMAP.md`, `CHANGES.md` and every `docs/*.md` for
+//! Markdown links and validates the **relative** ones against the working
+//! tree: `[text](path)`, `[text](path#anchor)` and bare reference
+//! definitions (`[label]: path`). Absolute URLs (`http://`, `https://`),
+//! `mailto:` and pure in-page anchors (`#section`) are skipped — CI must
+//! not depend on the network. A link to a missing file or directory fails
+//! the run and names every offender.
+//!
+//! Usage: `cargo run --bin doc_links` from the repository root (CI runs it
+//! there). Exit code 0 = every relative link resolves, 1 = dead links.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The prose files whose links CI guarantees: the repo-root documents plus
+/// everything under `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.is_file())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        let mut docs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        docs.sort();
+        files.extend(docs);
+    }
+    files
+}
+
+/// Extracts every `](target)` inline-link target and `[label]: target`
+/// reference definition from one Markdown document, with 1-based line
+/// numbers. A hand-rolled scan — the repo vendors no Markdown parser, and
+/// CommonMark corner cases (nested parens in URLs) do not appear in these
+/// docs.
+fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_code_fence = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        if in_code_fence {
+            continue;
+        }
+        // Inline links: every `](...)` on the line.
+        let mut rest = line;
+        while let Some(start) = rest.find("](") {
+            rest = &rest[start + 2..];
+            if let Some(end) = rest.find(')') {
+                out.push((lineno + 1, rest[..end].trim().to_string()));
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+        // Reference definitions: `[label]: target` at line start.
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('[') {
+            if let Some(close) = trimmed.find("]:") {
+                let target = trimmed[close + 2..].trim();
+                if !target.is_empty() {
+                    out.push((lineno + 1, target.split_whitespace().next().unwrap().to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether a link target is a relative filesystem path this checker owns.
+fn is_relative(target: &str) -> bool {
+    !(target.is_empty()
+        || target.starts_with('#')
+        || target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:"))
+}
+
+fn main() -> ExitCode {
+    let root = std::env::current_dir().expect("doc_links runs from the repository root");
+    let files = doc_files(&root);
+    if files.is_empty() {
+        eprintln!("doc_links: no documents found under {} — wrong directory?", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut checked = 0usize;
+    let mut dead: Vec<String> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                dead.push(format!("{}: unreadable: {e}", file.display()));
+                continue;
+            }
+        };
+        let dir = file.parent().expect("doc files live in a directory");
+        for (lineno, target) in link_targets(&text) {
+            if !is_relative(&target) {
+                continue;
+            }
+            // Drop a `#anchor` suffix: the file must exist; anchors are not
+            // resolved (rustdoc-style fragments vary by renderer).
+            let path_part = target.split('#').next().unwrap();
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                dead.push(format!(
+                    "{}:{lineno}: dead link `{target}` ({} does not exist)",
+                    file.display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+
+    if dead.is_empty() {
+        println!(
+            "doc_links: {} relative link(s) across {} document(s) all resolve",
+            checked,
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("doc_links: {} dead link(s):", dead.len());
+        for d in &dead {
+            eprintln!("  - {d}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_and_reference_links_outside_code_fences() {
+        let text = "see [the docs](docs/ARCHITECTURE.md#crates) and [x](http://e.com)\n\
+                    ```\n[not a link](skipped.md)\n```\n\
+                    [roadmap]: ROADMAP.md\n";
+        let targets = link_targets(text);
+        assert_eq!(
+            targets,
+            vec![
+                (1, "docs/ARCHITECTURE.md#crates".to_string()),
+                (1, "http://e.com".to_string()),
+                (5, "ROADMAP.md".to_string()),
+            ]
+        );
+        assert!(is_relative("docs/ARCHITECTURE.md#crates"));
+        assert!(!is_relative("http://e.com"));
+        assert!(!is_relative("#in-page"));
+        assert!(!is_relative("mailto:a@b.c"));
+    }
+}

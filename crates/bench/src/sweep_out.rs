@@ -23,6 +23,12 @@ pub struct CellEntry {
     pub budget_fraction: f64,
     /// Scheduling policy.
     pub policy: String,
+    /// Machine-mix name.
+    pub machines: String,
+    /// Fault-scenario name.
+    pub faults: String,
+    /// Arrival-process name.
+    pub arrivals: String,
     /// Workload seed.
     pub seed: u64,
     /// Cluster energy × makespan² (the headline metric).
@@ -37,6 +43,10 @@ pub struct CellEntry {
     pub throttle_fraction: f64,
     /// Budget violations observed.
     pub cap_violations: usize,
+    /// Node crash events injected by the fault scenario.
+    pub node_failures: usize,
+    /// Jobs terminated unfinished under `FaultPolicy::Kill`.
+    pub killed_jobs: usize,
 }
 
 /// The full `cluster_sweep.json` artefact: cells plus scoreboard plus
@@ -122,13 +132,23 @@ pub type PolicyWins = Vec<(String, usize)>;
 pub fn score_policies(outcomes: &[SweepCellOutcome]) -> (PolicyMeans, PolicyWins) {
     // The fraction (as bits, for Ord) joins the label in the key: `--grid`
     // overrides may reuse a label for distinct tiers, and two different
-    // budgets must never share one scoring group or FCFS reference.
-    type GroupKey = (usize, String, u64, u64);
+    // budgets must never share one scoring group or FCFS reference. The
+    // scenario axes are part of the key too — a faulty bursty cell must
+    // never be scored against a healthy Poisson FCFS reference.
+    type GroupKey = (usize, String, u64, String, String, String, u64);
     let mut groups: BTreeMap<GroupKey, Vec<(&str, f64)>> = BTreeMap::new();
     for o in outcomes {
         let p = &o.cell.point;
         groups
-            .entry((p.nodes, p.budget_label.clone(), p.budget_fraction.to_bits(), p.seed))
+            .entry((
+                p.nodes,
+                p.budget_label.clone(),
+                p.budget_fraction.to_bits(),
+                p.machines.clone(),
+                p.faults.clone(),
+                p.arrivals.clone(),
+                p.seed,
+            ))
             .or_default()
             .push((p.policy.as_str(), o.report.cluster_ed2()));
     }
@@ -160,6 +180,9 @@ pub fn cell_entry(o: &SweepCellOutcome) -> CellEntry {
         budget_label: o.cell.point.budget_label.clone(),
         budget_fraction: o.cell.point.budget_fraction,
         policy: o.cell.point.policy.clone(),
+        machines: o.cell.point.machines.clone(),
+        faults: o.cell.point.faults.clone(),
+        arrivals: o.cell.point.arrivals.clone(),
         seed: o.cell.point.seed,
         cluster_ed2_j_s2: o.report.cluster_ed2(),
         makespan_s: o.report.makespan_s,
@@ -167,6 +190,8 @@ pub fn cell_entry(o: &SweepCellOutcome) -> CellEntry {
         avg_wait_s: o.report.avg_wait_s(),
         throttle_fraction: o.report.throttle_fraction(),
         cap_violations: o.report.cap_violations,
+        node_failures: o.report.node_failures,
+        killed_jobs: o.report.killed_jobs,
     }
 }
 

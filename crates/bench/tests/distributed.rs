@@ -20,7 +20,7 @@ use actor_bench::sweep_out::cells_output;
 use actor_bench::trace_ops::{load_trace, merge};
 use actor_core::config::ActorConfig;
 use actor_core::telemetry::{
-    FanoutSink, JsonlSink, SharedSink, SpanSink, TelemetrySink, TraceEvent,
+    FanoutSink, JsonlSink, MetricsRegistry, SharedSink, SpanSink, TelemetrySink, TraceEvent,
 };
 use cluster_daemon::{
     accept_unix, run_distributed, serve, DaemonConfig, DistRun, ProcessSweepOptions,
@@ -50,6 +50,7 @@ fn context() -> SweepContext {
         config: config(),
         benchmarks: IDS.to_vec(),
         workload: "quad-test".into(),
+        machines: vec!["uniform".into()],
         max_node_w: 160.0,
         heartbeat_ms: 50,
         run_id: 7001,
@@ -62,9 +63,9 @@ fn spec() -> SweepSpec {
         budgets: vec![("tight".into(), 0.45)],
         policies: vec!["fcfs".into(), "power-aware".into()],
         seeds: vec![1, 2],
-        extra: vec![],
         max_node_w: 160.0,
         workload: quad_test_workload,
+        ..SweepSpec::default()
     }
 }
 
@@ -263,28 +264,41 @@ fn trace_tool_merges_a_sigkilled_run_into_one_causal_timeline() {
 
     let victim = Arc::new(Mutex::new(spawn_traced_worker(&socket, "victim", &victim_trace)));
     let survivor = RefCell::new(spawn_traced_worker(&socket, "survivor", &survivor_trace));
-    // Kill the victim shortly after its `worker_connected` lands. At that
-    // point the daemon has already dispatched it a cell, and the victim
-    // is still seconds away from finishing (it retrains the workload
-    // model first), so the SIGKILL is guaranteed to strand a busy cell —
-    // the daemon must requeue it (`cell_reassigned`).
+    // Kill the victim once both workers provably hold an in-flight cell
+    // (dispatched − completed − reassigned == 2 in the daemon's own
+    // metrics): the SIGKILL then strands a busy cell, and the daemon must
+    // requeue it (`cell_reassigned`). Polling the registry instead of
+    // sleeping a fixed interval after `worker_connected` keeps the test
+    // honest on a loaded machine, where the daemon thread may not get to
+    // dispatch for hundreds of milliseconds.
+    let registry = Arc::new(MetricsRegistry::new());
     let killer = {
         let victim = Arc::clone(&victim);
+        let registry = Arc::clone(&registry);
         std::thread::spawn(move || {
             while let Ok(name) = connect_rx.recv() {
-                if name == "victim" {
-                    std::thread::sleep(Duration::from_millis(100));
-                    let mut child = victim.lock().expect("victim lock");
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    return;
+                if name != "victim" {
+                    continue;
                 }
+                let in_flight = || {
+                    registry.counter("cells_dispatched").saturating_sub(
+                        registry.counter("cells_completed") + registry.counter("cells_reassigned"),
+                    )
+                };
+                while in_flight() < 2 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let mut child = victim.lock().expect("victim lock");
+                let _ = child.kill();
+                let _ = child.wait();
+                return;
             }
         })
     };
 
     let mut daemon_config = DaemonConfig::new(context());
     daemon_config.no_worker_timeout = Some(Duration::from_secs(120));
+    daemon_config.metrics = Some(Arc::clone(&registry));
     let dist = serve(&spec, &daemon_config, conn_rx, Some(Arc::clone(&daemon_sink)), |_, _, _| {})
         .expect("the daemon keeps serving through the kill");
     stop.store(true, Ordering::Relaxed);

@@ -74,7 +74,7 @@ pub struct DistRun {
 /// What the per-connection handler threads feed the control loop.
 enum Event {
     Joined { id: u64, name: String, conn: Arc<Connection> },
-    Frame { id: u64, msg: Message },
+    Frame { id: u64, msg: Box<Message> },
     Left { id: u64, reason: String },
 }
 
@@ -146,7 +146,7 @@ fn spawn_acceptor(
                 loop {
                     match conn.recv() {
                         Ok(msg) => {
-                            if events.send(Event::Frame { id, msg }).is_err() {
+                            if events.send(Event::Frame { id, msg: Box::new(msg) }).is_err() {
                                 break;
                             }
                         }
@@ -280,7 +280,12 @@ pub fn serve(
             let Some(cell) = pending.pop_front() else { break };
             *attempts.entry(cell.index).or_insert(0) += 1;
             match worker.conn.send(&Message::AssignCell(cell.clone())) {
-                Ok(()) => worker.busy = Some(cell),
+                Ok(()) => {
+                    if let Some(reg) = metrics {
+                        reg.incr("cells_dispatched");
+                    }
+                    worker.busy = Some(cell);
+                }
                 Err(_) => {
                     *attempts.get_mut(&cell.index).expect("attempt just counted") -= 1;
                     pending.push_front(cell);
@@ -333,7 +338,7 @@ pub fn serve(
                 // guards against double-counting anyway.
                 let Some(worker) = workers.get_mut(&id) else { continue };
                 worker.last_seen = Instant::now();
-                match msg {
+                match *msg {
                     Message::Heartbeat => {}
                     Message::TraceBatch(events) => {
                         // Worker frames arrive already span-stamped;

@@ -21,9 +21,10 @@ use actor_core::telemetry::{
 use cluster_rpc::{
     client_handshake, CellOutcome, Connection, Message, RpcError, SweepContext, Wire,
 };
-use cluster_sched::{execute_cell, workload_shape_by_name, WorkloadModel, WorkloadSpec};
+use cluster_sched::{
+    execute_cell, mix_by_name, workload_shape_by_name, FleetModel, WorkloadSpec, MACHINE_MIX_NAMES,
+};
 use parking_lot::Mutex;
-use xeon_sim::Machine;
 
 use crate::error::WorkerError;
 
@@ -102,14 +103,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Executes one assigned cell, containing panics: the daemon gets a typed
 /// [`CellOutcome`] either way, never a dead worker from a bad cell.
 fn run_one_cell(
-    model: &WorkloadModel,
+    fleet: &FleetModel,
     workload: fn(usize) -> WorkloadSpec,
     max_node_w: f64,
     cell: &cluster_sched::SweepCell,
     telemetry: &SharedSink,
 ) -> CellOutcome {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute_cell(model, workload, max_node_w, cell, Some(telemetry))
+        execute_cell(fleet, workload, max_node_w, cell, Some(telemetry))
     }));
     match result {
         Ok(Ok(report)) => CellOutcome::Completed(report),
@@ -120,13 +121,33 @@ fn run_one_cell(
     }
 }
 
+/// Rebuilds the sweep's fleet from the wire-carried mix names —
+/// [`FleetModel::build`] is deterministic in `(config, benchmarks, mixes)`,
+/// so every worker trains the exact per-generation tables the daemon's
+/// in-process peer would use. An unknown mix name on the wire is a loud
+/// model error, never a silent fallback to the reference machine.
+fn fleet_from_context(ctx: &SweepContext) -> Result<Arc<FleetModel>, String> {
+    let mixes = ctx
+        .machines
+        .iter()
+        .map(|name| {
+            mix_by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown machine mix {name:?} in sweep context; valid mixes are: {}",
+                    MACHINE_MIX_NAMES.join(", ")
+                )
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    FleetModel::build(&ctx.config, &ctx.benchmarks, &mixes).map(Arc::new).map_err(|e| e.to_string())
+}
+
 /// Runs the worker protocol over `wire` until the daemon says
 /// [`Message::Shutdown`] (clean exit) or the connection fails.
 ///
-/// The model is rebuilt from the handshake's [`SweepContext`]:
-/// [`WorkloadModel::build`] is deterministic in `(config, benchmarks)`, so
-/// every worker trains the exact tables the daemon's in-process peer would
-/// use.
+/// The fleet is rebuilt from the handshake's [`SweepContext`] machine-mix
+/// names, so every worker trains the exact tables the daemon's in-process
+/// peer would use.
 pub fn run_worker(wire: Box<dyn Wire>, name: &str) -> Result<(), WorkerError> {
     run_worker_traced(wire, name, None)
 }
@@ -139,30 +160,26 @@ pub fn run_worker_traced(
     name: &str,
     local: Option<SharedSink>,
 ) -> Result<(), WorkerError> {
-    run_worker_full(wire, name, local, |ctx| {
-        WorkloadModel::build(&Machine::xeon_qx6600(), &ctx.config, &ctx.benchmarks)
-            .map(Arc::new)
-            .map_err(|e| e.to_string())
-    })
+    run_worker_full(wire, name, local, fleet_from_context)
 }
 
-/// [`run_worker`] with an injectable model source — tests hand every
+/// [`run_worker`] with an injectable fleet source — tests hand every
 /// duplex worker one prebuilt `Arc` instead of re-training per worker.
 pub fn run_worker_with(
     wire: Box<dyn Wire>,
     name: &str,
-    model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
+    fleet_builder: impl FnOnce(&SweepContext) -> Result<Arc<FleetModel>, String>,
 ) -> Result<(), WorkerError> {
-    run_worker_full(wire, name, None, model_builder)
+    run_worker_full(wire, name, None, fleet_builder)
 }
 
-/// The fully-general worker entry point: injectable model source *and*
+/// The fully-general worker entry point: injectable fleet source *and*
 /// optional local telemetry sink beside the daemon forwarder.
 pub fn run_worker_full(
     wire: Box<dyn Wire>,
     name: &str,
     local: Option<SharedSink>,
-    model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
+    fleet_builder: impl FnOnce(&SweepContext) -> Result<Arc<FleetModel>, String>,
 ) -> Result<(), WorkerError> {
     let conn = Arc::new(Connection::new(wire).map_err(RpcError::from)?);
     let ctx = client_handshake(&conn, name)?;
@@ -184,7 +201,7 @@ pub fn run_worker_full(
         })
     };
 
-    let result = worker_loop(&conn, name, local, &ctx, model_builder);
+    let result = worker_loop(&conn, name, local, &ctx, fleet_builder);
 
     stop.store(true, Ordering::Relaxed);
     conn.shutdown();
@@ -197,11 +214,11 @@ fn worker_loop(
     name: &str,
     local: Option<SharedSink>,
     ctx: &SweepContext,
-    model_builder: impl FnOnce(&SweepContext) -> Result<Arc<WorkloadModel>, String>,
+    fleet_builder: impl FnOnce(&SweepContext) -> Result<Arc<FleetModel>, String>,
 ) -> Result<(), WorkerError> {
     let workload = workload_shape_by_name(&ctx.workload)
         .ok_or_else(|| WorkerError::UnknownShape { name: ctx.workload.clone() })?;
-    let model = model_builder(ctx).map_err(|reason| WorkerError::Model { reason })?;
+    let fleet = fleet_builder(ctx).map_err(|reason| WorkerError::Model { reason })?;
     // Pipeline: SpanSink (stamps run_id/worker/seq/cell) → forwarder to
     // the daemon, plus the optional local sink, both receiving the same
     // stamped events.
@@ -216,7 +233,7 @@ fn worker_loop(
         match conn.recv()? {
             Message::AssignCell(cell) => {
                 span.set_cell(Some(cell.index as u64));
-                let outcome = run_one_cell(&model, workload, ctx.max_node_w, &cell, &telemetry);
+                let outcome = run_one_cell(&fleet, workload, ctx.max_node_w, &cell, &telemetry);
                 span.set_cell(None);
                 // Trace frames precede the result: once the daemon sees
                 // the CellResult, the cell's telemetry is fully delivered.

@@ -15,7 +15,7 @@ use cluster_daemon::{run_worker_with, serve, DaemonConfig, DaemonError};
 use cluster_rpc::{
     client_handshake, duplex, request_metrics, CellOutcome, Connection, Message, SweepContext, Wire,
 };
-use cluster_sched::{quad_test_workload, run_sweep, SweepSpec, WorkloadModel};
+use cluster_sched::{quad_test_workload, run_sweep, FleetModel, SweepSpec, WorkloadModel};
 use crossbeam::channel::{unbounded, Sender};
 use npb_workloads::BenchmarkId;
 use xeon_sim::Machine;
@@ -30,11 +30,17 @@ fn model() -> Arc<WorkloadModel> {
     }))
 }
 
+fn fleet() -> Arc<FleetModel> {
+    static FLEET: OnceLock<Arc<FleetModel>> = OnceLock::new();
+    Arc::clone(FLEET.get_or_init(|| Arc::new(FleetModel::single(WorkloadModel::clone(&model())))))
+}
+
 fn context() -> SweepContext {
     SweepContext {
         config: ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() },
         benchmarks: IDS.to_vec(),
         workload: "quad-test".into(),
+        machines: vec!["uniform".into()],
         max_node_w: 160.0,
         heartbeat_ms: 25,
         run_id: 4242,
@@ -47,9 +53,9 @@ fn spec() -> SweepSpec {
         budgets: vec![("tight".into(), 0.45)],
         policies: vec!["fcfs".into(), "power-aware".into()],
         seeds: vec![1, 2],
-        extra: vec![],
         max_node_w: 160.0,
         workload: quad_test_workload,
+        ..SweepSpec::default()
     }
 }
 
@@ -60,7 +66,7 @@ fn spawn_worker(
 ) -> std::thread::JoinHandle<Result<(), cluster_daemon::WorkerError>> {
     let (daemon_side, worker_side) = duplex();
     conns.send(Box::new(daemon_side)).map_err(|_| "conns channel closed").unwrap();
-    std::thread::spawn(move || run_worker_with(Box::new(worker_side), name, |_| Ok(model())))
+    std::thread::spawn(move || run_worker_with(Box::new(worker_side), name, |_| Ok(fleet())))
 }
 
 #[test]

@@ -17,7 +17,12 @@ use crate::wire::{Wire, MAX_FRAME_LEN};
 ///
 /// v2: `TraceBatch` carries span-stamped events, `SweepContext` gained
 /// `run_id`, and the `MetricsRequest`/`MetricsSnapshot` exchange exists.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: the scenario engine. `SweepContext` gained `machines` (the mix
+/// names whose fleet the worker must train), `SweepCell` points carry
+/// `machines`/`faults`/`arrivals` coordinates, and `ClusterReport` gained
+/// `machines`/`node_failures`/`killed_jobs`.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// A message-level connection over any [`Wire`].
 ///
@@ -225,6 +230,7 @@ mod tests {
             config: actor_core::config::ActorConfig::fast(),
             benchmarks: vec![npb_workloads::BenchmarkId::Cg],
             workload: "light".into(),
+            machines: vec!["uniform".into()],
             max_node_w: 160.0,
             heartbeat_ms: 100,
             run_id: 77,

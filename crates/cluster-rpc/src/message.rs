@@ -30,6 +30,12 @@ pub struct SweepContext {
     /// Named workload shape of the sweep (see
     /// [`cluster_sched::workload_shape_by_name`]).
     pub workload: String,
+    /// Machine-mix names the sweep's cells may use (see
+    /// [`cluster_sched::mix_by_name`]): the worker rebuilds a
+    /// [`cluster_sched::FleetModel`] covering every listed mix, so a cell
+    /// naming any of them resolves to the same per-generation decision
+    /// tables the daemon's in-process peer trains.
+    pub machines: Vec<String>,
     /// Per-node dynamic power ceiling (W) for budget pricing.
     pub max_node_w: f64,
     /// Interval at which the worker must emit [`Message::Heartbeat`] (ms).

@@ -31,6 +31,9 @@ fn cell(index: usize, nodes: usize, fraction: f64, seed: u64) -> SweepCell {
             budget_label: format!("tier-{}", (fraction * 100.0) as u32),
             budget_fraction: fraction,
             policy: "power-aware".into(),
+            machines: ["uniform", "mixed", "legacy"][index % 3].into(),
+            faults: ["none", "crash", "storm"][nodes % 3].into(),
+            arrivals: ["poisson", "bursty", "tenants"][(seed % 3) as usize].into(),
             seed,
         },
     }
@@ -53,6 +56,7 @@ fn report(nodes: usize, f1: f64, f2: f64, jobs: usize) -> ClusterReport {
             finish_s: f1 * id as f64 + f2 + 1.0,
             energy_j: f2 * 1000.0,
             peak_power_w: 80.0 + f1,
+            completed: id % 3 != 0,
             decisions: vec![
                 ("phase-0".into(), Configuration::ALL[id % Configuration::ALL.len()]),
                 ("phase-1".into(), Configuration::ALL[0]),
@@ -62,12 +66,15 @@ fn report(nodes: usize, f1: f64, f2: f64, jobs: usize) -> ClusterReport {
     ClusterReport {
         policy: "power-aware".into(),
         nodes,
+        machines: ["uniform", "mixed"][nodes % 2].into(),
         power_budget_w: 100.0 + f1 * nodes as f64,
         outcomes,
         makespan_s: f2 + 50.0,
         total_energy_j: f2 * 12_345.0,
         peak_power_w: 90.0 + f1,
         cap_violations: jobs % 2,
+        node_failures: jobs % 3,
+        killed_jobs: jobs % 2,
     }
 }
 
@@ -76,6 +83,7 @@ fn context(seed: u64, f1: f64, hb: u64) -> SweepContext {
         config: ActorConfig { seed, ..ActorConfig::fast() },
         benchmarks: BenchmarkId::ALL[..1 + (seed as usize % BenchmarkId::ALL.len())].to_vec(),
         workload: ["default", "light", "quad-test"][seed as usize % 3].into(),
+        machines: vec!["uniform".into(), ["mixed", "legacy", "modern"][seed as usize % 3].into()],
         max_node_w: 100.0 + f1,
         heartbeat_ms: hb,
         run_id: seed.wrapping_mul(31),

@@ -1,27 +1,38 @@
 //! The cluster: N nodes, one power budget, a job queue, and a
 //! discrete-event loop.
 //!
-//! Events are job arrivals and job completions; after each batch of
+//! Events are job arrivals, job completions, and node fault transitions
+//! (crashes and recoveries from the seeded
+//! [`FaultTimeline`]); after each batch of
 //! simultaneous events the active [`SchedulerPolicy`] is consulted and its
 //! assignments applied. The cluster itself enforces the power budget on
 //! every assignment (a defective policy produces recorded violations, never
 //! an actually-breached cap) and tracks the instantaneous draw so the
 //! invariant "cluster power never exceeds the budget" is checkable after the
 //! fact.
+//!
+//! Nodes need not be identical: [`ClusterSpec::machines`] names a
+//! [`MachineMix`], and the cluster resolves each node's machine generation
+//! against a [`FleetModel`] holding one workload model per generation. A
+//! gang caught on a crashing node is aborted on every member and either
+//! rescheduled or killed per the spec's
+//! [`FaultPolicy`].
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use actor_core::telemetry::{SharedSink, TraceEvent};
 use serde::{Deserialize, Serialize};
-use xeon_sim::Machine;
 
 use crate::error::ClusterError;
+use crate::fleet::{FleetModel, MachineMix};
 use crate::job::{Job, JobOutcome, WorkloadSpec};
 use crate::node::Node;
 use crate::policy::{RunningSummary, SchedContext, SchedulerPolicy};
 use crate::profile::WorkloadModel;
+use crate::scenario::{fault_timeline, FaultPolicy, FaultSpec, FaultTimeline};
 
 /// Static description of a cluster run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,16 +41,21 @@ pub struct ClusterSpec {
     pub nodes: usize,
     /// Cluster-wide power budget (W).
     pub power_budget_w: f64,
+    /// Which machine generation each node is.
+    pub machines: MachineMix,
+    /// Fault injection for this run (crashes, stragglers).
+    pub faults: FaultSpec,
     /// The workload to run.
     pub workload: WorkloadSpec,
-    /// Seed for workload generation (the model has its own seed in
-    /// `ActorConfig`).
+    /// Seed for workload generation and the fault timeline (the model has
+    /// its own seed in `ActorConfig`).
     pub seed: u64,
 }
 
 impl ClusterSpec {
-    /// Validates the spec against the machine's idle floor.
-    pub fn validate(&self, idle_node_w: f64) -> Result<(), ClusterError> {
+    /// Validates the spec: workload, machine mix, fault rates, and the
+    /// budget against the mix's own idle floor.
+    pub fn validate(&self) -> Result<(), ClusterError> {
         if self.nodes == 0 {
             return Err(ClusterError::InvalidSpec { reason: "cluster needs nodes".into() });
         }
@@ -53,7 +69,9 @@ impl ClusterSpec {
                 ),
             });
         }
-        let idle_floor_w = idle_node_w * self.nodes as f64;
+        self.machines.validate()?;
+        self.faults.validate()?;
+        let idle_floor_w = self.machines.idle_floor_w(self.nodes);
         if self.power_budget_w < idle_floor_w {
             return Err(ClusterError::BudgetBelowIdleFloor {
                 budget_w: self.power_budget_w,
@@ -65,7 +83,9 @@ impl ClusterSpec {
 }
 
 /// A power budget expressed as idle floor + fraction of the maximum dynamic
-/// range, the natural way to sweep "tight" → "ample".
+/// range, the natural way to sweep "tight" → "ample". For heterogeneous
+/// mixes use [`budget_for_mix`](crate::fleet::budget_for_mix), which prices
+/// each node's own floor.
 pub fn budget_from_fraction(nodes: usize, idle_node_w: f64, max_node_w: f64, fraction: f64) -> f64 {
     let n = nodes as f64;
     n * idle_node_w + fraction * n * (max_node_w - idle_node_w)
@@ -78,11 +98,14 @@ pub struct ClusterReport {
     pub policy: String,
     /// Node count.
     pub nodes: usize,
+    /// Machine mix name the cluster ran under.
+    pub machines: String,
     /// The budget that was enforced (W).
     pub power_budget_w: f64,
-    /// Every job's outcome, in completion order.
+    /// Every job's outcome, in completion order (killed jobs included, with
+    /// [`JobOutcome::completed`] false).
     pub outcomes: Vec<JobOutcome>,
-    /// Time from first arrival (t = 0) to last completion (s).
+    /// Time from first arrival (t = 0) to the last job outcome (s).
     pub makespan_s: f64,
     /// Total cluster energy, idle periods included (J).
     pub total_energy_j: f64,
@@ -91,6 +114,11 @@ pub struct ClusterReport {
     /// Assignments the cluster had to veto for breaching the budget (a
     /// correct policy never produces any).
     pub cap_violations: usize,
+    /// Node crash events replayed from the fault timeline.
+    pub node_failures: usize,
+    /// Jobs recorded as failed because a member node crashed under the
+    /// `Kill` fault policy.
+    pub killed_jobs: usize,
 }
 
 impl ClusterReport {
@@ -107,7 +135,8 @@ impl ClusterReport {
         self.outcomes.iter().map(JobOutcome::wait_s).sum::<f64>() / self.outcomes.len() as f64
     }
 
-    /// Number of jobs that missed their deadline.
+    /// Number of jobs that missed their deadline (killed jobs with a
+    /// deadline always count).
     pub fn deadline_misses(&self) -> usize {
         self.outcomes.iter().filter(|o| !o.deadline_met()).count()
     }
@@ -131,16 +160,27 @@ impl ClusterReport {
 #[derive(Debug, Clone, PartialEq)]
 enum EventKind {
     Arrival(Job),
-    /// A whole gang completes at once; `nodes` are its members.
+    /// A whole gang completes at once. The members live in the cluster's
+    /// gang table; the event is ignored as stale when the gang's
+    /// incarnation has moved on (a crash aborted the run it belongs to).
     Completion {
-        nodes: Vec<usize>,
+        job_id: usize,
+        incarnation: u32,
+    },
+    /// A node crashes (`fail`) or comes back, per the seeded timeline.
+    NodeFault {
+        node: usize,
+        fail: bool,
     },
 }
 
 #[derive(Debug, Clone)]
 struct Event {
     time_s: f64,
-    /// Tie-breaker making the heap order total and deterministic.
+    /// Tie-breaker making the heap order total and deterministic. Arrivals
+    /// are numbered first, then fault transitions, then completions as they
+    /// are scheduled — so within one timestamp arrivals land before faults
+    /// and faults before completions.
     seq: u64,
     kind: EventKind,
 }
@@ -164,6 +204,21 @@ impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Ordered queue insert — priority first (descending), then arrival, then
+/// id. Ids are unique, so the order is total and inserting equals a stable
+/// re-sort. Rescheduled jobs keep their original arrival, so they re-enter
+/// at the head of their (priority, arrival) class.
+fn enqueue(queue: &mut Vec<Job>, job: Job) {
+    let pos = queue.partition_point(|q| {
+        q.priority
+            .cmp(&job.priority)
+            .then(job.arrival_s.total_cmp(&q.arrival_s))
+            .then(job.id.cmp(&q.id))
+            != Ordering::Less
+    });
+    queue.insert(pos, job);
 }
 
 /// Cheap deterministic hasher for the gang-summary index: the keys are
@@ -193,26 +248,68 @@ impl Hasher for GangKeyHasher {
 /// The simulated cluster.
 pub struct Cluster<'a> {
     spec: ClusterSpec,
-    model: &'a WorkloadModel,
+    /// One workload model per machine generation; borrowed for fleet runs,
+    /// owned (a single-generation wrapper) on the compatibility path.
+    fleet: Cow<'a, FleetModel>,
     nodes: Vec<Node>,
-    /// Attached sink: one record per arrival/start/completion event. `None`
-    /// keeps the event loop free of timestamps and record construction.
+    /// Machine-generation index of each node, resolved from the spec's mix.
+    node_gen: Vec<u16>,
+    /// The precomputed fault schedule replayed by the event loop.
+    timeline: FaultTimeline,
+    /// Attached sink: one record per arrival/start/completion/fault event.
+    /// `None` keeps the event loop free of timestamps and record
+    /// construction.
     telemetry: Option<SharedSink>,
 }
 
 impl<'a> Cluster<'a> {
-    /// Builds a cluster of identical Xeon nodes.
+    /// Builds a cluster from one workload model — the compatibility path
+    /// for homogeneous reference clusters. The spec's machine mix must be
+    /// uniform `qx6600` (the machine the model was trained on): anything
+    /// else needs a real fleet, so this fails loudly instead of silently
+    /// running every node as the reference Xeon (the historical bug this
+    /// guard retires). Use [`Cluster::new_fleet`] or [`simulate_fleet`]
+    /// for mixed-generation specs.
     pub fn new(spec: ClusterSpec, model: &'a WorkloadModel) -> Result<Self, ClusterError> {
-        let machine = Machine::xeon_qx6600();
-        spec.validate(machine.params().power.system_idle_w)?;
-        let nodes = (0..spec.nodes).map(|id| Node::new(id, machine.clone())).collect();
-        Ok(Self { spec, model, nodes, telemetry: None })
+        if spec.machines.generations() != ["qx6600"] {
+            return Err(ClusterError::InvalidSpec {
+                reason: format!(
+                    "spec machine mix {:?} needs per-generation models; build a FleetModel \
+                     covering the mix and use Cluster::new_fleet / simulate_fleet",
+                    spec.machines.name
+                ),
+            });
+        }
+        Self::build(spec, Cow::Owned(FleetModel::single(model.clone())))
+    }
+
+    /// Builds a cluster against a fleet of per-generation models. Every
+    /// generation the spec's machine mix names must be present in the
+    /// fleet; a missing one is a loud [`ClusterError::InvalidSpec`].
+    pub fn new_fleet(spec: ClusterSpec, fleet: &'a FleetModel) -> Result<Self, ClusterError> {
+        Self::build(spec, Cow::Borrowed(fleet))
+    }
+
+    fn build(spec: ClusterSpec, fleet: Cow<'a, FleetModel>) -> Result<Self, ClusterError> {
+        spec.validate()?;
+        let node_gen = fleet.node_gens(&spec.machines, spec.nodes)?;
+        let timeline = fault_timeline(&spec.faults, spec.nodes, spec.seed);
+        let mut nodes: Vec<Node> = node_gen
+            .iter()
+            .enumerate()
+            .map(|(id, &g)| Node::new(id, fleet.gen(g as usize).machine.clone()))
+            .collect();
+        for (node, &slowdown) in timeline.slowdowns.iter().enumerate() {
+            nodes[node].set_slowdown(slowdown);
+        }
+        Ok(Self { spec, fleet, nodes, node_gen, timeline, telemetry: None })
     }
 
     /// Attaches a telemetry sink: [`Cluster::run`] then emits one
-    /// [`TraceEvent`] per job arrival, start and completion, and installs
-    /// the sink into the policy (so controller-driven policies trace their
-    /// planning decisions too).
+    /// [`TraceEvent`] per job arrival, start and completion, per node
+    /// crash/recovery, and per SLO violation, and installs the sink into
+    /// the policy (so controller-driven policies trace their planning
+    /// decisions too).
     #[must_use]
     pub fn with_telemetry(mut self, sink: SharedSink) -> Self {
         self.telemetry = Some(sink);
@@ -229,9 +326,26 @@ impl<'a> Cluster<'a> {
         if let Some(sink) = &self.telemetry {
             policy.set_telemetry(sink.clone());
         }
-        let idle_node_w = self.nodes[0].idle_power_w();
-        let jobs =
-            self.spec.workload.generate(self.spec.seed, |id| self.model.four_core_time_s(id))?;
+        let fleet: &FleetModel = &self.fleet;
+        // Homogeneous clusters (whatever the generation) take the exact
+        // pre-fleet scheduling paths against their own generation's model;
+        // only genuinely mixed clusters pay for the fleet-aware paths.
+        let hetero = self.node_gen.windows(2).any(|w| w[0] != w[1]);
+        let common_gen =
+            if hetero { 0 } else { self.node_gen.first().copied().unwrap_or(0) as usize };
+        let (ctx_model, idle_node_w) = {
+            let g = fleet.gen(common_gen);
+            (&g.model, g.idle_w)
+        };
+        let ctx_fleet = if hetero { Some(fleet) } else { None };
+        let ctx_node_gen: &[u16] = if hetero { &self.node_gen } else { &[] };
+        // Jobs are always priced against the reference generation, so the
+        // job stream of a (shape, seed) pair is identical across mixes.
+        let jobs = self
+            .spec
+            .workload
+            .generate(self.spec.seed, |id| fleet.reference().four_core_time_s(id))?;
+        let total_jobs = jobs.len();
 
         let mut heap = BinaryHeap::new();
         let mut seq = 0u64;
@@ -239,12 +353,25 @@ impl<'a> Cluster<'a> {
             heap.push(Event { time_s: job.arrival_s, seq, kind: EventKind::Arrival(job) });
             seq += 1;
         }
+        for &(time_s, node, fail) in &self.timeline.transitions {
+            heap.push(Event { time_s, seq, kind: EventKind::NodeFault { node, fail } });
+            seq += 1;
+        }
 
         let mut queue: Vec<Job> = Vec::new();
         let mut outcomes: Vec<JobOutcome> = Vec::new();
         let mut peak_power_w = self.draw_w();
         let mut cap_violations = 0usize;
+        let mut node_failures = 0usize;
+        let mut killed_jobs = 0usize;
         let mut makespan_s = 0.0f64;
+        // Gang table: job id → (incarnation, members). The incarnation is
+        // bumped when a crash aborts the gang, so the completion event of
+        // the aborted run — still in the heap — arrives stale and is
+        // dropped, while a rescheduled rerun completes under the new
+        // incarnation.
+        let mut gangs: HashMap<usize, (u32, Vec<usize>)> = HashMap::new();
+        let mut incarnations: HashMap<usize, u32> = HashMap::new();
 
         // Per-event scratch, hoisted out of the loop: a 256-node run visits
         // hundreds of thousands of events, and rebuilding these five
@@ -264,7 +391,6 @@ impl<'a> Cluster<'a> {
 
         while let Some(event) = heap.pop() {
             let now = event.time_s;
-            makespan_s = makespan_s.max(now);
             batch.clear();
             batch.push(event);
             while let Some(next) = heap.peek() {
@@ -285,22 +411,18 @@ impl<'a> Cluster<'a> {
                                 width: job.nodes,
                             });
                         }
-                        // Ordered insert — priority first (descending), then
-                        // arrival, then id. Ids are unique, so the order is
-                        // total and inserting equals the stable re-sort this
-                        // replaces (minus the per-arrival O(n log n) churn).
-                        let pos = queue.partition_point(|q| {
-                            q.priority
-                                .cmp(&job.priority)
-                                .then(job.arrival_s.total_cmp(&q.arrival_s))
-                                .then(job.id.cmp(&q.id))
-                                != Ordering::Less
-                        });
-                        queue.insert(pos, job);
+                        enqueue(&mut queue, job);
                     }
-                    EventKind::Completion { nodes } => {
+                    EventKind::Completion { job_id, incarnation } => {
+                        let live = gangs.get(&job_id).is_some_and(|(inc, _)| *inc == incarnation);
+                        if !live {
+                            // A crash aborted this run after its completion
+                            // was scheduled.
+                            continue;
+                        }
+                        let (_, members) = gangs.remove(&job_id).expect("checked above");
                         runs.clear();
-                        for &node in &nodes {
+                        for &node in &members {
                             runs.push(self.nodes[node].complete(now));
                         }
                         let energy_j: f64 = runs.iter().map(|r| r.plan.energy_j).sum();
@@ -310,14 +432,26 @@ impl<'a> Cluster<'a> {
                             sink.record_owned(TraceEvent::JobCompletion {
                                 time_s: now,
                                 job: run.job.id,
-                                width: nodes.len(),
+                                width: members.len(),
                                 energy_j,
                             });
                         }
                         // The gang's node list travels by move: policy
-                        // assignment → completion event → outcome, never
-                        // copied.
+                        // assignment → gang table → outcome, never copied.
                         let run = runs.swap_remove(0);
+                        if let Some(sink) = &self.telemetry {
+                            if let Some(deadline_s) = run.job.deadline_s {
+                                if now > deadline_s {
+                                    sink.record_owned(TraceEvent::SloViolated {
+                                        time_s: now,
+                                        job: run.job.id,
+                                        deadline_s,
+                                        finish_s: now,
+                                    });
+                                }
+                            }
+                        }
+                        makespan_s = makespan_s.max(now);
                         outcomes.push(JobOutcome {
                             job: run.job,
                             start_s: run.start_s,
@@ -325,15 +459,92 @@ impl<'a> Cluster<'a> {
                             energy_j,
                             peak_power_w,
                             decisions: run.plan.decisions,
-                            nodes,
+                            nodes: members,
+                            completed: true,
                         });
+                    }
+                    EventKind::NodeFault { node, fail } => {
+                        if !fail {
+                            self.nodes[node].recover(now);
+                            if let Some(sink) = &self.telemetry {
+                                sink.record_owned(TraceEvent::NodeRecovered { time_s: now, node });
+                            }
+                            continue;
+                        }
+                        node_failures += 1;
+                        if let Some(sink) = &self.telemetry {
+                            sink.record_owned(TraceEvent::NodeFailed { time_s: now, node });
+                        }
+                        let Some(run) = self.nodes[node].fail(now) else { continue };
+                        // The crash caught a gang mid-run: abort every
+                        // member (each charges its pro-rata energy) and
+                        // retire this incarnation.
+                        let job_id = run.job.id;
+                        let (inc, members) =
+                            gangs.remove(&job_id).expect("running share implies a live gang");
+                        incarnations.insert(job_id, inc + 1);
+                        runs.clear();
+                        runs.push(run);
+                        for &m in &members {
+                            if m != node {
+                                runs.push(
+                                    self.nodes[m].abort(now).expect("gang members run together"),
+                                );
+                            }
+                        }
+                        match self.spec.faults.on_failure {
+                            FaultPolicy::Reschedule => {
+                                enqueue(&mut queue, runs[0].job.clone());
+                            }
+                            FaultPolicy::Kill => {
+                                killed_jobs += 1;
+                                let energy_j: f64 = runs
+                                    .iter()
+                                    .map(|r| {
+                                        let span = r.finish_s - r.start_s;
+                                        let frac = if span > 0.0 {
+                                            ((now - r.start_s) / span).clamp(0.0, 1.0)
+                                        } else {
+                                            1.0
+                                        };
+                                        r.plan.energy_j * frac
+                                    })
+                                    .sum();
+                                let peak_power_w: f64 =
+                                    runs.iter().map(|r| r.plan.peak_power_w).sum();
+                                let run = runs.swap_remove(0);
+                                if let Some(sink) = &self.telemetry {
+                                    if let Some(deadline_s) = run.job.deadline_s {
+                                        // A killed job can never meet its
+                                        // deadline.
+                                        sink.record_owned(TraceEvent::SloViolated {
+                                            time_s: now,
+                                            job: run.job.id,
+                                            deadline_s,
+                                            finish_s: now,
+                                        });
+                                    }
+                                }
+                                makespan_s = makespan_s.max(now);
+                                outcomes.push(JobOutcome {
+                                    job: run.job,
+                                    start_s: run.start_s,
+                                    finish_s: now,
+                                    energy_j,
+                                    peak_power_w,
+                                    decisions: run.plan.decisions,
+                                    nodes: members,
+                                    completed: false,
+                                });
+                            }
+                        }
                     }
                 }
             }
 
             // Scheduling pass.
             idle_nodes.clear();
-            idle_nodes.extend(self.nodes.iter().filter(|n| n.is_idle()).map(|n| n.id));
+            idle_nodes.extend(self.nodes.iter().filter(|n| n.is_available()).map(|n| n.id));
             if !queue.is_empty() && !idle_nodes.is_empty() {
                 // Summarise running gangs (one entry per job, not per node):
                 // each node folds into the first summary matching its
@@ -377,12 +588,14 @@ impl<'a> Cluster<'a> {
                     now,
                     queue: &queue,
                     idle_nodes: &idle_nodes,
-                    model: self.model,
+                    model: ctx_model,
                     budget_w: self.spec.power_budget_w,
                     draw_w: self.draw_w(),
                     node_idle_w: idle_node_w,
                     node_draw_w: &node_draws,
                     running: &running,
+                    fleet: ctx_fleet,
+                    node_gen: ctx_node_gen,
                 };
                 let assignments = policy.assign(&ctx);
                 // Apply in descending queue index so removals stay valid.
@@ -390,13 +603,21 @@ impl<'a> Cluster<'a> {
                 ordered.sort_by_key(|a| std::cmp::Reverse(a.queue_idx));
                 for a in ordered {
                     // The cluster re-checks the cap: an assignment may only
-                    // raise the draw by k × (plan peak − a node's idle draw),
-                    // and every gang member must actually be idle.
+                    // raise the draw by Σ (plan peak − the member's idle
+                    // draw), and every gang member must actually be up and
+                    // idle.
                     let k = a.nodes.len();
-                    let extra = (a.plan.peak_power_w - idle_node_w) * k as f64;
-                    let members_idle = a.nodes.iter().all(|&n| self.nodes[n].is_idle());
+                    let extra: f64 = if hetero {
+                        a.nodes
+                            .iter()
+                            .map(|&n| a.plan.peak_power_w - self.nodes[n].idle_power_w())
+                            .sum()
+                    } else {
+                        (a.plan.peak_power_w - idle_node_w) * k as f64
+                    };
+                    let members_free = a.nodes.iter().all(|&n| self.nodes[n].is_available());
                     let width_ok = k == queue[a.queue_idx].nodes;
-                    if !members_idle
+                    if !members_free
                         || !width_ok
                         || self.draw_w() + extra > self.spec.power_budget_w + 1e-6
                     {
@@ -413,28 +634,46 @@ impl<'a> Cluster<'a> {
                             exec_time_s: a.plan.exec_time_s,
                         });
                     }
-                    let mut finish = now;
+                    // An SPMD gang runs at the pace of its slowest member:
+                    // a straggler stretches the whole gang's finish.
+                    let slow =
+                        a.nodes.iter().map(|&n| self.nodes[n].slowdown()).fold(1.0, f64::max);
+                    let finish_s = now + a.plan.exec_time_s * slow;
+                    let job_id = job.id;
                     for &node in &a.nodes {
-                        finish = self.nodes[node].assign(job.clone(), a.plan.clone(), now);
+                        self.nodes[node].assign(job.clone(), a.plan.clone(), now, finish_s);
                     }
+                    let inc = *incarnations.entry(job_id).or_insert(0);
+                    gangs.insert(job_id, (inc, a.nodes));
                     heap.push(Event {
-                        time_s: finish,
+                        time_s: finish_s,
                         seq,
-                        kind: EventKind::Completion { nodes: a.nodes },
+                        kind: EventKind::Completion { job_id, incarnation: inc },
                     });
                     seq += 1;
                 }
             }
             peak_power_w = peak_power_w.max(self.draw_w());
 
+            // Every job has an outcome: later fault transitions cannot
+            // change the report, so stop replaying them.
+            if outcomes.len() == total_jobs {
+                break;
+            }
+
             // Deadlock check: nothing running, nothing scheduled, no future
-            // events, but jobs still queued — the budget starves the queue.
+            // events, but jobs still queued — the spec starves the queue.
             if heap.is_empty() && !queue.is_empty() && self.nodes.iter().all(Node::is_idle) {
+                let widest = queue.iter().map(|j| j.nodes).max().unwrap_or(0);
                 return Err(ClusterError::InvalidSpec {
                     reason: format!(
-                        "power budget {:.0} W cannot run the {} remaining job(s) even exclusively",
+                        "the {} remaining job(s) cannot run even on an idle cluster: the \
+                         {:.0} W budget starves them, or no machine generation of the {:?} \
+                         mix has {widest} node(s) for the widest gang (gangs never span \
+                         generations)",
+                        queue.len(),
                         self.spec.power_budget_w,
-                        queue.len()
+                        self.spec.machines.name,
                     ),
                 });
             }
@@ -444,17 +683,21 @@ impl<'a> Cluster<'a> {
         Ok(ClusterReport {
             policy: policy.name().to_string(),
             nodes: self.spec.nodes,
+            machines: self.spec.machines.name.clone(),
             power_budget_w: self.spec.power_budget_w,
             outcomes,
             makespan_s,
             total_energy_j,
             peak_power_w,
             cap_violations,
+            node_failures,
+            killed_jobs,
         })
     }
 }
 
-/// Convenience: build a cluster and run one policy.
+/// Convenience: build a cluster and run one policy (homogeneous reference
+/// clusters; see [`simulate_fleet`] for mixed-generation specs).
 pub fn simulate(
     spec: &ClusterSpec,
     model: &WorkloadModel,
@@ -464,8 +707,9 @@ pub fn simulate(
 }
 
 /// [`simulate`] with an optional telemetry sink: `Some` traces every job
-/// arrival/start/completion (and, through the policy, every controller
-/// decision and budget redistribution); `None` is exactly [`simulate`].
+/// arrival/start/completion, node crash/recovery, SLO violation (and,
+/// through the policy, every controller decision and budget
+/// redistribution); `None` is exactly [`simulate`].
 pub fn simulate_traced(
     spec: &ClusterSpec,
     model: &WorkloadModel,
@@ -473,6 +717,22 @@ pub fn simulate_traced(
     telemetry: Option<SharedSink>,
 ) -> Result<ClusterReport, ClusterError> {
     let cluster = Cluster::new(spec.clone(), model)?;
+    match telemetry {
+        Some(sink) => cluster.with_telemetry(sink),
+        None => cluster,
+    }
+    .run(policy)
+}
+
+/// [`simulate_traced`] against a fleet of per-generation models — required
+/// whenever the spec's machine mix is not the uniform reference.
+pub fn simulate_fleet(
+    spec: &ClusterSpec,
+    fleet: &FleetModel,
+    policy: &mut dyn SchedulerPolicy,
+    telemetry: Option<SharedSink>,
+) -> Result<ClusterReport, ClusterError> {
+    let cluster = Cluster::new_fleet(spec.clone(), fleet)?;
     match telemetry {
         Some(sink) => cluster.with_telemetry(sink),
         None => cluster,

@@ -60,6 +60,12 @@ pub struct JobCap {
     pub queue_idx: usize,
     /// The job's gang width (nodes it occupies).
     pub width: usize,
+    /// Machine generation the gang is placed on (index into the fleet; 0 on
+    /// homogeneous clusters).
+    pub gen: usize,
+    /// Idle floor of that generation's nodes (W) — what each occupied node
+    /// stops drawing, and the floor [`validate_caps`] enforces.
+    pub node_idle_w: f64,
     /// The per-node cap the coordinator granted (W) — the peak draw of the
     /// plan chosen under it.
     pub node_cap_w: f64,
@@ -102,8 +108,11 @@ struct MenuRef {
     queue_idx: usize,
     /// Gang width (nodes).
     width: usize,
-    /// Key into the coordinator's candidate cache.
-    key: (BenchmarkId, u64),
+    /// Idle floor of the chosen generation's nodes (W).
+    idle_w: f64,
+    /// Key into the coordinator's candidate cache (generation, benchmark,
+    /// effective timesteps).
+    key: (usize, BenchmarkId, u64),
     /// First point in the arena.
     start: usize,
     /// Number of points.
@@ -127,24 +136,25 @@ struct RedistributeScratch {
 /// default is the workload model's ANN decision table.
 pub struct CapCoordinator<C: PowerPerfController = DecisionTableController> {
     plane: ControlPlane<C>,
-    /// The controller's per-phase choices per (benchmark, probed cap).
-    /// Sound to cache because a conformant controller's decisions are a
-    /// pure function of its observations (fed exactly once per phase —
-    /// see [`decide_choices_via_plane`]), so the same probe at a later
-    /// event would decide identically; only the cheap per-job costing
-    /// (duration scaling) is redone.
-    choice_cache: HashMap<(BenchmarkId, u64), Vec<(Configuration, FreqStep)>>,
-    /// Every distinct joint-cell power of a benchmark's phases, sorted
-    /// ascending and deduplicated — the cap probe points. A pure function
-    /// of the static workload model, computed once per benchmark instead
-    /// of re-enumerating (and re-allocating) every phase's joint cells at
-    /// every scheduling event.
-    cap_cache: HashMap<BenchmarkId, Vec<f64>>,
-    /// Full feasible candidate list per `(benchmark, effective timesteps)`:
-    /// one costed plan per probe cap, built eagerly on first sight of the
-    /// pair (sound for the same purity reason as `choice_cache`, plus
-    /// `plan_with_joint` depending on the job only through that pair).
-    menu_cache: HashMap<(BenchmarkId, u64), Vec<MenuCandidate>>,
+    /// The controller's per-phase choices per (generation, benchmark,
+    /// probed cap). Sound to cache because a conformant controller's
+    /// decisions are a pure function of its observations (fed exactly once
+    /// per phase — see [`decide_choices_via_plane`]), so the same probe at
+    /// a later event would decide identically; only the cheap per-job
+    /// costing (duration scaling) is redone.
+    choice_cache: HashMap<(usize, BenchmarkId, u64), Vec<(Configuration, FreqStep)>>,
+    /// Every distinct joint-cell power of a benchmark's phases on one
+    /// generation's machine, sorted ascending and deduplicated — the cap
+    /// probe points. A pure function of the static workload model, computed
+    /// once per (generation, benchmark) instead of re-enumerating (and
+    /// re-allocating) every phase's joint cells at every scheduling event.
+    cap_cache: HashMap<(usize, BenchmarkId), Vec<f64>>,
+    /// Full feasible candidate list per `(generation, benchmark, effective
+    /// timesteps)`: one costed plan per probe cap, built eagerly on first
+    /// sight of the triple (sound for the same purity reason as
+    /// `choice_cache`, plus `plan_with_joint` depending on the job only
+    /// through benchmark and timesteps).
+    menu_cache: HashMap<(usize, BenchmarkId, u64), Vec<MenuCandidate>>,
     /// Reused per-event scratch (menus arena + greedy state).
     scratch: RedistributeScratch,
     /// Attached sink: one [`TraceEvent::Redistribute`] per
@@ -170,6 +180,12 @@ impl CapCoordinator<DecisionTableController> {
     /// per-phase DCT + DVFS choice.
     pub fn from_model(model: &WorkloadModel) -> Self {
         Self::new(model.decision_table())
+    }
+
+    /// The standard coordinator over a heterogeneous fleet: the union
+    /// decision table across every generation's model.
+    pub fn from_fleet(fleet: &crate::fleet::FleetModel) -> Self {
+        Self::new(fleet.decision_table())
     }
 }
 
@@ -209,18 +225,25 @@ impl<C: PowerPerfController> CapCoordinator<C> {
     }
 
     /// Ensures the full feasible candidate list for this job's
-    /// `(benchmark, effective timesteps)` pair is cached and returns the
-    /// key. Every achievable plan peak is the power of some joint cell of
-    /// some phase, so probing one cap per distinct cell power enumerates
-    /// the complete menu; infeasible probes (the controller's lowest-power
-    /// fallback still overdraws the cap) are dropped here, once.
-    fn ensure_candidates(&mut self, ctx: &SchedContext<'_>, job: &Job) -> (BenchmarkId, u64) {
-        let knowledge = ctx.model.knowledge(job.benchmark);
-        let key = (job.benchmark, job.effective_timesteps(knowledge.profile.timesteps) as u64);
+    /// `(generation, benchmark, effective timesteps)` triple is cached and
+    /// returns the key. Every achievable plan peak is the power of some
+    /// joint cell of some phase, so probing one cap per distinct cell power
+    /// enumerates the complete menu; infeasible probes (the controller's
+    /// lowest-power fallback still overdraws the cap) are dropped here,
+    /// once.
+    fn ensure_candidates(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        job: &Job,
+        gen: usize,
+    ) -> (usize, BenchmarkId, u64) {
+        let model = ctx.gen_model(gen);
+        let knowledge = model.knowledge(job.benchmark);
+        let key = (gen, job.benchmark, job.effective_timesteps(knowledge.profile.timesteps) as u64);
         if self.menu_cache.contains_key(&key) {
             return key;
         }
-        let caps = self.cap_cache.entry(job.benchmark).or_insert_with(|| {
+        let caps = self.cap_cache.entry((gen, job.benchmark)).or_insert_with(|| {
             let mut caps: Vec<f64> = knowledge
                 .phases
                 .iter()
@@ -233,14 +256,14 @@ impl<C: PowerPerfController> CapCoordinator<C> {
         });
         let mut cands: Vec<MenuCandidate> = Vec::with_capacity(caps.len());
         for &cap in caps.iter() {
-            let choice_key = (job.benchmark, cap.to_bits());
+            let choice_key = (gen, job.benchmark, cap.to_bits());
             if !self.choice_cache.contains_key(&choice_key) {
                 let fresh =
-                    decide_choices_via_plane(&mut self.plane, ctx, job.benchmark, cap, true);
+                    decide_choices_via_plane(&mut self.plane, model, job.benchmark, cap, true);
                 self.choice_cache.insert(choice_key, fresh);
             }
             let mut iter = self.choice_cache[&choice_key].iter().copied();
-            let plan = ctx.model.plan_with_joint(job, |_| iter.next().expect("one per phase"));
+            let plan = model.plan_with_joint(job, |_| iter.next().expect("one per phase"));
             if plan.peak_power_w > cap + EPS {
                 // Some phase had no admissible cell under this cap — not a
                 // feasible operating point at this probe.
@@ -272,17 +295,45 @@ impl<C: PowerPerfController> CapCoordinator<C> {
         // queue prefix whose cumulative width fits the idle nodes. Each
         // startable job's Pareto menu — the admitted cap prefix, folded to
         // rising peak draw with strictly falling execution time — lands in
-        // the shared point arena.
+        // the shared point arena. On a heterogeneous fleet gangs stay within
+        // one generation; each job goes to the generation with enough free
+        // nodes whose nominal four-core run is fastest (ties to the lower
+        // index — deterministic).
+        let hetero = ctx.is_heterogeneous();
         let mut free = ctx.idle_nodes.len();
+        let mut free_by_gen: Vec<usize> = vec![0; if hetero { ctx.gen_count() } else { 0 }];
+        if hetero {
+            for &n in ctx.idle_nodes {
+                free_by_gen[ctx.gen_of(n)] += 1;
+            }
+        }
         let mut startable_n = 0usize;
         for (queue_idx, job) in ctx.queue.iter().enumerate() {
-            if job.nodes > free {
-                break;
-            }
-            free -= job.nodes;
+            let gen = if hetero {
+                let mut best: Option<(usize, f64)> = None;
+                for (g, &gen_free) in free_by_gen.iter().enumerate() {
+                    if gen_free < job.nodes {
+                        continue;
+                    }
+                    let t = ctx.gen_model(g).four_core_time_s(job.benchmark);
+                    if best.is_none_or(|(_, bt)| t < bt) {
+                        best = Some((g, t));
+                    }
+                }
+                let Some((g, _)) = best else { break };
+                free_by_gen[g] -= job.nodes;
+                g
+            } else {
+                if job.nodes > free {
+                    break;
+                }
+                free -= job.nodes;
+                ctx.common_gen()
+            };
             startable_n += 1;
-            let max_cap_w = headroom_w / job.nodes as f64 + ctx.node_idle_w;
-            let key = self.ensure_candidates(ctx, job);
+            let idle_w = ctx.gen_idle_w(gen);
+            let max_cap_w = headroom_w / job.nodes as f64 + idle_w;
+            let key = self.ensure_candidates(ctx, job, gen);
             let start = scratch.points.len();
             for (cand, c) in self.menu_cache[&key].iter().enumerate() {
                 if c.cap_w > max_cap_w + EPS {
@@ -307,6 +358,7 @@ impl<C: PowerPerfController> CapCoordinator<C> {
             scratch.menus.push(MenuRef {
                 queue_idx,
                 width: job.nodes,
+                idle_w,
                 key,
                 start,
                 len: scratch.points.len() - start,
@@ -323,7 +375,7 @@ impl<C: PowerPerfController> CapCoordinator<C> {
                 break;
             }
             let floor = scratch.points[m.start];
-            let extra = (floor.peak_w - ctx.node_idle_w) * m.width as f64;
+            let extra = (floor.peak_w - m.idle_w) * m.width as f64;
             if spent_w + extra > headroom_w + EPS {
                 break;
             }
@@ -372,6 +424,8 @@ impl<C: PowerPerfController> CapCoordinator<C> {
                 JobCap {
                     queue_idx: m.queue_idx,
                     width: m.width,
+                    gen: m.key.0,
+                    node_idle_w: m.idle_w,
                     node_cap_w: point.peak_w,
                     plan: self.menu_cache[&m.key][point.cand].plan.clone(),
                 }
@@ -379,7 +433,7 @@ impl<C: PowerPerfController> CapCoordinator<C> {
             .collect();
         let upgrades: usize = scratch.chosen.iter().sum();
         self.scratch = scratch;
-        validate_caps(&caps, headroom_w, ctx.node_idle_w)?;
+        validate_caps(&caps, headroom_w)?;
         if let (Some(sink), Some(started)) = (&self.telemetry, started) {
             sink.record_owned(TraceEvent::Redistribute {
                 time_s: ctx.now,
@@ -397,20 +451,21 @@ impl<C: PowerPerfController> CapCoordinator<C> {
 
 /// Validates a redistribution against the budget invariants: the summed
 /// extra draw of all caps must fit the observed headroom, and no cap may
-/// fall below the node idle floor (a job must never be starved beneath the
-/// power an idle node already draws). Violations are typed [`SchedError`]s
-/// so release paths fail loudly without panicking.
-pub fn validate_caps(caps: &[JobCap], headroom_w: f64, node_idle_w: f64) -> Result<(), SchedError> {
+/// fall below its own generation's node idle floor ([`JobCap::node_idle_w`]
+/// — a job must never be starved beneath the power an idle node already
+/// draws). Violations are typed [`SchedError`]s so release paths fail
+/// loudly without panicking.
+pub fn validate_caps(caps: &[JobCap], headroom_w: f64) -> Result<(), SchedError> {
     let total_extra_w: f64 =
-        caps.iter().map(|c| (c.node_cap_w - node_idle_w) * c.width as f64).sum();
+        caps.iter().map(|c| (c.node_cap_w - c.node_idle_w) * c.width as f64).sum();
     if total_extra_w > headroom_w + VALIDATE_EPS {
         return Err(SchedError::CapOverBudget { extra_w: total_extra_w, headroom_w });
     }
     for cap in caps {
-        if cap.node_cap_w < node_idle_w - VALIDATE_EPS {
+        if cap.node_cap_w < cap.node_idle_w - VALIDATE_EPS {
             return Err(SchedError::CapBelowIdleFloor {
                 cap_w: cap.node_cap_w,
-                idle_w: node_idle_w,
+                idle_w: cap.node_idle_w,
             });
         }
     }
@@ -430,6 +485,11 @@ impl CoordinatedPowerPolicy<DecisionTableController> {
     /// The standard coordinated policy over the model's ANN decisions.
     pub fn from_model(model: &WorkloadModel) -> Self {
         Self { coordinator: CapCoordinator::from_model(model) }
+    }
+
+    /// The standard coordinated policy over a heterogeneous fleet.
+    pub fn from_fleet(fleet: &crate::fleet::FleetModel) -> Self {
+        Self { coordinator: CapCoordinator::from_fleet(fleet) }
     }
 }
 
@@ -453,11 +513,17 @@ impl<C: PowerPerfController> SchedulerPolicy for CoordinatedPowerPolicy<C> {
     fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
         match self.coordinator.redistribute(ctx) {
             Ok(caps) => {
-                let mut free: Vec<usize> = ctx.idle_nodes.to_vec();
+                // One free list per generation, so each cap's gang lands on
+                // the generation its menu was priced for. Homogeneous
+                // clusters have a single list — the original behaviour.
+                let mut free_by_gen: Vec<Vec<usize>> = vec![Vec::new(); ctx.gen_count()];
+                for &n in ctx.idle_nodes {
+                    free_by_gen[ctx.gen_of(n)].push(n);
+                }
                 caps.into_iter()
                     .map(|cap| Assignment {
                         queue_idx: cap.queue_idx,
-                        nodes: free.drain(..cap.width).collect(),
+                        nodes: free_by_gen[cap.gen].drain(..cap.width).collect(),
                         plan: cap.plan,
                     })
                     .collect()
@@ -528,6 +594,8 @@ mod tests {
             node_idle_w: IDLE_W,
             node_draw_w,
             running: &[],
+            fleet: None,
+            node_gen: &[],
         }
     }
 
@@ -603,12 +671,19 @@ mod tests {
             energy_j: 100.0,
             peak_power_w: 150.0,
         };
-        let cap = |w: f64| JobCap { queue_idx: 0, width: 2, node_cap_w: w, plan: plan.clone() };
-        assert!(validate_caps(&[cap(120.0)], 40.0, 104.0).is_ok());
-        let err = validate_caps(&[cap(150.0)], 40.0, 104.0).unwrap_err();
+        let cap = |w: f64| JobCap {
+            queue_idx: 0,
+            width: 2,
+            gen: 0,
+            node_idle_w: 104.0,
+            node_cap_w: w,
+            plan: plan.clone(),
+        };
+        assert!(validate_caps(&[cap(120.0)], 40.0).is_ok());
+        let err = validate_caps(&[cap(150.0)], 40.0).unwrap_err();
         assert!(matches!(err, SchedError::CapOverBudget { .. }), "{err}");
         assert!(err.to_string().contains("exceed"), "{err}");
-        let err = validate_caps(&[cap(10.0)], 40.0, 104.0).unwrap_err();
+        let err = validate_caps(&[cap(10.0)], 40.0).unwrap_err();
         assert!(matches!(err, SchedError::CapBelowIdleFloor { .. }), "{err}");
     }
 }

@@ -7,7 +7,10 @@
 //! length). [`WorkloadSpec`] generates job streams reproducibly from a
 //! seeded RNG: Poisson arrivals (exponential interarrival gaps), uniform
 //! benchmark mix, and deadlines derived from each job's four-core execution
-//! time times a slack factor.
+//! time times a slack factor. The [`ArrivalProcess`] axis swaps the plain
+//! Poisson stream for hostile traffic: a diurnally modulated Poisson process
+//! (bursts and lulls via thinning) or multi-tenant streams where every
+//! tenant's jobs carry its priority and an SLO deadline.
 
 use npb_workloads::BenchmarkId;
 use rand::rngs::StdRng;
@@ -42,6 +45,48 @@ impl Job {
     }
 }
 
+/// One tenant of a multi-tenant arrival stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Relative share of the job stream (weights need not sum to 1).
+    pub weight: f64,
+    /// Priority every job of this tenant carries (larger = more urgent).
+    pub priority: u8,
+    /// SLO deadline slack: deadline = arrival + slack × (duration scale ×
+    /// four-core execution time). Every job of a tenant has a deadline.
+    pub slo_slack: f64,
+}
+
+/// How job arrival times (and, for multi-tenant streams, priorities and
+/// deadlines) are drawn.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at rate `1 / mean_interarrival_s` — the
+    /// original, well-behaved stream.
+    #[default]
+    Poisson,
+    /// Diurnally modulated Poisson: the instantaneous rate is
+    /// `base × (1 + amplitude · sin(2π t / period_s))`, realised by thinning
+    /// a homogeneous process at the peak rate. High amplitude with a short
+    /// period is a burst generator; a long period models day/night load.
+    Diurnal {
+        /// Modulation period (s).
+        period_s: f64,
+        /// Modulation depth in `[0, 1)`: 0 is plain Poisson, values near 1
+        /// alternate hard bursts with near-silence.
+        amplitude: f64,
+    },
+    /// Competing tenant streams: each arrival is attributed to a tenant by
+    /// weight, and carries that tenant's priority and an SLO deadline
+    /// derived from its slack. Arrival times follow the base Poisson
+    /// process; `deadline_fraction`/`deadline_slack`/`max_priority` of the
+    /// surrounding spec are ignored (the tenants define urgency).
+    MultiTenant {
+        /// The tenants (at least one, weights positive).
+        tenants: Vec<TenantSpec>,
+    },
+}
+
 /// How a job stream is generated.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -62,6 +107,8 @@ pub struct WorkloadSpec {
     pub deadline_slack: f64,
     /// Maximum priority (priorities are uniform in `0..=max_priority`).
     pub max_priority: u8,
+    /// The arrival process (plain Poisson is the historical stream).
+    pub arrivals: ArrivalProcess,
 }
 
 impl Default for WorkloadSpec {
@@ -75,6 +122,7 @@ impl Default for WorkloadSpec {
             deadline_fraction: 0.5,
             deadline_slack: 4.0,
             max_priority: 2,
+            arrivals: ArrivalProcess::Poisson,
         }
     }
 }
@@ -116,6 +164,41 @@ impl WorkloadSpec {
                 reason: "deadline_slack below 1 makes every deadline unmeetable".into(),
             });
         }
+        match &self.arrivals {
+            ArrivalProcess::Poisson => {}
+            ArrivalProcess::Diurnal { period_s, amplitude } => {
+                if !(period_s.is_finite() && *period_s > 0.0) {
+                    return Err(ClusterError::InvalidSpec {
+                        reason: "diurnal period must be positive".into(),
+                    });
+                }
+                if !(0.0..1.0).contains(amplitude) {
+                    return Err(ClusterError::InvalidSpec {
+                        reason: format!("diurnal amplitude {amplitude} outside [0, 1)"),
+                    });
+                }
+            }
+            ArrivalProcess::MultiTenant { tenants } => {
+                if tenants.is_empty() {
+                    return Err(ClusterError::InvalidSpec {
+                        reason: "multi-tenant stream needs at least one tenant".into(),
+                    });
+                }
+                for t in tenants {
+                    if !(t.weight.is_finite() && t.weight > 0.0) {
+                        return Err(ClusterError::InvalidSpec {
+                            reason: "tenant weights must be positive".into(),
+                        });
+                    }
+                    if !t.slo_slack.is_finite() || t.slo_slack < 1.0 {
+                        return Err(ClusterError::InvalidSpec {
+                            reason: "tenant SLO slack below 1 makes every deadline unmeetable"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -132,18 +215,65 @@ impl WorkloadSpec {
         let mut jobs = Vec::with_capacity(self.num_jobs);
         let mut clock = 0.0f64;
         for id in 0..self.num_jobs {
-            // Exponential interarrival via inverse CDF.
-            let u: f64 = rng.gen_range(0.0..1.0);
-            clock += -self.mean_interarrival_s * (1.0 - u).ln();
+            match &self.arrivals {
+                ArrivalProcess::Poisson | ArrivalProcess::MultiTenant { .. } => {
+                    // Exponential interarrival via inverse CDF.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    clock += -self.mean_interarrival_s * (1.0 - u).ln();
+                }
+                ArrivalProcess::Diurnal { period_s, amplitude } => {
+                    // Thinning (Lewis–Shedler): draw candidates from a
+                    // homogeneous process at the peak rate and accept each
+                    // with probability rate(t) / peak rate. Terminates
+                    // because the acceptance probability is bounded below
+                    // by (1 − a) / (1 + a) > 0 for a < 1.
+                    let peak_rate = (1.0 + amplitude) / self.mean_interarrival_s;
+                    loop {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        clock += -(1.0 - u).ln() / peak_rate;
+                        let phase = std::f64::consts::TAU * clock / period_s;
+                        let rate = (1.0 + amplitude * phase.sin()) / self.mean_interarrival_s;
+                        if rng.gen_bool((rate / peak_rate).clamp(0.0, 1.0)) {
+                            break;
+                        }
+                    }
+                }
+            }
             let benchmark = self.benchmarks[rng.gen_range(0..self.benchmarks.len())];
             let nodes = self.node_counts[rng.gen_range(0..self.node_counts.len())];
             let (lo, hi) = self.duration_scale_range;
             let duration_scale = if hi > lo { rng.gen_range(lo..hi) } else { lo };
-            let priority = rng.gen_range(0..=self.max_priority as u32) as u8;
-            let deadline_s = if rng.gen_bool(self.deadline_fraction) {
-                Some(clock + self.deadline_slack * duration_scale * four_core_time_s(benchmark))
-            } else {
-                None
+            let (priority, deadline_s) = match &self.arrivals {
+                ArrivalProcess::MultiTenant { tenants } => {
+                    // Weighted tenant draw; the job inherits the tenant's
+                    // priority and always carries its SLO deadline.
+                    let total: f64 = tenants.iter().map(|t| t.weight).sum();
+                    let mut pick: f64 = rng.gen_range(0.0..total);
+                    let tenant = tenants
+                        .iter()
+                        .find(|t| {
+                            pick -= t.weight;
+                            pick < 0.0
+                        })
+                        .unwrap_or(tenants.last().expect("validated non-empty"));
+                    let deadline =
+                        clock + tenant.slo_slack * duration_scale * four_core_time_s(benchmark);
+                    (tenant.priority, Some(deadline))
+                }
+                _ => {
+                    let priority = rng.gen_range(0..=self.max_priority as u32) as u8;
+                    let deadline_s = if rng.gen_bool(self.deadline_fraction) {
+                        Some(
+                            clock
+                                + self.deadline_slack
+                                    * duration_scale
+                                    * four_core_time_s(benchmark),
+                        )
+                    } else {
+                        None
+                    };
+                    (priority, deadline_s)
+                }
             };
             jobs.push(Job {
                 id,
@@ -177,6 +307,11 @@ pub struct JobOutcome {
     pub peak_power_w: f64,
     /// Per-phase configurations the job ran with (identical on every node).
     pub decisions: Vec<(String, xeon_sim::Configuration)>,
+    /// Whether the job ran to completion. `false` means a node failure
+    /// killed it mid-run (fault scenarios with the `Kill` policy);
+    /// `finish_s` is then the kill time and `energy_j` the energy charged
+    /// up to it.
+    pub completed: bool,
 }
 
 impl JobOutcome {
@@ -196,9 +331,10 @@ impl JobOutcome {
         self.energy_j * t * t
     }
 
-    /// Whether the job met its deadline (vacuously true without one).
+    /// Whether the job met its deadline (vacuously true without one; a
+    /// killed job never meets a deadline it had).
     pub fn deadline_met(&self) -> bool {
-        self.job.deadline_s.is_none_or(|d| self.finish_s <= d + 1e-9)
+        self.job.deadline_s.is_none_or(|d| self.completed && self.finish_s <= d + 1e-9)
     }
 }
 

@@ -38,27 +38,38 @@
 pub mod cluster;
 pub mod coordinator;
 pub mod error;
+pub mod fleet;
 pub mod job;
 pub mod node;
 pub mod policy;
 pub mod profile;
+pub mod scenario;
 pub mod sweep;
 pub mod tables;
 
 pub use cluster::{
-    budget_from_fraction, simulate, simulate_traced, Cluster, ClusterReport, ClusterSpec,
+    budget_from_fraction, simulate, simulate_fleet, simulate_traced, Cluster, ClusterReport,
+    ClusterSpec,
 };
 pub use coordinator::{validate_caps, CapCoordinator, CoordinatedPowerPolicy, JobCap};
 pub use error::{ClusterError, SchedError};
-pub use job::{Job, JobOutcome, WorkloadSpec};
+pub use fleet::{
+    budget_for_mix, mix_by_name, FleetGen, FleetModel, MachineMix, GEN_PHASE_ID_STRIDE,
+    MACHINE_MIX_NAMES,
+};
+pub use job::{ArrivalProcess, Job, JobOutcome, TenantSpec, WorkloadSpec};
 pub use node::{binding_for, Node};
 pub use policy::{
-    policy_by_name, Assignment, BackfillPolicy, FcfsPolicy, PowerAwarePolicy, SchedContext,
-    SchedulerPolicy, POLICY_NAMES,
+    policy_by_name, policy_by_name_fleet, Assignment, BackfillPolicy, FcfsPolicy, PowerAwarePolicy,
+    SchedContext, SchedulerPolicy, POLICY_NAMES,
 };
 pub use profile::{ExecutionPlan, WorkloadModel};
+pub use scenario::{
+    arrival_process_by_name, fault_scenario_by_name, fault_timeline, FaultPolicy, FaultSpec,
+    FaultTimeline, ARRIVAL_PROCESS_NAMES, FAULT_SCENARIO_NAMES,
+};
 pub use sweep::{
-    default_workload, execute_cell, light_workload, quad_test_workload, run_sweep,
+    default_workload, execute_cell, light_workload, quad_test_workload, run_sweep, run_sweep_fleet,
     run_sweep_traced, workload_shape_by_name, SweepCell, SweepCellOutcome, SweepError, SweepPoint,
     SweepRun, SweepSpec, WORKLOAD_SHAPE_NAMES,
 };

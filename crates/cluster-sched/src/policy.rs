@@ -28,6 +28,7 @@ use xeon_sim::Configuration;
 
 use crate::coordinator::CoordinatedPowerPolicy;
 use crate::error::SchedError;
+use crate::fleet::FleetModel;
 use crate::job::Job;
 use crate::profile::{ExecutionPlan, WorkloadModel};
 
@@ -63,13 +64,21 @@ pub struct SchedContext<'a> {
     /// case `draw_w` is authoritative.
     pub node_draw_w: &'a [f64],
     /// Idle power of one node (W) — what an idle node already contributes to
-    /// `draw_w`.
+    /// `draw_w`. On a heterogeneous fleet this is the *reference*
+    /// generation's floor, used only for pooled approximations
+    /// (reservations); exact per-node floors come from [`Self::gen_idle_w`].
     pub node_idle_w: f64,
     /// Currently running jobs, ascending by finish time.
     pub running: &'a [RunningSummary],
+    /// The fleet, when the cluster may be heterogeneous. `None` means
+    /// single-generation: `model` describes every node.
+    pub fleet: Option<&'a FleetModel>,
+    /// Machine-generation index of each node (into the fleet's generations),
+    /// indexed by node id. Empty means every node is `model`'s machine.
+    pub node_gen: &'a [u16],
 }
 
-impl SchedContext<'_> {
+impl<'a> SchedContext<'a> {
     /// Power headroom available for *additional* draw (W).
     pub fn headroom_w(&self) -> f64 {
         self.budget_w - self.draw_w
@@ -80,6 +89,47 @@ impl SchedContext<'_> {
     /// headroom.
     pub fn node_power_cap_w(&self, k: usize) -> f64 {
         self.headroom_w() / k as f64 + self.node_idle_w
+    }
+
+    /// Machine-generation index of one node (0 when no fleet is attached).
+    pub fn gen_of(&self, node: usize) -> usize {
+        self.node_gen.get(node).map_or(0, |g| *g as usize)
+    }
+
+    /// Number of machine generations in play.
+    pub fn gen_count(&self) -> usize {
+        self.fleet.map_or(1, |f| f.gens().len())
+    }
+
+    /// The workload model of one generation — [`Self::model`] when no fleet
+    /// is attached.
+    pub fn gen_model(&self, gen: usize) -> &'a WorkloadModel {
+        match self.fleet {
+            Some(f) => &f.gen(gen).model,
+            None => self.model,
+        }
+    }
+
+    /// The idle floor of one generation's nodes (W).
+    pub fn gen_idle_w(&self, gen: usize) -> f64 {
+        match self.fleet {
+            Some(f) => f.gen(gen).idle_w,
+            None => self.node_idle_w,
+        }
+    }
+
+    /// Whether the nodes span more than one machine generation. Policies use
+    /// this to keep the homogeneous fast path allocation- and
+    /// byte-identical to the pre-fleet behaviour.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.node_gen.windows(2).any(|w| w[0] != w[1])
+    }
+
+    /// The generation shared by every node on a homogeneous cluster (0 when
+    /// no per-node generations are attached).
+    pub fn common_gen(&self) -> usize {
+        debug_assert!(!self.is_heterogeneous());
+        self.node_gen.first().map_or(0, |g| *g as usize)
     }
 }
 
@@ -149,28 +199,88 @@ pub fn policy_by_name(
     }
 }
 
+/// [`policy_by_name`] over a heterogeneous fleet: the controller behind the
+/// power-aware policies is the *union* decision table across every
+/// generation's model (sound because each generation's phase ids live in
+/// their own namespace — see [`crate::fleet::GEN_PHASE_ID_STRIDE`]). On a
+/// single-generation fleet this is exactly [`policy_by_name`].
+pub fn policy_by_name_fleet(
+    name: &str,
+    fleet: &FleetModel,
+) -> Result<Box<dyn SchedulerPolicy>, SchedError> {
+    match name {
+        "fcfs" => Ok(Box::new(FcfsPolicy)),
+        "backfill" => Ok(Box::new(BackfillPolicy)),
+        "power-aware" => Ok(Box::new(PowerAwarePolicy::new(fleet.decision_table()))),
+        "power-aware-dvfs" => {
+            Ok(Box::new(PowerAwarePolicy::new(fleet.decision_table()).with_dvfs()))
+        }
+        "power-aware-coordinated" => {
+            Ok(Box::new(CoordinatedPowerPolicy::new(fleet.decision_table())))
+        }
+        _ => Err(SchedError::UnknownPolicy { requested: name.to_string() }),
+    }
+}
+
 /// Greedy in-order assignment helper shared by FCFS and power-aware: walks
-/// the queue, planning each job via `plan_job`; stops at the first job that
-/// cannot start (strict queue discipline).
+/// the queue, planning each job via `plan_job(job, node_cap, gen)`; stops at
+/// the first job that cannot start (strict queue discipline).
+///
+/// On a homogeneous cluster this is the original single-model walk. On a
+/// heterogeneous fleet gangs stay within one generation (an SPMD gang runs
+/// one plan, priced for one machine), and each job is placed on the
+/// generation with enough free nodes whose plan finishes soonest.
 fn assign_in_order(
     ctx: &SchedContext<'_>,
-    mut plan_job: impl FnMut(&Job, f64) -> Option<ExecutionPlan>,
+    mut plan_job: impl FnMut(&Job, f64, usize) -> Option<ExecutionPlan>,
 ) -> Vec<Assignment> {
     let mut out = Vec::new();
-    let mut free: Vec<usize> = ctx.idle_nodes.to_vec();
     let mut headroom = ctx.headroom_w();
+    if !ctx.is_heterogeneous() {
+        let gen = ctx.common_gen();
+        let mut free: Vec<usize> = ctx.idle_nodes.to_vec();
+        for (queue_idx, job) in ctx.queue.iter().enumerate() {
+            let k = job.nodes;
+            if free.len() < k {
+                break;
+            }
+            let node_cap = headroom / k as f64 + ctx.node_idle_w;
+            let Some(plan) = plan_job(job, node_cap, gen) else { break };
+            if (plan.peak_power_w - ctx.node_idle_w) * k as f64 > headroom + 1e-9 {
+                break;
+            }
+            headroom -= (plan.peak_power_w - ctx.node_idle_w) * k as f64;
+            let nodes: Vec<usize> = free.drain(..k).collect();
+            out.push(Assignment { queue_idx, nodes, plan });
+        }
+        return out;
+    }
+    let mut free_by_gen: Vec<Vec<usize>> = vec![Vec::new(); ctx.gen_count()];
+    for &n in ctx.idle_nodes {
+        free_by_gen[ctx.gen_of(n)].push(n);
+    }
     for (queue_idx, job) in ctx.queue.iter().enumerate() {
         let k = job.nodes;
-        if free.len() < k {
-            break;
+        let mut best: Option<(usize, ExecutionPlan)> = None;
+        for (gen, free) in free_by_gen.iter().enumerate() {
+            if free.len() < k {
+                continue;
+            }
+            let idle_w = ctx.gen_idle_w(gen);
+            let node_cap = headroom / k as f64 + idle_w;
+            let Some(plan) = plan_job(job, node_cap, gen) else { continue };
+            if (plan.peak_power_w - idle_w) * k as f64 > headroom + 1e-9 {
+                continue;
+            }
+            // Fastest wins; ties go to the lower generation index, so the
+            // choice is deterministic.
+            if best.as_ref().is_none_or(|(_, b)| plan.exec_time_s < b.exec_time_s) {
+                best = Some((gen, plan));
+            }
         }
-        let node_cap = headroom / k as f64 + ctx.node_idle_w;
-        let Some(plan) = plan_job(job, node_cap) else { break };
-        if (plan.peak_power_w - ctx.node_idle_w) * k as f64 > headroom + 1e-9 {
-            break;
-        }
-        headroom -= (plan.peak_power_w - ctx.node_idle_w) * k as f64;
-        let nodes: Vec<usize> = free.drain(..k).collect();
+        let Some((gen, plan)) = best else { break };
+        headroom -= (plan.peak_power_w - ctx.gen_idle_w(gen)) * k as f64;
+        let nodes: Vec<usize> = free_by_gen[gen].drain(..k).collect();
         out.push(Assignment { queue_idx, nodes, plan });
     }
     out
@@ -186,8 +296,8 @@ impl SchedulerPolicy for FcfsPolicy {
     }
 
     fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
-        assign_in_order(ctx, |job, node_cap| {
-            let plan = ctx.model.plan_fixed(job, Configuration::Four);
+        assign_in_order(ctx, |job, node_cap, gen| {
+            let plan = ctx.gen_model(gen).plan_fixed(job, Configuration::Four);
             (plan.peak_power_w <= node_cap).then_some(plan)
         })
     }
@@ -230,12 +340,10 @@ impl BackfillPolicy {
     }
 }
 
-impl SchedulerPolicy for BackfillPolicy {
-    fn name(&self) -> &'static str {
-        "backfill"
-    }
-
-    fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
+impl BackfillPolicy {
+    /// The original single-model pass: one free list, one planning model.
+    fn assign_uniform(ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        let model = ctx.gen_model(ctx.common_gen());
         let mut out = Vec::new();
         let mut free: Vec<usize> = ctx.idle_nodes.to_vec();
         let mut headroom = ctx.headroom_w();
@@ -245,7 +353,7 @@ impl SchedulerPolicy for BackfillPolicy {
         let mut reservation: Option<(f64, usize, f64)> = None;
         for (queue_idx, job) in ctx.queue.iter().enumerate() {
             let k = job.nodes;
-            let plan = ctx.model.plan_fixed(job, Configuration::Four);
+            let plan = model.plan_fixed(job, Configuration::Four);
             let extra_w = (plan.peak_power_w - ctx.node_idle_w) * k as f64;
             let fits_now = free.len() >= k && extra_w <= headroom + 1e-9;
             match reservation {
@@ -292,6 +400,85 @@ impl SchedulerPolicy for BackfillPolicy {
         }
         out
     }
+
+    /// Heterogeneous pass: same-generation gangs placed on the fastest
+    /// generation with room. The head's reservation is approximated on the
+    /// pooled node count with the reference generation's plan peak — exact
+    /// per-generation reservations would need per-generation release
+    /// tracking for a corner the EASY condition already keeps conservative.
+    fn assign_hetero(ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let mut free_by_gen: Vec<Vec<usize>> = vec![Vec::new(); ctx.gen_count()];
+        for &n in ctx.idle_nodes {
+            free_by_gen[ctx.gen_of(n)].push(n);
+        }
+        let mut total_free = ctx.idle_nodes.len();
+        let mut headroom = ctx.headroom_w();
+        let mut started: Vec<RunningSummary> = Vec::new();
+        let mut reservation: Option<f64> = None;
+        for (queue_idx, job) in ctx.queue.iter().enumerate() {
+            let k = job.nodes;
+            let mut best: Option<(usize, ExecutionPlan)> = None;
+            for (gen, free) in free_by_gen.iter().enumerate() {
+                if free.len() < k {
+                    continue;
+                }
+                let plan = ctx.gen_model(gen).plan_fixed(job, Configuration::Four);
+                if (plan.peak_power_w - ctx.gen_idle_w(gen)) * k as f64 > headroom + 1e-9 {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(_, b)| plan.exec_time_s < b.exec_time_s) {
+                    best = Some((gen, plan));
+                }
+            }
+            let fits = best.is_some();
+            let backfill_ok = match (reservation, &best) {
+                (None, _) => true,
+                (Some(t), Some((_, plan))) => ctx.now + plan.exec_time_s <= t + 1e-9,
+                (Some(_), None) => false,
+            };
+            if fits && backfill_ok {
+                let (gen, plan) = best.expect("fits");
+                headroom -= (plan.peak_power_w - ctx.gen_idle_w(gen)) * k as f64;
+                started.push(RunningSummary {
+                    finish_s: ctx.now + plan.exec_time_s,
+                    nodes: k,
+                    node_peak_w: plan.peak_power_w,
+                });
+                total_free -= k;
+                let nodes: Vec<usize> = free_by_gen[gen].drain(..k).collect();
+                out.push(Assignment { queue_idx, nodes, plan });
+            } else if reservation.is_none() {
+                let ref_plan = ctx.gen_model(0).plan_fixed(job, Configuration::Four);
+                reservation = Some(Self::reservation_time(
+                    ctx,
+                    &started,
+                    total_free,
+                    headroom,
+                    k,
+                    ref_plan.peak_power_w,
+                ));
+            }
+            if total_free == 0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl SchedulerPolicy for BackfillPolicy {
+    fn name(&self) -> &'static str {
+        "backfill"
+    }
+
+    fn assign(&mut self, ctx: &SchedContext<'_>) -> Vec<Assignment> {
+        if ctx.is_heterogeneous() {
+            Self::assign_hetero(ctx)
+        } else {
+            Self::assign_uniform(ctx)
+        }
+    }
 }
 
 /// Plans one job through a [`ControlPlane`]: per phase, observe the
@@ -308,14 +495,14 @@ impl SchedulerPolicy for BackfillPolicy {
 /// plane — is the contract's one definition).
 pub(crate) fn plan_via_plane<C: PowerPerfController>(
     plane: &mut ControlPlane<C>,
-    ctx: &SchedContext<'_>,
+    model: &WorkloadModel,
     job: &Job,
     node_cap: f64,
     dvfs: bool,
 ) -> ExecutionPlan {
-    let choices = decide_choices_via_plane(plane, ctx, job.benchmark, node_cap, dvfs);
+    let choices = decide_choices_via_plane(plane, model, job.benchmark, node_cap, dvfs);
     let mut iter = choices.into_iter();
-    ctx.model.plan_with_joint(job, |_| iter.next().expect("one choice per phase"))
+    model.plan_with_joint(job, |_| iter.next().expect("one choice per phase"))
 }
 
 /// The decide half of [`plan_via_plane`]: the controller's validated
@@ -327,16 +514,16 @@ pub(crate) fn plan_via_plane<C: PowerPerfController>(
 /// which is what lets the coordinator cache it across scheduling events.
 pub(crate) fn decide_choices_via_plane<C: PowerPerfController>(
     plane: &mut ControlPlane<C>,
-    ctx: &SchedContext<'_>,
+    model: &WorkloadModel,
     benchmark: npb_workloads::BenchmarkId,
     node_cap: f64,
     dvfs: bool,
 ) -> Vec<(Configuration, phase_rt::FreqStep)> {
-    let ladder = ctx.model.freq_ladder();
-    let k = ctx.model.knowledge(benchmark);
+    let ladder = model.freq_ladder();
+    let k = model.knowledge(benchmark);
     let mut choices = Vec::with_capacity(k.phases.len());
     for (idx, phase) in k.phases.iter().enumerate() {
-        let pid = ctx.model.phase_id(benchmark, idx);
+        let pid = model.phase_id(benchmark, idx);
         plane.observe_once(pid, || phase.sample());
         // Both menus are borrowed from the model's per-phase caches — the
         // planning loop allocates nothing per decide beyond the returned
@@ -386,6 +573,12 @@ impl PowerAwarePolicy<DecisionTableController> {
     pub fn from_model(model: &WorkloadModel) -> Self {
         Self::new(model.decision_table())
     }
+
+    /// The standard policy over a heterogeneous fleet: the union decision
+    /// table across every generation's model.
+    pub fn from_fleet(fleet: &FleetModel) -> Self {
+        Self::new(fleet.decision_table())
+    }
 }
 
 impl<C: PowerPerfController> PowerAwarePolicy<C> {
@@ -423,7 +616,9 @@ impl<C: PowerPerfController> SchedulerPolicy for PowerAwarePolicy<C> {
         // budget check in `assign_in_order`.
         let plane = &mut self.plane;
         let dvfs = self.dvfs;
-        assign_in_order(ctx, |job, node_cap| Some(plan_via_plane(plane, ctx, job, node_cap, dvfs)))
+        assign_in_order(ctx, |job, node_cap, gen| {
+            Some(plan_via_plane(plane, ctx.gen_model(gen), job, node_cap, dvfs))
+        })
     }
 
     fn set_telemetry(&mut self, sink: actor_core::telemetry::SharedSink) {
@@ -481,6 +676,8 @@ mod tests {
             node_idle_w: IDLE_W,
             node_draw_w: &[],
             running,
+            fleet: None,
+            node_gen: &[],
         }
     }
 

@@ -216,9 +216,14 @@ impl ExecutionPlan {
 #[derive(Debug, Clone)]
 pub struct WorkloadModel {
     benchmarks: Vec<(BenchmarkId, BenchmarkKnowledge)>,
-    /// The node machine's voltage/frequency ladder (all nodes are identical),
+    /// The voltage/frequency ladder of the machine this model was built on,
     /// offered to DVFS-aware policies.
     ladder: FreqLadder,
+    /// Offset added to every [`PhaseId`] this model mints. Zero for a
+    /// homogeneous cluster; a heterogeneous fleet gives each generation's
+    /// model its own disjoint namespace so one shared controller table can
+    /// hold all generations' decisions without aliasing.
+    phase_id_base: u32,
 }
 
 impl WorkloadModel {
@@ -279,7 +284,23 @@ impl WorkloadModel {
                 .collect();
             benchmarks.push((profile.id, BenchmarkKnowledge { profile, phases }));
         }
-        Ok(Self { benchmarks, ladder: machine.freq_ladder().clone() })
+        Ok(Self { benchmarks, ladder: machine.freq_ladder().clone(), phase_id_base: 0 })
+    }
+
+    /// Moves this model's phase ids into their own namespace starting at
+    /// `base` (see [`Self::phase_id`]). `base` must be a multiple of the
+    /// per-benchmark stride times the benchmark count headroom; the fleet
+    /// builder is the one caller and spaces generations far apart.
+    #[must_use]
+    pub fn with_phase_id_base(mut self, base: u32) -> Self {
+        self.phase_id_base = base;
+        self
+    }
+
+    /// The offset of this model's phase-id namespace (zero unless the model
+    /// is part of a heterogeneous fleet).
+    pub fn phase_id_base(&self) -> u32 {
+        self.phase_id_base
     }
 
     /// The node machine's voltage/frequency ladder.
@@ -316,16 +337,23 @@ impl WorkloadModel {
             .iter()
             .position(|(b, _)| *b == id)
             .expect("job benchmarks must be part of the workload model");
-        PhaseId::new(bench_idx as u32 * PHASE_ID_STRIDE + phase_idx as u32)
+        PhaseId::new(self.phase_id_base + bench_idx as u32 * PHASE_ID_STRIDE + phase_idx as u32)
     }
 
     /// The model's ANN decisions as a [`DecisionTableController`] — the
     /// default controller behind the power-aware scheduling policy, keyed by
     /// [`Self::phase_id`].
     pub fn decision_table(&self) -> DecisionTableController {
-        DecisionTableController::new(self.benchmarks.iter().flat_map(|(id, k)| {
+        DecisionTableController::new(self.decision_entries())
+    }
+
+    /// The `(phase id, decision)` pairs behind [`Self::decision_table`], for
+    /// callers that merge several models into one controller (heterogeneous
+    /// fleets, where each generation's ids live in their own namespace).
+    pub fn decision_entries(&self) -> impl Iterator<Item = (PhaseId, ThrottleDecision)> + '_ {
+        self.benchmarks.iter().flat_map(|(id, k)| {
             k.phases.iter().enumerate().map(|(i, p)| (self.phase_id(*id, i), p.decision.clone()))
-        }))
+        })
     }
 
     /// Four-core execution time of one unscaled run (for deadline generation

@@ -1,0 +1,285 @@
+//! Scenario layer: fault injection and hostile arrival presets.
+//!
+//! The paper evaluates policies on a healthy machine fed a steady stream of
+//! jobs. Real clusters are neither: nodes crash and come back, aging parts
+//! straggle, and traffic arrives in bursts with tenants holding SLOs. This
+//! module turns those hazards into *named, seeded, deterministic* scenario
+//! axes the sweep engine can grid over:
+//!
+//! * [`FaultSpec`] — crash/recover schedules (exponential MTTF/MTTR) and
+//!   straggler nodes running at a degraded rate, with a [`FaultPolicy`]
+//!   deciding whether a gang caught on a failed node is rescheduled or
+//!   killed. Presets under [`FAULT_SCENARIO_NAMES`].
+//! * [`arrival_process_by_name`] — presets over
+//!   [`ArrivalProcess`]: plain Poisson, diurnal
+//!   and bursty modulated-Poisson streams, and a multi-tenant priority/SLO
+//!   stream. Presets under [`ARRIVAL_PROCESS_NAMES`].
+//!
+//! Everything is derived from the spec seed through [`fault_timeline`], so a
+//! `(spec, seed)` pair produces one fault schedule regardless of process,
+//! thread count, or event interleaving — the byte-identity contract of the
+//! sweep engine extends to faults.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+use crate::job::{ArrivalProcess, TenantSpec};
+
+/// Names of the built-in fault scenarios accepted by the sweep engine's
+/// `faults=` axis (see [`fault_scenario_by_name`]).
+pub const FAULT_SCENARIO_NAMES: [&str; 4] = ["none", "crash", "stragglers", "storm"];
+
+/// Names of the built-in arrival processes accepted by the sweep engine's
+/// `arrivals=` axis (see [`arrival_process_by_name`]).
+pub const ARRIVAL_PROCESS_NAMES: [&str; 4] = ["poisson", "diurnal", "bursty", "tenants"];
+
+/// What happens to a gang job whose node fails mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPolicy {
+    /// Abort every member and put the job back at the head of its priority
+    /// class in the queue; it reruns from scratch on healthy nodes.
+    Reschedule,
+    /// Abort every member and record the job as failed (`completed: false`);
+    /// a missed deadline on a killed job still counts as an SLO violation.
+    Kill,
+}
+
+/// Seeded fault injection for one cluster run.
+///
+/// `mttf_s`/`mttr_s` are the means of exponential time-to-failure and
+/// time-to-repair draws made independently per node; `mttf_s == 0` disables
+/// crashes. A `straggler_fraction` of nodes (an independent seeded coin per
+/// node) runs every job `straggler_slowdown`× longer than planned — the
+/// degraded-clock latent fault mode, invisible to the planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Scenario name, used in reports and as the sweep-axis value.
+    pub scenario: String,
+    /// Mean time to failure per node (s); `0` disables crashes.
+    pub mttf_s: f64,
+    /// Mean time to repair per node (s).
+    pub mttr_s: f64,
+    /// Cap on crash/recover cycles per node (bounds the event horizon).
+    pub max_failures_per_node: usize,
+    /// Fraction of nodes that straggle, in `[0, 1]`.
+    pub straggler_fraction: f64,
+    /// Execution-time multiplier on straggler nodes, `>= 1`.
+    pub straggler_slowdown: f64,
+    /// Fate of gangs caught on a failing node.
+    pub on_failure: FaultPolicy,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            scenario: "none".into(),
+            mttf_s: 0.0,
+            mttr_s: 0.0,
+            max_failures_per_node: 0,
+            straggler_fraction: 0.0,
+            straggler_slowdown: 1.0,
+            on_failure: FaultPolicy::Reschedule,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Whether this spec injects anything at all.
+    pub fn is_none(&self) -> bool {
+        (self.mttf_s <= 0.0 || self.max_failures_per_node == 0)
+            && (self.straggler_fraction <= 0.0 || self.straggler_slowdown <= 1.0)
+    }
+
+    /// Checks rates and fractions are finite and in range.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let bad = |reason: String| Err(ClusterError::InvalidSpec { reason });
+        if !(self.mttf_s.is_finite() && self.mttf_s >= 0.0) {
+            return bad(format!("fault mttf_s {} must be finite and >= 0", self.mttf_s));
+        }
+        if self.mttf_s > 0.0 && !(self.mttr_s.is_finite() && self.mttr_s > 0.0) {
+            return bad(format!(
+                "fault mttr_s {} must be finite and > 0 when crashes are on",
+                self.mttr_s
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.straggler_fraction) {
+            return bad(format!("straggler_fraction {} outside [0, 1]", self.straggler_fraction));
+        }
+        if !(self.straggler_slowdown.is_finite() && self.straggler_slowdown >= 1.0) {
+            return bad(format!(
+                "straggler_slowdown {} must be finite and >= 1",
+                self.straggler_slowdown
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a built-in fault scenario by name (see [`FAULT_SCENARIO_NAMES`]):
+/// `"none"`, `"crash"` (occasional crash + reschedule), `"stragglers"`
+/// (a quarter of nodes 1.6× slow, no crashes), `"storm"` (frequent crashes,
+/// stragglers, and gangs killed rather than rescheduled).
+pub fn fault_scenario_by_name(name: &str) -> Option<FaultSpec> {
+    let mut spec = FaultSpec { scenario: name.into(), ..FaultSpec::default() };
+    match name {
+        "none" => {}
+        "crash" => {
+            spec.mttf_s = 600.0;
+            spec.mttr_s = 120.0;
+            spec.max_failures_per_node = 2;
+        }
+        "stragglers" => {
+            spec.straggler_fraction = 0.25;
+            spec.straggler_slowdown = 1.6;
+        }
+        "storm" => {
+            spec.mttf_s = 240.0;
+            spec.mttr_s = 60.0;
+            spec.max_failures_per_node = 3;
+            spec.straggler_fraction = 0.25;
+            spec.straggler_slowdown = 1.5;
+            spec.on_failure = FaultPolicy::Kill;
+        }
+        _ => return None,
+    }
+    Some(spec)
+}
+
+/// Resolves a built-in arrival process by name (see
+/// [`ARRIVAL_PROCESS_NAMES`]): `"poisson"` (the paper's steady stream),
+/// `"diurnal"` (slow ±70 % load wave), `"bursty"` (short near-saturating
+/// bursts), `"tenants"` (three priority classes with SLO deadlines: batch,
+/// standard, premium).
+pub fn arrival_process_by_name(name: &str) -> Option<ArrivalProcess> {
+    match name {
+        "poisson" => Some(ArrivalProcess::Poisson),
+        "diurnal" => Some(ArrivalProcess::Diurnal { period_s: 300.0, amplitude: 0.7 }),
+        "bursty" => Some(ArrivalProcess::Diurnal { period_s: 60.0, amplitude: 0.95 }),
+        "tenants" => Some(ArrivalProcess::MultiTenant {
+            tenants: vec![
+                TenantSpec { weight: 3.0, priority: 0, slo_slack: 8.0 },
+                TenantSpec { weight: 2.0, priority: 1, slo_slack: 4.0 },
+                TenantSpec { weight: 1.0, priority: 2, slo_slack: 2.0 },
+            ],
+        }),
+        _ => None,
+    }
+}
+
+/// The precomputed, deterministic fault schedule of one run: what the
+/// cluster event loop replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTimeline {
+    /// `(time_s, node, fail)` transitions, sorted by time (ties by node);
+    /// `fail == true` is a crash, `false` a recovery. Crash/recover pairs
+    /// per node never overlap.
+    pub transitions: Vec<(f64, usize, bool)>,
+    /// Per-node execution-time multiplier (`1.0` for healthy nodes).
+    pub slowdowns: Vec<f64>,
+}
+
+/// Mixes a node id into the spec seed so per-node fault streams are
+/// decorrelated but reproducible (splitmix-style odd multiplier).
+fn node_seed(seed: u64, node: usize, salt: u64) -> u64 {
+    seed ^ salt ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node as u64 + 1))
+}
+
+/// Exponential draw with the inverse-CDF transform used by
+/// [`WorkloadSpec::generate`](crate::job::WorkloadSpec::generate).
+fn exp_draw(rng: &mut StdRng, mean_s: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mean_s * (1.0 - u).ln()
+}
+
+/// Expands a [`FaultSpec`] into the [`FaultTimeline`] for an `nodes`-node
+/// cluster under `seed`. Each node draws its own crash/recover sequence and
+/// straggler coin from a seed mixed from `(seed, node)`, so the timeline is
+/// independent of node iteration order and identical in every worker
+/// process.
+pub fn fault_timeline(spec: &FaultSpec, nodes: usize, seed: u64) -> FaultTimeline {
+    const CRASH_SALT: u64 = 0xFA17_0C4A_5B1E_0001;
+    const STRAGGLER_SALT: u64 = 0xFA17_0C4A_5B1E_0002;
+    let mut transitions = Vec::new();
+    let mut slowdowns = vec![1.0; nodes];
+    for (node, slowdown) in slowdowns.iter_mut().enumerate() {
+        if spec.mttf_s > 0.0 && spec.max_failures_per_node > 0 {
+            let mut rng = StdRng::seed_from_u64(node_seed(seed, node, CRASH_SALT));
+            let mut t = 0.0;
+            for _ in 0..spec.max_failures_per_node {
+                t += exp_draw(&mut rng, spec.mttf_s);
+                transitions.push((t, node, true));
+                t += exp_draw(&mut rng, spec.mttr_s);
+                transitions.push((t, node, false));
+            }
+        }
+        if spec.straggler_fraction > 0.0 && spec.straggler_slowdown > 1.0 {
+            let mut rng = StdRng::seed_from_u64(node_seed(seed, node, STRAGGLER_SALT));
+            if rng.gen_bool(spec.straggler_fraction.clamp(0.0, 1.0)) {
+                *slowdown = spec.straggler_slowdown;
+            }
+        }
+    }
+    transitions.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    FaultTimeline { transitions, slowdowns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in FAULT_SCENARIO_NAMES {
+            let spec = fault_scenario_by_name(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(spec.scenario, name);
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(fault_scenario_by_name("meteor").is_none());
+        assert!(fault_scenario_by_name("none").unwrap().is_none());
+        assert!(!fault_scenario_by_name("storm").unwrap().is_none());
+        for name in ARRIVAL_PROCESS_NAMES {
+            assert!(arrival_process_by_name(name).is_some(), "{name} should resolve");
+        }
+        assert!(arrival_process_by_name("carrier-pigeon").is_none());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_specs() {
+        let mut s = FaultSpec { straggler_fraction: 1.5, ..FaultSpec::default() };
+        assert!(s.validate().is_err());
+        s.straggler_fraction = 0.5;
+        s.straggler_slowdown = 0.5;
+        assert!(s.validate().is_err());
+        s.straggler_slowdown = 2.0;
+        assert!(s.validate().is_ok());
+        s.mttf_s = 100.0; // crashes on but mttr unset
+        assert!(s.validate().is_err());
+        s.mttr_s = 10.0;
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn timelines_are_deterministic_sorted_and_alternating() {
+        let spec = fault_scenario_by_name("storm").unwrap();
+        let a = fault_timeline(&spec, 12, 7);
+        let b = fault_timeline(&spec, 12, 7);
+        assert_eq!(a, b, "same (spec, nodes, seed) must replay identically");
+        let c = fault_timeline(&spec, 12, 8);
+        assert_ne!(a, c, "seed must matter");
+        assert!(a.transitions.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by time");
+        for node in 0..12 {
+            let per: Vec<bool> =
+                a.transitions.iter().filter(|t| t.1 == node).map(|t| t.2).collect();
+            assert_eq!(per.len(), 2 * spec.max_failures_per_node);
+            for (i, fail) in per.iter().enumerate() {
+                assert_eq!(*fail, i % 2 == 0, "fail/recover must alternate per node");
+            }
+        }
+        assert!(a.slowdowns.iter().all(|s| *s == 1.0 || *s == spec.straggler_slowdown));
+        let none = fault_timeline(&FaultSpec::default(), 12, 7);
+        assert!(none.transitions.is_empty());
+        assert!(none.slowdowns.iter().all(|s| *s == 1.0));
+    }
+}

@@ -2,17 +2,19 @@
 //! concurrently on a [`phase_rt::ThreadPool`].
 //!
 //! The cluster sweeps (`cluster_power_cap`, `coordinated_capping`, the
-//! policy-search `cluster_sweep` grid) are embarrassingly parallel: every
-//! (nodes × budget × policy × seed) cell is an independent discrete-event
-//! simulation against the same immutable [`WorkloadModel`]. The engine
-//! expands a [`SweepSpec`] into ordered [`SweepCell`]s, shares the model by
-//! `Arc` (built once — thousands of cells never re-train the ANN
-//! ensembles), executes cells on a worker pool, and streams results back
-//! over a channel in completion order while preserving a deterministic
-//! *report* order: [`run_sweep`] returns outcomes sorted by cell index, so
-//! rendered CSV/JSON is bit-identical regardless of worker count or
-//! completion order (`actor_core::report::StreamingReporter` is the
-//! matching presentation adapter).
+//! policy-search `cluster_sweep` grid, the `scenario_sweep` hazard grids)
+//! are embarrassingly parallel: every
+//! (nodes × budget × policy × machines × faults × arrivals × seed) cell is
+//! an independent discrete-event simulation against the same immutable
+//! [`FleetModel`]. The engine expands a [`SweepSpec`] into ordered
+//! [`SweepCell`]s, shares the fleet by `Arc` (built once — thousands of
+//! cells never re-train the ANN ensembles), executes cells on a worker
+//! pool, and streams results back over a channel in completion order while
+//! preserving a deterministic *report* order: [`run_sweep_fleet`] returns
+//! outcomes sorted by cell index, so rendered CSV/JSON is bit-identical
+//! regardless of worker count or completion order
+//! (`actor_core::report::StreamingReporter` is the matching presentation
+//! adapter).
 //!
 //! Worker panics do not poison the engine: the pool catches the unwind at
 //! the job boundary and the sweep join surfaces it as
@@ -25,13 +27,16 @@ use std::time::Instant;
 use actor_core::telemetry::{SharedSink, TraceEvent};
 use phase_rt::{RtError, ThreadPool};
 use serde::{Deserialize, Serialize};
-use xeon_sim::Machine;
 
-use crate::cluster::{budget_from_fraction, simulate_traced, ClusterReport, ClusterSpec};
+use crate::cluster::{simulate_fleet, ClusterReport, ClusterSpec};
 use crate::error::ClusterError;
+use crate::fleet::{budget_for_mix, mix_by_name, FleetModel, MACHINE_MIX_NAMES};
 use crate::job::WorkloadSpec;
-use crate::policy::{policy_by_name, POLICY_NAMES};
+use crate::policy::{policy_by_name_fleet, POLICY_NAMES};
 use crate::profile::WorkloadModel;
+use crate::scenario::{
+    arrival_process_by_name, fault_scenario_by_name, ARRIVAL_PROCESS_NAMES, FAULT_SCENARIO_NAMES,
+};
 
 /// The per-node dynamic power ceiling used to translate budget fractions
 /// into watts — the historical constant of every cluster bin.
@@ -108,6 +113,15 @@ pub struct SweepPoint {
     pub budget_fraction: f64,
     /// Scheduling policy name (see [`POLICY_NAMES`]).
     pub policy: String,
+    /// Machine mix name (see [`MACHINE_MIX_NAMES`]); `"uniform"` is the
+    /// historical all-reference cluster.
+    pub machines: String,
+    /// Fault scenario name (see [`FAULT_SCENARIO_NAMES`]); `"none"` is the
+    /// historical healthy cluster.
+    pub faults: String,
+    /// Arrival process name (see [`ARRIVAL_PROCESS_NAMES`]); `"poisson"` is
+    /// the historical steady stream.
+    pub arrivals: String,
     /// Workload generation seed.
     pub seed: u64,
 }
@@ -125,17 +139,26 @@ pub struct SweepCell {
 
 /// A cartesian sweep grid plus explicit extra cells.
 ///
-/// Expansion order is `nodes → budgets → policies → seeds` (the historical
-/// nested-loop order of the cluster bins), with `extra` points appended
-/// afterwards in their given order.
+/// Expansion order is `nodes → budgets → policies → machines → faults →
+/// arrivals → seeds` (the historical nested-loop order of the cluster bins,
+/// with the scenario axes innermost before seeds), with `extra` points
+/// appended afterwards in their given order.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Node-count axis.
     pub nodes: Vec<usize>,
     /// Budget axis: `(label, fraction of the dynamic power range)`.
     pub budgets: Vec<(String, f64)>,
-    /// Policy axis (names accepted by [`policy_by_name`]).
+    /// Policy axis (names accepted by [`policy_by_name_fleet`]).
     pub policies: Vec<String>,
+    /// Machine-mix axis (names accepted by [`mix_by_name`]).
+    pub machine_mixes: Vec<String>,
+    /// Fault-scenario axis (names accepted by
+    /// [`fault_scenario_by_name`]).
+    pub faults: Vec<String>,
+    /// Arrival-process axis (names accepted by
+    /// [`arrival_process_by_name`]).
+    pub arrivals: Vec<String>,
     /// Workload-seed axis.
     pub seeds: Vec<u64>,
     /// Explicit cells appended after the grid (for targeted re-runs and
@@ -154,6 +177,9 @@ impl Default for SweepSpec {
             nodes: vec![8],
             budgets: vec![("tight".into(), 0.45)],
             policies: vec!["power-aware".into()],
+            machine_mixes: vec!["uniform".into()],
+            faults: vec!["none".into()],
+            arrivals: vec!["poisson".into()],
             seeds: vec![2007],
             extra: Vec::new(),
             max_node_w: DEFAULT_MAX_NODE_W,
@@ -203,6 +229,23 @@ impl SweepSpec {
         }
     }
 
+    /// The default grid of the `scenario_sweep` binary: independent vs
+    /// coordinated capping across machine mixes, fault scenarios and
+    /// hostile arrival streams — the heterogeneous+faulty re-run of the
+    /// scoreboard.
+    pub fn scenario_default() -> Self {
+        Self {
+            nodes: vec![8],
+            budgets: vec![("tight".into(), 0.45), ("medium".into(), 0.7)],
+            policies: vec!["power-aware-dvfs".into(), "power-aware-coordinated".into()],
+            machine_mixes: vec!["uniform".into(), "mixed".into(), "legacy".into()],
+            faults: vec!["none".into(), "crash".into()],
+            arrivals: vec!["poisson".into(), "bursty".into()],
+            seeds: vec![2007],
+            ..Self::default()
+        }
+    }
+
     /// Expands the DVFS on/off axis into the policy axis: with `off` only,
     /// the base names; with `on`, each policy that has a joint DVFS+DCT
     /// variant contributes it ("power-aware" → "power-aware-dvfs";
@@ -227,8 +270,9 @@ impl SweepSpec {
         out
     }
 
-    /// Validates the axes: every axis non-empty, every policy known, every
-    /// budget fraction in (0, 1], node counts positive.
+    /// Validates the axes: every axis non-empty, every policy/mix/fault/
+    /// arrival name known, every budget fraction in (0, 1], node counts
+    /// positive.
     pub fn validate(&self) -> Result<(), SweepError> {
         let empty = |name: &'static str| SweepError::InvalidGrid {
             reason: format!("axis {name:?} is empty — the grid has no cells"),
@@ -243,47 +287,100 @@ impl SweepSpec {
             if self.policies.is_empty() {
                 return Err(empty("policies"));
             }
+            if self.machine_mixes.is_empty() {
+                return Err(empty("machines"));
+            }
+            if self.faults.is_empty() {
+                return Err(empty("faults"));
+            }
+            if self.arrivals.is_empty() {
+                return Err(empty("arrivals"));
+            }
             if self.seeds.is_empty() {
                 return Err(empty("seeds"));
             }
         }
-        let check_point = |nodes: usize, fraction: f64, policy: &str| {
-            if nodes == 0 {
-                return Err(SweepError::InvalidGrid {
-                    reason: "node counts must be positive".into(),
-                });
-            }
-            if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
-                return Err(SweepError::InvalidGrid {
-                    reason: format!("budget fraction {fraction} outside (0, 1]"),
-                });
-            }
-            if !POLICY_NAMES.contains(&policy) {
-                return Err(SweepError::InvalidGrid {
-                    reason: format!(
-                        "unknown policy {policy:?}; valid policies are: {}",
-                        POLICY_NAMES.join(", ")
-                    ),
-                });
-            }
-            Ok(())
-        };
+        let check_point =
+            |nodes: usize, fraction: f64, policy: &str, mix: &str, fault: &str, arr: &str| {
+                if nodes == 0 {
+                    return Err(SweepError::InvalidGrid {
+                        reason: "node counts must be positive".into(),
+                    });
+                }
+                if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+                    return Err(SweepError::InvalidGrid {
+                        reason: format!("budget fraction {fraction} outside (0, 1]"),
+                    });
+                }
+                if !POLICY_NAMES.contains(&policy) {
+                    return Err(SweepError::InvalidGrid {
+                        reason: format!(
+                            "unknown policy {policy:?}; valid policies are: {}",
+                            POLICY_NAMES.join(", ")
+                        ),
+                    });
+                }
+                if mix_by_name(mix).is_none() {
+                    return Err(SweepError::InvalidGrid {
+                        reason: format!(
+                            "unknown machine mix {mix:?}; valid mixes are: {}",
+                            MACHINE_MIX_NAMES.join(", ")
+                        ),
+                    });
+                }
+                if fault_scenario_by_name(fault).is_none() {
+                    return Err(SweepError::InvalidGrid {
+                        reason: format!(
+                            "unknown fault scenario {fault:?}; valid scenarios are: {}",
+                            FAULT_SCENARIO_NAMES.join(", ")
+                        ),
+                    });
+                }
+                if arrival_process_by_name(arr).is_none() {
+                    return Err(SweepError::InvalidGrid {
+                        reason: format!(
+                            "unknown arrival process {arr:?}; valid processes are: {}",
+                            ARRIVAL_PROCESS_NAMES.join(", ")
+                        ),
+                    });
+                }
+                Ok(())
+            };
         for &nodes in &self.nodes {
             for (_, fraction) in &self.budgets {
                 for policy in &self.policies {
-                    check_point(nodes, *fraction, policy)?;
+                    for mix in &self.machine_mixes {
+                        for fault in &self.faults {
+                            for arr in &self.arrivals {
+                                check_point(nodes, *fraction, policy, mix, fault, arr)?;
+                            }
+                        }
+                    }
                 }
             }
         }
         for p in &self.extra {
-            check_point(p.nodes, p.budget_fraction, &p.policy)?;
+            check_point(
+                p.nodes,
+                p.budget_fraction,
+                &p.policy,
+                &p.machines,
+                &p.faults,
+                &p.arrivals,
+            )?;
         }
         Ok(())
     }
 
     /// Number of cells the spec expands to.
     pub fn len(&self) -> usize {
-        self.nodes.len() * self.budgets.len() * self.policies.len() * self.seeds.len()
+        self.nodes.len()
+            * self.budgets.len()
+            * self.policies.len()
+            * self.machine_mixes.len()
+            * self.faults.len()
+            * self.arrivals.len()
+            * self.seeds.len()
             + self.extra.len()
     }
 
@@ -293,26 +390,64 @@ impl SweepSpec {
     }
 
     /// Expands the grid into ordered cells (`nodes → budgets → policies →
-    /// seeds`, then `extra`).
+    /// machines → faults → arrivals → seeds`, then `extra`).
     pub fn expand(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.len());
         for &nodes in &self.nodes {
             for (budget_label, budget_fraction) in &self.budgets {
                 for policy in &self.policies {
-                    for &seed in &self.seeds {
-                        cells.push(SweepPoint {
-                            nodes,
-                            budget_label: budget_label.clone(),
-                            budget_fraction: *budget_fraction,
-                            policy: policy.clone(),
-                            seed,
-                        });
+                    for machines in &self.machine_mixes {
+                        for faults in &self.faults {
+                            for arrivals in &self.arrivals {
+                                for &seed in &self.seeds {
+                                    cells.push(SweepPoint {
+                                        nodes,
+                                        budget_label: budget_label.clone(),
+                                        budget_fraction: *budget_fraction,
+                                        policy: policy.clone(),
+                                        machines: machines.clone(),
+                                        faults: faults.clone(),
+                                        arrivals: arrivals.clone(),
+                                        seed,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
         cells.extend(self.extra.iter().cloned());
         cells.into_iter().enumerate().map(|(index, point)| SweepCell { index, point }).collect()
+    }
+
+    /// The machine mixes the grid touches (axis plus extras), resolved —
+    /// exactly what a [`FleetModel::build`] for this sweep must cover.
+    pub fn mixes(&self) -> Result<Vec<crate::fleet::MachineMix>, SweepError> {
+        let mut names: Vec<&str> = Vec::new();
+        for name in self.machine_mixes.iter().chain(self.extra.iter().map(|p| &p.machines)) {
+            if !names.contains(&name.as_str()) {
+                names.push(name);
+            }
+        }
+        names
+            .into_iter()
+            .map(|name| {
+                mix_by_name(name).ok_or_else(|| SweepError::InvalidGrid {
+                    reason: format!(
+                        "unknown machine mix {name:?}; valid mixes are: {}",
+                        MACHINE_MIX_NAMES.join(", ")
+                    ),
+                })
+            })
+            .collect()
+    }
+
+    /// The distinct machine-mix *names* the grid touches, in
+    /// first-appearance order — what a sweep daemon ships on the wire so
+    /// workers rebuild a covering fleet.
+    pub fn mix_names(&self) -> Result<Vec<String>, SweepError> {
+        Ok(self.mixes()?.into_iter().map(|m| m.name).collect())
     }
 
     /// Parses a `--grid` command-line override: semicolon-separated
@@ -325,6 +460,12 @@ impl SweepSpec {
     /// * `nodes` — comma-separated counts.
     /// * `budgets` — comma-separated `label:fraction` pairs.
     /// * `policies` — comma-separated policy names.
+    /// * `machines` — comma-separated machine-mix names
+    ///   ([`MACHINE_MIX_NAMES`]).
+    /// * `faults` — comma-separated fault-scenario names
+    ///   ([`FAULT_SCENARIO_NAMES`]).
+    /// * `arrivals` — comma-separated arrival-process names
+    ///   ([`ARRIVAL_PROCESS_NAMES`]).
     /// * `seeds` — comma-separated values; `a..b` spans the half-open range.
     /// * `dvfs` — `on`, `off` or `both`: rewrites the policy axis through
     ///   [`Self::dvfs_axis`] (apply after `policies`).
@@ -365,6 +506,15 @@ impl SweepSpec {
                 }
                 "policies" => {
                     self.policies = values.split(',').map(|v| v.trim().to_string()).collect();
+                }
+                "machines" => {
+                    self.machine_mixes = values.split(',').map(|v| v.trim().to_string()).collect();
+                }
+                "faults" => {
+                    self.faults = values.split(',').map(|v| v.trim().to_string()).collect();
+                }
+                "arrivals" => {
+                    self.arrivals = values.split(',').map(|v| v.trim().to_string()).collect();
                 }
                 "seeds" => {
                     let mut seeds = Vec::new();
@@ -474,11 +624,15 @@ impl fmt::Display for SweepError {
             SweepError::InvalidGrid { reason } => write!(f, "invalid sweep grid: {reason}"),
             SweepError::Cell { cell, source } => write!(
                 f,
-                "sweep cell {} ({} nodes, {} budget, {}, seed {}) failed: {source}",
+                "sweep cell {} ({} nodes, {} budget, {}, machines {}, faults {}, arrivals {}, \
+                 seed {}) failed: {source}",
                 cell.index,
                 cell.point.nodes,
                 cell.point.budget_label,
                 cell.point.policy,
+                cell.point.machines,
+                cell.point.faults,
+                cell.point.arrivals,
                 cell.point.seed
             ),
             SweepError::Pool(e) => write!(f, "sweep worker pool failed: {e}"),
@@ -509,80 +663,81 @@ fn sweep_cell_event(outcome: &SweepCellOutcome) -> TraceEvent {
     }
 }
 
-/// Runs one cell against the shared model — exactly what each in-process
+/// Runs one cell against the shared fleet — exactly what each in-process
 /// sweep worker does, exported so remote workers (the distributed
 /// `cluster_worker`) execute cells through the *same* code path and stay
-/// byte-identical with `run_sweep`.
+/// byte-identical with [`run_sweep_fleet`].
+///
+/// The cell's machine-mix, fault-scenario and arrival-process names are
+/// resolved here, and the budget is priced with
+/// [`budget_for_mix`] against the cell's own
+/// mix — each node's idle floor is its own generation's, never a hardcoded
+/// reference machine. A mix naming a generation the fleet was not built
+/// with fails loudly inside [`simulate_fleet`].
 ///
 /// `workload` is the spec's shape function (a remote worker rebuilds it via
 /// [`workload_shape_by_name`]) and `max_node_w` the spec's per-node dynamic
-/// ceiling; the idle floor is the node machine's, as in [`run_sweep`].
+/// ceiling.
 pub fn execute_cell(
-    model: &WorkloadModel,
+    fleet: &FleetModel,
     workload: fn(usize) -> WorkloadSpec,
     max_node_w: f64,
     cell: &SweepCell,
-    telemetry: Option<&SharedSink>,
-) -> Result<ClusterReport, ClusterError> {
-    let idle_node_w = Machine::xeon_qx6600().params().power.system_idle_w;
-    execute_cell_inner(model, workload, max_node_w, cell, idle_node_w, telemetry)
-}
-
-/// [`execute_cell`] with the idle floor precomputed (the sweep loops price
-/// it once, not per cell).
-fn execute_cell_inner(
-    model: &WorkloadModel,
-    workload: fn(usize) -> WorkloadSpec,
-    max_node_w: f64,
-    cell: &SweepCell,
-    idle_node_w: f64,
     telemetry: Option<&SharedSink>,
 ) -> Result<ClusterReport, ClusterError> {
     let point = &cell.point;
+    let invalid = |reason: String| ClusterError::InvalidSpec { reason };
+    let machines = mix_by_name(&point.machines).ok_or_else(|| {
+        invalid(format!(
+            "unknown machine mix {:?}; valid mixes are: {}",
+            point.machines,
+            MACHINE_MIX_NAMES.join(", ")
+        ))
+    })?;
+    let faults = fault_scenario_by_name(&point.faults).ok_or_else(|| {
+        invalid(format!(
+            "unknown fault scenario {:?}; valid scenarios are: {}",
+            point.faults,
+            FAULT_SCENARIO_NAMES.join(", ")
+        ))
+    })?;
+    let arrivals = arrival_process_by_name(&point.arrivals).ok_or_else(|| {
+        invalid(format!(
+            "unknown arrival process {:?}; valid processes are: {}",
+            point.arrivals,
+            ARRIVAL_PROCESS_NAMES.join(", ")
+        ))
+    })?;
+    let mut workload = workload(point.nodes);
+    workload.arrivals = arrivals;
     let cluster_spec = ClusterSpec {
         nodes: point.nodes,
-        power_budget_w: budget_from_fraction(
-            point.nodes,
-            idle_node_w,
-            max_node_w,
-            point.budget_fraction,
-        ),
-        workload: workload(point.nodes),
+        power_budget_w: budget_for_mix(point.nodes, &machines, max_node_w, point.budget_fraction),
+        machines,
+        faults,
+        workload,
         seed: point.seed,
     };
-    let mut policy = policy_by_name(&point.policy, model)?;
-    simulate_traced(&cluster_spec, model, policy.as_mut(), telemetry.cloned())
+    let mut policy = policy_by_name_fleet(&point.policy, fleet)?;
+    simulate_fleet(&cluster_spec, fleet, policy.as_mut(), telemetry.cloned())
 }
 
-/// Runs one cell against the shared model.
+/// Runs one cell against the shared fleet.
 fn run_cell(
-    model: &WorkloadModel,
+    fleet: &FleetModel,
     spec: &SweepSpec,
     cell: &SweepCell,
-    idle_node_w: f64,
     telemetry: Option<&SharedSink>,
 ) -> Result<ClusterReport, ClusterError> {
-    execute_cell_inner(model, spec.workload, spec.max_node_w, cell, idle_node_w, telemetry)
+    execute_cell(fleet, spec.workload, spec.max_node_w, cell, telemetry)
 }
 
-/// Executes every cell of `spec` against the shared `model` on `jobs`
-/// worker threads (1 = in-line serial execution, no pool).
-///
-/// `on_cell(outcome, done, total)` streams results in *completion* order as
-/// they arrive — progress narration, incremental CSV rows. The returned
-/// [`SweepRun`] is always sorted by cell index, so anything rendered from
-/// it is bit-identical across worker counts; pair with
-/// `actor_core::report::StreamingReporter` for the presentation side.
-///
-/// The model is `Arc`-shared immutably: one ANN training pass serves every
-/// cell, and each cell constructs its own policy (policies are stateful)
-/// from the shared decision tables.
-///
-/// Budgets are priced against the idle floor of the node machine the
-/// cluster simulation instantiates (`Machine::xeon_qx6600`, the one
-/// machine [`Cluster::new`](crate::cluster::Cluster::new) builds nodes
-/// from) — the same source the pre-engine bins used; generalising the node
-/// machine is a ROADMAP item and must change both places together.
+/// Executes every cell of `spec` against one shared reference model —
+/// the homogeneous compatibility spelling of [`run_sweep_fleet`]: the
+/// model is wrapped once (per sweep, not per cell) as a single-generation
+/// fleet, so grids whose machine axis is `uniform` behave exactly as
+/// before, and a grid that names another mix fails loudly instead of
+/// silently simulating reference nodes.
 pub fn run_sweep(
     spec: &SweepSpec,
     model: &Arc<WorkloadModel>,
@@ -602,12 +757,37 @@ pub fn run_sweep_traced(
     model: &Arc<WorkloadModel>,
     jobs: usize,
     telemetry: Option<SharedSink>,
+    on_cell: impl FnMut(&SweepCellOutcome, usize, usize),
+) -> Result<SweepRun, SweepError> {
+    let fleet = Arc::new(FleetModel::single(WorkloadModel::clone(model)));
+    run_sweep_fleet(spec, &fleet, jobs, telemetry, on_cell)
+}
+
+/// Executes every cell of `spec` against the shared `fleet` on `jobs`
+/// worker threads (1 = in-line serial execution, no pool).
+///
+/// `on_cell(outcome, done, total)` streams results in *completion* order as
+/// they arrive — progress narration, incremental CSV rows. The returned
+/// [`SweepRun`] is always sorted by cell index, so anything rendered from
+/// it is bit-identical across worker counts; pair with
+/// `actor_core::report::StreamingReporter` for the presentation side.
+///
+/// The fleet is `Arc`-shared immutably: one ANN training pass per
+/// generation serves every cell, and each cell constructs its own policy
+/// (policies are stateful) from the shared decision tables. The fleet must
+/// cover every machine mix the grid names ([`SweepSpec::mixes`] lists
+/// them); a missing generation is a loud per-cell error, never a silent
+/// fallback to the reference machine.
+pub fn run_sweep_fleet(
+    spec: &SweepSpec,
+    fleet: &Arc<FleetModel>,
+    jobs: usize,
+    telemetry: Option<SharedSink>,
     mut on_cell: impl FnMut(&SweepCellOutcome, usize, usize),
 ) -> Result<SweepRun, SweepError> {
     spec.validate()?;
     let cells = spec.expand();
     let total = cells.len();
-    let idle_node_w = Machine::xeon_qx6600().params().power.system_idle_w;
     let started = Instant::now();
 
     let mut outcomes: Vec<SweepCellOutcome> = Vec::with_capacity(total);
@@ -619,7 +799,7 @@ pub fn run_sweep_traced(
             // contained and surfaced as WorkerPanicked, not an unwind
             // through the caller.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_cell(model, spec, &cell, idle_node_w, telemetry.as_ref())
+                run_cell(fleet, spec, &cell, telemetry.as_ref())
             }));
             match result {
                 Ok(Ok(report)) => {
@@ -647,12 +827,12 @@ pub fn run_sweep_traced(
         let (tx, rx) = crossbeam::channel::unbounded();
         let shared_spec = Arc::new(spec.clone());
         for cell in cells {
-            let model = Arc::clone(model);
+            let fleet = Arc::clone(fleet);
             let spec = Arc::clone(&shared_spec);
             let tx = tx.clone();
             let telemetry = telemetry.clone();
             pool.execute(move || {
-                let result = run_cell(&model, &spec, &cell, idle_node_w, telemetry.as_ref());
+                let result = run_cell(&fleet, &spec, &cell, telemetry.as_ref());
                 // A send failure means the join loop is gone; nothing to do.
                 let _ = tx.send((cell, result));
             })?;
@@ -699,6 +879,19 @@ pub fn run_sweep_traced(
 mod tests {
     use super::*;
 
+    fn point(nodes: usize, policy: &str, seed: u64) -> SweepPoint {
+        SweepPoint {
+            nodes,
+            budget_label: "odd".into(),
+            budget_fraction: 0.6,
+            policy: policy.into(),
+            machines: "uniform".into(),
+            faults: "none".into(),
+            arrivals: "poisson".into(),
+            seed,
+        }
+    }
+
     #[test]
     fn expansion_order_is_the_historical_nested_loop() {
         let spec = SweepSpec {
@@ -706,13 +899,7 @@ mod tests {
             budgets: vec![("tight".into(), 0.45), ("ample".into(), 1.0)],
             policies: vec!["fcfs".into(), "power-aware".into()],
             seeds: vec![1, 2],
-            extra: vec![SweepPoint {
-                nodes: 8,
-                budget_label: "odd".into(),
-                budget_fraction: 0.6,
-                policy: "backfill".into(),
-                seed: 99,
-            }],
+            extra: vec![point(8, "backfill", 99)],
             ..SweepSpec::default()
         };
         assert_eq!(spec.len(), 17);
@@ -730,10 +917,35 @@ mod tests {
     }
 
     #[test]
+    fn scenario_axes_expand_between_policies_and_seeds() {
+        let spec = SweepSpec {
+            machine_mixes: vec!["uniform".into(), "mixed".into()],
+            faults: vec!["none".into(), "crash".into()],
+            arrivals: vec!["poisson".into(), "bursty".into()],
+            seeds: vec![1, 2],
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.len(), 16);
+        let cells = spec.expand();
+        // machines is outermost of the scenario axes, seeds innermost.
+        assert_eq!(cells[0].point.machines, "uniform");
+        assert_eq!((cells[0].point.faults.as_str(), cells[0].point.seed), ("none", 1));
+        assert_eq!((cells[1].point.faults.as_str(), cells[1].point.seed), ("none", 2));
+        assert_eq!(cells[2].point.arrivals, "bursty");
+        assert_eq!(cells[4].point.faults, "crash");
+        assert_eq!(cells[8].point.machines, "mixed");
+        let mixes = spec.mixes().unwrap();
+        assert_eq!(mixes.len(), 2);
+        assert_eq!(mixes[0].name, "uniform");
+        assert_eq!(mixes[1].name, "mixed");
+    }
+
+    #[test]
     fn validation_rejects_bad_grids() {
         let ok = SweepSpec::power_cap_default(true);
         assert!(ok.validate().is_ok());
         assert_eq!(ok.policies.len(), 5);
+        assert!(SweepSpec::scenario_default().validate().is_ok());
 
         let empty = SweepSpec { nodes: vec![], ..ok.clone() };
         assert!(matches!(empty.validate(), Err(SweepError::InvalidGrid { .. })));
@@ -742,6 +954,13 @@ mod tests {
         assert!(err.to_string().contains("power-aware-coordinated"), "{err}");
         let bad_fraction = SweepSpec { budgets: vec![("x".into(), 1.5)], ..ok.clone() };
         assert!(bad_fraction.validate().is_err());
+        let bad_mix = SweepSpec { machine_mixes: vec!["beowulf".into()], ..ok.clone() };
+        let err = bad_mix.validate().unwrap_err();
+        assert!(err.to_string().contains("uniform"), "error lists valid mixes: {err}");
+        let bad_fault = SweepSpec { faults: vec!["meteor".into()], ..ok.clone() };
+        assert!(bad_fault.validate().is_err());
+        let bad_arrivals = SweepSpec { arrivals: vec!["pigeon".into()], ..ok.clone() };
+        assert!(bad_arrivals.validate().is_err());
         let zero_nodes = SweepSpec { nodes: vec![0], ..ok };
         assert!(zero_nodes.validate().is_err());
     }
@@ -755,6 +974,14 @@ mod tests {
         assert_eq!(spec.budgets, vec![("t".into(), 0.5), ("a".into(), 1.0)]);
         assert_eq!(spec.policies, vec!["fcfs".to_string(), "power-aware".into()]);
         assert_eq!(spec.seeds, vec![1, 2, 3, 9]);
+
+        // The scenario axes parse the same way.
+        let hazard = SweepSpec::power_cap_default(false)
+            .with_grid("machines=uniform,mixed;faults=crash,storm;arrivals=bursty")
+            .unwrap();
+        assert_eq!(hazard.machine_mixes, vec!["uniform".to_string(), "mixed".into()]);
+        assert_eq!(hazard.faults, vec!["crash".to_string(), "storm".into()]);
+        assert_eq!(hazard.arrivals, vec!["bursty".to_string()]);
 
         // dvfs rewrites the policy axis through dvfs_axis.
         let both = SweepSpec::power_cap_default(false)
@@ -772,6 +999,9 @@ mod tests {
             "dvfs=sideways",
             "warp=9",
             "policies=lottery",
+            "machines=beowulf",
+            "faults=meteor",
+            "arrivals=pigeon",
             "noequals",
         ] {
             assert!(

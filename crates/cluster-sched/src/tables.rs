@@ -126,6 +126,7 @@ mod tests {
             finish_s: 5.0,
             energy_j: 450.0,
             peak_power_w: 150.0,
+            completed: true,
             decisions: vec![
                 ("p0".into(), Configuration::Four),
                 ("p1".into(), Configuration::Four),
@@ -138,12 +139,15 @@ mod tests {
         ClusterReport {
             policy: "fcfs".into(),
             nodes: 2,
+            machines: "uniform".into(),
             power_budget_w: 400.0,
             outcomes: vec![outcome()],
             makespan_s: 5.0,
             total_energy_j: 1500.0,
             peak_power_w: 380.0,
             cap_violations: 0,
+            node_failures: 0,
+            killed_jobs: 0,
         }
     }
 

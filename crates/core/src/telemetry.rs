@@ -133,6 +133,32 @@ pub enum TraceEvent {
         /// Energy the gang consumed (J).
         energy_j: f64,
     },
+    /// A node crashed (scenario fault injection).
+    NodeFailed {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Node id.
+        node: usize,
+    },
+    /// A crashed node came back.
+    NodeRecovered {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Node id.
+        node: usize,
+    },
+    /// A job with an SLO deadline missed it (at completion, or when a fault
+    /// policy killed it).
+    SloViolated {
+        /// Simulation time (s).
+        time_s: f64,
+        /// Job id.
+        job: usize,
+        /// The deadline the job carried (s).
+        deadline_s: f64,
+        /// When the job actually finished — or was killed (s).
+        finish_s: f64,
+    },
     /// One `CapCoordinator::redistribute` invocation in `cluster-sched`.
     Redistribute {
         /// Simulation time (s).
@@ -210,6 +236,9 @@ impl TraceEvent {
             TraceEvent::JobArrival { .. } => "job_arrival",
             TraceEvent::JobStart { .. } => "job_start",
             TraceEvent::JobCompletion { .. } => "job_completion",
+            TraceEvent::NodeFailed { .. } => "node_failed",
+            TraceEvent::NodeRecovered { .. } => "node_recovered",
+            TraceEvent::SloViolated { .. } => "slo_violated",
             TraceEvent::Redistribute { .. } => "redistribute",
             TraceEvent::SweepCell { .. } => "sweep_cell",
             TraceEvent::Progress { .. } => "progress",
@@ -244,6 +273,9 @@ impl TraceEvent {
             TraceEvent::JobArrival { .. } => "job_arrival_latency_ns",
             TraceEvent::JobStart { .. } => "job_start_latency_ns",
             TraceEvent::JobCompletion { .. } => "job_completion_latency_ns",
+            TraceEvent::NodeFailed { .. } => "node_failed_latency_ns",
+            TraceEvent::NodeRecovered { .. } => "node_recovered_latency_ns",
+            TraceEvent::SloViolated { .. } => "slo_violated_latency_ns",
             TraceEvent::Redistribute { .. } => "redistribute_latency_ns",
             TraceEvent::SweepCell { .. } => "sweep_cell_latency_ns",
             TraceEvent::Progress { .. } => "progress_latency_ns",
@@ -305,6 +337,17 @@ impl Serialize for TraceEvent {
                 m.push(("job".into(), Value::UInt(*job as u64)));
                 m.push(("width".into(), Value::UInt(*width as u64)));
                 m.push(("energy_j".into(), Value::Float(*energy_j)));
+            }
+            TraceEvent::NodeFailed { time_s, node }
+            | TraceEvent::NodeRecovered { time_s, node } => {
+                m.push(("time_s".into(), Value::Float(*time_s)));
+                m.push(("node".into(), Value::UInt(*node as u64)));
+            }
+            TraceEvent::SloViolated { time_s, job, deadline_s, finish_s } => {
+                m.push(("time_s".into(), Value::Float(*time_s)));
+                m.push(("job".into(), Value::UInt(*job as u64)));
+                m.push(("deadline_s".into(), Value::Float(*deadline_s)));
+                m.push(("finish_s".into(), Value::Float(*finish_s)));
             }
             TraceEvent::Redistribute {
                 time_s,
@@ -418,6 +461,20 @@ impl Deserialize for TraceEvent {
                 job: req(value, "job")?,
                 width: req(value, "width")?,
                 energy_j: req(value, "energy_j")?,
+            }),
+            "node_failed" => Ok(TraceEvent::NodeFailed {
+                time_s: req(value, "time_s")?,
+                node: req(value, "node")?,
+            }),
+            "node_recovered" => Ok(TraceEvent::NodeRecovered {
+                time_s: req(value, "time_s")?,
+                node: req(value, "node")?,
+            }),
+            "slo_violated" => Ok(TraceEvent::SloViolated {
+                time_s: req(value, "time_s")?,
+                job: req(value, "job")?,
+                deadline_s: req(value, "deadline_s")?,
+                finish_s: req(value, "finish_s")?,
             }),
             "redistribute" => Ok(TraceEvent::Redistribute {
                 time_s: req(value, "time_s")?,
@@ -1182,6 +1239,9 @@ mod tests {
                 exec_time_s: 40.5,
             },
             TraceEvent::JobCompletion { time_s: 42.5, job: 3, width: 2, energy_j: 1.25e4 },
+            TraceEvent::NodeFailed { time_s: 17.25, node: 5 },
+            TraceEvent::NodeRecovered { time_s: 33.5, node: 5 },
+            TraceEvent::SloViolated { time_s: 99.0, job: 3, deadline_s: 80.0, finish_s: 99.0 },
             TraceEvent::Redistribute {
                 time_s: 42.5,
                 startable: 4,

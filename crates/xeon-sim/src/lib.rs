@@ -58,7 +58,7 @@ pub use error::SimError;
 pub use execution::{AggregateExecution, PhaseExecution};
 pub use machine::Machine;
 pub use mrc::MissRatioCurve;
-pub use params::{FreqLadder, FreqPoint, MachineParams, PowerParams};
+pub use params::{FreqLadder, FreqPoint, MachineParams, PowerParams, MACHINE_GEN_NAMES};
 pub use phase::PhaseProfile;
 pub use power::{EnergyMeter, PowerBreakdown, PowerModel};
 pub use topology::{Configuration, CoreId, Placement, Topology};

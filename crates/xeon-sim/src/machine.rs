@@ -58,6 +58,30 @@ impl Machine {
             .expect("built-in parameters are valid")
     }
 
+    /// A newer-generation quad-core part (see [`MachineParams::xeon_e5450`]):
+    /// faster, cooler, deeper DVFS ladder.
+    pub fn xeon_e5450() -> Self {
+        Self::new(Topology::quad_core_xeon(), MachineParams::xeon_e5450())
+            .expect("built-in parameters are valid")
+    }
+
+    /// An older-generation quad-core part (see [`MachineParams::xeon_x5355`]):
+    /// hotter, slower memory path, shallow two-step ladder.
+    pub fn xeon_x5355() -> Self {
+        Self::new(Topology::quad_core_xeon(), MachineParams::xeon_x5355())
+            .expect("built-in parameters are valid")
+    }
+
+    /// Looks up a built-in machine generation by name (the same registry as
+    /// [`MachineParams::by_gen_name`]; valid names are
+    /// [`crate::params::MACHINE_GEN_NAMES`]). All generations share the
+    /// quad-core two-pair topology of the paper's platform — they differ in
+    /// clocks, caches, memory path, power coefficients and ladder depth.
+    pub fn by_gen_name(name: &str) -> Option<Self> {
+        let params = MachineParams::by_gen_name(name)?;
+        Some(Self::new(Topology::quad_core_xeon(), params).expect("built-in parameters are valid"))
+    }
+
     /// The machine's topology.
     pub fn topology(&self) -> &Topology {
         &self.topo

@@ -245,6 +245,11 @@ pub struct MachineParams {
     pub freq_ladder: FreqLadder,
 }
 
+/// Names of the built-in machine generations, oldest-process part last.
+/// These are the values accepted by [`MachineParams::by_gen_name`] and by the
+/// cluster scheduler's machine-mix axis.
+pub const MACHINE_GEN_NAMES: [&str; 3] = ["qx6600", "e5450", "x5355"];
+
 impl MachineParams {
     /// Parameters approximating the Xeon QX6600 platform of the paper.
     pub fn xeon_qx6600() -> Self {
@@ -265,6 +270,98 @@ impl MachineParams {
             bus_max_utilisation: 0.96,
             power: PowerParams::default(),
             freq_ladder: FreqLadder::xeon_4step(),
+        }
+    }
+
+    /// A newer-generation (45 nm Harpertown-class) quad-core part: faster
+    /// clock, larger L2, quicker memory path, and a deeper ladder at lower
+    /// voltages. Its idle floor and per-core power sit well below the
+    /// QX6600's, so under a shared cluster cap these nodes are the cheap
+    /// place to spend watts.
+    pub fn xeon_e5450() -> Self {
+        Self {
+            clock_ghz: 2.8,
+            l1_size_kb: 32,
+            l1_latency_cycles: 3.0,
+            l1_miss_penalty_cycles: 13.0,
+            l2_size_kb: 6144,
+            line_bytes: 64,
+            mem_latency_ns: 82.0,
+            fsb_bandwidth_gbs: 10.6,
+            dram_bandwidth_gbs: 5.2,
+            mlp: 3.6,
+            fork_join_us: 6.5,
+            barrier_us_per_thread: 2.0,
+            bus_queue_factor: 1.10,
+            bus_max_utilisation: 0.96,
+            power: PowerParams {
+                system_idle_w: 88.0,
+                core_static_w: 2.6,
+                core_dynamic_max_w: 7.0,
+                core_ipc_ref: 1.5,
+                core_dynamic_cap: 1.35,
+                l2_active_w: 2.0,
+                fsb_max_w: 6.0,
+                dram_max_w: 9.0,
+            },
+            freq_ladder: FreqLadder {
+                steps: vec![
+                    FreqPoint { ghz: 2.80, vdd: 1.10 },
+                    FreqPoint { ghz: 2.49, vdd: 1.05 },
+                    FreqPoint { ghz: 2.17, vdd: 1.00 },
+                    FreqPoint { ghz: 1.87, vdd: 0.975 },
+                    FreqPoint { ghz: 1.60, vdd: 0.95 },
+                ],
+            },
+        }
+    }
+
+    /// An older-generation (65 nm Clovertown-class) quad-core part: hotter
+    /// idle floor, hungrier cores, slower memory path, and a shallow
+    /// two-step ladder — per-node DVFS has little room here, which is
+    /// exactly the regime where cluster-wide budget coordination has to do
+    /// the work the ladder cannot.
+    pub fn xeon_x5355() -> Self {
+        Self {
+            clock_ghz: 2.66,
+            l1_size_kb: 32,
+            l1_latency_cycles: 3.0,
+            l1_miss_penalty_cycles: 14.0,
+            l2_size_kb: 4096,
+            line_bytes: 64,
+            mem_latency_ns: 105.0,
+            fsb_bandwidth_gbs: 8.0,
+            dram_bandwidth_gbs: 4.0,
+            mlp: 2.8,
+            fork_join_us: 9.0,
+            barrier_us_per_thread: 2.8,
+            bus_queue_factor: 1.20,
+            bus_max_utilisation: 0.96,
+            power: PowerParams {
+                system_idle_w: 126.0,
+                core_static_w: 4.8,
+                core_dynamic_max_w: 9.5,
+                core_ipc_ref: 1.35,
+                core_dynamic_cap: 1.35,
+                l2_active_w: 2.5,
+                fsb_max_w: 7.0,
+                dram_max_w: 11.0,
+            },
+            freq_ladder: FreqLadder {
+                steps: vec![FreqPoint { ghz: 2.66, vdd: 1.35 }, FreqPoint { ghz: 2.33, vdd: 1.30 }],
+            },
+        }
+    }
+
+    /// Looks up a built-in machine generation by name (see
+    /// [`MACHINE_GEN_NAMES`]). Returns `None` for unknown names so callers
+    /// can report the valid set themselves.
+    pub fn by_gen_name(name: &str) -> Option<Self> {
+        match name {
+            "qx6600" => Some(Self::xeon_qx6600()),
+            "e5450" => Some(Self::xeon_e5450()),
+            "x5355" => Some(Self::xeon_x5355()),
+            _ => None,
         }
     }
 
@@ -398,6 +495,27 @@ mod tests {
         let mut params = MachineParams::xeon_qx6600();
         params.freq_ladder = FreqLadder { steps: vec![] };
         assert!(params.validate().is_err());
+    }
+
+    #[test]
+    fn machine_generations_are_valid_and_distinct() {
+        for name in MACHINE_GEN_NAMES {
+            let p =
+                MachineParams::by_gen_name(name).unwrap_or_else(|| panic!("{name} should resolve"));
+            assert!(p.validate().is_ok(), "{name} params must validate");
+        }
+        assert!(MachineParams::by_gen_name("pentium-pro").is_none());
+        let base = MachineParams::xeon_qx6600();
+        let newer = MachineParams::xeon_e5450();
+        let older = MachineParams::xeon_x5355();
+        // The newer part idles cooler and clocks higher; the older part idles
+        // hotter with a shallower ladder — that spread is what makes
+        // mixed-generation budget coordination interesting.
+        assert!(newer.power.system_idle_w < base.power.system_idle_w);
+        assert!(older.power.system_idle_w > base.power.system_idle_w);
+        assert!(newer.clock_ghz > base.clock_ghz);
+        assert!(newer.freq_ladder.len() > base.freq_ladder.len());
+        assert!(older.freq_ladder.len() < base.freq_ladder.len());
     }
 
     #[test]

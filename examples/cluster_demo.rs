@@ -11,7 +11,7 @@
 use actor_suite::actor::ActorConfig;
 use actor_suite::cluster::{
     budget_from_fraction, cluster_summary_table, job_table, policy_by_name, simulate, ClusterSpec,
-    WorkloadModel, WorkloadSpec,
+    FaultSpec, MachineMix, WorkloadModel, WorkloadSpec,
 };
 use actor_suite::sim::Machine;
 use actor_suite::workloads::BenchmarkId;
@@ -29,6 +29,8 @@ fn main() {
         nodes: 4,
         // A tight envelope: 45 % of the cluster's dynamic power range.
         power_budget_w: budget_from_fraction(4, idle_w, 160.0, 0.45),
+        machines: MachineMix::uniform(),
+        faults: FaultSpec::default(),
         workload: WorkloadSpec {
             num_jobs: 16,
             mean_interarrival_s: 5.0,

@@ -4,7 +4,7 @@
 use actor_suite::actor::ActorConfig;
 use actor_suite::cluster::{
     budget_from_fraction, cluster_summary_table, job_table, policy_by_name, simulate,
-    ClusterReport, ClusterSpec, WorkloadModel, WorkloadSpec,
+    ClusterReport, ClusterSpec, FaultSpec, MachineMix, WorkloadModel, WorkloadSpec,
 };
 use actor_suite::sim::Machine;
 use actor_suite::workloads::BenchmarkId;
@@ -22,6 +22,8 @@ fn spec(nodes: usize, budget_fraction: f64) -> ClusterSpec {
     ClusterSpec {
         nodes,
         power_budget_w: budget_from_fraction(nodes, idle_w, 160.0, budget_fraction),
+        machines: MachineMix::uniform(),
+        faults: FaultSpec::default(),
         workload: WorkloadSpec {
             num_jobs: 12,
             mean_interarrival_s: 4.0,

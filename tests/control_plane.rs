@@ -21,8 +21,8 @@ use actor_suite::actor::controller::{
 use actor_suite::actor::runtime::{ActorRuntime, ThrottleMode};
 use actor_suite::actor::{ActorConfig, NullReporter};
 use actor_suite::cluster::{
-    budget_from_fraction, policy_by_name, simulate, Assignment, ClusterSpec, SchedContext,
-    SchedulerPolicy, WorkloadModel, WorkloadSpec,
+    budget_from_fraction, policy_by_name, simulate, Assignment, ClusterSpec, FaultSpec, MachineMix,
+    SchedContext, SchedulerPolicy, WorkloadModel, WorkloadSpec,
 };
 use actor_suite::prelude::{ControllerSpec, ExperimentBuilder};
 use actor_suite::rt::{Binding, MachineShape, PhaseId, RegionEvent, RegionListener, Team};
@@ -119,6 +119,8 @@ fn refactored_policies_schedule_byte_identically_to_the_inline_loop() {
         let spec = ClusterSpec {
             nodes: 4,
             power_budget_w: budget_from_fraction(4, idle_w, 160.0, fraction),
+            machines: MachineMix::uniform(),
+            faults: FaultSpec::default(),
             workload: WorkloadSpec {
                 num_jobs: 12,
                 mean_interarrival_s: 4.0,

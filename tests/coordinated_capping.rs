@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use actor_suite::actor::ActorConfig;
 use actor_suite::cluster::{
     budget_from_fraction, policy_by_name, simulate, validate_caps, CapCoordinator, ClusterSpec,
-    Job, SchedContext, SchedError, WorkloadModel, WorkloadSpec,
+    FaultSpec, Job, MachineMix, SchedContext, SchedError, WorkloadModel, WorkloadSpec,
 };
 use actor_suite::sim::Machine;
 use actor_suite::workloads::BenchmarkId;
@@ -83,6 +83,8 @@ proptest! {
             node_idle_w: idle_w,
             node_draw_w: &node_draw_w,
             running: &[],
+            fleet: None,
+            node_gen: &[],
         };
         let mut coordinator = CapCoordinator::from_model(model);
         let caps = coordinator.redistribute(&ctx);
@@ -90,7 +92,7 @@ proptest! {
         let caps = caps.unwrap();
 
         // The public validator agrees…
-        prop_assert!(validate_caps(&caps, headroom, idle_w).is_ok());
+        prop_assert!(validate_caps(&caps, headroom).is_ok());
         // …and so does a direct reading of the invariants.
         let total: f64 = caps.iter().map(|c| (c.node_cap_w - idle_w) * c.width as f64).sum();
         prop_assert!(total <= headroom + 1e-6, "caps total {total} > headroom {headroom}");
@@ -125,6 +127,8 @@ proptest! {
         let spec = ClusterSpec {
             nodes: 4,
             power_budget_w: budget_from_fraction(4, idle_w(), 160.0, fraction),
+            machines: MachineMix::uniform(),
+            faults: FaultSpec::default(),
             workload: WorkloadSpec {
                 num_jobs: 10,
                 mean_interarrival_s: 4.0,
@@ -168,6 +172,8 @@ fn coordinated_policy_is_deterministic() {
     let spec = ClusterSpec {
         nodes: 4,
         power_budget_w: budget_from_fraction(4, idle_w(), 160.0, 0.5),
+        machines: MachineMix::uniform(),
+        faults: FaultSpec::default(),
         workload: WorkloadSpec {
             num_jobs: 10,
             mean_interarrival_s: 4.0,
@@ -193,6 +199,8 @@ fn coordinated_capping_strictly_improves_tight_budget_ed2() {
     let spec = ClusterSpec {
         nodes: NODES,
         power_budget_w: budget_from_fraction(NODES, idle_w(), 160.0, 0.45),
+        machines: MachineMix::uniform(),
+        faults: FaultSpec::default(),
         workload: WorkloadSpec {
             num_jobs: 8 * NODES.max(3),
             mean_interarrival_s: 12.0 / NODES as f64,

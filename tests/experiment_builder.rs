@@ -9,8 +9,8 @@ use rand::SeedableRng;
 use actor_suite::actor::adaptation::run_adaptation_study_on;
 use actor_suite::actor::{ActorConfig, NullReporter};
 use actor_suite::cluster::{
-    budget_from_fraction, policy_by_name, simulate, Assignment, ClusterSpec, PowerAwarePolicy,
-    SchedContext, SchedulerPolicy, WorkloadModel, WorkloadSpec,
+    budget_from_fraction, policy_by_name, simulate, Assignment, ClusterSpec, FaultSpec, MachineMix,
+    PowerAwarePolicy, SchedContext, SchedulerPolicy, WorkloadModel, WorkloadSpec,
 };
 use actor_suite::prelude::{
     AdaptationStudy, ControllerSpec, ExperimentBuilder, Metric, OracleController, Strategy,
@@ -143,6 +143,8 @@ fn generic_power_aware_policy_matches_the_legacy_hard_wired_path() {
         let spec = ClusterSpec {
             nodes: 4,
             power_budget_w: budget_from_fraction(4, idle_w, 160.0, fraction),
+            machines: MachineMix::uniform(),
+            faults: FaultSpec::default(),
             workload: WorkloadSpec {
                 num_jobs: 12,
                 mean_interarrival_s: 4.0,

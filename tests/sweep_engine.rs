@@ -14,7 +14,8 @@ use proptest::prelude::*;
 use actor_suite::actor::ActorConfig;
 use actor_suite::cluster::{
     budget_from_fraction, cluster_summary_row, policy_by_name, run_sweep, simulate, ClusterReport,
-    ClusterSpec, SweepError, SweepSpec, WorkloadModel, WorkloadSpec,
+    ClusterSpec, FaultSpec, FleetModel, MachineMix, SweepError, SweepSpec, WorkloadModel,
+    WorkloadSpec,
 };
 use actor_suite::sim::Machine;
 use actor_suite::workloads::BenchmarkId;
@@ -28,6 +29,11 @@ fn model() -> &'static Arc<WorkloadModel> {
         let config = ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() };
         Arc::new(WorkloadModel::build(&machine, &config, &IDS).unwrap())
     })
+}
+
+fn fleet() -> Arc<FleetModel> {
+    static FLEET: OnceLock<Arc<FleetModel>> = OnceLock::new();
+    Arc::clone(FLEET.get_or_init(|| Arc::new(FleetModel::single(WorkloadModel::clone(model())))))
 }
 
 /// A small per-cell workload drawing only the model's benchmarks (the
@@ -121,6 +127,8 @@ fn engine_matches_the_inline_loop_at_all_default_budgets() {
             let spec = ClusterSpec {
                 nodes,
                 power_budget_w: budget_from_fraction(nodes, idle_w, 160.0, fraction),
+                machines: MachineMix::uniform(),
+                faults: FaultSpec::default(),
                 workload: test_workload(nodes),
                 seed: 2007,
             };
@@ -311,6 +319,7 @@ fn distributed_dispatch_speedup_over_serial() {
         config: ActorConfig { corpus_replicas: 2, ..ActorConfig::fast() },
         benchmarks: IDS.to_vec(),
         workload: "quad-test".into(),
+        machines: vec!["uniform".into()],
         max_node_w: spec.max_node_w,
         heartbeat_ms: 250,
         run_id: 4242,
@@ -321,7 +330,7 @@ fn distributed_dispatch_speedup_over_serial() {
         let (daemon_side, worker_side) = duplex();
         conn_tx.send(Box::new(daemon_side) as _).map_err(|_| "conns closed").unwrap();
         workers.push(std::thread::spawn(move || {
-            run_worker_with(Box::new(worker_side), "speedup", |_| Ok(Arc::clone(model())))
+            run_worker_with(Box::new(worker_side), "speedup", |_| Ok(fleet()))
         }));
     }
     drop(conn_tx);

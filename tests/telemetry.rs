@@ -12,7 +12,8 @@ use proptest::prelude::*;
 use actor_suite::actor::ActorConfig;
 use actor_suite::cluster::{
     budget_from_fraction, cluster_summary_row, policy_by_name, run_sweep, run_sweep_traced,
-    simulate_traced, ClusterSpec, SweepRun, SweepSpec, WorkloadModel, WorkloadSpec,
+    simulate_traced, ClusterSpec, FaultSpec, MachineMix, SweepRun, SweepSpec, WorkloadModel,
+    WorkloadSpec,
 };
 use actor_suite::prelude::{
     MemorySink, MetricsRegistry, NullSink, RingSink, SharedSink, TelemetrySink, TraceEvent,
@@ -122,6 +123,8 @@ fn memory_sink_captures_every_event_kind_end_to_end() {
     let spec = ClusterSpec {
         nodes,
         power_budget_w: budget_from_fraction(nodes, idle_w, 160.0, 0.7),
+        machines: MachineMix::uniform(),
+        faults: FaultSpec::default(),
         workload: test_workload(nodes),
         seed: 2007,
     };
@@ -227,6 +230,8 @@ fn memory_sink_overhead_is_under_five_percent() {
     let spec = ClusterSpec {
         nodes,
         power_budget_w: budget_from_fraction(nodes, idle_w, 160.0, 0.45),
+        machines: MachineMix::uniform(),
+        faults: FaultSpec::default(),
         workload: WorkloadSpec { num_jobs: 64, ..test_workload(nodes) },
         seed: 2007,
     };
